@@ -1,0 +1,267 @@
+//! OpenACC directive syntax trees: a directive kind plus parsed clauses with
+//! their argument expressions.
+
+use crate::expr::Expr;
+use acc_spec::{ClauseKind, DirectiveKind, ReductionOp};
+use std::fmt;
+
+/// A reference to data in a data clause: a variable, optionally with an
+/// array-section `[start:length]` (C) / `(start:end)` (Fortran, normalized to
+/// start/length at parse time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataRef {
+    /// Variable name.
+    pub name: String,
+    /// Optional section: (start, length).
+    pub section: Option<(Expr, Expr)>,
+}
+
+impl DataRef {
+    /// Whole-variable reference.
+    pub fn whole(name: impl Into<String>) -> Self {
+        DataRef {
+            name: name.into(),
+            section: None,
+        }
+    }
+
+    /// Section reference `name[start:len]`.
+    pub fn section(name: impl Into<String>, start: Expr, len: Expr) -> Self {
+        DataRef {
+            name: name.into(),
+            section: Some((start, len)),
+        }
+    }
+}
+
+/// A parsed clause with its arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccClause {
+    /// `if(cond)`
+    If(Expr),
+    /// `async` / `async(tag)`
+    Async(Option<Expr>),
+    /// `num_gangs(n)`
+    NumGangs(Expr),
+    /// `num_workers(n)`
+    NumWorkers(Expr),
+    /// `vector_length(n)`
+    VectorLength(Expr),
+    /// `reduction(op:vars)`
+    Reduction(ReductionOp, Vec<String>),
+    /// A data-movement clause (`copy`, `copyin`, ..., `present_or_create`,
+    /// `device_resident`, `host`, `device`, `delete`) with its refs.
+    Data(ClauseKind, Vec<DataRef>),
+    /// `deviceptr(vars)`
+    Deviceptr(Vec<String>),
+    /// `private(vars)`
+    Private(Vec<String>),
+    /// `firstprivate(vars)`
+    Firstprivate(Vec<String>),
+    /// `use_device(vars)`
+    UseDevice(Vec<String>),
+    /// `gang` / `gang(n)`
+    Gang(Option<Expr>),
+    /// `worker` / `worker(n)`
+    Worker(Option<Expr>),
+    /// `vector` / `vector(n)`
+    Vector(Option<Expr>),
+    /// `seq`
+    Seq,
+    /// `independent`
+    Independent,
+    /// `collapse(n)`
+    Collapse(Expr),
+    /// 2.0 `default(none)`
+    DefaultNone,
+    /// 2.0 `auto`
+    Auto,
+}
+
+impl AccClause {
+    /// The clause kind, for validation against
+    /// [`DirectiveKind::allowed_clauses`].
+    pub fn kind(&self) -> ClauseKind {
+        match self {
+            AccClause::If(_) => ClauseKind::If,
+            AccClause::Async(_) => ClauseKind::Async,
+            AccClause::NumGangs(_) => ClauseKind::NumGangs,
+            AccClause::NumWorkers(_) => ClauseKind::NumWorkers,
+            AccClause::VectorLength(_) => ClauseKind::VectorLength,
+            AccClause::Reduction(..) => ClauseKind::Reduction,
+            AccClause::Data(k, _) => *k,
+            AccClause::Deviceptr(_) => ClauseKind::Deviceptr,
+            AccClause::Private(_) => ClauseKind::Private,
+            AccClause::Firstprivate(_) => ClauseKind::Firstprivate,
+            AccClause::UseDevice(_) => ClauseKind::UseDevice,
+            AccClause::Gang(_) => ClauseKind::Gang,
+            AccClause::Worker(_) => ClauseKind::Worker,
+            AccClause::Vector(_) => ClauseKind::Vector,
+            AccClause::Seq => ClauseKind::Seq,
+            AccClause::Independent => ClauseKind::Independent,
+            AccClause::Collapse(_) => ClauseKind::Collapse,
+            AccClause::DefaultNone => ClauseKind::DefaultNone,
+            AccClause::Auto => ClauseKind::Auto,
+        }
+    }
+}
+
+/// A full directive: kind plus clause list, plus an optional wait argument
+/// for the `wait(tag)` directive form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccDirective {
+    /// Directive kind.
+    pub kind: DirectiveKind,
+    /// Clauses in source order.
+    pub clauses: Vec<AccClause>,
+    /// Argument of a standalone `wait(tag)` directive; `wait`'s optional tag
+    /// is directive-level syntax rather than a clause.
+    pub wait_arg: Option<Expr>,
+    /// Array references of a `cache(refs)` directive; directive-level syntax
+    /// like `wait_arg`.
+    pub cache_args: Vec<DataRef>,
+}
+
+impl AccDirective {
+    /// A directive with no clauses.
+    pub fn new(kind: DirectiveKind) -> Self {
+        AccDirective {
+            kind,
+            clauses: Vec::new(),
+            wait_arg: None,
+            cache_args: Vec::new(),
+        }
+    }
+
+    /// Builder-style clause addition.
+    pub fn with(mut self, clause: AccClause) -> Self {
+        self.clauses.push(clause);
+        self
+    }
+
+    /// First clause of the given kind, if present.
+    pub fn find(&self, kind: ClauseKind) -> Option<&AccClause> {
+        self.clauses.iter().find(|c| c.kind() == kind)
+    }
+
+    /// True when a clause of the given kind is present.
+    pub fn has(&self, kind: ClauseKind) -> bool {
+        self.find(kind).is_some()
+    }
+
+    /// All data clauses (`Data` variants plus `deviceptr`), in source order.
+    pub fn data_clauses(&self) -> impl Iterator<Item = &AccClause> {
+        self.clauses
+            .iter()
+            .filter(|c| matches!(c, AccClause::Data(..) | AccClause::Deviceptr(_)))
+    }
+
+    /// Clauses that are illegal on this directive per the 1.0 feature model.
+    pub fn illegal_clauses(&self) -> Vec<ClauseKind> {
+        self.clauses
+            .iter()
+            .map(|c| c.kind())
+            .filter(|k| !self.kind.allows(*k))
+            .collect()
+    }
+
+    /// Render in C pragma syntax (without the `#pragma acc` prefix).
+    pub fn render_suffix(&self) -> String {
+        let mut s = self.kind.name().to_string();
+        if let Some(arg) = &self.wait_arg {
+            s.push_str(&format!("({})", crate::cgen::expr_to_c(arg)));
+        }
+        if !self.cache_args.is_empty() {
+            let refs: Vec<String> = self
+                .cache_args
+                .iter()
+                .map(crate::cgen::dataref_to_c)
+                .collect();
+            s.push_str(&format!("({})", refs.join(", ")));
+        }
+        for c in &self.clauses {
+            s.push(' ');
+            s.push_str(&crate::cgen::clause_to_c(c));
+        }
+        s
+    }
+}
+
+impl fmt::Display for AccDirective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#pragma acc {}", self.render_suffix())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clause_kinds_map() {
+        assert_eq!(AccClause::Seq.kind(), ClauseKind::Seq);
+        assert_eq!(
+            AccClause::NumGangs(Expr::int(8)).kind(),
+            ClauseKind::NumGangs
+        );
+        assert_eq!(
+            AccClause::Data(ClauseKind::Copyin, vec![DataRef::whole("a")]).kind(),
+            ClauseKind::Copyin
+        );
+    }
+
+    #[test]
+    fn find_and_has() {
+        let d = AccDirective::new(DirectiveKind::Parallel)
+            .with(AccClause::NumGangs(Expr::int(10)))
+            .with(AccClause::If(Expr::var("flag")));
+        assert!(d.has(ClauseKind::NumGangs));
+        assert!(d.has(ClauseKind::If));
+        assert!(!d.has(ClauseKind::Async));
+        match d.find(ClauseKind::NumGangs) {
+            Some(AccClause::NumGangs(e)) => assert_eq!(e.const_int(), Some(10)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn illegal_clause_detection() {
+        let d = AccDirective::new(DirectiveKind::Kernels).with(AccClause::NumGangs(Expr::int(4)));
+        assert_eq!(d.illegal_clauses(), vec![ClauseKind::NumGangs]);
+        let ok = AccDirective::new(DirectiveKind::Parallel).with(AccClause::NumGangs(Expr::int(4)));
+        assert!(ok.illegal_clauses().is_empty());
+    }
+
+    #[test]
+    fn render_parallel_with_clauses() {
+        let d = AccDirective::new(DirectiveKind::Parallel)
+            .with(AccClause::NumGangs(Expr::int(10)))
+            .with(AccClause::Data(
+                ClauseKind::Copy,
+                vec![DataRef::section("a", Expr::int(0), Expr::var("n"))],
+            ));
+        assert_eq!(
+            d.to_string(),
+            "#pragma acc parallel num_gangs(10) copy(a[0:n])"
+        );
+    }
+
+    #[test]
+    fn render_wait_with_tag() {
+        let mut d = AccDirective::new(DirectiveKind::Wait);
+        d.wait_arg = Some(Expr::int(3));
+        assert_eq!(d.to_string(), "#pragma acc wait(3)");
+    }
+
+    #[test]
+    fn data_clauses_iterator() {
+        let d = AccDirective::new(DirectiveKind::Parallel)
+            .with(AccClause::NumGangs(Expr::int(2)))
+            .with(AccClause::Data(
+                ClauseKind::Copyin,
+                vec![DataRef::whole("a")],
+            ))
+            .with(AccClause::Deviceptr(vec!["p".into()]));
+        assert_eq!(d.data_clauses().count(), 2);
+    }
+}

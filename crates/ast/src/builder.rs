@@ -1,0 +1,279 @@
+//! Ergonomic constructors for building test programs.
+//!
+//! The testsuite corpus constructs several hundred small programs; this
+//! module keeps those definitions close to the shape of the paper's code
+//! figures. Functions are free-standing (not a builder object) so templates
+//! read like the pseudocode they mirror.
+
+use crate::acc::{AccClause, AccDirective, DataRef};
+use crate::expr::{BinOp, Expr};
+use crate::stmt::{ForLoop, LValue, Stmt};
+use crate::types::ScalarType;
+use acc_spec::{ClauseKind, DirectiveKind};
+
+/// `int name = v;`
+pub fn decl_int(name: &str, v: i64) -> Stmt {
+    Stmt::decl_int(name, Expr::int(v))
+}
+
+/// `T name[n];`
+pub fn decl_array(name: &str, elem: ScalarType, n: usize) -> Stmt {
+    Stmt::DeclArray {
+        name: name.into(),
+        elem,
+        dims: vec![n],
+    }
+}
+
+/// `T name[r][c];`
+pub fn decl_matrix(name: &str, elem: ScalarType, r: usize, c: usize) -> Stmt {
+    Stmt::DeclArray {
+        name: name.into(),
+        elem,
+        dims: vec![r, c],
+    }
+}
+
+/// `for (v = 0; v < n; v++) body`
+pub fn for_upto(v: &str, n: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::For(ForLoop::upto(v, n, body))
+}
+
+/// `name[i] = value;`
+pub fn set1(name: &str, i: Expr, value: Expr) -> Stmt {
+    Stmt::assign(LValue::idx(name, i), value)
+}
+
+/// `name[i] += value;`
+pub fn add1(name: &str, i: Expr, value: Expr) -> Stmt {
+    Stmt::assign_op(LValue::idx(name, i), BinOp::Add, value)
+}
+
+/// `name = value;`
+pub fn set(name: &str, value: Expr) -> Stmt {
+    Stmt::assign(LValue::var(name), value)
+}
+
+/// `name += value;`
+pub fn add(name: &str, value: Expr) -> Stmt {
+    Stmt::assign_op(LValue::var(name), BinOp::Add, value)
+}
+
+/// `if (cond) { then }`
+pub fn if_then(cond: Expr, then: Vec<Stmt>) -> Stmt {
+    Stmt::If {
+        cond,
+        then_body: then,
+        else_body: vec![],
+    }
+}
+
+/// `error++` — the paper's standard failure accumulator.
+pub fn bump_error() -> Stmt {
+    add("error", Expr::int(1))
+}
+
+/// The standard check epilogue: `return (error == 0);`
+pub fn return_error_check() -> Stmt {
+    Stmt::Return(Expr::eq(Expr::var("error"), Expr::int(0)))
+}
+
+/// A `parallel` directive with the given clauses.
+pub fn parallel(clauses: Vec<AccClause>) -> AccDirective {
+    with_clauses(DirectiveKind::Parallel, clauses)
+}
+
+/// A `kernels` directive with the given clauses.
+pub fn kernels(clauses: Vec<AccClause>) -> AccDirective {
+    with_clauses(DirectiveKind::Kernels, clauses)
+}
+
+/// A `data` directive with the given clauses.
+pub fn data(clauses: Vec<AccClause>) -> AccDirective {
+    with_clauses(DirectiveKind::Data, clauses)
+}
+
+/// A `loop` directive with the given clauses.
+pub fn loop_dir(clauses: Vec<AccClause>) -> AccDirective {
+    with_clauses(DirectiveKind::Loop, clauses)
+}
+
+/// Any directive with clauses.
+pub fn with_clauses(kind: DirectiveKind, clauses: Vec<AccClause>) -> AccDirective {
+    let mut d = AccDirective::new(kind);
+    d.clauses = clauses;
+    d
+}
+
+/// `copy(name[0:n])` clause.
+pub fn copy_sec(name: &str, n: Expr) -> AccClause {
+    AccClause::Data(
+        ClauseKind::Copy,
+        vec![DataRef::section(name, Expr::int(0), n)],
+    )
+}
+
+/// `copyin(name[0:n])` clause.
+pub fn copyin_sec(name: &str, n: Expr) -> AccClause {
+    AccClause::Data(
+        ClauseKind::Copyin,
+        vec![DataRef::section(name, Expr::int(0), n)],
+    )
+}
+
+/// `copyout(name[0:n])` clause.
+pub fn copyout_sec(name: &str, n: Expr) -> AccClause {
+    AccClause::Data(
+        ClauseKind::Copyout,
+        vec![DataRef::section(name, Expr::int(0), n)],
+    )
+}
+
+/// `create(name[0:n])` clause (or whole-variable when `n` is `None`).
+pub fn create_clause(name: &str, n: Option<Expr>) -> AccClause {
+    let r = match n {
+        Some(n) => DataRef::section(name, Expr::int(0), n),
+        None => DataRef::whole(name),
+    };
+    AccClause::Data(ClauseKind::Create, vec![r])
+}
+
+/// A data clause of arbitrary kind over whole variables.
+pub fn data_whole(kind: ClauseKind, names: &[&str]) -> AccClause {
+    AccClause::Data(kind, names.iter().map(|n| DataRef::whole(*n)).collect())
+}
+
+/// `#pragma acc parallel { body }` statement.
+pub fn parallel_region(clauses: Vec<AccClause>, body: Vec<Stmt>) -> Stmt {
+    Stmt::AccBlock {
+        dir: parallel(clauses),
+        body,
+    }
+}
+
+/// `#pragma acc kernels { body }` statement.
+pub fn kernels_region(clauses: Vec<AccClause>, body: Vec<Stmt>) -> Stmt {
+    Stmt::AccBlock {
+        dir: kernels(clauses),
+        body,
+    }
+}
+
+/// `#pragma acc data { body }` statement.
+pub fn data_region(clauses: Vec<AccClause>, body: Vec<Stmt>) -> Stmt {
+    Stmt::AccBlock {
+        dir: data(clauses),
+        body,
+    }
+}
+
+/// `#pragma acc loop <clauses>` attached to `for (v = 0; v < n; v++)`.
+pub fn acc_loop(clauses: Vec<AccClause>, v: &str, n: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::AccLoop {
+        dir: loop_dir(clauses),
+        l: ForLoop::upto(v, n, body),
+    }
+}
+
+/// Combined `parallel loop`.
+pub fn parallel_loop(clauses: Vec<AccClause>, v: &str, n: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::AccLoop {
+        dir: with_clauses(DirectiveKind::ParallelLoop, clauses),
+        l: ForLoop::upto(v, n, body),
+    }
+}
+
+/// Combined `kernels loop`.
+pub fn kernels_loop(clauses: Vec<AccClause>, v: &str, n: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::AccLoop {
+        dir: with_clauses(DirectiveKind::KernelsLoop, clauses),
+        l: ForLoop::upto(v, n, body),
+    }
+}
+
+/// Standalone `update` directive.
+pub fn update(clauses: Vec<AccClause>) -> Stmt {
+    Stmt::AccStandalone {
+        dir: with_clauses(DirectiveKind::Update, clauses),
+    }
+}
+
+/// Standalone `wait` directive, optionally with a tag.
+pub fn wait(tag: Option<Expr>) -> Stmt {
+    let mut d = AccDirective::new(DirectiveKind::Wait);
+    d.wait_arg = tag;
+    Stmt::AccStandalone { dir: d }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+    use acc_spec::Language;
+
+    #[test]
+    fn fig2_functional_test_via_builders() {
+        // Paper Fig. 2(a): loop directive inside parallel num_gangs(10).
+        let body = vec![
+            decl_int("error", 0),
+            decl_array("A", ScalarType::Int, 100),
+            for_upto(
+                "i",
+                Expr::int(100),
+                vec![set1("A", Expr::var("i"), Expr::int(0))],
+            ),
+            parallel_region(
+                vec![
+                    AccClause::NumGangs(Expr::int(10)),
+                    copy_sec("A", Expr::int(100)),
+                ],
+                vec![acc_loop(
+                    vec![],
+                    "i",
+                    Expr::int(100),
+                    vec![add1("A", Expr::var("i"), Expr::int(1))],
+                )],
+            ),
+            for_upto(
+                "i",
+                Expr::int(100),
+                vec![if_then(
+                    Expr::ne(Expr::idx("A", Expr::var("i")), Expr::int(1)),
+                    vec![bump_error()],
+                )],
+            ),
+            return_error_check(),
+        ];
+        let p = Program::simple("fig2", Language::C, body);
+        let src = crate::cgen::emit_c(&p);
+        assert!(src.contains("#pragma acc parallel num_gangs(10) copy(A[0:100])"));
+        assert!(src.contains("return error == 0;"));
+    }
+
+    #[test]
+    fn wait_and_update_builders() {
+        match wait(Some(Expr::int(3))) {
+            Stmt::AccStandalone { dir } => {
+                assert_eq!(dir.kind, DirectiveKind::Wait);
+                assert_eq!(dir.wait_arg, Some(Expr::int(3)));
+            }
+            other => panic!("{other:?}"),
+        }
+        match update(vec![data_whole(ClauseKind::HostClause, &["a"])]) {
+            Stmt::AccStandalone { dir } => assert_eq!(dir.kind, DirectiveKind::Update),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn combined_loop_builders() {
+        match parallel_loop(vec![], "i", Expr::int(4), vec![]) {
+            Stmt::AccLoop { dir, .. } => assert_eq!(dir.kind, DirectiveKind::ParallelLoop),
+            other => panic!("{other:?}"),
+        }
+        match kernels_loop(vec![], "i", Expr::int(4), vec![]) {
+            Stmt::AccLoop { dir, .. } => assert_eq!(dir.kind, DirectiveKind::KernelsLoop),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! C code generation: renders a [`Program`] as a standalone C translation
+//! unit with `#pragma acc` directive lines, in the style of the paper's
+//! generated tests.
+//!
+//! The emitted subset is exactly what `acc-frontend`'s C parser accepts;
+//! emit→parse→emit is a fixpoint (property-tested in `acc-frontend`).
+
+use crate::acc::{AccClause, DataRef};
+use crate::expr::{Expr, UnOp};
+use crate::program::{Function, ParamKind, Program};
+use crate::stmt::{ForLoop, LValue, Stmt};
+use crate::types::{ScalarType, Type};
+use std::fmt::Write;
+
+/// Render a whole program as C source.
+pub fn emit_c(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "/* test program: {} */", p.name);
+    out.push_str("#include <openacc.h>\n#include <math.h>\n#include <stdlib.h>\n\n");
+    // Emit prototypes for helpers so call-before-def parses cleanly.
+    for f in &p.functions {
+        if f.name != "main" {
+            let _ = writeln!(out, "{};", signature(f));
+        }
+    }
+    if p.functions.iter().any(|f| f.name != "main") {
+        out.push('\n');
+    }
+    let mut first = true;
+    for f in &p.functions {
+        if !first {
+            out.push('\n');
+        }
+        first = false;
+        emit_function(&mut out, f);
+    }
+    out
+}
+
+fn signature(f: &Function) -> String {
+    let ret = f.ret.map(|t| t.c_name()).unwrap_or("void");
+    let params = if f.params.is_empty() {
+        "void".to_string()
+    } else {
+        f.params
+            .iter()
+            .map(|p| match p.kind {
+                ParamKind::Scalar(t) => format!("{} {}", t.c_name(), p.name),
+                ParamKind::ArrayPtr(t) => format!("{}* {}", t.c_name(), p.name),
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    format!("{ret} {}({params})", f.name)
+}
+
+fn emit_function(out: &mut String, f: &Function) {
+    let _ = writeln!(out, "{} {{", signature(f));
+    for s in &f.body {
+        emit_stmt(out, s, 1);
+    }
+    out.push_str("}\n");
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn emit_block(out: &mut String, body: &[Stmt], level: usize) {
+    indent(out, level);
+    out.push_str("{\n");
+    for s in body {
+        emit_stmt(out, s, level + 1);
+    }
+    indent(out, level);
+    out.push_str("}\n");
+}
+
+fn emit_stmt(out: &mut String, s: &Stmt, level: usize) {
+    match s {
+        Stmt::DeclScalar { name, ty, init } => {
+            indent(out, level);
+            let decl = match ty {
+                Type::Scalar(t) => format!("{} {}", t.c_name(), name),
+                Type::Ptr(t) => format!("{}* {}", t.c_name(), name),
+            };
+            match init {
+                Some(e) => {
+                    let _ = writeln!(out, "{decl} = {};", expr_to_c(e));
+                }
+                None => {
+                    let _ = writeln!(out, "{decl};");
+                }
+            }
+        }
+        Stmt::DeclArray { name, elem, dims } => {
+            indent(out, level);
+            let dims: String = dims.iter().map(|d| format!("[{d}]")).collect();
+            let _ = writeln!(out, "{} {name}{dims};", elem.c_name());
+        }
+        Stmt::Assign { target, op, value } => {
+            indent(out, level);
+            let t = lvalue_to_c(target);
+            match op {
+                Some(op) => {
+                    let _ = writeln!(out, "{t} {}= {};", op.c_symbol(), expr_to_c(value));
+                }
+                None => {
+                    let _ = writeln!(out, "{t} = {};", expr_to_c(value));
+                }
+            }
+        }
+        Stmt::For(l) => emit_for(out, l, level),
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            indent(out, level);
+            let _ = writeln!(out, "if ({})", expr_to_c(cond));
+            emit_block(out, then_body, level);
+            if !else_body.is_empty() {
+                indent(out, level);
+                out.push_str("else\n");
+                emit_block(out, else_body, level);
+            }
+        }
+        Stmt::Call { name, args } => {
+            indent(out, level);
+            let args: Vec<String> = args.iter().map(expr_to_c).collect();
+            let _ = writeln!(out, "{name}({});", args.join(", "));
+        }
+        Stmt::Return(e) => {
+            indent(out, level);
+            let _ = writeln!(out, "return {};", expr_to_c(e));
+        }
+        Stmt::AccBlock { dir, body } => {
+            indent(out, level);
+            let _ = writeln!(out, "#pragma acc {}", dir.render_suffix());
+            emit_block(out, body, level);
+        }
+        Stmt::AccLoop { dir, l } => {
+            indent(out, level);
+            let _ = writeln!(out, "#pragma acc {}", dir.render_suffix());
+            emit_for(out, l, level);
+        }
+        Stmt::AccStandalone { dir } => {
+            indent(out, level);
+            let _ = writeln!(out, "#pragma acc {}", dir.render_suffix());
+        }
+    }
+}
+
+fn emit_for(out: &mut String, l: &ForLoop, level: usize) {
+    indent(out, level);
+    let step = match &l.step {
+        Expr::Int(1) => format!("{}++", l.var),
+        e => format!("{} += {}", l.var, expr_to_c(e)),
+    };
+    let _ = writeln!(
+        out,
+        "for ({v} = {from}; {v} < {to}; {step})",
+        v = l.var,
+        from = expr_to_c(&l.from),
+        to = expr_to_c(&l.to),
+    );
+    emit_block(out, &l.body, level);
+}
+
+fn lvalue_to_c(lv: &LValue) -> String {
+    match lv {
+        LValue::Var(n) => n.clone(),
+        LValue::Index { base, indices } => {
+            let idx: String = indices
+                .iter()
+                .map(|e| format!("[{}]", expr_to_c(e)))
+                .collect();
+            format!("{base}{idx}")
+        }
+    }
+}
+
+/// Render an expression in C syntax with minimal parentheses.
+pub fn expr_to_c(e: &Expr) -> String {
+    expr_prec(e, 0)
+}
+
+fn expr_prec(e: &Expr, parent_prec: u8) -> String {
+    match e {
+        Expr::Int(v) => {
+            if *v < 0 {
+                format!("({v})")
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::Real(v, ty) => real_to_c(*v, *ty),
+        Expr::Var(n) => n.clone(),
+        Expr::Index { base, indices } => {
+            let idx: String = indices
+                .iter()
+                .map(|e| format!("[{}]", expr_to_c(e)))
+                .collect();
+            format!("{base}{idx}")
+        }
+        Expr::Unary(op, inner) => {
+            let sym = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            };
+            format!("{sym}{}", expr_prec(inner, 11))
+        }
+        Expr::Binary(op, l, r) => {
+            let prec = op.precedence();
+            // Left-associative: the right operand needs prec+1.
+            let s = format!(
+                "{} {} {}",
+                expr_prec(l, prec),
+                op.c_symbol(),
+                expr_prec(r, prec + 1)
+            );
+            if prec < parent_prec {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Expr::Call { name, args } => {
+            let args: Vec<String> = args.iter().map(expr_to_c).collect();
+            format!("{name}({})", args.join(", "))
+        }
+        Expr::SizeOf(t) => format!("sizeof({})", t.c_name()),
+    }
+}
+
+fn real_to_c(v: f64, ty: ScalarType) -> String {
+    // `{:?}` gives the shortest representation that round-trips the value.
+    let mut s = format!("{v:?}");
+    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+        s.push_str(".0");
+    }
+    if ty == ScalarType::Float {
+        s.push('f');
+    }
+    s
+}
+
+/// Render a single clause in C clause syntax.
+pub fn clause_to_c(c: &AccClause) -> String {
+    match c {
+        AccClause::If(e) => format!("if({})", expr_to_c(e)),
+        AccClause::Async(None) => "async".to_string(),
+        AccClause::Async(Some(e)) => format!("async({})", expr_to_c(e)),
+        AccClause::NumGangs(e) => format!("num_gangs({})", expr_to_c(e)),
+        AccClause::NumWorkers(e) => format!("num_workers({})", expr_to_c(e)),
+        AccClause::VectorLength(e) => format!("vector_length({})", expr_to_c(e)),
+        AccClause::Reduction(op, vars) => {
+            format!("reduction({}:{})", op.c_symbol(), vars.join(", "))
+        }
+        AccClause::Data(kind, refs) => {
+            let refs: Vec<String> = refs.iter().map(dataref_to_c).collect();
+            format!("{}({})", kind.name(), refs.join(", "))
+        }
+        AccClause::Deviceptr(vars) => format!("deviceptr({})", vars.join(", ")),
+        AccClause::Private(vars) => format!("private({})", vars.join(", ")),
+        AccClause::Firstprivate(vars) => format!("firstprivate({})", vars.join(", ")),
+        AccClause::UseDevice(vars) => format!("use_device({})", vars.join(", ")),
+        AccClause::Gang(None) => "gang".to_string(),
+        AccClause::Gang(Some(e)) => format!("gang({})", expr_to_c(e)),
+        AccClause::Worker(None) => "worker".to_string(),
+        AccClause::Worker(Some(e)) => format!("worker({})", expr_to_c(e)),
+        AccClause::Vector(None) => "vector".to_string(),
+        AccClause::Vector(Some(e)) => format!("vector({})", expr_to_c(e)),
+        AccClause::Seq => "seq".to_string(),
+        AccClause::Independent => "independent".to_string(),
+        AccClause::Collapse(e) => format!("collapse({})", expr_to_c(e)),
+        AccClause::DefaultNone => "default(none)".to_string(),
+        AccClause::Auto => "auto".to_string(),
+    }
+}
+
+/// Render a data reference in C section syntax.
+pub fn dataref_to_c(r: &DataRef) -> String {
+    match &r.section {
+        None => r.name.clone(),
+        Some((start, len)) => {
+            format!("{}[{}:{}]", r.name, expr_to_c(start), expr_to_c(len))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acc::AccDirective;
+    use crate::expr::BinOp;
+    use crate::program::Param;
+    use acc_spec::{ClauseKind, DirectiveKind, Language, ReductionOp};
+
+    #[test]
+    fn minimal_parens() {
+        // a + b * c needs no parens; (a + b) * c does.
+        let e1 = Expr::add(Expr::var("a"), Expr::mul(Expr::var("b"), Expr::var("c")));
+        assert_eq!(expr_to_c(&e1), "a + b * c");
+        let e2 = Expr::mul(Expr::add(Expr::var("a"), Expr::var("b")), Expr::var("c"));
+        assert_eq!(expr_to_c(&e2), "(a + b) * c");
+    }
+
+    #[test]
+    fn left_associativity_parens() {
+        // a - (b - c) must keep parens; (a - b) - c must not.
+        let rhs_nested = Expr::sub(Expr::var("a"), Expr::sub(Expr::var("b"), Expr::var("c")));
+        assert_eq!(expr_to_c(&rhs_nested), "a - (b - c)");
+        let lhs_nested = Expr::sub(Expr::sub(Expr::var("a"), Expr::var("b")), Expr::var("c"));
+        assert_eq!(expr_to_c(&lhs_nested), "a - b - c");
+    }
+
+    #[test]
+    fn float_literals_get_suffix() {
+        assert_eq!(real_to_c(0.5, ScalarType::Float), "0.5f");
+        assert_eq!(real_to_c(0.5, ScalarType::Double), "0.5");
+        assert_eq!(real_to_c(1e-9, ScalarType::Double), "1e-9");
+        assert_eq!(real_to_c(2.0, ScalarType::Double), "2.0");
+    }
+
+    #[test]
+    fn negative_int_parenthesized() {
+        assert_eq!(expr_to_c(&Expr::Int(-1)), "(-1)");
+    }
+
+    #[test]
+    fn emits_paper_fig2_functional_test_shape() {
+        let prog = Program::simple(
+            "loop_test",
+            Language::C,
+            vec![
+                Stmt::decl_int("i", Expr::int(0)),
+                Stmt::AccBlock {
+                    dir: AccDirective::new(DirectiveKind::Parallel)
+                        .with(AccClause::NumGangs(Expr::int(10))),
+                    body: vec![Stmt::AccLoop {
+                        dir: AccDirective::new(DirectiveKind::Loop),
+                        l: ForLoop::upto(
+                            "i",
+                            Expr::var("n"),
+                            vec![Stmt::assign(
+                                LValue::idx("A", Expr::var("i")),
+                                Expr::add(Expr::idx("A", Expr::var("i")), Expr::int(1)),
+                            )],
+                        ),
+                    }],
+                },
+                Stmt::Return(Expr::int(1)),
+            ],
+        );
+        let src = emit_c(&prog);
+        assert!(src.contains("#pragma acc parallel num_gangs(10)"));
+        assert!(src.contains("#pragma acc loop"));
+        assert!(src.contains("for (i = 0; i < n; i++)"));
+        assert!(src.contains("A[i] = A[i] + 1;"));
+        assert!(src.contains("int main(void) {"));
+    }
+
+    #[test]
+    fn clause_rendering() {
+        assert_eq!(
+            clause_to_c(&AccClause::Reduction(ReductionOp::Add, vec!["s".into()])),
+            "reduction(+:s)"
+        );
+        assert_eq!(
+            clause_to_c(&AccClause::Data(
+                ClauseKind::Copyin,
+                vec![DataRef::section("A", Expr::int(0), Expr::var("N"))]
+            )),
+            "copyin(A[0:N])"
+        );
+        assert_eq!(clause_to_c(&AccClause::Async(None)), "async");
+        assert_eq!(clause_to_c(&AccClause::DefaultNone), "default(none)");
+    }
+
+    #[test]
+    fn helper_prototypes_emitted() {
+        let mut p = Program::simple("t", Language::C, vec![Stmt::Return(Expr::int(1))]);
+        p.functions.insert(
+            0,
+            Function {
+                name: "vecadd".into(),
+                params: vec![
+                    Param {
+                        name: "a".into(),
+                        kind: ParamKind::ArrayPtr(ScalarType::Float),
+                    },
+                    Param {
+                        name: "n".into(),
+                        kind: ParamKind::Scalar(ScalarType::Int),
+                    },
+                ],
+                ret: None,
+                body: vec![],
+            },
+        );
+        let src = emit_c(&p);
+        assert!(src.contains("void vecadd(float* a, int n);"));
+    }
+
+    #[test]
+    fn sizeof_and_malloc_pattern() {
+        let e = Expr::call(
+            "acc_malloc",
+            vec![Expr::mul(Expr::var("n"), Expr::SizeOf(ScalarType::Float))],
+        );
+        assert_eq!(expr_to_c(&e), "acc_malloc(n * sizeof(float))");
+    }
+
+    #[test]
+    fn compound_assignment() {
+        let mut out = String::new();
+        emit_stmt(
+            &mut out,
+            &Stmt::assign_op(LValue::var("sum"), BinOp::Add, Expr::var("m")),
+            0,
+        );
+        assert_eq!(out, "sum += m;\n");
+    }
+
+    #[test]
+    fn if_else_rendering() {
+        let mut out = String::new();
+        emit_stmt(
+            &mut out,
+            &Stmt::If {
+                cond: Expr::ne(Expr::var("x"), Expr::int(0)),
+                then_body: vec![Stmt::assign(LValue::var("e"), Expr::int(1))],
+                else_body: vec![Stmt::assign(LValue::var("e"), Expr::int(2))],
+            },
+            0,
+        );
+        assert!(out.contains("if (x != 0)"));
+        assert!(out.contains("else"));
+    }
+}

@@ -1,0 +1,634 @@
+//! Fortran code generation: renders a [`Program`] as standalone Fortran
+//! source with `!$acc` directive sentinels.
+//!
+//! ## The dialect
+//!
+//! The generated Fortran is a *dialect with C semantics*: values are
+//! integers/reals, comparisons yield 1/0, and arrays are declared with
+//! explicit 0-based bounds (`a(0:n-1)`) so both language variants of a test
+//! index identically. This keeps the two front-ends semantically aligned
+//! while exercising genuinely different surface syntax (`do` loops with
+//! inclusive bounds, `!$acc end parallel` block terminators, `.and.`
+//! operator spellings, `iand`/`mod` intrinsic calls, `d`-exponent double
+//! literals, Fortran array sections `a(lo:hi)`). The paper's Fortran tests
+//! differ from the C ones in exactly these surface dimensions.
+//!
+//! Because Fortran requires declarations before executable statements, the
+//! generator hoists every declaration (including loop induction variables)
+//! to the top of the enclosing function and replaces initialized
+//! declarations with assignments in place.
+
+use crate::acc::{AccClause, AccDirective, DataRef};
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::program::{Function, ParamKind, Program};
+use crate::stmt::{ForLoop, LValue, Stmt};
+use crate::types::{ScalarType, Type};
+use acc_spec::ReductionOp;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Render a whole program as Fortran source.
+pub fn emit_fortran(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "! test program: {}", p.name);
+    let mut first = true;
+    for f in &p.functions {
+        if !first {
+            out.push('\n');
+        }
+        first = false;
+        emit_function(&mut out, f);
+    }
+    out
+}
+
+/// A hoisted declaration.
+#[derive(Debug, Clone, PartialEq)]
+enum Decl {
+    Scalar(Type),
+    Array(ScalarType, Vec<usize>),
+}
+
+fn collect_decls(body: &[Stmt], decls: &mut BTreeMap<String, Decl>) {
+    for s in body {
+        match s {
+            Stmt::DeclScalar { name, ty, .. } => {
+                decls.entry(name.clone()).or_insert(Decl::Scalar(*ty));
+            }
+            Stmt::DeclArray { name, elem, dims } => {
+                decls
+                    .entry(name.clone())
+                    .or_insert(Decl::Array(*elem, dims.clone()));
+            }
+            Stmt::For(l) => {
+                decls
+                    .entry(l.var.clone())
+                    .or_insert(Decl::Scalar(Type::INT));
+                collect_decls(&l.body, decls);
+            }
+            Stmt::AccLoop { l, .. } => {
+                decls
+                    .entry(l.var.clone())
+                    .or_insert(Decl::Scalar(Type::INT));
+                collect_decls(&l.body, decls);
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                collect_decls(then_body, decls);
+                collect_decls(else_body, decls);
+            }
+            Stmt::AccBlock { body, .. } => collect_decls(body, decls),
+            _ => {}
+        }
+    }
+}
+
+fn emit_function(out: &mut String, f: &Function) {
+    let header = match f.ret {
+        Some(t) => format!(
+            "{} function {}({})",
+            t.fortran_name(),
+            f.name,
+            param_list(f)
+        ),
+        None => format!("subroutine {}({})", f.name, param_list(f)),
+    };
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "    implicit none");
+    // Parameter declarations.
+    for p in &f.params {
+        match p.kind {
+            ParamKind::Scalar(t) => {
+                let _ = writeln!(out, "    {} :: {}", t.fortran_name(), p.name);
+            }
+            ParamKind::ArrayPtr(t) => {
+                let _ = writeln!(out, "    {} :: {}(0:*)", t.fortran_name(), p.name);
+            }
+        }
+    }
+    // Hoisted local declarations.
+    let mut decls = BTreeMap::new();
+    collect_decls(&f.body, &mut decls);
+    for p in &f.params {
+        decls.remove(&p.name);
+    }
+    for (name, d) in &decls {
+        match d {
+            Decl::Scalar(Type::Scalar(t)) => {
+                let _ = writeln!(out, "    {} :: {}", t.fortran_name(), name);
+            }
+            Decl::Scalar(Type::Ptr(_)) => {
+                // Device pointers surface as 8-byte integers in the dialect.
+                let _ = writeln!(out, "    integer(8) :: {name}");
+            }
+            Decl::Array(t, dims) => {
+                let bounds: Vec<String> = dims.iter().map(|d| format!("0:{}", d - 1)).collect();
+                let _ = writeln!(
+                    out,
+                    "    {} :: {}({})",
+                    t.fortran_name(),
+                    name,
+                    bounds.join(", ")
+                );
+            }
+        }
+    }
+    for s in &f.body {
+        emit_stmt(out, s, 1, f);
+    }
+    match f.ret {
+        Some(_) => {
+            let _ = writeln!(out, "end function {}", f.name);
+        }
+        None => {
+            let _ = writeln!(out, "end subroutine {}", f.name);
+        }
+    }
+}
+
+fn param_list(f: &Function) -> String {
+    f.params
+        .iter()
+        .map(|p| p.name.clone())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn emit_body(out: &mut String, body: &[Stmt], level: usize, f: &Function) {
+    for s in body {
+        emit_stmt(out, s, level, f);
+    }
+}
+
+fn emit_stmt(out: &mut String, s: &Stmt, level: usize, f: &Function) {
+    match s {
+        Stmt::DeclScalar { name, init, .. } => {
+            // Declaration hoisted; emit only the initialization.
+            if let Some(e) = init {
+                indent(out, level);
+                let _ = writeln!(out, "{name} = {}", expr_to_f(e));
+            }
+        }
+        Stmt::DeclArray { .. } => { /* hoisted, nothing to execute */ }
+        Stmt::Assign { target, op, value } => {
+            indent(out, level);
+            let t = lvalue_to_f(target);
+            match op {
+                // Fortran has no compound assignment; expand.
+                Some(op) => {
+                    let expanded =
+                        Expr::Binary(*op, Box::new(lvalue_expr(target)), Box::new(value.clone()));
+                    let _ = writeln!(out, "{t} = {}", expr_to_f(&expanded));
+                }
+                None => {
+                    let _ = writeln!(out, "{t} = {}", expr_to_f(value));
+                }
+            }
+        }
+        Stmt::For(l) => emit_do(out, l, level, f),
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            indent(out, level);
+            let _ = writeln!(out, "if ({}) then", expr_to_f(cond));
+            emit_body(out, then_body, level + 1, f);
+            if !else_body.is_empty() {
+                indent(out, level);
+                out.push_str("else\n");
+                emit_body(out, else_body, level + 1, f);
+            }
+            indent(out, level);
+            out.push_str("end if\n");
+        }
+        Stmt::Call { name, args } => {
+            indent(out, level);
+            let args: Vec<String> = args.iter().map(expr_to_f).collect();
+            let _ = writeln!(out, "call {name}({})", args.join(", "));
+        }
+        Stmt::Return(e) => {
+            indent(out, level);
+            if f.ret.is_some() {
+                let _ = writeln!(out, "{} = {}", f.name, expr_to_f(e));
+                indent(out, level);
+            }
+            out.push_str("return\n");
+        }
+        Stmt::AccBlock { dir, body } => {
+            indent(out, level);
+            let _ = writeln!(out, "!$acc {}", directive_to_f(dir));
+            emit_body(out, body, level + 1, f);
+            indent(out, level);
+            let _ = writeln!(out, "!$acc end {}", dir.kind.name());
+        }
+        Stmt::AccLoop { dir, l } => {
+            indent(out, level);
+            let _ = writeln!(out, "!$acc {}", directive_to_f(dir));
+            emit_do(out, l, level, f);
+        }
+        Stmt::AccStandalone { dir } => {
+            indent(out, level);
+            let _ = writeln!(out, "!$acc {}", directive_to_f(dir));
+        }
+    }
+}
+
+fn emit_do(out: &mut String, l: &ForLoop, level: usize, f: &Function) {
+    indent(out, level);
+    // `for (i = a; i < b; ...)` becomes the inclusive `do i = a, b-1`.
+    let hi = sub_one(&l.to);
+    match &l.step {
+        Expr::Int(1) => {
+            let _ = writeln!(
+                out,
+                "do {} = {}, {}",
+                l.var,
+                expr_to_f(&l.from),
+                expr_to_f(&hi)
+            );
+        }
+        step => {
+            let _ = writeln!(
+                out,
+                "do {} = {}, {}, {}",
+                l.var,
+                expr_to_f(&l.from),
+                expr_to_f(&hi),
+                expr_to_f(step)
+            );
+        }
+    }
+    emit_body(out, &l.body, level + 1, f);
+    indent(out, level);
+    out.push_str("end do\n");
+}
+
+/// Symbolic `e - 1` with peephole simplification so that parse→emit is a
+/// fixpoint (`(x + 1) - 1` collapses back to `x`).
+pub fn sub_one(e: &Expr) -> Expr {
+    if let Some(v) = e.const_int() {
+        return Expr::Int(v - 1);
+    }
+    match e {
+        Expr::Binary(BinOp::Add, l, r) => {
+            if let Expr::Int(1) = **r {
+                return (**l).clone();
+            }
+            Expr::sub(e.clone(), Expr::int(1))
+        }
+        _ => Expr::sub(e.clone(), Expr::int(1)),
+    }
+}
+
+/// Symbolic `e + 1` with the mirror simplification (`(x - 1) + 1 == x`).
+pub fn add_one(e: &Expr) -> Expr {
+    if let Some(v) = e.const_int() {
+        return Expr::Int(v + 1);
+    }
+    match e {
+        Expr::Binary(BinOp::Sub, l, r) => {
+            if let Expr::Int(1) = **r {
+                return (**l).clone();
+            }
+            Expr::add(e.clone(), Expr::int(1))
+        }
+        _ => Expr::add(e.clone(), Expr::int(1)),
+    }
+}
+
+fn lvalue_expr(lv: &LValue) -> Expr {
+    match lv {
+        LValue::Var(n) => Expr::Var(n.clone()),
+        LValue::Index { base, indices } => Expr::Index {
+            base: base.clone(),
+            indices: indices.clone(),
+        },
+    }
+}
+
+fn lvalue_to_f(lv: &LValue) -> String {
+    match lv {
+        LValue::Var(n) => n.clone(),
+        LValue::Index { base, indices } => {
+            let idx: Vec<String> = indices.iter().map(expr_to_f).collect();
+            format!("{base}({})", idx.join(", "))
+        }
+    }
+}
+
+/// Render an expression in the Fortran dialect.
+pub fn expr_to_f(e: &Expr) -> String {
+    expr_prec_f(e, 0)
+}
+
+fn f_symbol(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Eq => "==",
+        BinOp::Ne => "/=",
+        BinOp::And => ".and.",
+        BinOp::Or => ".or.",
+        // Rem and the bit ops render as intrinsic calls, handled separately.
+        BinOp::Rem | BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor => unreachable!(),
+    }
+}
+
+fn intrinsic_name(op: BinOp) -> Option<&'static str> {
+    match op {
+        BinOp::Rem => Some("mod"),
+        BinOp::BitAnd => Some("iand"),
+        BinOp::BitOr => Some("ior"),
+        BinOp::BitXor => Some("ieor"),
+        _ => None,
+    }
+}
+
+fn expr_prec_f(e: &Expr, parent_prec: u8) -> String {
+    match e {
+        Expr::Int(v) => {
+            if *v < 0 {
+                format!("({v})")
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::Real(v, ty) => real_to_f(*v, *ty),
+        Expr::Var(n) => n.clone(),
+        Expr::Index { base, indices } => {
+            let idx: Vec<String> = indices.iter().map(expr_to_f).collect();
+            format!("{base}({})", idx.join(", "))
+        }
+        Expr::Unary(op, inner) => match op {
+            UnOp::Neg => format!("-{}", expr_prec_f(inner, 11)),
+            UnOp::Not => format!(".not. {}", expr_prec_f(inner, 11)),
+        },
+        Expr::Binary(op, l, r) => {
+            if let Some(name) = intrinsic_name(*op) {
+                return format!("{name}({}, {})", expr_to_f(l), expr_to_f(r));
+            }
+            let prec = op.precedence();
+            let s = format!(
+                "{} {} {}",
+                expr_prec_f(l, prec),
+                f_symbol(*op),
+                expr_prec_f(r, prec + 1)
+            );
+            if prec < parent_prec {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Expr::Call { name, args } => {
+            let args: Vec<String> = args.iter().map(expr_to_f).collect();
+            format!("{name}({})", args.join(", "))
+        }
+        // sizeof folds to its byte count in the Fortran rendering.
+        Expr::SizeOf(t) => (t.size_bytes()).to_string(),
+    }
+}
+
+fn real_to_f(v: f64, ty: ScalarType) -> String {
+    let base = format!("{v:?}");
+    match ty {
+        ScalarType::Double => {
+            if let Some(pos) = base.find(['e', 'E']) {
+                let (m, e) = base.split_at(pos);
+                format!("{m}d{}", &e[1..])
+            } else {
+                format!("{base}d0")
+            }
+        }
+        _ => base,
+    }
+}
+
+/// Render a directive (after the `!$acc` sentinel) in Fortran clause syntax.
+pub fn directive_to_f(dir: &AccDirective) -> String {
+    // Directive names spell identically in Fortran (including `host_data`).
+    let mut s = dir.kind.name().to_string();
+    if let Some(arg) = &dir.wait_arg {
+        s.push_str(&format!("({})", expr_to_f(arg)));
+    }
+    if !dir.cache_args.is_empty() {
+        let refs: Vec<String> = dir.cache_args.iter().map(dataref_to_f).collect();
+        s.push_str(&format!("({})", refs.join(", ")));
+    }
+    for c in &dir.clauses {
+        s.push(' ');
+        s.push_str(&clause_to_f(c));
+    }
+    s
+}
+
+fn clause_to_f(c: &AccClause) -> String {
+    match c {
+        AccClause::If(e) => format!("if({})", expr_to_f(e)),
+        AccClause::Async(None) => "async".to_string(),
+        AccClause::Async(Some(e)) => format!("async({})", expr_to_f(e)),
+        AccClause::NumGangs(e) => format!("num_gangs({})", expr_to_f(e)),
+        AccClause::NumWorkers(e) => format!("num_workers({})", expr_to_f(e)),
+        AccClause::VectorLength(e) => format!("vector_length({})", expr_to_f(e)),
+        AccClause::Reduction(op, vars) => {
+            format!("reduction({}:{})", fortran_red_symbol(*op), vars.join(", "))
+        }
+        AccClause::Data(kind, refs) => {
+            let refs: Vec<String> = refs.iter().map(dataref_to_f).collect();
+            format!("{}({})", kind.name(), refs.join(", "))
+        }
+        AccClause::Deviceptr(vars) => format!("deviceptr({})", vars.join(", ")),
+        AccClause::Private(vars) => format!("private({})", vars.join(", ")),
+        AccClause::Firstprivate(vars) => format!("firstprivate({})", vars.join(", ")),
+        AccClause::UseDevice(vars) => format!("use_device({})", vars.join(", ")),
+        AccClause::Gang(None) => "gang".to_string(),
+        AccClause::Gang(Some(e)) => format!("gang({})", expr_to_f(e)),
+        AccClause::Worker(None) => "worker".to_string(),
+        AccClause::Worker(Some(e)) => format!("worker({})", expr_to_f(e)),
+        AccClause::Vector(None) => "vector".to_string(),
+        AccClause::Vector(Some(e)) => format!("vector({})", expr_to_f(e)),
+        AccClause::Seq => "seq".to_string(),
+        AccClause::Independent => "independent".to_string(),
+        AccClause::Collapse(e) => format!("collapse({})", expr_to_f(e)),
+        AccClause::DefaultNone => "default(none)".to_string(),
+        AccClause::Auto => "auto".to_string(),
+    }
+}
+
+fn fortran_red_symbol(op: ReductionOp) -> &'static str {
+    op.fortran_symbol()
+}
+
+fn dataref_to_f(r: &DataRef) -> String {
+    match &r.section {
+        None => r.name.clone(),
+        Some((start, len)) => {
+            // Fortran sections are inclusive `lo:hi`; hi = start + len - 1.
+            let hi = if matches!(start, Expr::Int(0)) {
+                sub_one(len)
+            } else {
+                sub_one(&Expr::add(start.clone(), len.clone()))
+            };
+            format!("{}({}:{})", r.name, expr_to_f(start), expr_to_f(&hi))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+    use acc_spec::{ClauseKind, DirectiveKind, Language};
+
+    #[test]
+    fn do_loop_inclusive_bounds() {
+        let p = Program::simple(
+            "t",
+            Language::Fortran,
+            vec![Stmt::For(ForLoop::upto(
+                "i",
+                Expr::var("n"),
+                vec![Stmt::assign(LValue::idx("a", Expr::var("i")), Expr::int(0))],
+            ))],
+        );
+        let src = emit_fortran(&p);
+        assert!(src.contains("do i = 0, n - 1"), "{src}");
+        assert!(src.contains("end do"));
+        assert!(src.contains("integer :: i"), "induction var hoisted: {src}");
+    }
+
+    #[test]
+    fn constant_bound_collapses() {
+        let hi = sub_one(&Expr::int(10));
+        assert_eq!(hi, Expr::int(9));
+        // (x + 1) - 1 == x
+        assert_eq!(
+            sub_one(&Expr::add(Expr::var("x"), Expr::int(1))),
+            Expr::var("x")
+        );
+        // (x - 1) + 1 == x
+        assert_eq!(
+            add_one(&Expr::sub(Expr::var("x"), Expr::int(1))),
+            Expr::var("x")
+        );
+    }
+
+    #[test]
+    fn block_directive_gets_end() {
+        let p = Program::simple(
+            "t",
+            Language::Fortran,
+            vec![Stmt::AccBlock {
+                dir: AccDirective::new(DirectiveKind::Parallel)
+                    .with(AccClause::NumGangs(Expr::int(4))),
+                body: vec![],
+            }],
+        );
+        let src = emit_fortran(&p);
+        assert!(src.contains("!$acc parallel num_gangs(4)"));
+        assert!(src.contains("!$acc end parallel"));
+    }
+
+    #[test]
+    fn main_return_becomes_result_assignment() {
+        let p = Program::simple("t", Language::Fortran, vec![Stmt::Return(Expr::int(1))]);
+        let src = emit_fortran(&p);
+        assert!(src.contains("integer function main()"), "{src}");
+        assert!(src.contains("main = 1"));
+        assert!(src.contains("return"));
+        assert!(src.contains("end function main"));
+    }
+
+    #[test]
+    fn compound_assign_expands() {
+        let p = Program::simple(
+            "t",
+            Language::Fortran,
+            vec![
+                Stmt::decl_int("s", Expr::int(0)),
+                Stmt::assign_op(LValue::var("s"), BinOp::Add, Expr::int(2)),
+            ],
+        );
+        let src = emit_fortran(&p);
+        assert!(src.contains("s = s + 2"), "{src}");
+    }
+
+    #[test]
+    fn logical_operators_spelled_fortran() {
+        let e = Expr::bin(
+            BinOp::And,
+            Expr::eq(Expr::var("a"), Expr::int(1)),
+            Expr::var("b"),
+        );
+        assert_eq!(expr_to_f(&e), "a == 1 .and. b");
+    }
+
+    #[test]
+    fn bit_ops_become_intrinsics() {
+        let e = Expr::bin(BinOp::BitXor, Expr::var("a"), Expr::var("b"));
+        assert_eq!(expr_to_f(&e), "ieor(a, b)");
+        let m = Expr::bin(BinOp::Rem, Expr::var("a"), Expr::int(4));
+        assert_eq!(expr_to_f(&m), "mod(a, 4)");
+    }
+
+    #[test]
+    fn double_literals_get_d_exponent() {
+        assert_eq!(real_to_f(0.5, ScalarType::Double), "0.5d0");
+        assert_eq!(real_to_f(1e-9, ScalarType::Double), "1d-9");
+        assert_eq!(real_to_f(0.5, ScalarType::Float), "0.5");
+    }
+
+    #[test]
+    fn array_section_inclusive() {
+        let r = DataRef::section("a", Expr::int(0), Expr::var("n"));
+        assert_eq!(dataref_to_f(&r), "a(0:n - 1)");
+        let r2 = DataRef::section("a", Expr::int(2), Expr::int(5));
+        assert_eq!(dataref_to_f(&r2), "a(2:6)");
+    }
+
+    #[test]
+    fn arrays_declared_zero_based() {
+        let p = Program::simple(
+            "t",
+            Language::Fortran,
+            vec![Stmt::DeclArray {
+                name: "m".into(),
+                elem: ScalarType::Float,
+                dims: vec![10, 20],
+            }],
+        );
+        let src = emit_fortran(&p);
+        assert!(src.contains("real :: m(0:9, 0:19)"), "{src}");
+    }
+
+    #[test]
+    fn reduction_clause_fortran_spelling() {
+        let c = AccClause::Reduction(ReductionOp::LogicalAnd, vec!["ok".into()]);
+        assert_eq!(clause_to_f(&c), "reduction(.and.:ok)");
+    }
+
+    #[test]
+    fn update_standalone() {
+        let d = AccDirective::new(DirectiveKind::Update).with(AccClause::Data(
+            ClauseKind::HostClause,
+            vec![DataRef::whole("a")],
+        ));
+        assert_eq!(directive_to_f(&d), "update host(a)");
+    }
+}

@@ -1,0 +1,136 @@
+//! Programs and functions.
+
+use crate::stmt::Stmt;
+use crate::types::ScalarType;
+use acc_spec::Language;
+
+/// How a parameter is passed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamKind {
+    /// By-value scalar.
+    Scalar(ScalarType),
+    /// Pointer to an array of the element type (C: `T*`; Fortran: assumed-
+    /// size array). Used by the `host_data`/`use_device` helper-function
+    /// tests.
+    ArrayPtr(ScalarType),
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Name.
+    pub name: String,
+    /// Passing kind.
+    pub kind: ParamKind,
+}
+
+/// A function definition. `main` is the test entry point and must return
+/// `int` (1 = pass, 0 = fail, matching the paper's `return (error == 0)`
+/// convention).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Return type; `None` renders `void` / a subroutine.
+    pub ret: Option<ScalarType>,
+    /// Body.
+    pub body: Vec<Stmt>,
+}
+
+impl Function {
+    /// A `int main()`-shaped entry point.
+    pub fn main(body: Vec<Stmt>) -> Self {
+        Function {
+            name: "main".to_string(),
+            params: Vec::new(),
+            ret: Some(ScalarType::Int),
+            body,
+        }
+    }
+}
+
+/// A complete standalone test program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Program name (becomes the Fortran `program` name / a C comment).
+    pub name: String,
+    /// Surface language to render/parse as.
+    pub language: Language,
+    /// Helper functions first, then `main` by convention; the entry point is
+    /// located by name.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Single-function program wrapping `body` in `main`.
+    pub fn simple(name: impl Into<String>, language: Language, body: Vec<Stmt>) -> Self {
+        Program {
+            name: name.into(),
+            language,
+            functions: vec![Function::main(body)],
+        }
+    }
+
+    /// The entry function.
+    pub fn entry(&self) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == "main")
+    }
+
+    /// Look up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Every directive anywhere in the program, in pre-order.
+    pub fn directives(&self) -> Vec<&crate::acc::AccDirective> {
+        self.functions
+            .iter()
+            .flat_map(|f| f.body.iter())
+            .flat_map(|s| s.directives())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acc::AccDirective;
+    use crate::expr::Expr;
+    use acc_spec::DirectiveKind;
+
+    #[test]
+    fn simple_program_has_main() {
+        let p = Program::simple("t", Language::C, vec![Stmt::Return(Expr::int(1))]);
+        assert!(p.entry().is_some());
+        assert_eq!(p.entry().unwrap().ret, Some(ScalarType::Int));
+    }
+
+    #[test]
+    fn function_lookup() {
+        let mut p = Program::simple("t", Language::C, vec![]);
+        p.functions.push(Function {
+            name: "helper".into(),
+            params: vec![Param {
+                name: "x".into(),
+                kind: ParamKind::ArrayPtr(ScalarType::Float),
+            }],
+            ret: None,
+            body: vec![],
+        });
+        assert!(p.function("helper").is_some());
+        assert!(p.function("nonexistent").is_none());
+    }
+
+    #[test]
+    fn program_directives_span_functions() {
+        let region = Stmt::AccBlock {
+            dir: AccDirective::new(DirectiveKind::Kernels),
+            body: vec![],
+        };
+        let p = Program::simple("t", Language::Fortran, vec![region]);
+        assert_eq!(p.directives().len(), 1);
+        assert_eq!(p.directives()[0].kind, DirectiveKind::Kernels);
+    }
+}

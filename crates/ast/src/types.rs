@@ -1,0 +1,145 @@
+//! Scalar and composite types of the mini-language.
+
+use std::fmt;
+
+/// Element/scalar types. The reduction tests sweep all three numeric types
+/// (paper §IV-C-4); `Int` doubles as the logical type (C semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarType {
+    /// 64-bit signed integer (`int` in generated C — widened for safety,
+    /// `integer` in Fortran).
+    Int,
+    /// 32-bit IEEE float (`float` / `real`).
+    Float,
+    /// 64-bit IEEE float (`double` / `double precision`).
+    Double,
+}
+
+impl ScalarType {
+    /// All scalar types.
+    pub const ALL: [ScalarType; 3] = [ScalarType::Int, ScalarType::Float, ScalarType::Double];
+
+    /// C spelling.
+    pub fn c_name(self) -> &'static str {
+        match self {
+            ScalarType::Int => "int",
+            ScalarType::Float => "float",
+            ScalarType::Double => "double",
+        }
+    }
+
+    /// Fortran spelling.
+    pub fn fortran_name(self) -> &'static str {
+        match self {
+            ScalarType::Int => "integer",
+            ScalarType::Float => "real",
+            ScalarType::Double => "double precision",
+        }
+    }
+
+    /// True for the two floating-point types.
+    pub fn is_float(self) -> bool {
+        !matches!(self, ScalarType::Int)
+    }
+
+    /// Size in bytes on the simulated device (used by `acc_malloc` sizing in
+    /// generated tests).
+    pub fn size_bytes(self) -> usize {
+        match self {
+            ScalarType::Int => 8,
+            ScalarType::Float => 4,
+            ScalarType::Double => 8,
+        }
+    }
+
+    /// Short identifier for test names (`int`, `float`, `double`).
+    pub fn ident(self) -> &'static str {
+        self.c_name()
+    }
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.c_name())
+    }
+}
+
+/// A declarable type: a scalar or a pointer to device data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// A scalar.
+    Scalar(ScalarType),
+    /// A pointer whose pointee element type is given. In generated C this is
+    /// `T*`; it may hold a *device* address (from `acc_malloc` or
+    /// `use_device`) — the simulated runtime tags pointer provenance.
+    Ptr(ScalarType),
+}
+
+impl Type {
+    /// Convenience: the `int` type.
+    pub const INT: Type = Type::Scalar(ScalarType::Int);
+    /// Convenience: the `float` type.
+    pub const FLOAT: Type = Type::Scalar(ScalarType::Float);
+    /// Convenience: the `double` type.
+    pub const DOUBLE: Type = Type::Scalar(ScalarType::Double);
+
+    /// The underlying scalar type (pointee type for pointers).
+    pub fn scalar(self) -> ScalarType {
+        match self {
+            Type::Scalar(s) | Type::Ptr(s) => s,
+        }
+    }
+
+    /// True for pointer types.
+    pub fn is_ptr(self) -> bool {
+        matches!(self, Type::Ptr(_))
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Scalar(s) => write!(f, "{s}"),
+            Type::Ptr(s) => write!(f, "{s}*"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spellings() {
+        assert_eq!(ScalarType::Int.c_name(), "int");
+        assert_eq!(ScalarType::Double.fortran_name(), "double precision");
+        assert_eq!(ScalarType::Float.fortran_name(), "real");
+    }
+
+    #[test]
+    fn float_classification() {
+        assert!(!ScalarType::Int.is_float());
+        assert!(ScalarType::Float.is_float());
+        assert!(ScalarType::Double.is_float());
+    }
+
+    #[test]
+    fn type_display() {
+        assert_eq!(Type::Ptr(ScalarType::Float).to_string(), "float*");
+        assert_eq!(Type::INT.to_string(), "int");
+    }
+
+    #[test]
+    fn ptr_classification_and_scalar() {
+        assert!(Type::Ptr(ScalarType::Int).is_ptr());
+        assert!(!Type::DOUBLE.is_ptr());
+        assert_eq!(Type::Ptr(ScalarType::Double).scalar(), ScalarType::Double);
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(ScalarType::Float.size_bytes(), 4);
+        assert_eq!(ScalarType::Double.size_bytes(), 8);
+        assert_eq!(ScalarType::Int.size_bytes(), 8);
+    }
+}

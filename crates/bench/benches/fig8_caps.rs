@@ -1,0 +1,30 @@
+//! Regenerates Fig. 8(a): CAPS pass rates across releases 3.0.7 … 3.3.4.
+//!
+//! The percentages are *measured* by running the full suite against each
+//! release; the shape — a steep rise out of the 3.0.x betas, the 3.0.8
+//! Fortran front-end collapse, the 3.1.0 declare dip, ≈100% by 3.3.x — must
+//! match the paper (see EXPERIMENTS.md).
+
+use acc_bench::{fig8_series, render_fig8};
+use acc_compiler::VendorId;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let rows = fig8_series(VendorId::Caps);
+    let elapsed = t0.elapsed();
+    println!("{}", render_fig8(VendorId::Caps, &rows));
+
+    // Shape assertions (who wins, where the inflection points are).
+    let c: Vec<f64> = rows.iter().map(|r| r.1).collect();
+    let f: Vec<f64> = rows.iter().map(|r| r.2).collect();
+    assert!(c[0] < 70.0, "3.0.7 is a beta: low C pass rate");
+    assert!(f[1] < f[0], "3.0.8 Fortran front-end regression");
+    assert!(c[3] > 95.0, "3.2.3 is near-clean");
+    assert!(c[7] == 100.0 && f[7] == 100.0, "3.3.4 is clean");
+    assert!(
+        c.windows(2).filter(|w| w[1] < w[0]).count() == 0,
+        "C quality is monotone"
+    );
+    println!("shape assertions hold; campaign wall time {elapsed:.2?}");
+}

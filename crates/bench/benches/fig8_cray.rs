@@ -1,0 +1,28 @@
+//! Regenerates Fig. 8(c): Cray pass rates across releases 8.1.2 … 8.2.0.
+//!
+//! Paper shape: "the bar plots mostly show no variation" — flat lines, with
+//! one small Fortran improvement at 8.1.7 (Table I: 6 → 5 bugs).
+
+use acc_bench::{fig8_series, render_fig8};
+use acc_compiler::VendorId;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let rows = fig8_series(VendorId::Cray);
+    let elapsed = t0.elapsed();
+    println!("{}", render_fig8(VendorId::Cray, &rows));
+
+    let c: Vec<f64> = rows.iter().map(|r| r.1).collect();
+    let f: Vec<f64> = rows.iter().map(|r| r.2).collect();
+    assert!(
+        c.iter().all(|r| (r - c[0]).abs() < 1e-9),
+        "C series is flat"
+    );
+    assert!(f[5] > f[4], "one Fortran fix lands at 8.1.7");
+    assert!(
+        f[0] > c[0],
+        "Fortran outpaces C (the C-only deviceptr/malloc bug cluster)"
+    );
+    println!("shape assertions hold; campaign wall time {elapsed:.2?}");
+}

@@ -1,0 +1,28 @@
+//! Regenerates Fig. 8(b): PGI pass rates across releases 12.6 … 13.8.
+//!
+//! Paper shape: gradual improvement through 12.x, a dip at 13.2 (the
+//! multi-target reorganization), recovery from 13.4, and a persistent
+//! plateau below 100% caused by the asynchronous cluster (§V-B).
+
+use acc_bench::{fig8_series, render_fig8};
+use acc_compiler::VendorId;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let rows = fig8_series(VendorId::Pgi);
+    let elapsed = t0.elapsed();
+    println!("{}", render_fig8(VendorId::Pgi, &rows));
+
+    let c: Vec<f64> = rows.iter().map(|r| r.1).collect();
+    let f: Vec<f64> = rows.iter().map(|r| r.2).collect();
+    assert!(c[3] > c[0], "12.x line improves");
+    assert!(c[4] < c[3], "13.2 dips below 12.10 (reorganization)");
+    assert!(c[5] > c[4], "13.4 recovers");
+    assert!(
+        c[7] < 100.0 && f[7] < 100.0,
+        "the async cluster persists to 13.8"
+    );
+    assert!(f.iter().all(|r| *r < 90.0), "Fortran lags C throughout");
+    println!("shape assertions hold; campaign wall time {elapsed:.2?}");
+}

@@ -1,0 +1,77 @@
+//! Criterion: device-engine throughput, and the DESIGN.md §4 ablation —
+//! deterministic sequential interpretation (what conformance requires)
+//! versus the genuinely parallel crossbeam backend (what a production
+//! runtime would use for race-free partitioned kernels).
+
+use acc_device::parallel::{par_map_f64, par_sum_f64, saxpy, seq_map_f64, Partition};
+use acc_device::ArrayData;
+use acc_spec::Language;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("device_saxpy");
+    for &n in &[1usize << 12, 1 << 16, 1 << 20] {
+        let x = ArrayData::F64((0..n).map(|i| i as f64).collect());
+        g.bench_with_input(BenchmarkId::new("seq", n), &n, |b, _| {
+            let mut y = vec![1.0f64; n];
+            b.iter(|| {
+                seq_map_f64(&mut y, |i, v| *v += 2.0 * i as f64);
+                black_box(y[n / 2])
+            })
+        });
+        for &threads in &[2usize, 4, 8] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("par_block_t{threads}"), n),
+                &n,
+                |b, _| {
+                    let mut y = vec![1.0f64; n];
+                    b.iter(|| {
+                        par_map_f64(&mut y, threads, Partition::Block, |i, v| {
+                            *v += 2.0 * i as f64
+                        });
+                        black_box(y[n / 2])
+                    })
+                },
+            );
+        }
+        g.bench_with_input(BenchmarkId::new("saxpy_arraydata_t4", n), &n, |b, _| {
+            let mut y = ArrayData::F64(vec![1.0; n]);
+            b.iter(|| {
+                saxpy(2.0, &x, &mut y, 4);
+                black_box(y.len())
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("device_reduction");
+    for &n in &[1usize << 14, 1 << 18] {
+        let data: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        g.bench_with_input(BenchmarkId::new("seq_sum", n), &n, |b, _| {
+            b.iter(|| black_box(data.iter().sum::<f64>()))
+        });
+        for &threads in &[4usize, 8] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("par_sum_t{threads}"), n),
+                &n,
+                |b, _| b.iter(|| black_box(par_sum_f64(&data, threads))),
+            );
+        }
+    }
+    g.finish();
+
+    // The conformance machine interpreting a kernel (AST-level), for scale.
+    let mut g = c.benchmark_group("machine_kernel");
+    g.sample_size(20);
+    let src = "int main(void) {\n    int error = 0;\n    int A[512];\n    for (i = 0; i < 512; i++)\n    {\n        A[i] = 0;\n    }\n    #pragma acc parallel num_gangs(8) copy(A[0:512])\n    {\n        #pragma acc loop\n        for (i = 0; i < 512; i++)\n        {\n            A[i] = A[i] + 1;\n        }\n    }\n    for (i = 0; i < 512; i++)\n    {\n        if (A[i] != 1)\n        {\n            error++;\n        }\n    }\n    return error == 0;\n}\n";
+    let reference = acc_compiler::VendorCompiler::reference();
+    let exe = reference.compile(src, Language::C).unwrap();
+    g.bench_function("interpret_512_elem_kernel", |b| {
+        b.iter(|| black_box(exe.run().outcome.passed()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion: template-infrastructure throughput — template parsing, test
+//! expansion to all four generated programs, and raw front-end speed.
+
+use acc_spec::Language;
+use acc_validation::template::{parse_templates, render_template};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_templates(c: &mut Criterion) {
+    let template = acc_testsuite::templates::FIG2_LOOP;
+    let case = parse_templates(template).unwrap().remove(0);
+
+    let mut g = c.benchmark_group("template");
+    g.bench_function("parse_template", |b| {
+        b.iter(|| black_box(parse_templates(template).unwrap().len()))
+    });
+    g.bench_function("expand_four_programs", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for lang in [Language::C, Language::Fortran] {
+                n += case.source_for(lang).len();
+                n += case.cross_source_for(lang).unwrap().len();
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function("render_template", |b| {
+        b.iter(|| black_box(render_template(&case).len()))
+    });
+
+    let c_src = case.source_for(Language::C);
+    let f_src = case.source_for(Language::Fortran);
+    g.bench_function("frontend_parse_c", |b| {
+        b.iter(|| {
+            black_box(
+                acc_frontend::parse(&c_src, Language::C)
+                    .unwrap()
+                    .functions
+                    .len(),
+            )
+        })
+    });
+    g.bench_function("frontend_parse_fortran", |b| {
+        b.iter(|| {
+            black_box(
+                acc_frontend::parse(&f_src, Language::Fortran)
+                    .unwrap()
+                    .functions
+                    .len(),
+            )
+        })
+    });
+    g.bench_function("full_corpus_construction", |b| {
+        b.iter(|| black_box(acc_testsuite::full_suite().len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_templates);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Regenerates Table I: bugs identified in different compilers, per released
+//! version and language.
+//!
+//! Two views are printed:
+//! 1. the catalog counts, which must equal the paper's Table I verbatim;
+//! 2. the *discovered* footprint — how many feature tests each release
+//!    fails — which is what the suite can actually observe.
+
+use acc_compiler::{BugCatalog, VendorId};
+use acc_spec::Language;
+use acc_validation::Campaign;
+
+/// Table I of the paper, verbatim.
+const TABLE_I: &[(VendorId, Language, [usize; 8])] = &[
+    (VendorId::Caps, Language::C, [36, 24, 20, 1, 1, 1, 0, 0]),
+    (
+        VendorId::Caps,
+        Language::Fortran,
+        [32, 70, 15, 1, 1, 0, 0, 0],
+    ),
+    (VendorId::Pgi, Language::C, [8, 8, 7, 6, 6, 5, 5, 5]),
+    (
+        VendorId::Pgi,
+        Language::Fortran,
+        [14, 14, 14, 14, 14, 13, 13, 13],
+    ),
+    (
+        VendorId::Cray,
+        Language::C,
+        [16, 16, 16, 16, 16, 16, 16, 16],
+    ),
+    (VendorId::Cray, Language::Fortran, [6, 6, 6, 6, 6, 5, 5, 5]),
+];
+
+fn main() {
+    let catalog = BugCatalog::paper();
+    println!("TABLE I — BUGS IDENTIFIED IN DIFFERENT COMPILERS (F: FORTRAN)\n");
+    for vendor in VendorId::COMMERCIAL {
+        println!("Compiler: {}", vendor.name());
+        print!("{:>10}", "Version");
+        for v in vendor.versions() {
+            print!("{:>8}", v.to_string());
+        }
+        println!();
+        for lang in [Language::C, Language::Fortran] {
+            print!("{:>10}", lang.letter());
+            for v in vendor.versions() {
+                print!("{:>8}", catalog.count(vendor, v, lang));
+            }
+            println!();
+        }
+        println!();
+    }
+
+    // Verify against the paper.
+    for (vendor, lang, expected) in TABLE_I {
+        for (i, v) in vendor.versions().iter().enumerate() {
+            assert_eq!(
+                catalog.count(*vendor, *v, *lang),
+                expected[i],
+                "{vendor} {v} {lang}"
+            );
+        }
+    }
+    println!("catalog counts match the paper's Table I exactly.\n");
+
+    // Observable footprint: failing feature tests per release.
+    println!("DISCOVERED FOOTPRINT — failing feature tests per release\n");
+    let suite = acc_testsuite::full_suite();
+    let campaign = Campaign::new(suite);
+    for vendor in VendorId::COMMERCIAL {
+        let result = campaign.run_vendor_line(vendor);
+        print!("{:>10}", vendor.name());
+        for (v, run) in vendor.versions().iter().zip(&result.runs) {
+            let failing = run.failing_features(Language::C).len()
+                + run.failing_features(Language::Fortran).len();
+            print!("{:>11}", format!("{v}:{failing}"));
+        }
+        println!();
+    }
+}

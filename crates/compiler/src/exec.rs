@@ -1,0 +1,2554 @@
+//! The execution machine: interprets a compiled test program against the
+//! simulated device, under the vendor's behavioural profile.
+//!
+//! ## Execution model
+//!
+//! Host code is interpreted statement by statement. A `parallel` region
+//! executes its body once per gang, gangs in deterministic sequence
+//! (gang-redundant mode); `loop` directives partition iterations across
+//! gangs/workers/vector lanes per the vendor mapping. A `kernels` region
+//! executes its body once, auto-parallelizing annotated loops. All data
+//! clause semantics run against the discrete device memory: a host variable
+//! and its device copy only synchronize at transfer points, so wrong-code
+//! defects surface exactly the way the paper's tests observe them.
+//!
+//! ## Outcomes
+//!
+//! [`RunOutcome`] mirrors the paper's runtime-error classes (§V): a
+//! completed run with the program's return value, a crash (bad device
+//! address, `present` miss, pointer misuse, runtime-routine failure), or a
+//! timeout (step budget exhausted — "the code executes forever").
+
+use acc_ast::{
+    AccClause, AccDirective, BinOp, Expr, ForLoop, Function, LValue, ParamKind, Program,
+    ScalarType, Stmt, Type, UnOp,
+};
+use acc_device::memory::ExitAction;
+use acc_device::queue::AsyncTag;
+use acc_device::{ArrayData, BufferId, Defect, ExecProfile, PresentEntry, Value, WorkerLoopPolicy};
+use acc_runtime::routines::dispatch;
+use acc_runtime::World;
+use acc_spec::envvar::EnvConfig;
+use acc_spec::{ClauseKind, DeviceType, DirectiveKind, RuntimeRoutine};
+use std::collections::{BTreeSet, HashMap};
+
+use crate::driver::Executable;
+
+/// How a run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome {
+    /// The program ran to completion and `main` returned this value
+    /// (1 = the test's pass convention).
+    Completed(i64),
+    /// A runtime crash with its message.
+    Crash(String),
+    /// The step budget was exhausted (simulated hang).
+    Timeout,
+}
+
+impl RunOutcome {
+    /// Did the run complete with a nonzero (pass) result?
+    pub fn passed(&self) -> bool {
+        matches!(self, RunOutcome::Completed(v) if *v != 0)
+    }
+}
+
+/// Result of one program execution.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Outcome.
+    pub outcome: RunOutcome,
+    /// Device metrics.
+    pub metrics: acc_device::Metrics,
+}
+
+impl Executable {
+    /// Run the program with an empty environment.
+    pub fn run(&self) -> RunResult {
+        self.run_with_env(&EnvConfig::empty())
+    }
+
+    /// Run the program honoring ACC_* environment variables.
+    pub fn run_with_env(&self, env: &EnvConfig) -> RunResult {
+        let mut m = Machine::new(&self.program, &self.profile, self.concrete_device, env);
+        let outcome = m.run_main();
+        RunResult {
+            outcome,
+            metrics: m.world.metrics.clone(),
+        }
+    }
+}
+
+const DEFAULT_STEP_LIMIT: u64 = 20_000_000;
+
+/// Abnormal termination signal threaded through the interpreter.
+#[derive(Debug, Clone, PartialEq)]
+enum Abort {
+    Crash(String),
+    Timeout,
+}
+
+type Exec<T> = Result<T, Abort>;
+
+/// Control flow result of executing statements.
+#[derive(Debug, Clone, PartialEq)]
+enum Flow {
+    Normal,
+    Return(Value),
+}
+
+/// A host array (the arena makes pass-by-reference aliasing trivial).
+#[derive(Debug)]
+struct HostArray {
+    data: ArrayData,
+    dims: Vec<usize>,
+}
+
+/// What an array name is bound to in a frame.
+#[derive(Debug, Clone, Copy)]
+enum ArrBinding {
+    /// A host array in the arena.
+    Host(usize),
+    /// A device buffer (parameter bound through `host_data use_device` or a
+    /// device pointer — models calling a device kernel).
+    Device(BufferId),
+}
+
+/// A host call frame.
+#[derive(Debug, Default)]
+struct Frame {
+    vars: HashMap<String, Value>,
+    var_types: HashMap<String, Type>,
+    arrays: HashMap<String, ArrBinding>,
+    /// Present-table names entered by `declare`, exited at function return.
+    declare_entries: Vec<String>,
+    /// `host_data use_device` overlays (innermost last).
+    host_data: Vec<HashMap<String, BufferId>>,
+}
+
+/// Device execution context for one gang.
+#[derive(Debug)]
+struct DevCtx {
+    num_gangs: u32,
+    num_workers: u32,
+    vector_len: u32,
+    gang: u32,
+    /// Inside a gang-partitioned loop body.
+    in_gang_loop: bool,
+    /// `kernels` region (body runs once; loops auto-partition).
+    kernels_mode: bool,
+    /// Device-local scopes, innermost last. The bottom scope is the gang
+    /// scope holding private/firstprivate/reduction copies and implicit
+    /// firstprivate scalars.
+    scopes: Vec<HashMap<String, Value>>,
+    /// Names bound by a `deviceptr` clause to device buffers.
+    devptr: HashMap<String, BufferId>,
+}
+
+impl DevCtx {
+    fn lookup(&self, name: &str) -> Option<Value> {
+        for s in self.scopes.iter().rev() {
+            if let Some(v) = s.get(name) {
+                return Some(*v);
+            }
+        }
+        None
+    }
+
+    fn assign_existing(&mut self, name: &str, v: Value) -> bool {
+        for s in self.scopes.iter_mut().rev() {
+            if let Some(slot) = s.get_mut(name) {
+                *slot = v;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn set_local(&mut self, name: &str, v: Value) {
+        self.scopes
+            .last_mut()
+            .expect("device ctx always has a scope")
+            .insert(name.to_string(), v);
+    }
+}
+
+/// A deferred host-visible effect of an async activity.
+#[derive(Debug)]
+enum DeferredEffect {
+    Download {
+        buf: BufferId,
+        dest: usize,
+        start: usize,
+        len: usize,
+    },
+    ScalarDownload {
+        buf: BufferId,
+        frame: usize,
+        name: String,
+    },
+    Free(BufferId),
+}
+
+/// The machine.
+pub(crate) struct Machine<'a> {
+    prog: &'a Program,
+    profile: &'a ExecProfile,
+    pub(crate) world: World,
+    host_arrays: Vec<HostArray>,
+    frames: Vec<Frame>,
+    deferred: Vec<Vec<DeferredEffect>>,
+    steps: u64,
+    step_limit: u64,
+    garbage_counter: i64,
+    /// Count of device statements in the current region (kernel cost).
+    region_cost: u64,
+    /// `deviceptr` bindings contributed by enclosing `data` regions and
+    /// inherited by nested compute constructs.
+    data_devptr: Vec<HashMap<String, BufferId>>,
+}
+
+impl<'a> Machine<'a> {
+    pub(crate) fn new(
+        prog: &'a Program,
+        profile: &'a ExecProfile,
+        concrete: DeviceType,
+        env: &EnvConfig,
+    ) -> Self {
+        Machine {
+            prog,
+            profile,
+            world: World::new(concrete, env),
+            host_arrays: Vec::new(),
+            frames: Vec::new(),
+            deferred: Vec::new(),
+            steps: 0,
+            step_limit: DEFAULT_STEP_LIMIT,
+            garbage_counter: 0,
+            region_cost: 0,
+            data_devptr: Vec::new(),
+        }
+    }
+
+    pub(crate) fn run_main(&mut self) -> RunOutcome {
+        let main = match self.prog.entry() {
+            Some(f) => f,
+            None => return RunOutcome::Crash("program has no main function".into()),
+        };
+        match self.call_function(main, Vec::new(), Vec::new()) {
+            Ok(v) => match v.as_int() {
+                Ok(i) => RunOutcome::Completed(i),
+                Err(e) => RunOutcome::Crash(e.to_string()),
+            },
+            Err(Abort::Crash(m)) => RunOutcome::Crash(m),
+            Err(Abort::Timeout) => RunOutcome::Timeout,
+        }
+    }
+
+    fn tick(&mut self) -> Exec<()> {
+        self.steps += 1;
+        self.world.metrics.statements_executed += 1;
+        if self.steps > self.step_limit {
+            return Err(Abort::Timeout);
+        }
+        Ok(())
+    }
+
+    fn garbage_value(&mut self, ty: ScalarType) -> Value {
+        self.garbage_counter += 1;
+        match ty {
+            ScalarType::Int => Value::Int(-987_654_321 - self.garbage_counter),
+            ScalarType::Float => Value::F32(-1.0e30 - self.garbage_counter as f32),
+            ScalarType::Double => Value::F64(-1.0e300 - self.garbage_counter as f64),
+        }
+    }
+
+    fn frame(&self) -> &Frame {
+        self.frames.last().expect("no active frame")
+    }
+
+    fn frame_mut(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("no active frame")
+    }
+
+    // ------------------------------------------------------------------
+    // Function calls
+    // ------------------------------------------------------------------
+
+    /// Call a user function with already-evaluated scalar args / array
+    /// bindings (positional, aligned with params).
+    fn call_function(
+        &mut self,
+        f: &'a Function,
+        scalar_args: Vec<(String, Value)>,
+        array_args: Vec<(String, ArrBinding)>,
+    ) -> Exec<Value> {
+        if self.frames.len() > 64 {
+            return Err(Abort::Crash("call stack overflow".into()));
+        }
+        let mut frame = Frame::default();
+        for (n, v) in scalar_args {
+            frame.vars.insert(n, v);
+        }
+        for (n, b) in array_args {
+            frame.arrays.insert(n, b);
+        }
+        self.frames.push(frame);
+        let flow = self.exec_body(&f.body, None);
+        // Exit any `declare` data regions opened by this frame.
+        let declare_entries = std::mem::take(&mut self.frame_mut().declare_entries);
+        let mut declare_result = Ok(());
+        for name in declare_entries.into_iter().rev() {
+            if let Err(e) = self.exit_mapping(&name, false) {
+                declare_result = Err(e);
+                break;
+            }
+        }
+        self.frames.pop();
+        let flow = flow?;
+        declare_result?;
+        Ok(match flow {
+            Flow::Return(v) => v,
+            Flow::Normal => Value::Int(0),
+        })
+    }
+
+    /// Resolve a call argument for an ArrayPtr parameter.
+    fn array_arg_binding(&mut self, e: &Expr) -> Exec<ArrBinding> {
+        match e {
+            Expr::Var(n) => {
+                // host_data overlay first: the name denotes a device pointer.
+                if let Some(buf) = self.host_data_lookup(n) {
+                    return Ok(ArrBinding::Device(buf));
+                }
+                if let Some(b) = self.frame().arrays.get(n) {
+                    return Ok(*b);
+                }
+                // A pointer-typed scalar holding a device address.
+                if let Some(Value::DevPtr(buf)) = self.frame().vars.get(n) {
+                    return Ok(ArrBinding::Device(*buf));
+                }
+                Err(Abort::Crash(format!(
+                    "`{n}` is not an array or device pointer"
+                )))
+            }
+            other => {
+                let v = self.eval_host(other)?;
+                match v {
+                    Value::DevPtr(buf) => Ok(ArrBinding::Device(buf)),
+                    _ => Err(Abort::Crash(
+                        "array argument must be an array name or device pointer".into(),
+                    )),
+                }
+            }
+        }
+    }
+
+    fn host_data_lookup(&self, name: &str) -> Option<BufferId> {
+        self.frame()
+            .host_data
+            .iter()
+            .rev()
+            .find_map(|m| m.get(name).copied())
+    }
+
+    fn call_user_or_runtime(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        on_device: bool,
+        malloc_elem: ScalarType,
+    ) -> Exec<Value> {
+        // Runtime library.
+        if let Some(r) = RuntimeRoutine::from_symbol(name) {
+            return self.call_runtime(r, args, on_device, malloc_elem);
+        }
+        // Math intrinsics.
+        if let Some(v) = self.try_intrinsic(name, args, on_device)? {
+            return Ok(v);
+        }
+        // User function.
+        let f = match self.prog.function(name) {
+            Some(f) => f,
+            None => return Err(Abort::Crash(format!("call to undefined function `{name}`"))),
+        };
+        if on_device {
+            // OpenACC 1.0 has no `routine` directive; procedure calls inside
+            // compute regions are unsupported (§V-C "Procedure calls").
+            return Err(Abort::Crash(format!(
+                "procedure call `{name}` inside a compute region is not supported by OpenACC 1.0"
+            )));
+        }
+        if args.len() != f.params.len() {
+            return Err(Abort::Crash(format!(
+                "`{name}` expects {} arguments, got {}",
+                f.params.len(),
+                args.len()
+            )));
+        }
+        let mut scalars = Vec::new();
+        let mut arrays = Vec::new();
+        for (p, a) in f.params.iter().zip(args) {
+            match p.kind {
+                ParamKind::Scalar(ty) => {
+                    let v = self.eval_host(a)?.convert_to(ty).map_err(crash)?;
+                    scalars.push((p.name.clone(), v));
+                }
+                ParamKind::ArrayPtr(_) => {
+                    arrays.push((p.name.clone(), self.array_arg_binding(a)?));
+                }
+            }
+        }
+        self.call_function(f, scalars, arrays)
+    }
+
+    fn call_runtime(
+        &mut self,
+        r: RuntimeRoutine,
+        args: &[Expr],
+        on_device: bool,
+        malloc_elem: ScalarType,
+    ) -> Exec<Value> {
+        // Defect overrides first.
+        if let Some(c) = self.profile.routine_override(r) {
+            // Still evaluate args for side effects / crashes.
+            for a in args {
+                self.eval_host(a)?;
+            }
+            return Ok(Value::Int(c));
+        }
+        if self.profile.has(&Defect::AsyncFamilyBroken) && r.is_async_family() {
+            for a in args {
+                self.eval_host(a)?;
+            }
+            return Ok(match r {
+                RuntimeRoutine::AsyncTest | RuntimeRoutine::AsyncTestAll => Value::Int(-1),
+                _ => Value::Int(0), // waits silently do nothing
+            });
+        }
+        let mut vals = Vec::with_capacity(args.len());
+        for a in args {
+            vals.push(self.eval_host(a)?);
+        }
+        let (v, due) = dispatch(r, &vals, &mut self.world, on_device, malloc_elem)
+            .map_err(|e| Abort::Crash(e.to_string()))?;
+        self.apply_deferred(due)?;
+        Ok(v)
+    }
+
+    fn try_intrinsic(&mut self, name: &str, args: &[Expr], on_device: bool) -> Exec<Option<Value>> {
+        let bin = |m: &mut Self, args: &[Expr], f: fn(f64, f64) -> f64| -> Exec<Value> {
+            let a = m.eval_in(args.first(), on_device)?;
+            let b = m.eval_in(args.get(1), on_device)?;
+            Ok(Value::F64(f(
+                a.as_f64().map_err(crash)?,
+                b.as_f64().map_err(crash)?,
+            )))
+        };
+        let v = match name {
+            "powf" => Some(
+                bin(self, args, f64::powf)?
+                    .convert_to(ScalarType::Float)
+                    .map_err(crash)?,
+            ),
+            "pow" => Some(bin(self, args, f64::powf)?),
+            "fabsf" => {
+                let a = self.eval_in(args.first(), on_device)?;
+                Some(Value::F32(a.as_f64().map_err(crash)?.abs() as f32))
+            }
+            "fabs" => {
+                let a = self.eval_in(args.first(), on_device)?;
+                Some(Value::F64(a.as_f64().map_err(crash)?.abs()))
+            }
+            "sqrtf" => {
+                let a = self.eval_in(args.first(), on_device)?;
+                Some(Value::F32(a.as_f64().map_err(crash)?.sqrt() as f32))
+            }
+            "sqrt" => {
+                let a = self.eval_in(args.first(), on_device)?;
+                Some(Value::F64(a.as_f64().map_err(crash)?.sqrt()))
+            }
+            "abs" => {
+                let a = self.eval_in(args.first(), on_device)?;
+                Some(Value::Int(a.as_int().map_err(crash)?.abs()))
+            }
+            "mod" => {
+                let a = self
+                    .eval_in(args.first(), on_device)?
+                    .as_int()
+                    .map_err(crash)?;
+                let b = self
+                    .eval_in(args.get(1), on_device)?
+                    .as_int()
+                    .map_err(crash)?;
+                if b == 0 {
+                    return Err(Abort::Crash("mod by zero".into()));
+                }
+                Some(Value::Int(a % b))
+            }
+            "iand" => Some(self.int_bin(args, on_device, |a, b| a & b)?),
+            "ior" => Some(self.int_bin(args, on_device, |a, b| a | b)?),
+            "ieor" => Some(self.int_bin(args, on_device, |a, b| a ^ b)?),
+            "min" => {
+                let a = self.eval_in(args.first(), on_device)?;
+                let b = self.eval_in(args.get(1), on_device)?;
+                Some(num_min_max(a, b, true).map_err(crash)?)
+            }
+            "max" => {
+                let a = self.eval_in(args.first(), on_device)?;
+                let b = self.eval_in(args.get(1), on_device)?;
+                Some(num_min_max(a, b, false).map_err(crash)?)
+            }
+            "malloc" => {
+                // Host malloc is not modeled; tests use declared arrays.
+                return Err(Abort::Crash(
+                    "host malloc is not supported by the machine".into(),
+                ));
+            }
+            _ => None,
+        };
+        Ok(v)
+    }
+
+    fn int_bin(&mut self, args: &[Expr], on_device: bool, f: fn(i64, i64) -> i64) -> Exec<Value> {
+        let a = self
+            .eval_in(args.first(), on_device)?
+            .as_int()
+            .map_err(crash)?;
+        let b = self
+            .eval_in(args.get(1), on_device)?
+            .as_int()
+            .map_err(crash)?;
+        Ok(Value::Int(f(a, b)))
+    }
+
+    fn eval_in(&mut self, e: Option<&Expr>, _on_device: bool) -> Exec<Value> {
+        // Intrinsic argument evaluation happens in host context here; device
+        // contexts evaluate their arguments before calling intrinsics. The
+        // corpus keeps intrinsic calls on host expressions and in reduction
+        // kernels where arguments are loop-local scalars, so host resolution
+        // with the current frame suffices. Device-side calls are routed
+        // through eval_device instead.
+        match e {
+            Some(e) => self.eval_host(e),
+            None => Err(Abort::Crash(
+                "intrinsic called with too few arguments".into(),
+            )),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Host execution
+    // ------------------------------------------------------------------
+
+    fn exec_body(&mut self, body: &'a [Stmt], mut dev: Option<&mut DevCtx>) -> Exec<Flow> {
+        for s in body {
+            let flow = match dev.as_deref_mut() {
+                Some(ctx) => self.exec_stmt_device(s, ctx)?,
+                None => self.exec_stmt_host(s)?,
+            };
+            if let Flow::Return(v) = flow {
+                return Ok(Flow::Return(v));
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt_host(&mut self, s: &'a Stmt) -> Exec<Flow> {
+        self.tick()?;
+        self.world.clock.advance(1);
+        match s {
+            Stmt::DeclScalar { name, ty, init } => {
+                let v = match init {
+                    Some(e) => {
+                        let hint = ty.scalar();
+                        let raw = self.eval_host_with_hint(e, hint)?;
+                        match ty {
+                            Type::Ptr(_) => raw, // keep DevPtr / null int
+                            Type::Scalar(t) => raw.convert_to(*t).map_err(crash)?,
+                        }
+                    }
+                    None => self.garbage_value(ty.scalar()),
+                };
+                let f = self.frame_mut();
+                f.vars.insert(name.clone(), v);
+                f.var_types.insert(name.clone(), *ty);
+                Ok(Flow::Normal)
+            }
+            Stmt::DeclArray { name, elem, dims } => {
+                let id = self.host_arrays.len();
+                // C/Fortran locals are uninitialized; model with the host
+                // garbage pattern so tests that forget to initialize fail
+                // loudly rather than silently seeing zeros.
+                self.garbage_counter += 1;
+                let data = ArrayData::garbage(
+                    *elem,
+                    dims.iter().product::<usize>().max(1),
+                    self.garbage_counter as u64,
+                );
+                self.host_arrays.push(HostArray {
+                    data,
+                    dims: dims.clone(),
+                });
+                self.frame_mut()
+                    .arrays
+                    .insert(name.clone(), ArrBinding::Host(id));
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign { target, op, value } => {
+                let hint = self.lvalue_hint(target);
+                let rhs = self.eval_host_with_hint(value, hint)?;
+                let newv = match op {
+                    None => rhs,
+                    Some(op) => {
+                        let old = self.read_lvalue_host(target)?;
+                        apply_binop(*op, old, rhs).map_err(crash)?
+                    }
+                };
+                self.write_lvalue_host(target, newv)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::For(l) => self.exec_for_host(l),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let c = self.eval_host(cond)?;
+                if c.truthy() {
+                    self.exec_body(then_body, None)
+                } else {
+                    self.exec_body(else_body, None)
+                }
+            }
+            Stmt::Call { name, args } => {
+                self.call_user_or_runtime(name, args, false, ScalarType::Float)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Return(e) => {
+                let v = self.eval_host(e)?;
+                Ok(Flow::Return(v))
+            }
+            Stmt::AccBlock { dir, body } => {
+                self.exec_acc_block(dir, body)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::AccLoop { dir, l } => {
+                self.exec_acc_loop_toplevel(dir, l)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::AccStandalone { dir } => {
+                self.exec_standalone(dir)?;
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    fn exec_for_host(&mut self, l: &'a ForLoop) -> Exec<Flow> {
+        let from = self.eval_host(&l.from)?.as_int().map_err(crash)?;
+        let step = self.eval_host(&l.step)?.as_int().map_err(crash)?;
+        if step <= 0 {
+            return Err(Abort::Crash(format!(
+                "loop step must be positive, got {step}"
+            )));
+        }
+        let mut i = from;
+        loop {
+            // C semantics: the condition re-evaluates every iteration (a
+            // body that keeps moving the bound loops forever — and trips the
+            // machine's step budget, the simulated hang).
+            self.tick()?;
+            let to = self.eval_host(&l.to)?.as_int().map_err(crash)?;
+            if i >= to {
+                break;
+            }
+            self.frame_mut().vars.insert(l.var.clone(), Value::Int(i));
+            let flow = self.exec_body(&l.body, None)?;
+            if let Flow::Return(v) = flow {
+                return Ok(Flow::Return(v));
+            }
+            i += step;
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn lvalue_hint(&self, lv: &LValue) -> ScalarType {
+        match lv {
+            LValue::Var(n) => self
+                .frame()
+                .var_types
+                .get(n)
+                .map(|t| t.scalar())
+                .unwrap_or(ScalarType::Float),
+            LValue::Index { .. } => ScalarType::Float,
+        }
+    }
+
+    fn read_lvalue_host(&mut self, lv: &LValue) -> Exec<Value> {
+        match lv {
+            LValue::Var(n) => self.read_var_host(n),
+            LValue::Index { base, indices } => {
+                let idx: Vec<Expr> = indices.clone();
+                let e = Expr::Index {
+                    base: base.clone(),
+                    indices: idx,
+                };
+                self.eval_host(&e)
+            }
+        }
+    }
+
+    fn read_var_host(&mut self, n: &str) -> Exec<Value> {
+        if let Some(buf) = self.host_data_lookup(n) {
+            return Ok(Value::DevPtr(buf));
+        }
+        if let Some(v) = self.frame().vars.get(n) {
+            return Ok(*v);
+        }
+        if let Some(v) = device_constant(n) {
+            return Ok(v);
+        }
+        Err(Abort::Crash(format!("read of undefined variable `{n}`")))
+    }
+
+    fn write_lvalue_host(&mut self, lv: &LValue, v: Value) -> Exec<()> {
+        match lv {
+            LValue::Var(n) => {
+                // Writing through declared type conversion.
+                let converted = match self.frame().var_types.get(n) {
+                    Some(Type::Scalar(t)) => v.convert_to(*t).map_err(crash)?,
+                    _ => v,
+                };
+                self.frame_mut().vars.insert(n.clone(), converted);
+                Ok(())
+            }
+            LValue::Index { base, indices } => {
+                let flat = self.flat_index_host(base, indices)?;
+                match flat {
+                    (ArrBinding::Host(id), i) => {
+                        let arr = &mut self.host_arrays[id];
+                        if !arr.data.set(i, v).map_err(crash)? {
+                            return Err(Abort::Crash(format!(
+                                "host write out of bounds: {base}[{i}]"
+                            )));
+                        }
+                        Ok(())
+                    }
+                    (ArrBinding::Device(buf), i) => {
+                        // Host code writing through a device binding models a
+                        // device-side helper routine (host_data call).
+                        self.world
+                            .mem
+                            .write(buf, i, v)
+                            .map_err(|e| Abort::Crash(e.to_string()))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resolve an index expression on the host: the binding plus the flat
+    /// element offset (multi-dim row-major).
+    fn flat_index_host(&mut self, base: &str, indices: &[Expr]) -> Exec<(ArrBinding, usize)> {
+        let mut vals = Vec::with_capacity(indices.len());
+        for e in indices {
+            vals.push(self.eval_host(e)?.as_int().map_err(crash)?);
+        }
+        let binding = self.lookup_array_host(base)?;
+        let dims: Vec<usize> = match binding {
+            ArrBinding::Host(id) => self.host_arrays[id].dims.clone(),
+            ArrBinding::Device(buf) => self
+                .world
+                .mem
+                .get(buf)
+                .map_err(|e| Abort::Crash(e.to_string()))?
+                .dims
+                .clone(),
+        };
+        let flat = flatten(base, &vals, &dims)?;
+        Ok((binding, flat))
+    }
+
+    fn lookup_array_host(&mut self, base: &str) -> Exec<ArrBinding> {
+        if let Some(b) = self.frame().arrays.get(base) {
+            return Ok(*b);
+        }
+        // A pointer variable holding a device address: dereferencing on the
+        // host is a crash (models a segfault), EXCEPT when bound through
+        // host_data (handled by arrays map in callee frames).
+        if let Some(Value::DevPtr(_)) = self.frame().vars.get(base) {
+            return Err(Abort::Crash(format!(
+                "host dereference of device pointer `{base}` (segmentation fault)"
+            )));
+        }
+        Err(Abort::Crash(format!("`{base}` is not an array")))
+    }
+
+    fn eval_host(&mut self, e: &Expr) -> Exec<Value> {
+        self.eval_host_with_hint(e, ScalarType::Float)
+    }
+
+    fn eval_host_with_hint(&mut self, e: &Expr, malloc_hint: ScalarType) -> Exec<Value> {
+        match e {
+            Expr::Int(v) => Ok(Value::Int(*v)),
+            Expr::Real(v, t) => Ok(match t {
+                ScalarType::Float => Value::F32(*v as f32),
+                _ => Value::F64(*v),
+            }),
+            Expr::Var(n) => self.read_var_host(n),
+            Expr::Index { base, indices } => {
+                let (binding, i) = self.flat_index_host(base, indices)?;
+                match binding {
+                    ArrBinding::Host(id) => self.host_arrays[id].data.get(i).ok_or_else(|| {
+                        Abort::Crash(format!("host read out of bounds: {base}[{i}]"))
+                    }),
+                    ArrBinding::Device(buf) => self
+                        .world
+                        .mem
+                        .read(buf, i)
+                        .map_err(|e| Abort::Crash(e.to_string())),
+                }
+            }
+            Expr::Unary(op, inner) => {
+                let v = self.eval_host_with_hint(inner, malloc_hint)?;
+                apply_unop(*op, v).map_err(crash)
+            }
+            Expr::Binary(op, l, r) => {
+                let a = self.eval_host_with_hint(l, malloc_hint)?;
+                // Short-circuit evaluation.
+                if *op == BinOp::And && !a.truthy() {
+                    return Ok(Value::Int(0));
+                }
+                if *op == BinOp::Or && a.truthy() {
+                    return Ok(Value::Int(1));
+                }
+                let b = self.eval_host_with_hint(r, malloc_hint)?;
+                apply_binop(*op, a, b).map_err(crash)
+            }
+            Expr::Call { name, args } => self.call_user_or_runtime(name, args, false, malloc_hint),
+            Expr::SizeOf(t) => Ok(Value::Int(t.size_bytes() as i64)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Directive execution (host level)
+    // ------------------------------------------------------------------
+
+    fn exec_standalone(&mut self, dir: &'a AccDirective) -> Exec<()> {
+        match dir.kind {
+            DirectiveKind::Update => self.exec_update(dir),
+            DirectiveKind::Wait => {
+                if self.profile.has(&Defect::AsyncFamilyBroken)
+                    || self.profile.ignores_directive(DirectiveKind::Wait)
+                {
+                    return Ok(());
+                }
+                match &dir.wait_arg {
+                    Some(e) => {
+                        let tag = AsyncTag::Numbered(self.eval_host(e)?.as_int().map_err(crash)?);
+                        if let Some(t) = self.world.queues.tag_completion(tag) {
+                            self.world.clock.advance_to(t);
+                        }
+                        let due = self
+                            .world
+                            .queues
+                            .drain_complete(tag, self.world.clock.now());
+                        self.apply_deferred(due)
+                    }
+                    None => {
+                        if let Some(t) = self.world.queues.all_completion() {
+                            self.world.clock.advance_to(t);
+                        }
+                        let due = self.world.queues.drain_all_complete(self.world.clock.now());
+                        self.apply_deferred(due)
+                    }
+                }
+            }
+            DirectiveKind::Declare => {
+                if self.profile.ignores_directive(DirectiveKind::Declare) {
+                    return Ok(());
+                }
+                let entered = self.enter_data_clauses(&dir.clauses, DirectiveKind::Declare)?;
+                self.frame_mut().declare_entries.extend(entered);
+                Ok(())
+            }
+            DirectiveKind::Cache => Ok(()), // performance hint only
+            DirectiveKind::EnterData | DirectiveKind::ExitData | DirectiveKind::Routine => {
+                Err(Abort::Crash(format!(
+                    "`{}` is OpenACC 2.0 syntax; this machine executes 1.0 programs",
+                    dir.kind.name()
+                )))
+            }
+            other => Err(Abort::Crash(format!(
+                "`{}` is not a standalone directive",
+                other.name()
+            ))),
+        }
+    }
+
+    fn exec_update(&mut self, dir: &'a AccDirective) -> Exec<()> {
+        if self.profile.ignores_directive(DirectiveKind::Update)
+            || self.profile.has(&Defect::UpdateNoop)
+        {
+            return Ok(());
+        }
+        if !self
+            .profile
+            .ignores_clause(DirectiveKind::Update, ClauseKind::If)
+        {
+            if let Some(AccClause::If(e)) = dir.find(ClauseKind::If) {
+                if !self.eval_host(&e.clone())?.truthy() {
+                    return Ok(());
+                }
+            }
+        }
+        let is_async = dir.find(ClauseKind::Async).is_some()
+            && !self
+                .profile
+                .ignores_clause(DirectiveKind::Update, ClauseKind::Async);
+        let mut effects = Vec::new();
+        let mut cost = 1u64;
+        for c in &dir.clauses {
+            let (to_host, refs) = match c {
+                AccClause::Data(ClauseKind::HostClause, refs) => (true, refs),
+                AccClause::Data(ClauseKind::DeviceClause, refs) => (false, refs),
+                _ => continue,
+            };
+            if self.profile.ignores_clause(
+                DirectiveKind::Update,
+                if to_host {
+                    ClauseKind::HostClause
+                } else {
+                    ClauseKind::DeviceClause
+                },
+            ) {
+                continue;
+            }
+            for r in refs {
+                let entry = match self.world.present.get(&r.name) {
+                    Some(e) => e.clone(),
+                    None => {
+                        return Err(Abort::Crash(format!(
+                            "update of `{}` which is not present on the device",
+                            r.name
+                        )))
+                    }
+                };
+                let (start, len) = self.resolve_section(&r.name, &r.section)?;
+                cost += len as u64;
+                if to_host {
+                    if is_async {
+                        if let Some(dest) = self.host_array_id(&r.name) {
+                            effects.push(DeferredEffect::Download {
+                                buf: entry.buffer,
+                                dest,
+                                start,
+                                len,
+                            });
+                        } else {
+                            let fi = self.frames.len() - 1;
+                            effects.push(DeferredEffect::ScalarDownload {
+                                buf: entry.buffer,
+                                frame: fi,
+                                name: r.name.clone(),
+                            });
+                        }
+                    } else {
+                        self.download_now(&r.name, entry.buffer, start, len)?;
+                    }
+                } else {
+                    self.upload_now(&r.name, entry.buffer, start, len)?;
+                }
+            }
+        }
+        if is_async {
+            let tag = self.async_tag(dir)?;
+            let payload = self.stash_deferred(effects);
+            self.world
+                .queues
+                .enqueue(tag, self.world.clock.now() + cost, payload);
+            self.world.metrics.async_launches += 1;
+        } else {
+            self.world.clock.advance(cost);
+        }
+        Ok(())
+    }
+
+    fn async_tag(&mut self, dir: &AccDirective) -> Exec<AsyncTag> {
+        match dir.find(ClauseKind::Async) {
+            Some(AccClause::Async(Some(e))) => {
+                let v = self.eval_host(&e.clone())?.as_int().map_err(crash)?;
+                Ok(AsyncTag::Numbered(v))
+            }
+            _ => Ok(AsyncTag::Default),
+        }
+    }
+
+    fn stash_deferred(&mut self, effects: Vec<DeferredEffect>) -> u64 {
+        self.deferred.push(effects);
+        (self.deferred.len() - 1) as u64
+    }
+
+    fn apply_deferred(&mut self, payloads: Vec<u64>) -> Exec<()> {
+        for p in payloads {
+            let effects = std::mem::take(&mut self.deferred[p as usize]);
+            for eff in effects {
+                match eff {
+                    DeferredEffect::Download {
+                        buf,
+                        dest,
+                        start,
+                        len,
+                    } => {
+                        let arr = &mut self.host_arrays[dest];
+                        let bytes = self
+                            .world
+                            .mem
+                            .download(buf, &mut arr.data, start, len)
+                            .map_err(|e| Abort::Crash(e.to_string()))?;
+                        self.world.metrics.bytes_to_host += bytes as u64;
+                    }
+                    DeferredEffect::ScalarDownload { buf, frame, name } => {
+                        let v = self
+                            .world
+                            .mem
+                            .read(buf, 0)
+                            .map_err(|e| Abort::Crash(e.to_string()))?;
+                        if let Some(f) = self.frames.get_mut(frame) {
+                            f.vars.insert(name, v);
+                        }
+                        self.world.metrics.bytes_to_host += 8;
+                    }
+                    DeferredEffect::Free(buf) => {
+                        self.world
+                            .mem
+                            .free(buf)
+                            .map_err(|e| Abort::Crash(e.to_string()))?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Data environment
+    // ------------------------------------------------------------------
+
+    fn host_array_id(&self, name: &str) -> Option<usize> {
+        match self.frame().arrays.get(name) {
+            Some(ArrBinding::Host(id)) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// Resolve a data-ref section to (start, len) in elements.
+    fn resolve_section(
+        &mut self,
+        name: &str,
+        section: &Option<(Expr, Expr)>,
+    ) -> Exec<(usize, usize)> {
+        match section {
+            Some((s, l)) => {
+                let start = self.eval_host(&s.clone())?.as_int().map_err(crash)?;
+                let len = self.eval_host(&l.clone())?.as_int().map_err(crash)?;
+                if start < 0 || len < 0 {
+                    return Err(Abort::Crash(format!(
+                        "negative array section on `{name}`: [{start}:{len}]"
+                    )));
+                }
+                Ok((start as usize, len as usize))
+            }
+            None => match self.host_array_id(name) {
+                Some(id) => Ok((0, self.host_arrays[id].data.len())),
+                None => Ok((0, 1)), // scalar
+            },
+        }
+    }
+
+    fn upload_now(&mut self, name: &str, buf: BufferId, start: usize, len: usize) -> Exec<()> {
+        if let Some(id) = self.host_array_id(name) {
+            let arr = &self.host_arrays[id];
+            let bytes = self
+                .world
+                .mem
+                .upload(buf, &arr.data, start, len)
+                .map_err(|e| Abort::Crash(e.to_string()))?;
+            self.world.metrics.bytes_to_device += bytes as u64;
+        } else {
+            let v = self.read_var_host(name)?;
+            self.world
+                .mem
+                .write(buf, 0, v)
+                .map_err(|e| Abort::Crash(e.to_string()))?;
+            self.world.metrics.bytes_to_device += 8;
+        }
+        Ok(())
+    }
+
+    fn download_now(&mut self, name: &str, buf: BufferId, start: usize, len: usize) -> Exec<()> {
+        if let Some(id) = self.host_array_id(name) {
+            let arr = &mut self.host_arrays[id];
+            let bytes = self
+                .world
+                .mem
+                .download(buf, &mut arr.data, start, len)
+                .map_err(|e| Abort::Crash(e.to_string()))?;
+            self.world.metrics.bytes_to_host += bytes as u64;
+        } else {
+            let v = self
+                .world
+                .mem
+                .read(buf, 0)
+                .map_err(|e| Abort::Crash(e.to_string()))?;
+            self.frame_mut().vars.insert(name.to_string(), v);
+            self.world.metrics.bytes_to_host += 8;
+        }
+        Ok(())
+    }
+
+    /// Process the data clauses of a directive; returns the names entered
+    /// (to exit at region end, in reverse order).
+    fn enter_data_clauses(
+        &mut self,
+        clauses: &[AccClause],
+        dir_kind: DirectiveKind,
+    ) -> Exec<Vec<String>> {
+        let mut entered = Vec::new();
+        for c in clauses {
+            let (kind, refs) = match c {
+                AccClause::Data(k, refs) if is_mapping_clause(*k) => (*k, refs),
+                _ => continue,
+            };
+            if self.profile.ignores_clause(dir_kind, kind) {
+                continue;
+            }
+            for r in refs {
+                self.enter_mapping(&r.name, &r.section, kind)?;
+                entered.push(r.name.clone());
+            }
+        }
+        Ok(entered)
+    }
+
+    fn enter_mapping(
+        &mut self,
+        name: &str,
+        section: &Option<(Expr, Expr)>,
+        kind: ClauseKind,
+    ) -> Exec<()> {
+        let (start, len) = self.resolve_section(name, section)?;
+        let already = self.world.present.contains(name);
+        if kind == ClauseKind::Present {
+            if already {
+                self.world.present.reenter(name);
+                self.world.metrics.present_hits += 1;
+                return Ok(());
+            }
+            return Err(Abort::Crash(format!(
+                "present clause: `{name}` is not present on the device"
+            )));
+        }
+        if already {
+            // present_or_* hit, or re-entry of a structured mapping.
+            self.world.present.reenter(name);
+            if kind.is_present_or() {
+                self.world.metrics.present_hits += 1;
+            }
+            return Ok(());
+        }
+        if kind.is_present_or() {
+            self.world.metrics.present_misses += 1;
+        }
+        // Fresh mapping.
+        let is_scalar = self.host_array_id(name).is_none();
+        let elem = if let Some(id) = self.host_array_id(name) {
+            self.host_arrays[id].data.elem_type()
+        } else {
+            match self.read_var_host(name)? {
+                Value::Int(_) => ScalarType::Int,
+                Value::F32(_) => ScalarType::Float,
+                Value::F64(_) => ScalarType::Double,
+                Value::DevPtr(_) => {
+                    return Err(Abort::Crash(format!(
+                        "device pointer `{name}` cannot appear in a data clause"
+                    )))
+                }
+            }
+        };
+        let total = if let Some(id) = self.host_array_id(name) {
+            self.host_arrays[id].data.len()
+        } else {
+            1
+        };
+        if start + len > total {
+            return Err(Abort::Crash(format!(
+                "data clause section out of bounds on `{name}`: [{start}:{len}] of {total}"
+            )));
+        }
+        let dims = if let Some(id) = self.host_array_id(name) {
+            self.host_arrays[id].dims.clone()
+        } else {
+            vec![]
+        };
+        let buf = self.world.mem.alloc(elem, dims);
+        self.world.metrics.allocations += 1;
+        let base = base_clause(kind);
+        let uploads = matches!(base, ClauseKind::Copy | ClauseKind::Copyin);
+        let downloads = matches!(base, ClauseKind::Copy | ClauseKind::Copyout);
+        let scalar_omitted = is_scalar && self.profile.has(&Defect::ScalarCopyOmitted);
+        if uploads && !scalar_omitted {
+            self.upload_now(name, buf, start, len)?;
+        }
+        let exit_action = if downloads && !scalar_omitted {
+            ExitAction::CopyOut
+        } else {
+            ExitAction::Release
+        };
+        self.world.present.insert(
+            name,
+            PresentEntry {
+                buffer: buf,
+                start,
+                len,
+                exit_action,
+                refcount: 1,
+            },
+        );
+        Ok(())
+    }
+
+    /// Exit one mapping; performs the exit action. When `defer_to` is true
+    /// the download/free are deferred (async region) — caller stashes them.
+    fn exit_mapping(&mut self, name: &str, collect_deferred: bool) -> Exec<Vec<DeferredEffect>> {
+        let released = self
+            .world
+            .present
+            .exit(name)
+            .map_err(|e| Abort::Crash(e.to_string()))?;
+        let mut effects = Vec::new();
+        if let Some(entry) = released {
+            if entry.exit_action == ExitAction::CopyOut {
+                if collect_deferred {
+                    if let Some(dest) = self.host_array_id(name) {
+                        effects.push(DeferredEffect::Download {
+                            buf: entry.buffer,
+                            dest,
+                            start: entry.start,
+                            len: entry.len,
+                        });
+                    } else {
+                        effects.push(DeferredEffect::ScalarDownload {
+                            buf: entry.buffer,
+                            frame: self.frames.len() - 1,
+                            name: name.to_string(),
+                        });
+                    }
+                } else {
+                    self.download_now(name, entry.buffer, entry.start, entry.len)?;
+                }
+            }
+            if collect_deferred {
+                effects.push(DeferredEffect::Free(entry.buffer));
+            } else {
+                self.world
+                    .mem
+                    .free(entry.buffer)
+                    .map_err(|e| Abort::Crash(e.to_string()))?;
+            }
+        }
+        Ok(effects)
+    }
+
+    // ------------------------------------------------------------------
+    // Compute regions
+    // ------------------------------------------------------------------
+
+    fn exec_acc_block(&mut self, dir: &'a AccDirective, body: &'a [Stmt]) -> Exec<()> {
+        match dir.kind {
+            DirectiveKind::Parallel | DirectiveKind::Kernels => {
+                self.exec_compute_region(dir, RegionBody::Block(body))
+            }
+            DirectiveKind::Data => {
+                if self.profile.ignores_directive(DirectiveKind::Data) {
+                    return self.exec_body(body, None).map(|_| ());
+                }
+                if let Some(AccClause::If(e)) = dir.find(ClauseKind::If) {
+                    if !self.eval_host(&e.clone())?.truthy() {
+                        // if(false): no data movement; the region body still
+                        // executes (its compute constructs will map data
+                        // themselves).
+                        return self.exec_body(body, None).map(|_| ());
+                    }
+                }
+                let entered = self.enter_data_clauses(&dir.clauses, DirectiveKind::Data)?;
+                // `deviceptr` on a data construct makes the pointers
+                // available to nested compute regions.
+                let mut dp = HashMap::new();
+                for c in &dir.clauses {
+                    if let AccClause::Deviceptr(names) = c {
+                        if self
+                            .profile
+                            .ignores_clause(DirectiveKind::Data, ClauseKind::Deviceptr)
+                        {
+                            continue;
+                        }
+                        for n in names {
+                            match self.read_var_host(n)? {
+                                Value::DevPtr(buf) => {
+                                    dp.insert(n.clone(), buf);
+                                }
+                                other => return Err(Abort::Crash(format!(
+                                    "deviceptr `{n}` does not hold a device address (got {other})"
+                                ))),
+                            }
+                        }
+                    }
+                }
+                self.data_devptr.push(dp);
+                let flow = self.exec_body(body, None);
+                self.data_devptr.pop();
+                for name in entered.iter().rev() {
+                    self.exit_mapping(name, false)?;
+                }
+                flow.map(|_| ())
+            }
+            DirectiveKind::HostData => {
+                let mut overlay = HashMap::new();
+                for c in &dir.clauses {
+                    if let AccClause::UseDevice(names) = c {
+                        if self
+                            .profile
+                            .ignores_clause(DirectiveKind::HostData, ClauseKind::UseDevice)
+                        {
+                            continue;
+                        }
+                        for n in names {
+                            match self.world.present.get(n) {
+                                Some(e) => {
+                                    overlay.insert(n.clone(), e.buffer);
+                                }
+                                None => {
+                                    return Err(Abort::Crash(format!(
+                                        "use_device of `{n}` which is not present on the device"
+                                    )))
+                                }
+                            }
+                        }
+                    }
+                }
+                self.frame_mut().host_data.push(overlay);
+                let flow = self.exec_body(body, None);
+                self.frame_mut().host_data.pop();
+                flow.map(|_| ())
+            }
+            other => Err(Abort::Crash(format!(
+                "`{}` cannot open a block",
+                other.name()
+            ))),
+        }
+    }
+
+    fn exec_acc_loop_toplevel(&mut self, dir: &'a AccDirective, l: &'a ForLoop) -> Exec<()> {
+        match dir.kind {
+            DirectiveKind::ParallelLoop | DirectiveKind::KernelsLoop => {
+                self.exec_compute_region(dir, RegionBody::Loop(dir, l))
+            }
+            DirectiveKind::Loop => {
+                // A loop directive outside any compute construct: executes
+                // sequentially on the host (its scheduling clauses are
+                // meaningless there).
+                self.exec_for_host(l).map(|_| ())
+            }
+            other => Err(Abort::Crash(format!(
+                "`{}` cannot annotate a loop",
+                other.name()
+            ))),
+        }
+    }
+
+    fn exec_compute_region(&mut self, dir: &'a AccDirective, body: RegionBody<'a>) -> Exec<()> {
+        let kernels_mode = matches!(
+            dir.kind,
+            DirectiveKind::Kernels | DirectiveKind::KernelsLoop
+        );
+        // A broken compute construct that has no effect leaves the region
+        // running on the host.
+        if self.profile.ignores_directive(dir.kind) {
+            return match body {
+                RegionBody::Block(b) => self.exec_body(b, None).map(|_| ()),
+                RegionBody::Loop(_, l) => self.exec_for_host(l).map(|_| ()),
+            };
+        }
+        // Hang defect?
+        for c in &dir.clauses {
+            if self.profile.hangs_on(dir.kind, c.kind()) {
+                return Err(Abort::Timeout);
+            }
+        }
+        // if(false): execute on the host, no data movement.
+        if let Some(AccClause::If(e)) = dir.find(ClauseKind::If) {
+            if !self.profile.ignores_clause(dir.kind, ClauseKind::If)
+                && !self.eval_host(&e.clone())?.truthy()
+            {
+                return match body {
+                    RegionBody::Block(b) => self.exec_body(b, None).map(|_| ()),
+                    RegionBody::Loop(_, l) => self.exec_for_host(l).map(|_| ()),
+                };
+            }
+        }
+        // Dead-region elimination defect (§V-B Cray, Fig. 11).
+        if self.profile.has(&Defect::EliminateDeadComputeRegions) && region_is_dead(&body) {
+            return Ok(());
+        }
+        // Launch configuration.
+        let g = self.sizing(dir, ClauseKind::NumGangs, self.profile.default_gangs)?;
+        let w = self.sizing(dir, ClauseKind::NumWorkers, self.profile.default_workers)?;
+        let v = self.sizing(dir, ClauseKind::VectorLength, self.profile.default_vector)?;
+        use acc_spec::ParallelismLevel as PL;
+        let num_gangs = if kernels_mode {
+            1 // kernels body is single-gang; loops auto-partition
+        } else {
+            self.profile.mapping.effective_width(PL::Gang, g)
+        };
+        let num_workers = self.profile.mapping.effective_width(PL::Worker, w);
+        let vector_len = self.profile.mapping.effective_width(PL::Vector, v);
+
+        // Data environment.
+        let mut entered = self.enter_data_clauses(&dir.clauses, dir.kind)?;
+        // deviceptr bindings (inherited from enclosing data regions, then
+        // this directive's own clause).
+        let mut devptr: HashMap<String, BufferId> = HashMap::new();
+        for m in &self.data_devptr {
+            devptr.extend(m.iter().map(|(k, v)| (k.clone(), *v)));
+        }
+        for c in &dir.clauses {
+            if let AccClause::Deviceptr(names) = c {
+                if self.profile.ignores_clause(dir.kind, ClauseKind::Deviceptr) {
+                    continue;
+                }
+                for n in names {
+                    match self.read_var_host(n)? {
+                        Value::DevPtr(buf) => {
+                            devptr.insert(n.clone(), buf);
+                        }
+                        other => {
+                            return Err(Abort::Crash(format!(
+                                "deviceptr `{n}` does not hold a device address (got {other})"
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+        // Implicit mappings for referenced arrays (1.0's present_or_copy
+        // default, §V-C "Default behavior").
+        for name in self.referenced_arrays(&body) {
+            if self.world.present.contains(&name) {
+                self.world.present.reenter(&name);
+                entered.push(name);
+            } else if !devptr.contains_key(&name) && self.host_array_id(&name).is_some() {
+                self.enter_mapping(&name, &None, ClauseKind::PresentOrCopy)?;
+                entered.push(name);
+            }
+        }
+
+        // Reduction / privatization setup.
+        let mut reductions = Vec::new();
+        for c in &dir.clauses {
+            if let AccClause::Reduction(op, vars) = c {
+                if self.profile.ignores_clause(dir.kind, ClauseKind::Reduction) {
+                    continue;
+                }
+                for var in vars {
+                    let initial = self.region_scalar_read(var)?;
+                    reductions.push((*op, var.clone(), initial));
+                }
+            }
+        }
+        let mut private: Vec<String> = Vec::new();
+        let mut firstprivate: Vec<String> = Vec::new();
+        for c in &dir.clauses {
+            match c {
+                AccClause::Private(vs)
+                    if !self.profile.ignores_clause(dir.kind, ClauseKind::Private) =>
+                {
+                    if self.profile.has(&Defect::PrivateAliasesShared) {
+                        // Defective privatization: the "private" variables
+                        // share one device copy across all gangs.
+                        for name in vs {
+                            if !self.world.present.contains(name) {
+                                self.enter_mapping(name, &None, ClauseKind::Create)?;
+                            } else {
+                                self.world.present.reenter(name);
+                            }
+                            entered.push(name.clone());
+                        }
+                    } else {
+                        private.extend(vs.iter().cloned())
+                    }
+                }
+                AccClause::Firstprivate(vs)
+                    if !self
+                        .profile
+                        .ignores_clause(dir.kind, ClauseKind::Firstprivate) =>
+                {
+                    firstprivate.extend(vs.iter().cloned())
+                }
+                _ => {}
+            }
+        }
+
+        // Execute gangs in deterministic sequence.
+        self.world.metrics.kernels_launched += 1;
+        let cost_before = self.region_cost;
+        let mut reduction_acc: Vec<Value> = reductions
+            .iter()
+            .map(|(op, _, init)| identity_like(*op, *init))
+            .collect();
+        for gang in 0..num_gangs {
+            let mut gang_scope = HashMap::new();
+            for name in &private {
+                let ty = self.host_scalar_type(name);
+                let gv = self.garbage_value(ty);
+                gang_scope.insert(name.clone(), gv);
+            }
+            for name in &firstprivate {
+                let val = if self.profile.has(&Defect::FirstprivateUninitialized) {
+                    let ty = self.host_scalar_type(name);
+                    self.garbage_value(ty)
+                } else {
+                    self.region_scalar_read(name)?
+                };
+                gang_scope.insert(name.clone(), val);
+            }
+            for (op, name, init) in &reductions {
+                gang_scope.insert(name.clone(), identity_like(*op, *init));
+            }
+            let mut ctx = DevCtx {
+                num_gangs,
+                num_workers,
+                vector_len,
+                gang,
+                in_gang_loop: false,
+                kernels_mode,
+                scopes: vec![gang_scope],
+                devptr: devptr.clone(),
+            };
+            match &body {
+                RegionBody::Block(b) => {
+                    self.exec_body(b, Some(&mut ctx))?;
+                }
+                RegionBody::Loop(dir, l) => {
+                    self.exec_acc_loop_device(dir, l, &mut ctx)?;
+                }
+            }
+            // Fold this gang's reduction copies.
+            for (i, (op, name, _)) in reductions.iter().enumerate() {
+                let copy = ctx.lookup(name).unwrap_or(Value::Int(0));
+                if self.profile.has(&Defect::WrongReduction(*op)) && gang == 0 {
+                    continue; // drop gang 0's contribution: silent wrong code
+                }
+                reduction_acc[i] = combine(*op, reduction_acc[i], copy).map_err(crash)?;
+                self.world.metrics.reductions += 1;
+            }
+        }
+        // Write back reduction results (combined with the pre-region value).
+        for ((op, name, init), acc) in reductions.iter().zip(reduction_acc) {
+            let final_v = combine(*op, *init, acc).map_err(crash)?;
+            self.region_scalar_write(name, final_v)?;
+        }
+
+        // Cost/async accounting and exit data movement.
+        let cost = (self.region_cost - cost_before).max(1) + 10;
+        let is_async = dir.find(ClauseKind::Async).is_some()
+            && !self.profile.ignores_clause(dir.kind, ClauseKind::Async);
+        if is_async {
+            let tag = self.async_tag(dir)?;
+            let mut effects = Vec::new();
+            for name in entered.iter().rev() {
+                effects.extend(self.exit_mapping(name, true)?);
+            }
+            let payload = self.stash_deferred(effects);
+            self.world
+                .queues
+                .enqueue(tag, self.world.clock.now() + cost, payload);
+            self.world.metrics.async_launches += 1;
+            self.world.clock.advance(1); // launch overhead only
+        } else {
+            for name in entered.iter().rev() {
+                self.exit_mapping(name, false)?;
+            }
+            self.world.clock.advance(cost);
+        }
+        Ok(())
+    }
+
+    fn sizing(&mut self, dir: &AccDirective, kind: ClauseKind, default: u32) -> Exec<u32> {
+        if self.profile.ignores_clause(dir.kind, kind) {
+            return Ok(default);
+        }
+        let e = match dir.find(kind) {
+            Some(AccClause::NumGangs(e))
+            | Some(AccClause::NumWorkers(e))
+            | Some(AccClause::VectorLength(e)) => e.clone(),
+            _ => return Ok(default),
+        };
+        let v = self.eval_host(&e)?.as_int().map_err(crash)?;
+        if !(1..=1_000_000).contains(&v) {
+            return Err(Abort::Crash(format!("invalid {} value {v}", kind.name())));
+        }
+        Ok(v as u32)
+    }
+
+    /// Read a scalar that may be device-mapped (for reductions and
+    /// firstprivate initialization).
+    fn region_scalar_read(&mut self, name: &str) -> Exec<Value> {
+        if let Some(e) = self.world.present.get(name) {
+            let buf = e.buffer;
+            return self
+                .world
+                .mem
+                .read(buf, 0)
+                .map_err(|e| Abort::Crash(e.to_string()));
+        }
+        self.read_var_host(name)
+    }
+
+    fn region_scalar_write(&mut self, name: &str, v: Value) -> Exec<()> {
+        if let Some(e) = self.world.present.get(name) {
+            let buf = e.buffer;
+            self.world
+                .mem
+                .write(buf, 0, v)
+                .map_err(|e| Abort::Crash(e.to_string()))?;
+        }
+        // Reduction results are also visible on the host after the region.
+        if self.frame().vars.contains_key(name) {
+            self.frame_mut().vars.insert(name.to_string(), v);
+        }
+        Ok(())
+    }
+
+    fn host_scalar_type(&self, name: &str) -> ScalarType {
+        match self.frame().var_types.get(name) {
+            Some(t) => t.scalar(),
+            None => ScalarType::Int,
+        }
+    }
+
+    /// Array names referenced anywhere in the region body.
+    fn referenced_arrays(&self, body: &RegionBody<'a>) -> BTreeSet<String> {
+        let mut names = BTreeSet::new();
+        match body {
+            RegionBody::Block(b) => collect_index_bases(b, &mut names),
+            RegionBody::Loop(_, l) => {
+                collect_expr_bases(&l.from, &mut names);
+                collect_expr_bases(&l.to, &mut names);
+                collect_index_bases(&l.body, &mut names);
+            }
+        }
+        names
+    }
+
+    // ------------------------------------------------------------------
+    // Device execution
+    // ------------------------------------------------------------------
+
+    fn exec_stmt_device(&mut self, s: &'a Stmt, ctx: &mut DevCtx) -> Exec<Flow> {
+        self.tick()?;
+        self.region_cost += 1;
+        match s {
+            Stmt::DeclScalar { name, ty, init } => {
+                let v = match init {
+                    Some(e) => self
+                        .eval_device(e, ctx)?
+                        .convert_to(ty.scalar())
+                        .map_err(crash)?,
+                    None => self.garbage_value(ty.scalar()),
+                };
+                ctx.set_local(name, v);
+                Ok(Flow::Normal)
+            }
+            Stmt::DeclArray { .. } => Err(Abort::Crash(
+                "array declarations inside compute regions are not supported".into(),
+            )),
+            Stmt::Assign { target, op, value } => {
+                let rhs = self.eval_device(value, ctx)?;
+                let newv = match op {
+                    None => rhs,
+                    Some(op) => {
+                        let old = self.read_lvalue_device(target, ctx)?;
+                        apply_binop(*op, old, rhs).map_err(crash)?
+                    }
+                };
+                self.write_lvalue_device(target, newv, ctx)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::For(l) => {
+                // An unannotated loop in a compute region executes in full by
+                // the current execution unit (gang-redundant!) — the very
+                // effect the cross tests detect.
+                self.exec_for_device(l, UnitSel::All, ctx)
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let c = self.eval_device(cond, ctx)?;
+                if c.truthy() {
+                    self.exec_body_device(then_body, ctx)
+                } else {
+                    self.exec_body_device(else_body, ctx)
+                }
+            }
+            Stmt::Call { name, args } => {
+                // Runtime routines callable from device code (acc_on_device);
+                // user procedure calls are rejected (no `routine` in 1.0).
+                self.call_device(name, args, ctx)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Return(_) => Err(Abort::Crash(
+                "return inside a compute region is not supported".into(),
+            )),
+            Stmt::AccLoop { dir, l } => {
+                self.exec_acc_loop_device(dir, l, ctx)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::AccBlock { dir, .. } => Err(Abort::Crash(format!(
+                "nested `{}` regions inside compute constructs are not supported in 1.0",
+                dir.kind.name()
+            ))),
+            Stmt::AccStandalone { dir } => match dir.kind {
+                DirectiveKind::Cache => Ok(Flow::Normal),
+                other => Err(Abort::Crash(format!(
+                    "`{}` directive inside a compute region",
+                    other.name()
+                ))),
+            },
+        }
+    }
+
+    fn exec_body_device(&mut self, body: &'a [Stmt], ctx: &mut DevCtx) -> Exec<Flow> {
+        for s in body {
+            if let Flow::Return(v) = self.exec_stmt_device(s, ctx)? {
+                return Ok(Flow::Return(v));
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn call_device(&mut self, name: &str, args: &[Expr], ctx: &mut DevCtx) -> Exec<Value> {
+        // User procedures are rejected up front (no `routine` directive in
+        // 1.0, §V-C) — before argument evaluation, like a real front-end.
+        if !is_intrinsic_name(name) && self.prog.function(name).is_some() {
+            return Err(Abort::Crash(format!(
+                "procedure call `{name}` inside a compute region is not supported by OpenACC 1.0"
+            )));
+        }
+        if let Some(r) = RuntimeRoutine::from_symbol(name) {
+            if r == RuntimeRoutine::OnDevice {
+                let mut vals = Vec::new();
+                for a in args {
+                    vals.push(self.eval_device(a, ctx)?);
+                }
+                // Defective runtimes misreport from device code too.
+                if let Some(c) = self.profile.routine_override(r) {
+                    return Ok(Value::Int(c));
+                }
+                let (v, _) = dispatch(r, &vals, &mut self.world, true, ScalarType::Float)
+                    .map_err(|e| Abort::Crash(e.to_string()))?;
+                return Ok(v);
+            }
+            return Err(Abort::Crash(format!(
+                "runtime routine `{}` cannot be called from device code",
+                r.symbol()
+            )));
+        }
+        // Intrinsics with device-context arguments.
+        let mut vals = Vec::new();
+        for a in args {
+            vals.push(self.eval_device(a, ctx)?);
+        }
+        eval_pure_intrinsic(name, &vals)
+            .ok_or_else(|| {
+                Abort::Crash(format!(
+                    "procedure call `{name}` inside a compute region is not supported by OpenACC 1.0"
+                ))
+            })?
+            .map_err(crash)
+    }
+
+    fn eval_device(&mut self, e: &Expr, ctx: &mut DevCtx) -> Exec<Value> {
+        match e {
+            Expr::Int(v) => Ok(Value::Int(*v)),
+            Expr::Real(v, t) => Ok(match t {
+                ScalarType::Float => Value::F32(*v as f32),
+                _ => Value::F64(*v),
+            }),
+            Expr::Var(n) => self.read_scalar_device(n, ctx),
+            Expr::Index { base, indices } => {
+                let (buf, i) = self.flat_index_device(base, indices, ctx)?;
+                self.world
+                    .mem
+                    .read(buf, i)
+                    .map_err(|e| Abort::Crash(e.to_string()))
+            }
+            Expr::Unary(op, inner) => {
+                let v = self.eval_device(inner, ctx)?;
+                apply_unop(*op, v).map_err(crash)
+            }
+            Expr::Binary(op, l, r) => {
+                let a = self.eval_device(l, ctx)?;
+                if *op == BinOp::And && !a.truthy() {
+                    return Ok(Value::Int(0));
+                }
+                if *op == BinOp::Or && a.truthy() {
+                    return Ok(Value::Int(1));
+                }
+                let b = self.eval_device(r, ctx)?;
+                apply_binop(*op, a, b).map_err(crash)
+            }
+            Expr::Call { name, args } => self.call_device(name, args, ctx),
+            Expr::SizeOf(t) => Ok(Value::Int(t.size_bytes() as i64)),
+        }
+    }
+
+    fn read_scalar_device(&mut self, n: &str, ctx: &mut DevCtx) -> Exec<Value> {
+        if let Some(v) = ctx.lookup(n) {
+            return Ok(v);
+        }
+        if let Some(buf) = ctx.devptr.get(n) {
+            return Ok(Value::DevPtr(*buf));
+        }
+        if let Some(e) = self.world.present.get(n) {
+            // A mapped scalar: read its device copy.
+            if self.host_array_id(n).is_none() {
+                let buf = e.buffer;
+                return self
+                    .world
+                    .mem
+                    .read(buf, 0)
+                    .map_err(|e| Abort::Crash(e.to_string()));
+            }
+        }
+        if let Some(v) = device_constant(n) {
+            return Ok(v);
+        }
+        // Implicit firstprivate: snapshot the host value into the gang scope.
+        if let Some(v) = self.frame().vars.get(n).copied() {
+            ctx.scopes
+                .first_mut()
+                .expect("gang scope")
+                .insert(n.to_string(), v);
+            return Ok(v);
+        }
+        Err(Abort::Crash(format!(
+            "device read of undefined variable `{n}`"
+        )))
+    }
+
+    fn write_scalar_device(&mut self, n: &str, v: Value, ctx: &mut DevCtx) -> Exec<()> {
+        if ctx.assign_existing(n, v) {
+            return Ok(());
+        }
+        if let Some(e) = self.world.present.get(n) {
+            if self.host_array_id(n).is_none() {
+                let buf = e.buffer;
+                return self
+                    .world
+                    .mem
+                    .write(buf, 0, v)
+                    .map_err(|e| Abort::Crash(e.to_string()));
+            }
+        }
+        // Implicit firstprivate write: lands in the gang scope only.
+        ctx.scopes
+            .first_mut()
+            .expect("gang scope")
+            .insert(n.to_string(), v);
+        Ok(())
+    }
+
+    fn read_lvalue_device(&mut self, lv: &LValue, ctx: &mut DevCtx) -> Exec<Value> {
+        match lv {
+            LValue::Var(n) => self.read_scalar_device(n, ctx),
+            LValue::Index { base, indices } => {
+                let (buf, i) = self.flat_index_device(base, indices, ctx)?;
+                self.world
+                    .mem
+                    .read(buf, i)
+                    .map_err(|e| Abort::Crash(e.to_string()))
+            }
+        }
+    }
+
+    fn write_lvalue_device(&mut self, lv: &LValue, v: Value, ctx: &mut DevCtx) -> Exec<()> {
+        match lv {
+            LValue::Var(n) => self.write_scalar_device(n, v, ctx),
+            LValue::Index { base, indices } => {
+                let (buf, i) = self.flat_index_device(base, indices, ctx)?;
+                self.world
+                    .mem
+                    .write(buf, i, v)
+                    .map_err(|e| Abort::Crash(e.to_string()))
+            }
+        }
+    }
+
+    fn flat_index_device(
+        &mut self,
+        base: &str,
+        indices: &[Expr],
+        ctx: &mut DevCtx,
+    ) -> Exec<(BufferId, usize)> {
+        let mut vals = Vec::with_capacity(indices.len());
+        for e in indices {
+            vals.push(self.eval_device(e, ctx)?.as_int().map_err(crash)?);
+        }
+        // deviceptr binding?
+        let buf = if let Some(b) = ctx.devptr.get(base) {
+            *b
+        } else if let Some(e) = self.world.present.get(base) {
+            e.buffer
+        } else {
+            // A raw pointer without a deviceptr binding dereferenced in
+            // device code: the generated kernel would fault, exactly like a
+            // real compiler passing a host pointer to the device.
+            return Err(Abort::Crash(format!(
+                "device access to `{base}` which is not present on the device"
+            )));
+        };
+        let dims = self
+            .world
+            .mem
+            .get(buf)
+            .map_err(|e| Abort::Crash(e.to_string()))?
+            .dims
+            .clone();
+        let flat = if dims.is_empty() {
+            // Raw acc_malloc buffer: single linear index.
+            if vals.len() != 1 || vals[0] < 0 {
+                return Err(Abort::Crash(format!("bad linear index on `{base}`")));
+            }
+            vals[0] as usize
+        } else {
+            flatten(base, &vals, &dims)?
+        };
+        Ok((buf, flat))
+    }
+
+    // ------------------------------------------------------------------
+    // Device loops
+    // ------------------------------------------------------------------
+
+    fn exec_acc_loop_device(
+        &mut self,
+        dir: &'a AccDirective,
+        l: &'a ForLoop,
+        ctx: &mut DevCtx,
+    ) -> Exec<()> {
+        if self.profile.ignores_directive(DirectiveKind::Loop) && dir.kind == DirectiveKind::Loop {
+            // The directive has no effect: redundant full execution.
+            return self.exec_for_device(l, UnitSel::All, ctx).map(|_| ());
+        }
+        for c in &dir.clauses {
+            if self.profile.hangs_on(dir.kind, c.kind()) {
+                return Err(Abort::Timeout);
+            }
+        }
+        let clauses: Vec<&AccClause> = dir
+            .clauses
+            .iter()
+            .filter(|c| !self.profile.ignores_clause(dir.kind, c.kind()))
+            .collect();
+        // collapse handling.
+        let collapse_n = clauses
+            .iter()
+            .find_map(|c| match c {
+                AccClause::Collapse(e) => e.const_int(),
+                _ => None,
+            })
+            .unwrap_or(1)
+            .max(1) as usize;
+        let collapse_n = if self.profile.has(&Defect::CollapseIgnoresInner) {
+            1
+        } else {
+            collapse_n
+        };
+
+        let has = |k: ClauseKind| clauses.iter().any(|c| c.kind() == k);
+        let seq = has(ClauseKind::Seq);
+        let gang_c = has(ClauseKind::Gang);
+        let worker_c = has(ClauseKind::Worker);
+        let vector_c = has(ClauseKind::Vector);
+
+        // Reductions on the loop.
+        let reductions: Vec<(acc_spec::ReductionOp, String)> = clauses
+            .iter()
+            .filter_map(|c| match c {
+                AccClause::Reduction(op, vars) => Some(
+                    vars.iter()
+                        .map(move |v| (*op, v.clone()))
+                        .collect::<Vec<_>>(),
+                ),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        // Loop privates.
+        let mut privates: Vec<String> = Vec::new();
+        for c in &clauses {
+            if let AccClause::Private(vs) = c {
+                if self.profile.has(&Defect::PrivateAliasesShared) {
+                    // Defective privatization: one shared device copy. The
+                    // mapping deliberately leaks until the run ends — the
+                    // defective compiler never releases it either.
+                    for name in vs {
+                        if !self.world.present.contains(name) {
+                            self.enter_mapping(name, &None, ClauseKind::Create)?;
+                        }
+                    }
+                } else {
+                    privates.extend(vs.iter().cloned());
+                }
+            }
+        }
+
+        // Decide the unit set.
+        let g = ctx.num_gangs.max(1) as u64;
+        let w = ctx.num_workers.max(1) as u64;
+        let v = ctx.vector_len.max(1) as u64;
+        let units: Vec<UnitSel> = if seq {
+            vec![UnitSel::All]
+        } else if ctx.kernels_mode {
+            // kernels: auto-parallelized across the auto gang count; the
+            // single executing "gang" walks all partitions.
+            let auto = self.profile.kernels_auto_gangs.max(1) as u64;
+            (0..auto).map(|r| UnitSel::Modulo { m: auto, r }).collect()
+        } else if gang_c && worker_c {
+            (0..w)
+                .map(|wi| UnitSel::Modulo {
+                    m: g * w,
+                    r: ctx.gang as u64 * w + wi,
+                })
+                .collect()
+        } else if gang_c {
+            vec![UnitSel::Modulo {
+                m: g,
+                r: ctx.gang as u64,
+            }]
+        } else if worker_c && !ctx.in_gang_loop {
+            // Fig. 1 ambiguity: worker loop without an enclosing gang loop.
+            match self.profile.worker_loop_policy {
+                WorkerLoopPolicy::PerGangWorkers => {
+                    (0..w).map(|wi| UnitSel::Modulo { m: w, r: wi }).collect()
+                }
+                WorkerLoopPolicy::SpreadAcrossGangs => (0..w)
+                    .map(|wi| UnitSel::Modulo {
+                        m: g * w,
+                        r: ctx.gang as u64 * w + wi,
+                    })
+                    .collect(),
+                WorkerLoopPolicy::SequentialPerGang => vec![UnitSel::All],
+            }
+        } else if worker_c {
+            // Inside a gang loop: partition across this gang's workers —
+            // collectively the iterations run once per owning gang iteration.
+            (0..w).map(|wi| UnitSel::Modulo { m: w, r: wi }).collect()
+        } else if vector_c {
+            (0..v).map(|vi| UnitSel::Modulo { m: v, r: vi }).collect()
+        } else {
+            // Bare loop (or independent): auto-partition across gangs.
+            vec![UnitSel::Modulo {
+                m: g,
+                r: ctx.gang as u64,
+            }]
+        };
+
+        // Snapshot reduction initials.
+        let mut red_state: Vec<(acc_spec::ReductionOp, String, Value, Value)> = Vec::new();
+        for (op, name) in &reductions {
+            let init = match ctx.lookup(name) {
+                Some(v) => v,
+                None => self.read_scalar_device(name, ctx)?,
+            };
+            red_state.push((*op, name.clone(), init, identity_like(*op, init)));
+        }
+
+        let entering_gang_loop = gang_c;
+        for (ui, unit) in units.iter().enumerate() {
+            // Per-unit scope for privates and reduction copies.
+            let mut scope = HashMap::new();
+            for p in &privates {
+                let gv = self.garbage_value(ScalarType::Int);
+                scope.insert(p.clone(), gv);
+            }
+            for (op, name, init, _) in &red_state {
+                scope.insert(name.clone(), identity_like(*op, *init));
+            }
+            ctx.scopes.push(scope);
+            let saved = ctx.in_gang_loop;
+            if entering_gang_loop {
+                ctx.in_gang_loop = true;
+            }
+            let res = self.exec_collapsed_loop(l, collapse_n, *unit, ctx);
+            ctx.in_gang_loop = saved;
+            let scope = ctx.scopes.pop().expect("unit scope");
+            res?;
+            // Fold reduction copies.
+            #[allow(clippy::needless_range_loop)] // split borrow of red_state[i].3
+            for i in 0..red_state.len() {
+                let (op, name) = (red_state[i].0, red_state[i].1.clone());
+                let copy = scope.get(&name).copied().unwrap_or(Value::Int(0));
+                if self.profile.has(&Defect::WrongReduction(op)) && ui == 0 {
+                    continue;
+                }
+                red_state[i].3 = combine(op, red_state[i].3, copy).map_err(crash)?;
+                self.world.metrics.reductions += 1;
+            }
+        }
+        // Write back reductions.
+        for (op, name, init, acc) in red_state {
+            let final_v = combine(op, init, acc).map_err(crash)?;
+            self.write_scalar_device(&name, final_v, ctx)?;
+        }
+        Ok(())
+    }
+
+    /// Execute a (possibly collapsed) counted loop on the device, running
+    /// the iterations selected by `unit`.
+    fn exec_collapsed_loop(
+        &mut self,
+        l: &'a ForLoop,
+        collapse_n: usize,
+        unit: UnitSel,
+        ctx: &mut DevCtx,
+    ) -> Exec<()> {
+        // Gather the collapsed nest.
+        let mut loops: Vec<&ForLoop> = vec![l];
+        let mut body: &'a [Stmt] = &l.body;
+        for _ in 1..collapse_n {
+            match body {
+                [Stmt::For(inner)] => {
+                    loops.push(inner);
+                    body = &inner.body;
+                }
+                _ => {
+                    return Err(Abort::Crash(
+                        "collapse requires tightly nested loops".into(),
+                    ))
+                }
+            }
+        }
+        // Evaluate bounds once (rectangular iteration space).
+        let mut bounds = Vec::new();
+        for lp in &loops {
+            let from = self.eval_device(&lp.from, ctx)?.as_int().map_err(crash)?;
+            let to = self.eval_device(&lp.to, ctx)?.as_int().map_err(crash)?;
+            let step = self.eval_device(&lp.step, ctx)?.as_int().map_err(crash)?;
+            if step <= 0 {
+                return Err(Abort::Crash(format!(
+                    "loop step must be positive, got {step}"
+                )));
+            }
+            let count = if to > from {
+                ((to - from) + step - 1) / step
+            } else {
+                0
+            };
+            bounds.push((from, step, count as u64));
+        }
+        let total: u64 = bounds.iter().map(|b| b.2).product();
+        for flat in 0..total {
+            if !unit.selects(flat) {
+                continue;
+            }
+            // Decompose the flat index (row-major).
+            let mut rem = flat;
+            let mut idxs = vec![0i64; loops.len()];
+            for d in (0..loops.len()).rev() {
+                let c = bounds[d].2.max(1);
+                let k = rem % c;
+                rem /= c;
+                idxs[d] = bounds[d].0 + (k as i64) * bounds[d].1;
+            }
+            for (lp, iv) in loops.iter().zip(&idxs) {
+                ctx.set_local(&lp.var, Value::Int(*iv));
+            }
+            self.world.metrics.device_iterations += 1;
+            self.exec_body_device(body, ctx)?;
+        }
+        Ok(())
+    }
+
+    fn exec_for_device(&mut self, l: &'a ForLoop, unit: UnitSel, ctx: &mut DevCtx) -> Exec<Flow> {
+        let from = self.eval_device(&l.from, ctx)?.as_int().map_err(crash)?;
+        let to = self.eval_device(&l.to, ctx)?.as_int().map_err(crash)?;
+        let step = self.eval_device(&l.step, ctx)?.as_int().map_err(crash)?;
+        if step <= 0 {
+            return Err(Abort::Crash(format!(
+                "loop step must be positive, got {step}"
+            )));
+        }
+        let mut k: u64 = 0;
+        let mut i = from;
+        while i < to {
+            if unit.selects(k) {
+                ctx.set_local(&l.var, Value::Int(i));
+                self.world.metrics.device_iterations += 1;
+                if let Flow::Return(v) = self.exec_body_device(&l.body, ctx)? {
+                    return Ok(Flow::Return(v));
+                }
+            }
+            i += step;
+            k += 1;
+        }
+        Ok(Flow::Normal)
+    }
+}
+
+fn collect_expr_bases(e: &Expr, names: &mut BTreeSet<String>) {
+    e.visit(&mut |x| {
+        if let Expr::Index { base, .. } = x {
+            names.insert(base.clone());
+        }
+    });
+}
+
+fn collect_index_bases(stmts: &[Stmt], names: &mut BTreeSet<String>) {
+    for s in stmts {
+        s.visit(&mut |st| match st {
+            Stmt::Assign { target, value, .. } => {
+                if let LValue::Index { base, indices } = target {
+                    names.insert(base.clone());
+                    for i in indices {
+                        collect_expr_bases(i, names);
+                    }
+                }
+                collect_expr_bases(value, names);
+            }
+            Stmt::DeclScalar { init: Some(e), .. } => collect_expr_bases(e, names),
+            Stmt::For(l) => {
+                collect_expr_bases(&l.from, names);
+                collect_expr_bases(&l.to, names);
+            }
+            Stmt::AccLoop { l, .. } => {
+                collect_expr_bases(&l.from, names);
+                collect_expr_bases(&l.to, names);
+            }
+            Stmt::Return(e) => collect_expr_bases(e, names),
+            Stmt::If { cond, .. } => collect_expr_bases(cond, names),
+            Stmt::Call { args, .. } => {
+                for a in args {
+                    collect_expr_bases(a, names);
+                }
+            }
+            _ => {}
+        });
+    }
+}
+
+/// Iteration ownership predicate of one execution unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UnitSel {
+    All,
+    Modulo { m: u64, r: u64 },
+}
+
+impl UnitSel {
+    fn selects(self, k: u64) -> bool {
+        match self {
+            UnitSel::All => true,
+            UnitSel::Modulo { m, r } => m <= 1 || k % m == r,
+        }
+    }
+}
+
+/// The body of a compute region (block or combined-loop form).
+enum RegionBody<'a> {
+    Block(&'a [Stmt]),
+    Loop(&'a AccDirective, &'a ForLoop),
+}
+
+fn crash(e: impl std::fmt::Display) -> Abort {
+    Abort::Crash(e.to_string())
+}
+
+fn flatten(base: &str, vals: &[i64], dims: &[usize]) -> Exec<usize> {
+    let dims = if dims.is_empty() { &[1usize][..] } else { dims };
+    if vals.len() != dims.len() {
+        return Err(Abort::Crash(format!(
+            "`{base}` has {} dimension(s), indexed with {}",
+            dims.len(),
+            vals.len()
+        )));
+    }
+    let mut flat = 0usize;
+    for (v, d) in vals.iter().zip(dims) {
+        if *v < 0 || *v as usize >= *d {
+            return Err(Abort::Crash(format!(
+                "index {v} out of bounds for `{base}` (extent {d})"
+            )));
+        }
+        flat = flat * d + *v as usize;
+    }
+    Ok(flat)
+}
+
+fn is_mapping_clause(k: ClauseKind) -> bool {
+    matches!(
+        k,
+        ClauseKind::Copy
+            | ClauseKind::Copyin
+            | ClauseKind::Copyout
+            | ClauseKind::Create
+            | ClauseKind::Present
+            | ClauseKind::PresentOrCopy
+            | ClauseKind::PresentOrCopyin
+            | ClauseKind::PresentOrCopyout
+            | ClauseKind::PresentOrCreate
+            | ClauseKind::DeviceResident
+    )
+}
+
+/// The base action of a possibly `present_or_` clause.
+fn base_clause(k: ClauseKind) -> ClauseKind {
+    match k {
+        ClauseKind::PresentOrCopy => ClauseKind::Copy,
+        ClauseKind::PresentOrCopyin => ClauseKind::Copyin,
+        ClauseKind::PresentOrCopyout => ClauseKind::Copyout,
+        ClauseKind::PresentOrCreate | ClauseKind::DeviceResident => ClauseKind::Create,
+        other => other,
+    }
+}
+
+/// Identity element matching the dynamic type of `like`.
+fn identity_like(op: acc_spec::ReductionOp, like: Value) -> Value {
+    match like {
+        Value::Int(_) => Value::Int(op.int_identity()),
+        Value::F32(_) => Value::F32(op.float_identity() as f32),
+        Value::F64(_) => Value::F64(op.float_identity()),
+        Value::DevPtr(_) => Value::Int(op.int_identity()),
+    }
+}
+
+/// Combine two values under a reduction operator, preserving floatness.
+fn combine(
+    op: acc_spec::ReductionOp,
+    a: Value,
+    b: Value,
+) -> Result<Value, acc_device::value::ValueError> {
+    use acc_device::value::ValueError;
+    if op.integer_only() {
+        return Ok(Value::Int(op.combine_int(a.as_int()?, b.as_int()?)));
+    }
+    match Value::promoted(a, b)? {
+        ScalarType::Int => Ok(Value::Int(op.combine_int(a.as_int()?, b.as_int()?))),
+        ScalarType::Float => {
+            let r = op.combine_float(a.as_f64()?, b.as_f64()?);
+            Ok(Value::F32(r as f32))
+        }
+        ScalarType::Double => Ok(Value::F64(op.combine_float(a.as_f64()?, b.as_f64()?))),
+    }
+    .map_err(|e: ValueError| e)
+}
+
+fn apply_unop(op: UnOp, v: Value) -> Result<Value, acc_device::value::ValueError> {
+    match op {
+        UnOp::Neg => match v {
+            Value::Int(x) => Ok(Value::Int(-x)),
+            Value::F32(x) => Ok(Value::F32(-x)),
+            Value::F64(x) => Ok(Value::F64(-x)),
+            Value::DevPtr(_) => Err(acc_device::value::ValueError(
+                "negation of device pointer".into(),
+            )),
+        },
+        UnOp::Not => Ok(Value::Int((!v.truthy()) as i64)),
+    }
+}
+
+fn apply_binop(op: BinOp, a: Value, b: Value) -> Result<Value, acc_device::value::ValueError> {
+    use acc_device::value::ValueError;
+    // Pointer equality comparisons are allowed (p == 0 null checks).
+    if let (Value::DevPtr(x), bv) = (a, b) {
+        if matches!(op, BinOp::Eq | BinOp::Ne) {
+            let eq = match bv {
+                Value::DevPtr(y) => x == y,
+                Value::Int(0) => false,
+                _ => false,
+            };
+            return Ok(Value::Int(((op == BinOp::Eq) == eq) as i64));
+        }
+    }
+    match op {
+        BinOp::And => return Ok(Value::Int((a.truthy() && b.truthy()) as i64)),
+        BinOp::Or => return Ok(Value::Int((a.truthy() || b.truthy()) as i64)),
+        _ => {}
+    }
+    let ty = Value::promoted(a, b)?;
+    match ty {
+        ScalarType::Int => {
+            let (x, y) = (a.as_int()?, b.as_int()?);
+            let v = match op {
+                BinOp::Add => Value::Int(x.wrapping_add(y)),
+                BinOp::Sub => Value::Int(x.wrapping_sub(y)),
+                BinOp::Mul => Value::Int(x.wrapping_mul(y)),
+                BinOp::Div => {
+                    if y == 0 {
+                        return Err(ValueError("integer division by zero".into()));
+                    }
+                    Value::Int(x / y)
+                }
+                BinOp::Rem => {
+                    if y == 0 {
+                        return Err(ValueError("integer remainder by zero".into()));
+                    }
+                    Value::Int(x % y)
+                }
+                BinOp::Lt => Value::Int((x < y) as i64),
+                BinOp::Le => Value::Int((x <= y) as i64),
+                BinOp::Gt => Value::Int((x > y) as i64),
+                BinOp::Ge => Value::Int((x >= y) as i64),
+                BinOp::Eq => Value::Int((x == y) as i64),
+                BinOp::Ne => Value::Int((x != y) as i64),
+                BinOp::BitAnd => Value::Int(x & y),
+                BinOp::BitOr => Value::Int(x | y),
+                BinOp::BitXor => Value::Int(x ^ y),
+                BinOp::And | BinOp::Or => unreachable!(),
+            };
+            Ok(v)
+        }
+        float_ty => {
+            let (x, y) = (a.as_f64()?, b.as_f64()?);
+            let wrap = |v: f64| -> Value {
+                if float_ty == ScalarType::Float {
+                    Value::F32(v as f32)
+                } else {
+                    Value::F64(v)
+                }
+            };
+            let v = match op {
+                BinOp::Add => wrap(x + y),
+                BinOp::Sub => wrap(x - y),
+                BinOp::Mul => wrap(x * y),
+                BinOp::Div => wrap(x / y),
+                BinOp::Rem => return Err(ValueError("% on floating operands".into())),
+                BinOp::Lt => Value::Int((x < y) as i64),
+                BinOp::Le => Value::Int((x <= y) as i64),
+                BinOp::Gt => Value::Int((x > y) as i64),
+                BinOp::Ge => Value::Int((x >= y) as i64),
+                BinOp::Eq => Value::Int((x == y) as i64),
+                BinOp::Ne => Value::Int((x != y) as i64),
+                BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor => {
+                    return Err(ValueError("bitwise op on floating operands".into()))
+                }
+                BinOp::And | BinOp::Or => unreachable!(),
+            };
+            Ok(v)
+        }
+    }
+}
+
+/// Names of the pure math intrinsics.
+fn is_intrinsic_name(name: &str) -> bool {
+    matches!(
+        name,
+        "powf"
+            | "pow"
+            | "fabsf"
+            | "fabs"
+            | "sqrtf"
+            | "sqrt"
+            | "abs"
+            | "mod"
+            | "iand"
+            | "ior"
+            | "ieor"
+            | "min"
+            | "max"
+    )
+}
+
+/// Pure intrinsics evaluable with already-computed argument values
+/// (device-side call path).
+fn eval_pure_intrinsic(
+    name: &str,
+    vals: &[Value],
+) -> Option<Result<Value, acc_device::value::ValueError>> {
+    let one = |i: usize| -> Result<f64, acc_device::value::ValueError> { vals[i].as_f64() };
+    let r = match name {
+        "powf" if vals.len() == 2 => (|| Ok(Value::F32(one(0)?.powf(one(1)?) as f32)))(),
+        "pow" if vals.len() == 2 => (|| Ok(Value::F64(one(0)?.powf(one(1)?))))(),
+        "fabsf" if vals.len() == 1 => (|| Ok(Value::F32(one(0)?.abs() as f32)))(),
+        "fabs" if vals.len() == 1 => (|| Ok(Value::F64(one(0)?.abs())))(),
+        "sqrtf" if vals.len() == 1 => (|| Ok(Value::F32(one(0)?.sqrt() as f32)))(),
+        "sqrt" if vals.len() == 1 => (|| Ok(Value::F64(one(0)?.sqrt())))(),
+        "abs" if vals.len() == 1 => vals[0].as_int().map(|v| Value::Int(v.abs())),
+        "mod" if vals.len() == 2 => (|| {
+            let (a, b) = (vals[0].as_int()?, vals[1].as_int()?);
+            if b == 0 {
+                return Err(acc_device::value::ValueError("mod by zero".into()));
+            }
+            Ok(Value::Int(a % b))
+        })(),
+        "iand" if vals.len() == 2 => (|| Ok(Value::Int(vals[0].as_int()? & vals[1].as_int()?)))(),
+        "ior" if vals.len() == 2 => (|| Ok(Value::Int(vals[0].as_int()? | vals[1].as_int()?)))(),
+        "ieor" if vals.len() == 2 => (|| Ok(Value::Int(vals[0].as_int()? ^ vals[1].as_int()?)))(),
+        "min" if vals.len() == 2 => num_min_max(vals[0], vals[1], true),
+        "max" if vals.len() == 2 => num_min_max(vals[0], vals[1], false),
+        _ => return None,
+    };
+    Some(r)
+}
+
+fn num_min_max(a: Value, b: Value, is_min: bool) -> Result<Value, acc_device::value::ValueError> {
+    match Value::promoted(a, b)? {
+        ScalarType::Int => {
+            let (x, y) = (a.as_int()?, b.as_int()?);
+            Ok(Value::Int(if is_min { x.min(y) } else { x.max(y) }))
+        }
+        ScalarType::Float => {
+            let (x, y) = (a.as_f64()?, b.as_f64()?);
+            Ok(Value::F32(
+                (if is_min { x.min(y) } else { x.max(y) }) as f32,
+            ))
+        }
+        ScalarType::Double => {
+            let (x, y) = (a.as_f64()?, b.as_f64()?);
+            Ok(Value::F64(if is_min { x.min(y) } else { x.max(y) }))
+        }
+    }
+}
+
+/// Named constants visible to generated programs.
+fn device_constant(n: &str) -> Option<Value> {
+    DeviceType::from_symbol(n).map(|d| Value::Int(d.encoding()))
+}
+
+/// The Cray dead-region heuristic: a region is "dead" when every assignment
+/// copies data without computing (no operators, no literals on the RHS) —
+/// the Fig. 11 dummy-loop pattern.
+fn region_is_dead(body: &RegionBody<'_>) -> bool {
+    fn stmt_dead(s: &Stmt) -> bool {
+        match s {
+            Stmt::Assign {
+                op: None, value, ..
+            } => {
+                matches!(value, Expr::Index { .. } | Expr::Var(_))
+            }
+            Stmt::For(l) => l.body.iter().all(stmt_dead),
+            Stmt::AccLoop { l, .. } => l.body.iter().all(stmt_dead),
+            Stmt::DeclScalar { .. } => true,
+            _ => false,
+        }
+    }
+    let stmts: Vec<&Stmt> = match body {
+        RegionBody::Block(b) => b.iter().collect(),
+        RegionBody::Loop(_, l) => l.body.iter().collect(),
+    };
+    // An empty region is trivially dead; a region with only copy-moves is
+    // dead; anything that computes keeps the region alive.
+    stmts.iter().all(|s| stmt_dead(s))
+}

@@ -1,0 +1,136 @@
+//! Differential property tests on the execution machine: the reference
+//! implementation's results must be independent of legitimate
+//! implementation choices (gang counts, vendor mappings) for race-free
+//! programs, and reductions must agree with a sequential host oracle.
+
+use acc_compiler::driver::compile_with_profile;
+use acc_compiler::{RunOutcome, VendorCompiler, VendorId};
+use acc_device::ExecProfile;
+use acc_spec::{DeviceType, Language, ReductionOp, VendorMapping};
+use proptest::prelude::*;
+
+fn run_c(src: &str, profile: ExecProfile) -> RunOutcome {
+    compile_with_profile(src, Language::C, profile, DeviceType::Nvidia)
+        .unwrap_or_else(|e| panic!("{e}\n---\n{src}"))
+        .run()
+        .outcome
+}
+
+/// A partitioned element-wise kernel program returning a checksum.
+fn saxpy_program(n: usize, gangs: u32) -> String {
+    format!(
+        "int main(void) {{\n    int sum = 0;\n    int A[{n}];\n    for (i = 0; i < {n}; i++)\n    {{\n        A[i] = i;\n    }}\n    #pragma acc parallel num_gangs({gangs}) copy(A[0:{n}])\n    {{\n        #pragma acc loop\n        for (i = 0; i < {n}; i++)\n        {{\n            A[i] = A[i] * 3 + 1;\n        }}\n    }}\n    for (i = 0; i < {n}; i++)\n    {{\n        sum += A[i];\n    }}\n    return sum;\n}}\n"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn partitioned_kernel_result_is_gang_count_invariant(
+        n in 1usize..64,
+        gangs in 1u32..16,
+    ) {
+        let expected = match run_c(&saxpy_program(n, 1), ExecProfile::reference()) {
+            RunOutcome::Completed(v) => v,
+            other => panic!("{other:?}"),
+        };
+        let got = match run_c(&saxpy_program(n, gangs), ExecProfile::reference()) {
+            RunOutcome::Completed(v) => v,
+            other => panic!("{other:?}"),
+        };
+        prop_assert_eq!(got, expected);
+        // And the host oracle agrees.
+        let oracle: i64 = (0..n as i64).map(|i| i * 3 + 1).sum();
+        prop_assert_eq!(expected, oracle);
+    }
+
+    #[test]
+    fn mapping_choice_does_not_change_partitioned_results(
+        n in 1usize..48,
+        gangs in 1u32..8,
+    ) {
+        let mut results = Vec::new();
+        for mapping in [
+            VendorMapping::PGI_STYLE,
+            VendorMapping::CAPS_STYLE,
+            VendorMapping::CRAY_STYLE,
+        ] {
+            let profile = ExecProfile::conforming("m", mapping);
+            match run_c(&saxpy_program(n, gangs), profile) {
+                RunOutcome::Completed(v) => results.push(v),
+                other => panic!("{other:?}"),
+            }
+        }
+        prop_assert_eq!(results[0], results[1]);
+        prop_assert_eq!(results[1], results[2]);
+    }
+
+    #[test]
+    fn int_reductions_match_sequential_oracle(
+        vals in prop::collection::vec(-9i64..9, 1..40),
+        op_idx in 0usize..5,
+        gangs in 1u32..10,
+    ) {
+        let (op, sym, init): (ReductionOp, &str, i64) = [
+            (ReductionOp::Add, "+", 3),
+            (ReductionOp::Max, "max", -10_000),
+            (ReductionOp::Min, "min", 10_000),
+            (ReductionOp::BitOr, "|", 0),
+            (ReductionOp::BitXor, "^", 0),
+        ][op_idx];
+        let n = vals.len();
+        let oracle = vals.iter().fold(init, |a, v| op.combine_int(a, *v));
+        // Build the program: V initialized element by element.
+        let mut init_code = String::new();
+        for (i, v) in vals.iter().enumerate() {
+            let v_str = if *v < 0 { format!("(-{})", -v) } else { v.to_string() };
+            init_code.push_str(&format!("    V[{i}] = {v_str};\n"));
+        }
+        let combine = match sym {
+            "max" | "min" => format!("acc = {sym}(acc, V[i]);"),
+            _ => format!("acc = acc {sym} V[i];"),
+        };
+        let src = format!(
+            "int main(void) {{\n    int acc = {init};\n    int V[{n}];\n{init_code}    #pragma acc parallel loop num_gangs({gangs}) reduction({sym}:acc) copyin(V[0:{n}])\n    for (i = 0; i < {n}; i++)\n    {{\n        {combine}\n    }}\n    return acc == {oracle};\n}}\n"
+        );
+        match run_c(&src, ExecProfile::reference()) {
+            RunOutcome::Completed(1) => {}
+            other => prop_assert!(false, "{:?}\n{}", other, src),
+        }
+    }
+
+    #[test]
+    fn latest_vendor_releases_agree_on_clean_programs(
+        n in 1usize..32,
+        gangs in 1u32..6,
+    ) {
+        let src = saxpy_program(n, gangs);
+        let mut outs = Vec::new();
+        for vendor in VendorId::COMMERCIAL {
+            let exe = VendorCompiler::latest(vendor).compile(&src, Language::C).unwrap();
+            match exe.run().outcome {
+                RunOutcome::Completed(v) => outs.push(v),
+                other => panic!("{vendor}: {other:?}"),
+            }
+        }
+        prop_assert!(outs.windows(2).all(|w| w[0] == w[1]), "{outs:?}");
+    }
+
+    #[test]
+    fn fortran_and_c_variants_agree(
+        n in 1usize..32,
+        gangs in 1u32..6,
+    ) {
+        // Render the same AST both ways and compare results.
+        let c_src = saxpy_program(n, gangs);
+        let program = acc_frontend::parse(&c_src, Language::C).unwrap();
+        let mut f = program.clone();
+        f.language = Language::Fortran;
+        let f_src = acc_ast::render(&f);
+        let reference = VendorCompiler::reference();
+        let c_out = reference.compile(&c_src, Language::C).unwrap().run().outcome;
+        let f_out = reference.compile(&f_src, Language::Fortran).unwrap().run().outcome;
+        prop_assert_eq!(c_out, f_out);
+    }
+}

@@ -1,0 +1,295 @@
+//! Result analysis: attribute observed test failures to catalogued bugs.
+//!
+//! The paper's result analyzer does more than count failures — it reports
+//! "the possible reasons of failure" (§III). This module closes the loop
+//! between a campaign run and the bug catalog: every failing feature is
+//! matched against the catalog records active for the release under test,
+//! either directly (a record names that feature) or as *collateral* of a
+//! broader defect (e.g. one broken async runtime fails a dozen async
+//! tests). Failures with no catalogued explanation are flagged — on the
+//! simulated vendors that set is empty, which is itself a strong
+//! consistency check between the catalog and the corpus.
+
+use crate::campaign::SuiteRun;
+use acc_compiler::bugs::{BugCatalog, BugRecord};
+use acc_compiler::VendorId;
+use acc_spec::version::CompilerVersion;
+use acc_spec::{FeatureId, Language};
+use std::fmt::Write as _;
+
+/// How a failing feature relates to the catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Attribution {
+    /// A catalog record names exactly this feature.
+    Direct {
+        /// Record id.
+        bug_id: String,
+        /// Record description.
+        description: String,
+    },
+    /// No record names the feature, but an active record's defect plausibly
+    /// covers it (same defect family — async, reduction operator, directive
+    /// rejection…).
+    Collateral {
+        /// Record id of the broader defect.
+        bug_id: String,
+        /// Record description.
+        description: String,
+    },
+    /// No catalogued explanation — either a corpus bug or a genuinely new
+    /// compiler defect (what the paper would file upstream).
+    Unexplained,
+}
+
+/// One failing feature with its attribution.
+#[derive(Debug, Clone)]
+pub struct AttributedFailure {
+    /// Feature that failed.
+    pub feature: FeatureId,
+    /// Language variant.
+    pub language: Language,
+    /// Attribution.
+    pub attribution: Attribution,
+}
+
+/// Attribute every failure in `run` against the catalog entries active for
+/// `vendor`/`version`.
+pub fn attribute(
+    run: &SuiteRun,
+    catalog: &BugCatalog,
+    vendor: VendorId,
+    version: CompilerVersion,
+) -> Vec<AttributedFailure> {
+    let mut out = Vec::new();
+    for lang in [Language::C, Language::Fortran] {
+        let active = catalog.active(vendor, version, lang);
+        for feature in run.failing_features(lang) {
+            let attribution = attribute_one(&feature, &active);
+            out.push(AttributedFailure {
+                feature,
+                language: lang,
+                attribution,
+            });
+        }
+    }
+    out
+}
+
+fn attribute_one(feature: &FeatureId, active: &[&BugRecord]) -> Attribution {
+    // Direct: a record names this feature.
+    if let Some(r) = active.iter().find(|r| r.feature == *feature) {
+        return Attribution::Direct {
+            bug_id: r.id.clone(),
+            description: r.description.clone(),
+        };
+    }
+    // Collateral: an active record's defect family covers the feature.
+    if let Some(r) = active.iter().find(|r| covers(r, feature)) {
+        return Attribution::Collateral {
+            bug_id: r.id.clone(),
+            description: r.description.clone(),
+        };
+    }
+    Attribution::Unexplained
+}
+
+/// Does an active record's defect plausibly explain a failure of `feature`?
+fn covers(record: &BugRecord, feature: &FeatureId) -> bool {
+    use acc_device::Defect;
+    let f = feature.as_str();
+    match &record.defect {
+        // A broken async runtime fails anything async-flavoured.
+        Defect::AsyncFamilyBroken => {
+            f.contains("async") || f == "wait" || f.starts_with("combo.async")
+        }
+        // A wrong reduction combiner fails every operand-type variant of the
+        // operator, plus reduction-bearing combination tests.
+        Defect::WrongReduction(op) => {
+            f.starts_with(&format!("loop.reduction.{}.", op.ident())) || f.contains("reduction")
+        }
+        // A rejected or ignored directive fails every feature under it.
+        Defect::CompileError(dir, None) | Defect::IgnoreDirective(dir) => {
+            f.starts_with(&dir.name().replace(' ', "_"))
+        }
+        // A rejected clause fails any test whose program uses that pair —
+        // approximated by the feature prefix.
+        Defect::CompileError(dir, Some(clause)) => {
+            let dir_prefix = dir.name().replace(' ', "_");
+            f.starts_with(&dir_prefix) || f.contains(clause.name())
+        }
+        Defect::IgnoreClause(dir, clause) => {
+            let dir_prefix = dir.name().replace(' ', "_");
+            (f.starts_with(&dir_prefix) && f.contains(clause.name())) || f.contains(clause.name())
+        }
+        Defect::ScalarCopyOmitted => f.contains("scalar") || f.contains("copy"),
+        Defect::EliminateDeadComputeRegions => f.contains("copyout"),
+        Defect::UpdateNoop => f.starts_with("update") || f.contains("update"),
+        Defect::FirstprivateUninitialized => f.contains("firstprivate"),
+        Defect::PrivateAliasesShared => f.contains("private"),
+        Defect::RejectVariableSizingExpr => {
+            f.contains("num_gangs") || f.contains("num_workers") || f.contains("vector_length")
+        }
+        Defect::RoutineReturnsConstant(r, _) | Defect::RejectRoutine(r) => {
+            f.contains(r.symbol()) || f.starts_with("rt.")
+        }
+        Defect::HangOnClause(dir, clause) => {
+            let dir_prefix = dir.name().replace(' ', "_");
+            f.starts_with(&dir_prefix) || f.contains(clause.name())
+        }
+        Defect::CollapseIgnoresInner => f.contains("collapse"),
+    }
+}
+
+/// Render an attribution report.
+pub fn render_attribution(failures: &[AttributedFailure]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "FAILURE ATTRIBUTION ({} failing feature variants)",
+        failures.len()
+    );
+    for f in failures {
+        match &f.attribution {
+            Attribution::Direct {
+                bug_id,
+                description,
+            } => {
+                let _ = writeln!(
+                    s,
+                    "  {:<38} [{}] {bug_id}: {description}",
+                    f.feature.as_str(),
+                    f.language.letter()
+                );
+            }
+            Attribution::Collateral {
+                bug_id,
+                description,
+            } => {
+                let _ = writeln!(
+                    s,
+                    "  {:<38} [{}] collateral of {bug_id}: {description}",
+                    f.feature.as_str(),
+                    f.language.letter()
+                );
+            }
+            Attribution::Unexplained => {
+                let _ = writeln!(
+                    s,
+                    "  {:<38} [{}] UNEXPLAINED — candidate new bug report",
+                    f.feature.as_str(),
+                    f.language.letter()
+                );
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::Campaign;
+    use acc_compiler::VendorCompiler;
+
+    fn mini_suite() -> Vec<crate::case::TestCase> {
+        // Reuse a couple of corpus-shaped cases built inline (avoiding a
+        // dev-dependency cycle on acc-testsuite).
+        use crate::cross::CrossRule;
+        use acc_ast::builder as b;
+        use acc_ast::{Expr, Program};
+        let async_base = Program::simple(
+            "rt.acc_async_test",
+            Language::C,
+            vec![
+                b::decl_int("error", 0),
+                b::decl_int("t", -1),
+                b::decl_array("A", acc_ast::ScalarType::Int, 32),
+                b::for_upto(
+                    "i",
+                    Expr::int(32),
+                    vec![b::set1("A", Expr::var("i"), Expr::int(0))],
+                ),
+                b::parallel_region(
+                    vec![
+                        b::copy_sec("A", Expr::int(32)),
+                        acc_ast::AccClause::Async(Some(Expr::int(4))),
+                    ],
+                    vec![b::acc_loop(
+                        vec![],
+                        "i",
+                        Expr::int(32),
+                        vec![b::add1("A", Expr::var("i"), Expr::int(1))],
+                    )],
+                ),
+                b::set("t", Expr::call("acc_async_test", vec![Expr::int(4)])),
+                b::if_then(
+                    Expr::ne(Expr::var("t"), Expr::int(0)),
+                    vec![b::bump_error()],
+                ),
+                b::wait(Some(Expr::int(4))),
+                b::return_error_check(),
+            ],
+        );
+        vec![crate::case::TestCase::new(
+            "rt.acc_async_test",
+            "rt.acc_async_test",
+            async_base,
+            Some(CrossRule::RemoveClause(
+                acc_spec::DirectiveKind::Parallel,
+                acc_spec::ClauseKind::Async,
+            )),
+            "async test",
+        )]
+    }
+
+    #[test]
+    fn pgi_async_failure_attributes_directly() {
+        let catalog = BugCatalog::paper();
+        let version: CompilerVersion = "13.8".parse().unwrap();
+        let compiler = VendorCompiler::new(VendorId::Pgi, version);
+        let run = Campaign::new(mini_suite()).run_one(&compiler);
+        let failures = attribute(&run, &catalog, VendorId::Pgi, version);
+        assert!(!failures.is_empty());
+        for f in &failures {
+            assert!(matches!(f.attribution, Attribution::Direct { .. }), "{f:?}");
+        }
+        let text = render_attribution(&failures);
+        assert!(text.contains("rt.acc_async_test"), "{text}");
+        assert!(!text.contains("UNEXPLAINED"), "{text}");
+    }
+
+    #[test]
+    fn clean_compiler_has_no_failures_to_attribute() {
+        let catalog = BugCatalog::paper();
+        let compiler = VendorCompiler::reference();
+        let run = Campaign::new(mini_suite()).run_one(&compiler);
+        let failures = attribute(
+            &run,
+            &catalog,
+            VendorId::Reference,
+            "1.0.0".parse().unwrap(),
+        );
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn unexplained_failures_are_flagged() {
+        // Run the async test against a compiler with a defect the catalog
+        // does NOT list for it (an extra harness-style defect).
+        let catalog = BugCatalog::paper();
+        let version: CompilerVersion = "3.3.4".parse().unwrap();
+        let compiler = VendorCompiler::new(VendorId::Caps, version)
+            .with_extra_defect(acc_device::Defect::AsyncFamilyBroken);
+        let run = Campaign::new(mini_suite()).run_one(&compiler);
+        let failures = attribute(&run, &catalog, VendorId::Caps, version);
+        assert!(!failures.is_empty());
+        assert!(
+            failures
+                .iter()
+                .all(|f| f.attribution == Attribution::Unexplained),
+            "{failures:?}"
+        );
+        let text = render_attribution(&failures);
+        assert!(text.contains("UNEXPLAINED"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Test cases: one feature test base plus its metadata.
+
+use crate::cross::CrossRule;
+use acc_ast::Program;
+use acc_spec::envvar::EnvConfig;
+use acc_spec::{FeatureId, Language};
+use std::fmt;
+
+/// Default cross-test repetition count (the M of §III).
+pub const DEFAULT_REPETITIONS: u32 = 3;
+
+/// A single feature test: the base program (authored once), the feature it
+/// validates, the languages it applies to, and how to derive its cross test.
+#[derive(Debug, Clone)]
+pub struct TestCase {
+    /// Unique test name (conventionally the feature id).
+    pub name: String,
+    /// Feature under test.
+    pub feature: FeatureId,
+    /// Languages the test applies to (`acc_malloc` has no Fortran binding
+    /// in 1.0, so its tests are C-only).
+    pub languages: Vec<Language>,
+    /// The test base. Stored in C form; [`TestCase::program_for`] re-renders
+    /// per language.
+    pub base: Program,
+    /// Cross derivation; `None` for features where no meaningful cross test
+    /// exists (§III: "a set of short feature tests wherever possible").
+    pub cross: Option<CrossRule>,
+    /// Human-readable description for reports.
+    pub description: String,
+    /// ACC_* environment for the run (environment-variable tests).
+    pub env: EnvConfig,
+    /// Cross-test repetitions (M).
+    pub repetitions: u32,
+}
+
+impl TestCase {
+    /// Construct with defaults (both languages, M = 3, empty env).
+    pub fn new(
+        name: impl Into<String>,
+        feature: impl Into<String>,
+        base: Program,
+        cross: Option<CrossRule>,
+        description: impl Into<String>,
+    ) -> Self {
+        let name = name.into();
+        TestCase {
+            name,
+            feature: FeatureId::new(feature.into()),
+            languages: vec![Language::C, Language::Fortran],
+            base,
+            cross,
+            description: description.into(),
+            env: EnvConfig::empty(),
+            repetitions: DEFAULT_REPETITIONS,
+        }
+    }
+
+    /// Restrict to C only.
+    pub fn c_only(mut self) -> Self {
+        self.languages = vec![Language::C];
+        self
+    }
+
+    /// Set the run environment.
+    pub fn with_env(mut self, env: EnvConfig) -> Self {
+        self.env = env;
+        self
+    }
+
+    /// Does the test apply to the language?
+    pub fn supports(&self, lang: Language) -> bool {
+        self.languages.contains(&lang)
+    }
+
+    /// The functional program rendered for a language.
+    pub fn program_for(&self, lang: Language) -> Program {
+        let mut p = self.base.clone();
+        p.language = lang;
+        p
+    }
+
+    /// The cross program rendered for a language (None when the test has no
+    /// cross rule).
+    pub fn cross_program_for(&self, lang: Language) -> Option<Program> {
+        self.cross.as_ref().map(|rule| {
+            let mut p = rule.apply(&self.base);
+            p.language = lang;
+            p
+        })
+    }
+
+    /// Functional source text for a language.
+    pub fn source_for(&self, lang: Language) -> String {
+        acc_ast::render(&self.program_for(lang))
+    }
+
+    /// Cross source text for a language.
+    pub fn cross_source_for(&self, lang: Language) -> Option<String> {
+        self.cross_program_for(lang).map(|p| acc_ast::render(&p))
+    }
+}
+
+/// Classification of one test execution against one compiler+language —
+/// mirroring the paper's failure taxonomy (§V: compile-time errors; runtime
+/// errors: incorrect result, crash, executes forever).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TestStatus {
+    /// Functional test passed and the cross test discriminated at 100%
+    /// certainty (or the test defines no cross).
+    Pass,
+    /// Functional test passed but the cross test did NOT discriminate — the
+    /// directive appears to have no effect; the paper reports this and the
+    /// functional test is re-designed. Counted as a pass for the compiler
+    /// (the failure is the suite's).
+    PassInconclusive,
+    /// Compilation failed.
+    CompileError(String),
+    /// The program ran and produced an incorrect result — the "wrong code
+    /// bugs … in silence" class.
+    WrongResult,
+    /// The program crashed at runtime.
+    Crash(String),
+    /// The program exceeded its execution budget ("executes forever").
+    Timeout,
+    /// The test does not apply to this language.
+    Skipped,
+}
+
+impl TestStatus {
+    /// Conformance verdict: did the compiler pass this feature test?
+    pub fn passed(&self) -> bool {
+        matches!(self, TestStatus::Pass | TestStatus::PassInconclusive)
+    }
+
+    /// Is this a countable executed test (not skipped)?
+    pub fn counted(&self) -> bool {
+        !matches!(self, TestStatus::Skipped)
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TestStatus::Pass => "PASS",
+            TestStatus::PassInconclusive => "PASS*",
+            TestStatus::CompileError(_) => "COMPILE-ERROR",
+            TestStatus::WrongResult => "WRONG-RESULT",
+            TestStatus::Crash(_) => "CRASH",
+            TestStatus::Timeout => "TIMEOUT",
+            TestStatus::Skipped => "SKIP",
+        }
+    }
+}
+
+impl fmt::Display for TestStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestStatus::CompileError(m) => write!(f, "COMPILE-ERROR: {m}"),
+            TestStatus::Crash(m) => write!(f, "CRASH: {m}"),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_ast::builder as b;
+    use acc_ast::{Expr, Stmt};
+    use acc_spec::DirectiveKind;
+
+    fn sample() -> TestCase {
+        let base = Program::simple(
+            "t",
+            Language::C,
+            vec![
+                b::decl_array("A", acc_ast::ScalarType::Int, 8),
+                b::parallel_region(
+                    vec![],
+                    vec![b::acc_loop(
+                        vec![],
+                        "i",
+                        Expr::int(8),
+                        vec![b::set1("A", Expr::var("i"), Expr::int(1))],
+                    )],
+                ),
+                Stmt::Return(Expr::int(1)),
+            ],
+        );
+        TestCase::new(
+            "loop",
+            "loop",
+            base,
+            Some(CrossRule::RemoveDirective(DirectiveKind::Loop)),
+            "loop directive partitions iterations",
+        )
+    }
+
+    #[test]
+    fn renders_both_languages() {
+        let t = sample();
+        let c = t.source_for(Language::C);
+        let f = t.source_for(Language::Fortran);
+        assert!(c.contains("#pragma acc parallel"));
+        assert!(f.contains("!$acc parallel"));
+        assert!(f.contains("!$acc end parallel"));
+    }
+
+    #[test]
+    fn cross_sources_lack_the_directive() {
+        let t = sample();
+        let c = t.cross_source_for(Language::C).unwrap();
+        assert!(!c.contains("#pragma acc loop"));
+        assert!(c.contains("#pragma acc parallel"));
+        let f = t.cross_source_for(Language::Fortran).unwrap();
+        assert!(!f.contains("!$acc loop"));
+    }
+
+    #[test]
+    fn c_only_restriction() {
+        let t = sample().c_only();
+        assert!(t.supports(Language::C));
+        assert!(!t.supports(Language::Fortran));
+    }
+
+    #[test]
+    fn status_classification() {
+        assert!(TestStatus::Pass.passed());
+        assert!(TestStatus::PassInconclusive.passed());
+        assert!(!TestStatus::WrongResult.passed());
+        assert!(!TestStatus::CompileError("x".into()).passed());
+        assert!(!TestStatus::Skipped.counted());
+        assert!(TestStatus::Timeout.counted());
+        assert_eq!(TestStatus::WrongResult.label(), "WRONG-RESULT");
+    }
+
+    #[test]
+    fn no_cross_rule_means_no_cross_program() {
+        let mut t = sample();
+        t.cross = None;
+        assert!(t.cross_program_for(Language::C).is_none());
+    }
+}

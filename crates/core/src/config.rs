@@ -1,0 +1,120 @@
+//! Suite configuration: compiler selection, feature filtering, repetitions.
+//!
+//! §III's "major features": *Compiler configuration* (which implementation
+//! to validate) and *Feature selection* ("user can choose to test the
+//! directives, their clauses or any other feature of their choice").
+
+use acc_spec::{FeatureId, Language};
+
+/// Which features to run.
+#[derive(Debug, Clone, Default)]
+pub enum FeatureFilter {
+    /// Everything.
+    #[default]
+    All,
+    /// Only features whose id starts with one of the prefixes
+    /// (`"parallel"` selects the whole parallel area; `"loop.reduction"`
+    /// selects the reduction battery).
+    Prefixes(Vec<String>),
+    /// An explicit feature list.
+    Exact(Vec<FeatureId>),
+}
+
+impl FeatureFilter {
+    /// Does the filter select this feature?
+    pub fn selects(&self, feature: &FeatureId) -> bool {
+        match self {
+            FeatureFilter::All => true,
+            FeatureFilter::Prefixes(ps) => {
+                ps.iter().any(|p| feature.as_str().starts_with(p.as_str()))
+            }
+            FeatureFilter::Exact(list) => list.contains(feature),
+        }
+    }
+}
+
+/// Configuration of one suite run.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Languages to exercise.
+    pub languages: Vec<Language>,
+    /// Feature selection.
+    pub filter: FeatureFilter,
+    /// Override of every case's cross-test repetition count (None = per-case
+    /// default).
+    pub repetitions: Option<u32>,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            languages: vec![Language::C, Language::Fortran],
+            filter: FeatureFilter::All,
+            repetitions: None,
+        }
+    }
+}
+
+impl SuiteConfig {
+    /// Default configuration: both languages, all features.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Restrict to one language.
+    pub fn language(mut self, lang: Language) -> Self {
+        self.languages = vec![lang];
+        self
+    }
+
+    /// Select features by prefix.
+    pub fn select_prefixes(mut self, prefixes: &[&str]) -> Self {
+        self.filter = FeatureFilter::Prefixes(prefixes.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Force a repetition count.
+    pub fn with_repetitions(mut self, m: u32) -> Self {
+        self.repetitions = Some(m);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_selects_everything() {
+        let c = SuiteConfig::new();
+        assert!(c.filter.selects(&FeatureId::from("parallel.num_gangs")));
+        assert_eq!(c.languages.len(), 2);
+        assert!(c.repetitions.is_none());
+    }
+
+    #[test]
+    fn prefix_filter() {
+        let f = FeatureFilter::Prefixes(vec!["loop.reduction".into(), "update".into()]);
+        assert!(f.selects(&FeatureId::from("loop.reduction.add.int")));
+        assert!(f.selects(&FeatureId::from("update.host")));
+        assert!(!f.selects(&FeatureId::from("loop.gang")));
+    }
+
+    #[test]
+    fn exact_filter() {
+        let f = FeatureFilter::Exact(vec![FeatureId::from("wait")]);
+        assert!(f.selects(&FeatureId::from("wait")));
+        assert!(!f.selects(&FeatureId::from("wait2")));
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = SuiteConfig::new()
+            .language(Language::C)
+            .select_prefixes(&["data"])
+            .with_repetitions(7);
+        assert_eq!(c.languages, vec![Language::C]);
+        assert_eq!(c.repetitions, Some(7));
+        assert!(c.filter.selects(&FeatureId::from("data.copyin")));
+    }
+}

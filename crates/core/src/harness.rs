@@ -1,0 +1,234 @@
+//! The test harness: compile, run, check, cross-validate (§III Fig. 3).
+//!
+//! "A test harness will then compile the program, run the executable, check
+//! for the results and generate reports. … first we perform the functional
+//! test. If the feature passes the test, the feature will need to undergo a
+//! deeper test, i.e. the cross test. If the feature did not pass the
+//! functional test, a 'failure' will be directly reported to the result
+//! analyzer bypassing the necessity to do the cross test."
+
+use crate::case::{TestCase, TestStatus};
+use crate::stats::Certainty;
+use acc_compiler::exec::RunOutcome;
+use acc_compiler::VendorCompiler;
+use acc_spec::Language;
+
+/// The full record of one test executed against one compiler+language.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Test name.
+    pub name: String,
+    /// Feature id.
+    pub feature: acc_spec::FeatureId,
+    /// Language variant.
+    pub language: Language,
+    /// Classification.
+    pub status: TestStatus,
+    /// Certainty statistics when a cross test ran.
+    pub certainty: Option<Certainty>,
+    /// The generated functional source (appended to bug reports "for
+    /// vendors' convenience").
+    pub functional_source: String,
+}
+
+impl CaseResult {
+    /// Did the compiler pass?
+    pub fn passed(&self) -> bool {
+        self.status.passed()
+    }
+}
+
+/// Run one test case against a compiler for one language.
+pub fn run_case(case: &TestCase, compiler: &VendorCompiler, language: Language) -> CaseResult {
+    let mk = |status: TestStatus, certainty: Option<Certainty>, src: String| CaseResult {
+        name: case.name.clone(),
+        feature: case.feature.clone(),
+        language,
+        status,
+        certainty,
+        functional_source: src,
+    };
+    if !case.supports(language) {
+        return mk(TestStatus::Skipped, None, String::new());
+    }
+    let source = case.source_for(language);
+    // 1. Compile the functional test.
+    let exe = match compiler.compile(&source, language) {
+        Ok(exe) => exe,
+        Err(e) => return mk(TestStatus::CompileError(e.to_string()), None, source),
+    };
+    // 2. Run it.
+    match exe.run_with_env(&case.env).outcome {
+        RunOutcome::Completed(v) if v != 0 => {}
+        RunOutcome::Completed(_) => return mk(TestStatus::WrongResult, None, source),
+        RunOutcome::Crash(m) => return mk(TestStatus::Crash(m), None, source),
+        RunOutcome::Timeout => return mk(TestStatus::Timeout, None, source),
+    }
+    // 3. Functional passed: deepen with the cross test.
+    let cross_source = match case.cross_source_for(language) {
+        Some(s) => s,
+        None => return mk(TestStatus::Pass, None, source),
+    };
+    let cross_exe = match compiler.compile(&cross_source, language) {
+        // A cross test that does not compile cannot raise confidence; the
+        // functional pass stands but is flagged inconclusive.
+        Err(_) => return mk(TestStatus::PassInconclusive, None, source),
+        Ok(exe) => exe,
+    };
+    // 4. Repeat the cross run M times; nf = runs yielding an incorrect
+    //    result (which is what the cross test SHOULD yield).
+    let m = case.repetitions.max(1);
+    let mut nf = 0;
+    for _ in 0..m {
+        let outcome = cross_exe.run_with_env(&case.env).outcome;
+        let incorrect = !matches!(outcome, RunOutcome::Completed(v) if v != 0);
+        if incorrect {
+            nf += 1;
+        }
+    }
+    let cert = Certainty::new(m, nf);
+    if cert.validated() {
+        mk(TestStatus::Pass, Some(cert), source)
+    } else {
+        mk(TestStatus::PassInconclusive, Some(cert), source)
+    }
+}
+
+/// Self-check a case against the defect-free reference implementation:
+/// the functional test must pass and the cross test must discriminate.
+/// Returns a list of problems (empty = healthy test).
+pub fn validate_case(case: &TestCase) -> Vec<String> {
+    let reference = VendorCompiler::reference();
+    let mut problems = Vec::new();
+    for lang in [Language::C, Language::Fortran] {
+        if !case.supports(lang) {
+            continue;
+        }
+        let r = run_case(case, &reference, lang);
+        match &r.status {
+            TestStatus::Pass => {}
+            TestStatus::PassInconclusive => problems.push(format!(
+                "{} ({lang}): cross test does not discriminate under the reference \
+                 implementation ({})",
+                case.name,
+                r.certainty.map(|c| c.to_string()).unwrap_or_default()
+            )),
+            other => problems.push(format!(
+                "{} ({lang}): functional test fails under the reference implementation: {other}",
+                case.name
+            )),
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cross::CrossRule;
+    use acc_ast::builder as b;
+    use acc_ast::{Expr, Program};
+    use acc_compiler::VendorId;
+    use acc_spec::DirectiveKind;
+
+    /// The Fig. 2 loop test: functional expects each element incremented
+    /// once; the cross variant (directive removed) increments 10×.
+    fn loop_case() -> TestCase {
+        let n = 32;
+        let base = Program::simple(
+            "loop",
+            Language::C,
+            vec![
+                b::decl_int("error", 0),
+                b::decl_array("A", acc_ast::ScalarType::Int, n),
+                b::for_upto(
+                    "i",
+                    Expr::int(n as i64),
+                    vec![b::set1("A", Expr::var("i"), Expr::int(0))],
+                ),
+                b::parallel_region(
+                    vec![
+                        acc_ast::AccClause::NumGangs(Expr::int(10)),
+                        b::copy_sec("A", Expr::int(n as i64)),
+                    ],
+                    vec![b::acc_loop(
+                        vec![],
+                        "i",
+                        Expr::int(n as i64),
+                        vec![b::add1("A", Expr::var("i"), Expr::int(1))],
+                    )],
+                ),
+                b::for_upto(
+                    "i",
+                    Expr::int(n as i64),
+                    vec![b::if_then(
+                        Expr::ne(Expr::idx("A", Expr::var("i")), Expr::int(1)),
+                        vec![b::bump_error()],
+                    )],
+                ),
+                b::return_error_check(),
+            ],
+        );
+        TestCase::new(
+            "loop",
+            "loop",
+            base,
+            Some(CrossRule::RemoveDirective(DirectiveKind::Loop)),
+            "loop directive shares iterations across gangs",
+        )
+    }
+
+    #[test]
+    fn reference_passes_with_full_certainty() {
+        let case = loop_case();
+        for lang in [Language::C, Language::Fortran] {
+            let r = run_case(&case, &VendorCompiler::reference(), lang);
+            assert_eq!(r.status, TestStatus::Pass, "{lang}: {:?}", r.status);
+            let c = r.certainty.unwrap();
+            assert!(c.validated());
+            assert_eq!(c.pc(), 1.0);
+        }
+    }
+
+    #[test]
+    fn validate_case_accepts_healthy_test() {
+        assert!(validate_case(&loop_case()).is_empty());
+    }
+
+    #[test]
+    fn broken_compiler_fails_functionally() {
+        // A compiler that ignores the loop directive produces 10x increments
+        // in the functional test → wrong result.
+        let mut profile = acc_device::ExecProfile::reference();
+        profile.inject(acc_device::Defect::IgnoreDirective(DirectiveKind::Loop));
+        let case = loop_case();
+        let src = case.source_for(Language::C);
+        let exe = acc_compiler::driver::compile_with_profile(
+            &src,
+            Language::C,
+            profile,
+            acc_spec::DeviceType::Nvidia,
+        )
+        .unwrap();
+        assert!(matches!(exe.run().outcome, RunOutcome::Completed(0)));
+    }
+
+    #[test]
+    fn caps_oldest_vs_latest() {
+        // The latest CAPS release passes the loop test; the loop test itself
+        // exercises no catalogued CAPS bug, so both should pass — but a
+        // num_gangs variable-expression test distinguishes them.
+        let case = loop_case();
+        let latest = VendorCompiler::latest(VendorId::Caps);
+        let r = run_case(&case, &latest, Language::C);
+        assert_eq!(r.status, TestStatus::Pass, "{:?}", r.status);
+    }
+
+    #[test]
+    fn skipped_language() {
+        let case = loop_case().c_only();
+        let r = run_case(&case, &VendorCompiler::reference(), Language::Fortran);
+        assert_eq!(r.status, TestStatus::Skipped);
+        assert!(!r.status.counted());
+    }
+}

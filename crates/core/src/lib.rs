@@ -1,0 +1,50 @@
+//! # acc-validation — the OpenACC validation testsuite infrastructure
+//!
+//! This crate is the paper's primary contribution (§III): a testing
+//! infrastructure that validates OpenACC compiler implementations for
+//! conformance, correctness and completeness.
+//!
+//! * **Templates** ([`template`]) — test bases are authored once, in an
+//!   HTML-ish tag format wrapping a C-syntax program body. The expansion
+//!   engine parses the body with the reference front-end and generates the
+//!   complete standalone C *and* Fortran programs, for both the functional
+//!   and the cross variant — the paper's "only one test base is needed for
+//!   each of the OpenACC features being validated".
+//! * **Functional and cross tests** ([`case`], [`cross`]) — the functional
+//!   test checks the directive against a pre-calculated value; the cross
+//!   test removes (or substitutes) the directive under test and must yield
+//!   an *incorrect* result, confirming the functional pass was caused by the
+//!   directive itself (§III, Fig. 2).
+//! * **Statistical certainty** ([`stats`]) — cross runs are repeated M
+//!   times; with `nf` failures, `p = nf/M`, the accidental-pass probability
+//!   is `pa = (1-p)^M` and the certainty `pc = 1 - pa`; a feature is
+//!   validated only at `pc = 100%`.
+//! * **Harness** ([`harness`]) — compiles each generated program with the
+//!   compiler under test, runs it, classifies the outcome (pass, wrong
+//!   result, compile error, crash, timeout), and applies the cross
+//!   methodology.
+//! * **Campaigns and reports** ([`campaign`], [`report`]) — run a whole
+//!   suite against one or many compiler releases, compute pass rates
+//!   (Fig. 8), collect discovered-bug inventories (Table I), and render
+//!   reports in plain text, CSV, or HTML with code snippets appended "for
+//!   vendors' convenience".
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod campaign;
+pub mod case;
+pub mod config;
+pub mod cross;
+pub mod harness;
+pub mod report;
+pub mod stats;
+pub mod template;
+
+pub use analysis::{attribute, Attribution};
+pub use campaign::{Campaign, CampaignResult, SuiteRun};
+pub use case::{TestCase, TestStatus};
+pub use config::SuiteConfig;
+pub use cross::CrossRule;
+pub use harness::{run_case, CaseResult};
+pub use stats::Certainty;

@@ -1,0 +1,121 @@
+//! The statistical certainty model of §III.
+//!
+//! "if `nf` is the number of failed cross tests and `M` the total number of
+//! iterations, the probability that the test will fail is `p = nf/M`. Thus
+//! the probability that an incorrect implementation passes the test is
+//! `pa = (1 − p)^M`, and the certainty of test is `pc = 1 − pa`. … if the
+//! probability is 100%, we conclude that the test passed."
+
+use std::fmt;
+
+/// The certainty computation for one feature's repeated cross runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Certainty {
+    /// Total cross-test iterations (M).
+    pub m: u32,
+    /// Failed (i.e. correctly-discriminating) cross iterations (nf).
+    pub nf: u32,
+}
+
+impl Certainty {
+    /// Build from iteration counts. Panics when `nf > m` or `m == 0`.
+    pub fn new(m: u32, nf: u32) -> Self {
+        assert!(m > 0, "certainty requires at least one iteration");
+        assert!(nf <= m, "cannot fail more iterations than were run");
+        Certainty { m, nf }
+    }
+
+    /// `p = nf / M` — per-iteration cross failure probability.
+    pub fn p(&self) -> f64 {
+        self.nf as f64 / self.m as f64
+    }
+
+    /// `pa = (1 - p)^M` — probability an incorrect implementation passes
+    /// accidentally.
+    pub fn pa(&self) -> f64 {
+        (1.0 - self.p()).powi(self.m as i32)
+    }
+
+    /// `pc = 1 - pa` — certainty that the directive is validated.
+    pub fn pc(&self) -> f64 {
+        1.0 - self.pa()
+    }
+
+    /// The paper's acceptance criterion: certainty is exactly 100%, i.e.
+    /// every cross iteration produced an incorrect result.
+    pub fn validated(&self) -> bool {
+        self.nf == self.m
+    }
+}
+
+impl fmt::Display for Certainty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "M={}, nf={}, p={:.3}, pa={:.3}, pc={:.1}%",
+            self.m,
+            self.nf,
+            self.p(),
+            self.pa(),
+            self.pc() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_cross_failures_give_full_certainty() {
+        let c = Certainty::new(5, 5);
+        assert_eq!(c.p(), 1.0);
+        assert_eq!(c.pa(), 0.0);
+        assert_eq!(c.pc(), 1.0);
+        assert!(c.validated());
+    }
+
+    #[test]
+    fn no_cross_failures_give_zero_certainty() {
+        let c = Certainty::new(5, 0);
+        assert_eq!(c.p(), 0.0);
+        assert_eq!(c.pa(), 1.0);
+        assert_eq!(c.pc(), 0.0);
+        assert!(!c.validated());
+    }
+
+    #[test]
+    fn partial_failures_are_not_validated() {
+        // Even high certainty below 100% does not validate (the paper
+        // requires exactly 100%).
+        let c = Certainty::new(10, 9);
+        assert!(c.pc() > 0.99);
+        assert!(!c.validated());
+    }
+
+    #[test]
+    fn formula_matches_paper() {
+        let c = Certainty::new(4, 2);
+        assert!((c.p() - 0.5).abs() < 1e-12);
+        assert!((c.pa() - 0.0625).abs() < 1e-12); // (1-0.5)^4
+        assert!((c.pc() - 0.9375).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_panic() {
+        Certainty::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fail more")]
+    fn nf_bounded_by_m() {
+        Certainty::new(3, 4);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Certainty::new(3, 3).to_string();
+        assert!(s.contains("pc=100.0%"), "{s}");
+    }
+}

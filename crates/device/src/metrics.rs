@@ -1,0 +1,108 @@
+//! Execution metrics: what the device did.
+//!
+//! The Titan harness (§VII) tracks "functionality improvements or
+//! degradation over time"; the benches report throughput. Both consume these
+//! counters rather than peeking into machine internals.
+
+use std::fmt;
+
+/// Counters accumulated over one program execution.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Metrics {
+    /// Compute-region launches.
+    pub kernels_launched: u64,
+    /// Of which asynchronous.
+    pub async_launches: u64,
+    /// Host→device bytes transferred.
+    pub bytes_to_device: u64,
+    /// Device→host bytes transferred.
+    pub bytes_to_host: u64,
+    /// Loop iterations executed on the device.
+    pub device_iterations: u64,
+    /// Statements interpreted (host and device).
+    pub statements_executed: u64,
+    /// Device buffer allocations.
+    pub allocations: u64,
+    /// Reductions combined.
+    pub reductions: u64,
+    /// Present-table hits (`present` and `present_or_*` finding data).
+    pub present_hits: u64,
+    /// Present-table misses that fell back to an allocation.
+    pub present_misses: u64,
+}
+
+impl Metrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes moved either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_to_device + self.bytes_to_host
+    }
+
+    /// Merge another metrics record into this one (for campaign totals).
+    pub fn merge(&mut self, other: &Metrics) {
+        self.kernels_launched += other.kernels_launched;
+        self.async_launches += other.async_launches;
+        self.bytes_to_device += other.bytes_to_device;
+        self.bytes_to_host += other.bytes_to_host;
+        self.device_iterations += other.device_iterations;
+        self.statements_executed += other.statements_executed;
+        self.allocations += other.allocations;
+        self.reductions += other.reductions;
+        self.present_hits += other.present_hits;
+        self.present_misses += other.present_misses;
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "kernels={} (async {}), bytes h2d={} d2h={}, iters={}, stmts={}, allocs={}, \
+             reductions={}, present {}:{}",
+            self.kernels_launched,
+            self.async_launches,
+            self.bytes_to_device,
+            self.bytes_to_host,
+            self.device_iterations,
+            self.statements_executed,
+            self.allocations,
+            self.reductions,
+            self.present_hits,
+            self.present_misses,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Metrics {
+            kernels_launched: 2,
+            bytes_to_device: 100,
+            ..Default::default()
+        };
+        let b = Metrics {
+            kernels_launched: 3,
+            bytes_to_host: 50,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.kernels_launched, 5);
+        assert_eq!(a.total_bytes(), 150);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let m = Metrics::new();
+        let s = m.to_string();
+        assert!(s.contains("kernels=0"));
+        assert!(s.contains("present 0:0"));
+    }
+}

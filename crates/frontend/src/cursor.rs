@@ -1,0 +1,396 @@
+//! Token cursor and the shared Pratt expression parser.
+//!
+//! Both front-ends and the directive grammar parse expressions through
+//! [`parse_expr`]; the only language-dependent choice is whether
+//! `ident(args)` denotes a call or an array element (Fortran overloads
+//! parentheses — the front-end resolves using the intrinsic/runtime name
+//! space, which is exactly what a real Fortran front-end's implicit
+//! interface rules boil down to for the generated subset).
+
+use crate::diag::ParseError;
+use crate::lex::{SpannedTok, Tok};
+use acc_ast::{BinOp, Expr, ScalarType, UnOp};
+use acc_spec::Language;
+
+/// Names that denote calls (not array references) in Fortran expressions.
+pub const FORTRAN_INTRINSICS: &[&str] = &[
+    "mod", "iand", "ior", "ieor", "pow", "powf", "fabs", "fabsf", "sqrt", "sqrtf", "abs", "min",
+    "max",
+];
+
+/// True when `name` is a callable (intrinsic or OpenACC runtime routine) in
+/// Fortran expression position.
+pub fn is_fortran_callable(name: &str) -> bool {
+    FORTRAN_INTRINSICS.contains(&name) || name.starts_with("acc_")
+}
+
+/// A cursor over a token stream.
+#[derive(Debug)]
+pub struct Cursor {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Cursor {
+    /// Wrap a token stream.
+    pub fn new(toks: Vec<SpannedTok>) -> Self {
+        Cursor { toks, pos: 0 }
+    }
+
+    /// Current token (Eof-padded).
+    pub fn peek(&self) -> &Tok {
+        self.toks.get(self.pos).map(|t| &t.tok).unwrap_or(&Tok::Eof)
+    }
+
+    /// Token `n` ahead of the current one.
+    pub fn peek_n(&self, n: usize) -> &Tok {
+        self.toks
+            .get(self.pos + n)
+            .map(|t| &t.tok)
+            .unwrap_or(&Tok::Eof)
+    }
+
+    /// Current 1-based line.
+    pub fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    /// Advance and return the consumed token.
+    #[allow(clippy::should_implement_trait)] // a cursor, not an Iterator
+    pub fn next(&mut self) -> Tok {
+        let t = self.peek().clone();
+        if self.pos < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consume the given punctuation if present; returns whether it was.
+    pub fn eat_punct(&mut self, p: &str) -> bool {
+        if self.peek().is_punct(p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume the given identifier if present; returns whether it was.
+    pub fn eat_ident(&mut self, k: &str) -> bool {
+        if self.peek().is_ident(k) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Require the given punctuation.
+    pub fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                self.line(),
+                format!("expected {p:?}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    /// Require any identifier and return it.
+    pub fn expect_any_ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(ParseError::new(
+                self.line(),
+                format!("expected identifier, found {other:?}"),
+            )),
+        }
+    }
+
+    /// Require the given identifier/keyword.
+    pub fn expect_ident(&mut self, k: &str) -> Result<(), ParseError> {
+        if self.eat_ident(k) {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                self.line(),
+                format!("expected {k:?}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    /// Skip any run of newline separators (Fortran).
+    pub fn skip_newlines(&mut self) {
+        while matches!(self.peek(), Tok::Newline) {
+            self.pos += 1;
+        }
+    }
+
+    /// True at end of input.
+    pub fn at_eof(&self) -> bool {
+        matches!(self.peek(), Tok::Eof)
+    }
+}
+
+/// Parse a full expression.
+pub fn parse_expr(c: &mut Cursor, lang: Language) -> Result<Expr, ParseError> {
+    parse_bin(c, lang, 0)
+}
+
+fn punct_binop(p: &str) -> Option<BinOp> {
+    Some(match p {
+        "+" => BinOp::Add,
+        "-" => BinOp::Sub,
+        "*" => BinOp::Mul,
+        "/" => BinOp::Div,
+        "%" => BinOp::Rem,
+        "<" => BinOp::Lt,
+        "<=" => BinOp::Le,
+        ">" => BinOp::Gt,
+        ">=" => BinOp::Ge,
+        "==" => BinOp::Eq,
+        "!=" => BinOp::Ne,
+        "&&" => BinOp::And,
+        "||" => BinOp::Or,
+        "&" => BinOp::BitAnd,
+        "|" => BinOp::BitOr,
+        "^" => BinOp::BitXor,
+        _ => return None,
+    })
+}
+
+fn parse_bin(c: &mut Cursor, lang: Language, min_prec: u8) -> Result<Expr, ParseError> {
+    let mut lhs = parse_unary(c, lang)?;
+    while let Tok::Punct(p) = c.peek() {
+        let op = match punct_binop(p) {
+            Some(op) if op.precedence() >= min_prec => op,
+            _ => break,
+        };
+        c.next();
+        let rhs = parse_bin(c, lang, op.precedence() + 1)?;
+        lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+    }
+    Ok(lhs)
+}
+
+fn parse_unary(c: &mut Cursor, lang: Language) -> Result<Expr, ParseError> {
+    if c.eat_punct("-") {
+        let inner = parse_unary(c, lang)?;
+        // Fold -literal immediately so `(-1)` round-trips as Int(-1).
+        return Ok(match inner {
+            Expr::Int(v) => Expr::Int(-v),
+            Expr::Real(v, t) => Expr::Real(-v, t),
+            e => Expr::Unary(UnOp::Neg, Box::new(e)),
+        });
+    }
+    if c.eat_punct("!") {
+        let inner = parse_unary(c, lang)?;
+        return Ok(Expr::Unary(UnOp::Not, Box::new(inner)));
+    }
+    if c.eat_punct("+") {
+        return parse_unary(c, lang);
+    }
+    parse_postfix(c, lang)
+}
+
+fn parse_postfix(c: &mut Cursor, lang: Language) -> Result<Expr, ParseError> {
+    let line = c.line();
+    match c.next() {
+        Tok::Int(v) => Ok(Expr::Int(v)),
+        Tok::Real(v, double) => Ok(Expr::Real(
+            v,
+            if double {
+                ScalarType::Double
+            } else {
+                ScalarType::Float
+            },
+        )),
+        Tok::Punct("(") => {
+            let e = parse_expr(c, lang)?;
+            c.expect_punct(")")?;
+            Ok(e)
+        }
+        Tok::Ident(name) => {
+            if name == "sizeof" && lang == Language::C {
+                c.expect_punct("(")?;
+                let ty = parse_scalar_type_name(c)?;
+                c.expect_punct(")")?;
+                return Ok(Expr::SizeOf(ty));
+            }
+            match lang {
+                Language::C => {
+                    if c.peek().is_punct("(") {
+                        c.next();
+                        let args = parse_args(c, lang)?;
+                        Ok(Expr::Call { name, args })
+                    } else if c.peek().is_punct("[") {
+                        let mut indices = Vec::new();
+                        while c.eat_punct("[") {
+                            indices.push(parse_expr(c, lang)?);
+                            c.expect_punct("]")?;
+                        }
+                        Ok(Expr::Index {
+                            base: name,
+                            indices,
+                        })
+                    } else {
+                        Ok(Expr::Var(name))
+                    }
+                }
+                Language::Fortran => {
+                    if c.peek().is_punct("(") {
+                        c.next();
+                        let args = parse_args(c, lang)?;
+                        if is_fortran_callable(&name) {
+                            Ok(Expr::Call { name, args })
+                        } else {
+                            Ok(Expr::Index {
+                                base: name,
+                                indices: args,
+                            })
+                        }
+                    } else {
+                        Ok(Expr::Var(name))
+                    }
+                }
+            }
+        }
+        other => Err(ParseError::new(
+            line,
+            format!("expected expression, found {other:?}"),
+        )),
+    }
+}
+
+fn parse_args(c: &mut Cursor, lang: Language) -> Result<Vec<Expr>, ParseError> {
+    let mut args = Vec::new();
+    if c.eat_punct(")") {
+        return Ok(args);
+    }
+    loop {
+        args.push(parse_expr(c, lang)?);
+        if c.eat_punct(",") {
+            continue;
+        }
+        c.expect_punct(")")?;
+        break;
+    }
+    Ok(args)
+}
+
+/// Parse a scalar type name (for `sizeof` and declarations).
+pub fn parse_scalar_type_name(c: &mut Cursor) -> Result<ScalarType, ParseError> {
+    let line = c.line();
+    let name = c.expect_any_ident()?;
+    match name.as_str() {
+        "int" => Ok(ScalarType::Int),
+        "float" => Ok(ScalarType::Float),
+        "double" => Ok(ScalarType::Double),
+        other => Err(ParseError::new(
+            line,
+            format!("unknown type name {other:?}"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::{lex_c, lex_fortran};
+    use acc_ast::cgen::expr_to_c;
+
+    fn c_expr(src: &str) -> Expr {
+        let toks = lex_c(src).unwrap();
+        let mut c = Cursor::new(toks);
+        parse_expr(&mut c, Language::C).unwrap()
+    }
+
+    fn f_expr(src: &str) -> Expr {
+        let toks = lex_fortran(src).unwrap();
+        let mut c = Cursor::new(toks);
+        parse_expr(&mut c, Language::Fortran).unwrap()
+    }
+
+    #[test]
+    fn precedence_c() {
+        assert_eq!(expr_to_c(&c_expr("a + b * c")), "a + b * c");
+        assert_eq!(expr_to_c(&c_expr("(a + b) * c")), "(a + b) * c");
+        assert_eq!(expr_to_c(&c_expr("a - b - c")), "a - b - c");
+        assert_eq!(expr_to_c(&c_expr("a - (b - c)")), "a - (b - c)");
+    }
+
+    #[test]
+    fn logical_chain() {
+        let e = c_expr("a == 1 && b != 0 || c");
+        assert_eq!(expr_to_c(&e), "a == 1 && b != 0 || c");
+    }
+
+    #[test]
+    fn calls_and_indexes_c() {
+        let e = c_expr("powf(ft, i) + A[i][j]");
+        assert_eq!(expr_to_c(&e), "powf(ft, i) + A[i][j]");
+    }
+
+    #[test]
+    fn sizeof_c() {
+        let e = c_expr("n * sizeof(float)");
+        assert_eq!(
+            e,
+            Expr::mul(Expr::var("n"), Expr::SizeOf(ScalarType::Float))
+        );
+    }
+
+    #[test]
+    fn negative_literal_folds() {
+        assert_eq!(c_expr("-1"), Expr::Int(-1));
+        assert_eq!(c_expr("(-1)"), Expr::Int(-1));
+        assert_eq!(c_expr("-1.5"), Expr::Real(-1.5, ScalarType::Double));
+    }
+
+    #[test]
+    fn fortran_index_vs_call() {
+        // `a(i)` is an index; `mod(i, 2)` and `acc_async_test(t)` are calls.
+        assert_eq!(
+            f_expr("a(i)"),
+            Expr::Index {
+                base: "a".into(),
+                indices: vec![Expr::var("i")]
+            }
+        );
+        assert!(matches!(f_expr("mod(i, 2)"), Expr::Call { .. }));
+        assert!(matches!(f_expr("acc_async_test(t)"), Expr::Call { .. }));
+    }
+
+    #[test]
+    fn fortran_two_dim_index() {
+        assert_eq!(
+            f_expr("m(i, j)"),
+            Expr::Index {
+                base: "m".into(),
+                indices: vec![Expr::var("i"), Expr::var("j")]
+            }
+        );
+    }
+
+    #[test]
+    fn fortran_logical_spellings() {
+        let e = f_expr("a == 1 .and. .not. b");
+        assert_eq!(expr_to_c(&e), "a == 1 && !b");
+    }
+
+    #[test]
+    fn unary_plus_ignored() {
+        assert_eq!(c_expr("+5"), Expr::Int(5));
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        let toks = lex_c("*;\n").unwrap();
+        let mut c = Cursor::new(toks);
+        assert!(parse_expr(&mut c, Language::C).is_err());
+    }
+}

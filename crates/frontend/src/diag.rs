@@ -1,0 +1,113 @@
+//! Diagnostics shared by both front-ends.
+
+use std::fmt;
+
+/// Severity of a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational note.
+    Note,
+    /// Non-fatal warning.
+    Warning,
+    /// Fatal error — compilation fails.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// A diagnostic message with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity.
+    pub severity: Severity,
+    /// 1-based line, 0 when unknown.
+    pub line: usize,
+    /// Message text.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Construct an error diagnostic.
+    pub fn error(line: usize, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Construct a warning diagnostic.
+    pub fn warning(line: usize, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}: {}", self.line, self.severity, self.message)
+        } else {
+            write!(f, "{}: {}", self.severity, self.message)
+        }
+    }
+}
+
+/// A fatal parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line where the failure was detected.
+    pub line: usize,
+    /// Message.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Construct.
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let d = Diagnostic::error(3, "bad clause");
+        assert_eq!(d.to_string(), "line 3: error: bad clause");
+        let d0 = Diagnostic::warning(0, "general");
+        assert_eq!(d0.to_string(), "warning: general");
+        let p = ParseError::new(7, "unexpected token");
+        assert_eq!(p.to_string(), "parse error at line 7: unexpected token");
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+}

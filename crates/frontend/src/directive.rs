@@ -1,0 +1,475 @@
+//! The shared OpenACC directive grammar.
+//!
+//! Directive payloads (the text after `#pragma acc` / `!$acc`) are language-
+//! independent except for array-section syntax (`a[start:len]` in C,
+//! `a(lo:hi)` inclusive in Fortran) and reduction-operator spellings. Both
+//! front-ends normalize into the same [`AccDirective`] representation.
+
+use crate::cursor::{parse_expr, Cursor};
+use crate::diag::ParseError;
+use crate::lex::{lex_c, lex_fortran, Tok};
+use acc_ast::{fgen, AccClause, AccDirective, DataRef, Expr};
+use acc_spec::{ClauseKind, DirectiveKind, Language, ReductionOp};
+
+/// Parse a directive payload (text after the sentinel) into an
+/// [`AccDirective`].
+pub fn parse_directive(
+    payload: &str,
+    lang: Language,
+    line: usize,
+) -> Result<AccDirective, ParseError> {
+    let toks = match lang {
+        Language::C => lex_c(payload),
+        Language::Fortran => lex_fortran(payload),
+    }
+    .map_err(|e| ParseError::new(line, format!("in directive: {}", e.message)))?;
+    // Strip Fortran newline separators inside the payload.
+    let toks: Vec<_> = toks
+        .into_iter()
+        .filter(|t| !matches!(t.tok, Tok::Newline))
+        .collect();
+    let mut c = Cursor::new(toks);
+    let kind = parse_kind(&mut c, line)?;
+    let mut dir = AccDirective::new(kind);
+    match kind {
+        DirectiveKind::Wait if c.eat_punct("(") => {
+            dir.wait_arg = Some(parse_expr(&mut c, lang).map_err(reline(line))?);
+            c.expect_punct(")").map_err(reline(line))?;
+        }
+        DirectiveKind::Cache => {
+            c.expect_punct("(").map_err(reline(line))?;
+            dir.cache_args = parse_dataref_list(&mut c, lang, line)?;
+            c.expect_punct(")").map_err(reline(line))?;
+        }
+        _ => {}
+    }
+    while !c.at_eof() {
+        let clause = parse_clause(&mut c, lang, line)?;
+        dir.clauses.push(clause);
+    }
+    Ok(dir)
+}
+
+fn reline(line: usize) -> impl Fn(ParseError) -> ParseError {
+    move |e| ParseError::new(line, e.message)
+}
+
+fn parse_kind(c: &mut Cursor, line: usize) -> Result<DirectiveKind, ParseError> {
+    let first = c.expect_any_ident().map_err(reline(line))?;
+    let kind = match first.as_str() {
+        "parallel" => {
+            if c.eat_ident("loop") {
+                DirectiveKind::ParallelLoop
+            } else {
+                DirectiveKind::Parallel
+            }
+        }
+        "kernels" => {
+            if c.eat_ident("loop") {
+                DirectiveKind::KernelsLoop
+            } else {
+                DirectiveKind::Kernels
+            }
+        }
+        "data" => DirectiveKind::Data,
+        "host_data" => DirectiveKind::HostData,
+        "loop" => DirectiveKind::Loop,
+        "cache" => DirectiveKind::Cache,
+        "update" => DirectiveKind::Update,
+        "wait" => DirectiveKind::Wait,
+        "declare" => DirectiveKind::Declare,
+        "enter" => {
+            c.expect_ident("data").map_err(reline(line))?;
+            DirectiveKind::EnterData
+        }
+        "exit" => {
+            c.expect_ident("data").map_err(reline(line))?;
+            DirectiveKind::ExitData
+        }
+        "routine" => DirectiveKind::Routine,
+        other => {
+            return Err(ParseError::new(
+                line,
+                format!("unknown OpenACC directive {other:?}"),
+            ))
+        }
+    };
+    Ok(kind)
+}
+
+fn parse_clause(c: &mut Cursor, lang: Language, line: usize) -> Result<AccClause, ParseError> {
+    let name = c.expect_any_ident().map_err(reline(line))?;
+    let clause = match name.as_str() {
+        "if" => {
+            c.expect_punct("(").map_err(reline(line))?;
+            let e = parse_expr(c, lang).map_err(reline(line))?;
+            c.expect_punct(")").map_err(reline(line))?;
+            AccClause::If(e)
+        }
+        "async" => {
+            if c.eat_punct("(") {
+                let e = parse_expr(c, lang).map_err(reline(line))?;
+                c.expect_punct(")").map_err(reline(line))?;
+                AccClause::Async(Some(e))
+            } else {
+                AccClause::Async(None)
+            }
+        }
+        "num_gangs" => AccClause::NumGangs(paren_expr(c, lang, line)?),
+        "num_workers" => AccClause::NumWorkers(paren_expr(c, lang, line)?),
+        "vector_length" => AccClause::VectorLength(paren_expr(c, lang, line)?),
+        "collapse" => AccClause::Collapse(paren_expr(c, lang, line)?),
+        "reduction" => {
+            c.expect_punct("(").map_err(reline(line))?;
+            let op = parse_reduction_op(c, line)?;
+            c.expect_punct(":").map_err(reline(line))?;
+            let vars = parse_name_list(c, line)?;
+            c.expect_punct(")").map_err(reline(line))?;
+            AccClause::Reduction(op, vars)
+        }
+        "private" => AccClause::Private(paren_name_list(c, line)?),
+        "firstprivate" => AccClause::Firstprivate(paren_name_list(c, line)?),
+        "deviceptr" => AccClause::Deviceptr(paren_name_list(c, line)?),
+        "use_device" => AccClause::UseDevice(paren_name_list(c, line)?),
+        "gang" => opt_width(c, lang, line, AccClause::Gang)?,
+        "worker" => opt_width(c, lang, line, AccClause::Worker)?,
+        "vector" => opt_width(c, lang, line, AccClause::Vector)?,
+        "seq" => AccClause::Seq,
+        "independent" => AccClause::Independent,
+        "auto" => AccClause::Auto,
+        "default" => {
+            c.expect_punct("(").map_err(reline(line))?;
+            c.expect_ident("none").map_err(reline(line))?;
+            c.expect_punct(")").map_err(reline(line))?;
+            AccClause::DefaultNone
+        }
+        "host" => data_clause(c, lang, line, ClauseKind::HostClause)?,
+        "device" => data_clause(c, lang, line, ClauseKind::DeviceClause)?,
+        "delete" => data_clause(c, lang, line, ClauseKind::Delete)?,
+        "device_resident" => data_clause(c, lang, line, ClauseKind::DeviceResident)?,
+        other => match ClauseKind::from_name(other) {
+            Some(kind)
+                if matches!(
+                    kind,
+                    ClauseKind::Copy
+                        | ClauseKind::Copyin
+                        | ClauseKind::Copyout
+                        | ClauseKind::Create
+                        | ClauseKind::Present
+                        | ClauseKind::PresentOrCopy
+                        | ClauseKind::PresentOrCopyin
+                        | ClauseKind::PresentOrCopyout
+                        | ClauseKind::PresentOrCreate
+                ) =>
+            {
+                data_clause(c, lang, line, kind)?
+            }
+            _ => {
+                return Err(ParseError::new(
+                    line,
+                    format!("unknown OpenACC clause {other:?}"),
+                ))
+            }
+        },
+    };
+    Ok(clause)
+}
+
+fn paren_expr(c: &mut Cursor, lang: Language, line: usize) -> Result<Expr, ParseError> {
+    c.expect_punct("(").map_err(reline(line))?;
+    let e = parse_expr(c, lang).map_err(reline(line))?;
+    c.expect_punct(")").map_err(reline(line))?;
+    Ok(e)
+}
+
+fn opt_width(
+    c: &mut Cursor,
+    lang: Language,
+    line: usize,
+    mk: fn(Option<Expr>) -> AccClause,
+) -> Result<AccClause, ParseError> {
+    if c.peek().is_punct("(") {
+        Ok(mk(Some(paren_expr(c, lang, line)?)))
+    } else {
+        Ok(mk(None))
+    }
+}
+
+fn parse_name_list(c: &mut Cursor, line: usize) -> Result<Vec<String>, ParseError> {
+    let mut names = vec![c.expect_any_ident().map_err(reline(line))?];
+    while c.eat_punct(",") {
+        names.push(c.expect_any_ident().map_err(reline(line))?);
+    }
+    Ok(names)
+}
+
+fn paren_name_list(c: &mut Cursor, line: usize) -> Result<Vec<String>, ParseError> {
+    c.expect_punct("(").map_err(reline(line))?;
+    let names = parse_name_list(c, line)?;
+    c.expect_punct(")").map_err(reline(line))?;
+    Ok(names)
+}
+
+fn data_clause(
+    c: &mut Cursor,
+    lang: Language,
+    line: usize,
+    kind: ClauseKind,
+) -> Result<AccClause, ParseError> {
+    c.expect_punct("(").map_err(reline(line))?;
+    let refs = parse_dataref_list(c, lang, line)?;
+    c.expect_punct(")").map_err(reline(line))?;
+    Ok(AccClause::Data(kind, refs))
+}
+
+/// Parse a comma-separated data-reference list (stops before the closing
+/// `)` of the clause).
+fn parse_dataref_list(
+    c: &mut Cursor,
+    lang: Language,
+    line: usize,
+) -> Result<Vec<DataRef>, ParseError> {
+    let mut refs = vec![parse_dataref(c, lang, line)?];
+    while c.eat_punct(",") {
+        refs.push(parse_dataref(c, lang, line)?);
+    }
+    Ok(refs)
+}
+
+fn parse_dataref(c: &mut Cursor, lang: Language, line: usize) -> Result<DataRef, ParseError> {
+    let name = c.expect_any_ident().map_err(reline(line))?;
+    match lang {
+        Language::C => {
+            if c.eat_punct("[") {
+                let start = parse_expr(c, lang).map_err(reline(line))?;
+                c.expect_punct(":").map_err(reline(line))?;
+                let len = parse_expr(c, lang).map_err(reline(line))?;
+                c.expect_punct("]").map_err(reline(line))?;
+                Ok(DataRef {
+                    name,
+                    section: Some((start, len)),
+                })
+            } else {
+                Ok(DataRef::whole(name))
+            }
+        }
+        Language::Fortran => {
+            if c.eat_punct("(") {
+                let lo = parse_expr(c, lang).map_err(reline(line))?;
+                c.expect_punct(":").map_err(reline(line))?;
+                let hi = parse_expr(c, lang).map_err(reline(line))?;
+                c.expect_punct(")").map_err(reline(line))?;
+                // Normalize inclusive lo:hi to (start, length).
+                let len = if matches!(lo, Expr::Int(0)) {
+                    fgen::add_one(&hi)
+                } else {
+                    fgen::add_one(&Expr::sub(hi, lo.clone()))
+                };
+                Ok(DataRef {
+                    name,
+                    section: Some((lo, len)),
+                })
+            } else {
+                Ok(DataRef::whole(name))
+            }
+        }
+    }
+}
+
+fn parse_reduction_op(c: &mut Cursor, line: usize) -> Result<ReductionOp, ParseError> {
+    // Operator may arrive as punctuation (C symbols, or Fortran `.and.`
+    // already normalized to `&&` by the lexer) or an identifier
+    // (`max`, `min`, `iand`, `ior`, `ieor`).
+    match c.next() {
+        Tok::Punct(p) => ReductionOp::from_c_symbol(p)
+            .ok_or_else(|| ParseError::new(line, format!("unknown reduction operator {p:?}"))),
+        Tok::Ident(name) => match name.as_str() {
+            "max" => Ok(ReductionOp::Max),
+            "min" => Ok(ReductionOp::Min),
+            "iand" => Ok(ReductionOp::BitAnd),
+            "ior" => Ok(ReductionOp::BitOr),
+            "ieor" => Ok(ReductionOp::BitXor),
+            other => Err(ParseError::new(
+                line,
+                format!("unknown reduction operator {other:?}"),
+            )),
+        },
+        other => Err(ParseError::new(
+            line,
+            format!("expected reduction operator, found {other:?}"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c_dir(payload: &str) -> AccDirective {
+        parse_directive(payload, Language::C, 1).unwrap()
+    }
+
+    fn f_dir(payload: &str) -> AccDirective {
+        parse_directive(payload, Language::Fortran, 1).unwrap()
+    }
+
+    #[test]
+    fn parallel_with_clauses_round_trips() {
+        let d = c_dir("parallel num_gangs(10) copy(A[0:100]) if(sum < N)");
+        assert_eq!(d.kind, DirectiveKind::Parallel);
+        assert_eq!(
+            d.to_string(),
+            "#pragma acc parallel num_gangs(10) copy(A[0:100]) if(sum < N)"
+        );
+    }
+
+    #[test]
+    fn combined_constructs() {
+        assert_eq!(c_dir("parallel loop").kind, DirectiveKind::ParallelLoop);
+        assert_eq!(c_dir("kernels loop").kind, DirectiveKind::KernelsLoop);
+        assert_eq!(c_dir("parallel").kind, DirectiveKind::Parallel);
+    }
+
+    #[test]
+    fn reduction_c_symbols() {
+        for (src, op) in [
+            ("loop reduction(+:s)", ReductionOp::Add),
+            ("loop reduction(*:s)", ReductionOp::Mul),
+            ("loop reduction(max:s)", ReductionOp::Max),
+            ("loop reduction(&&:s)", ReductionOp::LogicalAnd),
+            ("loop reduction(^:s)", ReductionOp::BitXor),
+        ] {
+            match &c_dir(src).clauses[0] {
+                AccClause::Reduction(o, vars) => {
+                    assert_eq!(*o, op);
+                    assert_eq!(vars, &["s".to_string()]);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_fortran_spellings() {
+        for (src, op) in [
+            ("loop reduction(.and.:ok)", ReductionOp::LogicalAnd),
+            ("loop reduction(iand:m)", ReductionOp::BitAnd),
+            ("loop reduction(ieor:m)", ReductionOp::BitXor),
+        ] {
+            match &f_dir(src).clauses[0] {
+                AccClause::Reduction(o, _) => assert_eq!(*o, op),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fortran_sections_normalize_to_start_len() {
+        let d = f_dir("data copyin(a(0:n - 1))");
+        match &d.clauses[0] {
+            AccClause::Data(ClauseKind::Copyin, refs) => {
+                let (start, len) = refs[0].section.clone().unwrap();
+                assert_eq!(start, Expr::int(0));
+                assert_eq!(len, Expr::var("n"));
+            }
+            other => panic!("{other:?}"),
+        }
+        let d = f_dir("data copy(a(2:6))");
+        match &d.clauses[0] {
+            AccClause::Data(_, refs) => {
+                let (start, len) = refs[0].section.clone().unwrap();
+                assert_eq!(start, Expr::int(2));
+                assert_eq!(len, Expr::int(5));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn wait_directive_with_tag() {
+        let d = c_dir("wait(tag)");
+        assert_eq!(d.kind, DirectiveKind::Wait);
+        assert_eq!(d.wait_arg, Some(Expr::var("tag")));
+        let d = c_dir("wait");
+        assert_eq!(d.wait_arg, None);
+    }
+
+    #[test]
+    fn cache_directive() {
+        let d = c_dir("cache(a[0:8], b)");
+        assert_eq!(d.kind, DirectiveKind::Cache);
+        assert_eq!(d.cache_args.len(), 2);
+        assert_eq!(d.cache_args[1], DataRef::whole("b"));
+    }
+
+    #[test]
+    fn update_host_device() {
+        let d = c_dir("update host(a[0:n]) device(b)");
+        assert_eq!(d.kind, DirectiveKind::Update);
+        assert_eq!(d.clauses.len(), 2);
+        assert_eq!(d.clauses[0].kind(), ClauseKind::HostClause);
+        assert_eq!(d.clauses[1].kind(), ClauseKind::DeviceClause);
+    }
+
+    #[test]
+    fn present_or_abbreviations() {
+        let d = c_dir("data pcopy(a) pcopyin(b) pcreate(d)");
+        let kinds: Vec<_> = d.clauses.iter().map(|c| c.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ClauseKind::PresentOrCopy,
+                ClauseKind::PresentOrCopyin,
+                ClauseKind::PresentOrCreate
+            ]
+        );
+    }
+
+    #[test]
+    fn loop_schedule_clauses() {
+        let d = c_dir("loop gang worker(4) vector(32) independent");
+        assert!(d.has(ClauseKind::Gang));
+        match d.find(ClauseKind::Worker) {
+            Some(AccClause::Worker(Some(e))) => assert_eq!(e.const_int(), Some(4)),
+            other => panic!("{other:?}"),
+        }
+        assert!(d.has(ClauseKind::Independent));
+    }
+
+    #[test]
+    fn v2_directives_parse() {
+        assert_eq!(c_dir("enter data copyin(a)").kind, DirectiveKind::EnterData);
+        assert_eq!(c_dir("exit data delete(a)").kind, DirectiveKind::ExitData);
+        assert_eq!(c_dir("routine seq").kind, DirectiveKind::Routine);
+        assert_eq!(
+            c_dir("parallel default(none)").clauses[0],
+            AccClause::DefaultNone
+        );
+    }
+
+    #[test]
+    fn unknown_directive_and_clause_error() {
+        assert!(parse_directive("banana", Language::C, 1).is_err());
+        assert!(parse_directive("parallel banana(3)", Language::C, 1).is_err());
+    }
+
+    #[test]
+    fn private_and_firstprivate() {
+        let d = c_dir("parallel private(x, y) firstprivate(z)");
+        match &d.clauses[0] {
+            AccClause::Private(v) => assert_eq!(v, &["x".to_string(), "y".to_string()]),
+            other => panic!("{other:?}"),
+        }
+        match &d.clauses[1] {
+            AccClause::Firstprivate(v) => assert_eq!(v, &["z".to_string()]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn declare_with_create() {
+        let d = c_dir("declare create(buf[0:256]) device_resident(tmp)");
+        assert_eq!(d.kind, DirectiveKind::Declare);
+        assert_eq!(d.clauses.len(), 2);
+    }
+}

@@ -1,0 +1,690 @@
+//! Line-oriented parser for the Fortran dialect emitted by
+//! `acc_ast::fgen`.
+//!
+//! Normalizations performed while lowering to the shared AST:
+//!
+//! * `do v = a, b[, s]` becomes a half-open [`ForLoop`] with `to = b + 1`
+//!   (peephole-simplified so `n - 1` bounds recover `n`).
+//! * `!$acc parallel` … `!$acc end parallel` block sentinels become
+//!   [`Stmt::AccBlock`] regions.
+//! * The `fname = expr` / `return` pair in a function becomes
+//!   [`Stmt::Return`].
+//! * Declarations stay hoisted (the shared AST permits interleaving, but
+//!   re-emission hoists again, so Fortran emit∘parse is a fixpoint).
+
+use crate::cursor::{parse_expr, Cursor};
+use crate::diag::ParseError;
+use crate::directive::parse_directive;
+use crate::lex::{lex_fortran, Tok};
+use acc_ast::{
+    fgen, AccDirective, Expr, ForLoop, Function, LValue, Param, ParamKind, Program, ScalarType,
+    Stmt, Type,
+};
+use acc_spec::{DirectiveKind, Language};
+
+/// Parse Fortran source into a [`Program`].
+pub fn parse_fortran(source: &str) -> Result<Program, ParseError> {
+    let name = program_name(source);
+    let toks = lex_fortran(source)?;
+    let mut p = Parser {
+        c: Cursor::new(toks),
+    };
+    let mut functions = Vec::new();
+    p.c.skip_newlines();
+    while !p.c.at_eof() {
+        functions.push(p.parse_function()?);
+        p.c.skip_newlines();
+    }
+    Ok(Program {
+        name,
+        language: Language::Fortran,
+        functions,
+    })
+}
+
+fn program_name(source: &str) -> String {
+    for line in source.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix("! test program:") {
+            return rest.trim().to_string();
+        }
+    }
+    "unnamed".to_string()
+}
+
+struct Parser {
+    c: Cursor,
+}
+
+impl Parser {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.c.line(), msg.into())
+    }
+
+    fn end_of_stmt(&mut self) -> Result<(), ParseError> {
+        match self.c.next() {
+            Tok::Newline | Tok::Eof => Ok(()),
+            other => Err(self.err(format!("expected end of statement, found {other:?}"))),
+        }
+    }
+
+    fn parse_function(&mut self) -> Result<Function, ParseError> {
+        // Header: `<type> function name(params)` or `subroutine name(params)`.
+        let first = self.c.expect_any_ident()?;
+        let (ret, name) = match first.as_str() {
+            "subroutine" => (None, self.c.expect_any_ident()?),
+            "integer" => {
+                self.c.expect_ident("function")?;
+                (Some(ScalarType::Int), self.c.expect_any_ident()?)
+            }
+            "real" => {
+                self.c.expect_ident("function")?;
+                (Some(ScalarType::Float), self.c.expect_any_ident()?)
+            }
+            "double" => {
+                self.c.expect_ident("precision")?;
+                self.c.expect_ident("function")?;
+                (Some(ScalarType::Double), self.c.expect_any_ident()?)
+            }
+            other => return Err(self.err(format!("expected function header, found {other:?}"))),
+        };
+        self.c.expect_punct("(")?;
+        let mut param_names = Vec::new();
+        if !self.c.eat_punct(")") {
+            loop {
+                param_names.push(self.c.expect_any_ident()?);
+                if self.c.eat_punct(",") {
+                    continue;
+                }
+                self.c.expect_punct(")")?;
+                break;
+            }
+        }
+        self.end_of_stmt()?;
+        self.c.skip_newlines();
+
+        // Declaration section (also classifies parameters).
+        let mut params: Vec<Param> = Vec::new();
+        let mut decls: Vec<Stmt> = Vec::new();
+        loop {
+            self.c.skip_newlines();
+            match self.c.peek().clone() {
+                Tok::Ident(w) if w == "implicit" => {
+                    self.c.next();
+                    self.c.expect_ident("none")?;
+                    self.end_of_stmt()?;
+                }
+                Tok::Ident(w)
+                    if matches!(w.as_str(), "integer" | "real" | "double")
+                        // `double precision ::` is a decl; guard against the
+                        // (never-emitted) ambiguity with expressions.
+                        =>
+                {
+                    self.parse_decl_line(&param_names, &mut params, &mut decls)?;
+                }
+                _ => break,
+            }
+        }
+        // Order params as in the header.
+        params.sort_by_key(|p| {
+            param_names
+                .iter()
+                .position(|n| *n == p.name)
+                .unwrap_or(usize::MAX)
+        });
+
+        // Body.
+        let mut body = decls;
+        let fname = name.clone();
+        self.parse_body_until(
+            &mut body,
+            &|t: &Tok| t.is_ident("end"),
+            &fname,
+            ret.is_some(),
+        )?;
+        // Footer: `end function name` / `end subroutine name`.
+        self.c.expect_ident("end")?;
+        match ret {
+            Some(_) => self.c.expect_ident("function")?,
+            None => self.c.expect_ident("subroutine")?,
+        }
+        self.c.expect_ident(&name)?;
+        self.end_of_stmt()?;
+        Ok(Function {
+            name,
+            params,
+            ret,
+            body,
+        })
+    }
+
+    fn parse_decl_line(
+        &mut self,
+        param_names: &[String],
+        params: &mut Vec<Param>,
+        decls: &mut Vec<Stmt>,
+    ) -> Result<(), ParseError> {
+        let ty_word = self.c.expect_any_ident()?;
+        let (scalar, is_ptr) = match ty_word.as_str() {
+            "integer" => {
+                if self.c.eat_punct("(") {
+                    // `integer(8)` — device-pointer surrogate.
+                    match self.c.next() {
+                        Tok::Int(8) => {}
+                        other => {
+                            return Err(self.err(format!("unsupported integer kind {other:?}")))
+                        }
+                    }
+                    self.c.expect_punct(")")?;
+                    (ScalarType::Int, true)
+                } else {
+                    (ScalarType::Int, false)
+                }
+            }
+            "real" => (ScalarType::Float, false),
+            "double" => {
+                self.c.expect_ident("precision")?;
+                (ScalarType::Double, false)
+            }
+            other => return Err(self.err(format!("expected type, found {other:?}"))),
+        };
+        self.c.expect_punct(":")?;
+        self.c.expect_punct(":")?;
+        loop {
+            let name = self.c.expect_any_ident()?;
+            if self.c.eat_punct("(") {
+                // Array bounds `0:hi` per dimension, or `0:*` for params.
+                let mut dims = Vec::new();
+                let mut assumed = false;
+                loop {
+                    match self.c.next() {
+                        Tok::Int(0) => {}
+                        other => {
+                            return Err(self.err(format!(
+                                "array declarations are 0-based in the dialect, found {other:?}"
+                            )))
+                        }
+                    }
+                    self.c.expect_punct(":")?;
+                    match self.c.next() {
+                        Tok::Int(hi) if hi >= 0 => dims.push(hi as usize + 1),
+                        Tok::Punct("*") => assumed = true,
+                        other => return Err(self.err(format!("bad array bound {other:?}"))),
+                    }
+                    if self.c.eat_punct(",") {
+                        continue;
+                    }
+                    self.c.expect_punct(")")?;
+                    break;
+                }
+                if param_names.contains(&name) {
+                    params.push(Param {
+                        name,
+                        kind: ParamKind::ArrayPtr(scalar),
+                    });
+                } else if assumed {
+                    return Err(self.err("assumed-size array must be a parameter"));
+                } else {
+                    decls.push(Stmt::DeclArray {
+                        name,
+                        elem: scalar,
+                        dims,
+                    });
+                }
+            } else if param_names.contains(&name) {
+                params.push(Param {
+                    name,
+                    kind: ParamKind::Scalar(scalar),
+                });
+            } else {
+                let ty = if is_ptr {
+                    Type::Ptr(scalar)
+                } else {
+                    Type::Scalar(scalar)
+                };
+                decls.push(Stmt::DeclScalar {
+                    name,
+                    ty,
+                    init: None,
+                });
+            }
+            if !self.c.eat_punct(",") {
+                break;
+            }
+        }
+        self.end_of_stmt()?;
+        Ok(())
+    }
+
+    /// Parse statements into `out` until `stop` matches the current token
+    /// (which is left unconsumed).
+    fn parse_body_until(
+        &mut self,
+        out: &mut Vec<Stmt>,
+        stop: &dyn Fn(&Tok) -> bool,
+        fname: &str,
+        has_ret: bool,
+    ) -> Result<(), ParseError> {
+        loop {
+            self.c.skip_newlines();
+            if self.c.at_eof() || stop(self.c.peek()) {
+                return Ok(());
+            }
+            let stmt = self.parse_stmt(fname, has_ret)?;
+            // Merge `fname = e` + `return` into Return(e).
+            if has_ret {
+                if let Stmt::Return(_) = &stmt {
+                    if let Some(Stmt::Assign {
+                        target: LValue::Var(v),
+                        op: None,
+                        value,
+                    }) = out.last().cloned()
+                    {
+                        if v == fname {
+                            out.pop();
+                            out.push(Stmt::Return(value));
+                            continue;
+                        }
+                    }
+                }
+            }
+            out.push(stmt);
+        }
+    }
+
+    fn parse_stmt(&mut self, fname: &str, has_ret: bool) -> Result<Stmt, ParseError> {
+        if let Tok::Directive(payload) = self.c.peek().clone() {
+            let line = self.c.line();
+            self.c.next();
+            self.end_of_stmt()?;
+            if payload.trim_start().starts_with("end") {
+                return Err(self.err(format!("unmatched `!$acc {payload}`")));
+            }
+            let dir = parse_directive(&payload, Language::Fortran, line)?;
+            return self.parse_directive_stmt(dir, fname, has_ret);
+        }
+        match self.c.peek().clone() {
+            Tok::Ident(w) => match w.as_str() {
+                "do" => self.parse_do(fname, has_ret).map(Stmt::For),
+                "if" => self.parse_if(fname, has_ret),
+                "call" => {
+                    self.c.next();
+                    let name = self.c.expect_any_ident()?;
+                    self.c.expect_punct("(")?;
+                    let mut args = Vec::new();
+                    if !self.c.eat_punct(")") {
+                        loop {
+                            args.push(parse_expr(&mut self.c, Language::Fortran)?);
+                            if self.c.eat_punct(",") {
+                                continue;
+                            }
+                            self.c.expect_punct(")")?;
+                            break;
+                        }
+                    }
+                    self.end_of_stmt()?;
+                    Ok(Stmt::Call { name, args })
+                }
+                "return" => {
+                    self.c.next();
+                    self.end_of_stmt()?;
+                    // Placeholder value; merged with the preceding result
+                    // assignment by `parse_body_until`.
+                    Ok(Stmt::Return(Expr::int(0)))
+                }
+                _ => self.parse_assign(),
+            },
+            other => Err(self.err(format!("expected statement, found {other:?}"))),
+        }
+    }
+
+    fn parse_directive_stmt(
+        &mut self,
+        dir: AccDirective,
+        fname: &str,
+        has_ret: bool,
+    ) -> Result<Stmt, ParseError> {
+        match dir.kind {
+            DirectiveKind::Parallel
+            | DirectiveKind::Kernels
+            | DirectiveKind::Data
+            | DirectiveKind::HostData => {
+                let mut body = Vec::new();
+                let end_payload = format!("end {}", dir.kind.name());
+                let stop = move |t: &Tok| matches!(t, Tok::Directive(p) if p.trim() == end_payload);
+                self.parse_body_until(&mut body, &stop, fname, has_ret)?;
+                match self.c.next() {
+                    Tok::Directive(_) => {}
+                    other => {
+                        return Err(self.err(format!(
+                            "missing `!$acc end {}`, found {other:?}",
+                            dir.kind.name()
+                        )))
+                    }
+                }
+                self.end_of_stmt()?;
+                Ok(Stmt::AccBlock { dir, body })
+            }
+            DirectiveKind::Loop | DirectiveKind::ParallelLoop | DirectiveKind::KernelsLoop => {
+                self.c.skip_newlines();
+                if !self.c.peek().is_ident("do") {
+                    return Err(self.err("loop directive must be followed by a do loop"));
+                }
+                let l = self.parse_do(fname, has_ret)?;
+                Ok(Stmt::AccLoop { dir, l })
+            }
+            _ => Ok(Stmt::AccStandalone { dir }),
+        }
+    }
+
+    fn parse_do(&mut self, fname: &str, has_ret: bool) -> Result<ForLoop, ParseError> {
+        self.c.expect_ident("do")?;
+        let var = self.c.expect_any_ident()?;
+        self.c.expect_punct("=")?;
+        let from = parse_expr(&mut self.c, Language::Fortran)?;
+        self.c.expect_punct(",")?;
+        let hi = parse_expr(&mut self.c, Language::Fortran)?;
+        let step = if self.c.eat_punct(",") {
+            parse_expr(&mut self.c, Language::Fortran)?
+        } else {
+            Expr::int(1)
+        };
+        self.end_of_stmt()?;
+        let mut body = Vec::new();
+        let stop = |t: &Tok| t.is_ident("end");
+        self.parse_body_until(&mut body, &stop, fname, has_ret)?;
+        self.c.expect_ident("end")?;
+        self.c.expect_ident("do")?;
+        self.end_of_stmt()?;
+        // Inclusive upper bound -> exclusive.
+        Ok(ForLoop {
+            var,
+            from,
+            to: fgen::add_one(&hi),
+            step,
+            body,
+        })
+    }
+
+    fn parse_if(&mut self, fname: &str, has_ret: bool) -> Result<Stmt, ParseError> {
+        self.c.expect_ident("if")?;
+        self.c.expect_punct("(")?;
+        let cond = parse_expr(&mut self.c, Language::Fortran)?;
+        self.c.expect_punct(")")?;
+        self.c.expect_ident("then")?;
+        self.end_of_stmt()?;
+        let mut then_body = Vec::new();
+        let stop = |t: &Tok| t.is_ident("else") || t.is_ident("end");
+        self.parse_body_until(&mut then_body, &stop, fname, has_ret)?;
+        let mut else_body = Vec::new();
+        if self.c.eat_ident("else") {
+            self.end_of_stmt()?;
+            self.parse_body_until(&mut else_body, &|t: &Tok| t.is_ident("end"), fname, has_ret)?;
+        }
+        self.c.expect_ident("end")?;
+        self.c.expect_ident("if")?;
+        self.end_of_stmt()?;
+        Ok(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        })
+    }
+
+    fn parse_assign(&mut self) -> Result<Stmt, ParseError> {
+        let name = self.c.expect_any_ident()?;
+        let target = if self.c.eat_punct("(") {
+            let mut indices = Vec::new();
+            loop {
+                indices.push(parse_expr(&mut self.c, Language::Fortran)?);
+                if self.c.eat_punct(",") {
+                    continue;
+                }
+                self.c.expect_punct(")")?;
+                break;
+            }
+            LValue::Index {
+                base: name,
+                indices,
+            }
+        } else {
+            LValue::Var(name)
+        };
+        self.c.expect_punct("=")?;
+        let value = parse_expr(&mut self.c, Language::Fortran)?;
+        self.end_of_stmt()?;
+        Ok(Stmt::Assign {
+            target,
+            op: None,
+            value,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_ast::builder as b;
+    use acc_ast::fgen::emit_fortran;
+    use acc_ast::AccClause;
+
+    /// Emit a program as Fortran, parse it back, and check the fixpoint
+    /// property: emitting the reparsed program reproduces the text.
+    fn check_fixpoint(p: &Program) -> Program {
+        let src = emit_fortran(p);
+        let q = parse_fortran(&src).unwrap_or_else(|e| panic!("{e}\n---\n{src}"));
+        let src2 = emit_fortran(&q);
+        assert_eq!(src, src2, "emit∘parse must be a fixpoint");
+        q
+    }
+
+    #[test]
+    fn minimal_function() {
+        let p = Program::simple("t", Language::Fortran, vec![Stmt::Return(Expr::int(1))]);
+        let q = check_fixpoint(&p);
+        assert_eq!(q.entry().unwrap().body, vec![Stmt::Return(Expr::int(1))]);
+    }
+
+    #[test]
+    fn do_loop_bounds_recover() {
+        let p = Program::simple(
+            "t",
+            Language::Fortran,
+            vec![
+                b::decl_int("s", 0),
+                b::for_upto("i", Expr::var("n"), vec![b::add("s", Expr::var("i"))]),
+                Stmt::Return(Expr::var("s")),
+            ],
+        );
+        let q = check_fixpoint(&p);
+        // The do-loop upper bound `n - 1` must recover `to = n`.
+        let for_stmt = q
+            .entry()
+            .unwrap()
+            .body
+            .iter()
+            .find_map(|s| match s {
+                Stmt::For(l) => Some(l.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(for_stmt.to, Expr::var("n"));
+    }
+
+    #[test]
+    fn region_with_end_sentinel() {
+        let p = Program::simple(
+            "t",
+            Language::Fortran,
+            vec![
+                b::decl_array("a", ScalarType::Int, 16),
+                b::parallel_region(
+                    vec![
+                        AccClause::NumGangs(Expr::int(4)),
+                        b::copy_sec("a", Expr::int(16)),
+                    ],
+                    vec![b::acc_loop(
+                        vec![],
+                        "i",
+                        Expr::int(16),
+                        vec![b::set1("a", Expr::var("i"), Expr::var("i"))],
+                    )],
+                ),
+                Stmt::Return(Expr::int(1)),
+            ],
+        );
+        let q = check_fixpoint(&p);
+        assert_eq!(q.directives().len(), 2);
+    }
+
+    #[test]
+    fn nested_regions() {
+        let p = Program::simple(
+            "t",
+            Language::Fortran,
+            vec![
+                b::decl_array("a", ScalarType::Float, 8),
+                b::data_region(
+                    vec![b::copy_sec("a", Expr::int(8))],
+                    vec![b::parallel_region(
+                        vec![],
+                        vec![b::acc_loop(
+                            vec![],
+                            "i",
+                            Expr::int(8),
+                            vec![b::set1(
+                                "a",
+                                Expr::var("i"),
+                                Expr::Real(1.0, ScalarType::Float),
+                            )],
+                        )],
+                    )],
+                ),
+                Stmt::Return(Expr::int(1)),
+            ],
+        );
+        let q = check_fixpoint(&p);
+        assert_eq!(q.directives().len(), 3);
+    }
+
+    #[test]
+    fn if_else_and_logical_ops() {
+        let p = Program::simple(
+            "t",
+            Language::Fortran,
+            vec![
+                b::decl_int("e", 0),
+                Stmt::If {
+                    cond: Expr::bin(
+                        acc_ast::BinOp::And,
+                        Expr::eq(Expr::var("x"), Expr::int(1)),
+                        Expr::lt(Expr::var("y"), Expr::int(5)),
+                    ),
+                    then_body: vec![b::set("e", Expr::int(1))],
+                    else_body: vec![b::set("e", Expr::int(2))],
+                },
+                Stmt::Return(Expr::var("e")),
+            ],
+        );
+        check_fixpoint(&p);
+    }
+
+    #[test]
+    fn subroutine_with_array_param() {
+        let mut p = Program::simple("t", Language::Fortran, vec![Stmt::Return(Expr::int(1))]);
+        p.functions.insert(
+            0,
+            Function {
+                name: "scale2".into(),
+                params: vec![
+                    Param {
+                        name: "a".into(),
+                        kind: ParamKind::ArrayPtr(ScalarType::Float),
+                    },
+                    Param {
+                        name: "n".into(),
+                        kind: ParamKind::Scalar(ScalarType::Int),
+                    },
+                ],
+                ret: None,
+                body: vec![b::for_upto(
+                    "i",
+                    Expr::var("n"),
+                    vec![Stmt::assign_op(
+                        LValue::idx("a", Expr::var("i")),
+                        acc_ast::BinOp::Mul,
+                        Expr::int(2),
+                    )],
+                )],
+            },
+        );
+        let q = check_fixpoint(&p);
+        let helper = q.function("scale2").unwrap();
+        assert_eq!(helper.params.len(), 2);
+        assert_eq!(
+            helper.params[0].kind,
+            ParamKind::ArrayPtr(ScalarType::Float)
+        );
+        assert_eq!(helper.params[1].kind, ParamKind::Scalar(ScalarType::Int));
+    }
+
+    #[test]
+    fn update_and_wait_standalone() {
+        let p = Program::simple(
+            "t",
+            Language::Fortran,
+            vec![
+                b::decl_array("a", ScalarType::Int, 4),
+                b::update(vec![b::data_whole(
+                    acc_spec::ClauseKind::HostClause,
+                    &["a"],
+                )]),
+                b::wait(Some(Expr::int(2))),
+                Stmt::Return(Expr::int(1)),
+            ],
+        );
+        let q = check_fixpoint(&p);
+        let kinds: Vec<_> = q.directives().iter().map(|d| d.kind).collect();
+        assert_eq!(kinds, vec![DirectiveKind::Update, DirectiveKind::Wait]);
+    }
+
+    #[test]
+    fn reduction_clause_fortran() {
+        let p = Program::simple(
+            "t",
+            Language::Fortran,
+            vec![
+                b::decl_int("s", 0),
+                b::parallel_region(
+                    vec![AccClause::Reduction(
+                        acc_spec::ReductionOp::Add,
+                        vec!["s".into()],
+                    )],
+                    vec![b::add("s", Expr::int(1))],
+                ),
+                Stmt::Return(Expr::var("s")),
+            ],
+        );
+        let q = check_fixpoint(&p);
+        match &q.directives()[0].clauses[0] {
+            AccClause::Reduction(op, vars) => {
+                assert_eq!(*op, acc_spec::ReductionOp::Add);
+                assert_eq!(vars, &["s".to_string()]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_end_sentinel_is_error() {
+        let src = "! test program: t\ninteger function main()\n    implicit none\n!$acc parallel\n    main = 1\n    return\nend function main\n";
+        assert!(parse_fortran(src).is_err());
+    }
+
+    #[test]
+    fn program_name_recovered() {
+        let src = "! test program: f_test\ninteger function main()\n    implicit none\n    main = 1\n    return\nend function main\n";
+        let p = parse_fortran(src).unwrap();
+        assert_eq!(p.name, "f_test");
+    }
+}

@@ -1,0 +1,445 @@
+//! Lexing shared by the C and Fortran front-ends.
+//!
+//! Both front-ends lex to the same [`Tok`] alphabet; the differences are
+//! which multi-character operators exist (`.and.` vs `&&`), how directive
+//! lines are introduced (`#pragma acc` vs `!$acc`), and how comments are
+//! spelled. Directive payloads are carried as [`Tok::Directive`] tokens and
+//! re-lexed by the shared directive grammar in [`crate::directive`].
+
+use crate::diag::ParseError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (classification is the parser's job).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal; `true` = double precision (C unsuffixed / Fortran `d`
+    /// exponent).
+    Real(f64, bool),
+    /// Operator or punctuation, normalized to its C spelling where a C
+    /// equivalent exists (`.and.` lexes as `&&`).
+    Punct(&'static str),
+    /// An OpenACC directive line: the payload after the sentinel, e.g.
+    /// `parallel num_gangs(10)`. For Fortran `!$acc end parallel` lines the
+    /// payload begins with `end `.
+    Directive(String),
+    /// Statement separator (Fortran end-of-line; C does not emit these).
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// True when the token is the given punctuation.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(self, Tok::Punct(q) if *q == p)
+    }
+
+    /// True when the token is the given identifier/keyword.
+    pub fn is_ident(&self, k: &str) -> bool {
+        matches!(self, Tok::Ident(q) if q == k)
+    }
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+const C_PUNCTS: &[&str] = &[
+    "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "==", "!=", "<=", ">=", "&&", "||",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "(", ")", "[", "]", "{", "}", ",",
+    ";", ":",
+];
+
+/// Lex C source (as emitted by `acc_ast::cgen`) into tokens.
+///
+/// `#include` lines are skipped; `#pragma acc …` lines become
+/// [`Tok::Directive`]; `/* … */` and `// …` comments are skipped.
+pub fn lex_c(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
+    let mut toks = Vec::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let line_no = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(payload) = rest.strip_prefix("pragma") {
+                let payload = payload.trim_start();
+                if let Some(acc) = payload.strip_prefix("acc") {
+                    toks.push(SpannedTok {
+                        tok: Tok::Directive(acc.trim().to_string()),
+                        line: line_no,
+                    });
+                }
+                // Non-acc pragmas are ignored, like a real compiler would.
+            }
+            // #include and other preprocessor lines are skipped.
+            continue;
+        }
+        lex_code_line(line, line_no, false, &mut toks)?;
+    }
+    toks.push(SpannedTok {
+        tok: Tok::Eof,
+        line: src.lines().count() + 1,
+    });
+    Ok(toks)
+}
+
+/// Lex Fortran source (as emitted by `acc_ast::fgen`) into tokens.
+///
+/// Every source line ends with a [`Tok::Newline`] (the statement separator);
+/// `!$acc` lines become [`Tok::Directive`]; other `!` comments are skipped.
+pub fn lex_fortran(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
+    let mut toks = Vec::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let line_no = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("!$acc") {
+            toks.push(SpannedTok {
+                tok: Tok::Directive(rest.trim().to_string()),
+                line: line_no,
+            });
+            toks.push(SpannedTok {
+                tok: Tok::Newline,
+                line: line_no,
+            });
+            continue;
+        }
+        if line.starts_with('!') {
+            continue;
+        }
+        let before = toks.len();
+        lex_code_line(line, line_no, true, &mut toks)?;
+        if toks.len() > before {
+            toks.push(SpannedTok {
+                tok: Tok::Newline,
+                line: line_no,
+            });
+        }
+    }
+    toks.push(SpannedTok {
+        tok: Tok::Eof,
+        line: src.lines().count() + 1,
+    });
+    Ok(toks)
+}
+
+/// Lex one line of executable code.
+fn lex_code_line(
+    line: &str,
+    line_no: usize,
+    fortran: bool,
+    out: &mut Vec<SpannedTok>,
+) -> Result<(), ParseError> {
+    let b = line.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // C comments.
+        if !fortran && c == '/' && i + 1 < b.len() {
+            if b[i + 1] == b'/' {
+                break;
+            }
+            if b[i + 1] == b'*' {
+                // Single-line /* */ only (the generator never spans lines).
+                match line[i + 2..].find("*/") {
+                    Some(end) => {
+                        i = i + 2 + end + 2;
+                        continue;
+                    }
+                    None => return Err(ParseError::new(line_no, "unterminated /* comment")),
+                }
+            }
+        }
+        // Fortran trailing comment.
+        if fortran && c == '!' {
+            break;
+        }
+        // Fortran dotted operators: .and. .or. .not.
+        if fortran && c == '.' && !next_is_digit(b, i + 1) {
+            let rest = &line[i..];
+            let lower = rest.to_ascii_lowercase();
+            let mapped = if lower.starts_with(".and.") {
+                Some(("&&", 5))
+            } else if lower.starts_with(".or.") {
+                Some(("||", 4))
+            } else if lower.starts_with(".not.") {
+                Some(("!", 5))
+            } else {
+                None
+            };
+            if let Some((p, len)) = mapped {
+                out.push(SpannedTok {
+                    tok: Tok::Punct(p),
+                    line: line_no,
+                });
+                i += len;
+                continue;
+            }
+            return Err(ParseError::new(
+                line_no,
+                format!("unknown dotted operator near {rest:?}"),
+            ));
+        }
+        // Numbers (integers and reals). A leading '.' followed by a digit is
+        // a real literal.
+        if c.is_ascii_digit() || (c == '.' && next_is_digit(b, i + 1)) {
+            let (tok, len) = lex_number(&line[i..], line_no, fortran)?;
+            out.push(SpannedTok { tok, line: line_no });
+            i += len;
+            continue;
+        }
+        // Identifiers.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            out.push(SpannedTok {
+                tok: Tok::Ident(line[start..i].to_string()),
+                line: line_no,
+            });
+            continue;
+        }
+        // Fortran `/=` is C `!=`.
+        if fortran && line[i..].starts_with("/=") {
+            out.push(SpannedTok {
+                tok: Tok::Punct("!="),
+                line: line_no,
+            });
+            i += 2;
+            continue;
+        }
+        // Operators, longest match first.
+        let mut matched = false;
+        for p in C_PUNCTS {
+            if line[i..].starts_with(p) {
+                out.push(SpannedTok {
+                    tok: Tok::Punct(p),
+                    line: line_no,
+                });
+                i += p.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return Err(ParseError::new(
+                line_no,
+                format!("unexpected character {c:?}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn next_is_digit(b: &[u8], i: usize) -> bool {
+    i < b.len() && (b[i] as char).is_ascii_digit()
+}
+
+/// Lex a numeric literal. Returns the token and consumed byte length.
+fn lex_number(s: &str, line_no: usize, fortran: bool) -> Result<(Tok, usize), ParseError> {
+    let b = s.as_bytes();
+    let mut i = 0;
+    let mut has_dot = false;
+    let mut has_exp = false;
+    let mut is_double_exp = false;
+    while i < b.len() {
+        let c = b[i] as char;
+        if c.is_ascii_digit() {
+            i += 1;
+        } else if c == '.' && !has_dot && !has_exp && next_is_digit(b, i + 1) {
+            has_dot = true;
+            i += 1;
+        } else if c == '.' && !has_dot && !has_exp {
+            // Trailing dot followed by non-digit: in Fortran this could begin
+            // `.and.`; stop the number here. In C the generator never emits
+            // `1.` so stopping is also safe, unless followed by exponent.
+            if i + 1 < b.len() && (b[i + 1] as char).is_ascii_alphabetic() && !fortran {
+                has_dot = true;
+                i += 1;
+            } else if fortran {
+                break;
+            } else {
+                has_dot = true;
+                i += 1;
+            }
+        } else if (c == 'e' || c == 'E' || (fortran && (c == 'd' || c == 'D'))) && !has_exp {
+            // Exponent must be followed by digits or a sign.
+            let mut j = i + 1;
+            if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
+                j += 1;
+            }
+            if j < b.len() && (b[j] as char).is_ascii_digit() {
+                is_double_exp = c == 'd' || c == 'D';
+                has_exp = true;
+                i = j;
+            } else {
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    let text = &s[..i];
+    if !has_dot && !has_exp {
+        let v: i64 = text
+            .parse()
+            .map_err(|_| ParseError::new(line_no, format!("bad integer literal {text:?}")))?;
+        return Ok((Tok::Int(v), i));
+    }
+    // Real: check C `f` suffix.
+    let normalized = text.replace(['d', 'D'], "e");
+    let v: f64 = normalized
+        .parse()
+        .map_err(|_| ParseError::new(line_no, format!("bad real literal {text:?}")))?;
+    if !fortran && i < b.len() && (b[i] == b'f' || b[i] == b'F') {
+        return Ok((Tok::Real(v, false), i + 1));
+    }
+    if fortran {
+        // Fortran: `d` exponent or `d0` suffix means double; otherwise real.
+        Ok((Tok::Real(v, is_double_exp), i))
+    } else {
+        Ok((Tok::Real(v, true), i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str, fortran: bool) -> Vec<Tok> {
+        let v = if fortran {
+            lex_fortran(src)
+        } else {
+            lex_c(src)
+        }
+        .unwrap();
+        v.into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn c_pragma_becomes_directive() {
+        let t = toks("#pragma acc parallel num_gangs(10)\n{\n}\n", false);
+        assert_eq!(t[0], Tok::Directive("parallel num_gangs(10)".into()));
+        assert_eq!(t[1], Tok::Punct("{"));
+        assert_eq!(t[2], Tok::Punct("}"));
+        assert_eq!(t[3], Tok::Eof);
+    }
+
+    #[test]
+    fn c_includes_skipped() {
+        let t = toks("#include <openacc.h>\nint x;\n", false);
+        assert_eq!(t[0], Tok::Ident("int".into()));
+    }
+
+    #[test]
+    fn c_comments_skipped() {
+        let t = toks("x = 1; /* inline */ y = 2; // trailing\n", false);
+        let idents: Vec<_> = t
+            .iter()
+            .filter_map(|t| match t {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn c_float_suffix() {
+        let t = toks("a = 0.5f;\n", false);
+        assert!(t.contains(&Tok::Real(0.5, false)));
+        let t = toks("a = 0.5;\n", false);
+        assert!(t.contains(&Tok::Real(0.5, true)));
+        let t = toks("a = 1e-9;\n", false);
+        assert!(t.contains(&Tok::Real(1e-9, true)));
+    }
+
+    #[test]
+    fn c_multichar_ops() {
+        let t = toks("a += b && c != d;\n", false);
+        assert!(t.contains(&Tok::Punct("+=")));
+        assert!(t.contains(&Tok::Punct("&&")));
+        assert!(t.contains(&Tok::Punct("!=")));
+    }
+
+    #[test]
+    fn fortran_sentinel_and_end() {
+        let t = toks("!$acc parallel\nx = 1\n!$acc end parallel\n", true);
+        assert_eq!(t[0], Tok::Directive("parallel".into()));
+        assert!(t.contains(&Tok::Directive("end parallel".into())));
+    }
+
+    #[test]
+    fn fortran_dotted_ops_normalize() {
+        let t = toks("ok = a .and. b .or. .not. c\n", true);
+        assert!(t.contains(&Tok::Punct("&&")));
+        assert!(t.contains(&Tok::Punct("||")));
+        assert!(t.contains(&Tok::Punct("!")));
+    }
+
+    #[test]
+    fn fortran_ne_normalizes() {
+        let t = toks("if (a /= b) then\n", true);
+        assert!(t.contains(&Tok::Punct("!=")));
+    }
+
+    #[test]
+    fn fortran_double_literals() {
+        let t = toks("x = 0.5d0\n", true);
+        assert!(t.contains(&Tok::Real(0.5, true)));
+        let t = toks("x = 1d-9\n", true);
+        assert!(t.contains(&Tok::Real(1e-9, true)));
+        let t = toks("x = 0.5\n", true);
+        assert!(t.contains(&Tok::Real(0.5, false)));
+    }
+
+    #[test]
+    fn fortran_comment_lines_skipped() {
+        let t = toks("! plain comment\nx = 1\n", true);
+        assert_eq!(t[0], Tok::Ident("x".into()));
+    }
+
+    #[test]
+    fn fortran_newlines_separate() {
+        let t = toks("x = 1\ny = 2\n", true);
+        let newlines = t.iter().filter(|t| **t == Tok::Newline).count();
+        assert_eq!(newlines, 2);
+    }
+
+    #[test]
+    fn number_stops_before_dotted_op_in_fortran() {
+        let t = toks("ok = i == 1 .and. ok\n", true);
+        assert!(t.contains(&Tok::Int(1)));
+        assert!(t.contains(&Tok::Punct("&&")));
+    }
+
+    #[test]
+    fn negative_handled_by_parser_not_lexer() {
+        let t = toks("x = -5;\n", false);
+        assert!(t.contains(&Tok::Punct("-")));
+        assert!(t.contains(&Tok::Int(5)));
+    }
+
+    #[test]
+    fn unexpected_char_is_error() {
+        assert!(lex_c("x = `;\n").is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! # acc-frontend — mini-C and mini-Fortran front-ends
+//!
+//! The simulated vendor compilers do not consume ASTs directly: the
+//! testsuite renders every generated test to *source text* (the paper's
+//! generated tests are "complete and standalone C/Fortran code", §I) and the
+//! compiler under test re-parses that text with the front-ends in this
+//! crate. This keeps the validation pipeline honest — a front-end bug in a
+//! simulated compiler manifests exactly like a real vendor front-end bug.
+//!
+//! Two front-ends are provided:
+//!
+//! * [`cparse`] — a recursive-descent parser for the C subset emitted by
+//!   `acc_ast::cgen`, including `#pragma acc` directive lines.
+//! * [`fparse`] — a line-oriented parser for the Fortran dialect emitted by
+//!   `acc_ast::fgen`, including `!$acc` sentinels and `!$acc end` block
+//!   terminators.
+//!
+//! Both lower to the same [`acc_ast::Program`] representation, and both use
+//! the shared OpenACC directive grammar in [`directive`]. [`sema`] provides
+//! the specification-conformance checks (clause legality, declaration-before-
+//! use) a conforming front-end must perform.
+//!
+//! Round-trip guarantees (property-tested in `tests/`):
+//! `emit_c ∘ parse_c` is the identity on emitted text, and
+//! `emit_fortran ∘ parse_fortran` reaches a fixpoint after one iteration.
+
+#![warn(missing_docs)]
+
+pub mod cparse;
+pub mod cursor;
+pub mod diag;
+pub mod directive;
+pub mod fparse;
+pub mod lex;
+pub mod sema;
+
+pub use diag::{Diagnostic, ParseError, Severity};
+
+use acc_ast::Program;
+use acc_spec::Language;
+
+/// Parse source text in the given language into a [`Program`].
+pub fn parse(source: &str, language: Language) -> Result<Program, ParseError> {
+    match language {
+        Language::C => cparse::parse_c(source),
+        Language::Fortran => fparse::parse_fortran(source),
+    }
+}

@@ -1,0 +1,203 @@
+//! Property tests for the generation↔parsing contract:
+//!
+//! * C: `emit_c ∘ parse_c` is the **identity** on emitted text.
+//! * Fortran: `emit_fortran ∘ parse_fortran` reaches a **fixpoint** after
+//!   one normalization pass (declaration hoisting, compound-assignment
+//!   expansion, do-loop bound rewriting are all normalizing).
+//!
+//! The generators produce programs shaped like the corpus: declared-before-
+//! use variables, 0-based loops, structured OpenACC regions.
+
+use acc_ast::builder as b;
+use acc_ast::{cgen, fgen, AccClause, BinOp, Expr, Program, ScalarType, Stmt};
+use acc_frontend::{cparse, fparse};
+use acc_spec::{ClauseKind, Language, ReductionOp};
+use proptest::prelude::*;
+
+const SCALARS: &[&str] = &["x", "y", "s"];
+const ARRAYS: &[&str] = &["A", "B"];
+
+fn arb_leaf() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (-20i64..100).prop_map(Expr::int),
+        prop::sample::select(SCALARS).prop_map(Expr::var),
+        prop::sample::select(ARRAYS).prop_map(|a| Expr::idx(a, Expr::var("i"))),
+        (0u8..3).prop_map(|k| Expr::Real(
+            [0.5, 2.0, 1e-3][k as usize],
+            if k == 2 {
+                ScalarType::Double
+            } else {
+                ScalarType::Float
+            }
+        )),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    arb_leaf().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (
+                prop::sample::select(
+                    &[
+                        BinOp::Add,
+                        BinOp::Sub,
+                        BinOp::Mul,
+                        BinOp::Lt,
+                        BinOp::Le,
+                        BinOp::Eq,
+                        BinOp::Ne,
+                        BinOp::And,
+                        BinOp::Or,
+                        BinOp::BitAnd,
+                        BinOp::BitXor,
+                    ][..]
+                ),
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| Expr::bin(op, l, r)),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary(acc_ast::UnOp::Not, Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::call("powf", vec![l, r])),
+        ]
+    })
+}
+
+fn arb_simple_stmt() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        (prop::sample::select(SCALARS), arb_expr()).prop_map(|(v, e)| b::set(v, e)),
+        (prop::sample::select(ARRAYS), arb_expr()).prop_map(|(a, e)| b::set1(a, Expr::var("i"), e)),
+        (prop::sample::select(SCALARS), arb_expr()).prop_map(|(v, e)| Stmt::assign_op(
+            acc_ast::LValue::var(v),
+            BinOp::Add,
+            e
+        )),
+    ]
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        arb_simple_stmt(),
+        // counted loop over i
+        (1i64..20, prop::collection::vec(arb_simple_stmt(), 1..3))
+            .prop_map(|(n, body)| b::for_upto("i", Expr::int(n), body)),
+        // if/else
+        (
+            arb_expr(),
+            prop::collection::vec(arb_simple_stmt(), 1..3),
+            prop::collection::vec(arb_simple_stmt(), 0..2)
+        )
+            .prop_map(|(c, t, e)| Stmt::If {
+                cond: c,
+                then_body: t,
+                else_body: e
+            }),
+        // an OpenACC region with a loop
+        (1u32..8, prop::collection::vec(arb_simple_stmt(), 1..3)).prop_map(|(g, body)| {
+            b::parallel_region(
+                vec![
+                    AccClause::NumGangs(Expr::int(g as i64)),
+                    b::copy_sec("A", Expr::int(16)),
+                ],
+                vec![b::acc_loop(vec![], "i", Expr::int(16), body)],
+            )
+        }),
+        // a data region with update inside
+        prop::collection::vec(arb_simple_stmt(), 1..2).prop_map(|body| {
+            b::data_region(
+                vec![b::copyin_sec("A", Expr::int(16))],
+                vec![
+                    b::update(vec![AccClause::Data(
+                        ClauseKind::HostClause,
+                        vec![acc_ast::DataRef::section("A", Expr::int(0), Expr::int(16))],
+                    )]),
+                    Stmt::If {
+                        cond: Expr::var("x"),
+                        then_body: body,
+                        else_body: vec![],
+                    },
+                ],
+            )
+        }),
+        // a reduction loop
+        prop::sample::select(&[ReductionOp::Add, ReductionOp::Max, ReductionOp::BitXor][..])
+            .prop_map(|op| b::kernels_loop(
+                vec![AccClause::Reduction(op, vec!["s".into()])],
+                "i",
+                Expr::int(8),
+                vec![b::add("s", Expr::int(1))],
+            )),
+    ]
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    prop::collection::vec(arb_stmt(), 1..6).prop_map(|stmts| {
+        let mut body = vec![
+            b::decl_int("x", 1),
+            b::decl_int("y", 2),
+            b::decl_int("s", 0),
+            b::decl_array("A", ScalarType::Int, 16),
+            b::decl_array("B", ScalarType::Int, 16),
+        ];
+        body.extend(stmts);
+        body.push(Stmt::Return(Expr::var("s")));
+        Program::simple("prop", Language::C, body)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn c_emit_parse_is_identity(p in arb_program()) {
+        let src = cgen::emit_c(&p);
+        let q = cparse::parse_c(&src)
+            .unwrap_or_else(|e| panic!("{e}\n---\n{src}"));
+        let src2 = cgen::emit_c(&q);
+        prop_assert_eq!(&src, &src2, "C emit∘parse must be identity");
+    }
+
+    #[test]
+    fn fortran_emit_parse_reaches_fixpoint(p in arb_program()) {
+        let mut q = p;
+        q.language = Language::Fortran;
+        let src1 = fgen::emit_fortran(&q);
+        let r1 = fparse::parse_fortran(&src1)
+            .unwrap_or_else(|e| panic!("{e}\n---\n{src1}"));
+        let src2 = fgen::emit_fortran(&r1);
+        let r2 = fparse::parse_fortran(&src2)
+            .unwrap_or_else(|e| panic!("{e}\n---\n{src2}"));
+        let src3 = fgen::emit_fortran(&r2);
+        prop_assert_eq!(&src2, &src3, "Fortran emit∘parse must be a fixpoint");
+    }
+
+    #[test]
+    fn directive_count_is_preserved(p in arb_program()) {
+        let n = p.directives().len();
+        let src = cgen::emit_c(&p);
+        let q = cparse::parse_c(&src).unwrap();
+        prop_assert_eq!(q.directives().len(), n);
+        let mut f = p;
+        f.language = Language::Fortran;
+        let fsrc = fgen::emit_fortran(&f);
+        let r = fparse::parse_fortran(&fsrc).unwrap();
+        prop_assert_eq!(r.directives().len(), n);
+    }
+
+    #[test]
+    fn expr_const_fold_agrees_with_reparse(e in arb_expr()) {
+        // Folding before and after a C round trip gives the same verdict.
+        let before = e.const_int();
+        let src = format!(
+            "int main(void) {{\n    int x = 1;\n    int y = 2;\n    int s = 0;\n    int A[16];\n    int B[16];\n    s = {};\n    return s;\n}}\n",
+            cgen::expr_to_c(&e)
+        );
+        let p = cparse::parse_c(&src).unwrap_or_else(|err| panic!("{err}\n{src}"));
+        let reparsed = match &p.entry().unwrap().body[5] {
+            Stmt::Assign { value, .. } => value.clone(),
+            other => panic!("{other:?}"),
+        };
+        prop_assert_eq!(reparsed.const_int(), before);
+    }
+}

@@ -1,0 +1,184 @@
+//! The simulated cluster: nodes, software stacks, faults.
+
+use acc_compiler::{VendorCompiler, VendorId};
+use acc_device::{Defect, TranslationTarget};
+use acc_spec::version::CompilerVersion;
+use acc_spec::{ClauseKind, DirectiveKind};
+use std::fmt;
+
+/// A fault present on a node — the kind of environment breakage the Titan
+/// harness exists to catch before users do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeFault {
+    /// The GPU driver wedges: kernels never complete (every compute test
+    /// times out).
+    GpuHang,
+    /// A stale runtime library on the node: asynchronous operations are
+    /// broken.
+    StaleRuntime,
+    /// A corrupted module environment: update directives are dropped.
+    BrokenModules,
+}
+
+impl NodeFault {
+    /// The defect the fault injects into every compile on the node.
+    pub fn defect(self) -> Defect {
+        match self {
+            // A hang on any data clause of parallel regions approximates a
+            // wedged driver without stalling the whole suite (timeouts are
+            // budgeted per test).
+            NodeFault::GpuHang => Defect::HangOnClause(DirectiveKind::Parallel, ClauseKind::Copy),
+            NodeFault::StaleRuntime => Defect::AsyncFamilyBroken,
+            NodeFault::BrokenModules => Defect::UpdateNoop,
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            NodeFault::GpuHang => "gpu-hang",
+            NodeFault::StaleRuntime => "stale-runtime",
+            NodeFault::BrokenModules => "broken-modules",
+        }
+    }
+}
+
+/// A software stack installed on a node: a vendor compiler release plus the
+/// translation path it targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoftwareStack {
+    /// Compiler product line.
+    pub vendor: VendorId,
+    /// Release.
+    pub version: CompilerVersion,
+    /// OpenACC → CUDA or OpenACC → OpenCL.
+    pub target: TranslationTarget,
+}
+
+impl SoftwareStack {
+    /// Construct a stack.
+    pub fn new(vendor: VendorId, version: CompilerVersion, target: TranslationTarget) -> Self {
+        SoftwareStack {
+            vendor,
+            version,
+            target,
+        }
+    }
+
+    /// The compiler for this stack on a node with an optional fault.
+    pub fn compiler(&self, fault: Option<NodeFault>) -> VendorCompiler {
+        let mut c = VendorCompiler::new(self.vendor, self.version).with_target(self.target);
+        if let Some(f) = fault {
+            c = c.with_extra_defect(f.defect());
+        }
+        c
+    }
+
+    /// Display label ("Cray 8.2.0 → OpenCL").
+    pub fn label(&self) -> String {
+        format!(
+            "{} {} → {}",
+            self.vendor.name(),
+            self.version,
+            self.target.label()
+        )
+    }
+}
+
+impl fmt::Display for SoftwareStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// One compute node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Node identifier (Titan-style `nid`).
+    pub id: u32,
+    /// Installed stacks.
+    pub stacks: Vec<SoftwareStack>,
+    /// Fault, if the node is unhealthy.
+    pub fault: Option<NodeFault>,
+}
+
+impl Node {
+    /// Is the node healthy?
+    pub fn healthy(&self) -> bool {
+        self.fault.is_none()
+    }
+}
+
+/// The simulated machine.
+#[derive(Debug, Clone)]
+pub struct SimulatedCluster {
+    /// Machine name ("titan-sim").
+    pub name: String,
+    /// All nodes.
+    pub nodes: Vec<Node>,
+}
+
+impl SimulatedCluster {
+    /// A Titan-like machine: `n` nodes, each with the Cray compiler over
+    /// both CUDA and OpenCL translation paths. `faults` maps node ids to
+    /// injected faults.
+    pub fn titan(n: u32, faults: &[(u32, NodeFault)]) -> Self {
+        let cray = VendorId::Cray.latest();
+        let stacks = vec![
+            SoftwareStack::new(VendorId::Cray, cray, TranslationTarget::Cuda),
+            SoftwareStack::new(VendorId::Cray, cray, TranslationTarget::Opencl),
+        ];
+        let nodes = (0..n)
+            .map(|id| Node {
+                id,
+                stacks: stacks.clone(),
+                fault: faults.iter().find(|(f, _)| *f == id).map(|(_, f)| *f),
+            })
+            .collect();
+        SimulatedCluster {
+            name: "titan-sim".to_string(),
+            nodes,
+        }
+    }
+
+    /// Number of healthy nodes.
+    pub fn healthy_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.healthy()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_layout() {
+        let c = SimulatedCluster::titan(16, &[(3, NodeFault::GpuHang)]);
+        assert_eq!(c.nodes.len(), 16);
+        assert_eq!(c.healthy_count(), 15);
+        assert_eq!(c.nodes[0].stacks.len(), 2);
+        assert!(c.nodes[0].healthy());
+        assert!(!c.nodes[3].healthy());
+        assert_eq!(c.nodes[0].stacks[1].label(), "Cray 8.2.0 → OpenCL");
+    }
+
+    #[test]
+    fn faulty_stack_compiler_carries_defect() {
+        let c = SimulatedCluster::titan(2, &[(1, NodeFault::StaleRuntime)]);
+        let stack = &c.nodes[1].stacks[0];
+        let compiler = stack.compiler(c.nodes[1].fault);
+        assert!(compiler
+            .profile(acc_spec::Language::C)
+            .has(&Defect::AsyncFamilyBroken));
+        let healthy = stack.compiler(None);
+        assert!(!healthy
+            .profile(acc_spec::Language::C)
+            .has(&Defect::AsyncFamilyBroken));
+    }
+
+    #[test]
+    fn fault_labels() {
+        assert_eq!(NodeFault::GpuHang.label(), "gpu-hang");
+        assert_eq!(NodeFault::BrokenModules.label(), "broken-modules");
+    }
+}

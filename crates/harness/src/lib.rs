@@ -1,0 +1,25 @@
+//! # acc-harness — the Titan-style production harness
+//!
+//! §VII of the paper: "The OpenACC validation suite is being used to
+//! validate the functionality of the programming environment of Titan. …
+//! The suite runs on random nodes to check functionality requirements of
+//! the nodes. It is also used to test different software stacks, for
+//! example, to test the translation of OpenACC to CUDA or OpenCL" (Fig. 13).
+//!
+//! This crate simulates that deployment: a [`cluster::SimulatedCluster`] of
+//! nodes, each carrying one or more [`cluster::SoftwareStack`]s (compiler ×
+//! translation target) and possibly a hardware/software fault; a
+//! [`run::HarnessRun`] samples random nodes with a seeded RNG and executes
+//! the validation suite on every stack of every sampled node; and a
+//! [`tracking::FunctionalityTracker`] keeps the time series of pass rates
+//! "to track functionality improvements or degradation over time".
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod run;
+pub mod tracking;
+
+pub use cluster::{Node, NodeFault, SimulatedCluster, SoftwareStack};
+pub use run::{HarnessReport, HarnessRun, StackResult};
+pub use tracking::{Drift, FunctionalityTracker};

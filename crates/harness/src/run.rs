@@ -1,0 +1,213 @@
+//! Harness runs: sample random nodes, validate every stack.
+
+use crate::cluster::{Node, SimulatedCluster, SoftwareStack};
+use acc_spec::Language;
+use acc_validation::{Campaign, SuiteConfig, TestCase};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::fmt::Write as _;
+
+/// Result of validating one stack on one node.
+#[derive(Debug)]
+pub struct StackResult {
+    /// The node id.
+    pub node: u32,
+    /// Stack label.
+    pub stack: String,
+    /// Whether the node carries a fault (known to the simulation, *not* to
+    /// the harness — the harness's job is to discover it).
+    pub node_faulty: bool,
+    /// Pass rate over both languages, percent.
+    pub pass_rate: f64,
+    /// Failing feature ids.
+    pub failures: Vec<String>,
+}
+
+/// One scheduled harness run over the cluster.
+#[derive(Debug)]
+pub struct HarnessRun {
+    /// The suite used for node validation (often a fast subset).
+    pub suite: Vec<TestCase>,
+    /// Suite configuration.
+    pub config: SuiteConfig,
+    /// How many random nodes each run samples.
+    pub nodes_per_run: usize,
+}
+
+/// The full report of a harness run.
+#[derive(Debug)]
+pub struct HarnessReport {
+    /// Sampled node ids, in draw order.
+    pub sampled: Vec<u32>,
+    /// Per-stack results.
+    pub results: Vec<StackResult>,
+}
+
+impl HarnessRun {
+    /// A run configuration over the given suite.
+    pub fn new(suite: Vec<TestCase>, nodes_per_run: usize) -> Self {
+        HarnessRun {
+            suite,
+            config: SuiteConfig::default(),
+            nodes_per_run,
+        }
+    }
+
+    /// Execute: draw `nodes_per_run` distinct random nodes (seeded — harness
+    /// runs are reproducible) and validate every stack on each.
+    pub fn execute(&self, cluster: &SimulatedCluster, seed: u64) -> HarnessReport {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ids: Vec<usize> = (0..cluster.nodes.len()).collect();
+        ids.shuffle(&mut rng);
+        ids.truncate(self.nodes_per_run.min(cluster.nodes.len()));
+        let mut results = Vec::new();
+        let mut sampled = Vec::new();
+        for idx in ids {
+            let node = &cluster.nodes[idx];
+            sampled.push(node.id);
+            for stack in &node.stacks {
+                results.push(self.validate_stack(node, stack));
+            }
+        }
+        HarnessReport { sampled, results }
+    }
+
+    fn validate_stack(&self, node: &Node, stack: &SoftwareStack) -> StackResult {
+        let compiler = stack.compiler(node.fault);
+        let campaign = Campaign::new(self.suite.clone());
+        let run = campaign.run_one(&compiler);
+        let mut counted = 0usize;
+        let mut passed = 0usize;
+        let mut failures = Vec::new();
+        for lang in [Language::C, Language::Fortran] {
+            for r in run.counted(lang) {
+                counted += 1;
+                if r.passed() {
+                    passed += 1;
+                } else {
+                    failures.push(format!("{} ({lang})", r.feature));
+                }
+            }
+        }
+        let pass_rate = if counted == 0 {
+            100.0
+        } else {
+            passed as f64 / counted as f64 * 100.0
+        };
+        StackResult {
+            node: node.id,
+            stack: stack.label(),
+            node_faulty: node.fault.is_some(),
+            pass_rate,
+            failures,
+        }
+    }
+}
+
+impl HarnessReport {
+    /// Nodes whose pass rate fell below `threshold` on any stack — the list
+    /// an operator would drain.
+    pub fn suspect_nodes(&self, threshold: f64) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .results
+            .iter()
+            .filter(|r| r.pass_rate < threshold)
+            .map(|r| r.node)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Render the Fig. 13-style node × stack matrix.
+    pub fn matrix(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{:<8} {:<28} {:>9}  failures", "node", "stack", "pass%");
+        for r in &self.results {
+            let _ = writeln!(
+                s,
+                "nid{:05} {:<28} {:>8.1}%  {}",
+                r.node,
+                r.stack,
+                r.pass_rate,
+                if r.failures.is_empty() {
+                    "-".to_string()
+                } else {
+                    r.failures.join(", ")
+                }
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::NodeFault;
+
+    /// A fast three-test subset for harness unit tests.
+    fn mini_suite() -> Vec<TestCase> {
+        acc_testsuite::full_suite()
+            .into_iter()
+            .filter(|c| {
+                matches!(
+                    c.feature.as_str(),
+                    "loop" | "parallel.async" | "update.host"
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sampling_is_seeded_and_distinct() {
+        let cluster = SimulatedCluster::titan(32, &[]);
+        let run = HarnessRun::new(mini_suite(), 4);
+        let a = run.execute(&cluster, 42);
+        let b = run.execute(&cluster, 42);
+        assert_eq!(a.sampled, b.sampled, "same seed, same draw");
+        let c = run.execute(&cluster, 43);
+        assert_ne!(a.sampled, c.sampled, "different seed, different draw");
+        let mut uniq = a.sampled.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 4);
+    }
+
+    #[test]
+    fn healthy_titan_passes_everywhere() {
+        let cluster = SimulatedCluster::titan(4, &[]);
+        let run = HarnessRun::new(mini_suite(), 4);
+        let report = run.execute(&cluster, 7);
+        assert_eq!(report.results.len(), 8); // 4 nodes × 2 stacks
+                                             // Cray's latest release passes these three features.
+        for r in &report.results {
+            assert_eq!(r.pass_rate, 100.0, "{}: {:?}", r.stack, r.failures);
+        }
+        assert!(report.suspect_nodes(99.0).is_empty());
+    }
+
+    #[test]
+    fn faulty_node_is_discovered() {
+        let faults = [(2u32, NodeFault::StaleRuntime)];
+        let cluster = SimulatedCluster::titan(4, &faults);
+        let run = HarnessRun::new(mini_suite(), 4);
+        let report = run.execute(&cluster, 7);
+        let suspects = report.suspect_nodes(99.0);
+        assert_eq!(suspects, vec![2]);
+        // The matrix names the failing features on the bad node.
+        let matrix = report.matrix();
+        assert!(matrix.contains("nid00002"), "{matrix}");
+        assert!(matrix.contains("parallel.async"), "{matrix}");
+    }
+
+    #[test]
+    fn cuda_and_opencl_stacks_both_validated() {
+        let cluster = SimulatedCluster::titan(1, &[]);
+        let run = HarnessRun::new(mini_suite(), 1);
+        let report = run.execute(&cluster, 1);
+        let stacks: Vec<&str> = report.results.iter().map(|r| r.stack.as_str()).collect();
+        assert!(stacks.iter().any(|s| s.contains("CUDA")));
+        assert!(stacks.iter().any(|s| s.contains("OpenCL")));
+    }
+}

@@ -1,0 +1,22 @@
+//! # acc-runtime — the OpenACC 1.0 runtime library over the simulated device
+//!
+//! Implements the fourteen runtime routines of the 1.0 specification (§3)
+//! and the `ACC_DEVICE_TYPE` / `ACC_DEVICE_NUM` environment variables (§4)
+//! against the `acc-device` substrate. The simulated vendor compilers route
+//! generated `acc_*` calls through [`dispatch`]; examples can use the same
+//! API directly as a library.
+//!
+//! The crate also defines [`World`]: the complete mutable device-side state
+//! of one program execution (memory, present table, async queues, virtual
+//! clock, metrics, runtime state). The execution machine in `acc-compiler`
+//! owns a `World` per run.
+
+#![warn(missing_docs)]
+
+pub mod routines;
+pub mod state;
+pub mod world;
+
+pub use routines::{dispatch, RoutineError};
+pub use state::RuntimeState;
+pub use world::World;

@@ -1,0 +1,101 @@
+//! Runtime-library state: selected device type/number, initialization.
+
+use acc_spec::envvar::EnvConfig;
+use acc_spec::DeviceType;
+
+/// The runtime's device-selection state.
+///
+/// `concrete_device` is the implementation-defined device type the runtime
+/// resolves `acc_device_not_host` / `acc_device_default` to — the paper's
+/// §V-C observation: "the real device type returned is implementation-
+/// defined" (CAPS resolves to `acc_device_cuda`, PGI to
+/// `acc_device_nvidia`, …).
+#[derive(Debug, Clone)]
+pub struct RuntimeState {
+    /// The implementation's concrete accelerator type.
+    pub concrete_device: DeviceType,
+    /// Currently selected device type.
+    pub current_type: DeviceType,
+    /// Currently selected device number.
+    pub current_num: u32,
+    /// Number of attached accelerator devices.
+    pub num_devices: u32,
+    /// Whether `acc_init` has been called (and not shut down).
+    pub initialized: bool,
+}
+
+impl RuntimeState {
+    /// Fresh state with the given implementation-defined concrete device
+    /// type, honoring `ACC_DEVICE_TYPE` / `ACC_DEVICE_NUM` from the
+    /// environment.
+    pub fn new(concrete_device: DeviceType, env: &EnvConfig) -> Self {
+        let current_type = match env.device_type {
+            Some(t) => resolve(t, concrete_device),
+            None => concrete_device,
+        };
+        RuntimeState {
+            concrete_device,
+            current_type,
+            current_num: env.device_num.unwrap_or(0),
+            num_devices: 1,
+            initialized: false,
+        }
+    }
+
+    /// Select a device type (the `acc_set_device_type` semantics): abstract
+    /// types resolve to the implementation's concrete type.
+    pub fn set_type(&mut self, t: DeviceType) {
+        self.current_type = resolve(t, self.concrete_device);
+    }
+
+    /// Is execution currently targeting the host (no accelerator)?
+    pub fn on_host(&self) -> bool {
+        matches!(self.current_type, DeviceType::Host | DeviceType::None)
+    }
+}
+
+/// Resolve an abstract requested type to the concrete one.
+fn resolve(requested: DeviceType, concrete: DeviceType) -> DeviceType {
+    match requested {
+        DeviceType::NotHost | DeviceType::Default => concrete,
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn not_host_resolves_to_concrete() {
+        let mut s = RuntimeState::new(DeviceType::Nvidia, &EnvConfig::empty());
+        s.set_type(DeviceType::NotHost);
+        assert_eq!(s.current_type, DeviceType::Nvidia);
+        assert!(s.current_type.satisfies_not_host());
+    }
+
+    #[test]
+    fn explicit_host_selection() {
+        let mut s = RuntimeState::new(DeviceType::Cuda, &EnvConfig::empty());
+        s.set_type(DeviceType::Host);
+        assert!(s.on_host());
+        s.set_type(DeviceType::Default);
+        assert_eq!(s.current_type, DeviceType::Cuda);
+        assert!(!s.on_host());
+    }
+
+    #[test]
+    fn env_overrides_initial_selection() {
+        let env = EnvConfig::from_pairs([("ACC_DEVICE_TYPE", "HOST"), ("ACC_DEVICE_NUM", "3")]);
+        let s = RuntimeState::new(DeviceType::Nvidia, &env);
+        assert_eq!(s.current_type, DeviceType::Host);
+        assert_eq!(s.current_num, 3);
+    }
+
+    #[test]
+    fn env_not_host_resolves() {
+        let env = EnvConfig::from_pairs([("ACC_DEVICE_TYPE", "NOT_HOST")]);
+        let s = RuntimeState::new(DeviceType::Cuda, &env);
+        assert_eq!(s.current_type, DeviceType::Cuda);
+    }
+}

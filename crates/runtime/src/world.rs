@@ -1,0 +1,61 @@
+//! The complete device-side state of one program execution.
+
+use acc_device::{AsyncQueues, DeviceMemory, Metrics, PresentTable, VirtualClock};
+use acc_spec::envvar::EnvConfig;
+use acc_spec::DeviceType;
+
+use crate::state::RuntimeState;
+
+/// Everything the runtime and the execution machine share: device memory,
+/// the present table, async queues, the virtual clock, metrics, and the
+/// runtime-library state.
+#[derive(Debug)]
+pub struct World {
+    /// Device memory / allocator.
+    pub mem: DeviceMemory,
+    /// Host-symbol → device mapping.
+    pub present: PresentTable,
+    /// Async activity queues.
+    pub queues: AsyncQueues,
+    /// Virtual clock.
+    pub clock: VirtualClock,
+    /// Execution counters.
+    pub metrics: Metrics,
+    /// Runtime-library state.
+    pub rt: RuntimeState,
+}
+
+impl World {
+    /// Fresh world with the given implementation-defined concrete device
+    /// type, honoring ACC_* environment variables.
+    pub fn new(concrete_device: DeviceType, env: &EnvConfig) -> Self {
+        World {
+            mem: DeviceMemory::new(),
+            present: PresentTable::new(),
+            queues: AsyncQueues::new(),
+            clock: VirtualClock::new(),
+            metrics: Metrics::new(),
+            rt: RuntimeState::new(concrete_device, env),
+        }
+    }
+
+    /// Default world: an NVIDIA-class accelerator, empty environment.
+    pub fn default_gpu() -> Self {
+        World::new(DeviceType::Nvidia, &EnvConfig::empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_world_is_empty() {
+        let w = World::default_gpu();
+        assert_eq!(w.mem.live_buffers(), 0);
+        assert!(w.present.is_empty());
+        assert_eq!(w.clock.now(), 0);
+        assert_eq!(w.metrics.kernels_launched, 0);
+        assert!(!w.rt.on_host());
+    }
+}

@@ -1,0 +1,302 @@
+//! OpenACC clause kinds and their classification.
+
+use crate::version::SpecVersion;
+use std::fmt;
+
+/// Every clause kind defined by OpenACC 1.0, plus the 2.0 additions
+/// referenced by the paper's §VI discussion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ClauseKind {
+    /// `if(condition)` — execute on the device only when true.
+    If,
+    /// `async[(expr)]` — do not wait for region/transfer completion.
+    Async,
+    /// `num_gangs(expr)` — gang count for a `parallel` region.
+    NumGangs,
+    /// `num_workers(expr)` — workers per gang.
+    NumWorkers,
+    /// `vector_length(expr)` — vector lanes per worker.
+    VectorLength,
+    /// `reduction(op:list)` — parallel reduction over privatized copies.
+    Reduction,
+    /// `copy(list)` — copyin at entry, copyout at exit.
+    Copy,
+    /// `copyin(list)` — host→device at entry only.
+    Copyin,
+    /// `copyout(list)` — device→host at exit only.
+    Copyout,
+    /// `create(list)` — device allocation without transfer.
+    Create,
+    /// `present(list)` — assert data already on device.
+    Present,
+    /// `present_or_copy(list)` (`pcopy`).
+    PresentOrCopy,
+    /// `present_or_copyin(list)` (`pcopyin`).
+    PresentOrCopyin,
+    /// `present_or_copyout(list)` (`pcopyout`).
+    PresentOrCopyout,
+    /// `present_or_create(list)` (`pcreate`).
+    PresentOrCreate,
+    /// `deviceptr(list)` — the listed pointers hold device addresses.
+    Deviceptr,
+    /// `private(list)` — per-gang/worker/lane private copies.
+    Private,
+    /// `firstprivate(list)` — private copies initialized from the host value.
+    Firstprivate,
+    /// `use_device(list)` — on `host_data`: use device addresses in host code.
+    UseDevice,
+    /// `device_resident(list)` — on `declare`: data lives on the device.
+    DeviceResident,
+    /// `gang[(expr)]` — schedule a loop across gangs.
+    Gang,
+    /// `worker[(expr)]` — schedule a loop across workers.
+    Worker,
+    /// `vector[(expr)]` — schedule a loop across vector lanes.
+    Vector,
+    /// `seq` — execute the loop sequentially.
+    Seq,
+    /// `independent` — assert loop iterations are data-independent.
+    Independent,
+    /// `collapse(n)` — associate `n` tightly-nested loops.
+    Collapse,
+    /// `host(list)` — on `update`: refresh the host copy.
+    HostClause,
+    /// `device(list)` — on `update`: refresh the device copy.
+    DeviceClause,
+    /// OpenACC 2.0 `delete(list)` on `exit data`.
+    Delete,
+    /// OpenACC 2.0 `default(none)` on compute constructs.
+    DefaultNone,
+    /// OpenACC 2.0 `auto` loop mapping.
+    Auto,
+}
+
+/// Broad classification of a clause's role, used by the report generator to
+/// group results and by the cross-test planner to pick replacement clauses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClauseCategory {
+    /// Controls whether/when the region executes (`if`, `async`).
+    Control,
+    /// Sizes the parallelism (`num_gangs`, `num_workers`, `vector_length`).
+    Sizing,
+    /// Moves or places data (`copy*`, `create`, `present*`, `deviceptr`,
+    /// `use_device`, `device_resident`, `host`, `device`, `delete`).
+    Data,
+    /// Privatization (`private`, `firstprivate`).
+    Privatization,
+    /// Reductions.
+    Reduction,
+    /// Loop scheduling (`gang`, `worker`, `vector`, `seq`, `independent`,
+    /// `collapse`, `auto`).
+    LoopSchedule,
+    /// Visibility defaults (`default(none)`).
+    Default,
+}
+
+impl ClauseKind {
+    /// Every clause kind, in specification order.
+    pub const ALL: [ClauseKind; 31] = [
+        ClauseKind::If,
+        ClauseKind::Async,
+        ClauseKind::NumGangs,
+        ClauseKind::NumWorkers,
+        ClauseKind::VectorLength,
+        ClauseKind::Reduction,
+        ClauseKind::Copy,
+        ClauseKind::Copyin,
+        ClauseKind::Copyout,
+        ClauseKind::Create,
+        ClauseKind::Present,
+        ClauseKind::PresentOrCopy,
+        ClauseKind::PresentOrCopyin,
+        ClauseKind::PresentOrCopyout,
+        ClauseKind::PresentOrCreate,
+        ClauseKind::Deviceptr,
+        ClauseKind::Private,
+        ClauseKind::Firstprivate,
+        ClauseKind::UseDevice,
+        ClauseKind::DeviceResident,
+        ClauseKind::Gang,
+        ClauseKind::Worker,
+        ClauseKind::Vector,
+        ClauseKind::Seq,
+        ClauseKind::Independent,
+        ClauseKind::Collapse,
+        ClauseKind::HostClause,
+        ClauseKind::DeviceClause,
+        ClauseKind::Delete,
+        ClauseKind::DefaultNone,
+        ClauseKind::Auto,
+    ];
+
+    /// Canonical spelling in directive source text.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClauseKind::If => "if",
+            ClauseKind::Async => "async",
+            ClauseKind::NumGangs => "num_gangs",
+            ClauseKind::NumWorkers => "num_workers",
+            ClauseKind::VectorLength => "vector_length",
+            ClauseKind::Reduction => "reduction",
+            ClauseKind::Copy => "copy",
+            ClauseKind::Copyin => "copyin",
+            ClauseKind::Copyout => "copyout",
+            ClauseKind::Create => "create",
+            ClauseKind::Present => "present",
+            ClauseKind::PresentOrCopy => "present_or_copy",
+            ClauseKind::PresentOrCopyin => "present_or_copyin",
+            ClauseKind::PresentOrCopyout => "present_or_copyout",
+            ClauseKind::PresentOrCreate => "present_or_create",
+            ClauseKind::Deviceptr => "deviceptr",
+            ClauseKind::Private => "private",
+            ClauseKind::Firstprivate => "firstprivate",
+            ClauseKind::UseDevice => "use_device",
+            ClauseKind::DeviceResident => "device_resident",
+            ClauseKind::Gang => "gang",
+            ClauseKind::Worker => "worker",
+            ClauseKind::Vector => "vector",
+            ClauseKind::Seq => "seq",
+            ClauseKind::Independent => "independent",
+            ClauseKind::Collapse => "collapse",
+            ClauseKind::HostClause => "host",
+            ClauseKind::DeviceClause => "device",
+            ClauseKind::Delete => "delete",
+            ClauseKind::DefaultNone => "default",
+            ClauseKind::Auto => "auto",
+        }
+    }
+
+    /// Accepted abbreviation, if the specification defines one
+    /// (`pcopy` for `present_or_copy`, etc.).
+    pub fn abbreviation(self) -> Option<&'static str> {
+        match self {
+            ClauseKind::PresentOrCopy => Some("pcopy"),
+            ClauseKind::PresentOrCopyin => Some("pcopyin"),
+            ClauseKind::PresentOrCopyout => Some("pcopyout"),
+            ClauseKind::PresentOrCreate => Some("pcreate"),
+            _ => None,
+        }
+    }
+
+    /// Resolve a spelled clause name (canonical or abbreviated) to its kind.
+    pub fn from_name(name: &str) -> Option<ClauseKind> {
+        ClauseKind::ALL
+            .iter()
+            .copied()
+            .find(|c| c.name() == name || c.abbreviation() == Some(name))
+    }
+
+    /// Specification revision that introduced the clause.
+    pub fn introduced_in(self) -> SpecVersion {
+        match self {
+            ClauseKind::Delete | ClauseKind::DefaultNone | ClauseKind::Auto => SpecVersion::V2_0,
+            _ => SpecVersion::V1_0,
+        }
+    }
+
+    /// Broad role classification.
+    pub fn category(self) -> ClauseCategory {
+        use ClauseKind::*;
+        match self {
+            If | Async => ClauseCategory::Control,
+            NumGangs | NumWorkers | VectorLength => ClauseCategory::Sizing,
+            Copy | Copyin | Copyout | Create | Present | PresentOrCopy | PresentOrCopyin
+            | PresentOrCopyout | PresentOrCreate | Deviceptr | UseDevice | DeviceResident
+            | HostClause | DeviceClause | Delete => ClauseCategory::Data,
+            Private | Firstprivate => ClauseCategory::Privatization,
+            Reduction => ClauseCategory::Reduction,
+            Gang | Worker | Vector | Seq | Independent | Collapse | Auto => {
+                ClauseCategory::LoopSchedule
+            }
+            DefaultNone => ClauseCategory::Default,
+        }
+    }
+
+    /// True for the `present_or_*` family, which falls back to the paired
+    /// data action when the data is absent from the device.
+    pub fn is_present_or(self) -> bool {
+        matches!(
+            self,
+            ClauseKind::PresentOrCopy
+                | ClauseKind::PresentOrCopyin
+                | ClauseKind::PresentOrCopyout
+                | ClauseKind::PresentOrCreate
+        )
+    }
+}
+
+impl fmt::Display for ClauseKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_resolve_round_trip() {
+        for c in ClauseKind::ALL {
+            assert_eq!(ClauseKind::from_name(c.name()), Some(c), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn abbreviations_resolve() {
+        assert_eq!(
+            ClauseKind::from_name("pcopy"),
+            Some(ClauseKind::PresentOrCopy)
+        );
+        assert_eq!(
+            ClauseKind::from_name("pcopyin"),
+            Some(ClauseKind::PresentOrCopyin)
+        );
+        assert_eq!(
+            ClauseKind::from_name("pcopyout"),
+            Some(ClauseKind::PresentOrCopyout)
+        );
+        assert_eq!(
+            ClauseKind::from_name("pcreate"),
+            Some(ClauseKind::PresentOrCreate)
+        );
+        assert_eq!(ClauseKind::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn v2_clauses_flagged() {
+        assert_eq!(ClauseKind::Delete.introduced_in(), SpecVersion::V2_0);
+        assert_eq!(ClauseKind::Auto.introduced_in(), SpecVersion::V2_0);
+        assert_eq!(ClauseKind::Copy.introduced_in(), SpecVersion::V1_0);
+    }
+
+    #[test]
+    fn categories_cover_all() {
+        // Exercise category() over the full enum; grouping must not panic and
+        // data clauses must classify as Data.
+        for c in ClauseKind::ALL {
+            let _ = c.category();
+        }
+        assert_eq!(ClauseKind::Copyin.category(), ClauseCategory::Data);
+        assert_eq!(
+            ClauseKind::Private.category(),
+            ClauseCategory::Privatization
+        );
+        assert_eq!(ClauseKind::Gang.category(), ClauseCategory::LoopSchedule);
+    }
+
+    #[test]
+    fn present_or_family() {
+        assert!(ClauseKind::PresentOrCopyin.is_present_or());
+        assert!(!ClauseKind::Present.is_present_or());
+        assert!(!ClauseKind::Copy.is_present_or());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = ClauseKind::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ClauseKind::ALL.len());
+    }
+}

@@ -1,0 +1,175 @@
+//! Device types, including the implementation-defined extensions the paper
+//! observed (§V-C "Device type").
+
+use std::fmt;
+
+/// A device type value, as passed to `acc_set_device_type` and friends.
+///
+/// OpenACC 1.0 defines only the first four; everything else is an
+/// implementation-defined extension that the paper found in shipping
+/// compilers (CAPS 3.3.3 added `acc_device_cuda`/`acc_device_opencl`; PGI
+/// 13.4 added five NVIDIA/AMD/Xeon-Phi variants). Modeling the extensions
+/// lets the device-type test observe the same vendor divergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DeviceType {
+    /// `acc_device_none`.
+    None,
+    /// `acc_device_default`.
+    Default,
+    /// `acc_device_host` — the host CPU acting as the device.
+    Host,
+    /// `acc_device_not_host` — any attached accelerator.
+    NotHost,
+    /// CAPS extension: `acc_device_cuda`.
+    Cuda,
+    /// CAPS extension: `acc_device_opencl`.
+    Opencl,
+    /// PGI extension: `acc_device_nvidia`.
+    Nvidia,
+    /// PGI extension: `acc_device_radeon`.
+    Radeon,
+    /// PGI extension: `acc_device_xeonphi`.
+    XeonPhi,
+    /// PGI extension: `acc_device_pgi_opencl`.
+    PgiOpencl,
+    /// PGI extension: `acc_device_nvidia_opencl`.
+    NvidiaOpencl,
+}
+
+impl DeviceType {
+    /// The four device types the 1.0 specification defines.
+    pub const STANDARD: [DeviceType; 4] = [
+        DeviceType::None,
+        DeviceType::Default,
+        DeviceType::Host,
+        DeviceType::NotHost,
+    ];
+
+    /// The symbolic constant name.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            DeviceType::None => "acc_device_none",
+            DeviceType::Default => "acc_device_default",
+            DeviceType::Host => "acc_device_host",
+            DeviceType::NotHost => "acc_device_not_host",
+            DeviceType::Cuda => "acc_device_cuda",
+            DeviceType::Opencl => "acc_device_opencl",
+            DeviceType::Nvidia => "acc_device_nvidia",
+            DeviceType::Radeon => "acc_device_radeon",
+            DeviceType::XeonPhi => "acc_device_xeonphi",
+            DeviceType::PgiOpencl => "acc_device_pgi_opencl",
+            DeviceType::NvidiaOpencl => "acc_device_nvidia_opencl",
+        }
+    }
+
+    /// Resolve a symbolic constant name.
+    pub fn from_symbol(s: &str) -> Option<DeviceType> {
+        [
+            DeviceType::None,
+            DeviceType::Default,
+            DeviceType::Host,
+            DeviceType::NotHost,
+            DeviceType::Cuda,
+            DeviceType::Opencl,
+            DeviceType::Nvidia,
+            DeviceType::Radeon,
+            DeviceType::XeonPhi,
+            DeviceType::PgiOpencl,
+            DeviceType::NvidiaOpencl,
+        ]
+        .into_iter()
+        .find(|d| d.symbol() == s)
+    }
+
+    /// The integer encoding a 1.0 runtime conventionally exposes; extension
+    /// values are implementation-defined and start at 100 here.
+    pub fn encoding(self) -> i64 {
+        match self {
+            DeviceType::None => 0,
+            DeviceType::Default => 1,
+            DeviceType::Host => 2,
+            DeviceType::NotHost => 3,
+            DeviceType::Cuda => 100,
+            DeviceType::Opencl => 101,
+            DeviceType::Nvidia => 102,
+            DeviceType::Radeon => 103,
+            DeviceType::XeonPhi => 104,
+            DeviceType::PgiOpencl => 105,
+            DeviceType::NvidiaOpencl => 106,
+        }
+    }
+
+    /// True when the value is a standard 1.0 device type.
+    pub fn is_standard(self) -> bool {
+        DeviceType::STANDARD.contains(&self)
+    }
+
+    /// Whether the value *satisfies* a `not_host` query: every accelerator
+    /// type does; `host` and `none` do not.
+    pub fn satisfies_not_host(self) -> bool {
+        !matches!(self, DeviceType::None | DeviceType::Host)
+    }
+}
+
+impl fmt::Display for DeviceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_set() {
+        assert_eq!(DeviceType::STANDARD.len(), 4);
+        assert!(DeviceType::Host.is_standard());
+        assert!(!DeviceType::Cuda.is_standard());
+    }
+
+    #[test]
+    fn symbols_round_trip() {
+        for d in [
+            DeviceType::None,
+            DeviceType::NotHost,
+            DeviceType::Cuda,
+            DeviceType::NvidiaOpencl,
+        ] {
+            assert_eq!(DeviceType::from_symbol(d.symbol()), Some(d));
+        }
+        assert_eq!(DeviceType::from_symbol("acc_device_quantum"), None);
+    }
+
+    #[test]
+    fn not_host_satisfaction() {
+        assert!(DeviceType::NotHost.satisfies_not_host());
+        assert!(DeviceType::Cuda.satisfies_not_host());
+        assert!(DeviceType::Nvidia.satisfies_not_host());
+        assert!(!DeviceType::Host.satisfies_not_host());
+        assert!(!DeviceType::None.satisfies_not_host());
+        // `default` resolves to an accelerator when one is attached.
+        assert!(DeviceType::Default.satisfies_not_host());
+    }
+
+    #[test]
+    fn encodings_are_unique() {
+        let all = [
+            DeviceType::None,
+            DeviceType::Default,
+            DeviceType::Host,
+            DeviceType::NotHost,
+            DeviceType::Cuda,
+            DeviceType::Opencl,
+            DeviceType::Nvidia,
+            DeviceType::Radeon,
+            DeviceType::XeonPhi,
+            DeviceType::PgiOpencl,
+            DeviceType::NvidiaOpencl,
+        ];
+        let mut enc: Vec<_> = all.iter().map(|d| d.encoding()).collect();
+        enc.sort_unstable();
+        enc.dedup();
+        assert_eq!(enc.len(), all.len());
+    }
+}

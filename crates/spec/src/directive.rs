@@ -1,0 +1,400 @@
+//! OpenACC directive kinds and the clause sets each directive admits.
+
+use crate::clause::ClauseKind;
+use crate::version::SpecVersion;
+use std::fmt;
+
+/// Every directive defined by OpenACC 1.0, plus the 2.0 additions the paper
+/// discusses in §VI (kept distinct so 1.0 conformance checking can reject
+/// them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DirectiveKind {
+    /// `parallel` compute construct: launches a fixed number of gangs.
+    Parallel,
+    /// `kernels` compute construct: the compiler splits the region into
+    /// kernels.
+    Kernels,
+    /// Structured `data` region managing device copies.
+    Data,
+    /// `host_data` region exposing device addresses to host code.
+    HostData,
+    /// `loop` directive describing how to share iterations.
+    Loop,
+    /// Combined `parallel loop`.
+    ParallelLoop,
+    /// Combined `kernels loop`.
+    KernelsLoop,
+    /// `cache` directive (hint: cache array sections in fast memory).
+    Cache,
+    /// `update` directive synchronizing host and device copies.
+    Update,
+    /// `wait` directive blocking on async activity.
+    Wait,
+    /// `declare` directive creating an implicit data region for a scope.
+    Declare,
+    /// OpenACC 2.0 `enter data` (unstructured data lifetime begin).
+    EnterData,
+    /// OpenACC 2.0 `exit data` (unstructured data lifetime end).
+    ExitData,
+    /// OpenACC 2.0 `routine` directive (device-callable procedures).
+    Routine,
+}
+
+impl DirectiveKind {
+    /// All directives, in specification order.
+    pub const ALL: [DirectiveKind; 14] = [
+        DirectiveKind::Parallel,
+        DirectiveKind::Kernels,
+        DirectiveKind::Data,
+        DirectiveKind::HostData,
+        DirectiveKind::Loop,
+        DirectiveKind::ParallelLoop,
+        DirectiveKind::KernelsLoop,
+        DirectiveKind::Cache,
+        DirectiveKind::Update,
+        DirectiveKind::Wait,
+        DirectiveKind::Declare,
+        DirectiveKind::EnterData,
+        DirectiveKind::ExitData,
+        DirectiveKind::Routine,
+    ];
+
+    /// Directive name as it appears after the language sentinel
+    /// (e.g. `parallel loop` in `#pragma acc parallel loop`).
+    pub fn name(self) -> &'static str {
+        match self {
+            DirectiveKind::Parallel => "parallel",
+            DirectiveKind::Kernels => "kernels",
+            DirectiveKind::Data => "data",
+            DirectiveKind::HostData => "host_data",
+            DirectiveKind::Loop => "loop",
+            DirectiveKind::ParallelLoop => "parallel loop",
+            DirectiveKind::KernelsLoop => "kernels loop",
+            DirectiveKind::Cache => "cache",
+            DirectiveKind::Update => "update",
+            DirectiveKind::Wait => "wait",
+            DirectiveKind::Declare => "declare",
+            DirectiveKind::EnterData => "enter data",
+            DirectiveKind::ExitData => "exit data",
+            DirectiveKind::Routine => "routine",
+        }
+    }
+
+    /// Specification revision that introduced the directive.
+    pub fn introduced_in(self) -> SpecVersion {
+        match self {
+            DirectiveKind::EnterData | DirectiveKind::ExitData | DirectiveKind::Routine => {
+                SpecVersion::V2_0
+            }
+            _ => SpecVersion::V1_0,
+        }
+    }
+
+    /// True for the compute constructs that launch work on the accelerator.
+    pub fn is_compute(self) -> bool {
+        matches!(
+            self,
+            DirectiveKind::Parallel
+                | DirectiveKind::Kernels
+                | DirectiveKind::ParallelLoop
+                | DirectiveKind::KernelsLoop
+        )
+    }
+
+    /// True for directives that open a structured block (need an `end`
+    /// directive in Fortran).
+    pub fn is_block(self) -> bool {
+        matches!(
+            self,
+            DirectiveKind::Parallel
+                | DirectiveKind::Kernels
+                | DirectiveKind::Data
+                | DirectiveKind::HostData
+        )
+    }
+
+    /// True for the combined constructs (`parallel loop`, `kernels loop`).
+    pub fn is_combined(self) -> bool {
+        matches!(
+            self,
+            DirectiveKind::ParallelLoop | DirectiveKind::KernelsLoop
+        )
+    }
+
+    /// The constituent constructs: a combined construct *is* its compute
+    /// construct plus a loop construct, so behaviour (and defects) keyed to
+    /// a component apply to the combination too.
+    pub fn components(self) -> &'static [DirectiveKind] {
+        match self {
+            DirectiveKind::ParallelLoop => &[
+                DirectiveKind::ParallelLoop,
+                DirectiveKind::Parallel,
+                DirectiveKind::Loop,
+            ],
+            DirectiveKind::KernelsLoop => &[
+                DirectiveKind::KernelsLoop,
+                DirectiveKind::Kernels,
+                DirectiveKind::Loop,
+            ],
+            other => std::slice::from_ref(match other {
+                DirectiveKind::Parallel => &DirectiveKind::Parallel,
+                DirectiveKind::Kernels => &DirectiveKind::Kernels,
+                DirectiveKind::Data => &DirectiveKind::Data,
+                DirectiveKind::HostData => &DirectiveKind::HostData,
+                DirectiveKind::Loop => &DirectiveKind::Loop,
+                DirectiveKind::Cache => &DirectiveKind::Cache,
+                DirectiveKind::Update => &DirectiveKind::Update,
+                DirectiveKind::Wait => &DirectiveKind::Wait,
+                DirectiveKind::Declare => &DirectiveKind::Declare,
+                DirectiveKind::EnterData => &DirectiveKind::EnterData,
+                DirectiveKind::ExitData => &DirectiveKind::ExitData,
+                DirectiveKind::Routine => &DirectiveKind::Routine,
+                _ => unreachable!(),
+            }),
+        }
+    }
+
+    /// The clause kinds the 1.0 specification allows on this directive.
+    ///
+    /// Combined constructs accept the union of their component constructs'
+    /// clauses. 2.0 directives return their 2.0 clause sets (used by the
+    /// preview tests only).
+    pub fn allowed_clauses(self) -> &'static [ClauseKind] {
+        use ClauseKind::*;
+        match self {
+            DirectiveKind::Parallel => &[
+                If,
+                Async,
+                NumGangs,
+                NumWorkers,
+                VectorLength,
+                Reduction,
+                Copy,
+                Copyin,
+                Copyout,
+                Create,
+                Present,
+                PresentOrCopy,
+                PresentOrCopyin,
+                PresentOrCopyout,
+                PresentOrCreate,
+                Deviceptr,
+                Private,
+                Firstprivate,
+                DefaultNone,
+            ],
+            DirectiveKind::Kernels => &[
+                If,
+                Async,
+                Copy,
+                Copyin,
+                Copyout,
+                Create,
+                Present,
+                PresentOrCopy,
+                PresentOrCopyin,
+                PresentOrCopyout,
+                PresentOrCreate,
+                Deviceptr,
+                DefaultNone,
+            ],
+            DirectiveKind::Data => &[
+                If,
+                Copy,
+                Copyin,
+                Copyout,
+                Create,
+                Present,
+                PresentOrCopy,
+                PresentOrCopyin,
+                PresentOrCopyout,
+                PresentOrCreate,
+                Deviceptr,
+            ],
+            DirectiveKind::HostData => &[UseDevice],
+            DirectiveKind::Loop => &[
+                Collapse,
+                Gang,
+                Worker,
+                Vector,
+                Seq,
+                Independent,
+                Private,
+                Reduction,
+                Auto,
+            ],
+            DirectiveKind::ParallelLoop => &[
+                If,
+                Async,
+                NumGangs,
+                NumWorkers,
+                VectorLength,
+                Reduction,
+                Copy,
+                Copyin,
+                Copyout,
+                Create,
+                Present,
+                PresentOrCopy,
+                PresentOrCopyin,
+                PresentOrCopyout,
+                PresentOrCreate,
+                Deviceptr,
+                Private,
+                Firstprivate,
+                Collapse,
+                Gang,
+                Worker,
+                Vector,
+                Seq,
+                Independent,
+                DefaultNone,
+                Auto,
+            ],
+            DirectiveKind::KernelsLoop => &[
+                If,
+                Async,
+                Copy,
+                Copyin,
+                Copyout,
+                Create,
+                Present,
+                PresentOrCopy,
+                PresentOrCopyin,
+                PresentOrCopyout,
+                PresentOrCreate,
+                Deviceptr,
+                Collapse,
+                Gang,
+                Worker,
+                Vector,
+                Seq,
+                Independent,
+                Private,
+                Reduction,
+                DefaultNone,
+                Auto,
+            ],
+            DirectiveKind::Cache => &[],
+            DirectiveKind::Update => &[HostClause, DeviceClause, If, Async],
+            DirectiveKind::Wait => &[],
+            DirectiveKind::Declare => &[
+                Copy,
+                Copyin,
+                Copyout,
+                Create,
+                Present,
+                PresentOrCopy,
+                PresentOrCopyin,
+                PresentOrCopyout,
+                PresentOrCreate,
+                Deviceptr,
+                DeviceResident,
+            ],
+            DirectiveKind::EnterData => &[If, Async, Copyin, Create],
+            DirectiveKind::ExitData => &[If, Async, Copyout, Delete],
+            DirectiveKind::Routine => &[Gang, Worker, Vector, Seq],
+        }
+    }
+
+    /// True when `clause` may legally appear on this directive per 1.0
+    /// (or per 2.0 for the 2.0-only directives).
+    pub fn allows(self, clause: ClauseKind) -> bool {
+        self.allowed_clauses().contains(&clause)
+    }
+}
+
+impl fmt::Display for DirectiveKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_allows_num_gangs_but_kernels_does_not() {
+        assert!(DirectiveKind::Parallel.allows(ClauseKind::NumGangs));
+        assert!(!DirectiveKind::Kernels.allows(ClauseKind::NumGangs));
+    }
+
+    #[test]
+    fn loop_allows_scheduling_clauses_only() {
+        assert!(DirectiveKind::Loop.allows(ClauseKind::Gang));
+        assert!(DirectiveKind::Loop.allows(ClauseKind::Collapse));
+        assert!(!DirectiveKind::Loop.allows(ClauseKind::Copy));
+        assert!(!DirectiveKind::Loop.allows(ClauseKind::Async));
+    }
+
+    #[test]
+    fn combined_constructs_take_union() {
+        for c in DirectiveKind::Parallel.allowed_clauses() {
+            assert!(
+                DirectiveKind::ParallelLoop.allows(*c),
+                "parallel loop must allow {c:?}"
+            );
+        }
+        for c in DirectiveKind::Loop.allowed_clauses() {
+            assert!(
+                DirectiveKind::ParallelLoop.allows(*c),
+                "parallel loop must allow {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn host_data_only_use_device() {
+        assert_eq!(
+            DirectiveKind::HostData.allowed_clauses(),
+            &[ClauseKind::UseDevice]
+        );
+    }
+
+    #[test]
+    fn v2_directives_flagged() {
+        assert_eq!(DirectiveKind::EnterData.introduced_in(), SpecVersion::V2_0);
+        assert_eq!(DirectiveKind::Routine.introduced_in(), SpecVersion::V2_0);
+        assert_eq!(DirectiveKind::Parallel.introduced_in(), SpecVersion::V1_0);
+    }
+
+    #[test]
+    fn compute_and_block_classification() {
+        assert!(DirectiveKind::Parallel.is_compute());
+        assert!(DirectiveKind::KernelsLoop.is_compute());
+        assert!(!DirectiveKind::Data.is_compute());
+        assert!(DirectiveKind::Data.is_block());
+        assert!(!DirectiveKind::Loop.is_block());
+        assert!(DirectiveKind::ParallelLoop.is_combined());
+        assert!(!DirectiveKind::Parallel.is_combined());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = DirectiveKind::ALL.iter().map(|d| d.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), DirectiveKind::ALL.len());
+    }
+
+    #[test]
+    fn combined_components() {
+        assert_eq!(
+            DirectiveKind::ParallelLoop.components(),
+            &[
+                DirectiveKind::ParallelLoop,
+                DirectiveKind::Parallel,
+                DirectiveKind::Loop
+            ]
+        );
+        assert_eq!(DirectiveKind::Data.components(), &[DirectiveKind::Data]);
+    }
+
+    #[test]
+    fn update_allows_host_and_device() {
+        assert!(DirectiveKind::Update.allows(ClauseKind::HostClause));
+        assert!(DirectiveKind::Update.allows(ClauseKind::DeviceClause));
+        assert!(DirectiveKind::Update.allows(ClauseKind::Async));
+    }
+}

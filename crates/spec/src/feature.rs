@@ -1,0 +1,340 @@
+//! The feature registry: a stable identifier for every testable item in the
+//! OpenACC 1.0 feature set.
+//!
+//! The paper's suite is organized "in the form of a tree structure: it begins
+//! by covering OpenACC directives followed by clauses belonging to those
+//! directives, as well as the runtime routines and environment variables"
+//! (§I). `FeatureRegistry::openacc_1_0()` materializes that tree; test cases,
+//! catalog bugs, and reports all reference features through [`FeatureId`].
+
+use crate::clause::ClauseKind;
+use crate::directive::DirectiveKind;
+use crate::envvar::EnvVar;
+use crate::routine::RuntimeRoutine;
+use crate::version::SpecVersion;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Stable, human-readable identifier of a feature, e.g.
+/// `"parallel.num_gangs"`, `"loop.reduction"`, `"rt.acc_async_test"`,
+/// `"env.ACC_DEVICE_TYPE"`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FeatureId(pub String);
+
+impl FeatureId {
+    /// Construct from any displayable path.
+    pub fn new(path: impl Into<String>) -> Self {
+        FeatureId(path.into())
+    }
+
+    /// The id as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Feature id for a bare directive.
+    pub fn directive(d: DirectiveKind) -> Self {
+        FeatureId(d.name().replace(' ', "_"))
+    }
+
+    /// Feature id for a clause on a directive.
+    pub fn clause(d: DirectiveKind, c: ClauseKind) -> Self {
+        FeatureId(format!("{}.{}", d.name().replace(' ', "_"), c.name()))
+    }
+
+    /// Feature id for a runtime routine.
+    pub fn routine(r: RuntimeRoutine) -> Self {
+        FeatureId(format!("rt.{}", r.symbol()))
+    }
+
+    /// Feature id for an environment variable.
+    pub fn env(v: EnvVar) -> Self {
+        FeatureId(format!("env.{}", v.name()))
+    }
+}
+
+impl fmt::Display for FeatureId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for FeatureId {
+    fn from(s: &str) -> Self {
+        FeatureId(s.to_string())
+    }
+}
+
+/// The broad area a feature belongs to, mirroring the chapters of §IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FeatureArea {
+    /// `parallel` construct and its clauses.
+    Parallel,
+    /// `kernels` construct and its clauses.
+    Kernels,
+    /// `data` construct and its clauses.
+    Data,
+    /// `host_data` construct.
+    HostData,
+    /// `loop` construct and its clauses.
+    Loop,
+    /// Combined constructs.
+    Combined,
+    /// `update` construct.
+    Update,
+    /// `declare` directive.
+    Declare,
+    /// `cache` and `wait` directives.
+    Misc,
+    /// Runtime library routines.
+    Runtime,
+    /// Environment variables.
+    Environment,
+}
+
+impl FeatureArea {
+    /// All areas in report order.
+    pub const ALL: [FeatureArea; 11] = [
+        FeatureArea::Parallel,
+        FeatureArea::Kernels,
+        FeatureArea::Data,
+        FeatureArea::HostData,
+        FeatureArea::Loop,
+        FeatureArea::Combined,
+        FeatureArea::Update,
+        FeatureArea::Declare,
+        FeatureArea::Misc,
+        FeatureArea::Runtime,
+        FeatureArea::Environment,
+    ];
+
+    /// Display label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FeatureArea::Parallel => "Parallel Construct",
+            FeatureArea::Kernels => "Kernels Construct",
+            FeatureArea::Data => "Data Construct",
+            FeatureArea::HostData => "Host Data Construct",
+            FeatureArea::Loop => "Loop Construct",
+            FeatureArea::Combined => "Combined Constructs",
+            FeatureArea::Update => "Update Construct",
+            FeatureArea::Declare => "Declare Directive",
+            FeatureArea::Misc => "Cache/Wait Directives",
+            FeatureArea::Runtime => "Runtime Library",
+            FeatureArea::Environment => "Environment Variables",
+        }
+    }
+}
+
+impl fmt::Display for FeatureArea {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A registered feature: identity plus classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Feature {
+    /// Stable identifier.
+    pub id: FeatureId,
+    /// Area for grouping.
+    pub area: FeatureArea,
+    /// Specification revision that introduced it.
+    pub since: SpecVersion,
+    /// One-line description for reports.
+    pub description: String,
+}
+
+/// The registry of all features the suite knows about.
+///
+/// Iteration order is deterministic (sorted by id) so generated reports and
+/// campaign runs are reproducible.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureRegistry {
+    features: BTreeMap<FeatureId, Feature>,
+}
+
+impl FeatureRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a feature; replaces any previous entry with the same id.
+    pub fn register(&mut self, feature: Feature) {
+        self.features.insert(feature.id.clone(), feature);
+    }
+
+    /// Look up a feature.
+    pub fn get(&self, id: &FeatureId) -> Option<&Feature> {
+        self.features.get(id)
+    }
+
+    /// True when the id is registered.
+    pub fn contains(&self, id: &FeatureId) -> bool {
+        self.features.contains_key(id)
+    }
+
+    /// Number of registered features.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Iterate features in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Feature> {
+        self.features.values()
+    }
+
+    /// Features in a given area, in id order.
+    pub fn in_area(&self, area: FeatureArea) -> Vec<&Feature> {
+        self.features.values().filter(|f| f.area == area).collect()
+    }
+
+    /// Build the complete OpenACC 1.0 registry: every directive, every
+    /// (directive, clause) pair the spec allows, every runtime routine and
+    /// environment variable.
+    pub fn openacc_1_0() -> Self {
+        let mut reg = FeatureRegistry::new();
+        let v1_directives = DirectiveKind::ALL
+            .iter()
+            .copied()
+            .filter(|d| d.introduced_in() == SpecVersion::V1_0);
+        for d in v1_directives {
+            let area = area_of_directive(d);
+            reg.register(Feature {
+                id: FeatureId::directive(d),
+                area,
+                since: SpecVersion::V1_0,
+                description: format!("`{}` directive", d.name()),
+            });
+            for &c in d.allowed_clauses() {
+                if c.introduced_in() != SpecVersion::V1_0 {
+                    continue;
+                }
+                reg.register(Feature {
+                    id: FeatureId::clause(d, c),
+                    area,
+                    since: SpecVersion::V1_0,
+                    description: format!("`{}` clause on `{}`", c.name(), d.name()),
+                });
+            }
+        }
+        for r in RuntimeRoutine::ALL {
+            reg.register(Feature {
+                id: FeatureId::routine(r),
+                area: FeatureArea::Runtime,
+                since: SpecVersion::V1_0,
+                description: format!("runtime routine `{}`", r.symbol()),
+            });
+        }
+        for v in EnvVar::ALL {
+            reg.register(Feature {
+                id: FeatureId::env(v),
+                area: FeatureArea::Environment,
+                since: SpecVersion::V1_0,
+                description: format!("environment variable `{}`", v.name()),
+            });
+        }
+        reg
+    }
+}
+
+fn area_of_directive(d: DirectiveKind) -> FeatureArea {
+    match d {
+        DirectiveKind::Parallel => FeatureArea::Parallel,
+        DirectiveKind::Kernels => FeatureArea::Kernels,
+        DirectiveKind::Data => FeatureArea::Data,
+        DirectiveKind::HostData => FeatureArea::HostData,
+        DirectiveKind::Loop => FeatureArea::Loop,
+        DirectiveKind::ParallelLoop | DirectiveKind::KernelsLoop => FeatureArea::Combined,
+        DirectiveKind::Update => FeatureArea::Update,
+        DirectiveKind::Declare => FeatureArea::Declare,
+        DirectiveKind::Cache | DirectiveKind::Wait => FeatureArea::Misc,
+        DirectiveKind::EnterData | DirectiveKind::ExitData | DirectiveKind::Routine => {
+            FeatureArea::Misc
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_full_1_0_surface() {
+        let reg = FeatureRegistry::openacc_1_0();
+        // 11 v1.0 directives + their clause pairs + 14 routines + 2 env vars.
+        // The exact count is pinned so accidental surface changes are caught.
+        assert!(reg.len() > 100, "got {}", reg.len());
+        assert!(reg.contains(&FeatureId::from("parallel.num_gangs")));
+        assert!(reg.contains(&FeatureId::from("kernels.copyin")));
+        assert!(reg.contains(&FeatureId::from("loop.reduction")));
+        assert!(reg.contains(&FeatureId::from("data.present_or_copy")));
+        assert!(reg.contains(&FeatureId::from("host_data.use_device")));
+        assert!(reg.contains(&FeatureId::from("rt.acc_async_test")));
+        assert!(reg.contains(&FeatureId::from("env.ACC_DEVICE_TYPE")));
+    }
+
+    #[test]
+    fn no_v2_features_in_1_0_registry() {
+        let reg = FeatureRegistry::openacc_1_0();
+        assert!(!reg.contains(&FeatureId::from("enter_data")));
+        assert!(!reg.contains(&FeatureId::from("routine")));
+        assert!(!reg.contains(&FeatureId::from("exit_data.delete")));
+    }
+
+    #[test]
+    fn clause_ids_use_underscored_directive_names() {
+        let id = FeatureId::clause(DirectiveKind::ParallelLoop, ClauseKind::Collapse);
+        assert_eq!(id.as_str(), "parallel_loop.collapse");
+    }
+
+    #[test]
+    fn areas_partition_the_registry() {
+        let reg = FeatureRegistry::openacc_1_0();
+        let total: usize = FeatureArea::ALL.iter().map(|a| reg.in_area(*a).len()).sum();
+        assert_eq!(total, reg.len());
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let reg = FeatureRegistry::openacc_1_0();
+        let ids: Vec<_> = reg.iter().map(|f| f.id.clone()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn register_replaces() {
+        let mut reg = FeatureRegistry::new();
+        let mk = |desc: &str| Feature {
+            id: FeatureId::from("x"),
+            area: FeatureArea::Misc,
+            since: SpecVersion::V1_0,
+            description: desc.to_string(),
+        };
+        reg.register(mk("a"));
+        reg.register(mk("b"));
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.get(&FeatureId::from("x")).unwrap().description, "b");
+    }
+
+    #[test]
+    fn runtime_area_has_all_routines() {
+        let reg = FeatureRegistry::openacc_1_0();
+        assert_eq!(
+            reg.in_area(FeatureArea::Runtime).len(),
+            RuntimeRoutine::ALL.len()
+        );
+        assert_eq!(
+            reg.in_area(FeatureArea::Environment).len(),
+            EnvVar::ALL.len()
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! The three-level OpenACC parallelism hierarchy and vendor hardware
+//! mappings.
+//!
+//! §II of the paper: "different compilers can have different interpretation
+//! of OpenACC three level parallelism". PGI maps gang→thread block,
+//! vector→threads and ignores worker; CAPS maps gang→grid.x, worker→block.y,
+//! vector→block.x; Cray maps gang→thread block, worker→warp, vector→SIMT
+//! group. These mappings are data here and are consumed by the lowering pass
+//! in `acc-compiler`.
+
+use std::fmt;
+
+/// A level in the gang/worker/vector hierarchy, plus the sequential and
+/// (2.0) automatic loop mappings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ParallelismLevel {
+    /// Coarse-grain parallelism across gangs.
+    Gang,
+    /// Fine-grain parallelism across workers within a gang.
+    Worker,
+    /// Vector/SIMD parallelism within a worker.
+    Vector,
+    /// Sequential execution (`seq` clause).
+    Seq,
+    /// OpenACC 2.0 `auto`: the compiler chooses.
+    Auto,
+}
+
+impl ParallelismLevel {
+    /// The three true parallelism levels, outermost first.
+    pub const HIERARCHY: [ParallelismLevel; 3] = [
+        ParallelismLevel::Gang,
+        ParallelismLevel::Worker,
+        ParallelismLevel::Vector,
+    ];
+
+    /// Nesting depth: gang=0 (outermost) … vector=2. `Seq`/`Auto` have no
+    /// fixed depth and return `None`.
+    pub fn depth(self) -> Option<usize> {
+        match self {
+            ParallelismLevel::Gang => Some(0),
+            ParallelismLevel::Worker => Some(1),
+            ParallelismLevel::Vector => Some(2),
+            ParallelismLevel::Seq | ParallelismLevel::Auto => None,
+        }
+    }
+
+    /// Per OpenACC 2.0's stricter nesting rules (§V-C "Loop nesting"): may a
+    /// loop at level `self` legally contain a loop at level `inner`?
+    /// (1.0 leaves this unspecified — the very ambiguity the paper's Fig. 1
+    /// illustrates.)
+    pub fn may_contain_v2(self, inner: ParallelismLevel) -> bool {
+        match (self.depth(), inner.depth()) {
+            (Some(o), Some(i)) => i > o,
+            // seq/auto loops may appear anywhere.
+            _ => true,
+        }
+    }
+}
+
+impl fmt::Display for ParallelismLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ParallelismLevel::Gang => "gang",
+            ParallelismLevel::Worker => "worker",
+            ParallelismLevel::Vector => "vector",
+            ParallelismLevel::Seq => "seq",
+            ParallelismLevel::Auto => "auto",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The hardware resource a parallelism level is mapped onto by a particular
+/// vendor, in CUDA-model vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HardwareAxis {
+    /// A thread block / the grid's x dimension.
+    BlockX,
+    /// The y dimension of a thread block.
+    ThreadY,
+    /// The x dimension of a thread block.
+    ThreadX,
+    /// A warp within a block.
+    Warp,
+    /// A SIMT group of threads.
+    SimtGroup,
+    /// Not mapped: the level is ignored (executes redundantly with width 1).
+    Ignored,
+}
+
+/// A vendor's complete mapping of the three levels onto hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VendorMapping {
+    /// Human-readable name of the mapping ("PGI-style", ...).
+    pub name: &'static str,
+    /// Where `gang` lands.
+    pub gang: HardwareAxis,
+    /// Where `worker` lands.
+    pub worker: HardwareAxis,
+    /// Where `vector` lands.
+    pub vector: HardwareAxis,
+}
+
+impl VendorMapping {
+    /// PGI: gang→thread block, vector→threads in a block, worker ignored.
+    pub const PGI_STYLE: VendorMapping = VendorMapping {
+        name: "PGI-style",
+        gang: HardwareAxis::BlockX,
+        worker: HardwareAxis::Ignored,
+        vector: HardwareAxis::ThreadX,
+    };
+
+    /// CAPS: gang→grid x, worker→block y, vector→block x.
+    pub const CAPS_STYLE: VendorMapping = VendorMapping {
+        name: "CAPS-style",
+        gang: HardwareAxis::BlockX,
+        worker: HardwareAxis::ThreadY,
+        vector: HardwareAxis::ThreadX,
+    };
+
+    /// Cray: gang→thread block, worker→warp, vector→SIMT group.
+    pub const CRAY_STYLE: VendorMapping = VendorMapping {
+        name: "Cray-style",
+        gang: HardwareAxis::BlockX,
+        worker: HardwareAxis::Warp,
+        vector: HardwareAxis::SimtGroup,
+    };
+
+    /// The axis a level maps to.
+    pub fn axis(&self, level: ParallelismLevel) -> HardwareAxis {
+        match level {
+            ParallelismLevel::Gang => self.gang,
+            ParallelismLevel::Worker => self.worker,
+            ParallelismLevel::Vector => self.vector,
+            ParallelismLevel::Seq | ParallelismLevel::Auto => HardwareAxis::Ignored,
+        }
+    }
+
+    /// True when the vendor honors (does not ignore) the level.
+    pub fn honors(&self, level: ParallelismLevel) -> bool {
+        self.axis(level) != HardwareAxis::Ignored
+    }
+
+    /// Effective width of a requested level size under this mapping: an
+    /// ignored level always has width 1 (its iterations run redundantly or
+    /// sequentially depending on context).
+    pub fn effective_width(&self, level: ParallelismLevel, requested: u32) -> u32 {
+        if self.honors(level) {
+            requested.max(1)
+        } else {
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchy_depths() {
+        assert_eq!(ParallelismLevel::Gang.depth(), Some(0));
+        assert_eq!(ParallelismLevel::Worker.depth(), Some(1));
+        assert_eq!(ParallelismLevel::Vector.depth(), Some(2));
+        assert_eq!(ParallelismLevel::Seq.depth(), None);
+    }
+
+    #[test]
+    fn v2_nesting_rules() {
+        use ParallelismLevel::*;
+        assert!(Gang.may_contain_v2(Worker));
+        assert!(Gang.may_contain_v2(Vector));
+        assert!(Worker.may_contain_v2(Vector));
+        assert!(!Worker.may_contain_v2(Gang));
+        assert!(!Vector.may_contain_v2(Vector));
+        assert!(Gang.may_contain_v2(Seq));
+        assert!(Seq.may_contain_v2(Gang));
+    }
+
+    #[test]
+    fn pgi_ignores_worker() {
+        assert!(!VendorMapping::PGI_STYLE.honors(ParallelismLevel::Worker));
+        assert_eq!(
+            VendorMapping::PGI_STYLE.effective_width(ParallelismLevel::Worker, 8),
+            1
+        );
+        assert_eq!(
+            VendorMapping::PGI_STYLE.effective_width(ParallelismLevel::Gang, 8),
+            8
+        );
+    }
+
+    #[test]
+    fn caps_and_cray_honor_all_levels() {
+        for m in [VendorMapping::CAPS_STYLE, VendorMapping::CRAY_STYLE] {
+            for l in ParallelismLevel::HIERARCHY {
+                assert!(m.honors(l), "{} must honor {l}", m.name);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_request_clamps_to_one() {
+        assert_eq!(
+            VendorMapping::CRAY_STYLE.effective_width(ParallelismLevel::Vector, 0),
+            1
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ParallelismLevel::Gang.to_string(), "gang");
+        assert_eq!(ParallelismLevel::Auto.to_string(), "auto");
+    }
+}

@@ -1,0 +1,270 @@
+//! Reduction operators and their identities/combiners.
+//!
+//! OpenACC 1.0 defines nine reduction operators for the `reduction` clause:
+//! `+`, `*`, `max`, `min`, `&&`, `||`, `&`, `|`, `^`. The paper's reduction
+//! tests (§IV-C-4, Fig. 7) sweep all operators across `int`, `float` and
+//! `double` operand types; this module provides the reference semantics those
+//! tests are checked against.
+
+use std::fmt;
+
+/// A reduction operator from the `reduction(op:list)` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ReductionOp {
+    /// `+` — sum.
+    Add,
+    /// `*` — product.
+    Mul,
+    /// `max` — maximum.
+    Max,
+    /// `min` — minimum.
+    Min,
+    /// `&&` — logical and.
+    LogicalAnd,
+    /// `||` — logical or.
+    LogicalOr,
+    /// `&` — bitwise and (integer only).
+    BitAnd,
+    /// `|` — bitwise or (integer only).
+    BitOr,
+    /// `^` — bitwise xor (integer only).
+    BitXor,
+}
+
+impl ReductionOp {
+    /// All nine operators in specification order.
+    pub const ALL: [ReductionOp; 9] = [
+        ReductionOp::Add,
+        ReductionOp::Mul,
+        ReductionOp::Max,
+        ReductionOp::Min,
+        ReductionOp::LogicalAnd,
+        ReductionOp::LogicalOr,
+        ReductionOp::BitAnd,
+        ReductionOp::BitOr,
+        ReductionOp::BitXor,
+    ];
+
+    /// Spelling in C clause syntax.
+    pub fn c_symbol(self) -> &'static str {
+        match self {
+            ReductionOp::Add => "+",
+            ReductionOp::Mul => "*",
+            ReductionOp::Max => "max",
+            ReductionOp::Min => "min",
+            ReductionOp::LogicalAnd => "&&",
+            ReductionOp::LogicalOr => "||",
+            ReductionOp::BitAnd => "&",
+            ReductionOp::BitOr => "|",
+            ReductionOp::BitXor => "^",
+        }
+    }
+
+    /// Spelling in Fortran clause syntax (`.and.`, `iand`, ...).
+    pub fn fortran_symbol(self) -> &'static str {
+        match self {
+            ReductionOp::Add => "+",
+            ReductionOp::Mul => "*",
+            ReductionOp::Max => "max",
+            ReductionOp::Min => "min",
+            ReductionOp::LogicalAnd => ".and.",
+            ReductionOp::LogicalOr => ".or.",
+            ReductionOp::BitAnd => "iand",
+            ReductionOp::BitOr => "ior",
+            ReductionOp::BitXor => "ieor",
+        }
+    }
+
+    /// Resolve a C spelling to the operator.
+    pub fn from_c_symbol(s: &str) -> Option<ReductionOp> {
+        ReductionOp::ALL
+            .iter()
+            .copied()
+            .find(|op| op.c_symbol() == s)
+    }
+
+    /// Short identifier safe for use in test names (`add`, `bitxor`, ...).
+    pub fn ident(self) -> &'static str {
+        match self {
+            ReductionOp::Add => "add",
+            ReductionOp::Mul => "mul",
+            ReductionOp::Max => "max",
+            ReductionOp::Min => "min",
+            ReductionOp::LogicalAnd => "land",
+            ReductionOp::LogicalOr => "lor",
+            ReductionOp::BitAnd => "band",
+            ReductionOp::BitOr => "bor",
+            ReductionOp::BitXor => "bxor",
+        }
+    }
+
+    /// True when the operator is only defined on integer operands.
+    pub fn integer_only(self) -> bool {
+        matches!(
+            self,
+            ReductionOp::BitAnd | ReductionOp::BitOr | ReductionOp::BitXor
+        )
+    }
+
+    /// Identity element for integer operands.
+    pub fn int_identity(self) -> i64 {
+        match self {
+            ReductionOp::Add => 0,
+            ReductionOp::Mul => 1,
+            ReductionOp::Max => i64::MIN,
+            ReductionOp::Min => i64::MAX,
+            ReductionOp::LogicalAnd => 1,
+            ReductionOp::LogicalOr => 0,
+            ReductionOp::BitAnd => -1, // all bits set
+            ReductionOp::BitOr => 0,
+            ReductionOp::BitXor => 0,
+        }
+    }
+
+    /// Identity element for floating-point operands.
+    ///
+    /// Panics for the integer-only bitwise operators.
+    pub fn float_identity(self) -> f64 {
+        match self {
+            ReductionOp::Add => 0.0,
+            ReductionOp::Mul => 1.0,
+            ReductionOp::Max => f64::NEG_INFINITY,
+            ReductionOp::Min => f64::INFINITY,
+            ReductionOp::LogicalAnd => 1.0,
+            ReductionOp::LogicalOr => 0.0,
+            op => panic!("{op:?} is not defined on floating-point operands"),
+        }
+    }
+
+    /// Combine two integer partial results.
+    pub fn combine_int(self, a: i64, b: i64) -> i64 {
+        match self {
+            ReductionOp::Add => a.wrapping_add(b),
+            ReductionOp::Mul => a.wrapping_mul(b),
+            ReductionOp::Max => a.max(b),
+            ReductionOp::Min => a.min(b),
+            ReductionOp::LogicalAnd => ((a != 0) && (b != 0)) as i64,
+            ReductionOp::LogicalOr => ((a != 0) || (b != 0)) as i64,
+            ReductionOp::BitAnd => a & b,
+            ReductionOp::BitOr => a | b,
+            ReductionOp::BitXor => a ^ b,
+        }
+    }
+
+    /// Combine two floating-point partial results.
+    ///
+    /// Panics for the integer-only bitwise operators.
+    pub fn combine_float(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReductionOp::Add => a + b,
+            ReductionOp::Mul => a * b,
+            ReductionOp::Max => a.max(b),
+            ReductionOp::Min => a.min(b),
+            ReductionOp::LogicalAnd => (((a != 0.0) && (b != 0.0)) as i64) as f64,
+            ReductionOp::LogicalOr => (((a != 0.0) || (b != 0.0)) as i64) as f64,
+            op => panic!("{op:?} is not defined on floating-point operands"),
+        }
+    }
+
+    /// True when the operator is commutative and associative, i.e. the result
+    /// is independent of the combination order across gangs. All OpenACC
+    /// reduction operators are, for exact arithmetic; floating-point `+`/`*`
+    /// are only approximately so, which is why the paper's float reduction
+    /// test compares against a rounding tolerance (Fig. 7).
+    pub fn order_insensitive_exact(self) -> bool {
+        true
+    }
+}
+
+impl fmt::Display for ReductionOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.c_symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities_are_neutral_int() {
+        for op in ReductionOp::ALL {
+            for v in [-7i64, 0, 1, 42] {
+                // Logical ops collapse values to 0/1; neutrality holds on the
+                // {0,1} domain for those.
+                let v = if matches!(op, ReductionOp::LogicalAnd | ReductionOp::LogicalOr) {
+                    (v != 0) as i64
+                } else {
+                    v
+                };
+                assert_eq!(op.combine_int(op.int_identity(), v), v, "{op:?} identity");
+            }
+        }
+    }
+
+    #[test]
+    fn identities_are_neutral_float() {
+        for op in [
+            ReductionOp::Add,
+            ReductionOp::Mul,
+            ReductionOp::Max,
+            ReductionOp::Min,
+        ] {
+            for v in [-2.5f64, 0.25, 7.0] {
+                assert_eq!(op.combine_float(op.float_identity(), v), v, "{op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn c_symbols_resolve() {
+        for op in ReductionOp::ALL {
+            assert_eq!(ReductionOp::from_c_symbol(op.c_symbol()), Some(op));
+        }
+        assert_eq!(ReductionOp::from_c_symbol("<<"), None);
+    }
+
+    #[test]
+    fn integer_only_ops() {
+        assert!(ReductionOp::BitAnd.integer_only());
+        assert!(ReductionOp::BitXor.integer_only());
+        assert!(!ReductionOp::Add.integer_only());
+        assert!(!ReductionOp::LogicalAnd.integer_only());
+    }
+
+    #[test]
+    #[should_panic(expected = "not defined on floating-point")]
+    fn float_identity_panics_for_bitand() {
+        let _ = ReductionOp::BitAnd.float_identity();
+    }
+
+    #[test]
+    fn combine_int_semantics() {
+        assert_eq!(ReductionOp::Add.combine_int(3, 4), 7);
+        assert_eq!(ReductionOp::Mul.combine_int(3, 4), 12);
+        assert_eq!(ReductionOp::Max.combine_int(3, 4), 4);
+        assert_eq!(ReductionOp::Min.combine_int(3, 4), 3);
+        assert_eq!(ReductionOp::LogicalAnd.combine_int(3, 0), 0);
+        assert_eq!(ReductionOp::LogicalAnd.combine_int(3, 9), 1);
+        assert_eq!(ReductionOp::LogicalOr.combine_int(0, 0), 0);
+        assert_eq!(ReductionOp::LogicalOr.combine_int(0, 5), 1);
+        assert_eq!(ReductionOp::BitAnd.combine_int(0b1100, 0b1010), 0b1000);
+        assert_eq!(ReductionOp::BitOr.combine_int(0b1100, 0b1010), 0b1110);
+        assert_eq!(ReductionOp::BitXor.combine_int(0b1100, 0b1010), 0b0110);
+    }
+
+    #[test]
+    fn fortran_spellings() {
+        assert_eq!(ReductionOp::LogicalAnd.fortran_symbol(), ".and.");
+        assert_eq!(ReductionOp::BitAnd.fortran_symbol(), "iand");
+        assert_eq!(ReductionOp::Add.fortran_symbol(), "+");
+    }
+
+    #[test]
+    fn idents_are_unique() {
+        let mut ids: Vec<_> = ReductionOp::ALL.iter().map(|o| o.ident()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), ReductionOp::ALL.len());
+    }
+}

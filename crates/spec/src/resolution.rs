@@ -1,0 +1,163 @@
+//! Specification ambiguities the paper identified in OpenACC 1.0 and how
+//! OpenACC 2.0 resolved them (§I Fig. 1 and §V-C).
+//!
+//! These records drive the `ambiguity_explorer` example and the
+//! `v2_preview` portion of the testsuite, and give reports a place to link
+//! "implementations legitimately diverge here" rather than calling every
+//! divergence a bug — the paper's second contribution.
+
+use crate::version::SpecVersion;
+use std::fmt;
+
+/// Identifier for a documented ambiguity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AmbiguityId {
+    /// Fig. 1: may a `worker` loop appear without an enclosing `gang` loop?
+    WorkerWithoutGang,
+    /// §V-C: the concrete value returned for `acc_device_not_host` is
+    /// implementation-defined; vendors added their own device-type constants.
+    DeviceTypeNames,
+    /// §V-C: arrays not named in any data clause default to
+    /// `present_or_copy`; 1.0 lacks `default(...)` to override.
+    ImplicitDataDefault,
+    /// §V-C: no way to compile user procedures for the device in 1.0.
+    ProcedureCalls,
+    /// §V-C: 1.0 only has structured data lifetimes.
+    UnstructuredDataLifetime,
+    /// §V-C: 1.0 does not constrain gang/worker/vector nesting order.
+    LoopNestingOrder,
+}
+
+/// A documented ambiguity with its 2.0 resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ambiguity {
+    /// Identifier.
+    pub id: AmbiguityId,
+    /// Short title.
+    pub title: &'static str,
+    /// What 1.0 leaves unspecified.
+    pub description: &'static str,
+    /// How 2.0 resolved it (all of the paper's reported ambiguities were
+    /// resolved in 2.0).
+    pub resolution: &'static str,
+    /// Version that resolved it.
+    pub resolved_in: SpecVersion,
+}
+
+impl AmbiguityId {
+    /// All documented ambiguities.
+    pub const ALL: [AmbiguityId; 6] = [
+        AmbiguityId::WorkerWithoutGang,
+        AmbiguityId::DeviceTypeNames,
+        AmbiguityId::ImplicitDataDefault,
+        AmbiguityId::ProcedureCalls,
+        AmbiguityId::UnstructuredDataLifetime,
+        AmbiguityId::LoopNestingOrder,
+    ];
+
+    /// The full record for this ambiguity.
+    pub fn record(self) -> Ambiguity {
+        match self {
+            AmbiguityId::WorkerWithoutGang => Ambiguity {
+                id: self,
+                title: "worker loop without an outer gang loop",
+                description: "1.0 does not state whether a `loop worker` may appear directly \
+                              inside a parallel region with no enclosing `loop gang`; compilers \
+                              produced different results (Fig. 1).",
+                resolution: "2.0 restricts nesting: gang outermost, vector innermost; a level \
+                             may only contain strictly finer levels unless a nested compute \
+                             region intervenes, and `auto` lets the compiler choose.",
+                resolved_in: SpecVersion::V2_0,
+            },
+            AmbiguityId::DeviceTypeNames => Ambiguity {
+                id: self,
+                title: "implementation-defined device type names",
+                description: "the device type observed after \
+                              `acc_set_device_type(acc_device_not_host)` is implementation-\
+                              defined; CAPS and PGI each invented their own constants.",
+                resolution: "the 2.0 appendix recommends device-type names for NVIDIA GPUs, \
+                             AMD GPUs and Intel Xeon Phi.",
+                resolved_in: SpecVersion::V2_0,
+            },
+            AmbiguityId::ImplicitDataDefault => Ambiguity {
+                id: self,
+                title: "implicit present_or_copy default",
+                description: "arrays referenced in a compute construct but absent from every \
+                              data clause are treated as `present_or_copy`; 1.0 offers no \
+                              `default` clause to override, risking hidden transfers.",
+                resolution: "2.0 adds `default(none)` requiring explicit data attributes.",
+                resolved_in: SpecVersion::V2_0,
+            },
+            AmbiguityId::ProcedureCalls => Ambiguity {
+                id: self,
+                title: "procedure calls in compute regions",
+                description: "1.0 has no way to request device compilation of user \
+                              procedures; most compilers rejected calls inside \
+                              parallel/kernels regions.",
+                resolution: "2.0 adds the `routine` directive.",
+                resolved_in: SpecVersion::V2_0,
+            },
+            AmbiguityId::UnstructuredDataLifetime => Ambiguity {
+                id: self,
+                title: "only structured data lifetimes",
+                description: "`data` regions are lexically scoped; multi-file programs cannot \
+                              copy in at one site and out at another.",
+                resolution: "2.0 adds `enter data` / `exit data`.",
+                resolved_in: SpecVersion::V2_0,
+            },
+            AmbiguityId::LoopNestingOrder => Ambiguity {
+                id: self,
+                title: "gang/worker/vector nesting order unspecified",
+                description: "1.0 does not specify the order in which the three levels may \
+                              nest; different mappings give different performance and, at the \
+                              edges, different semantics.",
+                resolution: "2.0: gang outermost, vector innermost; a gang (worker, vector) \
+                             loop cannot contain another loop of the same or coarser level \
+                             within the same compute region.",
+                resolved_in: SpecVersion::V2_0,
+            },
+        }
+    }
+}
+
+impl fmt::Display for AmbiguityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.record().title)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ambiguities_resolved_in_v2() {
+        for a in AmbiguityId::ALL {
+            assert_eq!(a.record().resolved_in, SpecVersion::V2_0, "{a:?}");
+        }
+    }
+
+    #[test]
+    fn records_are_self_consistent() {
+        for a in AmbiguityId::ALL {
+            let r = a.record();
+            assert_eq!(r.id, a);
+            assert!(!r.title.is_empty());
+            assert!(!r.description.is_empty());
+            assert!(!r.resolution.is_empty());
+        }
+    }
+
+    #[test]
+    fn six_documented_ambiguities() {
+        assert_eq!(AmbiguityId::ALL.len(), 6);
+    }
+
+    #[test]
+    fn display_uses_title() {
+        assert_eq!(
+            AmbiguityId::WorkerWithoutGang.to_string(),
+            "worker loop without an outer gang loop"
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! The OpenACC 1.0 runtime library routines.
+
+use std::fmt;
+
+/// Runtime library routines defined by OpenACC 1.0 (§3 of the specification).
+///
+/// The testsuite exercises each of these through generated programs; the
+/// simulated vendor compilers dispatch calls with these names to the
+/// `acc-runtime` crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RuntimeRoutine {
+    /// `acc_get_num_devices(devicetype)`.
+    GetNumDevices,
+    /// `acc_set_device_type(devicetype)`.
+    SetDeviceType,
+    /// `acc_get_device_type()`.
+    GetDeviceType,
+    /// `acc_set_device_num(num, devicetype)`.
+    SetDeviceNum,
+    /// `acc_get_device_num(devicetype)`.
+    GetDeviceNum,
+    /// `acc_async_test(expr)` — nonzero when activities with the tag are done.
+    AsyncTest,
+    /// `acc_async_test_all()` — nonzero when all async activities are done.
+    AsyncTestAll,
+    /// `acc_async_wait(expr)` — block until activities with the tag finish.
+    AsyncWait,
+    /// `acc_async_wait_all()` — block until all async activities finish.
+    AsyncWaitAll,
+    /// `acc_init(devicetype)`.
+    Init,
+    /// `acc_shutdown(devicetype)`.
+    Shutdown,
+    /// `acc_on_device(devicetype)` — callable from device code.
+    OnDevice,
+    /// `acc_malloc(bytes)` — allocate device memory (C only).
+    Malloc,
+    /// `acc_free(ptr)` — free device memory (C only).
+    Free,
+}
+
+impl RuntimeRoutine {
+    /// All routines in specification order.
+    pub const ALL: [RuntimeRoutine; 14] = [
+        RuntimeRoutine::GetNumDevices,
+        RuntimeRoutine::SetDeviceType,
+        RuntimeRoutine::GetDeviceType,
+        RuntimeRoutine::SetDeviceNum,
+        RuntimeRoutine::GetDeviceNum,
+        RuntimeRoutine::AsyncTest,
+        RuntimeRoutine::AsyncTestAll,
+        RuntimeRoutine::AsyncWait,
+        RuntimeRoutine::AsyncWaitAll,
+        RuntimeRoutine::Init,
+        RuntimeRoutine::Shutdown,
+        RuntimeRoutine::OnDevice,
+        RuntimeRoutine::Malloc,
+        RuntimeRoutine::Free,
+    ];
+
+    /// The C-linkage symbol name.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            RuntimeRoutine::GetNumDevices => "acc_get_num_devices",
+            RuntimeRoutine::SetDeviceType => "acc_set_device_type",
+            RuntimeRoutine::GetDeviceType => "acc_get_device_type",
+            RuntimeRoutine::SetDeviceNum => "acc_set_device_num",
+            RuntimeRoutine::GetDeviceNum => "acc_get_device_num",
+            RuntimeRoutine::AsyncTest => "acc_async_test",
+            RuntimeRoutine::AsyncTestAll => "acc_async_test_all",
+            RuntimeRoutine::AsyncWait => "acc_async_wait",
+            RuntimeRoutine::AsyncWaitAll => "acc_async_wait_all",
+            RuntimeRoutine::Init => "acc_init",
+            RuntimeRoutine::Shutdown => "acc_shutdown",
+            RuntimeRoutine::OnDevice => "acc_on_device",
+            RuntimeRoutine::Malloc => "acc_malloc",
+            RuntimeRoutine::Free => "acc_free",
+        }
+    }
+
+    /// Resolve a symbol name to the routine.
+    pub fn from_symbol(s: &str) -> Option<RuntimeRoutine> {
+        RuntimeRoutine::ALL
+            .iter()
+            .copied()
+            .find(|r| r.symbol() == s)
+    }
+
+    /// Number of arguments the routine takes.
+    pub fn arity(self) -> usize {
+        match self {
+            RuntimeRoutine::GetDeviceType
+            | RuntimeRoutine::AsyncTestAll
+            | RuntimeRoutine::AsyncWaitAll => 0,
+            RuntimeRoutine::GetNumDevices
+            | RuntimeRoutine::SetDeviceType
+            | RuntimeRoutine::GetDeviceNum
+            | RuntimeRoutine::AsyncTest
+            | RuntimeRoutine::AsyncWait
+            | RuntimeRoutine::Init
+            | RuntimeRoutine::Shutdown
+            | RuntimeRoutine::OnDevice
+            | RuntimeRoutine::Malloc
+            | RuntimeRoutine::Free => 1,
+            RuntimeRoutine::SetDeviceNum => 2,
+        }
+    }
+
+    /// True for routines that are C-only in the 1.0 spec (memory management
+    /// has no Fortran binding in 1.0).
+    pub fn c_only(self) -> bool {
+        matches!(self, RuntimeRoutine::Malloc | RuntimeRoutine::Free)
+    }
+
+    /// True for the asynchronous-activity family (the routines the PGI bug
+    /// cluster of §V-B affects).
+    pub fn is_async_family(self) -> bool {
+        matches!(
+            self,
+            RuntimeRoutine::AsyncTest
+                | RuntimeRoutine::AsyncTestAll
+                | RuntimeRoutine::AsyncWait
+                | RuntimeRoutine::AsyncWaitAll
+        )
+    }
+}
+
+impl fmt::Display for RuntimeRoutine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbols_resolve_round_trip() {
+        for r in RuntimeRoutine::ALL {
+            assert_eq!(RuntimeRoutine::from_symbol(r.symbol()), Some(r));
+        }
+        assert_eq!(RuntimeRoutine::from_symbol("acc_bogus"), None);
+    }
+
+    #[test]
+    fn arities() {
+        assert_eq!(RuntimeRoutine::GetDeviceType.arity(), 0);
+        assert_eq!(RuntimeRoutine::AsyncTest.arity(), 1);
+        assert_eq!(RuntimeRoutine::SetDeviceNum.arity(), 2);
+    }
+
+    #[test]
+    fn c_only_routines() {
+        assert!(RuntimeRoutine::Malloc.c_only());
+        assert!(RuntimeRoutine::Free.c_only());
+        assert!(!RuntimeRoutine::Init.c_only());
+    }
+
+    #[test]
+    fn async_family() {
+        let fam: Vec<_> = RuntimeRoutine::ALL
+            .iter()
+            .filter(|r| r.is_async_family())
+            .collect();
+        assert_eq!(fam.len(), 4);
+    }
+
+    #[test]
+    fn symbols_all_prefixed() {
+        for r in RuntimeRoutine::ALL {
+            assert!(r.symbol().starts_with("acc_"), "{r:?}");
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Specification versions, and the semantic-version triples used to model
+//! vendor compiler releases.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+/// OpenACC specification revisions the model knows about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SpecVersion {
+    /// OpenACC 1.0 (November 2011) — the version the testsuite targets.
+    V1_0,
+    /// OpenACC 2.0 (2013) — referenced for ambiguity resolutions and the
+    /// preview extension tests.
+    V2_0,
+}
+
+impl fmt::Display for SpecVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecVersion::V1_0 => write!(f, "1.0"),
+            SpecVersion::V2_0 => write!(f, "2.0"),
+        }
+    }
+}
+
+/// A `major.minor.patch` release version of a vendor compiler.
+///
+/// Vendor product lines in the paper use heterogeneous numbering (CAPS
+/// `3.3.4`, PGI `13.8`, Cray `8.2.0`); two-component versions parse with an
+/// implicit zero patch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompilerVersion {
+    /// Major component.
+    pub major: u32,
+    /// Minor component.
+    pub minor: u32,
+    /// Patch component (zero when the vendor uses two-component numbering).
+    pub patch: u32,
+}
+
+impl CompilerVersion {
+    /// Construct from explicit components.
+    pub const fn new(major: u32, minor: u32, patch: u32) -> Self {
+        CompilerVersion {
+            major,
+            minor,
+            patch,
+        }
+    }
+
+    /// True when `self` lies in the half-open range `[lo, hi)`.
+    pub fn in_range(&self, lo: CompilerVersion, hi: CompilerVersion) -> bool {
+        *self >= lo && *self < hi
+    }
+}
+
+impl PartialOrd for CompilerVersion {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CompilerVersion {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.major, self.minor, self.patch).cmp(&(other.major, other.minor, other.patch))
+    }
+}
+
+impl fmt::Display for CompilerVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // PGI-style releases are conventionally printed without the patch
+        // component when it is zero and the major is two digits (e.g. 13.2);
+        // the canonical form always carries all three components otherwise.
+        if self.patch == 0 && self.major >= 10 {
+            write!(f, "{}.{}", self.major, self.minor)
+        } else {
+            write!(f, "{}.{}.{}", self.major, self.minor, self.patch)
+        }
+    }
+}
+
+/// Error produced when a version string cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionParseError(pub String);
+
+impl fmt::Display for VersionParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid compiler version: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for VersionParseError {}
+
+impl FromStr for CompilerVersion {
+    type Err = VersionParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.split('.');
+        let mut next = |required: bool| -> Result<u32, VersionParseError> {
+            match parts.next() {
+                Some(p) => p
+                    .parse::<u32>()
+                    .map_err(|_| VersionParseError(s.to_string())),
+                None if required => Err(VersionParseError(s.to_string())),
+                None => Ok(0),
+            }
+        };
+        let major = next(true)?;
+        let minor = next(true)?;
+        let patch = next(false)?;
+        if parts.next().is_some() {
+            return Err(VersionParseError(s.to_string()));
+        }
+        Ok(CompilerVersion {
+            major,
+            minor,
+            patch,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_three_component() {
+        let v: CompilerVersion = "3.3.4".parse().unwrap();
+        assert_eq!(v, CompilerVersion::new(3, 3, 4));
+    }
+
+    #[test]
+    fn parse_two_component_implies_zero_patch() {
+        let v: CompilerVersion = "13.8".parse().unwrap();
+        assert_eq!(v, CompilerVersion::new(13, 8, 0));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<CompilerVersion>().is_err());
+        assert!("3".parse::<CompilerVersion>().is_err());
+        assert!("3.x".parse::<CompilerVersion>().is_err());
+        assert!("1.2.3.4".parse::<CompilerVersion>().is_err());
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = CompilerVersion::new(3, 0, 8);
+        let b = CompilerVersion::new(3, 1, 0);
+        let c = CompilerVersion::new(3, 10, 0);
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn in_range_is_half_open() {
+        let v = CompilerVersion::new(3, 1, 0);
+        assert!(v.in_range(CompilerVersion::new(3, 0, 0), CompilerVersion::new(3, 2, 0)));
+        assert!(!v.in_range(CompilerVersion::new(3, 1, 0), CompilerVersion::new(3, 1, 0)));
+        assert!(v.in_range(CompilerVersion::new(3, 1, 0), CompilerVersion::new(3, 1, 1)));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for s in ["3.3.4", "13.8", "8.2.0", "12.10"] {
+            let v: CompilerVersion = s.parse().unwrap();
+            assert_eq!(v.to_string().parse::<CompilerVersion>().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn display_pgi_style_omits_zero_patch() {
+        assert_eq!(CompilerVersion::new(13, 8, 0).to_string(), "13.8");
+        assert_eq!(CompilerVersion::new(8, 2, 0).to_string(), "8.2.0");
+    }
+
+    #[test]
+    fn spec_versions_display() {
+        assert_eq!(SpecVersion::V1_0.to_string(), "1.0");
+        assert_eq!(SpecVersion::V2_0.to_string(), "2.0");
+        assert!(SpecVersion::V1_0 < SpecVersion::V2_0);
+    }
+}

@@ -1,0 +1,630 @@
+//! Feature-combination tests — the paper's §IX direction: "The coverage of
+//! tests can be widened by testing several combinations of the features."
+//!
+//! Each case exercises two or more 1.0 features *interacting*: nested data
+//! regions, multiple async queues, bidirectional updates, the full
+//! gang/worker/vector nest, multi-variable reductions, cross-procedure
+//! present chains, `if` × `async`, 2-D collapse, and the
+//! deviceptr × host_data interplay.
+
+use crate::support::*;
+use acc_ast::builder as b;
+use acc_ast::{
+    AccClause, DataRef, Expr, Function, LValue, Param, ParamKind, Program, ScalarType, Stmt, Type,
+};
+use acc_spec::{ClauseKind, DirectiveKind, Language, ReductionOp};
+use acc_validation::TestCase;
+
+/// All combination cases.
+pub fn cases() -> Vec<TestCase> {
+    vec![
+        data_in_data(),
+        async_multi_queue(),
+        update_bidirectional(),
+        gang_worker_vector(),
+        reduction_multi_var(),
+        firstprivate_reduction(),
+        present_chain(),
+        if_async(),
+        copy_2d_collapse(),
+        deviceptr_host_data(),
+    ]
+}
+
+/// Three nested data regions: ownership stays with the outermost mapping.
+fn data_in_data() -> TestCase {
+    let pcopy = |name: &str| {
+        AccClause::Data(
+            ClauseKind::PresentOrCopy,
+            vec![DataRef::section(name, Expr::int(0), Expr::int(N))],
+        )
+    };
+    let mut body = preamble(&["A", "B"], N);
+    body.push(init_array("A", N, |i| i));
+    body.push(init_array("B", N, |_| Expr::int(0)));
+    body.push(b::data_region(
+        vec![
+            AccClause::If(Expr::int(1)),
+            b::copyin_sec("A", Expr::int(N)),
+        ],
+        vec![Stmt::AccBlock {
+            dir: b::data(vec![pcopy("A")]),
+            body: vec![Stmt::AccBlock {
+                dir: b::data(vec![pcopy("A")]),
+                body: vec![b::parallel_region(
+                    vec![b::copy_sec("B", Expr::int(N))],
+                    vec![b::acc_loop(
+                        vec![],
+                        "i",
+                        Expr::int(N),
+                        vec![
+                            b::set1(
+                                "B",
+                                Expr::var("i"),
+                                Expr::add(Expr::idx("A", Expr::var("i")), Expr::int(1)),
+                            ),
+                            b::add1("A", Expr::var("i"), Expr::int(1)),
+                        ],
+                    )],
+                )],
+            }],
+        }],
+    ));
+    body.push(check_array("B", N, |i| Expr::add(i, Expr::int(1))));
+    // The outermost copyin owns the data: device increments never land.
+    body.push(check_array("A", N, |i| i));
+    body.push(b::return_error_check());
+    case(
+        "combo.data_in_data",
+        "combo.data_in_data",
+        body,
+        cross("force-if:0"),
+        "three nested data regions: the outermost mapping owns allocation and exit action",
+    )
+}
+
+/// Two async queues with interleaved tests and waits.
+fn async_multi_queue() -> TestCase {
+    let mut body = preamble(&["A", "B"], N);
+    body.push(b::decl_int("t", -1));
+    body.push(init_array("A", N, |_| Expr::int(0)));
+    body.push(init_array("B", N, |_| Expr::int(0)));
+    for (arr, tag, inc) in [("A", 1i64, 1i64), ("B", 2, 2)] {
+        body.push(b::parallel_region(
+            vec![
+                b::copy_sec(arr, Expr::int(N)),
+                AccClause::Async(Some(Expr::int(tag))),
+            ],
+            vec![b::acc_loop(
+                vec![],
+                "i",
+                Expr::int(N),
+                vec![b::add1(arr, Expr::var("i"), Expr::int(inc))],
+            )],
+        ));
+    }
+    // Nothing done yet.
+    body.push(b::set("t", Expr::call("acc_async_test_all", vec![])));
+    body.push(check_eq(Expr::var("t"), Expr::int(0)));
+    // Wait on queue 1 only: tag 1 is done, tag 2 still pending (probe the
+    // queues immediately — host progress itself advances the virtual clock).
+    body.push(b::wait(Some(Expr::int(1))));
+    body.push(b::set(
+        "t",
+        Expr::call("acc_async_test", vec![Expr::int(2)]),
+    ));
+    body.push(check_eq(Expr::var("t"), Expr::int(0)));
+    body.push(b::set(
+        "t",
+        Expr::call("acc_async_test", vec![Expr::int(1)]),
+    ));
+    body.push(check_ne(Expr::var("t"), Expr::int(0)));
+    body.push(check_eq(Expr::idx("B", Expr::int(0)), Expr::int(0)));
+    body.push(check_array("A", N, |_| Expr::int(1)));
+    // Wait on queue 2: B lands.
+    body.push(b::wait(Some(Expr::int(2))));
+    body.push(check_array("B", N, |_| Expr::int(2)));
+    body.push(b::set("t", Expr::call("acc_async_test_all", vec![])));
+    body.push(check_ne(Expr::var("t"), Expr::int(0)));
+    body.push(b::return_error_check());
+    case(
+        "combo.async_multi_queue",
+        "combo.async_multi_queue",
+        body,
+        cross("remove-clause:parallel.async"),
+        "independent async queues complete independently and in order",
+    )
+}
+
+/// `update host` then `update device` round trip inside one data region.
+fn update_bidirectional() -> TestCase {
+    let hostc = |n: &str| {
+        AccClause::Data(
+            ClauseKind::HostClause,
+            vec![DataRef::section(n, Expr::int(0), Expr::int(N))],
+        )
+    };
+    let devc = |n: &str| {
+        AccClause::Data(
+            ClauseKind::DeviceClause,
+            vec![DataRef::section(n, Expr::int(0), Expr::int(N))],
+        )
+    };
+    let mut body = preamble(&["A", "B"], N);
+    body.push(init_array("A", N, |i| i));
+    body.push(init_array("B", N, |_| Expr::int(0)));
+    body.push(b::data_region(
+        vec![b::copyin_sec("A", Expr::int(N))],
+        vec![
+            b::parallel_region(
+                vec![],
+                vec![b::acc_loop(
+                    vec![],
+                    "i",
+                    Expr::int(N),
+                    vec![b::add1("A", Expr::var("i"), Expr::int(10))],
+                )],
+            ),
+            b::update(vec![hostc("A")]),
+            check_array("A", N, |i| Expr::add(i, Expr::int(10))),
+            b::for_upto(
+                "i",
+                Expr::int(N),
+                vec![b::add1("A", Expr::var("i"), Expr::int(100))],
+            ),
+            b::update(vec![devc("A")]),
+            b::parallel_region(
+                vec![b::copy_sec("B", Expr::int(N))],
+                // `A[i] + 0` keeps the kernel out of Cray's dead-region
+                // heuristic (a pure copy would be eliminated, Fig. 11).
+                vec![b::acc_loop(
+                    vec![],
+                    "i",
+                    Expr::int(N),
+                    vec![b::set1(
+                        "B",
+                        Expr::var("i"),
+                        Expr::add(Expr::idx("A", Expr::var("i")), Expr::int(0)),
+                    )],
+                )],
+            ),
+        ],
+    ));
+    body.push(check_array("B", N, |i| Expr::add(i, Expr::int(110))));
+    body.push(b::return_error_check());
+    case(
+        "combo.update_bidirectional",
+        "combo.update_bidirectional",
+        body,
+        cross("remove-directive:update"),
+        "host and device copies round-trip through paired updates",
+    )
+}
+
+/// The complete gang/worker/vector nest with two-level reduction.
+fn gang_worker_vector() -> TestCase {
+    let mut body = preamble(&["red"], 4);
+    body.push(init_array("red", 4, |_| Expr::int(0)));
+    body.push(Stmt::AccBlock {
+        dir: b::parallel(vec![
+            b::copy_sec("red", Expr::int(4)),
+            AccClause::NumGangs(Expr::int(4)),
+            AccClause::NumWorkers(Expr::int(2)),
+            AccClause::VectorLength(Expr::int(2)),
+        ]),
+        body: vec![b::acc_loop(
+            vec![AccClause::Gang(None)],
+            "i",
+            Expr::int(4),
+            vec![
+                Stmt::decl_int("t", Expr::int(0)),
+                b::acc_loop(
+                    vec![
+                        AccClause::Worker(None),
+                        AccClause::Reduction(ReductionOp::Add, vec!["t".into()]),
+                    ],
+                    "j",
+                    Expr::int(4),
+                    vec![b::acc_loop(
+                        vec![
+                            AccClause::Vector(None),
+                            AccClause::Reduction(ReductionOp::Add, vec!["t".into()]),
+                        ],
+                        "k",
+                        Expr::int(4),
+                        vec![b::add("t", Expr::int(1))],
+                    )],
+                ),
+                b::set1("red", Expr::var("i"), Expr::var("t")),
+            ],
+        )],
+    });
+    body.push(check_array("red", 4, |_| Expr::int(16)));
+    body.push(b::return_error_check());
+    case(
+        "combo.gang_worker_vector",
+        "combo.gang_worker_vector",
+        body,
+        cross("remove-clause:loop.vector"),
+        "all three parallelism levels nest and cover the full iteration space",
+    )
+}
+
+/// Two reduction variables with different operators on one construct.
+fn reduction_multi_var() -> TestCase {
+    let mut body = vec![
+        b::decl_int("error", 0),
+        b::decl_int("s", 0),
+        b::decl_int("m", -1000),
+        b::decl_array("V", ScalarType::Int, N as usize),
+    ];
+    body.push(init_array("V", N, |i| Expr::mul(i, Expr::int(3))));
+    body.push(b::parallel_loop(
+        vec![
+            AccClause::NumGangs(Expr::int(4)),
+            AccClause::Reduction(ReductionOp::Add, vec!["s".into()]),
+            AccClause::Reduction(ReductionOp::Max, vec!["m".into()]),
+            b::copyin_sec("V", Expr::int(N)),
+        ],
+        "i",
+        Expr::int(N),
+        vec![
+            b::add("s", Expr::idx("V", Expr::var("i"))),
+            b::set(
+                "m",
+                Expr::call("max", vec![Expr::var("m"), Expr::idx("V", Expr::var("i"))]),
+            ),
+        ],
+    ));
+    let total: i64 = (0..N).map(|i| i * 3).sum();
+    body.push(check_eq(Expr::var("s"), Expr::int(total)));
+    body.push(check_eq(Expr::var("m"), Expr::int((N - 1) * 3)));
+    body.push(b::return_error_check());
+    case(
+        "combo.reduction_multi_var",
+        "combo.reduction_multi_var",
+        body,
+        cross("remove-clause:parallel_loop.reduction"),
+        "two reduction variables with different operators reduce independently",
+    )
+}
+
+/// `firstprivate` feeding a region-level reduction.
+fn firstprivate_reduction() -> TestCase {
+    let body = vec![
+        b::decl_int("error", 0),
+        b::decl_int("seed", 5),
+        b::decl_int("total", 0),
+        b::parallel_region(
+            vec![
+                AccClause::NumGangs(Expr::int(8)),
+                AccClause::Firstprivate(vec!["seed".into()]),
+                AccClause::Reduction(ReductionOp::Add, vec!["total".into()]),
+            ],
+            vec![b::add("total", Expr::var("seed"))],
+        ),
+        check_eq(Expr::var("total"), Expr::int(40)),
+        b::return_error_check(),
+    ];
+    case(
+        "combo.firstprivate_reduction",
+        "combo.firstprivate_reduction",
+        body,
+        cross("replace-clause:parallel.firstprivate->private"),
+        "every gang contributes the host-seeded firstprivate value to the reduction",
+    )
+}
+
+/// A cross-procedure present chain: main maps, a helper computes.
+fn present_chain() -> TestCase {
+    let helper = Function {
+        name: "fill7".into(),
+        params: vec![
+            Param {
+                name: "T".into(),
+                kind: ParamKind::ArrayPtr(ScalarType::Int),
+            },
+            Param {
+                name: "n".into(),
+                kind: ParamKind::Scalar(ScalarType::Int),
+            },
+        ],
+        ret: None,
+        body: vec![b::parallel_region(
+            vec![AccClause::Data(
+                ClauseKind::Present,
+                vec![DataRef::section("T", Expr::int(0), Expr::var("n"))],
+            )],
+            vec![b::acc_loop(
+                vec![],
+                "i",
+                Expr::var("n"),
+                vec![b::set1(
+                    "T",
+                    Expr::var("i"),
+                    Expr::mul(Expr::var("i"), Expr::int(7)),
+                )],
+            )],
+        )],
+    };
+    let mut main_body = preamble(&["T"], N);
+    main_body.push(init_array("T", N, |_| Expr::int(-1)));
+    main_body.push(b::data_region(
+        vec![b::create_clause("T", Some(Expr::int(N)))],
+        vec![
+            Stmt::Call {
+                name: "fill7".into(),
+                args: vec![Expr::var("T"), Expr::int(N)],
+            },
+            b::update(vec![AccClause::Data(
+                ClauseKind::HostClause,
+                vec![DataRef::section("T", Expr::int(0), Expr::int(N))],
+            )]),
+        ],
+    ));
+    main_body.push(check_array("T", N, |i| Expr::mul(i, Expr::int(7))));
+    main_body.push(b::return_error_check());
+    let mut program = Program::simple("combo.present_chain", Language::C, main_body);
+    program.functions.insert(0, helper);
+    TestCase::new(
+        "combo.present_chain",
+        "combo.present_chain",
+        program,
+        cross("remove-directive:data"),
+        "present in a callee finds the caller's data-region mapping",
+    )
+}
+
+/// `if(false)` on an async region: host fallback launches nothing.
+fn if_async() -> TestCase {
+    let mut body = preamble(&["A"], N);
+    body.push(b::decl_int("cond", 0));
+    body.push(b::decl_int("t", -1));
+    body.push(init_array("A", N, |i| i));
+    body.push(b::parallel_region(
+        vec![
+            AccClause::If(Expr::var("cond")),
+            AccClause::Async(Some(Expr::int(7))),
+            b::copy_sec("A", Expr::int(N)),
+        ],
+        vec![b::acc_loop(
+            vec![],
+            "i",
+            Expr::int(N),
+            vec![b::add1("A", Expr::var("i"), Expr::int(1))],
+        )],
+    ));
+    // Host fallback executed synchronously: results visible at once, and no
+    // asynchronous activity exists.
+    body.push(b::set(
+        "t",
+        Expr::call("acc_async_test", vec![Expr::int(7)]),
+    ));
+    body.push(check_ne(Expr::var("t"), Expr::int(0)));
+    body.push(check_array("A", N, |i| Expr::add(i, Expr::int(1))));
+    body.push(b::return_error_check());
+    case(
+        "combo.if_async",
+        "combo.if_async",
+        body,
+        cross("force-if:1"),
+        "if(false) wins over async: the host fallback is synchronous and enqueues nothing",
+    )
+}
+
+/// A 2-D matrix through `copy` with `collapse(2) gang` accumulation.
+fn copy_2d_collapse() -> TestCase {
+    let (rows, cols) = (4usize, 4usize);
+    let mut body = vec![
+        b::decl_int("error", 0),
+        b::decl_matrix("M", ScalarType::Int, rows, cols),
+    ];
+    body.push(b::for_upto(
+        "i",
+        Expr::int(rows as i64),
+        vec![b::for_upto(
+            "j",
+            Expr::int(cols as i64),
+            vec![Stmt::assign(
+                LValue::idx2("M", Expr::var("i"), Expr::var("j")),
+                Expr::int(0),
+            )],
+        )],
+    ));
+    body.push(b::parallel_region(
+        vec![
+            AccClause::NumGangs(Expr::int(4)),
+            b::data_whole(ClauseKind::Copy, &["M"]),
+        ],
+        vec![Stmt::AccLoop {
+            dir: b::loop_dir(vec![
+                AccClause::Collapse(Expr::int(2)),
+                AccClause::Gang(None),
+            ]),
+            l: acc_ast::ForLoop {
+                var: "i".into(),
+                from: Expr::int(0),
+                to: Expr::int(rows as i64),
+                step: Expr::int(1),
+                body: vec![Stmt::For(acc_ast::ForLoop {
+                    var: "j".into(),
+                    from: Expr::int(0),
+                    to: Expr::int(cols as i64),
+                    step: Expr::int(1),
+                    body: vec![Stmt::assign_op(
+                        LValue::idx2("M", Expr::var("i"), Expr::var("j")),
+                        acc_ast::BinOp::Add,
+                        Expr::int(1),
+                    )],
+                })],
+            },
+        }],
+    ));
+    body.push(b::for_upto(
+        "i",
+        Expr::int(rows as i64),
+        vec![b::for_upto(
+            "j",
+            Expr::int(cols as i64),
+            vec![b::if_then(
+                Expr::ne(
+                    Expr::idx2("M", Expr::var("i"), Expr::var("j")),
+                    Expr::int(1),
+                ),
+                vec![b::bump_error()],
+            )],
+        )],
+    ));
+    body.push(b::return_error_check());
+    case(
+        "combo.copy_2d_collapse",
+        "combo.copy_2d_collapse",
+        body,
+        cross("replace-clause:loop.gang->seq"),
+        "collapse(2) gang over a copied 2-D matrix touches each element exactly once",
+    )
+}
+
+/// `acc_malloc` + `deviceptr` + `host_data use_device` working together
+/// (C only).
+fn deviceptr_host_data() -> TestCase {
+    let n = N;
+    let helper = Function {
+        name: "addinto".into(),
+        params: vec![
+            Param {
+                name: "d".into(),
+                kind: ParamKind::ArrayPtr(ScalarType::Float),
+            },
+            Param {
+                name: "s".into(),
+                kind: ParamKind::ArrayPtr(ScalarType::Float),
+            },
+            Param {
+                name: "n".into(),
+                kind: ParamKind::Scalar(ScalarType::Int),
+            },
+        ],
+        ret: None,
+        body: vec![b::for_upto(
+            "i",
+            Expr::var("n"),
+            vec![Stmt::assign_op(
+                LValue::idx("d", Expr::var("i")),
+                acc_ast::BinOp::Add,
+                Expr::idx("s", Expr::var("i")),
+            )],
+        )],
+    };
+    let mut main_body = vec![
+        b::decl_int("error", 0),
+        b::decl_array("A", ScalarType::Float, n as usize),
+        Stmt::DeclScalar {
+            name: "p".into(),
+            ty: Type::Ptr(ScalarType::Float),
+            init: Some(Expr::call(
+                "acc_malloc",
+                vec![Expr::mul(Expr::int(n), Expr::SizeOf(ScalarType::Float))],
+            )),
+        },
+    ];
+    main_body.push(init_array("A", n, |i| i));
+    // Fill the raw device buffer with 2*A via deviceptr.
+    main_body.push(b::parallel_region(
+        vec![
+            AccClause::Deviceptr(vec!["p".into()]),
+            b::copyin_sec("A", Expr::int(n)),
+        ],
+        vec![b::acc_loop(
+            vec![],
+            "i",
+            Expr::int(n),
+            vec![b::set1(
+                "p",
+                Expr::var("i"),
+                Expr::mul(Expr::idx("A", Expr::var("i")), Expr::int(2)),
+            )],
+        )],
+    ));
+    // host_data hands the "CUDA routine" both device addresses.
+    main_body.push(b::data_region(
+        vec![b::copy_sec("A", Expr::int(n))],
+        vec![Stmt::AccBlock {
+            dir: b::with_clauses(
+                DirectiveKind::HostData,
+                vec![AccClause::UseDevice(vec!["A".into()])],
+            ),
+            body: vec![Stmt::Call {
+                name: "addinto".into(),
+                args: vec![Expr::var("A"), Expr::var("p"), Expr::int(n)],
+            }],
+        }],
+    ));
+    main_body.push(Stmt::Call {
+        name: "acc_free".into(),
+        args: vec![Expr::var("p")],
+    });
+    main_body.push(check_array("A", n, |i| Expr::mul(i, Expr::int(3))));
+    main_body.push(b::return_error_check());
+    let mut program = Program::simple("combo.deviceptr_host_data", Language::C, main_body);
+    program.functions.insert(0, helper);
+    TestCase::new(
+        "combo.deviceptr_host_data",
+        "combo.deviceptr_host_data",
+        program,
+        cross("remove-directive:host_data"),
+        "a device-pointer source and a use_device destination drive one device-side routine",
+    )
+    .c_only()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_validation::harness::validate_case;
+
+    #[test]
+    fn all_combination_cases_validate_against_reference() {
+        for case in cases() {
+            let problems = validate_case(&case);
+            assert!(problems.is_empty(), "{}: {problems:?}", case.name);
+        }
+    }
+
+    #[test]
+    fn ten_combinations() {
+        assert_eq!(cases().len(), 10);
+    }
+
+    #[test]
+    fn combinations_survive_every_latest_vendor() {
+        // The latest vendor releases carry only the persistent bug clusters;
+        // combinations not touching those clusters must pass everywhere.
+        use acc_compiler::{VendorCompiler, VendorId};
+        use acc_validation::harness::run_case;
+        let clean: &[&str] = &[
+            "combo.data_in_data",
+            "combo.update_bidirectional",
+            "combo.gang_worker_vector",
+            "combo.reduction_multi_var",
+            "combo.present_chain",
+        ];
+        for vendor in VendorId::COMMERCIAL {
+            let compiler = VendorCompiler::latest(vendor);
+            for case in cases() {
+                if !clean.contains(&case.name.as_str()) {
+                    continue;
+                }
+                for lang in case.languages.clone() {
+                    let r = run_case(&case, &compiler, lang);
+                    assert!(
+                        r.passed(),
+                        "{vendor}/{} ({lang}): {:?}",
+                        case.name,
+                        r.status
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Tests for the combined `parallel loop` / `kernels loop` constructs.
+
+use crate::support::*;
+use acc_ast::builder as b;
+use acc_ast::{AccClause, BinOp, Expr};
+use acc_spec::ReductionOp;
+use acc_validation::TestCase;
+
+/// All combined-construct cases.
+pub fn cases() -> Vec<TestCase> {
+    vec![
+        parallel_loop_base(),
+        parallel_loop_if(),
+        parallel_loop_reduction(),
+        parallel_loop_private(),
+        kernels_loop_base(),
+        kernels_loop_if(),
+        kernels_loop_reduction(),
+    ]
+}
+
+/// Base: the combined construct executes on the device (device-residency
+/// check through an enclosing copyin).
+fn parallel_loop_base() -> TestCase {
+    let mut body = preamble(&["A"], N);
+    body.push(init_array("A", N, |i| i));
+    body.push(b::data_region(
+        vec![b::copyin_sec("A", Expr::int(N))],
+        vec![b::parallel_loop(
+            vec![],
+            "i",
+            Expr::int(N),
+            vec![b::add1("A", Expr::var("i"), Expr::int(1))],
+        )],
+    ));
+    // Device-only increments must not be visible on the host.
+    body.push(check_array("A", N, |i| i));
+    body.push(b::return_error_check());
+    case(
+        "parallel_loop",
+        "parallel_loop",
+        body,
+        cross("remove-directive:parallel_loop"),
+        "the combined parallel loop runs on the device; removing it leaves a host loop whose \
+         writes are visible",
+    )
+}
+
+fn parallel_loop_if() -> TestCase {
+    let mut body = preamble(&["A"], N);
+    body.push(b::decl_int("cond", 0));
+    body.push(init_array("A", N, |i| i));
+    body.push(b::data_region(
+        vec![b::copy_sec("A", Expr::int(N))],
+        vec![b::parallel_loop(
+            vec![AccClause::If(Expr::var("cond"))],
+            "i",
+            Expr::int(N),
+            vec![b::add1("A", Expr::var("i"), Expr::int(50))],
+        )],
+    ));
+    // if(false): host increments, overwritten by the device copyout of the
+    // untouched device copy.
+    body.push(check_array("A", N, |i| i));
+    body.push(b::return_error_check());
+    case(
+        "parallel_loop.if",
+        "parallel_loop.if",
+        body,
+        cross("force-if:1"),
+        "if(false) on a combined construct falls back to host execution",
+    )
+}
+
+fn parallel_loop_reduction() -> TestCase {
+    let body = vec![
+        b::decl_int("error", 0),
+        b::decl_int("total", 0),
+        b::parallel_loop(
+            vec![
+                AccClause::NumGangs(Expr::int(4)),
+                AccClause::Reduction(ReductionOp::Add, vec!["total".into()]),
+            ],
+            "i",
+            Expr::int(N),
+            vec![b::add("total", Expr::int(1))],
+        ),
+        check_eq(Expr::var("total"), Expr::int(N)),
+        b::return_error_check(),
+    ];
+    case(
+        "parallel_loop.reduction",
+        "parallel_loop.reduction",
+        body,
+        cross("remove-clause:parallel_loop.reduction"),
+        "a reduction on the combined construct counts every iteration once",
+    )
+}
+
+fn parallel_loop_private() -> TestCase {
+    let mut body = preamble(&["A"], 4);
+    body.push(b::decl_int("p", 7));
+    body.push(init_array("A", 4, |_| Expr::int(-1)));
+    body.push(b::parallel_loop(
+        vec![
+            AccClause::NumGangs(Expr::int(4)),
+            AccClause::Private(vec!["p".into()]),
+            b::copy_sec("A", Expr::int(4)),
+        ],
+        "i",
+        Expr::int(4),
+        vec![
+            b::if_then(
+                Expr::eq(Expr::var("i"), Expr::int(0)),
+                vec![b::set("p", Expr::int(42))],
+            ),
+            b::set1("A", Expr::var("i"), Expr::var("p")),
+        ],
+    ));
+    body.push(check_eq(Expr::idx("A", Expr::int(0)), Expr::int(42)));
+    body.push(b::for_upto(
+        "i",
+        Expr::int(4),
+        vec![b::if_then(
+            Expr::bin(
+                BinOp::And,
+                Expr::bin(BinOp::Ge, Expr::var("i"), Expr::int(1)),
+                Expr::bin(
+                    BinOp::Or,
+                    Expr::eq(Expr::idx("A", Expr::var("i")), Expr::int(42)),
+                    Expr::eq(Expr::idx("A", Expr::var("i")), Expr::int(7)),
+                ),
+            ),
+            vec![b::bump_error()],
+        )],
+    ));
+    body.push(b::return_error_check());
+    case(
+        "parallel_loop.private",
+        "parallel_loop.private",
+        body,
+        cross("remove-clause:parallel_loop.private"),
+        "private on the combined construct isolates the variable per gang",
+    )
+}
+
+fn kernels_loop_base() -> TestCase {
+    let mut body = preamble(&["A"], N);
+    body.push(init_array("A", N, |i| i));
+    body.push(b::data_region(
+        vec![b::copyin_sec("A", Expr::int(N))],
+        vec![b::kernels_loop(
+            vec![],
+            "i",
+            Expr::int(N),
+            vec![b::add1("A", Expr::var("i"), Expr::int(1))],
+        )],
+    ));
+    body.push(check_array("A", N, |i| i));
+    body.push(b::return_error_check());
+    case(
+        "kernels_loop",
+        "kernels_loop",
+        body,
+        cross("remove-directive:kernels_loop"),
+        "the combined kernels loop runs on the device",
+    )
+}
+
+fn kernels_loop_if() -> TestCase {
+    let mut body = preamble(&["A"], N);
+    body.push(b::decl_int("cond", 0));
+    body.push(init_array("A", N, |i| i));
+    body.push(b::data_region(
+        vec![b::copy_sec("A", Expr::int(N))],
+        vec![b::kernels_loop(
+            vec![AccClause::If(Expr::var("cond"))],
+            "i",
+            Expr::int(N),
+            vec![b::add1("A", Expr::var("i"), Expr::int(50))],
+        )],
+    ));
+    body.push(check_array("A", N, |i| i));
+    body.push(b::return_error_check());
+    case(
+        "kernels_loop.if",
+        "kernels_loop.if",
+        body,
+        cross("force-if:1"),
+        "if(false) on kernels loop falls back to host execution",
+    )
+}
+
+fn kernels_loop_reduction() -> TestCase {
+    let body = vec![
+        b::decl_int("error", 0),
+        b::decl_int("total", 5),
+        b::kernels_loop(
+            vec![AccClause::Reduction(ReductionOp::Add, vec!["total".into()])],
+            "i",
+            Expr::int(N),
+            vec![b::add("total", Expr::int(2))],
+        ),
+        check_eq(Expr::var("total"), Expr::int(5 + 2 * N)),
+        b::return_error_check(),
+    ];
+    case(
+        "kernels_loop.reduction",
+        "kernels_loop.reduction",
+        body,
+        cross("remove-clause:kernels_loop.reduction"),
+        "a reduction on kernels loop accumulates across the auto-parallelized gangs",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_validation::harness::validate_case;
+
+    #[test]
+    fn all_combined_cases_validate_against_reference() {
+        for case in cases() {
+            let problems = validate_case(&case);
+            assert!(problems.is_empty(), "{}: {problems:?}", case.name);
+        }
+    }
+
+    #[test]
+    fn area_covers_seven_features() {
+        assert_eq!(cases().len(), 7);
+    }
+}

@@ -1,0 +1,547 @@
+//! Tests for the `data` construct and its clauses (§IV-B).
+
+use crate::support::*;
+use crate::templates;
+use acc_ast::builder as b;
+use acc_ast::{AccClause, DataRef, Expr, LValue, ScalarType, Stmt, Type};
+use acc_spec::ClauseKind;
+use acc_validation::TestCase;
+
+/// All data-construct cases.
+pub fn cases() -> Vec<TestCase> {
+    vec![
+        base(),
+        if_clause(),
+        templates::fig6_data_copy(),
+        copy_scalar(),
+        copyin(),
+        templates::fig11_copyout(),
+        create(),
+        present(),
+        pcopy(),
+        pcopyin(),
+        pcopyout(),
+        pcreate(),
+        deviceptr(),
+    ]
+}
+
+/// Base: the data region decouples device data from later host writes.
+fn base() -> TestCase {
+    let mut body = preamble(&["A", "B"], N);
+    body.push(init_array("A", N, |i| i));
+    body.push(init_array("B", N, |_| Expr::int(0)));
+    body.push(b::data_region(
+        vec![b::copyin_sec("A", Expr::int(N))],
+        vec![
+            // Host-side write after the upload: must not reach the device.
+            Stmt::assign(LValue::idx("A", Expr::int(0)), Expr::int(999)),
+            b::parallel_region(
+                vec![b::copy_sec("B", Expr::int(N))],
+                vec![b::acc_loop(
+                    vec![],
+                    "i",
+                    Expr::int(N),
+                    vec![b::set1("B", Expr::var("i"), Expr::idx("A", Expr::var("i")))],
+                )],
+            ),
+        ],
+    ));
+    body.push(check_array("B", N, |i| i));
+    body.push(b::return_error_check());
+    case(
+        "data",
+        "data",
+        body,
+        cross("remove-directive:data"),
+        "data uploads at region entry; later host writes stay invisible on the device",
+    )
+}
+
+/// `if` on data: true means all copies occur; the cross test forces false.
+fn if_clause() -> TestCase {
+    let mut body = preamble(&["A"], N);
+    body.push(init_array("A", N, |i| i));
+    body.push(b::data_region(
+        vec![
+            AccClause::If(Expr::int(1)),
+            b::copyin_sec("A", Expr::int(N)),
+        ],
+        vec![b::parallel_region(
+            vec![],
+            vec![b::acc_loop(
+                vec![],
+                "i",
+                Expr::int(N),
+                vec![b::add1("A", Expr::var("i"), Expr::int(1))],
+            )],
+        )],
+    ));
+    // copyin owns the mapping: device increments never come back.
+    body.push(check_array("A", N, |i| i));
+    body.push(b::return_error_check());
+    case(
+        "data.if",
+        "data.if",
+        body,
+        cross("force-if:0"),
+        "if(true) maps the data; if(false) leaves the compute construct to map (and copy back) \
+         by itself",
+    )
+}
+
+/// Scalar variables in `copy` must transfer both ways (the Cray §V-B bug).
+fn copy_scalar() -> TestCase {
+    let body = vec![
+        b::decl_int("error", 0),
+        b::decl_int("s", 5),
+        b::data_region(
+            vec![b::data_whole(ClauseKind::Copy, &["s"])],
+            vec![b::parallel_region(vec![], vec![b::set("s", Expr::int(7))])],
+        ),
+        check_eq(Expr::var("s"), Expr::int(7)),
+        b::return_error_check(),
+    ];
+    case(
+        "data.copy_scalar",
+        "data.copy_scalar",
+        body,
+        cross("remove-directive:data"),
+        "a scalar in copy must be transferred back to the host (§V-B Cray)",
+    )
+}
+
+fn copyin() -> TestCase {
+    let mut body = preamble(&["A", "B"], N);
+    body.push(init_array("A", N, |i| i));
+    body.push(init_array("B", N, |_| Expr::int(0)));
+    body.push(b::data_region(
+        vec![b::copyin_sec("A", Expr::int(N))],
+        vec![b::parallel_region(
+            vec![b::copy_sec("B", Expr::int(N))],
+            vec![b::acc_loop(
+                vec![],
+                "i",
+                Expr::int(N),
+                vec![
+                    b::set1(
+                        "B",
+                        Expr::var("i"),
+                        Expr::mul(Expr::idx("A", Expr::var("i")), Expr::int(2)),
+                    ),
+                    b::set1("A", Expr::var("i"), Expr::int(-1)),
+                ],
+            )],
+        )],
+    ));
+    body.push(check_array("B", N, |i| Expr::mul(i, Expr::int(2))));
+    body.push(check_array("A", N, |i| i));
+    body.push(b::return_error_check());
+    case(
+        "data.copyin",
+        "data.copyin",
+        body,
+        cross("replace-clause:data.copyin->copy"),
+        "copyin on data uploads once and never downloads",
+    )
+}
+
+fn create() -> TestCase {
+    let mut body = preamble(&["A", "B", "T"], N);
+    body.push(init_array("A", N, |i| i));
+    body.push(init_array("B", N, |_| Expr::int(0)));
+    body.push(init_array("T", N, |_| Expr::int(-5)));
+    body.push(b::data_region(
+        vec![b::create_clause("T", Some(Expr::int(N)))],
+        vec![
+            b::parallel_region(
+                vec![b::copyin_sec("A", Expr::int(N))],
+                vec![b::acc_loop(
+                    vec![],
+                    "i",
+                    Expr::int(N),
+                    vec![b::set1(
+                        "T",
+                        Expr::var("i"),
+                        Expr::mul(Expr::idx("A", Expr::var("i")), Expr::int(2)),
+                    )],
+                )],
+            ),
+            b::parallel_region(
+                vec![b::copyout_sec("B", Expr::int(N))],
+                vec![b::acc_loop(
+                    vec![],
+                    "i",
+                    Expr::int(N),
+                    vec![b::set1(
+                        "B",
+                        Expr::var("i"),
+                        Expr::add(Expr::idx("T", Expr::var("i")), Expr::int(1)),
+                    )],
+                )],
+            ),
+        ],
+    ));
+    body.push(check_array("B", N, |i| {
+        Expr::add(Expr::mul(i, Expr::int(2)), Expr::int(1))
+    }));
+    body.push(check_array("T", N, |_| Expr::int(-5)));
+    body.push(b::return_error_check());
+    case(
+        "data.create",
+        "data.create",
+        body,
+        cross("replace-clause:data.create->copy"),
+        "create on data carries device-only state across compute regions",
+    )
+}
+
+fn present() -> TestCase {
+    let mut body = preamble(&["A", "B"], N);
+    body.push(init_array("A", N, |i| i));
+    body.push(init_array("B", N, |_| Expr::int(0)));
+    body.push(b::data_region(
+        vec![
+            AccClause::If(Expr::int(1)),
+            b::copyin_sec("A", Expr::int(N)),
+        ],
+        vec![Stmt::AccBlock {
+            dir: b::data(vec![b::data_whole(ClauseKind::Present, &["A"])]),
+            body: vec![b::parallel_region(
+                vec![b::copy_sec("B", Expr::int(N))],
+                vec![b::acc_loop(
+                    vec![],
+                    "i",
+                    Expr::int(N),
+                    vec![b::set1(
+                        "B",
+                        Expr::var("i"),
+                        Expr::mul(Expr::idx("A", Expr::var("i")), Expr::int(5)),
+                    )],
+                )],
+            )],
+        }],
+    ));
+    body.push(check_array("B", N, |i| Expr::mul(i, Expr::int(5))));
+    body.push(b::return_error_check());
+    case(
+        "data.present",
+        "data.present",
+        body,
+        cross("force-if:0"),
+        "present on a nested data region finds the outer mapping; without it the lookup crashes",
+    )
+}
+
+fn pcopy() -> TestCase {
+    let mut body = preamble(&["A"], N);
+    body.push(init_array("A", N, |i| i));
+    body.push(b::data_region(
+        vec![
+            AccClause::If(Expr::int(1)),
+            b::copyin_sec("A", Expr::int(N)),
+        ],
+        vec![Stmt::AccBlock {
+            dir: b::data(vec![AccClause::Data(
+                ClauseKind::PresentOrCopy,
+                vec![DataRef::section("A", Expr::int(0), Expr::int(N))],
+            )]),
+            body: vec![b::parallel_region(
+                vec![],
+                vec![b::acc_loop(
+                    vec![],
+                    "i",
+                    Expr::int(N),
+                    vec![b::add1("A", Expr::var("i"), Expr::int(1))],
+                )],
+            )],
+        }],
+    ));
+    body.push(check_array("A", N, |i| i));
+    body.push(b::return_error_check());
+    case(
+        "data.present_or_copy",
+        "data.present_or_copy",
+        body,
+        cross("force-if:0"),
+        "pcopy on a nested data region reuses the outer mapping (no copy-back); a miss falls \
+         back to full copy",
+    )
+}
+
+fn pcopyin() -> TestCase {
+    let mut body = preamble(&["A", "B", "M"], N);
+    body.push(init_array("A", N, |i| i));
+    body.push(init_array("B", N, |_| Expr::int(0)));
+    body.push(init_array("M", N, |i| Expr::mul(i, Expr::int(2))));
+    body.push(b::data_region(
+        vec![
+            AccClause::If(Expr::int(1)),
+            b::copyin_sec("A", Expr::int(N)),
+        ],
+        vec![
+            Stmt::assign(LValue::idx("A", Expr::int(0)), Expr::int(999)),
+            Stmt::AccBlock {
+                // `A` exercises the present path; `M` the miss path (fresh
+                // copyin, no copy-back) — an ignored clause would leave `M`
+                // to the implicit rule, which copies it back destroyed.
+                dir: b::data(vec![AccClause::Data(
+                    ClauseKind::PresentOrCopyin,
+                    vec![
+                        DataRef::section("A", Expr::int(0), Expr::int(N)),
+                        DataRef::section("M", Expr::int(0), Expr::int(N)),
+                    ],
+                )]),
+                body: vec![b::parallel_region(
+                    vec![b::copy_sec("B", Expr::int(N))],
+                    vec![b::acc_loop(
+                        vec![],
+                        "i",
+                        Expr::int(N),
+                        vec![
+                            b::set1(
+                                "B",
+                                Expr::var("i"),
+                                Expr::add(
+                                    Expr::idx("A", Expr::var("i")),
+                                    Expr::idx("M", Expr::var("i")),
+                                ),
+                            ),
+                            b::set1("M", Expr::var("i"), Expr::int(0)),
+                        ],
+                    )],
+                )],
+            },
+        ],
+    ));
+    // Hit: the device still holds the original upload (A[0] == 0).
+    body.push(check_array("B", N, |i| {
+        Expr::add(i.clone(), Expr::mul(i, Expr::int(2)))
+    }));
+    // Miss path: M uploaded fresh, never copied back.
+    body.push(check_array("M", N, |i| Expr::mul(i, Expr::int(2))));
+    body.push(b::return_error_check());
+    case(
+        "data.present_or_copyin",
+        "data.present_or_copyin",
+        body,
+        cross("force-if:0"),
+        "pcopyin must not re-upload when the data is already present",
+    )
+}
+
+fn pcopyout() -> TestCase {
+    let mut body = preamble(&["B", "M"], N);
+    body.push(init_array("B", N, |_| Expr::int(-5)));
+    body.push(init_array("M", N, |_| Expr::int(-5)));
+    body.push(b::data_region(
+        vec![
+            AccClause::If(Expr::int(1)),
+            b::copyout_sec("B", Expr::int(N)),
+        ],
+        vec![
+            Stmt::AccBlock {
+                // `B` hits the outer mapping; `M` is the miss path — a
+                // fresh copyout starts from uninitialized device memory, so
+                // the half the kernel does not write must come back as
+                // garbage (an ignored clause would leave the implicit rule
+                // to upload the host values first).
+                dir: b::data(vec![AccClause::Data(
+                    ClauseKind::PresentOrCopyout,
+                    vec![
+                        DataRef::section("B", Expr::int(0), Expr::int(N)),
+                        DataRef::section("M", Expr::int(0), Expr::int(N)),
+                    ],
+                )]),
+                body: vec![b::parallel_region(
+                    vec![],
+                    vec![b::acc_loop(
+                        vec![],
+                        "i",
+                        Expr::int(N),
+                        vec![
+                            b::set1("B", Expr::var("i"), Expr::int(7)),
+                            b::if_then(
+                                Expr::lt(Expr::var("i"), Expr::int(N / 2)),
+                                vec![b::set1("M", Expr::var("i"), Expr::int(7))],
+                            ),
+                        ],
+                    )],
+                )],
+            },
+            // Host write after the inner region: the outer region's exit
+            // download must overwrite it.
+            Stmt::assign(LValue::idx("B", Expr::int(0)), Expr::int(1234)),
+        ],
+    ));
+    body.push(check_array("B", N, |_| Expr::int(7)));
+    // Written half came through; unwritten half is device garbage, not the
+    // host's initial -5.
+    body.push(b::for_upto(
+        "i",
+        Expr::int(N),
+        vec![Stmt::If {
+            cond: Expr::lt(Expr::var("i"), Expr::int(N / 2)),
+            then_body: vec![b::if_then(
+                Expr::ne(Expr::idx("M", Expr::var("i")), Expr::int(7)),
+                vec![b::bump_error()],
+            )],
+            else_body: vec![b::if_then(
+                Expr::eq(Expr::idx("M", Expr::var("i")), Expr::int(-5)),
+                vec![b::bump_error()],
+            )],
+        }],
+    ));
+    body.push(b::return_error_check());
+    case(
+        "data.present_or_copyout",
+        "data.present_or_copyout",
+        body,
+        cross("force-if:0"),
+        "pcopyout defers the download to the owning (outermost) region",
+    )
+}
+
+fn pcreate() -> TestCase {
+    let mut body = preamble(&["B", "T", "T2"], N);
+    body.push(init_array("B", N, |_| Expr::int(0)));
+    body.push(init_array("T", N, |_| Expr::int(-5)));
+    body.push(init_array("T2", N, |_| Expr::int(-5)));
+    body.push(b::data_region(
+        vec![
+            AccClause::If(Expr::int(1)),
+            b::create_clause("T", Some(Expr::int(N))),
+        ],
+        vec![
+            Stmt::AccBlock {
+                // `T` hits the outer mapping; `T2` is the miss path (fresh
+                // device-only allocation). An ignored clause would leave
+                // `T2` to the implicit rule, which copies it back.
+                dir: b::data(vec![AccClause::Data(
+                    ClauseKind::PresentOrCreate,
+                    vec![
+                        DataRef::section("T", Expr::int(0), Expr::int(N)),
+                        DataRef::section("T2", Expr::int(0), Expr::int(N)),
+                    ],
+                )]),
+                body: vec![b::parallel_region(
+                    vec![],
+                    vec![b::acc_loop(
+                        vec![],
+                        "i",
+                        Expr::int(N),
+                        vec![
+                            b::set1("T", Expr::var("i"), Expr::add(Expr::var("i"), Expr::int(3))),
+                            b::set1("T2", Expr::var("i"), Expr::int(1)),
+                        ],
+                    )],
+                )],
+            },
+            // The device copy must survive the inner region's exit.
+            b::parallel_region(
+                vec![b::copy_sec("B", Expr::int(N))],
+                vec![b::acc_loop(
+                    vec![],
+                    "i",
+                    Expr::int(N),
+                    vec![b::set1("B", Expr::var("i"), Expr::idx("T", Expr::var("i")))],
+                )],
+            ),
+        ],
+    ));
+    body.push(check_array("B", N, |i| Expr::add(i, Expr::int(3))));
+    body.push(check_array("T", N, |_| Expr::int(-5)));
+    body.push(check_array("T2", N, |_| Expr::int(-5)));
+    body.push(b::return_error_check());
+    case(
+        "data.present_or_create",
+        "data.present_or_create",
+        body,
+        cross("force-if:0"),
+        "pcreate keeps the outer region's allocation alive across the inner exit",
+    )
+}
+
+/// `deviceptr` on data propagates the binding to nested compute regions.
+fn deviceptr() -> TestCase {
+    let n = N;
+    let body = vec![
+        b::decl_int("error", 0),
+        b::decl_array("A", ScalarType::Float, n as usize),
+        b::decl_array("B", ScalarType::Float, n as usize),
+        Stmt::DeclScalar {
+            name: "p".into(),
+            ty: Type::Ptr(ScalarType::Float),
+            init: Some(Expr::call(
+                "acc_malloc",
+                vec![Expr::mul(Expr::int(n), Expr::SizeOf(ScalarType::Float))],
+            )),
+        },
+        init_array("A", n, |i| i),
+        init_array("B", n, |_| Expr::int(0)),
+        b::data_region(
+            vec![
+                AccClause::Deviceptr(vec!["p".into()]),
+                b::copyin_sec("A", Expr::int(n)),
+                b::copyout_sec("B", Expr::int(n)),
+            ],
+            vec![
+                b::parallel_region(
+                    vec![],
+                    vec![b::acc_loop(
+                        vec![],
+                        "i",
+                        Expr::int(n),
+                        vec![b::set1(
+                            "p",
+                            Expr::var("i"),
+                            Expr::add(Expr::idx("A", Expr::var("i")), Expr::int(4)),
+                        )],
+                    )],
+                ),
+                b::parallel_region(
+                    vec![],
+                    vec![b::acc_loop(
+                        vec![],
+                        "i",
+                        Expr::int(n),
+                        vec![b::set1("B", Expr::var("i"), Expr::idx("p", Expr::var("i")))],
+                    )],
+                ),
+            ],
+        ),
+        Stmt::Call {
+            name: "acc_free".into(),
+            args: vec![Expr::var("p")],
+        },
+        check_array("B", n, |i| Expr::add(i, Expr::int(4))),
+        b::return_error_check(),
+    ];
+    case(
+        "data.deviceptr",
+        "data.deviceptr",
+        body,
+        cross("remove-clause:data.deviceptr"),
+        "deviceptr on data makes the pointer usable in every nested compute region",
+    )
+    .c_only()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_validation::harness::validate_case;
+
+    #[test]
+    fn all_data_cases_validate_against_reference() {
+        for case in cases() {
+            let problems = validate_case(&case);
+            assert!(problems.is_empty(), "{}: {problems:?}", case.name);
+        }
+    }
+
+    #[test]
+    fn area_covers_thirteen_features() {
+        assert_eq!(cases().len(), 13);
+    }
+}

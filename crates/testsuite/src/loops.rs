@@ -1,0 +1,374 @@
+//! Tests for the `loop` construct and its scheduling clauses (§IV-C).
+
+use crate::support::*;
+use crate::templates;
+use acc_ast::builder as b;
+use acc_ast::{AccClause, BinOp, Expr, Stmt};
+use acc_spec::ReductionOp;
+use acc_validation::TestCase;
+
+/// All loop-construct cases (the reduction battery lives in
+/// [`crate::reductions`]).
+pub fn cases() -> Vec<TestCase> {
+    vec![
+        templates::fig2_loop(),
+        gang(),
+        worker(),
+        vector(),
+        seq(),
+        independent(),
+        collapse(),
+        private(),
+    ]
+}
+
+/// `gang`: iterations shared across gangs — each element written once.
+fn gang() -> TestCase {
+    let mut body = preamble(&["A"], N);
+    body.push(init_array("A", N, |_| Expr::int(0)));
+    body.push(b::parallel_region(
+        vec![
+            AccClause::NumGangs(Expr::int(4)),
+            b::copy_sec("A", Expr::int(N)),
+        ],
+        vec![b::acc_loop(
+            vec![AccClause::Gang(None)],
+            "i",
+            Expr::int(N),
+            vec![b::add1("A", Expr::var("i"), Expr::int(1))],
+        )],
+    ));
+    body.push(check_array("A", N, |_| Expr::int(1)));
+    body.push(b::return_error_check());
+    case(
+        "loop.gang",
+        "loop.gang",
+        body,
+        cross("replace-clause:loop.gang->seq"),
+        "gang scheduling executes every iteration exactly once; seq per gang would increment \
+         once per gang",
+    )
+}
+
+/// `worker`: an explicit Fig. 4-style gang/worker nest.
+fn worker() -> TestCase {
+    let mut body = preamble(&["red"], 4);
+    body.push(init_array("red", 4, |_| Expr::int(0)));
+    body.push(b::parallel_region(
+        vec![
+            b::copy_sec("red", Expr::int(4)),
+            AccClause::NumGangs(Expr::int(4)),
+            AccClause::NumWorkers(Expr::int(4)),
+        ],
+        vec![b::acc_loop(
+            vec![AccClause::Gang(None)],
+            "i",
+            Expr::int(4),
+            vec![
+                Stmt::decl_int("t", Expr::int(0)),
+                b::acc_loop(
+                    vec![
+                        AccClause::Worker(None),
+                        AccClause::Reduction(ReductionOp::Add, vec!["t".into()]),
+                    ],
+                    "j",
+                    Expr::int(N),
+                    vec![b::add("t", Expr::int(1))],
+                ),
+                b::set1("red", Expr::var("i"), Expr::var("t")),
+            ],
+        )],
+    ));
+    body.push(check_array("red", 4, |_| Expr::int(N)));
+    body.push(b::return_error_check());
+    case(
+        "loop.worker",
+        "loop.worker",
+        body,
+        cross("remove-clause:loop.worker"),
+        "worker scheduling covers the inner space once per gang iteration",
+    )
+}
+
+/// `vector`: the innermost level, same coverage contract as worker.
+fn vector() -> TestCase {
+    let mut body = preamble(&["red"], 4);
+    body.push(init_array("red", 4, |_| Expr::int(0)));
+    body.push(b::parallel_region(
+        vec![
+            b::copy_sec("red", Expr::int(4)),
+            AccClause::NumGangs(Expr::int(4)),
+            AccClause::VectorLength(Expr::int(8)),
+        ],
+        vec![b::acc_loop(
+            vec![AccClause::Gang(None)],
+            "i",
+            Expr::int(4),
+            vec![
+                Stmt::decl_int("t", Expr::int(0)),
+                b::acc_loop(
+                    vec![
+                        AccClause::Vector(None),
+                        AccClause::Reduction(ReductionOp::Add, vec!["t".into()]),
+                    ],
+                    "j",
+                    Expr::int(N),
+                    vec![b::add("t", Expr::int(1))],
+                ),
+                b::set1("red", Expr::var("i"), Expr::var("t")),
+            ],
+        )],
+    ));
+    body.push(check_array("red", 4, |_| Expr::int(N)));
+    body.push(b::return_error_check());
+    case(
+        "loop.vector",
+        "loop.vector",
+        body,
+        cross("remove-clause:loop.vector"),
+        "vector scheduling covers the inner space once per gang iteration",
+    )
+}
+
+/// `seq` (§IV-C-2): iterations run in ascending order within each gang.
+fn seq() -> TestCase {
+    let body = vec![
+        b::decl_int("error", 0),
+        b::decl_int("is_larger", 1),
+        b::parallel_region(
+            vec![
+                AccClause::NumGangs(Expr::int(4)),
+                b::data_whole(acc_spec::ClauseKind::Copy, &["is_larger"]),
+            ],
+            vec![
+                Stmt::decl_int("last_i", Expr::int(-1)),
+                b::acc_loop(
+                    vec![AccClause::Seq],
+                    "i",
+                    Expr::int(N),
+                    vec![
+                        b::set(
+                            "is_larger",
+                            Expr::bin(
+                                BinOp::And,
+                                Expr::eq(
+                                    Expr::sub(Expr::var("i"), Expr::var("last_i")),
+                                    Expr::int(1),
+                                ),
+                                Expr::var("is_larger"),
+                            ),
+                        ),
+                        b::set("last_i", Expr::var("i")),
+                    ],
+                ),
+            ],
+        ),
+        check_eq(Expr::var("is_larger"), Expr::int(1)),
+        b::return_error_check(),
+    ];
+    case(
+        "loop.seq",
+        "loop.seq",
+        body,
+        cross("replace-clause:loop.seq->independent"),
+        "seq visits iterations in order; partitioned execution breaks the i == last_i + 1 chain",
+    )
+}
+
+/// `independent` (§IV-C-1): asserting independence on a dependent loop must
+/// produce an incorrect result (which is exactly what this test verifies).
+fn independent() -> TestCase {
+    let mut body = preamble(&["A"], N);
+    body.push(b::decl_int("mismatches", 0));
+    body.push(init_array("A", N, |_| Expr::int(0)));
+    body.push(b::parallel_region(
+        vec![
+            AccClause::NumGangs(Expr::int(4)),
+            b::copy_sec("A", Expr::int(N)),
+        ],
+        vec![Stmt::AccLoop {
+            dir: b::loop_dir(vec![AccClause::Independent]),
+            l: acc_ast::ForLoop {
+                var: "i".into(),
+                from: Expr::int(1),
+                to: Expr::int(N),
+                step: Expr::int(1),
+                body: vec![b::set1(
+                    "A",
+                    Expr::var("i"),
+                    Expr::add(
+                        Expr::idx("A", Expr::sub(Expr::var("i"), Expr::int(1))),
+                        Expr::int(1),
+                    ),
+                )],
+            },
+        }],
+    ));
+    // The loop carries a true dependence; partitioned execution must break
+    // it somewhere.
+    body.push(b::for_upto(
+        "i",
+        Expr::int(N),
+        vec![b::if_then(
+            Expr::ne(Expr::idx("A", Expr::var("i")), Expr::var("i")),
+            vec![b::add("mismatches", Expr::int(1))],
+        )],
+    ));
+    body.push(b::if_then(
+        Expr::eq(Expr::var("mismatches"), Expr::int(0)),
+        vec![b::bump_error()],
+    ));
+    body.push(b::return_error_check());
+    case(
+        "loop.independent",
+        "loop.independent",
+        body,
+        cross("replace-clause:loop.independent->seq"),
+        "independent on a dependent loop partitions it and breaks the recurrence (the paper's \
+         methodology: the incorrect result proves the clause took effect)",
+    )
+}
+
+/// `collapse(2)` over a tightly-nested 2-D loop (§IV-C-3). The 1.0 cross
+/// methodology cannot discriminate collapse by results alone (removing it
+/// preserves the value-space), so this is a functional-only test.
+fn collapse() -> TestCase {
+    let rows = 4usize;
+    let cols = 4usize;
+    let mut body = vec![
+        b::decl_int("error", 0),
+        b::decl_matrix("M", acc_ast::ScalarType::Int, rows, cols),
+    ];
+    body.push(b::for_upto(
+        "i",
+        Expr::int(rows as i64),
+        vec![b::for_upto(
+            "j",
+            Expr::int(cols as i64),
+            vec![Stmt::assign(
+                acc_ast::LValue::idx2("M", Expr::var("i"), Expr::var("j")),
+                Expr::int(0),
+            )],
+        )],
+    ));
+    body.push(b::parallel_region(
+        vec![
+            AccClause::NumGangs(Expr::int(4)),
+            b::data_whole(acc_spec::ClauseKind::Copy, &["M"]),
+        ],
+        vec![Stmt::AccLoop {
+            dir: b::loop_dir(vec![
+                AccClause::Collapse(Expr::int(2)),
+                AccClause::Gang(None),
+            ]),
+            l: acc_ast::ForLoop {
+                var: "i".into(),
+                from: Expr::int(0),
+                to: Expr::int(rows as i64),
+                step: Expr::int(1),
+                body: vec![Stmt::For(acc_ast::ForLoop {
+                    var: "j".into(),
+                    from: Expr::int(0),
+                    to: Expr::int(cols as i64),
+                    step: Expr::int(1),
+                    body: vec![Stmt::assign(
+                        acc_ast::LValue::idx2("M", Expr::var("i"), Expr::var("j")),
+                        Expr::add(Expr::mul(Expr::var("i"), Expr::int(10)), Expr::var("j")),
+                    )],
+                })],
+            },
+        }],
+    ));
+    body.push(b::for_upto(
+        "i",
+        Expr::int(rows as i64),
+        vec![b::for_upto(
+            "j",
+            Expr::int(cols as i64),
+            vec![b::if_then(
+                Expr::ne(
+                    Expr::idx2("M", Expr::var("i"), Expr::var("j")),
+                    Expr::add(Expr::mul(Expr::var("i"), Expr::int(10)), Expr::var("j")),
+                ),
+                vec![b::bump_error()],
+            )],
+        )],
+    ));
+    body.push(b::return_error_check());
+    case(
+        "loop.collapse",
+        "loop.collapse",
+        body,
+        None,
+        "collapse(2) gang covers the full flattened iteration space exactly once",
+    )
+}
+
+/// `private` on loop: per-execution-unit privacy.
+fn private() -> TestCase {
+    let mut body = preamble(&["A"], 4);
+    body.push(b::decl_int("p", 7));
+    body.push(init_array("A", 4, |_| Expr::int(-1)));
+    body.push(b::parallel_region(
+        vec![
+            AccClause::NumGangs(Expr::int(4)),
+            b::copy_sec("A", Expr::int(4)),
+        ],
+        vec![b::acc_loop(
+            vec![AccClause::Gang(None), AccClause::Private(vec!["p".into()])],
+            "i",
+            Expr::int(4),
+            vec![
+                b::if_then(
+                    Expr::eq(Expr::var("i"), Expr::int(0)),
+                    vec![b::set("p", Expr::int(42))],
+                ),
+                b::set1("A", Expr::var("i"), Expr::var("p")),
+            ],
+        )],
+    ));
+    body.push(check_eq(Expr::idx("A", Expr::int(0)), Expr::int(42)));
+    body.push(b::for_upto(
+        "i",
+        Expr::int(4),
+        vec![b::if_then(
+            Expr::bin(
+                BinOp::And,
+                Expr::bin(BinOp::Ge, Expr::var("i"), Expr::int(1)),
+                Expr::bin(
+                    BinOp::Or,
+                    Expr::eq(Expr::idx("A", Expr::var("i")), Expr::int(42)),
+                    Expr::eq(Expr::idx("A", Expr::var("i")), Expr::int(7)),
+                ),
+            ),
+            vec![b::bump_error()],
+        )],
+    ));
+    body.push(b::return_error_check());
+    case(
+        "loop.private",
+        "loop.private",
+        body,
+        cross("remove-clause:loop.private"),
+        "loop private copies are uninitialized and do not leak between units",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_validation::harness::validate_case;
+
+    #[test]
+    fn all_loop_cases_validate_against_reference() {
+        for case in cases() {
+            let problems = validate_case(&case);
+            assert!(problems.is_empty(), "{}: {problems:?}", case.name);
+        }
+    }
+
+    #[test]
+    fn area_covers_eight_features() {
+        assert_eq!(cases().len(), 8);
+    }
+}

@@ -1,0 +1,91 @@
+//! `wait` and `cache` directive tests.
+
+use crate::support::*;
+use acc_ast::builder as b;
+use acc_ast::{AccClause, DataRef, Expr, ForLoop, Stmt};
+use acc_spec::DirectiveKind;
+use acc_validation::TestCase;
+
+/// Both misc cases.
+pub fn cases() -> Vec<TestCase> {
+    vec![wait(), cache()]
+}
+
+/// Standalone `wait(tag)` blocks until the async region's deferred effects
+/// land.
+fn wait() -> TestCase {
+    let mut body = preamble(&["A"], N);
+    body.push(init_array("A", N, |_| Expr::int(0)));
+    body.push(b::parallel_region(
+        vec![
+            b::copy_sec("A", Expr::int(N)),
+            AccClause::Async(Some(Expr::int(3))),
+        ],
+        vec![b::acc_loop(
+            vec![],
+            "i",
+            Expr::int(N),
+            vec![b::add1("A", Expr::var("i"), Expr::int(1))],
+        )],
+    ));
+    body.push(b::wait(Some(Expr::int(3))));
+    body.push(check_array("A", N, |_| Expr::int(1)));
+    body.push(b::return_error_check());
+    case(
+        "wait",
+        "wait",
+        body,
+        cross("remove-directive:wait"),
+        "wait(tag) releases the async region's deferred copyout",
+    )
+}
+
+/// `cache` is a performance hint: the annotated computation must still be
+/// correct. Functional-only (a hint has no result-level cross signal).
+fn cache() -> TestCase {
+    let mut body = preamble(&["A"], N);
+    body.push(init_array("A", N, |i| i));
+    body.push(Stmt::AccLoop {
+        dir: b::with_clauses(
+            DirectiveKind::ParallelLoop,
+            vec![b::copy_sec("A", Expr::int(N))],
+        ),
+        l: ForLoop::upto(
+            "i",
+            Expr::int(N),
+            vec![
+                Stmt::AccStandalone {
+                    dir: {
+                        let mut d = acc_ast::AccDirective::new(DirectiveKind::Cache);
+                        d.cache_args = vec![DataRef::section("A", Expr::int(0), Expr::int(N))];
+                        d
+                    },
+                },
+                b::add1("A", Expr::var("i"), Expr::int(1)),
+            ],
+        ),
+    });
+    body.push(check_array("A", N, |i| Expr::add(i, Expr::int(1))));
+    body.push(b::return_error_check());
+    case(
+        "cache",
+        "cache",
+        body,
+        None,
+        "the cache hint must not change results",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_validation::harness::validate_case;
+
+    #[test]
+    fn all_misc_cases_validate_against_reference() {
+        for case in cases() {
+            let problems = validate_case(&case);
+            assert!(problems.is_empty(), "{}: {problems:?}", case.name);
+        }
+    }
+}

@@ -1,0 +1,687 @@
+//! Tests for the `parallel` construct and its clauses (§IV-A).
+
+use crate::support::*;
+use crate::templates;
+use acc_ast::builder as b;
+use acc_ast::{AccClause, Expr, ScalarType, Stmt, Type};
+use acc_spec::ClauseKind;
+use acc_validation::TestCase;
+
+/// All parallel-construct cases.
+pub fn cases() -> Vec<TestCase> {
+    vec![
+        base(),
+        templates::fig9_num_gangs(),
+        templates::fig4_num_workers(),
+        vector_length(),
+        templates::fig5_if(),
+        async_clause(),
+        reduction(),
+        private(),
+        firstprivate(),
+        copy(),
+        copyin(),
+        copyout(),
+        create(),
+        present(),
+        pcopy(),
+        pcopyin(),
+        pcopyout(),
+        pcreate(),
+        deviceptr(),
+    ]
+}
+
+/// `parallel` base test: the region body must execute on the device. Uses
+/// the Fig. 6 flag mechanism — a `create`-mapped scalar written inside the
+/// region must not change on the host.
+fn base() -> TestCase {
+    let mut body = preamble(&["A", "C"], N);
+    body.push(b::decl_int("flag", 100));
+    body.push(init_array("A", N, |i| i));
+    body.push(init_array("C", N, |_| Expr::int(0)));
+    body.push(b::data_region(
+        vec![
+            b::create_clause("flag", None),
+            b::copy_sec("A", Expr::int(N)),
+            b::copy_sec("C", Expr::int(N)),
+        ],
+        vec![b::parallel_region(
+            vec![],
+            vec![
+                b::set("flag", Expr::int(200)),
+                b::acc_loop(
+                    vec![],
+                    "j",
+                    Expr::int(N),
+                    vec![b::set1(
+                        "C",
+                        Expr::var("j"),
+                        Expr::add(Expr::idx("A", Expr::var("j")), Expr::var("flag")),
+                    )],
+                ),
+            ],
+        )],
+    ));
+    body.push(check_array("C", N, |i| Expr::add(i, Expr::int(200))));
+    body.push(check_eq(Expr::var("flag"), Expr::int(100)));
+    body.push(b::return_error_check());
+    case(
+        "parallel",
+        "parallel",
+        body,
+        cross("remove-directive:parallel"),
+        "the parallel region executes on the device: a device-resident flag write must not \
+         surface on the host",
+    )
+}
+
+/// `vector_length`: a vector loop inside a gang loop must cover the full
+/// iteration space of each gang iteration.
+fn vector_length() -> TestCase {
+    let mut body = preamble(&["red"], 4);
+    body.push(init_array("red", 4, |_| Expr::int(0)));
+    body.push(Stmt::AccBlock {
+        dir: b::parallel(vec![
+            b::copy_sec("red", Expr::int(4)),
+            AccClause::NumGangs(Expr::int(4)),
+            AccClause::VectorLength(Expr::int(8)),
+        ]),
+        body: vec![b::acc_loop(
+            vec![AccClause::Gang(None)],
+            "i",
+            Expr::int(4),
+            vec![
+                Stmt::decl_int("t", Expr::int(0)),
+                b::acc_loop(
+                    vec![
+                        AccClause::Vector(None),
+                        AccClause::Reduction(acc_spec::ReductionOp::Add, vec!["t".into()]),
+                    ],
+                    "j",
+                    Expr::int(32),
+                    vec![b::add("t", Expr::int(1))],
+                ),
+                b::set1("red", Expr::var("i"), Expr::var("t")),
+            ],
+        )],
+    });
+    body.push(check_array("red", 4, |_| Expr::int(32)));
+    body.push(b::return_error_check());
+    case(
+        "parallel.vector_length",
+        "parallel.vector_length",
+        body,
+        cross("remove-clause:loop.vector"),
+        "a vector loop inside a gang loop reduces over the whole inner space",
+    )
+}
+
+/// `async`: results must not be host-visible until the matching wait.
+fn async_clause() -> TestCase {
+    let mut body = preamble(&["A"], N);
+    body.push(init_array("A", N, |_| Expr::int(0)));
+    body.push(b::parallel_region(
+        vec![
+            b::copy_sec("A", Expr::int(N)),
+            AccClause::Async(Some(Expr::int(1))),
+        ],
+        vec![b::acc_loop(
+            vec![],
+            "i",
+            Expr::int(N),
+            vec![b::add1("A", Expr::var("i"), Expr::int(1))],
+        )],
+    ));
+    // Before the wait, the deferred copyout must not have landed.
+    body.push(check_eq(Expr::idx("A", Expr::int(0)), Expr::int(0)));
+    body.push(b::wait(Some(Expr::int(1))));
+    body.push(check_array("A", N, |_| Expr::int(1)));
+    body.push(b::return_error_check());
+    case(
+        "parallel.async",
+        "parallel.async",
+        body,
+        cross("remove-clause:parallel.async"),
+        "async region results become visible only after wait",
+    )
+}
+
+/// Region-level `reduction` with a constant gang count.
+fn reduction() -> TestCase {
+    let body = vec![
+        b::decl_int("error", 0),
+        b::decl_int("gang_num", 0),
+        b::parallel_region(
+            vec![
+                AccClause::NumGangs(Expr::int(8)),
+                AccClause::Reduction(acc_spec::ReductionOp::Add, vec!["gang_num".into()]),
+            ],
+            vec![b::add("gang_num", Expr::int(1))],
+        ),
+        check_eq(Expr::var("gang_num"), Expr::int(8)),
+        b::return_error_check(),
+    ];
+    case(
+        "parallel.reduction",
+        "parallel.reduction",
+        body,
+        cross("remove-clause:parallel.reduction"),
+        "each gang contributes once to the region reduction",
+    )
+}
+
+/// `private`: gang 0 writes the private copy; other gangs must not observe
+/// it (nor the host value).
+fn private() -> TestCase {
+    let mut body = preamble(&["A"], 4);
+    body.push(b::decl_int("p", 7));
+    body.push(init_array("A", 4, |_| Expr::int(-1)));
+    body.push(b::parallel_region(
+        vec![
+            AccClause::NumGangs(Expr::int(4)),
+            AccClause::Private(vec!["p".into()]),
+            b::copy_sec("A", Expr::int(4)),
+        ],
+        vec![b::acc_loop(
+            vec![AccClause::Gang(None)],
+            "i",
+            Expr::int(4),
+            vec![
+                b::if_then(
+                    Expr::eq(Expr::var("i"), Expr::int(0)),
+                    vec![b::set("p", Expr::int(42))],
+                ),
+                b::set1("A", Expr::var("i"), Expr::var("p")),
+            ],
+        )],
+    ));
+    // Gang 0 saw its own write; the others saw neither 42 (leak across
+    // gangs) nor 7 (host value — that would be firstprivate).
+    body.push(check_eq(Expr::idx("A", Expr::int(0)), Expr::int(42)));
+    body.push(b::for_upto(
+        "i",
+        Expr::int(4),
+        vec![b::if_then(
+            Expr::bin(
+                acc_ast::BinOp::And,
+                Expr::bin(acc_ast::BinOp::Ge, Expr::var("i"), Expr::int(1)),
+                Expr::bin(
+                    acc_ast::BinOp::Or,
+                    Expr::eq(Expr::idx("A", Expr::var("i")), Expr::int(42)),
+                    Expr::eq(Expr::idx("A", Expr::var("i")), Expr::int(7)),
+                ),
+            ),
+            vec![b::bump_error()],
+        )],
+    ));
+    body.push(b::return_error_check());
+    case(
+        "parallel.private",
+        "parallel.private",
+        body,
+        cross("replace-clause:parallel.private->firstprivate"),
+        "private copies are per gang and uninitialized",
+    )
+}
+
+/// `firstprivate`: copies initialized from the host value.
+fn firstprivate() -> TestCase {
+    let mut body = preamble(&["A"], 4);
+    body.push(b::decl_int("fp", 7));
+    body.push(init_array("A", 4, |_| Expr::int(0)));
+    body.push(b::parallel_region(
+        vec![
+            AccClause::NumGangs(Expr::int(4)),
+            AccClause::Firstprivate(vec!["fp".into()]),
+            b::copy_sec("A", Expr::int(4)),
+        ],
+        vec![b::acc_loop(
+            vec![AccClause::Gang(None)],
+            "i",
+            Expr::int(4),
+            vec![b::set1(
+                "A",
+                Expr::var("i"),
+                Expr::add(Expr::var("fp"), Expr::var("i")),
+            )],
+        )],
+    ));
+    body.push(check_array("A", 4, |i| Expr::add(Expr::int(7), i)));
+    body.push(b::return_error_check());
+    case(
+        "parallel.firstprivate",
+        "parallel.firstprivate",
+        body,
+        cross("replace-clause:parallel.firstprivate->private"),
+        "firstprivate copies start from the host value in every gang",
+    )
+}
+
+/// `copy`: in at entry, out at exit.
+fn copy() -> TestCase {
+    let mut body = preamble(&["A"], N);
+    body.push(init_array("A", N, |i| i));
+    body.push(b::parallel_region(
+        vec![b::copy_sec("A", Expr::int(N))],
+        vec![b::acc_loop(
+            vec![],
+            "i",
+            Expr::int(N),
+            vec![b::set1(
+                "A",
+                Expr::var("i"),
+                Expr::mul(Expr::idx("A", Expr::var("i")), Expr::int(2)),
+            )],
+        )],
+    ));
+    body.push(check_array("A", N, |i| Expr::mul(i, Expr::int(2))));
+    body.push(b::return_error_check());
+    case(
+        "parallel.copy",
+        "parallel.copy",
+        body,
+        cross("replace-clause:parallel.copy->create"),
+        "copy transfers host values in and computed values out",
+    )
+}
+
+/// `copyin`: in at entry only — device-side destruction must not surface.
+fn copyin() -> TestCase {
+    let mut body = preamble(&["A", "B"], N);
+    body.push(init_array("A", N, |i| i));
+    body.push(init_array("B", N, |_| Expr::int(0)));
+    body.push(b::parallel_region(
+        vec![
+            b::copyin_sec("A", Expr::int(N)),
+            b::copy_sec("B", Expr::int(N)),
+        ],
+        vec![b::acc_loop(
+            vec![],
+            "i",
+            Expr::int(N),
+            vec![
+                b::set1(
+                    "B",
+                    Expr::var("i"),
+                    Expr::mul(Expr::idx("A", Expr::var("i")), Expr::int(2)),
+                ),
+                b::set1("A", Expr::var("i"), Expr::int(0)),
+            ],
+        )],
+    ));
+    body.push(check_array("B", N, |i| Expr::mul(i, Expr::int(2))));
+    body.push(check_array("A", N, |i| i));
+    body.push(b::return_error_check());
+    case(
+        "parallel.copyin",
+        "parallel.copyin",
+        body,
+        cross("replace-clause:parallel.copyin->copy"),
+        "copyin values reach the device but device writes never come back",
+    )
+}
+
+/// `copyout`: out at exit only; device copy starts uninitialized.
+fn copyout() -> TestCase {
+    let mut body = preamble(&["A", "B"], N);
+    body.push(b::decl_int("sc", 5));
+    body.push(init_array("A", N, |i| i));
+    body.push(init_array("B", N, |_| Expr::int(-5)));
+    // The scalar in the copyout list distinguishes an honored clause from
+    // the implicit mapping rule (which would leave the scalar per-gang).
+    let mut copyout_refs = vec![acc_ast::DataRef::section("B", Expr::int(0), Expr::int(N))];
+    copyout_refs.push(acc_ast::DataRef::whole("sc"));
+    body.push(b::parallel_region(
+        vec![
+            b::copyin_sec("A", Expr::int(N)),
+            AccClause::Data(ClauseKind::Copyout, copyout_refs),
+        ],
+        vec![
+            b::set("sc", Expr::int(9)),
+            b::acc_loop(
+                vec![],
+                "i",
+                Expr::int(N),
+                vec![b::set1(
+                    "B",
+                    Expr::var("i"),
+                    Expr::add(Expr::idx("A", Expr::var("i")), Expr::int(1)),
+                )],
+            ),
+        ],
+    ));
+    body.push(check_array("B", N, |i| Expr::add(i, Expr::int(1))));
+    body.push(check_eq(Expr::var("sc"), Expr::int(9)));
+    body.push(b::return_error_check());
+    case(
+        "parallel.copyout",
+        "parallel.copyout",
+        body,
+        cross("replace-clause:parallel.copyout->create"),
+        "copyout returns every computed element",
+    )
+}
+
+/// `create`: device scratch storage, never transferred.
+fn create() -> TestCase {
+    let mut body = preamble(&["A", "B", "T"], N);
+    body.push(init_array("A", N, |i| i));
+    body.push(init_array("B", N, |_| Expr::int(0)));
+    body.push(init_array("T", N, |_| Expr::int(-5)));
+    body.push(b::parallel_region(
+        vec![
+            b::create_clause("T", Some(Expr::int(N))),
+            b::copyin_sec("A", Expr::int(N)),
+            b::copyout_sec("B", Expr::int(N)),
+        ],
+        vec![
+            b::acc_loop(
+                vec![],
+                "i",
+                Expr::int(N),
+                vec![b::set1(
+                    "T",
+                    Expr::var("i"),
+                    Expr::mul(Expr::idx("A", Expr::var("i")), Expr::int(3)),
+                )],
+            ),
+            b::acc_loop(
+                vec![],
+                "i",
+                Expr::int(N),
+                vec![b::set1(
+                    "B",
+                    Expr::var("i"),
+                    Expr::add(Expr::idx("T", Expr::var("i")), Expr::int(1)),
+                )],
+            ),
+        ],
+    ));
+    body.push(check_array("B", N, |i| {
+        Expr::add(Expr::mul(i, Expr::int(3)), Expr::int(1))
+    }));
+    body.push(check_array("T", N, |_| Expr::int(-5)));
+    body.push(b::return_error_check());
+    case(
+        "parallel.create",
+        "parallel.create",
+        body,
+        cross("replace-clause:parallel.create->copy"),
+        "create allocates device scratch without any transfer",
+    )
+}
+
+/// `present`: data placed by an enclosing data region must be found.
+fn present() -> TestCase {
+    let mut body = preamble(&["A", "B"], N);
+    body.push(init_array("A", N, |i| i));
+    body.push(init_array("B", N, |_| Expr::int(0)));
+    body.push(b::data_region(
+        vec![
+            b::copyin_sec("A", Expr::int(N)),
+            b::copyout_sec("B", Expr::int(N)),
+        ],
+        vec![b::parallel_region(
+            vec![b::data_whole(ClauseKind::Present, &["A", "B"])],
+            vec![b::acc_loop(
+                vec![],
+                "i",
+                Expr::int(N),
+                vec![b::set1(
+                    "B",
+                    Expr::var("i"),
+                    Expr::mul(Expr::idx("A", Expr::var("i")), Expr::int(2)),
+                )],
+            )],
+        )],
+    ));
+    body.push(check_array("B", N, |i| Expr::mul(i, Expr::int(2))));
+    body.push(b::return_error_check());
+    case(
+        "parallel.present",
+        "parallel.present",
+        body,
+        cross("remove-directive:data"),
+        "present finds data mapped by the enclosing data region (and crashes without it)",
+    )
+}
+
+/// `present_or_copy`: the present path must win when the data is mapped.
+fn pcopy() -> TestCase {
+    let mut body = preamble(&["A"], N);
+    body.push(init_array("A", N, |i| i));
+    body.push(b::data_region(
+        vec![b::copyin_sec("A", Expr::int(N))],
+        vec![b::parallel_region(
+            vec![AccClause::Data(
+                ClauseKind::PresentOrCopy,
+                vec![acc_ast::DataRef::section("A", Expr::int(0), Expr::int(N))],
+            )],
+            vec![b::acc_loop(
+                vec![],
+                "i",
+                Expr::int(N),
+                vec![b::add1("A", Expr::var("i"), Expr::int(1))],
+            )],
+        )],
+    ));
+    // Present hit → the outer copyin owns the data → no copy-back.
+    body.push(check_array("A", N, |i| i));
+    body.push(b::return_error_check());
+    case(
+        "parallel.present_or_copy",
+        "parallel.present_or_copy",
+        body,
+        cross("remove-directive:data"),
+        "pcopy reuses present data; removing the data region exposes the copy fallback",
+    )
+}
+
+/// `present_or_copyin`: a miss must upload the CURRENT host values.
+fn pcopyin() -> TestCase {
+    let mut body = preamble(&["A", "B"], N);
+    body.push(init_array("A", N, |i| i));
+    body.push(init_array("B", N, |_| Expr::int(0)));
+    body.push(b::parallel_region(
+        vec![
+            AccClause::Data(
+                ClauseKind::PresentOrCopyin,
+                vec![acc_ast::DataRef::section("A", Expr::int(0), Expr::int(N))],
+            ),
+            b::copy_sec("B", Expr::int(N)),
+        ],
+        vec![b::acc_loop(
+            vec![],
+            "i",
+            Expr::int(N),
+            vec![
+                b::set1("B", Expr::var("i"), Expr::idx("A", Expr::var("i"))),
+                b::set1("A", Expr::var("i"), Expr::int(0)),
+            ],
+        )],
+    ));
+    body.push(check_array("B", N, |i| i));
+    body.push(check_array("A", N, |i| i));
+    body.push(b::return_error_check());
+    case(
+        "parallel.present_or_copyin",
+        "parallel.present_or_copyin",
+        body,
+        cross("replace-clause:parallel.present_or_copyin->present_or_copy"),
+        "pcopyin uploads on a miss and never copies back",
+    )
+}
+
+/// `present_or_copyout`: a miss must copy the computed values out.
+fn pcopyout() -> TestCase {
+    let mut body = preamble(&["B"], N);
+    body.push(b::decl_int("sc", 5));
+    body.push(init_array("B", N, |_| Expr::int(-5)));
+    body.push(b::parallel_region(
+        vec![AccClause::Data(
+            ClauseKind::PresentOrCopyout,
+            vec![
+                acc_ast::DataRef::section("B", Expr::int(0), Expr::int(N)),
+                acc_ast::DataRef::whole("sc"),
+            ],
+        )],
+        vec![
+            b::set("sc", Expr::int(9)),
+            b::acc_loop(
+                vec![],
+                "i",
+                Expr::int(N),
+                vec![b::set1(
+                    "B",
+                    Expr::var("i"),
+                    Expr::mul(Expr::var("i"), Expr::int(4)),
+                )],
+            ),
+        ],
+    ));
+    body.push(check_array("B", N, |i| Expr::mul(i, Expr::int(4))));
+    body.push(check_eq(Expr::var("sc"), Expr::int(9)));
+    body.push(b::return_error_check());
+    case(
+        "parallel.present_or_copyout",
+        "parallel.present_or_copyout",
+        body,
+        cross("replace-clause:parallel.present_or_copyout->present_or_create"),
+        "pcopyout copies computed values back on a miss",
+    )
+}
+
+/// `present_or_create`: scratch that must stay device-only.
+fn pcreate() -> TestCase {
+    let mut body = preamble(&["A", "B", "T"], N);
+    body.push(init_array("A", N, |i| i));
+    body.push(init_array("B", N, |_| Expr::int(0)));
+    body.push(init_array("T", N, |_| Expr::int(-5)));
+    body.push(b::parallel_region(
+        vec![
+            AccClause::Data(
+                ClauseKind::PresentOrCreate,
+                vec![acc_ast::DataRef::section("T", Expr::int(0), Expr::int(N))],
+            ),
+            b::copyin_sec("A", Expr::int(N)),
+            b::copyout_sec("B", Expr::int(N)),
+        ],
+        vec![
+            b::acc_loop(
+                vec![],
+                "i",
+                Expr::int(N),
+                vec![b::set1(
+                    "T",
+                    Expr::var("i"),
+                    Expr::add(Expr::idx("A", Expr::var("i")), Expr::int(9)),
+                )],
+            ),
+            b::acc_loop(
+                vec![],
+                "i",
+                Expr::int(N),
+                vec![b::set1("B", Expr::var("i"), Expr::idx("T", Expr::var("i")))],
+            ),
+        ],
+    ));
+    body.push(check_array("B", N, |i| Expr::add(i, Expr::int(9))));
+    body.push(check_array("T", N, |_| Expr::int(-5)));
+    body.push(b::return_error_check());
+    case(
+        "parallel.present_or_create",
+        "parallel.present_or_create",
+        body,
+        cross("replace-clause:parallel.present_or_create->present_or_copy"),
+        "pcreate allocates device-only scratch on a miss",
+    )
+}
+
+/// `deviceptr` with `acc_malloc` (§IV-B-5). C only — 1.0 has no Fortran
+/// binding for the memory routines.
+fn deviceptr() -> TestCase {
+    let n = N;
+    let body = vec![
+        b::decl_int("error", 0),
+        b::decl_array("A", ScalarType::Float, n as usize),
+        b::decl_array("B", ScalarType::Float, n as usize),
+        Stmt::DeclScalar {
+            name: "p".into(),
+            ty: Type::Ptr(ScalarType::Float),
+            init: Some(Expr::call(
+                "acc_malloc",
+                vec![Expr::mul(Expr::int(n), Expr::SizeOf(ScalarType::Float))],
+            )),
+        },
+        init_array("A", n, |i| i),
+        init_array("B", n, |_| Expr::int(0)),
+        b::parallel_region(
+            vec![
+                AccClause::Deviceptr(vec!["p".into()]),
+                b::copyin_sec("A", Expr::int(n)),
+            ],
+            vec![b::acc_loop(
+                vec![],
+                "i",
+                Expr::int(n),
+                vec![b::set1(
+                    "p",
+                    Expr::var("i"),
+                    Expr::add(Expr::idx("A", Expr::var("i")), Expr::int(1)),
+                )],
+            )],
+        ),
+        b::parallel_region(
+            vec![
+                AccClause::Deviceptr(vec!["p".into()]),
+                b::copyout_sec("B", Expr::int(n)),
+            ],
+            vec![b::acc_loop(
+                vec![],
+                "i",
+                Expr::int(n),
+                vec![b::set1("B", Expr::var("i"), Expr::idx("p", Expr::var("i")))],
+            )],
+        ),
+        Stmt::Call {
+            name: "acc_free".into(),
+            args: vec![Expr::var("p")],
+        },
+        check_array("B", n, |i| Expr::add(i, Expr::int(1))),
+        b::return_error_check(),
+    ];
+    case(
+        "parallel.deviceptr",
+        "parallel.deviceptr",
+        body,
+        cross("remove-clause:parallel.deviceptr"),
+        "deviceptr exposes acc_malloc memory to kernels; without it the pointer faults",
+    )
+    .c_only()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_validation::harness::validate_case;
+
+    #[test]
+    fn all_parallel_cases_validate_against_reference() {
+        for case in cases() {
+            let problems = validate_case(&case);
+            assert!(problems.is_empty(), "{}: {problems:?}", case.name);
+        }
+    }
+
+    #[test]
+    fn deviceptr_is_c_only() {
+        let c = deviceptr();
+        assert_eq!(c.languages, vec![acc_spec::Language::C]);
+    }
+
+    #[test]
+    fn area_covers_nineteen_features() {
+        assert_eq!(cases().len(), 19);
+    }
+}

@@ -1,0 +1,302 @@
+//! The reduction battery (§IV-C-4): every reduction operator crossed with
+//! every operand type it is defined on — 21 generated tests (6 general
+//! operators × 3 types, plus 3 integer-only bitwise operators).
+//!
+//! Operand values are chosen to be exact in binary floating point, so the
+//! per-gang partial combination order cannot introduce rounding differences;
+//! the float/double add/mul variants still compare under a rounding
+//! tolerance, following the paper's Fig. 7 methodology. The `add.float`
+//! variant is the Fig. 7 template itself.
+
+use crate::support::*;
+use crate::templates;
+use acc_ast::builder as b;
+use acc_ast::{AccClause, BinOp, Expr, LValue, ScalarType, Stmt, Type};
+use acc_spec::ReductionOp;
+use acc_validation::TestCase;
+
+/// Iteration count of every reduction loop.
+const COUNT: i64 = 16;
+
+/// All 21 reduction cases.
+pub fn cases() -> Vec<TestCase> {
+    let mut out = Vec::new();
+    for op in ReductionOp::ALL {
+        let types: &[ScalarType] = if op.integer_only() {
+            &[ScalarType::Int]
+        } else {
+            &[ScalarType::Int, ScalarType::Float, ScalarType::Double]
+        };
+        for &ty in types {
+            if op == ReductionOp::Add && ty == ScalarType::Float {
+                out.push(templates::fig7_reduction_float());
+            } else {
+                out.push(reduction_case(op, ty));
+            }
+        }
+    }
+    out
+}
+
+fn lit(ty: ScalarType, v: f64) -> Expr {
+    match ty {
+        ScalarType::Int => Expr::int(v as i64),
+        _ => Expr::Real(v, ty),
+    }
+}
+
+/// Initial accumulator value — chosen so it differs from the expected
+/// result (the removal cross test must observe the untouched initial).
+fn initial(op: ReductionOp, ty: ScalarType) -> Expr {
+    let v = match op {
+        ReductionOp::Add => -3.0,
+        ReductionOp::Mul => 1.0,
+        ReductionOp::Max => -100000.0,
+        ReductionOp::Min => 100000.0,
+        ReductionOp::LogicalAnd => 1.0,
+        ReductionOp::LogicalOr => 0.0,
+        ReductionOp::BitAnd => -1.0, // all bits set
+        ReductionOp::BitOr => 0.0,
+        ReductionOp::BitXor => 0.0,
+    };
+    lit(ty, v)
+}
+
+/// The per-iteration operand `V[i]`, as initialization statements. Several
+/// operators override `V[0]` with a distinguished value so that a defective
+/// combiner that drops one execution unit's contribution (the catalogued
+/// WrongReduction wrong-code shape) is always observable.
+fn operand_init(op: ReductionOp, ty: ScalarType) -> Vec<Stmt> {
+    let override0 = |v: f64| b::set1("V", Expr::int(0), lit(ty, v));
+    let base = operand_loop(op, ty);
+    match op {
+        ReductionOp::Max => vec![
+            base,
+            override0(if ty == ScalarType::Int { 9999.0 } else { 99.5 }),
+        ],
+        ReductionOp::Min => vec![
+            base,
+            override0(if ty == ScalarType::Int {
+                -9999.0
+            } else {
+                -99.5
+            }),
+        ],
+        ReductionOp::LogicalAnd => vec![base, override0(0.0)],
+        ReductionOp::LogicalOr => vec![base, override0(1.0)],
+        ReductionOp::BitAnd => vec![base, override0(240.0)],
+        ReductionOp::BitOr => vec![base, override0(1024.0)],
+        _ => vec![base],
+    }
+}
+
+fn operand_loop(op: ReductionOp, ty: ScalarType) -> Stmt {
+    let i = || Expr::var("i");
+    let set = |e: Expr| b::set1("V", Expr::var("i"), e);
+    match op {
+        // add: V[i] = i + 0.5 (float) / i + 1 (int) — sums are exact.
+        ReductionOp::Add => match ty {
+            ScalarType::Int => b::for_upto(
+                "i",
+                Expr::int(COUNT),
+                vec![set(Expr::add(i(), Expr::int(1)))],
+            ),
+            _ => b::for_upto(
+                "i",
+                Expr::int(COUNT),
+                vec![set(Expr::add(i(), lit(ty, 0.5)))],
+            ),
+        },
+        // mul: three 2s (float: exact powers of two), rest neutral.
+        ReductionOp::Mul => b::for_upto(
+            "i",
+            Expr::int(COUNT),
+            vec![Stmt::If {
+                cond: Expr::lt(i(), Expr::int(3)),
+                then_body: vec![set(lit(ty, 2.0))],
+                else_body: vec![set(lit(ty, 1.0))],
+            }],
+        ),
+        // max/min: a pseudo-random ramp.
+        ReductionOp::Max | ReductionOp::Min => match ty {
+            ScalarType::Int => b::for_upto(
+                "i",
+                Expr::int(COUNT),
+                vec![set(Expr::bin(
+                    BinOp::Rem,
+                    Expr::mul(i(), Expr::int(7)),
+                    Expr::int(13),
+                ))],
+            ),
+            _ => b::for_upto(
+                "i",
+                Expr::int(COUNT),
+                vec![set(Expr::sub(i(), lit(ty, 7.5)))],
+            ),
+        },
+        // logical and: all true (V[0] overridden to false).
+        ReductionOp::LogicalAnd => b::for_upto("i", Expr::int(COUNT), vec![set(lit(ty, 1.0))]),
+        // logical or: all false (V[0] overridden to true).
+        ReductionOp::LogicalOr => b::for_upto("i", Expr::int(COUNT), vec![set(lit(ty, 0.0))]),
+        // bitwise patterns.
+        ReductionOp::BitAnd => b::for_upto(
+            "i",
+            Expr::int(COUNT),
+            vec![set(Expr::sub(
+                Expr::int(255),
+                Expr::bin(BinOp::Rem, i(), Expr::int(3)),
+            ))],
+        ),
+        ReductionOp::BitOr => b::for_upto(
+            "i",
+            Expr::int(COUNT),
+            vec![set(Expr::bin(
+                BinOp::Rem,
+                Expr::mul(i(), Expr::int(17)),
+                Expr::int(256),
+            ))],
+        ),
+        ReductionOp::BitXor => b::for_upto(
+            "i",
+            Expr::int(COUNT),
+            vec![set(Expr::bin(
+                BinOp::Rem,
+                Expr::mul(i(), i()),
+                Expr::int(61),
+            ))],
+        ),
+    }
+}
+
+/// `acc = acc <op> V[i]` in the surface syntax for the operator.
+fn combine_stmt(op: ReductionOp, acc: &str) -> Stmt {
+    let v = Expr::idx("V", Expr::var("i"));
+    let a = Expr::var(acc);
+    let rhs = match op {
+        ReductionOp::Add => Expr::add(a, v),
+        ReductionOp::Mul => Expr::mul(a, v),
+        ReductionOp::Max => Expr::call("max", vec![a, v]),
+        ReductionOp::Min => Expr::call("min", vec![a, v]),
+        ReductionOp::LogicalAnd => Expr::bin(BinOp::And, a, v),
+        ReductionOp::LogicalOr => Expr::bin(BinOp::Or, a, v),
+        ReductionOp::BitAnd => Expr::bin(BinOp::BitAnd, a, v),
+        ReductionOp::BitOr => Expr::bin(BinOp::BitOr, a, v),
+        ReductionOp::BitXor => Expr::bin(BinOp::BitXor, a, v),
+    };
+    Stmt::assign(LValue::var(acc), rhs)
+}
+
+fn reduction_case(op: ReductionOp, ty: ScalarType) -> TestCase {
+    let name = format!("loop.reduction.{}.{}", op.ident(), ty.ident());
+    let mut body = vec![
+        b::decl_int("error", 0),
+        Stmt::DeclScalar {
+            name: "sum".into(),
+            ty: Type::Scalar(ty),
+            init: Some(initial(op, ty)),
+        },
+        Stmt::DeclScalar {
+            name: "expected".into(),
+            ty: Type::Scalar(ty),
+            init: Some(initial(op, ty)),
+        },
+        Stmt::DeclArray {
+            name: "V".into(),
+            elem: ty,
+            dims: vec![COUNT as usize],
+        },
+    ];
+    body.extend(operand_init(op, ty));
+    // Host reference computation.
+    body.push(b::for_upto(
+        "i",
+        Expr::int(COUNT),
+        vec![combine_stmt(op, "expected")],
+    ));
+    // Device reduction (the Fig. 7 combined-construct shape).
+    body.push(b::kernels_loop(
+        vec![
+            AccClause::Reduction(op, vec!["sum".into()]),
+            b::copyin_sec("V", Expr::int(COUNT)),
+        ],
+        "i",
+        Expr::int(COUNT),
+        vec![combine_stmt(op, "sum")],
+    ));
+    // Comparison: tolerance for inexact-prone float add/mul, equality
+    // otherwise (operands are exact in binary).
+    let needs_tolerance = ty.is_float() && matches!(op, ReductionOp::Add | ReductionOp::Mul);
+    if needs_tolerance {
+        let fabs = if ty == ScalarType::Float {
+            "fabsf"
+        } else {
+            "fabs"
+        };
+        body.push(b::if_then(
+            Expr::bin(
+                BinOp::Gt,
+                Expr::call(
+                    fabs,
+                    vec![Expr::sub(Expr::var("sum"), Expr::var("expected"))],
+                ),
+                Expr::Real(1e-4, ty),
+            ),
+            vec![b::bump_error()],
+        ));
+    } else {
+        body.push(check_eq(Expr::var("sum"), Expr::var("expected")));
+    }
+    body.push(b::return_error_check());
+    case(
+        &name,
+        &name,
+        body,
+        cross("remove-clause:kernels_loop.reduction"),
+        &format!(
+            "reduction({}:…) over {} operands matches the sequential host result",
+            op.c_symbol(),
+            ty.c_name()
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_validation::harness::validate_case;
+
+    #[test]
+    fn battery_has_21_variants() {
+        assert_eq!(cases().len(), 21);
+    }
+
+    #[test]
+    fn all_reduction_cases_validate_against_reference() {
+        for case in cases() {
+            let problems = validate_case(&case);
+            assert!(problems.is_empty(), "{}: {problems:?}", case.name);
+        }
+    }
+
+    #[test]
+    fn expected_differs_from_initial() {
+        // The removal cross test relies on the untouched initial value being
+        // observably different from the expected reduction result. Verify by
+        // running the cross variant under the reference compiler: it must
+        // return 0.
+        use acc_compiler::VendorCompiler;
+        let reference = VendorCompiler::reference();
+        for case in cases() {
+            let src = case.cross_source_for(acc_spec::Language::C).unwrap();
+            let exe = reference
+                .compile(&src, acc_spec::Language::C)
+                .unwrap_or_else(|e| panic!("{}: {e}", case.name));
+            let out = exe.run().outcome;
+            assert!(
+                matches!(out, acc_compiler::RunOutcome::Completed(0)),
+                "{}: cross must observe the initial value, got {out:?}",
+                case.name
+            );
+        }
+    }
+}

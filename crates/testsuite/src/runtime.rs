@@ -1,0 +1,458 @@
+//! Runtime-library routine tests (§3 of the 1.0 specification).
+//!
+//! Most routine tests are functional-only — there is no directive to remove
+//! — except the asynchronous family, whose tests carry a removable `async`
+//! clause (Fig. 10).
+
+use crate::support::*;
+use crate::templates;
+use acc_ast::builder as b;
+use acc_ast::{AccClause, Expr, LValue, ScalarType, Stmt, Type};
+use acc_validation::TestCase;
+
+/// All fourteen runtime-routine cases.
+pub fn cases() -> Vec<TestCase> {
+    vec![
+        get_num_devices(),
+        set_device_type(),
+        get_device_type(),
+        set_device_num(),
+        get_device_num(),
+        templates::fig10_async_test(),
+        async_test_all(),
+        async_wait(),
+        async_wait_all(),
+        init(),
+        shutdown(),
+        on_device(),
+        malloc(),
+        free(),
+    ]
+}
+
+fn rt_case(name: &str, body: Vec<Stmt>, desc: &str) -> TestCase {
+    case(name, name, body, None, desc)
+}
+
+fn get_num_devices() -> TestCase {
+    let body = vec![
+        b::decl_int("error", 0),
+        Stmt::decl_int(
+            "n",
+            Expr::call(
+                "acc_get_num_devices",
+                vec![Expr::var("acc_device_not_host")],
+            ),
+        ),
+        b::if_then(
+            Expr::bin(acc_ast::BinOp::Lt, Expr::var("n"), Expr::int(1)),
+            vec![b::bump_error()],
+        ),
+        b::if_then(
+            Expr::bin(acc_ast::BinOp::Gt, Expr::var("n"), Expr::int(16)),
+            vec![b::bump_error()],
+        ),
+        b::return_error_check(),
+    ];
+    rt_case(
+        "rt.acc_get_num_devices",
+        body,
+        "a plausible accelerator count (at least one attached device)",
+    )
+}
+
+fn set_device_type() -> TestCase {
+    let body = vec![
+        b::decl_int("error", 0),
+        b::decl_int("t", 0),
+        Stmt::Call {
+            name: "acc_set_device_type".into(),
+            args: vec![Expr::var("acc_device_host")],
+        },
+        b::set("t", Expr::call("acc_get_device_type", vec![])),
+        check_eq(Expr::var("t"), Expr::var("acc_device_host")),
+        b::return_error_check(),
+    ];
+    rt_case(
+        "rt.acc_set_device_type",
+        body,
+        "selecting the host device type must be observable through the getter",
+    )
+}
+
+fn get_device_type() -> TestCase {
+    // §V-C / Fig. 12: after selecting not_host, the concrete type returned
+    // is implementation-defined — but it must be an accelerator.
+    let body = vec![
+        b::decl_int("error", 0),
+        b::decl_int("t", 0),
+        Stmt::Call {
+            name: "acc_set_device_type".into(),
+            args: vec![Expr::var("acc_device_not_host")],
+        },
+        b::set("t", Expr::call("acc_get_device_type", vec![])),
+        check_ne(Expr::var("t"), Expr::var("acc_device_host")),
+        check_ne(Expr::var("t"), Expr::var("acc_device_none")),
+        b::return_error_check(),
+    ];
+    rt_case(
+        "rt.acc_get_device_type",
+        body,
+        "after selecting not_host the reported type is implementation-defined but never host/none \
+         (Fig. 12)",
+    )
+}
+
+fn set_device_num() -> TestCase {
+    let body = vec![
+        b::decl_int("error", 0),
+        b::decl_int("n", -1),
+        Stmt::Call {
+            name: "acc_set_device_num".into(),
+            args: vec![Expr::int(0), Expr::var("acc_device_not_host")],
+        },
+        b::set(
+            "n",
+            Expr::call("acc_get_device_num", vec![Expr::var("acc_device_not_host")]),
+        ),
+        check_eq(Expr::var("n"), Expr::int(0)),
+        b::return_error_check(),
+    ];
+    rt_case(
+        "rt.acc_set_device_num",
+        body,
+        "device selection round-trips through the getter",
+    )
+}
+
+fn get_device_num() -> TestCase {
+    let body = vec![
+        b::decl_int("error", 0),
+        Stmt::decl_int(
+            "n",
+            Expr::call("acc_get_device_num", vec![Expr::var("acc_device_not_host")]),
+        ),
+        b::if_then(
+            Expr::bin(acc_ast::BinOp::Lt, Expr::var("n"), Expr::int(0)),
+            vec![b::bump_error()],
+        ),
+        b::return_error_check(),
+    ];
+    rt_case(
+        "rt.acc_get_device_num",
+        body,
+        "the current device number is non-negative",
+    )
+}
+
+fn async_test_all() -> TestCase {
+    let mut body = preamble(&["A"], 64);
+    body.push(b::decl_int("is_sync", -1));
+    body.push(init_array("A", 64, |_| Expr::int(0)));
+    body.push(b::parallel_region(
+        vec![
+            b::copy_sec("A", Expr::int(64)),
+            AccClause::Async(Some(Expr::int(9))),
+        ],
+        vec![b::acc_loop(
+            vec![],
+            "i",
+            Expr::int(64),
+            vec![b::add1("A", Expr::var("i"), Expr::int(1))],
+        )],
+    ));
+    body.push(b::set("is_sync", Expr::call("acc_async_test_all", vec![])));
+    body.push(check_eq(Expr::var("is_sync"), Expr::int(0)));
+    body.push(b::wait(None));
+    body.push(b::set("is_sync", Expr::call("acc_async_test_all", vec![])));
+    body.push(check_ne(Expr::var("is_sync"), Expr::int(0)));
+    body.push(check_array("A", 64, |_| Expr::int(1)));
+    body.push(b::return_error_check());
+    case(
+        "rt.acc_async_test_all",
+        "rt.acc_async_test_all",
+        body,
+        cross("remove-clause:parallel.async"),
+        "acc_async_test_all observes pending work, then completion after wait",
+    )
+}
+
+fn async_wait() -> TestCase {
+    let mut body = preamble(&["A"], N);
+    body.push(init_array("A", N, |_| Expr::int(0)));
+    body.push(b::parallel_region(
+        vec![
+            b::copy_sec("A", Expr::int(N)),
+            AccClause::Async(Some(Expr::int(5))),
+        ],
+        vec![b::acc_loop(
+            vec![],
+            "i",
+            Expr::int(N),
+            vec![b::add1("A", Expr::var("i"), Expr::int(1))],
+        )],
+    ));
+    // Not yet visible before the wait…
+    body.push(check_eq(Expr::idx("A", Expr::int(0)), Expr::int(0)));
+    body.push(Stmt::Call {
+        name: "acc_async_wait".into(),
+        args: vec![Expr::int(5)],
+    });
+    body.push(check_array("A", N, |_| Expr::int(1)));
+    body.push(b::return_error_check());
+    case(
+        "rt.acc_async_wait",
+        "rt.acc_async_wait",
+        body,
+        cross("remove-clause:parallel.async"),
+        "acc_async_wait blocks until the tagged activity completes",
+    )
+}
+
+fn async_wait_all() -> TestCase {
+    let mut body = preamble(&["A", "B"], N);
+    body.push(init_array("A", N, |_| Expr::int(0)));
+    body.push(init_array("B", N, |_| Expr::int(0)));
+    for (arr, tag) in [("A", 1), ("B", 2)] {
+        body.push(b::parallel_region(
+            vec![
+                b::copy_sec(arr, Expr::int(N)),
+                AccClause::Async(Some(Expr::int(tag))),
+            ],
+            vec![b::acc_loop(
+                vec![],
+                "i",
+                Expr::int(N),
+                vec![b::add1(arr, Expr::var("i"), Expr::int(1))],
+            )],
+        ));
+    }
+    // Neither queue has landed yet…
+    body.push(check_eq(Expr::idx("A", Expr::int(0)), Expr::int(0)));
+    body.push(check_eq(Expr::idx("B", Expr::int(0)), Expr::int(0)));
+    body.push(Stmt::Call {
+        name: "acc_async_wait_all".into(),
+        args: vec![],
+    });
+    body.push(check_array("A", N, |_| Expr::int(1)));
+    body.push(check_array("B", N, |_| Expr::int(1)));
+    body.push(b::return_error_check());
+    case(
+        "rt.acc_async_wait_all",
+        "rt.acc_async_wait_all",
+        body,
+        cross("remove-clause:parallel.async"),
+        "acc_async_wait_all drains every queue",
+    )
+}
+
+fn init() -> TestCase {
+    let mut body = preamble(&["A"], N);
+    body.push(Stmt::Call {
+        name: "acc_init".into(),
+        args: vec![Expr::var("acc_device_default")],
+    });
+    body.push(init_array("A", N, |i| i));
+    body.push(b::parallel_region(
+        vec![b::copy_sec("A", Expr::int(N))],
+        vec![b::acc_loop(
+            vec![],
+            "i",
+            Expr::int(N),
+            vec![b::add1("A", Expr::var("i"), Expr::int(1))],
+        )],
+    ));
+    body.push(check_array("A", N, |i| Expr::add(i, Expr::int(1))));
+    body.push(b::return_error_check());
+    rt_case(
+        "rt.acc_init",
+        body,
+        "explicit initialization precedes device work",
+    )
+}
+
+fn shutdown() -> TestCase {
+    let mut body = preamble(&["A"], N);
+    body.push(init_array("A", N, |i| i));
+    body.push(b::parallel_region(
+        vec![b::copy_sec("A", Expr::int(N))],
+        vec![b::acc_loop(
+            vec![],
+            "i",
+            Expr::int(N),
+            vec![b::add1("A", Expr::var("i"), Expr::int(1))],
+        )],
+    ));
+    body.push(Stmt::Call {
+        name: "acc_shutdown".into(),
+        args: vec![Expr::var("acc_device_default")],
+    });
+    body.push(check_array("A", N, |i| Expr::add(i, Expr::int(1))));
+    body.push(b::return_error_check());
+    rt_case(
+        "rt.acc_shutdown",
+        body,
+        "shutdown after device work leaves results intact",
+    )
+}
+
+fn on_device() -> TestCase {
+    let body = vec![
+        b::decl_int("error", 0),
+        b::decl_int("host_ans", -1),
+        b::decl_int("dev_ans", -1),
+        b::set(
+            "host_ans",
+            Expr::call("acc_on_device", vec![Expr::var("acc_device_not_host")]),
+        ),
+        b::parallel_region(
+            vec![b::data_whole(acc_spec::ClauseKind::Copy, &["dev_ans"])],
+            vec![b::set(
+                "dev_ans",
+                Expr::call("acc_on_device", vec![Expr::var("acc_device_not_host")]),
+            )],
+        ),
+        check_eq(Expr::var("host_ans"), Expr::int(0)),
+        check_eq(Expr::var("dev_ans"), Expr::int(1)),
+        b::return_error_check(),
+    ];
+    rt_case(
+        "rt.acc_on_device",
+        body,
+        "acc_on_device distinguishes host from accelerator execution",
+    )
+}
+
+fn malloc() -> TestCase {
+    let n = N;
+    let body = vec![
+        b::decl_int("error", 0),
+        b::decl_array("B", ScalarType::Float, n as usize),
+        Stmt::DeclScalar {
+            name: "p".into(),
+            ty: Type::Ptr(ScalarType::Float),
+            init: Some(Expr::call(
+                "acc_malloc",
+                vec![Expr::mul(Expr::int(n), Expr::SizeOf(ScalarType::Float))],
+            )),
+        },
+        init_array("B", n, |_| Expr::int(0)),
+        b::parallel_region(
+            vec![AccClause::Deviceptr(vec!["p".into()])],
+            vec![b::acc_loop(
+                vec![],
+                "i",
+                Expr::int(n),
+                vec![b::set1(
+                    "p",
+                    Expr::var("i"),
+                    Expr::mul(Expr::var("i"), Expr::int(3)),
+                )],
+            )],
+        ),
+        b::parallel_region(
+            vec![
+                AccClause::Deviceptr(vec!["p".into()]),
+                b::copyout_sec("B", Expr::int(n)),
+            ],
+            vec![b::acc_loop(
+                vec![],
+                "i",
+                Expr::int(n),
+                vec![b::set1("B", Expr::var("i"), Expr::idx("p", Expr::var("i")))],
+            )],
+        ),
+        Stmt::Call {
+            name: "acc_free".into(),
+            args: vec![Expr::var("p")],
+        },
+        check_array("B", n, |i| Expr::mul(i, Expr::int(3))),
+        b::return_error_check(),
+    ];
+    rt_case(
+        "rt.acc_malloc",
+        body,
+        "acc_malloc returns usable device memory (§IV-B-5)",
+    )
+    .c_only()
+}
+
+fn free() -> TestCase {
+    let n = N;
+    let body = vec![
+        b::decl_int("error", 0),
+        b::decl_array("B", ScalarType::Float, n as usize),
+        Stmt::DeclScalar {
+            name: "p".into(),
+            ty: Type::Ptr(ScalarType::Float),
+            init: Some(Expr::call(
+                "acc_malloc",
+                vec![Expr::mul(Expr::int(n), Expr::SizeOf(ScalarType::Float))],
+            )),
+        },
+        Stmt::Call {
+            name: "acc_free".into(),
+            args: vec![Expr::var("p")],
+        },
+        // A second allocation must succeed after the free.
+        Stmt::DeclScalar {
+            name: "q".into(),
+            ty: Type::Ptr(ScalarType::Float),
+            init: Some(Expr::call(
+                "acc_malloc",
+                vec![Expr::mul(Expr::int(n), Expr::SizeOf(ScalarType::Float))],
+            )),
+        },
+        init_array("B", n, |_| Expr::int(0)),
+        b::parallel_region(
+            vec![
+                AccClause::Deviceptr(vec!["q".into()]),
+                b::copyout_sec("B", Expr::int(n)),
+            ],
+            vec![b::acc_loop(
+                vec![],
+                "i",
+                Expr::int(n),
+                vec![
+                    b::set1("q", Expr::var("i"), Expr::add(Expr::var("i"), Expr::int(2))),
+                    b::set1("B", Expr::var("i"), Expr::idx("q", Expr::var("i"))),
+                ],
+            )],
+        ),
+        Stmt::Call {
+            name: "acc_free".into(),
+            args: vec![Expr::var("q")],
+        },
+        check_array("B", n, |i| Expr::add(i, Expr::int(2))),
+        b::return_error_check(),
+    ];
+    rt_case(
+        "rt.acc_free",
+        body,
+        "acc_free releases device memory for reuse",
+    )
+    .c_only()
+}
+
+// Keep LValue in scope for potential direct statements above.
+#[allow(unused)]
+fn _keep(_: Option<LValue>) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_validation::harness::validate_case;
+
+    #[test]
+    fn all_runtime_cases_validate_against_reference() {
+        for case in cases() {
+            let problems = validate_case(&case);
+            assert!(problems.is_empty(), "{}: {problems:?}", case.name);
+        }
+    }
+
+    #[test]
+    fn area_covers_fourteen_routines() {
+        assert_eq!(cases().len(), 14);
+    }
+}

@@ -1,0 +1,109 @@
+//! Shared program-construction helpers for the corpus.
+//!
+//! Every test program follows the paper's conventions: an `error` counter
+//! accumulated by the check section and a final `return (error == 0);`
+//! (well-formed tests return 1 on pass).
+
+use acc_ast::builder as b;
+use acc_ast::{Expr, Program, ScalarType, Stmt};
+use acc_spec::Language;
+use acc_validation::{CrossRule, TestCase};
+
+/// Standard array length used by most corpus tests — small enough to keep a
+/// 200-program campaign fast, large enough that partitioning effects are
+/// unambiguous.
+pub const N: i64 = 16;
+
+/// `for (i = 0; i < n; i++) name[i] = f(i);`
+pub fn init_array(name: &str, n: i64, f: impl Fn(Expr) -> Expr) -> Stmt {
+    b::for_upto(
+        "i",
+        Expr::int(n),
+        vec![b::set1(name, Expr::var("i"), f(Expr::var("i")))],
+    )
+}
+
+/// `for (i = 0; i < n; i++) if (name[i] != f(i)) error++;`
+pub fn check_array(name: &str, n: i64, f: impl Fn(Expr) -> Expr) -> Stmt {
+    b::for_upto(
+        "i",
+        Expr::int(n),
+        vec![b::if_then(
+            Expr::ne(Expr::idx(name, Expr::var("i")), f(Expr::var("i"))),
+            vec![b::bump_error()],
+        )],
+    )
+}
+
+/// `if (lhs != rhs) error++;`
+pub fn check_eq(lhs: Expr, rhs: Expr) -> Stmt {
+    b::if_then(Expr::ne(lhs, rhs), vec![b::bump_error()])
+}
+
+/// `if (lhs == rhs) error++;` — the value must NOT equal `rhs`.
+pub fn check_ne(lhs: Expr, rhs: Expr) -> Stmt {
+    b::if_then(Expr::eq(lhs, rhs), vec![b::bump_error()])
+}
+
+/// Wrap a main body into a [`TestCase`]. The body must declare and maintain
+/// `error` itself when it uses the check helpers.
+pub fn case(
+    name: &str,
+    feature: &str,
+    body: Vec<Stmt>,
+    cross: Option<CrossRule>,
+    description: &str,
+) -> TestCase {
+    let program = Program::simple(name, Language::C, body);
+    TestCase::new(name, feature, program, cross, description)
+}
+
+/// Declare the standard preamble: `int error = 0;` plus `int` arrays.
+pub fn preamble(arrays: &[&str], n: i64) -> Vec<Stmt> {
+    let mut body = vec![b::decl_int("error", 0)];
+    for a in arrays {
+        body.push(b::decl_array(a, ScalarType::Int, n as usize));
+    }
+    body
+}
+
+/// Parse a cross-rule spec string (panics on typos — corpus definitions are
+/// static).
+pub fn cross(spec: &str) -> Option<CrossRule> {
+    Some(spec.parse().unwrap_or_else(|e| panic!("{spec}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_and_check_render() {
+        let body = vec![
+            b::decl_int("error", 0),
+            b::decl_array("A", ScalarType::Int, 8),
+            init_array("A", 8, |i| Expr::mul(i, Expr::int(2))),
+            check_array("A", 8, |i| Expr::mul(i, Expr::int(2))),
+            b::return_error_check(),
+        ];
+        let t = case("t", "t", body, None, "self-consistent init/check");
+        let src = t.source_for(Language::C);
+        assert!(src.contains("A[i] = i * 2;"));
+        assert!(src.contains("if (A[i] != i * 2)"));
+    }
+
+    #[test]
+    fn cross_parser_panics_on_typo() {
+        assert!(std::panic::catch_unwind(|| cross("remove-diractive:loop")).is_err());
+        assert!(cross("remove-directive:loop").is_some());
+    }
+
+    #[test]
+    fn check_ne_shape() {
+        let s = check_ne(Expr::var("x"), Expr::int(3));
+        match s {
+            Stmt::If { cond, .. } => assert_eq!(cond, Expr::eq(Expr::var("x"), Expr::int(3))),
+            other => panic!("{other:?}"),
+        }
+    }
+}

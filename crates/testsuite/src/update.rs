@@ -1,0 +1,186 @@
+//! Tests for the `update` construct (§IV-D).
+
+use crate::support::*;
+use acc_ast::builder as b;
+use acc_ast::{AccClause, Expr, LValue, Stmt};
+use acc_spec::ClauseKind;
+use acc_validation::TestCase;
+
+/// All update-construct cases.
+pub fn cases() -> Vec<TestCase> {
+    vec![host(), device(), if_clause(), async_clause()]
+}
+
+/// `update host`: refresh the host copy mid-region.
+fn host() -> TestCase {
+    let mut body = preamble(&["A"], N);
+    body.push(init_array("A", N, |_| Expr::int(0)));
+    body.push(b::data_region(
+        vec![b::copyin_sec("A", Expr::int(N))],
+        vec![
+            b::parallel_region(
+                vec![],
+                vec![b::acc_loop(
+                    vec![],
+                    "i",
+                    Expr::int(N),
+                    vec![b::set1("A", Expr::var("i"), Expr::int(5))],
+                )],
+            ),
+            b::update(vec![AccClause::Data(
+                ClauseKind::HostClause,
+                vec![acc_ast::DataRef::section("A", Expr::int(0), Expr::int(N))],
+            )]),
+            // The check runs inside the data region, right after the update.
+            check_array("A", N, |_| Expr::int(5)),
+        ],
+    ));
+    body.push(b::return_error_check());
+    case(
+        "update.host",
+        "update.host",
+        body,
+        cross("remove-directive:update"),
+        "update host refreshes the host copy from the device mid-region",
+    )
+}
+
+/// `update device`: refresh the device copy after host writes.
+fn device() -> TestCase {
+    let mut body = preamble(&["A", "B"], N);
+    body.push(init_array("A", N, |_| Expr::int(0)));
+    body.push(init_array("B", N, |_| Expr::int(0)));
+    body.push(b::data_region(
+        vec![b::copyin_sec("A", Expr::int(N))],
+        vec![
+            init_array("A", N, |_| Expr::int(9)), // host-side writes
+            b::update(vec![AccClause::Data(
+                ClauseKind::DeviceClause,
+                vec![acc_ast::DataRef::section("A", Expr::int(0), Expr::int(N))],
+            )]),
+            b::parallel_region(
+                vec![b::copy_sec("B", Expr::int(N))],
+                vec![b::acc_loop(
+                    vec![],
+                    "i",
+                    Expr::int(N),
+                    vec![b::set1("B", Expr::var("i"), Expr::idx("A", Expr::var("i")))],
+                )],
+            ),
+        ],
+    ));
+    body.push(check_array("B", N, |_| Expr::int(9)));
+    body.push(b::return_error_check());
+    case(
+        "update.device",
+        "update.device",
+        body,
+        cross("remove-directive:update"),
+        "update device pushes host writes to the device copy",
+    )
+}
+
+/// `if` on update: a false condition must suppress the transfer.
+fn if_clause() -> TestCase {
+    let mut body = preamble(&["A"], N);
+    body.push(b::decl_int("cond", 0));
+    body.push(init_array("A", N, |_| Expr::int(0)));
+    body.push(b::data_region(
+        vec![b::copyin_sec("A", Expr::int(N))],
+        vec![
+            b::parallel_region(
+                vec![],
+                vec![b::acc_loop(
+                    vec![],
+                    "i",
+                    Expr::int(N),
+                    vec![b::set1("A", Expr::var("i"), Expr::int(5))],
+                )],
+            ),
+            b::update(vec![
+                AccClause::Data(
+                    ClauseKind::HostClause,
+                    vec![acc_ast::DataRef::section("A", Expr::int(0), Expr::int(N))],
+                ),
+                AccClause::If(Expr::var("cond")),
+            ]),
+            // Suppressed: the host copy must still be zero.
+            check_array("A", N, |_| Expr::int(0)),
+        ],
+    ));
+    body.push(b::return_error_check());
+    case(
+        "update.if",
+        "update.if",
+        body,
+        cross("force-if:1"),
+        "if(false) on update suppresses the transfer",
+    )
+}
+
+/// `async` on update: the transfer completes only at the wait.
+fn async_clause() -> TestCase {
+    let mut body = preamble(&["A"], N);
+    body.push(init_array("A", N, |_| Expr::int(0)));
+    body.push(b::data_region(
+        vec![b::copyin_sec("A", Expr::int(N))],
+        vec![
+            b::parallel_region(
+                vec![],
+                vec![b::acc_loop(
+                    vec![],
+                    "i",
+                    Expr::int(N),
+                    vec![b::set1("A", Expr::var("i"), Expr::int(5))],
+                )],
+            ),
+            b::update(vec![
+                AccClause::Data(
+                    ClauseKind::HostClause,
+                    vec![acc_ast::DataRef::section("A", Expr::int(0), Expr::int(N))],
+                ),
+                AccClause::Async(Some(Expr::int(6))),
+            ]),
+            // Not yet visible…
+            Stmt::If {
+                cond: Expr::ne(Expr::idx("A", Expr::int(0)), Expr::int(0)),
+                then_body: vec![Stmt::assign_op(
+                    LValue::var("error"),
+                    acc_ast::BinOp::Add,
+                    Expr::int(1),
+                )],
+                else_body: vec![],
+            },
+            b::wait(Some(Expr::int(6))),
+            // …now it is.
+            check_array("A", N, |_| Expr::int(5)),
+        ],
+    ));
+    body.push(b::return_error_check());
+    case(
+        "update.async",
+        "update.async",
+        body,
+        cross("remove-clause:update.async"),
+        "async update defers host visibility until the matching wait",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_validation::harness::validate_case;
+
+    #[test]
+    fn all_update_cases_validate_against_reference() {
+        for case in cases() {
+            let problems = validate_case(&case);
+            assert!(problems.is_empty(), "{}: {problems:?}", case.name);
+        }
+    }
+
+    #[test]
+    fn area_covers_four_features() {
+        assert_eq!(cases().len(), 4);
+    }
+}

@@ -1,0 +1,101 @@
+//! OpenACC 2.0 preview probes (§V-C / §VI).
+//!
+//! The paper closes by noting which 1.0 gaps OpenACC 2.0 resolved:
+//! `default(none)`, the `routine` directive, and unstructured data lifetimes
+//! (`enter data` / `exit data`). These probes are *expected to be rejected*
+//! by every conforming 1.0 front-end — the suite uses them to verify that
+//! implementations do not silently accept (and misinterpret) 2.0 syntax.
+
+use acc_ast::Program;
+use acc_spec::{Language, SpecVersion};
+
+/// A 2.0-syntax probe and the 1.0 expectation.
+#[derive(Debug, Clone)]
+pub struct V2Probe {
+    /// Probe name.
+    pub name: &'static str,
+    /// The 2.0 feature exercised.
+    pub feature: &'static str,
+    /// C source using the 2.0 syntax.
+    pub source: &'static str,
+    /// How 2.0 resolves the 1.0 gap (paper §V-C).
+    pub resolution: &'static str,
+}
+
+/// All 2.0 preview probes.
+pub fn probes() -> Vec<V2Probe> {
+    vec![
+        V2Probe {
+            name: "v2.enter_exit_data",
+            feature: "enter data / exit data",
+            source: "int main(void) {\n    int A[8];\n    for (i = 0; i < 8; i++)\n    {\n        A[i] = i;\n    }\n    #pragma acc enter data copyin(A[0:8])\n    #pragma acc exit data copyout(A[0:8])\n    return 1;\n}\n",
+            resolution: "2.0 adds enter/exit data for unstructured data lifetimes",
+        },
+        V2Probe {
+            name: "v2.default_none",
+            feature: "default(none)",
+            source: "int main(void) {\n    int A[8];\n    #pragma acc parallel default(none) copy(A[0:8])\n    {\n        #pragma acc loop\n        for (i = 0; i < 8; i++)\n        {\n            A[i] = i;\n        }\n    }\n    return 1;\n}\n",
+            resolution: "2.0 adds default(none) to disable implicit present_or_copy",
+        },
+        V2Probe {
+            name: "v2.routine",
+            feature: "routine directive",
+            source: "int main(void) {\n    #pragma acc routine seq\n    return 1;\n}\n",
+            resolution: "2.0 adds the routine directive for device-callable procedures",
+        },
+    ]
+}
+
+/// Parse a probe (the front-end accepts 2.0 syntax; conformance is the
+/// semantic layer's job).
+pub fn parse_probe(p: &V2Probe) -> Result<Program, acc_frontend::ParseError> {
+    acc_frontend::parse(p.source, Language::C)
+}
+
+/// Does a 1.0 semantic check reject the probe, as it must?
+pub fn rejected_by_1_0(p: &V2Probe) -> bool {
+    match parse_probe(p) {
+        Ok(program) => !acc_frontend::sema::conforms(&program, SpecVersion::V1_0),
+        Err(_) => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_compiler::{driver::FailureKind, VendorCompiler, VendorId};
+
+    #[test]
+    fn probes_parse_but_fail_1_0_conformance() {
+        for p in probes() {
+            assert!(
+                parse_probe(&p).is_ok(),
+                "{}: front-end must parse 2.0 syntax",
+                p.name
+            );
+            assert!(
+                rejected_by_1_0(&p),
+                "{}: 1.0 conformance must reject",
+                p.name
+            );
+            assert!(
+                acc_frontend::sema::conforms(&parse_probe(&p).unwrap(), SpecVersion::V2_0),
+                "{}: 2.0 conformance must accept",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn every_vendor_rejects_v2_syntax_at_compile_time() {
+        for vendor in VendorId::COMMERCIAL {
+            let compiler = VendorCompiler::latest(vendor);
+            for p in probes() {
+                let err = compiler
+                    .compile(p.source, Language::C)
+                    .expect_err("1.0 compilers must reject 2.0 syntax");
+                assert_eq!(err.kind, FailureKind::SemanticError, "{vendor}/{}", p.name);
+            }
+        }
+    }
+}

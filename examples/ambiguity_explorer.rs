@@ -1,0 +1,53 @@
+//! The Fig. 1 specification ambiguity, explored: a `loop worker` with no
+//! enclosing `loop gang`. OpenACC 1.0 does not define its behaviour; this
+//! example runs the probe under all three vendor policies and prints their
+//! (legitimately) divergent answers, plus the 2.0 resolutions catalogued in
+//! `acc_spec::resolution`.
+//!
+//! ```sh
+//! cargo run --example ambiguity_explorer
+//! ```
+
+use openacc_vv::compiler::{RunOutcome, VendorCompiler, VendorId};
+use openacc_vv::prelude::*;
+use openacc_vv::spec::AmbiguityId;
+use openacc_vv::testsuite::ambiguity;
+
+fn main() {
+    let program = ambiguity::worker_without_gang_program();
+    let source = openacc_vv::ast::render(&program);
+    println!("== the Fig. 1 probe ==\n{source}");
+    println!(
+        "({} gangs, worker loop over {} iterations; the program returns the \
+         increment count observed per element)\n",
+        ambiguity::GANGS,
+        ambiguity::ITERS
+    );
+
+    println!("== what each vendor's interpretation produces ==");
+    for vendor in VendorId::COMMERCIAL {
+        let compiler = VendorCompiler::latest(vendor);
+        let exe = compiler
+            .compile(&source, Language::C)
+            .expect("the probe is syntactically valid 1.0");
+        let observed = match exe.run().outcome {
+            RunOutcome::Completed(v) => v,
+            other => panic!("{other:?}"),
+        };
+        let policy = vendor.worker_loop_policy();
+        println!(
+            "  {:<6} increments/element = {observed}   (policy: {policy:?}, expected {})",
+            vendor.name(),
+            ambiguity::expected_for_policy(policy)
+        );
+    }
+
+    println!("\n== the 1.0 ambiguities the paper reported, and their 2.0 resolutions ==");
+    for id in AmbiguityId::ALL {
+        let r = id.record();
+        println!(
+            "* {}\n    1.0: {}\n    2.0: {}\n",
+            r.title, r.description, r.resolution
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! The full evaluation campaign of the paper's §V: run the complete suite
+//! against all eight released versions of each vendor compiler and print
+//! the Fig. 8 pass-rate series and the Table I bug counts.
+//!
+//! ```sh
+//! cargo run --release --example compiler_campaign
+//! ```
+
+use openacc_vv::compiler::{BugCatalog, VendorId};
+use openacc_vv::prelude::*;
+
+fn main() {
+    let suite = openacc_vv::testsuite::full_suite();
+    println!(
+        "suite: {} feature cases, {} generated test programs\n",
+        suite.len(),
+        openacc_vv::testsuite::variant_count(&suite)
+    );
+    let campaign = Campaign::new(suite);
+    let catalog = BugCatalog::paper();
+
+    for vendor in VendorId::COMMERCIAL {
+        println!("=== {} (Fig. 8 pass rates) ===", vendor.name());
+        println!("{:>10} {:>8} {:>10}", "version", "C %", "Fortran %");
+        let result = campaign.run_vendor_line(vendor);
+        for (version, run) in vendor.versions().iter().zip(&result.runs) {
+            println!(
+                "{:>10} {:>8.1} {:>10.1}",
+                version.to_string(),
+                run.pass_rate(Language::C),
+                run.pass_rate(Language::Fortran)
+            );
+        }
+        println!("\n--- Table I bug counts ({}) ---", vendor.name());
+        print!("{:>10}", "version");
+        for v in vendor.versions() {
+            print!("{:>8}", v.to_string());
+        }
+        println!();
+        for lang in [Language::C, Language::Fortran] {
+            print!("{:>10}", lang.letter());
+            for v in vendor.versions() {
+                print!("{:>8}", catalog.count(vendor, v, lang));
+            }
+            println!();
+        }
+        println!();
+    }
+}

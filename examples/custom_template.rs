@@ -1,0 +1,84 @@
+//! Author a brand-new feature test as a text template — exactly how a
+//! contributor extends the suite (§III: "Extensible test infrastructure") —
+//! then watch the infrastructure expand it into four programs, self-check
+//! it against the reference implementation, and run it against a buggy
+//! compiler release.
+//!
+//! ```sh
+//! cargo run --example custom_template
+//! ```
+
+use openacc_vv::prelude::*;
+use openacc_vv::validation::harness::{run_case, validate_case};
+use openacc_vv::validation::template::{parse_templates, render_template};
+
+const MY_TEMPLATE: &str = r#"
+<acctest name="custom.firstprivate_sum" feature="parallel.firstprivate"
+         cross="replace-clause:parallel.firstprivate->private" repetitions="5">
+<description>firstprivate seeds every gang with the host value; a gang-count
+reduction over it is fully determined</description>
+<code>
+int main(void) {
+    int error = 0;
+    int seed = 5;
+    int total = 0;
+    #pragma acc parallel num_gangs(8) firstprivate(seed) reduction(+:total)
+    {
+        total += seed;
+    }
+    if (total != 40)
+    {
+        error++;
+    }
+    return error == 0;
+}
+</code>
+</acctest>
+"#;
+
+fn main() {
+    // 1. Expand the template.
+    let case = parse_templates(MY_TEMPLATE)
+        .expect("template parses")
+        .remove(0);
+    println!(
+        "== generated functional test (C) ==\n{}",
+        case.source_for(Language::C)
+    );
+    println!(
+        "== generated functional test (Fortran) ==\n{}",
+        case.source_for(Language::Fortran)
+    );
+    println!(
+        "== generated cross test (C) ==\n{}",
+        case.cross_source_for(Language::C).unwrap()
+    );
+
+    // 2. Self-check against the reference implementation: the functional
+    //    test must pass and the cross test must discriminate.
+    let problems = validate_case(&case);
+    assert!(problems.is_empty(), "{problems:?}");
+    println!("reference self-check: OK (functional passes, cross discriminates)\n");
+
+    // 3. Run it against a release carrying the firstprivate bug.
+    for (vendor, version) in [(VendorId::Caps, "3.1.0"), (VendorId::Caps, "3.3.4")] {
+        let compiler = VendorCompiler::new(vendor, version.parse().unwrap());
+        let result = run_case(&case, &compiler, Language::C);
+        println!(
+            "{} {}: {}  {}",
+            vendor.name(),
+            version,
+            result.status,
+            result
+                .certainty
+                .map(|c| format!("[{c}]"))
+                .unwrap_or_default()
+        );
+    }
+
+    // 4. The canonical archival form.
+    println!(
+        "\n== canonical template form ==\n{}",
+        render_template(&case)
+    );
+}

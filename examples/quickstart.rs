@@ -1,0 +1,34 @@
+//! Quickstart: validate one OpenACC feature against a vendor compiler and
+//! print the plain-text report.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use openacc_vv::prelude::*;
+use openacc_vv::validation::report;
+
+fn main() {
+    // The corpus ships 100+ feature tests; pick the classic Fig. 2 `loop`
+    // test plus the whole `data` area.
+    let suite = openacc_vv::testsuite::full_suite();
+    let campaign =
+        Campaign::new(suite).with_config(SuiteConfig::new().select_prefixes(&["loop", "data"]));
+
+    // Validate the newest CAPS release…
+    let caps = VendorCompiler::latest(VendorId::Caps);
+    let run = campaign.run_one(&caps);
+    println!("{}", report::render(&run, ReportFormat::Text));
+
+    // …and an early one, to see the suite catch real bugs.
+    let early = VendorCompiler::new(VendorId::Caps, "3.0.7".parse().unwrap());
+    let run = campaign.run_one(&early);
+    println!(
+        "CAPS 3.0.7: C pass rate {:.1}%, Fortran pass rate {:.1}%",
+        run.pass_rate(Language::C),
+        run.pass_rate(Language::Fortran),
+    );
+    for feature in run.failing_features(Language::C) {
+        println!("  failing (C): {feature}");
+    }
+}

@@ -1,0 +1,77 @@
+//! The production-deployment scenario of §VII / Fig. 13: run the validation
+//! suite over random nodes of a simulated Titan, across both the
+//! OpenACC→CUDA and OpenACC→OpenCL software stacks, find the faulty nodes,
+//! and track functionality drift across scheduled runs.
+//!
+//! ```sh
+//! cargo run --release --example titan_harness
+//! ```
+
+use openacc_vv::harness::{FunctionalityTracker, HarnessRun, NodeFault, SimulatedCluster};
+use openacc_vv::prelude::*;
+
+fn main() {
+    // A 32-node slice of the machine; three nodes have gone bad in ways
+    // users would only notice as wrong answers.
+    let faults = [
+        (5, NodeFault::GpuHang),
+        (17, NodeFault::StaleRuntime),
+        (23, NodeFault::BrokenModules),
+    ];
+    let cluster = SimulatedCluster::titan(32, &faults);
+    println!(
+        "cluster `{}`: {} nodes ({} healthy)\n",
+        cluster.name,
+        cluster.nodes.len(),
+        cluster.healthy_count()
+    );
+
+    // Node-validation subset: one probe per functionality class, so a full
+    // machine sweep stays cheap.
+    let probe_features = [
+        "loop",
+        "data.copy",
+        "parallel.async",
+        "update.host",
+        "parallel.reduction",
+    ];
+    let suite: Vec<TestCase> = openacc_vv::testsuite::full_suite()
+        .into_iter()
+        .filter(|c| probe_features.contains(&c.feature.as_str()))
+        .collect();
+    let run = HarnessRun::new(suite, 12);
+
+    let mut tracker = FunctionalityTracker::new();
+    for (week, seed) in [("week-1", 1001u64), ("week-2", 1002), ("week-3", 1003)] {
+        let report = run.execute(&cluster, seed);
+        println!("== {week}: sampled nodes {:?}", report.sampled);
+        println!("{}", report.matrix());
+        let suspects = report.suspect_nodes(99.0);
+        if suspects.is_empty() {
+            println!("no suspect nodes this run\n");
+        } else {
+            println!("suspect nodes to drain: {suspects:?}\n");
+        }
+        // Track the machine-wide average per stack (the per-node matrix is
+        // printed above; the tracker watches the fleet trend).
+        let mut per_stack: std::collections::BTreeMap<&str, (f64, u32)> = Default::default();
+        for r in &report.results {
+            let e = per_stack.entry(r.stack.as_str()).or_insert((0.0, 0));
+            e.0 += r.pass_rate;
+            e.1 += 1;
+        }
+        for (stack, (sum, n)) in per_stack {
+            tracker.record(stack, week, sum / n as f64);
+        }
+    }
+
+    println!("== functionality drift across runs ==");
+    let drifts = tracker.latest_drifts();
+    if drifts.is_empty() {
+        println!("stable");
+    }
+    for d in drifts {
+        println!("{d}");
+    }
+    println!("\n{}", tracker.trend_table());
+}

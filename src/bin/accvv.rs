@@ -1,0 +1,389 @@
+//! `accvv` — the validation suite as a command-line tool.
+//!
+//! This is the operator-facing entry point, mirroring how the paper's suite
+//! is driven in production (compiler configuration, feature selection,
+//! report generation — §III's "major features").
+//!
+//! ```text
+//! accvv list [PREFIX]                         list corpus tests
+//! accvv show NAME [--lang c|fortran] [--cross] print a generated program
+//! accvv run --vendor V [--version X] [options] run the suite, print a report
+//! accvv campaign [--vendor V]                  Fig. 8 sweep across releases
+//! accvv bugs --vendor V --version X [--lang L] active catalog entries
+//! accvv expand FILE                            expand a template file
+//! accvv titan [--nodes N] [--sample K] [--seed S]  production-harness run
+//! ```
+
+use openacc_vv::compiler::{BugCatalog, VendorCompiler, VendorId};
+use openacc_vv::harness::{HarnessRun, NodeFault, SimulatedCluster};
+use openacc_vv::prelude::*;
+use openacc_vv::validation::report::{self, ReportFormat};
+use openacc_vv::validation::template::parse_templates;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(&args[1..]),
+        Some("show") => cmd_show(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("campaign") => cmd_campaign(&args[1..]),
+        Some("matrix") => cmd_matrix(&args[1..]),
+        Some("bugs") => cmd_bugs(&args[1..]),
+        Some("expand") => cmd_expand(&args[1..]),
+        Some("titan") => cmd_titan(&args[1..]),
+        Some("selftest") => cmd_selftest(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `accvv help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("accvv: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "accvv — OpenACC 1.0 validation suite\n\n\
+         USAGE:\n\
+         \x20 accvv list [PREFIX]\n\
+         \x20 accvv show NAME [--lang c|fortran] [--cross]\n\
+         \x20 accvv run --vendor caps|pgi|cray|reference [--version X] [--lang c|fortran]\n\
+         \x20          [--features P1,P2,…] [--format text|csv|html] [--repetitions M]\n\
+         \x20          [--attribute]\n\
+         \x20 accvv campaign [--vendor caps|pgi|cray]\n\
+         \x20 accvv matrix --vendor caps|pgi|cray [--lang c|fortran]\n\
+         \x20 accvv bugs --vendor caps|pgi|cray --version X [--lang c|fortran]\n\
+         \x20 accvv expand FILE\n\
+         \x20 accvv titan [--nodes N] [--sample K] [--seed S]\n\
+         \x20 accvv selftest [PREFIX]"
+    );
+}
+
+/// Pull `--key value` out of an argument list.
+fn opt(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn flag(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == key)
+}
+
+fn parse_vendor(s: &str) -> Result<VendorId, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "caps" => Ok(VendorId::Caps),
+        "pgi" => Ok(VendorId::Pgi),
+        "cray" => Ok(VendorId::Cray),
+        "reference" | "ref" => Ok(VendorId::Reference),
+        other => Err(format!(
+            "unknown vendor `{other}` (caps|pgi|cray|reference)"
+        )),
+    }
+}
+
+fn parse_lang(s: &str) -> Result<Language, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "c" => Ok(Language::C),
+        "f" | "fortran" => Ok(Language::Fortran),
+        other => Err(format!("unknown language `{other}` (c|fortran)")),
+    }
+}
+
+fn cmd_list(args: &[String]) -> Result<(), String> {
+    let prefix = args.first().cloned().unwrap_or_default();
+    let suite = openacc_vv::testsuite::full_suite();
+    let mut shown = 0;
+    for case in &suite {
+        if !case.feature.as_str().starts_with(&prefix) {
+            continue;
+        }
+        shown += 1;
+        let langs: Vec<&str> = case
+            .languages
+            .iter()
+            .map(|l| if *l == Language::C { "C" } else { "F" })
+            .collect();
+        let cross = case
+            .cross
+            .as_ref()
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| "none".to_string());
+        println!(
+            "{:<36} [{}] cross={}",
+            case.feature.as_str(),
+            langs.join(","),
+            cross
+        );
+    }
+    println!("\n{shown} of {} tests shown", suite.len());
+    Ok(())
+}
+
+fn cmd_show(args: &[String]) -> Result<(), String> {
+    let name = args
+        .iter()
+        .find(|a| !a.starts_with("--") && opt_key_of(args, a).is_none())
+        .ok_or("show requires a test name")?;
+    let lang = match opt(args, "--lang") {
+        Some(s) => parse_lang(&s)?,
+        None => Language::C,
+    };
+    let suite = openacc_vv::testsuite::full_suite();
+    let case = suite
+        .iter()
+        .find(|c| c.name == *name || c.feature.as_str() == *name)
+        .ok_or_else(|| format!("no test named `{name}` (try `accvv list`)"))?;
+    if !case.supports(lang) {
+        return Err(format!("`{name}` is not generated for {lang}"));
+    }
+    if flag(args, "--cross") {
+        match case.cross_source_for(lang) {
+            Some(s) => println!("{s}"),
+            None => return Err(format!("`{name}` has no cross test")),
+        }
+    } else {
+        println!("{}", case.source_for(lang));
+    }
+    Ok(())
+}
+
+/// Is `a` the value of some `--key` option (so `show` skips it)?
+fn opt_key_of<'a>(args: &'a [String], value: &String) -> Option<&'a String> {
+    args.iter()
+        .enumerate()
+        .find(|(i, _)| args.get(i + 1) == Some(value))
+        .filter(|(_, k)| k.starts_with("--"))
+        .map(|(_, k)| k)
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let vendor = parse_vendor(&opt(args, "--vendor").ok_or("run requires --vendor")?)?;
+    let compiler = match opt(args, "--version") {
+        Some(v) => {
+            let version = v.parse().map_err(|e| format!("{e}"))?;
+            if vendor.version_index(version).is_none() {
+                return Err(format!(
+                    "{} never released {version}; releases: {}",
+                    vendor.name(),
+                    vendor
+                        .versions()
+                        .iter()
+                        .map(|v| v.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+            VendorCompiler::new(vendor, version)
+        }
+        None => VendorCompiler::latest(vendor),
+    };
+    let mut config = SuiteConfig::new();
+    if let Some(l) = opt(args, "--lang") {
+        config = config.language(parse_lang(&l)?);
+    }
+    if let Some(features) = opt(args, "--features") {
+        let prefixes: Vec<&str> = features.split(',').map(str::trim).collect();
+        config = config.select_prefixes(&prefixes);
+    }
+    if let Some(m) = opt(args, "--repetitions") {
+        config = config.with_repetitions(m.parse().map_err(|_| "bad --repetitions")?);
+    }
+    let format = match opt(args, "--format").as_deref() {
+        None | Some("text") => ReportFormat::Text,
+        Some("csv") => ReportFormat::Csv,
+        Some("html") => ReportFormat::Html,
+        Some(other) => return Err(format!("unknown format `{other}`")),
+    };
+    let campaign = Campaign::new(openacc_vv::testsuite::full_suite()).with_config(config);
+    let run = campaign.run_one(&compiler);
+    print!("{}", report::render(&run, format));
+    if flag(args, "--attribute") && compiler.vendor != VendorId::Reference {
+        let catalog = BugCatalog::paper();
+        let failures = openacc_vv::validation::analysis::attribute(
+            &run,
+            &catalog,
+            compiler.vendor,
+            compiler.version,
+        );
+        if !failures.is_empty() {
+            println!();
+            print!(
+                "{}",
+                openacc_vv::validation::analysis::render_attribution(&failures)
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_campaign(args: &[String]) -> Result<(), String> {
+    let vendors: Vec<VendorId> = match opt(args, "--vendor") {
+        Some(v) => vec![parse_vendor(&v)?],
+        None => VendorId::COMMERCIAL.to_vec(),
+    };
+    let campaign = Campaign::new(openacc_vv::testsuite::full_suite());
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    for vendor in vendors {
+        println!("=== {} ===", vendor.name());
+        println!("{:>10} {:>8} {:>10}", "version", "C %", "Fortran %");
+        let result = openacc_vv::validation::CampaignResult {
+            runs: vendor
+                .versions()
+                .into_iter()
+                .map(|v| campaign.run_one_parallel(&VendorCompiler::new(vendor, v), threads))
+                .collect(),
+        };
+        for (version, run) in vendor.versions().iter().zip(&result.runs) {
+            println!(
+                "{:>10} {:>8.1} {:>10.1}",
+                version.to_string(),
+                run.pass_rate(Language::C),
+                run.pass_rate(Language::Fortran)
+            );
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_matrix(args: &[String]) -> Result<(), String> {
+    // The §VI "large table": pass/fail per feature per release.
+    let vendor = parse_vendor(&opt(args, "--vendor").ok_or("matrix requires --vendor")?)?;
+    let lang = match opt(args, "--lang") {
+        Some(l) => parse_lang(&l)?,
+        None => Language::C,
+    };
+    let campaign = Campaign::new(openacc_vv::testsuite::full_suite());
+    let result = campaign.run_vendor_line(vendor);
+    let refs: Vec<&openacc_vv::validation::SuiteRun> = result.runs.iter().collect();
+    print!("{}", report::feature_matrix(&refs, lang));
+    Ok(())
+}
+
+fn cmd_bugs(args: &[String]) -> Result<(), String> {
+    let vendor = parse_vendor(&opt(args, "--vendor").ok_or("bugs requires --vendor")?)?;
+    let version = opt(args, "--version")
+        .ok_or("bugs requires --version")?
+        .parse()
+        .map_err(|e| format!("{e}"))?;
+    let langs = match opt(args, "--lang") {
+        Some(l) => vec![parse_lang(&l)?],
+        None => vec![Language::C, Language::Fortran],
+    };
+    let catalog = BugCatalog::paper();
+    for lang in langs {
+        let active = catalog.active(vendor, version, lang);
+        println!(
+            "{} {} ({lang}): {} active bugs",
+            vendor.name(),
+            version,
+            active.len()
+        );
+        for bug in active {
+            println!(
+                "  {:<14} {:<34} {}",
+                bug.id,
+                bug.feature.as_str(),
+                bug.description
+            );
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_expand(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("expand requires a template file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let cases = parse_templates(&text).map_err(|e| e.to_string())?;
+    for case in &cases {
+        println!("### {} (feature {})", case.name, case.feature);
+        for lang in case.languages.clone() {
+            println!("--- functional ({lang}) ---\n{}", case.source_for(lang));
+            if let Some(x) = case.cross_source_for(lang) {
+                println!("--- cross ({lang}) ---\n{x}");
+            }
+        }
+        let problems = openacc_vv::validation::harness::validate_case(case);
+        if problems.is_empty() {
+            println!("reference self-check: OK\n");
+        } else {
+            println!("reference self-check FAILED:");
+            for p in problems {
+                println!("  {p}");
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Self-check the corpus against the reference implementation: every
+/// functional test must pass and every cross test must discriminate (the
+/// suite-quality gate a maintainer runs before shipping new templates).
+fn cmd_selftest(args: &[String]) -> Result<(), String> {
+    let prefix = args.first().cloned().unwrap_or_default();
+    let suite = openacc_vv::testsuite::full_suite();
+    let mut checked = 0;
+    let mut bad = 0;
+    for case in &suite {
+        if !case.feature.as_str().starts_with(&prefix) {
+            continue;
+        }
+        checked += 1;
+        let problems = openacc_vv::validation::harness::validate_case(case);
+        if problems.is_empty() {
+            println!("OK    {}", case.name);
+        } else {
+            bad += 1;
+            for p in problems {
+                println!("BAD   {p}");
+            }
+        }
+    }
+    println!(
+        "
+{checked} tests self-checked, {bad} unhealthy"
+    );
+    if bad > 0 {
+        return Err(format!("{bad} corpus tests failed the self-check"));
+    }
+    Ok(())
+}
+
+fn cmd_titan(args: &[String]) -> Result<(), String> {
+    let nodes: u32 = opt(args, "--nodes")
+        .map(|s| s.parse().unwrap_or(16))
+        .unwrap_or(16);
+    let sample: usize = opt(args, "--sample")
+        .map(|s| s.parse().unwrap_or(8))
+        .unwrap_or(8);
+    let seed: u64 = opt(args, "--seed")
+        .map(|s| s.parse().unwrap_or(1))
+        .unwrap_or(1);
+    let cluster = SimulatedCluster::titan(nodes, &[(nodes / 3, NodeFault::StaleRuntime)]);
+    let keep = ["loop", "data.copy", "parallel.async", "update.host"];
+    let suite: Vec<TestCase> = openacc_vv::testsuite::full_suite()
+        .into_iter()
+        .filter(|c| keep.contains(&c.feature.as_str()))
+        .collect();
+    let report = HarnessRun::new(suite, sample).execute(&cluster, seed);
+    println!("{}", report.matrix());
+    let suspects = report.suspect_nodes(99.0);
+    if suspects.is_empty() {
+        println!("no suspect nodes");
+    } else {
+        println!("suspect nodes: {suspects:?}");
+    }
+    Ok(())
+}

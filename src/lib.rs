@@ -1,0 +1,64 @@
+//! # openacc-vv — a validation & verification testsuite for OpenACC 1.0
+//!
+//! A full, executable reproduction of *"A Validation Testsuite for OpenACC
+//! 1.0"* (Wang, Xu, Chandrasekaran, Chapman, Hernandez — IPDPSW 2014),
+//! built as a Rust workspace. The umbrella crate re-exports every layer:
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`spec`] | The OpenACC 1.0 feature model (directives, clauses, routines, env vars) |
+//! | [`ast`] | The mini-language AST with C and Fortran code generators |
+//! | [`frontend`] | Mini-C and mini-Fortran parsers with directive support |
+//! | [`device`] | The simulated discrete-memory accelerator |
+//! | [`rt`] | The OpenACC runtime library over the simulated device |
+//! | [`compiler`] | Simulated vendor compilers (CAPS/PGI/Cray version lines + bug catalog) |
+//! | [`validation`] | The testsuite infrastructure: templates, cross tests, statistics, reports |
+//! | [`testsuite`] | The 100+-feature test corpus (200+ generated programs) |
+//! | [`harness`] | The Titan-style production harness |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use openacc_vv::prelude::*;
+//!
+//! // Validate one feature against the newest CAPS release.
+//! let suite = openacc_vv::testsuite::full_suite();
+//! let campaign = Campaign::new(suite);
+//! let compiler = VendorCompiler::latest(VendorId::Caps);
+//! let run = campaign.run_one(&compiler);
+//! assert_eq!(run.pass_rate(Language::C), 100.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use acc_ast as ast;
+pub use acc_compiler as compiler;
+pub use acc_device as device;
+pub use acc_frontend as frontend;
+pub use acc_harness as harness;
+pub use acc_runtime as rt;
+pub use acc_spec as spec;
+pub use acc_testsuite as testsuite;
+pub use acc_validation as validation;
+
+/// The most commonly used types, in one import.
+pub mod prelude {
+    pub use acc_compiler::{RunOutcome, VendorCompiler, VendorId};
+    pub use acc_spec::{FeatureId, Language};
+    pub use acc_validation::report::{render, ReportFormat};
+    pub use acc_validation::{Campaign, CrossRule, SuiteConfig, TestCase, TestStatus};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn quickstart_compiles_and_passes() {
+        let suite = crate::testsuite::full_suite();
+        let campaign = Campaign::new(suite);
+        let run = campaign.run_one(&VendorCompiler::reference());
+        assert_eq!(run.pass_rate(Language::C), 100.0);
+        assert_eq!(run.pass_rate(Language::Fortran), 100.0);
+    }
+}

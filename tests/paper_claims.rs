@@ -1,0 +1,200 @@
+//! The paper's quantitative claims, as executable assertions.
+//!
+//! Table I is reproduced exactly (the catalog is constructed from it); the
+//! Fig. 8 curves are *measured* by running the suite, so these tests assert
+//! the published qualitative shape: who improves, where the inflection
+//! points fall, which clusters persist. EXPERIMENTS.md records the measured
+//! values next to the paper's.
+
+use openacc_vv::compiler::{BugCatalog, VendorCompiler, VendorId};
+use openacc_vv::prelude::*;
+
+fn pass_rates(vendor: VendorId) -> Vec<(f64, f64)> {
+    let campaign = Campaign::new(openacc_vv::testsuite::full_suite());
+    campaign
+        .run_vendor_line(vendor)
+        .runs
+        .iter()
+        .map(|r| (r.pass_rate(Language::C), r.pass_rate(Language::Fortran)))
+        .collect()
+}
+
+#[test]
+fn table_1_is_exact() {
+    let catalog = BugCatalog::paper();
+    let expected: &[(VendorId, Language, [usize; 8])] = &[
+        (VendorId::Caps, Language::C, [36, 24, 20, 1, 1, 1, 0, 0]),
+        (
+            VendorId::Caps,
+            Language::Fortran,
+            [32, 70, 15, 1, 1, 0, 0, 0],
+        ),
+        (VendorId::Pgi, Language::C, [8, 8, 7, 6, 6, 5, 5, 5]),
+        (
+            VendorId::Pgi,
+            Language::Fortran,
+            [14, 14, 14, 14, 14, 13, 13, 13],
+        ),
+        (
+            VendorId::Cray,
+            Language::C,
+            [16, 16, 16, 16, 16, 16, 16, 16],
+        ),
+        (VendorId::Cray, Language::Fortran, [6, 6, 6, 6, 6, 5, 5, 5]),
+    ];
+    for (vendor, lang, row) in expected {
+        for (i, version) in vendor.versions().iter().enumerate() {
+            assert_eq!(
+                catalog.count(*vendor, *version, *lang),
+                row[i],
+                "{vendor} {version} {lang}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig8a_caps_shape() {
+    let rates = pass_rates(VendorId::Caps);
+    // "pass rates for CAPS 3.0.x and CAPS 3.1.x are much lower than 3.2.x
+    // and 3.3.x" (§V-A).
+    assert!(rates[0].0 < 70.0 && rates[2].0 < 70.0);
+    assert!(rates[3].0 > 95.0 && rates[3].1 > 95.0);
+    // 3.0.8's Fortran front-end regression (Table I: 70 bugs).
+    assert!(rates[1].1 < rates[0].1);
+    // Latest releases are clean.
+    assert_eq!(rates[7], (100.0, 100.0));
+}
+
+#[test]
+fn fig8b_pgi_shape() {
+    let rates = pass_rates(VendorId::Pgi);
+    // "version 12.8 onwards shows better quality … pass rate in 13.2 is not
+    // as good as 12.10 … improvement from version 13.4 onwards" (§V-A).
+    assert!(rates[3].0 > rates[0].0, "12.10 better than 12.6");
+    assert!(rates[4].0 < rates[3].0, "13.2 dips below 12.10");
+    assert!(rates[5].0 > rates[4].0, "13.4 recovers");
+    // "Most of the tests that do not pass were mainly due to the async
+    // clause": the latest release still fails async features only…
+    let campaign = Campaign::new(openacc_vv::testsuite::full_suite());
+    let run = campaign.run_one(&VendorCompiler::latest(VendorId::Pgi));
+    let failing = run.failing_features(Language::C);
+    assert!(!failing.is_empty());
+    assert!(
+        failing.iter().all(|f| {
+            f.as_str().contains("async") || f.as_str() == "wait" || f.as_str() == "update.async"
+        }),
+        "PGI 13.8 C failures must all be in the async cluster: {failing:?}"
+    );
+}
+
+#[test]
+fn fig8c_cray_shape() {
+    let rates = pass_rates(VendorId::Cray);
+    // "The bar plots mostly shows no variation" (§V-A).
+    for w in rates.windows(2) {
+        assert!((w[0].0 - w[1].0).abs() < 1e-9, "C flat");
+    }
+    // Fortran improves once, at 8.1.7.
+    assert!(rates[5].1 > rates[4].1);
+    assert_eq!(rates[5].1, rates[7].1);
+}
+
+#[test]
+fn caps_num_gangs_story_reproduces() {
+    // §V-B Fig. 9: constant num_gangs works, variable expression is an
+    // internal error before 3.1.0 and fixed afterwards.
+    let suite = openacc_vv::testsuite::full_suite();
+    let case = suite
+        .iter()
+        .find(|c| c.feature.as_str() == "parallel.num_gangs")
+        .unwrap();
+    use openacc_vv::validation::harness::run_case;
+    let before = VendorCompiler::new(VendorId::Caps, "3.0.8".parse().unwrap());
+    let r = run_case(case, &before, Language::C);
+    assert!(
+        matches!(r.status, TestStatus::CompileError(_)),
+        "{:?}",
+        r.status
+    );
+    let after = VendorCompiler::new(VendorId::Caps, "3.1.0".parse().unwrap());
+    let r = run_case(case, &after, Language::C);
+    assert!(r.passed(), "{:?}", r.status);
+}
+
+#[test]
+fn pgi_async_test_story_reproduces() {
+    // §V-B Fig. 10: acc_async_test keeps returning -1 on every PGI release.
+    let suite = openacc_vv::testsuite::full_suite();
+    let case = suite
+        .iter()
+        .find(|c| c.feature.as_str() == "rt.acc_async_test")
+        .unwrap();
+    use openacc_vv::validation::harness::run_case;
+    for version in VendorId::Pgi.versions() {
+        let compiler = VendorCompiler::new(VendorId::Pgi, version);
+        let r = run_case(case, &compiler, Language::C);
+        assert_eq!(r.status, TestStatus::WrongResult, "PGI {version}");
+    }
+}
+
+#[test]
+fn cray_scalar_copy_and_dead_region_stories_reproduce() {
+    // §V-B: scalar copy omitted; dead compute regions eliminated.
+    let suite = openacc_vv::testsuite::full_suite();
+    use openacc_vv::validation::harness::run_case;
+    let cray = VendorCompiler::latest(VendorId::Cray);
+    let scalar = suite
+        .iter()
+        .find(|c| c.feature.as_str() == "data.copy_scalar")
+        .unwrap();
+    assert_eq!(
+        run_case(scalar, &cray, Language::C).status,
+        TestStatus::WrongResult
+    );
+    let copyout = suite
+        .iter()
+        .find(|c| c.feature.as_str() == "data.copyout")
+        .unwrap();
+    assert_eq!(
+        run_case(copyout, &cray, Language::C).status,
+        TestStatus::WrongResult
+    );
+    // Both pass under the reference implementation.
+    let reference = VendorCompiler::reference();
+    assert!(run_case(scalar, &reference, Language::C).passed());
+    assert!(run_case(copyout, &reference, Language::C).passed());
+}
+
+#[test]
+fn every_catalogued_bug_feature_has_a_corpus_test() {
+    // A catalogued bug the suite cannot exercise would be undiscoverable;
+    // every record's feature id must have a test in the corpus (in the
+    // record's language).
+    let suite = openacc_vv::testsuite::full_suite();
+    let catalog = BugCatalog::paper();
+    for record in catalog.records() {
+        let case = suite.iter().find(|c| c.feature == record.feature);
+        let case = case.unwrap_or_else(|| {
+            panic!(
+                "bug {} references feature {} with no corpus test",
+                record.id, record.feature
+            )
+        });
+        assert!(
+            case.supports(record.language),
+            "bug {} is a {} bug but the {} test does not cover that language",
+            record.id,
+            record.language,
+            record.feature
+        );
+    }
+}
+
+#[test]
+fn suite_scale_matches_paper() {
+    // "more than 160 test cases covering the OpenACC C and OpenACC Fortran
+    // feature set" (§III).
+    let suite = openacc_vv::testsuite::full_suite();
+    assert!(openacc_vv::testsuite::variant_count(&suite) > 160);
+}

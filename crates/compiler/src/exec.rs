@@ -62,6 +62,18 @@ pub struct RunResult {
     pub metrics: acc_device::Metrics,
 }
 
+/// Per-run execution knobs the fault-tolerant executor threads through.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunKnobs {
+    /// Override of the interpreter's step budget (`None` = the default
+    /// 20M-step limit). The executor's watchdog shrinks this so hang-class
+    /// defects classify as timeouts quickly.
+    pub step_limit: Option<u64>,
+    /// Which attempt this is (0 for the first run). Transient-fault draws
+    /// mix this in so retries see fresh, but still deterministic, faults.
+    pub run_index: u64,
+}
+
 impl Executable {
     /// Run the program with an empty environment.
     pub fn run(&self) -> RunResult {
@@ -70,7 +82,16 @@ impl Executable {
 
     /// Run the program honoring ACC_* environment variables.
     pub fn run_with_env(&self, env: &EnvConfig) -> RunResult {
+        self.run_with_knobs(env, RunKnobs::default())
+    }
+
+    /// Run with explicit execution knobs (step budget, attempt index).
+    pub fn run_with_knobs(&self, env: &EnvConfig, knobs: RunKnobs) -> RunResult {
         let mut m = Machine::new(&self.program, &self.profile, self.concrete_device, env);
+        if let Some(limit) = knobs.step_limit {
+            m.step_limit = limit;
+        }
+        m.run_index = knobs.run_index;
         let outcome = m.run_main();
         RunResult {
             outcome,
@@ -200,6 +221,12 @@ pub(crate) struct Machine<'a> {
     deferred: Vec<Vec<DeferredEffect>>,
     steps: u64,
     step_limit: u64,
+    /// Attempt number (0-based) — input to transient-fault draws.
+    run_index: u64,
+    /// Monotone counter of transient-fault decision points this run.
+    fault_event: u64,
+    /// FNV hash of the program name, fixed per program.
+    program_hash: u64,
     garbage_counter: i64,
     /// Count of device statements in the current region (kernel cost).
     region_cost: u64,
@@ -224,6 +251,9 @@ impl<'a> Machine<'a> {
             deferred: Vec::new(),
             steps: 0,
             step_limit: DEFAULT_STEP_LIMIT,
+            run_index: 0,
+            fault_event: 0,
+            program_hash: acc_device::profile::stable_name_hash(&prog.name),
             garbage_counter: 0,
             region_cost: 0,
             data_devptr: Vec::new(),
@@ -243,6 +273,40 @@ impl<'a> Machine<'a> {
             Err(Abort::Crash(m)) => RunOutcome::Crash(m),
             Err(Abort::Timeout) => RunOutcome::Timeout,
         }
+    }
+
+    /// Draw one transient-fault decision for the defect selected by
+    /// `pick` out of the active profile. Deterministic: the decision is a
+    /// pure function of the defect seed, the program name, the attempt
+    /// index, and a per-run event counter — never of thread scheduling.
+    fn transient_fires(&mut self, pick: fn(&Defect) -> Option<(u8, u64)>) -> bool {
+        let params = self.profile.defects().find_map(pick);
+        let Some((rate_pct, seed)) = params else {
+            return false;
+        };
+        let event = self.fault_event;
+        self.fault_event += 1;
+        acc_device::profile::transient_fault_fires(
+            rate_pct,
+            seed,
+            self.program_hash,
+            self.run_index,
+            event,
+        )
+    }
+
+    fn transient_memcpy_fires(&mut self) -> bool {
+        self.transient_fires(|d| match d {
+            Defect::TransientMemcpyFault { rate_pct, seed } => Some((*rate_pct, *seed)),
+            _ => None,
+        })
+    }
+
+    fn transient_stall_fires(&mut self) -> bool {
+        self.transient_fires(|d| match d {
+            Defect::IntermittentAsyncStall { rate_pct, seed } => Some((*rate_pct, *seed)),
+            _ => None,
+        })
     }
 
     fn tick(&mut self) -> Exec<()> {
@@ -843,6 +907,11 @@ impl<'a> Machine<'a> {
                 {
                     return Ok(());
                 }
+                if self.transient_stall_fires() {
+                    // The wait never returns: an intermittent queue stall,
+                    // observed exactly as the "executes forever" class.
+                    return Err(Abort::Timeout);
+                }
                 match &dir.wait_arg {
                     Some(e) => {
                         let tag = AsyncTag::Numbered(self.eval_host(e)?.as_int().map_err(crash)?);
@@ -1067,6 +1136,11 @@ impl<'a> Machine<'a> {
     }
 
     fn upload_now(&mut self, name: &str, buf: BufferId, start: usize, len: usize) -> Exec<()> {
+        if self.transient_memcpy_fires() {
+            return Err(Abort::Crash(format!(
+                "transient fault: host-to-device memcpy of '{name}' failed"
+            )));
+        }
         if let Some(id) = self.host_array_id(name) {
             let arr = &self.host_arrays[id];
             let bytes = self
@@ -1087,6 +1161,11 @@ impl<'a> Machine<'a> {
     }
 
     fn download_now(&mut self, name: &str, buf: BufferId, start: usize, len: usize) -> Exec<()> {
+        if self.transient_memcpy_fires() {
+            return Err(Abort::Crash(format!(
+                "transient fault: device-to-host memcpy of '{name}' failed"
+            )));
+        }
         if let Some(id) = self.host_array_id(name) {
             let arr = &mut self.host_arrays[id];
             let bytes = self

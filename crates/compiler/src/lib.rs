@@ -30,5 +30,5 @@ pub mod vendor;
 
 pub use bugs::{BugCatalog, BugRecord};
 pub use driver::{CompileFailure, Executable};
-pub use exec::{RunOutcome, RunResult};
+pub use exec::{RunKnobs, RunOutcome, RunResult};
 pub use vendor::{VendorCompiler, VendorId};

@@ -137,6 +137,9 @@ fn covers(record: &BugRecord, feature: &FeatureId) -> bool {
             f.starts_with(&dir_prefix) || f.contains(clause.name())
         }
         Defect::CollapseIgnoresInner => f.contains("collapse"),
+        // Transient infrastructure faults are not compiler bugs: they can
+        // hit any feature, so they never *explain* a deterministic failure.
+        Defect::TransientMemcpyFault { .. } | Defect::IntermittentAsyncStall { .. } => false,
     }
 }
 

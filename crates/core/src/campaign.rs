@@ -8,6 +8,44 @@ use crate::harness::{run_case, CaseResult};
 use acc_compiler::{VendorCompiler, VendorId};
 use acc_spec::{FeatureId, Language};
 use std::collections::BTreeSet;
+use std::fmt;
+
+/// Failure counts grouped by the taxonomy: the paper's four classes (§V:
+/// compile-time errors; runtime errors: incorrect result, crash, executes
+/// forever) extended with the executor's two infrastructure classes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailureBreakdown {
+    /// Compilation failed.
+    pub compile_errors: usize,
+    /// Ran but produced an incorrect result.
+    pub wrong_results: usize,
+    /// Crashed at runtime.
+    pub crashes: usize,
+    /// Exceeded the step budget or wall-clock deadline.
+    pub timeouts: usize,
+    /// Harness-side failures (panics caught by the executor).
+    pub infra: usize,
+    /// Verdict changed across retry attempts (not a hard failure).
+    pub flaky: usize,
+}
+
+impl FailureBreakdown {
+    /// Total hard failures (flaky results are not hard failures).
+    pub fn total_failures(&self) -> usize {
+        self.compile_errors + self.wrong_results + self.crashes + self.timeouts + self.infra
+    }
+}
+
+impl fmt::Display for FailureBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "compile errors {}, wrong results {}, crashes {}, timeouts {}, infra {}, flaky {}",
+            self.compile_errors, self.wrong_results, self.crashes, self.timeouts, self.infra,
+            self.flaky
+        )
+    }
+}
 
 /// Results of one suite run against one compiler release.
 #[derive(Debug, Clone)]
@@ -47,16 +85,18 @@ impl SuiteRun {
             .collect()
     }
 
-    /// Failures grouped by the paper's taxonomy: (compile errors, wrong
-    /// results, crashes, timeouts) for a language.
-    pub fn failure_breakdown(&self, lang: Language) -> (usize, usize, usize, usize) {
-        let mut b = (0, 0, 0, 0);
+    /// Failures grouped by the taxonomy (compile / wrong-result / crash /
+    /// timeout / infra / flaky) for a language.
+    pub fn failure_breakdown(&self, lang: Language) -> FailureBreakdown {
+        let mut b = FailureBreakdown::default();
         for r in self.counted(lang) {
             match r.status {
-                TestStatus::CompileError(_) => b.0 += 1,
-                TestStatus::WrongResult => b.1 += 1,
-                TestStatus::Crash(_) => b.2 += 1,
-                TestStatus::Timeout => b.3 += 1,
+                TestStatus::CompileError(_) => b.compile_errors += 1,
+                TestStatus::WrongResult => b.wrong_results += 1,
+                TestStatus::Crash(_) => b.crashes += 1,
+                TestStatus::Timeout => b.timeouts += 1,
+                TestStatus::Infra(_) => b.infra += 1,
+                TestStatus::Flaky => b.flaky += 1,
                 _ => {}
             }
         }
@@ -306,9 +346,9 @@ mod tests {
             failing.contains(&FeatureId::from("parallel.num_gangs")),
             "{failing:?}"
         );
-        let (compile_errors, ..) = run.failure_breakdown(Language::C);
+        let breakdown = run.failure_breakdown(Language::C);
         assert!(
-            compile_errors >= 1,
+            breakdown.compile_errors >= 1,
             "variable sizing expr is a compile-time rejection"
         );
         // The fixed release passes.

@@ -121,8 +121,19 @@ pub enum TestStatus {
     WrongResult,
     /// The program crashed at runtime.
     Crash(String),
-    /// The program exceeded its execution budget ("executes forever").
+    /// The program exceeded its execution budget ("executes forever") —
+    /// either the interpreter's step budget or the executor's wall-clock
+    /// deadline.
     Timeout,
+    /// The harness itself failed (a panic inside the front-end or
+    /// interpreter caught by the executor's isolation boundary). One red
+    /// row, not a dead campaign — and not the compiler's fault.
+    Infra(String),
+    /// The verdict changed across retry attempts (e.g. a transient memcpy
+    /// fault on one node). Not a hard failure of the compiler; surfaced
+    /// separately so infrastructure flakiness is visible, with the
+    /// attempt-level pass ratio folded into the certainty statistics.
+    Flaky,
     /// The test does not apply to this language.
     Skipped,
 }
@@ -130,7 +141,10 @@ pub enum TestStatus {
 impl TestStatus {
     /// Conformance verdict: did the compiler pass this feature test?
     pub fn passed(&self) -> bool {
-        matches!(self, TestStatus::Pass | TestStatus::PassInconclusive)
+        matches!(
+            self,
+            TestStatus::Pass | TestStatus::PassInconclusive | TestStatus::Flaky
+        )
     }
 
     /// Is this a countable executed test (not skipped)?
@@ -147,6 +161,8 @@ impl TestStatus {
             TestStatus::WrongResult => "WRONG-RESULT",
             TestStatus::Crash(_) => "CRASH",
             TestStatus::Timeout => "TIMEOUT",
+            TestStatus::Infra(_) => "INFRA",
+            TestStatus::Flaky => "FLAKY",
             TestStatus::Skipped => "SKIP",
         }
     }
@@ -157,6 +173,7 @@ impl fmt::Display for TestStatus {
         match self {
             TestStatus::CompileError(m) => write!(f, "COMPILE-ERROR: {m}"),
             TestStatus::Crash(m) => write!(f, "CRASH: {m}"),
+            TestStatus::Infra(m) => write!(f, "INFRA: {m}"),
             other => f.write_str(other.label()),
         }
     }
@@ -232,6 +249,15 @@ mod tests {
         assert!(!TestStatus::Skipped.counted());
         assert!(TestStatus::Timeout.counted());
         assert_eq!(TestStatus::WrongResult.label(), "WRONG-RESULT");
+        // Infra failures count but are not compiler passes; flaky results
+        // count and are not hard failures.
+        assert!(TestStatus::Infra("panic".into()).counted());
+        assert!(!TestStatus::Infra("panic".into()).passed());
+        assert!(TestStatus::Flaky.counted());
+        assert!(TestStatus::Flaky.passed());
+        assert_eq!(TestStatus::Infra("x".into()).label(), "INFRA");
+        assert_eq!(TestStatus::Flaky.label(), "FLAKY");
+        assert_eq!(TestStatus::Infra("boom".into()).to_string(), "INFRA: boom");
     }
 
     #[test]

@@ -1,0 +1,550 @@
+//! Fault-tolerant campaign executor: panic isolation, watchdog budgets,
+//! retry/flake classification, and a bounded worker pool.
+//!
+//! A validation campaign is only as trustworthy as its weakest
+//! infrastructure link: one panicking case, one runaway interpretation, or
+//! one transient device fault must not take down — or silently skew — the
+//! other several hundred results. This module wraps the per-case harness of
+//! [`crate::harness`] in four robustness layers:
+//!
+//! 1. **Panic isolation** — every attempt runs under
+//!    [`std::panic::catch_unwind`]; a panic becomes a
+//!    [`TestStatus::Infra`] row carrying the panic message while the rest of
+//!    the campaign proceeds untouched.
+//! 2. **Watchdog budgets** — a per-case policy combines the interpreter's
+//!    step budget (which *guarantees* termination of the single-threaded
+//!    machine) with a wall-clock deadline (which reclassifies attempts that
+//!    finished but blew their time budget). Both classify as
+//!    [`TestStatus::Timeout`].
+//! 3. **Retry + flake classification** — failing attempts are retried with
+//!    exponential backoff. When the verdict changes across attempts the case
+//!    is classified [`TestStatus::Flaky`] and the attempt series is folded
+//!    into the paper's certainty machinery ([`Certainty::from_attempts`]:
+//!    M = attempts, nf = failing attempts, so `p` is the observed flake
+//!    rate).
+//! 4. **Bounded worker pool** — cases fan out over `jobs` std threads fed by
+//!    an atomic work index, with results collected over an mpsc channel into
+//!    index-ordered slots. Report output is therefore byte-identical for any
+//!    `jobs` value on fault-free runs.
+//!
+//! Determinism note: transient-fault draws in the simulated device are pure
+//! functions of (defect seed, program name, run index, event counter) — see
+//! `acc_device::profile::transient_fault_fires`. The executor strides the
+//! run-index base by [`ATTEMPT_STRIDE`] per attempt, so attempt *k* of a
+//! case sees the same faults no matter which worker thread runs it or in
+//! what order.
+
+use crate::campaign::{Campaign, SuiteRun};
+use crate::case::{TestCase, TestStatus};
+use crate::harness::{run_case_with, CaseResult, CasePolicy};
+use crate::stats::Certainty;
+use acc_compiler::VendorCompiler;
+use acc_spec::{FeatureId, Language};
+use std::any::Any;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Run-index stride between retry attempts of one case. Each attempt `k`
+/// runs with base `k * ATTEMPT_STRIDE`, and within an attempt the harness
+/// consumes `1 + repetitions` consecutive indices — so as long as a case
+/// runs fewer than this many executions per attempt, attempts draw fully
+/// decorrelated (yet deterministic) transient faults.
+pub const ATTEMPT_STRIDE: u64 = 1 << 20;
+
+/// Knobs of the fault-tolerant executor.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutorPolicy {
+    /// Worker threads (1 = serial; campaign order is preserved either way).
+    pub jobs: usize,
+    /// Extra attempts after a failing first attempt.
+    pub retries: u32,
+    /// Base for the exponential backoff between retries, in milliseconds:
+    /// retry `n` sleeps `backoff_base_ms * 2^(n-1)`. 0 disables the sleep.
+    pub backoff_base_ms: u64,
+    /// Wall-clock deadline per attempt; attempts exceeding it classify as
+    /// [`TestStatus::Timeout`]. `None` = no wall-clock watchdog.
+    pub case_deadline_ms: Option<u64>,
+    /// Interpreter step-budget override; exhaustion classifies as
+    /// [`TestStatus::Timeout`]. `None` = the machine default.
+    pub step_limit: Option<u64>,
+}
+
+impl Default for ExecutorPolicy {
+    fn default() -> Self {
+        ExecutorPolicy {
+            jobs: 1,
+            retries: 0,
+            backoff_base_ms: 0,
+            case_deadline_ms: None,
+            step_limit: None,
+        }
+    }
+}
+
+impl ExecutorPolicy {
+    /// Default policy: serial, no retries, no watchdog overrides.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker-thread count.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Set the retry count.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Set the backoff base in milliseconds.
+    pub fn with_backoff_ms(mut self, ms: u64) -> Self {
+        self.backoff_base_ms = ms;
+        self
+    }
+
+    /// Set the per-attempt wall-clock deadline in milliseconds.
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.case_deadline_ms = Some(ms);
+        self
+    }
+
+    /// Set the interpreter step budget.
+    pub fn with_step_limit(mut self, steps: u64) -> Self {
+        self.step_limit = Some(steps);
+        self
+    }
+}
+
+/// Identity of one job in the pool — enough to label a result row even when
+/// the attempt itself panicked before producing one.
+#[derive(Debug, Clone)]
+pub struct JobMeta {
+    /// Test name.
+    pub name: String,
+    /// Feature id.
+    pub feature: FeatureId,
+    /// Language variant.
+    pub language: Language,
+}
+
+/// The fault-tolerant executor: a policy plus the machinery to apply it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Executor {
+    /// The knobs in force.
+    pub policy: ExecutorPolicy,
+}
+
+impl Executor {
+    /// Create an executor with the given policy.
+    pub fn new(policy: ExecutorPolicy) -> Self {
+        Executor { policy }
+    }
+
+    /// Run a campaign's selected cases against one compiler release under
+    /// this executor's policy. Job order (case-major, language-minor) and
+    /// therefore result order matches [`Campaign::run_one`] exactly.
+    pub fn run_suite(&self, campaign: &Campaign, compiler: &VendorCompiler) -> SuiteRun {
+        let cases: Vec<TestCase> = campaign
+            .selected_cases()
+            .into_iter()
+            .map(|case| match campaign.config.repetitions {
+                Some(m) => {
+                    let mut c = case.clone();
+                    c.repetitions = m;
+                    c
+                }
+                None => case.clone(),
+            })
+            .collect();
+        let mut jobs: Vec<(usize, Language)> = Vec::new();
+        let mut metas: Vec<JobMeta> = Vec::new();
+        for (i, case) in cases.iter().enumerate() {
+            for &lang in &campaign.config.languages {
+                jobs.push((i, lang));
+                metas.push(JobMeta {
+                    name: case.name.clone(),
+                    feature: case.feature.clone(),
+                    language: lang,
+                });
+            }
+        }
+        let results = self.run_jobs_with(&metas, |index, attempt| {
+            let (case_index, lang) = jobs[index];
+            let policy = CasePolicy {
+                step_limit: self.policy.step_limit,
+                run_index_base: attempt as u64 * ATTEMPT_STRIDE,
+            };
+            run_case_with(&cases[case_index], compiler, lang, &policy)
+        });
+        SuiteRun {
+            compiler: compiler.label(),
+            results,
+        }
+    }
+
+    /// Run `metas.len()` jobs through the pool, where `run_attempt(index,
+    /// attempt)` produces one attempt's result. This is the generic entry
+    /// point the robustness tests use to inject panics, stalls and flaky
+    /// verdicts without a real compiler in the loop; [`Executor::run_suite`]
+    /// is a thin wrapper over it.
+    pub fn run_jobs_with<F>(&self, metas: &[JobMeta], run_attempt: F) -> Vec<CaseResult>
+    where
+        F: Fn(usize, u32) -> CaseResult + Sync,
+    {
+        let n = metas.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.policy.jobs.max(1).min(n);
+        if workers == 1 {
+            return (0..n)
+                .map(|i| self.run_one_job(i, &metas[i], &run_attempt))
+                .collect();
+        }
+        // Bounded pool: `workers` threads pull indices from an atomic
+        // counter and send finished rows back over a channel; the collector
+        // writes them into index-ordered slots so the output is independent
+        // of scheduling.
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, CaseResult)>();
+        let mut slots: Vec<Option<CaseResult>> = Vec::new();
+        slots.resize_with(n, || None);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let run_attempt = &run_attempt;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= n {
+                        break;
+                    }
+                    let row = self.run_one_job(i, &metas[i], run_attempt);
+                    if tx.send((i, row)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (i, row) in rx {
+                slots[i] = Some(row);
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("pool filled every slot"))
+            .collect()
+    }
+
+    /// One job through the full robustness stack: catch_unwind isolation,
+    /// the wall-clock watchdog, and the retry/flake loop.
+    fn run_one_job<F>(&self, index: usize, meta: &JobMeta, run_attempt: &F) -> CaseResult
+    where
+        F: Fn(usize, u32) -> CaseResult + Sync,
+    {
+        let max_attempts = self.policy.retries.saturating_add(1);
+        let mut history: Vec<TestStatus> = Vec::new();
+        let mut last: Option<CaseResult> = None;
+        for attempt in 0..max_attempts {
+            if attempt > 0 && self.policy.backoff_base_ms > 0 {
+                let exp = (attempt - 1).min(16);
+                let sleep_ms = self.policy.backoff_base_ms.saturating_mul(1u64 << exp);
+                std::thread::sleep(Duration::from_millis(sleep_ms));
+            }
+            let started = Instant::now();
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| run_attempt(index, attempt)));
+            let mut result = match outcome {
+                Ok(r) => r,
+                Err(payload) => CaseResult {
+                    name: meta.name.clone(),
+                    feature: meta.feature.clone(),
+                    language: meta.language,
+                    status: TestStatus::Infra(panic_message(payload.as_ref())),
+                    certainty: None,
+                    functional_source: String::new(),
+                    attempts: 1,
+                },
+            };
+            // Wall-clock watchdog: the step budget guarantees the attempt
+            // terminated; if it nonetheless blew the deadline, the verdict
+            // is a timeout regardless of what the attempt reported. Infra
+            // rows keep their (more informative) panic message.
+            if let Some(deadline) = self.policy.case_deadline_ms {
+                let overran = started.elapsed() > Duration::from_millis(deadline);
+                let reclassifiable =
+                    result.status.counted() && !matches!(result.status, TestStatus::Infra(_));
+                if overran && reclassifiable {
+                    result.status = TestStatus::Timeout;
+                    result.certainty = None;
+                }
+            }
+            let is_skip = matches!(result.status, TestStatus::Skipped);
+            let passed = result.passed();
+            history.push(result.status.clone());
+            last = Some(result);
+            if passed || is_skip {
+                break;
+            }
+        }
+        let mut row = last.expect("at least one attempt ran");
+        let attempts_made = history.len() as u32;
+        row.attempts = attempts_made;
+        let failures = history.iter().filter(|s| s.counted() && !s.passed()).count() as u32;
+        let passes = history.iter().filter(|s| s.passed()).count() as u32;
+        if failures > 0 && passes > 0 {
+            // The verdict changed across attempts: not a hard failure, not a
+            // clean pass — a flake, quantified through the same certainty
+            // formulas the cross test uses.
+            row.status = TestStatus::Flaky;
+            row.certainty = Some(Certainty::from_attempts(attempts_made, failures));
+        }
+        row
+    }
+}
+
+/// Render a caught panic payload (the `&str`/`String` cases cover both
+/// `panic!("literal")` and `panic!("{formatted}")`).
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cross::CrossRule;
+    use acc_ast::builder as b;
+    use acc_ast::{Expr, Program};
+    use acc_spec::DirectiveKind;
+
+    fn meta(i: usize) -> JobMeta {
+        JobMeta {
+            name: format!("case{i}"),
+            feature: FeatureId::from(format!("f.{i}").as_str()),
+            language: Language::C,
+        }
+    }
+
+    fn metas(n: usize) -> Vec<JobMeta> {
+        (0..n).map(meta).collect()
+    }
+
+    fn row(m: &JobMeta, status: TestStatus) -> CaseResult {
+        CaseResult {
+            name: m.name.clone(),
+            feature: m.feature.clone(),
+            language: m.language,
+            status,
+            certainty: None,
+            functional_source: String::new(),
+            attempts: 1,
+        }
+    }
+
+    fn loop_case() -> TestCase {
+        let n = 16;
+        let base = Program::simple(
+            "loop",
+            Language::C,
+            vec![
+                b::decl_int("error", 0),
+                b::decl_array("A", acc_ast::ScalarType::Int, n),
+                b::for_upto(
+                    "i",
+                    Expr::int(n as i64),
+                    vec![b::set1("A", Expr::var("i"), Expr::int(0))],
+                ),
+                b::parallel_region(
+                    vec![
+                        acc_ast::AccClause::NumGangs(Expr::int(4)),
+                        b::copy_sec("A", Expr::int(n as i64)),
+                    ],
+                    vec![b::acc_loop(
+                        vec![],
+                        "i",
+                        Expr::int(n as i64),
+                        vec![b::add1("A", Expr::var("i"), Expr::int(1))],
+                    )],
+                ),
+                b::for_upto(
+                    "i",
+                    Expr::int(n as i64),
+                    vec![b::if_then(
+                        Expr::ne(Expr::idx("A", Expr::var("i")), Expr::int(1)),
+                        vec![b::bump_error()],
+                    )],
+                ),
+                b::return_error_check(),
+            ],
+        );
+        TestCase::new(
+            "loop",
+            "loop",
+            base,
+            Some(CrossRule::RemoveDirective(DirectiveKind::Loop)),
+            "loop directive shares iterations across gangs",
+        )
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_as_infra() {
+        let ms = metas(5);
+        for jobs in [1, 3] {
+            let exec = Executor::new(ExecutorPolicy::new().with_jobs(jobs));
+            let results = exec.run_jobs_with(&ms, |i, _attempt| {
+                if i == 2 {
+                    panic!("deliberate harness bug on job {i}");
+                }
+                row(&ms[i], TestStatus::Pass)
+            });
+            assert_eq!(results.len(), 5);
+            // The panicking slot is an Infra row with the message …
+            match &results[2].status {
+                TestStatus::Infra(m) => assert!(m.contains("deliberate harness bug"), "{m}"),
+                other => panic!("expected Infra, got {other:?}"),
+            }
+            // … and every other case completed normally.
+            for (i, r) in results.iter().enumerate() {
+                if i != 2 {
+                    assert_eq!(r.status, TestStatus::Pass, "slot {i} under jobs={jobs}");
+                }
+                assert_eq!(r.name, format!("case{i}"));
+            }
+        }
+    }
+
+    #[test]
+    fn verdict_change_across_attempts_is_flaky() {
+        let ms = metas(1);
+        let exec = Executor::new(ExecutorPolicy::new().with_retries(3));
+        let results = exec.run_jobs_with(&ms, |i, attempt| {
+            if attempt == 0 {
+                row(&ms[i], TestStatus::WrongResult)
+            } else {
+                row(&ms[i], TestStatus::Pass)
+            }
+        });
+        assert_eq!(results[0].status, TestStatus::Flaky);
+        assert!(results[0].passed(), "flaky is not a hard failure");
+        assert_eq!(results[0].attempts, 2, "stopped at the first pass");
+        let c = results[0].certainty.expect("attempt-series certainty");
+        assert_eq!((c.m, c.nf), (2, 1));
+        assert!((c.flake_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_failure_stays_hard_after_retries() {
+        let ms = metas(1);
+        let exec = Executor::new(ExecutorPolicy::new().with_retries(2));
+        let results =
+            exec.run_jobs_with(&ms, |i, _attempt| row(&ms[i], TestStatus::WrongResult));
+        assert_eq!(results[0].status, TestStatus::WrongResult);
+        assert_eq!(results[0].attempts, 3, "1 attempt + 2 retries");
+        assert!(!results[0].passed());
+    }
+
+    #[test]
+    fn deterministic_panic_stays_infra_after_retries() {
+        let ms = metas(1);
+        let exec = Executor::new(ExecutorPolicy::new().with_retries(2));
+        let results = exec.run_jobs_with(&ms, |_i, attempt| -> CaseResult {
+            panic!("always broken (attempt {attempt})");
+        });
+        assert!(matches!(results[0].status, TestStatus::Infra(_)));
+        assert_eq!(results[0].attempts, 3);
+    }
+
+    #[test]
+    fn skipped_cases_are_not_retried() {
+        let ms = metas(1);
+        let attempts_seen = AtomicUsize::new(0);
+        let exec = Executor::new(ExecutorPolicy::new().with_retries(5));
+        let results = exec.run_jobs_with(&ms, |i, _attempt| {
+            attempts_seen.fetch_add(1, Ordering::SeqCst);
+            row(&ms[i], TestStatus::Skipped)
+        });
+        assert_eq!(results[0].status, TestStatus::Skipped);
+        assert_eq!(attempts_seen.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn wall_clock_watchdog_reclassifies_slow_attempts() {
+        // Every job sleeps well past the deadline — all must classify
+        // Timeout, deterministically, under a parallel pool.
+        let ms = metas(4);
+        let exec = Executor::new(ExecutorPolicy::new().with_jobs(2).with_deadline_ms(5));
+        let results = exec.run_jobs_with(&ms, |i, _attempt| {
+            std::thread::sleep(Duration::from_millis(40));
+            row(&ms[i], TestStatus::Pass)
+        });
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.status, TestStatus::Timeout, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn step_budget_watchdog_classifies_timeout() {
+        // A tiny interpreter budget starves even the healthy loop case:
+        // the functional run aborts with Timeout.
+        let campaign = Campaign::new(vec![loop_case()])
+            .with_config(crate::config::SuiteConfig::new().language(Language::C));
+        for jobs in [1, 2] {
+            let exec = Executor::new(
+                ExecutorPolicy::new().with_jobs(jobs).with_step_limit(10),
+            );
+            let run = exec.run_suite(&campaign, &VendorCompiler::reference());
+            assert_eq!(run.results.len(), 1);
+            assert_eq!(run.results[0].status, TestStatus::Timeout, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_suite_matches_serial_suite() {
+        let campaign = Campaign::new(vec![loop_case()]);
+        let reference = VendorCompiler::reference();
+        let serial = Executor::new(ExecutorPolicy::new()).run_suite(&campaign, &reference);
+        let parallel =
+            Executor::new(ExecutorPolicy::new().with_jobs(4)).run_suite(&campaign, &reference);
+        assert_eq!(serial.results.len(), parallel.results.len());
+        for (a, b) in serial.results.iter().zip(&parallel.results) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.language, b.language);
+            assert_eq!(a.status, b.status);
+            assert_eq!(a.certainty, b.certainty);
+        }
+        // And the executor at jobs=1 matches the plain campaign runner.
+        let plain = campaign.run_one(&reference);
+        for (a, b) in serial.results.iter().zip(&plain.results) {
+            assert_eq!(a.status, b.status);
+        }
+    }
+
+    #[test]
+    fn backoff_sleeps_between_retries() {
+        let ms = metas(1);
+        let exec = Executor::new(ExecutorPolicy::new().with_retries(2).with_backoff_ms(3));
+        let started = Instant::now();
+        let results =
+            exec.run_jobs_with(&ms, |i, _attempt| row(&ms[i], TestStatus::WrongResult));
+        // Backoff: 3ms before retry 1, 6ms before retry 2 → ≥9ms total.
+        assert!(started.elapsed() >= Duration::from_millis(9));
+        assert_eq!(results[0].attempts, 3);
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let exec = Executor::new(ExecutorPolicy::new().with_jobs(8));
+        let results = exec.run_jobs_with(&[], |_i, _a| unreachable!());
+        assert!(results.is_empty());
+    }
+}

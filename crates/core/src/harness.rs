@@ -9,9 +9,23 @@
 
 use crate::case::{TestCase, TestStatus};
 use crate::stats::Certainty;
-use acc_compiler::exec::RunOutcome;
+use acc_compiler::exec::{RunKnobs, RunOutcome};
 use acc_compiler::VendorCompiler;
 use acc_spec::Language;
+
+/// Per-attempt execution policy the fault-tolerant executor threads into a
+/// case run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CasePolicy {
+    /// Interpreter step-budget override (`None` = the machine default).
+    pub step_limit: Option<u64>,
+    /// Base run index for this attempt. The functional run uses the base
+    /// itself and cross repetition `k` uses `base + 1 + k`, so every
+    /// execution inside one attempt — and across attempts when the caller
+    /// strides the base — draws decorrelated transient faults while staying
+    /// fully deterministic.
+    pub run_index_base: u64,
+}
 
 /// The full record of one test executed against one compiler+language.
 #[derive(Debug, Clone)]
@@ -24,11 +38,15 @@ pub struct CaseResult {
     pub language: Language,
     /// Classification.
     pub status: TestStatus,
-    /// Certainty statistics when a cross test ran.
+    /// Certainty statistics when a cross test ran. For a
+    /// [`TestStatus::Flaky`] verdict this instead carries the attempt-series
+    /// statistics (M = attempts, nf = failing attempts).
     pub certainty: Option<Certainty>,
     /// The generated functional source (appended to bug reports "for
     /// vendors' convenience").
     pub functional_source: String,
+    /// How many times the executor ran this case (1 unless retried).
+    pub attempts: u32,
 }
 
 impl CaseResult {
@@ -36,10 +54,30 @@ impl CaseResult {
     pub fn passed(&self) -> bool {
         self.status.passed()
     }
+
+    /// The certainty column for reports: renders "—" when no cross test ran
+    /// instead of forcing callers through `unwrap()`.
+    pub fn certainty_label(&self) -> String {
+        match self.certainty {
+            Some(c) => c.to_string(),
+            None => "—".to_string(),
+        }
+    }
 }
 
 /// Run one test case against a compiler for one language.
 pub fn run_case(case: &TestCase, compiler: &VendorCompiler, language: Language) -> CaseResult {
+    run_case_with(case, compiler, language, &CasePolicy::default())
+}
+
+/// Run one test case under an explicit execution policy (step budget and
+/// attempt-index base) — the entry point the fault-tolerant executor uses.
+pub fn run_case_with(
+    case: &TestCase,
+    compiler: &VendorCompiler,
+    language: Language,
+    policy: &CasePolicy,
+) -> CaseResult {
     let mk = |status: TestStatus, certainty: Option<Certainty>, src: String| CaseResult {
         name: case.name.clone(),
         feature: case.feature.clone(),
@@ -47,6 +85,11 @@ pub fn run_case(case: &TestCase, compiler: &VendorCompiler, language: Language) 
         status,
         certainty,
         functional_source: src,
+        attempts: 1,
+    };
+    let knobs = |offset: u64| RunKnobs {
+        step_limit: policy.step_limit,
+        run_index: policy.run_index_base + offset,
     };
     if !case.supports(language) {
         return mk(TestStatus::Skipped, None, String::new());
@@ -58,7 +101,7 @@ pub fn run_case(case: &TestCase, compiler: &VendorCompiler, language: Language) 
         Err(e) => return mk(TestStatus::CompileError(e.to_string()), None, source),
     };
     // 2. Run it.
-    match exe.run_with_env(&case.env).outcome {
+    match exe.run_with_knobs(&case.env, knobs(0)).outcome {
         RunOutcome::Completed(v) if v != 0 => {}
         RunOutcome::Completed(_) => return mk(TestStatus::WrongResult, None, source),
         RunOutcome::Crash(m) => return mk(TestStatus::Crash(m), None, source),
@@ -79,8 +122,8 @@ pub fn run_case(case: &TestCase, compiler: &VendorCompiler, language: Language) 
     //    result (which is what the cross test SHOULD yield).
     let m = case.repetitions.max(1);
     let mut nf = 0;
-    for _ in 0..m {
-        let outcome = cross_exe.run_with_env(&case.env).outcome;
+    for k in 0..m {
+        let outcome = cross_exe.run_with_knobs(&case.env, knobs(1 + k as u64)).outcome;
         let incorrect = !matches!(outcome, RunOutcome::Completed(v) if v != 0);
         if incorrect {
             nf += 1;
@@ -111,7 +154,7 @@ pub fn validate_case(case: &TestCase) -> Vec<String> {
                 "{} ({lang}): cross test does not discriminate under the reference \
                  implementation ({})",
                 case.name,
-                r.certainty.map(|c| c.to_string()).unwrap_or_default()
+                r.certainty_label()
             )),
             other => problems.push(format!(
                 "{} ({lang}): functional test fails under the reference implementation: {other}",

@@ -23,6 +23,11 @@
 //!   compiler under test, runs it, classifies the outcome (pass, wrong
 //!   result, compile error, crash, timeout), and applies the cross
 //!   methodology.
+//! * **Fault-tolerant executor** ([`executor`]) — wraps every case in panic
+//!   isolation, watchdog budgets (interpreter step limit + wall-clock
+//!   deadline), a retry policy with flake classification, and a bounded
+//!   worker pool, so one broken case or transient device fault cannot take
+//!   down or skew a campaign.
 //! * **Campaigns and reports** ([`campaign`], [`report`]) — run a whole
 //!   suite against one or many compiler releases, compute pass rates
 //!   (Fig. 8), collect discovered-bug inventories (Table I), and render
@@ -36,15 +41,17 @@ pub mod campaign;
 pub mod case;
 pub mod config;
 pub mod cross;
+pub mod executor;
 pub mod harness;
 pub mod report;
 pub mod stats;
 pub mod template;
 
 pub use analysis::{attribute, Attribution};
-pub use campaign::{Campaign, CampaignResult, SuiteRun};
+pub use campaign::{Campaign, CampaignResult, FailureBreakdown, SuiteRun};
 pub use case::{TestCase, TestStatus};
 pub use config::SuiteConfig;
 pub use cross::CrossRule;
-pub use harness::{run_case, CaseResult};
+pub use executor::{Executor, ExecutorPolicy, JobMeta};
+pub use harness::{run_case, run_case_with, CasePolicy, CaseResult};
 pub use stats::Certainty;

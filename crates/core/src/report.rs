@@ -40,16 +40,18 @@ fn render_text(run: &SuiteRun) -> String {
         if counted.is_empty() {
             continue;
         }
-        let (ce, wr, cr, to) = run.failure_breakdown(lang);
+        let breakdown = run.failure_breakdown(lang);
         let _ = writeln!(
             s,
-            "\n[{lang}] {} tests, pass rate {:.1}%  (compile errors {ce}, wrong results {wr}, \
-             crashes {cr}, timeouts {to})",
+            "\n[{lang}] {} tests, pass rate {:.1}%  ({breakdown})",
             counted.len(),
             run.pass_rate(lang),
         );
         for r in &counted {
-            let cert = r.certainty.map(|c| format!("  [{c}]")).unwrap_or_default();
+            let cert = match r.certainty {
+                Some(c) => format!("  [{c}]"),
+                None => String::new(),
+            };
             let _ = writeln!(s, "  {:<40} {}{}", r.feature.as_str(), r.status, cert);
         }
         let inconclusive = run.inconclusive(lang);
@@ -159,8 +161,8 @@ fn render_html(run: &SuiteRun) -> String {
 /// matrix of every feature against every compiler run, one column per run.
 ///
 /// Cell legend: `+` pass, `*` pass with an inconclusive cross test,
-/// `C` compile error, `W` wrong result, `X` crash, `T` timeout, `.` not
-/// applicable to the language.
+/// `C` compile error, `W` wrong result, `X` crash, `T` timeout, `I` infra
+/// failure, `F` flaky, `.` not applicable to the language.
 pub fn feature_matrix(runs: &[&SuiteRun], lang: Language) -> String {
     use std::collections::BTreeMap;
     let mut features: BTreeMap<String, Vec<char>> = BTreeMap::new();
@@ -176,6 +178,8 @@ pub fn feature_matrix(runs: &[&SuiteRun], lang: Language) -> String {
                 TestStatus::WrongResult => 'W',
                 TestStatus::Crash(_) => 'X',
                 TestStatus::Timeout => 'T',
+                TestStatus::Infra(_) => 'I',
+                TestStatus::Flaky => 'F',
                 TestStatus::Skipped => '.',
             };
             features
@@ -187,7 +191,7 @@ pub fn feature_matrix(runs: &[&SuiteRun], lang: Language) -> String {
     let _ = writeln!(
         s,
         "PASS/FAIL MATRIX ({lang})  [+ pass, * inconclusive cross, C compile error, W wrong \
-         result, X crash, T timeout, . n/a]\n"
+         result, X crash, T timeout, I infra, F flaky, . n/a]\n"
     );
     let _ = write!(s, "{:<38}", "feature");
     for run in runs {

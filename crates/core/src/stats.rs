@@ -46,6 +46,20 @@ impl Certainty {
     pub fn validated(&self) -> bool {
         self.nf == self.m
     }
+
+    /// Fold an executor retry series into the same machinery: `attempts`
+    /// plays M and `failures` plays nf, so [`Certainty::p`] becomes the
+    /// observed flake rate of the case. Panics under the same bounds as
+    /// [`Certainty::new`].
+    pub fn from_attempts(attempts: u32, failures: u32) -> Self {
+        Certainty::new(attempts, failures)
+    }
+
+    /// Observed flake rate for an attempt-series certainty — an alias of
+    /// [`Certainty::p`] with retry-flavoured naming.
+    pub fn flake_rate(&self) -> f64 {
+        self.p()
+    }
 }
 
 impl fmt::Display for Certainty {
@@ -111,6 +125,15 @@ mod tests {
     #[should_panic(expected = "cannot fail more")]
     fn nf_bounded_by_m() {
         Certainty::new(3, 4);
+    }
+
+    #[test]
+    fn attempt_series_flake_rate() {
+        // 1 failing attempt out of 3 → flake rate 1/3; never "validated"
+        // in the cross-test sense unless every attempt failed.
+        let c = Certainty::from_attempts(3, 1);
+        assert!((c.flake_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(!c.validated());
     }
 
     #[test]

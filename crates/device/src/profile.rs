@@ -105,6 +105,78 @@ pub enum Defect {
     /// The runtime routine is missing from the vendor's library: programs
     /// calling it fail at compile/link time.
     RejectRoutine(RuntimeRoutine),
+    /// *Transient* infrastructure fault: a host↔device transfer fails
+    /// (crashing the run) with probability `rate_pct`% per transfer. The
+    /// draw is a pure function of `seed`, the program name, and the run
+    /// index, so a given (seed, program, attempt) triple always reproduces —
+    /// deterministic flakiness, the field failure mode the Titan harness's
+    /// nightly retries exist for (§VII).
+    TransientMemcpyFault {
+        /// Failure probability in percent (0–100) per transfer.
+        rate_pct: u8,
+        /// Seed decorrelating this fault source from others.
+        seed: u64,
+    },
+    /// *Transient* infrastructure fault: a `wait` (or synchronous queue
+    /// drain) stalls forever with probability `rate_pct`% per wait,
+    /// observed as a timeout. Same determinism contract as
+    /// [`Defect::TransientMemcpyFault`].
+    IntermittentAsyncStall {
+        /// Stall probability in percent (0–100) per wait point.
+        rate_pct: u8,
+        /// Seed decorrelating this fault source from others.
+        seed: u64,
+    },
+}
+
+impl Defect {
+    /// Is this a transient infrastructure fault (retry-able) rather than a
+    /// deterministic compiler bug?
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            Defect::TransientMemcpyFault { .. } | Defect::IntermittentAsyncStall { .. }
+        )
+    }
+}
+
+/// Deterministic per-event fault decision shared by every transient-fault
+/// site: SplitMix64 over `(seed, program hash, run index, event index)`.
+/// Thread-schedule independent — the machine executing a program is
+/// single-threaded, and everything entering the hash is fixed per attempt.
+pub fn transient_fault_fires(
+    rate_pct: u8,
+    seed: u64,
+    program_hash: u64,
+    run_index: u64,
+    event_index: u64,
+) -> bool {
+    if rate_pct == 0 {
+        return false;
+    }
+    if rate_pct >= 100 {
+        return true;
+    }
+    let mut z = seed
+        ^ program_hash.rotate_left(17)
+        ^ run_index.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ event_index.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % 100) < rate_pct as u64
+}
+
+/// FNV-1a hash of a program name — the stable `program_hash` input to
+/// [`transient_fault_fires`].
+pub fn stable_name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 /// Which languages a defect (or a whole profile rule) applies to.
@@ -323,6 +395,43 @@ mod tests {
             WorkerLoopPolicy::default(),
             WorkerLoopPolicy::PerGangWorkers
         );
+    }
+
+    #[test]
+    fn transient_faults_are_deterministic_and_rate_bounded() {
+        // Same inputs → same decision, always.
+        for event in 0..50 {
+            let a = transient_fault_fires(30, 7, 99, 2, event);
+            let b = transient_fault_fires(30, 7, 99, 2, event);
+            assert_eq!(a, b);
+        }
+        // Rate 0 never fires; rate 100 always fires.
+        assert!(!transient_fault_fires(0, 1, 2, 3, 4));
+        assert!(transient_fault_fires(100, 1, 2, 3, 4));
+        // A mid rate fires sometimes but not always across events.
+        let fires: Vec<bool> = (0..200)
+            .map(|e| transient_fault_fires(50, 11, 22, 0, e))
+            .collect();
+        assert!(fires.iter().any(|f| *f));
+        assert!(fires.iter().any(|f| !*f));
+        // Different run indices decorrelate (retries see fresh draws).
+        let runs: Vec<bool> = (0..64)
+            .map(|run| transient_fault_fires(50, 11, 22, run, 0))
+            .collect();
+        assert!(runs.iter().any(|f| *f) && runs.iter().any(|f| !*f));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(Defect::TransientMemcpyFault { rate_pct: 5, seed: 1 }.is_transient());
+        assert!(Defect::IntermittentAsyncStall { rate_pct: 5, seed: 1 }.is_transient());
+        assert!(!Defect::ScalarCopyOmitted.is_transient());
+    }
+
+    #[test]
+    fn name_hash_is_stable_and_discriminating() {
+        assert_eq!(stable_name_hash("loop"), stable_name_hash("loop"));
+        assert_ne!(stable_name_hash("loop"), stable_name_hash("data.copy"));
     }
 
     #[test]

@@ -141,6 +141,18 @@ impl Parser {
     }
 
     fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        // Every statement-level recursion (nested blocks, if/for bodies,
+        // directive regions) passes through here, so one depth guard turns
+        // pathological nesting into a ParseError instead of a stack
+        // overflow — which would abort the process and bypass the
+        // executor's catch_unwind isolation.
+        self.c.descend()?;
+        let r = self.parse_stmt_inner();
+        self.c.ascend();
+        r
+    }
+
+    fn parse_stmt_inner(&mut self) -> Result<Stmt, ParseError> {
         // Directive-introduced statements.
         if let Tok::Directive(payload) = self.c.peek().clone() {
             let line = self.c.line();
@@ -542,6 +554,31 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn deeply_nested_pragma_operand_is_a_parse_error() {
+        // A malformed template with a pathologically nested `#pragma acc`
+        // operand used to drive the recursive-descent expression parser off
+        // the stack; it must now fail with a ParseError the harness can
+        // classify as a compile error.
+        let deep = format!("{}8{}", "(".repeat(50_000), ")".repeat(50_000));
+        let src = format!(
+            "int main(void) {{\n    #pragma acc parallel num_gangs({deep})\n    {{\n    }}\n    return 1;\n}}\n"
+        );
+        let err = parse_c(&src).unwrap_err();
+        assert!(err.to_string().contains("parser limit"), "{err}");
+    }
+
+    #[test]
+    fn deeply_nested_blocks_are_a_parse_error() {
+        let src = format!(
+            "int main(void) {{\n{}{}    return 1;\n}}\n",
+            "{\n".repeat(50_000),
+            "}\n".repeat(50_000)
+        );
+        let err = parse_c(&src).unwrap_err();
+        assert!(err.to_string().contains("parser limit"), "{err}");
     }
 
     #[test]

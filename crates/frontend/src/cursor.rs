@@ -24,17 +24,47 @@ pub fn is_fortran_callable(name: &str) -> bool {
     FORTRAN_INTRINSICS.contains(&name) || name.starts_with("acc_")
 }
 
+/// Maximum parser recursion depth (expression nesting plus statement/block
+/// nesting share one counter). Deeply nested input — e.g. a pathological
+/// `((((…1…))))` pragma operand — must produce a [`ParseError`], not a stack
+/// overflow that aborts the whole process and would defeat the executor's
+/// panic isolation.
+pub const MAX_PARSE_DEPTH: usize = 200;
+
 /// A cursor over a token stream.
 #[derive(Debug)]
 pub struct Cursor {
     toks: Vec<SpannedTok>,
     pos: usize,
+    depth: usize,
 }
 
 impl Cursor {
     /// Wrap a token stream.
     pub fn new(toks: Vec<SpannedTok>) -> Self {
-        Cursor { toks, pos: 0 }
+        Cursor {
+            toks,
+            pos: 0,
+            depth: 0,
+        }
+    }
+
+    /// Enter one recursion level; errors past [`MAX_PARSE_DEPTH`].
+    pub fn descend(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            Err(ParseError::new(
+                self.line(),
+                format!("nesting exceeds the {MAX_PARSE_DEPTH}-level parser limit"),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Leave one recursion level (paired with a successful [`Cursor::descend`]).
+    pub fn ascend(&mut self) {
+        self.depth = self.depth.saturating_sub(1);
     }
 
     /// Current token (Eof-padded).
@@ -164,6 +194,13 @@ fn punct_binop(p: &str) -> Option<BinOp> {
 }
 
 fn parse_bin(c: &mut Cursor, lang: Language, min_prec: u8) -> Result<Expr, ParseError> {
+    c.descend()?;
+    let r = parse_bin_inner(c, lang, min_prec);
+    c.ascend();
+    r
+}
+
+fn parse_bin_inner(c: &mut Cursor, lang: Language, min_prec: u8) -> Result<Expr, ParseError> {
     let mut lhs = parse_unary(c, lang)?;
     while let Tok::Punct(p) = c.peek() {
         let op = match punct_binop(p) {
@@ -178,6 +215,13 @@ fn parse_bin(c: &mut Cursor, lang: Language, min_prec: u8) -> Result<Expr, Parse
 }
 
 fn parse_unary(c: &mut Cursor, lang: Language) -> Result<Expr, ParseError> {
+    c.descend()?;
+    let r = parse_unary_inner(c, lang);
+    c.ascend();
+    r
+}
+
+fn parse_unary_inner(c: &mut Cursor, lang: Language) -> Result<Expr, ParseError> {
     if c.eat_punct("-") {
         let inner = parse_unary(c, lang)?;
         // Fold -literal immediately so `(-1)` round-trips as Int(-1).
@@ -392,5 +436,37 @@ mod tests {
         let toks = lex_c("*;\n").unwrap();
         let mut c = Cursor::new(toks);
         assert!(parse_expr(&mut c, Language::C).is_err());
+    }
+
+    #[test]
+    fn pathological_paren_nesting_is_an_error_not_a_stack_overflow() {
+        // Before the depth guard this recursed once per '(' and could blow
+        // the stack — an abort no catch_unwind can isolate.
+        let src = format!("{}1{}\n", "(".repeat(50_000), ")".repeat(50_000));
+        let toks = lex_c(&src).unwrap();
+        let mut c = Cursor::new(toks);
+        let err = parse_expr(&mut c, Language::C).unwrap_err();
+        assert!(err.to_string().contains("parser limit"), "{err}");
+    }
+
+    #[test]
+    fn pathological_unary_nesting_is_an_error() {
+        let src = format!("{}x\n", "!".repeat(50_000));
+        let toks = lex_c(&src).unwrap();
+        let mut c = Cursor::new(toks);
+        assert!(parse_expr(&mut c, Language::C).is_err());
+    }
+
+    #[test]
+    fn reasonable_nesting_still_parses() {
+        let src = format!("{}1{}\n", "(".repeat(50), ")".repeat(50));
+        let toks = lex_c(&src).unwrap();
+        let mut c = Cursor::new(toks);
+        assert_eq!(parse_expr(&mut c, Language::C).unwrap(), Expr::Int(1));
+        // The counter unwinds fully: fresh parses have the whole budget.
+        for _ in 0..3 {
+            let mut c = Cursor::new(lex_c(&src).unwrap());
+            assert!(parse_expr(&mut c, Language::C).is_ok());
+        }
     }
 }

@@ -18,6 +18,23 @@ pub enum NodeFault {
     StaleRuntime,
     /// A corrupted module environment: update directives are dropped.
     BrokenModules,
+    /// A marginal PCIe link / ECC-flagged memory: host↔device transfers fail
+    /// intermittently at `rate_pct` percent, driven by the seeded
+    /// transient-fault RNG (deterministic per seed).
+    FlakyMemcpy {
+        /// Percentage of transfers that fail (0–100).
+        rate_pct: u8,
+        /// Fault-RNG seed.
+        seed: u64,
+    },
+    /// An overloaded interconnect: `wait` operations intermittently stall
+    /// past the watchdog at `rate_pct` percent, same seeded RNG.
+    AsyncStall {
+        /// Percentage of waits that stall (0–100).
+        rate_pct: u8,
+        /// Fault-RNG seed.
+        seed: u64,
+    },
 }
 
 impl NodeFault {
@@ -30,7 +47,21 @@ impl NodeFault {
             NodeFault::GpuHang => Defect::HangOnClause(DirectiveKind::Parallel, ClauseKind::Copy),
             NodeFault::StaleRuntime => Defect::AsyncFamilyBroken,
             NodeFault::BrokenModules => Defect::UpdateNoop,
+            NodeFault::FlakyMemcpy { rate_pct, seed } => {
+                Defect::TransientMemcpyFault { rate_pct, seed }
+            }
+            NodeFault::AsyncStall { rate_pct, seed } => {
+                Defect::IntermittentAsyncStall { rate_pct, seed }
+            }
         }
+    }
+
+    /// Does the fault fire intermittently (retries can flip the verdict)?
+    pub fn is_transient(self) -> bool {
+        matches!(
+            self,
+            NodeFault::FlakyMemcpy { .. } | NodeFault::AsyncStall { .. }
+        )
     }
 
     /// Display label.
@@ -39,6 +70,8 @@ impl NodeFault {
             NodeFault::GpuHang => "gpu-hang",
             NodeFault::StaleRuntime => "stale-runtime",
             NodeFault::BrokenModules => "broken-modules",
+            NodeFault::FlakyMemcpy { .. } => "flaky-memcpy",
+            NodeFault::AsyncStall { .. } => "async-stall",
         }
     }
 }
@@ -180,5 +213,52 @@ mod tests {
     fn fault_labels() {
         assert_eq!(NodeFault::GpuHang.label(), "gpu-hang");
         assert_eq!(NodeFault::BrokenModules.label(), "broken-modules");
+        assert_eq!(
+            NodeFault::FlakyMemcpy {
+                rate_pct: 25,
+                seed: 7
+            }
+            .label(),
+            "flaky-memcpy"
+        );
+        assert_eq!(
+            NodeFault::AsyncStall {
+                rate_pct: 10,
+                seed: 7
+            }
+            .label(),
+            "async-stall"
+        );
+    }
+
+    #[test]
+    fn transient_faults_map_to_transient_defects() {
+        let f = NodeFault::FlakyMemcpy {
+            rate_pct: 25,
+            seed: 99,
+        };
+        assert!(f.is_transient());
+        assert!(f.defect().is_transient());
+        assert_eq!(
+            f.defect(),
+            Defect::TransientMemcpyFault {
+                rate_pct: 25,
+                seed: 99
+            }
+        );
+        let s = NodeFault::AsyncStall {
+            rate_pct: 10,
+            seed: 99,
+        };
+        assert!(s.is_transient());
+        assert_eq!(
+            s.defect(),
+            Defect::IntermittentAsyncStall {
+                rate_pct: 10,
+                seed: 99
+            }
+        );
+        assert!(!NodeFault::GpuHang.is_transient());
+        assert!(!NodeFault::GpuHang.defect().is_transient());
     }
 }

@@ -56,12 +56,13 @@ fn print_usage() {
          \x20 accvv show NAME [--lang c|fortran] [--cross]\n\
          \x20 accvv run --vendor caps|pgi|cray|reference [--version X] [--lang c|fortran]\n\
          \x20          [--features P1,P2,…] [--format text|csv|html] [--repetitions M]\n\
-         \x20          [--attribute]\n\
+         \x20          [--attribute] [--jobs N] [--retries R] [--case-deadline-ms MS]\n\
          \x20 accvv campaign [--vendor caps|pgi|cray]\n\
          \x20 accvv matrix --vendor caps|pgi|cray [--lang c|fortran]\n\
          \x20 accvv bugs --vendor caps|pgi|cray --version X [--lang c|fortran]\n\
          \x20 accvv expand FILE\n\
-         \x20 accvv titan [--nodes N] [--sample K] [--seed S]\n\
+         \x20 accvv titan [--nodes N] [--sample K] [--seed S] [--fault-rate PCT]\n\
+         \x20            [--retries R] [--jobs N]\n\
          \x20 accvv selftest [PREFIX]"
     );
 }
@@ -203,8 +204,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         Some("html") => ReportFormat::Html,
         Some(other) => return Err(format!("unknown format `{other}`")),
     };
+    let mut policy = ExecutorPolicy::new()
+        .with_jobs(parse_opt_or(args, "--jobs", 1usize)?)
+        .with_retries(parse_opt_or(args, "--retries", 0u32)?)
+        .with_backoff_ms(parse_opt_or(args, "--backoff-ms", 0u64)?);
+    if let Some(ms) = opt(args, "--case-deadline-ms") {
+        policy = policy.with_deadline_ms(ms.parse().map_err(|_| "bad --case-deadline-ms")?);
+    }
     let campaign = Campaign::new(openacc_vv::testsuite::full_suite()).with_config(config);
-    let run = campaign.run_one(&compiler);
+    let run = Executor::new(policy).run_suite(&campaign, &compiler);
     print!("{}", report::render(&run, format));
     if flag(args, "--attribute") && compiler.vendor != VendorId::Reference {
         let catalog = BugCatalog::paper();
@@ -222,7 +230,31 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             );
         }
     }
+    // Failure-taxonomy summary + hard exit status: any non-skipped case
+    // that failed (flaky counts as a pass) makes the run exit nonzero so CI
+    // pipelines can gate on `accvv run`.
+    let mut hard_failures = 0usize;
+    for &lang in &campaign.config.languages {
+        let breakdown = run.failure_breakdown(lang);
+        println!("taxonomy [{lang}]: {breakdown}");
+        hard_failures += breakdown.total_failures();
+    }
+    if hard_failures > 0 {
+        return Err(format!("{hard_failures} case(s) failed"));
+    }
     Ok(())
+}
+
+/// Parse `--key value` as `T`, with a default when the flag is absent.
+fn parse_opt_or<T: std::str::FromStr>(
+    args: &[String],
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match opt(args, key) {
+        Some(v) => v.parse().map_err(|_| format!("bad {key} value `{v}`")),
+        None => Ok(default),
+    }
 }
 
 fn cmd_campaign(args: &[String]) -> Result<(), String> {
@@ -371,19 +403,42 @@ fn cmd_titan(args: &[String]) -> Result<(), String> {
     let seed: u64 = opt(args, "--seed")
         .map(|s| s.parse().unwrap_or(1))
         .unwrap_or(1);
-    let cluster = SimulatedCluster::titan(nodes, &[(nodes / 3, NodeFault::StaleRuntime)]);
+    let fault_rate: u8 = parse_opt_or(args, "--fault-rate", 0u8)?;
+    let retries: u32 = parse_opt_or(args, "--retries", if fault_rate > 0 { 4 } else { 0 })?;
+    let jobs: usize = parse_opt_or(args, "--jobs", 1usize)?;
+    // One persistently-broken node, plus — when a fault rate is given — one
+    // node with a seeded transient memcpy fault the retry policy should
+    // classify as flaky rather than broken.
+    let mut faults = vec![(nodes / 3, NodeFault::StaleRuntime)];
+    if fault_rate > 0 && nodes > 1 {
+        faults.push((
+            nodes - 1,
+            NodeFault::FlakyMemcpy {
+                rate_pct: fault_rate,
+                seed,
+            },
+        ));
+    }
+    let cluster = SimulatedCluster::titan(nodes, &faults);
     let keep = ["loop", "data.copy", "parallel.async", "update.host"];
     let suite: Vec<TestCase> = openacc_vv::testsuite::full_suite()
         .into_iter()
         .filter(|c| keep.contains(&c.feature.as_str()))
         .collect();
-    let report = HarnessRun::new(suite, sample).execute(&cluster, seed);
+    let policy = ExecutorPolicy::new().with_retries(retries).with_jobs(jobs);
+    let report = HarnessRun::new(suite, sample)
+        .with_policy(policy)
+        .execute(&cluster, seed);
     println!("{}", report.matrix());
     let suspects = report.suspect_nodes(99.0);
     if suspects.is_empty() {
         println!("no suspect nodes");
     } else {
         println!("suspect nodes: {suspects:?}");
+    }
+    let flaky = report.flaky_nodes();
+    if !flaky.is_empty() {
+        println!("flaky nodes (transient faults suspected): {flaky:?}");
     }
     Ok(())
 }

@@ -46,7 +46,10 @@ pub mod prelude {
     pub use acc_compiler::{RunOutcome, VendorCompiler, VendorId};
     pub use acc_spec::{FeatureId, Language};
     pub use acc_validation::report::{render, ReportFormat};
-    pub use acc_validation::{Campaign, CrossRule, SuiteConfig, TestCase, TestStatus};
+    pub use acc_validation::{
+        Campaign, CrossRule, Executor, ExecutorPolicy, FailureBreakdown, SuiteConfig, TestCase,
+        TestStatus,
+    };
 }
 
 #[cfg(test)]

@@ -1,0 +1,157 @@
+//! Offline stand-in for the `criterion` crate: same macro and builder API,
+//! but each benchmark body is executed a small fixed number of times and
+//! reported with plain wall-clock timing. No statistics, no HTML reports —
+//! enough to keep the bench targets compiling, running, and useful as
+//! smoke tests + rough timers in a registry-less container.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Prevent the optimizer from discarding a value (thin wrapper over
+/// `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark (`function_name/parameter`).
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("par_sum", 1024)` → `par_sum/1024`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs the body and times it.
+pub struct Bencher {
+    iterations: u32,
+}
+
+impl Bencher {
+    /// Run the benchmark body `iterations` times, timing the whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(body());
+        }
+        let elapsed = start.elapsed();
+        println!(
+            "    {} iter(s) in {:?} (~{:?}/iter)",
+            self.iterations,
+            elapsed,
+            elapsed / self.iterations
+        );
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; the stub always smoke-runs a fixed
+    /// small iteration count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("bench {}/{}", self.name, id.into());
+        body(&mut Bencher {
+            iterations: self.criterion.iterations,
+        });
+        self
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        println!("bench {}/{}", self.name, id.full);
+        body(
+            &mut Bencher {
+                iterations: self.criterion.iterations,
+            },
+            input,
+        );
+        self
+    }
+
+    /// End the group (no-op; upstream finalizes reports here).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    iterations: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // One timed pass per benchmark: bench binaries double as smoke
+        // tests under `cargo bench` without taking minutes.
+        Criterion { iterations: 1 }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("bench {id}");
+        body(&mut Bencher {
+            iterations: self.iterations,
+        });
+        self
+    }
+}
+
+/// `criterion_group!(name, target, ...)` — bundle targets into a runner fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// `criterion_main!(group, ...)` — the bench binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

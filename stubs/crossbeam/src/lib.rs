@@ -1,0 +1,127 @@
+//! Offline stand-in for the `crossbeam` crate, covering the scoped-thread
+//! API this workspace uses (`crossbeam::scope`, `Scope::spawn`, handle
+//! `join`). Implemented over `std::thread::scope`, which has provided the
+//! same structured-concurrency guarantee since Rust 1.63.
+//!
+//! Semantics preserved from crossbeam 0.8:
+//! * `scope` returns `Err(payload)` instead of unwinding if any spawned
+//!   worker panicked (std's scope would re-raise the panic; we catch it).
+//! * Spawned closures receive a `&Scope` argument so they can spawn
+//!   nested siblings.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Scoped-thread module, mirroring `crossbeam::thread`.
+pub mod thread {
+    pub use super::{scope, Result, Scope, ScopedJoinHandle};
+}
+
+/// Result of a scope: `Err` carries the panic payload of a worker.
+pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+/// Handle for spawning threads that may borrow from the enclosing stack
+/// frame (alive for `'env`).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a worker inside the scope. The closure receives the scope
+    /// handle back (crossbeam's signature) so nested spawns are possible.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&handle)),
+        }
+    }
+}
+
+/// Join handle for a scoped worker.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the worker; `Err` carries its panic payload.
+    pub fn join(self) -> Result<T> {
+        self.inner.join()
+    }
+}
+
+/// Create a scope in which threads may borrow non-`'static` data.
+///
+/// All spawned threads are joined before this returns. If any worker (or
+/// the closure itself) panicked, the first payload is returned as `Err`
+/// rather than resuming the unwind — callers decide how to surface it.
+pub fn scope<'env, F, R>(f: F) -> Result<R>
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_run_and_join() {
+        let counter = AtomicUsize::new(0);
+        let out = super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+            42
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn borrowed_data_is_visible_after_scope() {
+        let mut slots = vec![0u64; 4];
+        super::scope(|s| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u64 + 1);
+            }
+        })
+        .unwrap();
+        assert_eq!(slots, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_argument() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! Offline stand-in for the `proptest` crate, covering the API surface the
+//! workspace's property tests use: the `proptest!` / `prop_oneof!` /
+//! `prop_assert*!` macros, `Strategy` with `prop_map` / `prop_recursive` /
+//! `boxed`, range and tuple strategies, `collection::vec`, `sample::select`,
+//! `bool::ANY`, and a tiny character-class regex strategy for `&str`.
+//!
+//! Differences from upstream, by design:
+//! * generation only — failing cases are reported but **not shrunk**;
+//! * the value stream is deterministic per test-case index (SplitMix64),
+//!   so failures reproduce without a persistence file;
+//! * unsupported regex syntax panics at generation time instead of being
+//!   a parse error at strategy construction.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{BoxedStrategy, Strategy};
+
+/// Strategies for collections (`prop::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Number of elements a collection strategy may produce.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, size)` — size may be a `usize`
+    /// (exact length) or a `Range<usize>` (half-open, as upstream).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let len = self.size.min + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategies for sampling from explicit value sets (`prop::sample`).
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy choosing uniformly from a fixed list.
+    #[derive(Clone)]
+    pub struct Select<T> {
+        values: Vec<T>,
+    }
+
+    /// Sources accepted by [`select`]: a `Vec` or any slice of clonable
+    /// values.
+    pub trait SelectSource<T> {
+        /// Convert into the owned candidate list.
+        fn into_values(self) -> Vec<T>;
+    }
+
+    impl<T: Clone> SelectSource<T> for Vec<T> {
+        fn into_values(self) -> Vec<T> {
+            self
+        }
+    }
+
+    impl<T: Clone> SelectSource<T> for &[T] {
+        fn into_values(self) -> Vec<T> {
+            self.to_vec()
+        }
+    }
+
+    impl<T: Clone, const N: usize> SelectSource<T> for &[T; N] {
+        fn into_values(self) -> Vec<T> {
+            self.to_vec()
+        }
+    }
+
+    /// `prop::sample::select(values)` — uniform choice from `values`.
+    pub fn select<T: Clone, S: SelectSource<T>>(values: S) -> Select<T> {
+        let values = values.into_values();
+        assert!(!values.is_empty(), "select requires at least one value");
+        Select { values }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() % self.values.len() as u64) as usize;
+            self.values[i].clone()
+        }
+    }
+}
+
+/// Boolean strategies (`prop::bool`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform `true` / `false`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// `proptest!` — expands each `fn name(arg in strategy, ..) { body }` into a
+/// plain test function that generates inputs and runs the body `cases`
+/// times with a per-case deterministic RNG.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @expand $cfg; $($rest)* }
+    };
+    (@expand $cfg:expr;
+     $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                for case_index in 0..config.cases {
+                    let mut proptest_rng =
+                        $crate::test_runner::TestRng::for_case(case_index as u64);
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut proptest_rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @expand $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+/// `prop_oneof!` — weighted (`w => strategy`) or uniform choice between
+/// strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// `prop_assert!` — in this stub a direct `assert!` (no shrinking, so an
+/// immediate panic is the clearest report).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// `prop_assert_eq!` — direct `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// `prop_assert_ne!` — direct `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}

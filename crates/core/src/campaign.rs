@@ -154,20 +154,30 @@ impl Campaign {
             .collect()
     }
 
-    /// Run against a single compiler release.
-    pub fn run_one(&self, compiler: &VendorCompiler) -> SuiteRun {
-        let mut results = Vec::new();
-        for case in self.selected_cases() {
-            let case = match self.config.repetitions {
+    /// The selected cases with every configuration override (today: the
+    /// cross-test repetition count) applied — the exact per-case inputs all
+    /// run paths (serial, chunked-parallel, fault-tolerant executor) feed to
+    /// the harness, so their job lists are identical by construction.
+    pub fn materialized_cases(&self) -> Vec<TestCase> {
+        self.selected_cases()
+            .into_iter()
+            .map(|case| match self.config.repetitions {
                 Some(m) => {
-                    let mut c = (*case).clone();
+                    let mut c = case.clone();
                     c.repetitions = m;
                     c
                 }
-                None => (*case).clone(),
-            };
+                None => case.clone(),
+            })
+            .collect()
+    }
+
+    /// Run against a single compiler release.
+    pub fn run_one(&self, compiler: &VendorCompiler) -> SuiteRun {
+        let mut results = Vec::new();
+        for case in &self.materialized_cases() {
             for &lang in &self.config.languages {
-                results.push(run_case(&case, compiler, lang));
+                results.push(run_case(case, compiler, lang));
             }
         }
         SuiteRun {
@@ -181,18 +191,7 @@ impl Campaign {
     /// independent — each runs in its own simulated world), preserving the
     /// deterministic per-test results while cutting campaign wall time.
     pub fn run_one_parallel(&self, compiler: &VendorCompiler, threads: usize) -> SuiteRun {
-        let cases: Vec<TestCase> = self
-            .selected_cases()
-            .into_iter()
-            .map(|case| match self.config.repetitions {
-                Some(m) => {
-                    let mut c = case.clone();
-                    c.repetitions = m;
-                    c
-                }
-                None => case.clone(),
-            })
-            .collect();
+        let cases = self.materialized_cases();
         let threads = threads.max(1).min(cases.len().max(1));
         if threads <= 1 {
             return self.run_one(compiler);

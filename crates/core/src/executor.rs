@@ -37,13 +37,15 @@
 use crate::campaign::{Campaign, SuiteRun};
 use crate::case::{TestCase, TestStatus};
 use crate::harness::{run_case_with, CaseResult, CasePolicy};
+use crate::journal::{JournalRecord, JournalSink, Replay};
 use crate::stats::Certainty;
 use acc_compiler::VendorCompiler;
 use acc_spec::{FeatureId, Language};
 use std::any::Any;
+use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// Run-index stride between retry attempts of one case. Each attempt `k`
@@ -54,7 +56,7 @@ use std::time::{Duration, Instant};
 pub const ATTEMPT_STRIDE: u64 = 1 << 20;
 
 /// Knobs of the fault-tolerant executor.
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone)]
 pub struct ExecutorPolicy {
     /// Worker threads (1 = serial; campaign order is preserved either way).
     pub jobs: usize,
@@ -69,6 +71,36 @@ pub struct ExecutorPolicy {
     /// Interpreter step-budget override; exhaustion classifies as
     /// [`TestStatus::Timeout`]. `None` = the machine default.
     pub step_limit: Option<u64>,
+    /// Durable journal sink: every attempt start, attempt verdict, and case
+    /// completion is appended (and flushed) before the campaign proceeds.
+    pub journal: Option<Arc<dyn JournalSink>>,
+    /// Replayed journal state for a resumed campaign: jobs whose (name,
+    /// language) appears in `resume.completed` are not re-run — their
+    /// journaled result rows are emitted verbatim.
+    pub resume: Option<Arc<Replay>>,
+    /// Crash simulation for tests and resume drills: stop scheduling new
+    /// jobs once this many have been *executed* (cached rows from a resume
+    /// don't count). The run reports itself halted; its partial output is
+    /// only good for inspecting the journal.
+    pub halt_after: Option<usize>,
+}
+
+impl fmt::Debug for ExecutorPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecutorPolicy")
+            .field("jobs", &self.jobs)
+            .field("retries", &self.retries)
+            .field("backoff_base_ms", &self.backoff_base_ms)
+            .field("case_deadline_ms", &self.case_deadline_ms)
+            .field("step_limit", &self.step_limit)
+            .field("journal", &self.journal.as_ref().map(|_| "<sink>"))
+            .field(
+                "resume",
+                &self.resume.as_ref().map(|r| r.completed_count()),
+            )
+            .field("halt_after", &self.halt_after)
+            .finish()
+    }
 }
 
 impl Default for ExecutorPolicy {
@@ -79,6 +111,9 @@ impl Default for ExecutorPolicy {
             backoff_base_ms: 0,
             case_deadline_ms: None,
             step_limit: None,
+            journal: None,
+            resume: None,
+            halt_after: None,
         }
     }
 }
@@ -90,7 +125,14 @@ impl ExecutorPolicy {
     }
 
     /// Set the worker-thread count.
+    ///
+    /// # Panics
+    /// Rejects `jobs == 0` — a pool with no workers can only deadlock, so
+    /// misconfiguration fails loudly at build time instead of hanging a
+    /// campaign. (The CLI validates first and turns this into a usage
+    /// error.)
     pub fn with_jobs(mut self, jobs: usize) -> Self {
+        assert!(jobs >= 1, "ExecutorPolicy: jobs must be at least 1");
         self.jobs = jobs;
         self
     }
@@ -118,6 +160,37 @@ impl ExecutorPolicy {
         self.step_limit = Some(steps);
         self
     }
+
+    /// Attach a durable journal sink.
+    pub fn with_journal(mut self, journal: Arc<dyn JournalSink>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Attach replayed journal state; completed cases are skipped.
+    pub fn with_resume(mut self, replay: Arc<Replay>) -> Self {
+        self.resume = Some(replay);
+        self
+    }
+
+    /// Simulate a crash: stop scheduling after `n` executed jobs.
+    pub fn with_halt_after(mut self, n: usize) -> Self {
+        self.halt_after = Some(n);
+        self
+    }
+}
+
+/// What actually happened during a (possibly resumed, possibly halted) run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Jobs executed for real this run.
+    pub executed: usize,
+    /// Jobs satisfied from the replayed journal without re-running.
+    pub cached: usize,
+    /// Whether the run stopped early because [`ExecutorPolicy::halt_after`]
+    /// tripped. A halted run's result list is partial; its journal is the
+    /// durable artifact.
+    pub halted: bool,
 }
 
 /// Identity of one job in the pool — enough to label a result row even when
@@ -133,7 +206,7 @@ pub struct JobMeta {
 }
 
 /// The fault-tolerant executor: a policy plus the machinery to apply it.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Executor {
     /// The knobs in force.
     pub policy: ExecutorPolicy,
@@ -149,18 +222,19 @@ impl Executor {
     /// this executor's policy. Job order (case-major, language-minor) and
     /// therefore result order matches [`Campaign::run_one`] exactly.
     pub fn run_suite(&self, campaign: &Campaign, compiler: &VendorCompiler) -> SuiteRun {
-        let cases: Vec<TestCase> = campaign
-            .selected_cases()
-            .into_iter()
-            .map(|case| match campaign.config.repetitions {
-                Some(m) => {
-                    let mut c = case.clone();
-                    c.repetitions = m;
-                    c
-                }
-                None => case.clone(),
-            })
-            .collect();
+        self.run_suite_stats(campaign, compiler).0
+    }
+
+    /// [`Executor::run_suite`] plus the run's [`ExecStats`] — the durable
+    /// entry point: when the policy carries a journal the run identity is
+    /// logged first, and when it carries a resume the stats say how much
+    /// work the journal saved.
+    pub fn run_suite_stats(
+        &self,
+        campaign: &Campaign,
+        compiler: &VendorCompiler,
+    ) -> (SuiteRun, ExecStats) {
+        let cases: Vec<TestCase> = campaign.materialized_cases();
         let mut jobs: Vec<(usize, Language)> = Vec::new();
         let mut metas: Vec<JobMeta> = Vec::new();
         for (i, case) in cases.iter().enumerate() {
@@ -173,7 +247,20 @@ impl Executor {
                 });
             }
         }
-        let results = self.run_jobs_with(&metas, |index, attempt| {
+        if let Some(journal) = &self.policy.journal {
+            let languages: Vec<String> = campaign
+                .config
+                .languages
+                .iter()
+                .map(|l| l.to_string())
+                .collect();
+            journal.append(&JournalRecord::Meta {
+                scope: compiler.label(),
+                total_jobs: metas.len(),
+                languages: languages.join("+"),
+            });
+        }
+        let (results, stats) = self.run_jobs_stats(&metas, |index, attempt| {
             let (case_index, lang) = jobs[index];
             let policy = CasePolicy {
                 step_limit: self.policy.step_limit,
@@ -181,10 +268,13 @@ impl Executor {
             };
             run_case_with(&cases[case_index], compiler, lang, &policy)
         });
-        SuiteRun {
-            compiler: compiler.label(),
-            results,
-        }
+        (
+            SuiteRun {
+                compiler: compiler.label(),
+                results,
+            },
+            stats,
+        )
     }
 
     /// Run `metas.len()` jobs through the pool, where `run_attempt(index,
@@ -196,57 +286,124 @@ impl Executor {
     where
         F: Fn(usize, u32) -> CaseResult + Sync,
     {
+        self.run_jobs_stats(metas, run_attempt).0
+    }
+
+    /// [`Executor::run_jobs_with`] plus [`ExecStats`]. Jobs found complete
+    /// in the replayed journal are emitted from cache without re-running;
+    /// a tripped `halt_after` stops scheduling (the returned list is then
+    /// partial — in slot order, with unfinished slots elided).
+    pub fn run_jobs_stats<F>(&self, metas: &[JobMeta], run_attempt: F) -> (Vec<CaseResult>, ExecStats)
+    where
+        F: Fn(usize, u32) -> CaseResult + Sync,
+    {
         let n = metas.len();
         if n == 0 {
-            return Vec::new();
+            return (Vec::new(), ExecStats::default());
         }
-        let workers = self.policy.jobs.max(1).min(n);
-        if workers == 1 {
-            return (0..n)
-                .map(|i| self.run_one_job(i, &metas[i], &run_attempt))
-                .collect();
-        }
-        // Bounded pool: `workers` threads pull indices from an atomic
-        // counter and send finished rows back over a channel; the collector
-        // writes them into index-ordered slots so the output is independent
-        // of scheduling.
-        let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, CaseResult)>();
+        let cached: Vec<Option<CaseResult>> =
+            metas.iter().map(|m| self.cached_result(m)).collect();
+        let halt = self.policy.halt_after;
+        let executed = AtomicUsize::new(0);
+        let cache_hits = AtomicUsize::new(0);
+        let halted = AtomicBool::new(false);
         let mut slots: Vec<Option<CaseResult>> = Vec::new();
         slots.resize_with(n, || None);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let tx = tx.clone();
-                let next = &next;
-                let run_attempt = &run_attempt;
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::SeqCst);
-                    if i >= n {
-                        break;
+        let workers = self.policy.jobs.max(1).min(n);
+        if workers == 1 {
+            for i in 0..n {
+                if halt.is_some_and(|h| executed.load(Ordering::SeqCst) >= h) {
+                    halted.store(true, Ordering::SeqCst);
+                    break;
+                }
+                slots[i] = Some(match &cached[i] {
+                    Some(row) => {
+                        cache_hits.fetch_add(1, Ordering::SeqCst);
+                        row.clone()
                     }
-                    let row = self.run_one_job(i, &metas[i], run_attempt);
-                    if tx.send((i, row)).is_err() {
-                        break;
+                    None => {
+                        let row = self.run_one_job(i, &metas[i], &run_attempt);
+                        executed.fetch_add(1, Ordering::SeqCst);
+                        row
                     }
                 });
             }
-            drop(tx);
-            for (i, row) in rx {
-                slots[i] = Some(row);
-            }
-        });
-        slots
-            .into_iter()
-            .map(|s| s.expect("pool filled every slot"))
-            .collect()
+        } else {
+            // Bounded pool: `workers` threads pull indices from an atomic
+            // counter and send finished rows back over a channel; the
+            // collector writes them into index-ordered slots so the output
+            // is independent of scheduling.
+            let next = AtomicUsize::new(0);
+            let (tx, rx) = mpsc::channel::<(usize, CaseResult)>();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    let next = &next;
+                    let executed = &executed;
+                    let cache_hits = &cache_hits;
+                    let halted = &halted;
+                    let cached = &cached;
+                    let run_attempt = &run_attempt;
+                    scope.spawn(move || loop {
+                        if halt.is_some_and(|h| executed.load(Ordering::SeqCst) >= h) {
+                            halted.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::SeqCst);
+                        if i >= n {
+                            break;
+                        }
+                        let row = match &cached[i] {
+                            Some(row) => {
+                                cache_hits.fetch_add(1, Ordering::SeqCst);
+                                row.clone()
+                            }
+                            None => {
+                                let row = self.run_one_job(i, &metas[i], run_attempt);
+                                executed.fetch_add(1, Ordering::SeqCst);
+                                row
+                            }
+                        };
+                        if tx.send((i, row)).is_err() {
+                            break;
+                        }
+                    });
+                }
+                drop(tx);
+                for (i, row) in rx {
+                    slots[i] = Some(row);
+                }
+            });
+        }
+        let stats = ExecStats {
+            executed: executed.load(Ordering::SeqCst),
+            cached: cache_hits.load(Ordering::SeqCst),
+            halted: halted.load(Ordering::SeqCst),
+        };
+        (slots.into_iter().flatten().collect(), stats)
+    }
+
+    /// The journaled result for a job, when resuming and already complete.
+    fn cached_result(&self, meta: &JobMeta) -> Option<CaseResult> {
+        self.policy
+            .resume
+            .as_ref()?
+            .completed
+            .get(&(meta.name.clone(), meta.language))
+            .map(|c| c.result.clone())
     }
 
     /// One job through the full robustness stack: catch_unwind isolation,
-    /// the wall-clock watchdog, and the retry/flake loop.
+    /// the wall-clock watchdog, and the retry/flake loop. When a journal is
+    /// attached, every attempt start and verdict — and the final case row —
+    /// is appended before the method returns, so a crash at any point leaves
+    /// a replayable record.
     fn run_one_job<F>(&self, index: usize, meta: &JobMeta, run_attempt: &F) -> CaseResult
     where
         F: Fn(usize, u32) -> CaseResult + Sync,
     {
+        let journal = self.policy.journal.as_deref();
+        let job_started = Instant::now();
         let max_attempts = self.policy.retries.saturating_add(1);
         let mut history: Vec<TestStatus> = Vec::new();
         let mut last: Option<CaseResult> = None;
@@ -255,6 +412,13 @@ impl Executor {
                 let exp = (attempt - 1).min(16);
                 let sleep_ms = self.policy.backoff_base_ms.saturating_mul(1u64 << exp);
                 std::thread::sleep(Duration::from_millis(sleep_ms));
+            }
+            if let Some(j) = journal {
+                j.append(&JournalRecord::AttemptStart {
+                    name: meta.name.clone(),
+                    language: meta.language,
+                    attempt,
+                });
             }
             let started = Instant::now();
             let outcome = panic::catch_unwind(AssertUnwindSafe(|| run_attempt(index, attempt)));
@@ -283,6 +447,15 @@ impl Executor {
                     result.certainty = None;
                 }
             }
+            if let Some(j) = journal {
+                j.append(&JournalRecord::Attempt {
+                    name: meta.name.clone(),
+                    language: meta.language,
+                    attempt,
+                    status: result.status.clone(),
+                    duration_ms: started.elapsed().as_millis() as u64,
+                });
+            }
             let is_skip = matches!(result.status, TestStatus::Skipped);
             let passed = result.passed();
             history.push(result.status.clone());
@@ -302,6 +475,13 @@ impl Executor {
             // formulas the cross test uses.
             row.status = TestStatus::Flaky;
             row.certainty = Some(Certainty::from_attempts(attempts_made, failures));
+        }
+        if let Some(j) = journal {
+            j.append(&JournalRecord::CaseDone {
+                result: row.clone(),
+                node: None,
+                duration_ms: job_started.elapsed().as_millis() as u64,
+            });
         }
         row
     }

@@ -28,7 +28,7 @@ pub struct CasePolicy {
 }
 
 /// The full record of one test executed against one compiler+language.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CaseResult {
     /// Test name.
     pub name: String,

@@ -1,0 +1,889 @@
+//! Durable campaign journal: a crash-safe, append-only write-ahead log of
+//! per-case attempt records.
+//!
+//! The paper runs its suite as batch campaigns on Titan, where preemption
+//! and node failure are routine. An interrupted campaign must not lose the
+//! work it already did: every attempt and every finished case is appended to
+//! a line-oriented journal *before* the campaign proceeds, each line
+//! carrying a checksum so that a torn or corrupted tail (the signature of a
+//! crash mid-write) is detected and cleanly discarded on replay.
+//!
+//! Format — one record per line:
+//!
+//! ```text
+//! J1 <fnv1a64-hex16> <kind>\t<field>\t<field>…
+//! ```
+//!
+//! * `J1` is the format magic/version.
+//! * The checksum is FNV-1a 64 over the payload (everything after the
+//!   second space), rendered as 16 lowercase hex digits.
+//! * Fields are tab-separated; free-text fields are escaped (`\\`, `\t`,
+//!   `\n`, `\r`) so every record stays on one line.
+//!
+//! Replay applies a strict **tail rule**: the first line that is torn (no
+//! trailing newline), fails its checksum, or does not decode invalidates
+//! itself and everything after it — a crash corrupts only the tail of an
+//! append-only file, so everything before the damage is trustworthy.
+//! Duplicate completion records (e.g. from a double-resumed campaign) keep
+//! the first occurrence and count the rest as discarded.
+//!
+//! The module also provides [`atomic_write`], the temp-file + rename helper
+//! every report/journal-adjacent file write in the workspace goes through so
+//! a crash can never leave a half-written artifact at the destination path.
+
+use crate::case::TestStatus;
+use crate::harness::CaseResult;
+use crate::stats::Certainty;
+use acc_spec::{FeatureId, Language};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Format magic + version prefix of every journal line.
+pub const MAGIC: &str = "J1";
+
+/// FNV-1a 64-bit checksum over a payload string — cheap, dependency-free,
+/// and more than strong enough to detect torn writes and bit flips in a
+/// line-oriented log (this is corruption *detection*, not cryptography).
+pub fn checksum(payload: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in payload.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Escape a free-text field so it survives the tab-separated, line-oriented
+/// format: `\` → `\\`, tab → `\t`, newline → `\n`, CR → `\r`.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape`]; `None` on a malformed escape sequence (which the
+/// replay tail rule treats as corruption).
+fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            't' => out.push('\t'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn encode_language(lang: Language) -> &'static str {
+    match lang {
+        Language::C => "C",
+        Language::Fortran => "F",
+    }
+}
+
+fn decode_language(s: &str) -> Option<Language> {
+    match s {
+        "C" => Some(Language::C),
+        "F" => Some(Language::Fortran),
+        _ => None,
+    }
+}
+
+fn encode_status(status: &TestStatus) -> String {
+    match status {
+        TestStatus::Pass => "P".to_string(),
+        TestStatus::PassInconclusive => "P*".to_string(),
+        TestStatus::CompileError(m) => format!("CE:{m}"),
+        TestStatus::WrongResult => "WR".to_string(),
+        TestStatus::Crash(m) => format!("X:{m}"),
+        TestStatus::Timeout => "TO".to_string(),
+        TestStatus::Infra(m) => format!("IN:{m}"),
+        TestStatus::Flaky => "FL".to_string(),
+        TestStatus::Skipped => "SK".to_string(),
+    }
+}
+
+fn decode_status(s: &str) -> Option<TestStatus> {
+    if let Some((kind, msg)) = s.split_once(':') {
+        return match kind {
+            "CE" => Some(TestStatus::CompileError(msg.to_string())),
+            "X" => Some(TestStatus::Crash(msg.to_string())),
+            "IN" => Some(TestStatus::Infra(msg.to_string())),
+            _ => None,
+        };
+    }
+    match s {
+        "P" => Some(TestStatus::Pass),
+        "P*" => Some(TestStatus::PassInconclusive),
+        "WR" => Some(TestStatus::WrongResult),
+        "TO" => Some(TestStatus::Timeout),
+        "FL" => Some(TestStatus::Flaky),
+        "SK" => Some(TestStatus::Skipped),
+        _ => None,
+    }
+}
+
+fn encode_certainty(c: &Option<Certainty>) -> String {
+    match c {
+        Some(c) => format!("{}:{}", c.m, c.nf),
+        None => "-".to_string(),
+    }
+}
+
+fn decode_certainty(s: &str) -> Option<Option<Certainty>> {
+    if s == "-" {
+        return Some(None);
+    }
+    let (m, nf) = s.split_once(':')?;
+    let m: u32 = m.parse().ok()?;
+    let nf: u32 = nf.parse().ok()?;
+    if m == 0 || nf > m {
+        return None;
+    }
+    Some(Some(Certainty::new(m, nf)))
+}
+
+fn encode_node(node: &Option<u32>) -> String {
+    match node {
+        Some(n) => n.to_string(),
+        None => "-".to_string(),
+    }
+}
+
+fn decode_node(s: &str) -> Option<Option<u32>> {
+    if s == "-" {
+        return Some(None);
+    }
+    s.parse().ok().map(Some)
+}
+
+/// One journal record. The variants cover the executor's per-case lifecycle
+/// (start / attempt verdict / case completion) and the cluster sweep's
+/// node-level events (loss, quarantine).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// Identity of the run that wrote the journal — used by `--resume` to
+    /// refuse a journal recorded for a different target.
+    Meta {
+        /// What was being validated (a compiler label or a sweep scope).
+        scope: String,
+        /// Total number of jobs the run schedules.
+        total_jobs: usize,
+        /// Languages in play, `+`-joined.
+        languages: String,
+    },
+    /// An attempt is about to run. A start without a matching
+    /// [`JournalRecord::CaseDone`] marks an in-flight case the crash
+    /// interrupted; resume re-runs it.
+    AttemptStart {
+        /// Case name.
+        name: String,
+        /// Language variant.
+        language: Language,
+        /// Attempt ordinal (0-based).
+        attempt: u32,
+    },
+    /// An attempt finished with a verdict (the per-attempt taxonomy row).
+    Attempt {
+        /// Case name.
+        name: String,
+        /// Language variant.
+        language: Language,
+        /// Attempt ordinal (0-based).
+        attempt: u32,
+        /// The attempt's classification.
+        status: TestStatus,
+        /// Wall-clock duration of the attempt in milliseconds.
+        duration_ms: u64,
+    },
+    /// A case reached its final verdict; carries the complete result so
+    /// resume can reproduce the report row without re-running the case.
+    CaseDone {
+        /// The final result row.
+        result: CaseResult,
+        /// Node that executed the case (cluster sweeps only).
+        node: Option<u32>,
+        /// Wall-clock duration across all attempts in milliseconds.
+        duration_ms: u64,
+    },
+    /// A node went offline mid-run; its queued cases were reassigned.
+    NodeLost {
+        /// Node id.
+        node: u32,
+        /// Units the node had completed before dying.
+        completed: usize,
+        /// Queued units drained onto surviving nodes.
+        reassigned: usize,
+    },
+    /// A node died often enough to be excluded from future scheduling.
+    NodeQuarantined {
+        /// Node id.
+        node: u32,
+        /// Total deaths observed across the journal's lifetime.
+        deaths: u32,
+    },
+}
+
+impl JournalRecord {
+    /// The tab-separated payload (no magic, no checksum, no newline).
+    fn payload(&self) -> String {
+        match self {
+            JournalRecord::Meta {
+                scope,
+                total_jobs,
+                languages,
+            } => format!("meta\t{}\t{}\t{}", escape(scope), total_jobs, escape(languages)),
+            JournalRecord::AttemptStart {
+                name,
+                language,
+                attempt,
+            } => format!(
+                "start\t{}\t{}\t{}",
+                escape(name),
+                encode_language(*language),
+                attempt
+            ),
+            JournalRecord::Attempt {
+                name,
+                language,
+                attempt,
+                status,
+                duration_ms,
+            } => format!(
+                "attempt\t{}\t{}\t{}\t{}\t{}",
+                escape(name),
+                encode_language(*language),
+                attempt,
+                escape(&encode_status(status)),
+                duration_ms
+            ),
+            JournalRecord::CaseDone {
+                result,
+                node,
+                duration_ms,
+            } => format!(
+                "done\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                escape(&result.name),
+                escape(result.feature.as_str()),
+                encode_language(result.language),
+                escape(&encode_status(&result.status)),
+                encode_certainty(&result.certainty),
+                result.attempts,
+                duration_ms,
+                encode_node(node),
+                escape(&result.functional_source)
+            ),
+            JournalRecord::NodeLost {
+                node,
+                completed,
+                reassigned,
+            } => format!("node-lost\t{node}\t{completed}\t{reassigned}"),
+            JournalRecord::NodeQuarantined { node, deaths } => {
+                format!("node-quarantined\t{node}\t{deaths}")
+            }
+        }
+    }
+
+    /// Encode as one complete journal line (magic, checksum, payload,
+    /// trailing newline).
+    pub fn encode(&self) -> String {
+        let payload = self.payload();
+        format!("{MAGIC} {:016x} {payload}\n", checksum(&payload))
+    }
+
+    /// Decode one line (without its trailing newline). `None` means the
+    /// line is corrupt — wrong magic, checksum mismatch, or a payload that
+    /// does not parse — and the replay tail rule applies.
+    pub fn decode(line: &str) -> Option<Self> {
+        let rest = line.strip_prefix(MAGIC)?.strip_prefix(' ')?;
+        let (crc_hex, payload) = rest.split_once(' ')?;
+        let crc = u64::from_str_radix(crc_hex, 16).ok()?;
+        if crc != checksum(payload) {
+            return None;
+        }
+        let mut fields = payload.split('\t');
+        let kind = fields.next()?;
+        let fields: Vec<&str> = fields.collect();
+        match kind {
+            "meta" => {
+                let [scope, total, languages] = fields.as_slice() else {
+                    return None;
+                };
+                Some(JournalRecord::Meta {
+                    scope: unescape(scope)?,
+                    total_jobs: total.parse().ok()?,
+                    languages: unescape(languages)?,
+                })
+            }
+            "start" => {
+                let [name, lang, attempt] = fields.as_slice() else {
+                    return None;
+                };
+                Some(JournalRecord::AttemptStart {
+                    name: unescape(name)?,
+                    language: decode_language(lang)?,
+                    attempt: attempt.parse().ok()?,
+                })
+            }
+            "attempt" => {
+                let [name, lang, attempt, status, duration] = fields.as_slice() else {
+                    return None;
+                };
+                Some(JournalRecord::Attempt {
+                    name: unescape(name)?,
+                    language: decode_language(lang)?,
+                    attempt: attempt.parse().ok()?,
+                    status: decode_status(&unescape(status)?)?,
+                    duration_ms: duration.parse().ok()?,
+                })
+            }
+            "done" => {
+                let [name, feature, lang, status, cert, attempts, duration, node, source] =
+                    fields.as_slice()
+                else {
+                    return None;
+                };
+                Some(JournalRecord::CaseDone {
+                    result: CaseResult {
+                        name: unescape(name)?,
+                        feature: FeatureId::new(unescape(feature)?),
+                        language: decode_language(lang)?,
+                        status: decode_status(&unescape(status)?)?,
+                        certainty: decode_certainty(cert)?,
+                        functional_source: unescape(source)?,
+                        attempts: attempts.parse().ok()?,
+                    },
+                    node: decode_node(node)?,
+                    duration_ms: duration.parse().ok()?,
+                })
+            }
+            "node-lost" => {
+                let [node, completed, reassigned] = fields.as_slice() else {
+                    return None;
+                };
+                Some(JournalRecord::NodeLost {
+                    node: node.parse().ok()?,
+                    completed: completed.parse().ok()?,
+                    reassigned: reassigned.parse().ok()?,
+                })
+            }
+            "node-quarantined" => {
+                let [node, deaths] = fields.as_slice() else {
+                    return None;
+                };
+                Some(JournalRecord::NodeQuarantined {
+                    node: node.parse().ok()?,
+                    deaths: deaths.parse().ok()?,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Where the executor sends journal records. Implementations must be safe
+/// to call from worker threads; append order across concurrent workers is
+/// whatever the scheduler produced (replay keys records by case identity,
+/// not position, so interleaving is harmless).
+pub trait JournalSink: Send + Sync {
+    /// Append one record. Best-effort: sinks swallow I/O errors (a
+    /// campaign must not die because its journal disk filled up) but should
+    /// retain the first error for the operator — see
+    /// [`FileJournal::take_error`].
+    fn append(&self, record: &JournalRecord);
+}
+
+struct FileJournalInner {
+    file: File,
+    error: Option<String>,
+}
+
+/// A file-backed journal sink: every record is appended and flushed so the
+/// on-disk journal is never more than one in-flight line behind reality.
+pub struct FileJournal {
+    path: PathBuf,
+    inner: Mutex<FileJournalInner>,
+}
+
+impl FileJournal {
+    /// Create (truncating) a fresh journal at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        Ok(FileJournal {
+            path,
+            inner: Mutex::new(FileJournalInner { file, error: None }),
+        })
+    }
+
+    /// Open `path` for appending (creating it if missing) — the resume
+    /// path: replay first, then keep appending to the same journal.
+    pub fn append_to(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(FileJournal {
+            path,
+            inner: Mutex::new(FileJournalInner { file, error: None }),
+        })
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The first append error, if any occurred (and clears it).
+    pub fn take_error(&self) -> Option<String> {
+        self.inner.lock().expect("journal lock").error.take()
+    }
+}
+
+impl JournalSink for FileJournal {
+    fn append(&self, record: &JournalRecord) {
+        let line = record.encode();
+        let mut inner = self.inner.lock().expect("journal lock");
+        let result = inner
+            .file
+            .write_all(line.as_bytes())
+            .and_then(|()| inner.file.flush());
+        if let (Err(e), None) = (result, &inner.error) {
+            inner.error = Some(format!("{}: {e}", self.path.display()));
+        }
+    }
+}
+
+/// An in-memory journal sink for tests: accumulates encoded lines exactly
+/// as a [`FileJournal`] would write them.
+#[derive(Default)]
+pub struct MemoryJournal {
+    text: Mutex<String>,
+}
+
+impl MemoryJournal {
+    /// Empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated journal text.
+    pub fn text(&self) -> String {
+        self.text.lock().expect("journal lock").clone()
+    }
+}
+
+impl JournalSink for MemoryJournal {
+    fn append(&self, record: &JournalRecord) {
+        self.text
+            .lock()
+            .expect("journal lock")
+            .push_str(&record.encode());
+    }
+}
+
+/// A completed case recovered from a journal: the final result row plus the
+/// node that executed it (cluster sweeps only).
+#[derive(Debug, Clone)]
+pub struct CompletedCase {
+    /// The recovered result.
+    pub result: CaseResult,
+    /// Executing node, when the journal came from a cluster sweep.
+    pub node: Option<u32>,
+}
+
+/// The distilled state of a replayed journal: what completed, what was
+/// in flight, which nodes died, and what had to be discarded.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// First `meta` record: (scope, total jobs, languages).
+    pub meta: Option<(String, usize, String)>,
+    /// Completed cases keyed by (name, language) — these are skipped on
+    /// resume and their journaled rows reused verbatim.
+    pub completed: HashMap<(String, Language), CompletedCase>,
+    /// Cases with a start record but no completion — interrupted in flight;
+    /// resume re-runs them from scratch.
+    pub in_flight: BTreeSet<(String, Language)>,
+    /// Death count per node across the journal's lifetime.
+    pub node_deaths: BTreeMap<u32, u32>,
+    /// Nodes explicitly quarantined by a record.
+    pub quarantined: BTreeSet<u32>,
+    /// Valid records applied.
+    pub records: usize,
+    /// Duplicate completion records discarded (first occurrence wins).
+    pub duplicates_discarded: usize,
+    /// Lines discarded by the tail rule (the first corrupt line and
+    /// everything after it).
+    pub corrupt_discarded: usize,
+    /// Whether the final line was torn (no trailing newline) and discarded.
+    pub torn_tail_discarded: bool,
+    /// Byte length of the trusted prefix — everything before the first torn
+    /// or corrupt line. Resume compacts the file to this length before
+    /// appending, so new records never land behind a poisoned tail (where
+    /// the tail rule would silently discard them on the next replay).
+    pub valid_bytes: usize,
+}
+
+impl Replay {
+    /// Replay journal text. Never fails: corruption shrinks the usable
+    /// prefix instead of aborting the resume.
+    pub fn from_text(text: &str) -> Replay {
+        let mut replay = Replay::default();
+        let mut lines = text.split_inclusive('\n');
+        for raw in lines.by_ref() {
+            if !raw.ends_with('\n') {
+                // A torn tail: the crash happened mid-write.
+                replay.torn_tail_discarded = true;
+                return replay;
+            }
+            let line = raw.trim_end_matches(['\n', '\r']);
+            if line.is_empty() {
+                replay.valid_bytes += raw.len();
+                continue;
+            }
+            match JournalRecord::decode(line) {
+                Some(record) => {
+                    replay.apply(record);
+                    replay.valid_bytes += raw.len();
+                }
+                None => {
+                    // Tail rule: this line and everything after it is
+                    // untrustworthy.
+                    replay.corrupt_discarded = 1 + lines.count();
+                    return replay;
+                }
+            }
+        }
+        replay
+    }
+
+    /// Replay a journal file.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Replay> {
+        Ok(Replay::from_text(&std::fs::read_to_string(path)?))
+    }
+
+    /// Open a journal for resumption: replay it, compact the file down to
+    /// its trusted prefix if the tail was torn or corrupt (so freshly
+    /// appended records never sit behind a line the tail rule would discard
+    /// on the next replay), and reopen it for appending.
+    pub fn open_resume(path: impl AsRef<Path>) -> io::Result<(Replay, FileJournal)> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)?;
+        let replay = Replay::from_text(&text);
+        if replay.valid_bytes < text.len() {
+            atomic_write(path, &text.as_bytes()[..replay.valid_bytes])?;
+        }
+        let journal = FileJournal::append_to(path)?;
+        Ok((replay, journal))
+    }
+
+    fn apply(&mut self, record: JournalRecord) {
+        self.records += 1;
+        match record {
+            JournalRecord::Meta {
+                scope,
+                total_jobs,
+                languages,
+            } => {
+                if self.meta.is_none() {
+                    self.meta = Some((scope, total_jobs, languages));
+                }
+            }
+            JournalRecord::AttemptStart { name, language, .. } => {
+                if !self.completed.contains_key(&(name.clone(), language)) {
+                    self.in_flight.insert((name, language));
+                }
+            }
+            JournalRecord::Attempt { .. } => {}
+            JournalRecord::CaseDone { result, node, .. } => {
+                let key = (result.name.clone(), result.language);
+                self.in_flight.remove(&key);
+                if let std::collections::hash_map::Entry::Vacant(slot) = self.completed.entry(key) {
+                    slot.insert(CompletedCase { result, node });
+                } else {
+                    self.duplicates_discarded += 1;
+                }
+            }
+            JournalRecord::NodeLost { node, .. } => {
+                *self.node_deaths.entry(node).or_insert(0) += 1;
+            }
+            JournalRecord::NodeQuarantined { node, .. } => {
+                self.quarantined.insert(node);
+            }
+        }
+    }
+
+    /// Completed-case count.
+    pub fn completed_count(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// One-line operator summary: what was recovered and what was thrown
+    /// away (the resume path prints this so discarded work is never
+    /// silent).
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "journal replay: {} record(s), {} case(s) complete, {} in flight",
+            self.records,
+            self.completed.len(),
+            self.in_flight.len()
+        );
+        if !self.node_deaths.is_empty() {
+            let deaths: Vec<String> = self
+                .node_deaths
+                .iter()
+                .map(|(n, c)| format!("nid{n:05}×{c}"))
+                .collect();
+            let _ = write!(s, ", node deaths: {}", deaths.join(" "));
+        }
+        let mut discarded = Vec::new();
+        if self.torn_tail_discarded {
+            discarded.push("a torn tail line".to_string());
+        }
+        if self.corrupt_discarded > 0 {
+            discarded.push(format!("{} corrupt line(s)", self.corrupt_discarded));
+        }
+        if self.duplicates_discarded > 0 {
+            discarded.push(format!(
+                "{} duplicate record(s)",
+                self.duplicates_discarded
+            ));
+        }
+        if !discarded.is_empty() {
+            let _ = write!(s, "; discarded {}", discarded.join(", "));
+        }
+        s
+    }
+}
+
+/// Crash-safe file write: write the full contents to a temp file in the
+/// destination directory, sync it, then atomically rename it over `path`.
+/// A crash at any point leaves either the old file or the new one — never a
+/// half-written hybrid.
+pub fn atomic_write(path: impl AsRef<Path>, contents: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(format!(".tmp{}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(contents)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result(name: &str, status: TestStatus) -> CaseResult {
+        CaseResult {
+            name: name.to_string(),
+            feature: FeatureId::from(name),
+            language: Language::C,
+            status,
+            certainty: Some(Certainty::new(3, 3)),
+            functional_source: "int main(void) {\n\treturn 1;\n}\n".to_string(),
+            attempts: 2,
+        }
+    }
+
+    fn done(name: &str, status: TestStatus) -> JournalRecord {
+        JournalRecord::CaseDone {
+            result: sample_result(name, status),
+            node: Some(7),
+            duration_ms: 12,
+        }
+    }
+
+    #[test]
+    fn every_record_kind_round_trips() {
+        let records = vec![
+            JournalRecord::Meta {
+                scope: "Cray 8.2.0".to_string(),
+                total_jobs: 42,
+                languages: "C+Fortran".to_string(),
+            },
+            JournalRecord::AttemptStart {
+                name: "loop".to_string(),
+                language: Language::Fortran,
+                attempt: 1,
+            },
+            JournalRecord::Attempt {
+                name: "loop".to_string(),
+                language: Language::C,
+                attempt: 0,
+                status: TestStatus::Infra("panic: worker\tdied\nbadly".to_string()),
+                duration_ms: 99,
+            },
+            done("data.copy", TestStatus::Pass),
+            done("x", TestStatus::CompileError("unexpected `:`".to_string())),
+            JournalRecord::NodeLost {
+                node: 3,
+                completed: 5,
+                reassigned: 9,
+            },
+            JournalRecord::NodeQuarantined { node: 3, deaths: 2 },
+        ];
+        for record in records {
+            let line = record.encode();
+            assert!(line.ends_with('\n'));
+            assert_eq!(
+                line.matches('\n').count(),
+                1,
+                "escaping keeps records one line: {line:?}"
+            );
+            let decoded = JournalRecord::decode(line.trim_end_matches('\n'))
+                .unwrap_or_else(|| panic!("decode failed: {line:?}"));
+            assert_eq!(decoded, record);
+        }
+    }
+
+    #[test]
+    fn replay_collects_completed_and_in_flight() {
+        let journal = MemoryJournal::new();
+        journal.append(&JournalRecord::Meta {
+            scope: "ref".to_string(),
+            total_jobs: 3,
+            languages: "C".to_string(),
+        });
+        journal.append(&JournalRecord::AttemptStart {
+            name: "a".to_string(),
+            language: Language::C,
+            attempt: 0,
+        });
+        journal.append(&done("a", TestStatus::Pass));
+        journal.append(&JournalRecord::AttemptStart {
+            name: "b".to_string(),
+            language: Language::C,
+            attempt: 0,
+        });
+        let replay = Replay::from_text(&journal.text());
+        assert_eq!(replay.completed_count(), 1);
+        assert!(replay
+            .completed
+            .contains_key(&("a".to_string(), Language::C)));
+        assert_eq!(replay.in_flight.len(), 1, "b was interrupted in flight");
+        assert_eq!(replay.meta.as_ref().unwrap().0, "ref");
+        assert!(!replay.torn_tail_discarded);
+        assert_eq!(replay.corrupt_discarded, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_cleanly() {
+        let mut text = done("a", TestStatus::Pass).encode();
+        let torn = done("b", TestStatus::Pass).encode();
+        text.push_str(&torn[..torn.len() - 7]); // crash mid-write: no newline
+        let replay = Replay::from_text(&text);
+        assert_eq!(replay.completed_count(), 1, "prefix survives");
+        assert!(replay.torn_tail_discarded);
+        assert!(replay.summary().contains("torn tail"), "{}", replay.summary());
+    }
+
+    #[test]
+    fn checksum_flip_discards_the_tail() {
+        let good = done("a", TestStatus::Pass).encode();
+        // Flip one checksum hex digit.
+        let mut flip = done("b", TestStatus::Pass).encode().into_bytes();
+        flip[3] = if flip[3] == b'0' { b'1' } else { b'0' };
+        let bad = String::from_utf8(flip).unwrap();
+        let after = done("c", TestStatus::Pass).encode();
+        let replay = Replay::from_text(&format!("{good}{bad}{after}"));
+        assert_eq!(replay.completed_count(), 1, "only the pre-corruption prefix");
+        assert_eq!(replay.corrupt_discarded, 2, "bad line + everything after");
+        assert!(!replay.torn_tail_discarded);
+    }
+
+    #[test]
+    fn garbage_payload_with_valid_frame_is_rejected() {
+        let payload = "done\tonly\ttwo";
+        let line = format!("{MAGIC} {:016x} {payload}\n", checksum(payload));
+        let replay = Replay::from_text(&line);
+        assert_eq!(replay.records, 0);
+        assert_eq!(replay.corrupt_discarded, 1);
+    }
+
+    #[test]
+    fn duplicate_completions_keep_first_and_are_counted() {
+        let first = done("a", TestStatus::Pass).encode();
+        let dup = done("a", TestStatus::WrongResult).encode();
+        let replay = Replay::from_text(&format!("{first}{dup}{dup}"));
+        assert_eq!(replay.completed_count(), 1);
+        assert_eq!(replay.duplicates_discarded, 2);
+        let kept = &replay.completed[&("a".to_string(), Language::C)];
+        assert_eq!(kept.result.status, TestStatus::Pass, "first record wins");
+        assert!(replay.summary().contains("2 duplicate"), "{}", replay.summary());
+    }
+
+    #[test]
+    fn node_events_accumulate() {
+        let mut text = String::new();
+        for _ in 0..2 {
+            text.push_str(
+                &JournalRecord::NodeLost {
+                    node: 5,
+                    completed: 1,
+                    reassigned: 3,
+                }
+                .encode(),
+            );
+        }
+        text.push_str(&JournalRecord::NodeQuarantined { node: 5, deaths: 2 }.encode());
+        let replay = Replay::from_text(&text);
+        assert_eq!(replay.node_deaths.get(&5), Some(&2));
+        assert!(replay.quarantined.contains(&5));
+        assert!(replay.summary().contains("nid00005×2"), "{}", replay.summary());
+    }
+
+    #[test]
+    fn atomic_write_replaces_contents() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("accvv-atomic-{}.txt", std::process::id()));
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        // No temp droppings left behind.
+        let tmp = path.with_file_name(format!(
+            "{}.tmp{}",
+            path.file_name().unwrap().to_string_lossy(),
+            std::process::id()
+        ));
+        assert!(!tmp.exists());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_text_replays_to_nothing() {
+        let replay = Replay::from_text("");
+        assert_eq!(replay.records, 0);
+        assert_eq!(replay.completed_count(), 0);
+        assert!(!replay.torn_tail_discarded);
+    }
+}

@@ -28,6 +28,10 @@
 //!   deadline), a retry policy with flake classification, and a bounded
 //!   worker pool, so one broken case or transient device fault cannot take
 //!   down or skew a campaign.
+//! * **Durable journal** ([`journal`]) — a checksummed, append-only
+//!   write-ahead log of every attempt and verdict, so an interrupted
+//!   campaign resumes where it stopped (corrupted tails are detected and
+//!   discarded) and all report writes are atomic.
 //! * **Campaigns and reports** ([`campaign`], [`report`]) — run a whole
 //!   suite against one or many compiler releases, compute pass rates
 //!   (Fig. 8), collect discovered-bug inventories (Table I), and render
@@ -43,6 +47,7 @@ pub mod config;
 pub mod cross;
 pub mod executor;
 pub mod harness;
+pub mod journal;
 pub mod report;
 pub mod stats;
 pub mod template;
@@ -52,6 +57,9 @@ pub use campaign::{Campaign, CampaignResult, FailureBreakdown, SuiteRun};
 pub use case::{TestCase, TestStatus};
 pub use config::SuiteConfig;
 pub use cross::CrossRule;
-pub use executor::{Executor, ExecutorPolicy, JobMeta};
+pub use executor::{ExecStats, Executor, ExecutorPolicy, JobMeta};
 pub use harness::{run_case, run_case_with, CasePolicy, CaseResult};
+pub use journal::{
+    atomic_write, CompletedCase, FileJournal, JournalRecord, JournalSink, MemoryJournal, Replay,
+};
 pub use stats::Certainty;

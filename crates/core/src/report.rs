@@ -31,6 +31,17 @@ pub fn render(run: &SuiteRun, format: ReportFormat) -> String {
     }
 }
 
+/// Render a suite run and write it to `path` atomically (temp file + rename
+/// via [`crate::journal::atomic_write`]), so a crash mid-write can never
+/// leave a torn half-report on disk.
+pub fn write_file(
+    run: &SuiteRun,
+    format: ReportFormat,
+    path: impl AsRef<std::path::Path>,
+) -> std::io::Result<()> {
+    crate::journal::atomic_write(path, render(run, format).as_bytes())
+}
+
 fn render_text(run: &SuiteRun) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "OpenACC Validation Suite — report for {}", run.compiler);

@@ -76,6 +76,36 @@ impl NodeFault {
     }
 }
 
+/// A scheduled node loss for sweep drills: node `node` goes offline once the
+/// sweep has completed `after_units` units (cached units from a resumed
+/// journal count, so a resumed sweep replays the same loss at the same
+/// point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LossPlan {
+    /// Node that dies.
+    pub node: u32,
+    /// Completed-unit count at which it dies.
+    pub after_units: usize,
+}
+
+impl LossPlan {
+    /// Parse the CLI form `ID@AFTER` (e.g. `3@10`: node 3 dies after 10
+    /// completed units).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (node, after) = s
+            .split_once('@')
+            .ok_or_else(|| format!("bad --lose-node `{s}` (expected ID@AFTER, e.g. 3@10)"))?;
+        Ok(LossPlan {
+            node: node
+                .parse()
+                .map_err(|_| format!("bad node id in --lose-node `{s}`"))?,
+            after_units: after
+                .parse()
+                .map_err(|_| format!("bad unit count in --lose-node `{s}`"))?,
+        })
+    }
+}
+
 /// A software stack installed on a node: a vendor compiler release plus the
 /// translation path it targets.
 #[derive(Debug, Clone, PartialEq, Eq)]

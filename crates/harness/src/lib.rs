@@ -18,8 +18,10 @@
 
 pub mod cluster;
 pub mod run;
+pub mod sweep;
 pub mod tracking;
 
-pub use cluster::{Node, NodeFault, SimulatedCluster, SoftwareStack};
+pub use cluster::{LossPlan, Node, NodeFault, SimulatedCluster, SoftwareStack};
 pub use run::{HarnessReport, HarnessRun, StackResult};
+pub use sweep::{ClusterSweep, NodeLoss, SweepOutcome, SweepRow};
 pub use tracking::{Drift, FunctionalityTracker};

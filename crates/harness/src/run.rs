@@ -88,7 +88,7 @@ impl HarnessRun {
     fn validate_stack(&self, node: &Node, stack: &SoftwareStack) -> StackResult {
         let compiler = stack.compiler(node.fault);
         let campaign = Campaign::new(self.suite.clone()).with_config(self.config.clone());
-        let run = Executor::new(self.policy).run_suite(&campaign, &compiler);
+        let run = Executor::new(self.policy.clone()).run_suite(&campaign, &compiler);
         let mut counted = 0usize;
         let mut passed = 0usize;
         let mut failures = Vec::new();

@@ -100,6 +100,40 @@ impl FunctionalityTracker {
         self.series.keys().map(|s| s.as_str()).collect()
     }
 
+    /// Load a tracker persisted by [`FunctionalityTracker::save`]. Lines
+    /// are `key\twhen\trate`; malformed lines are skipped (a torn write
+    /// costs at most the tail observation, never the whole history).
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        let mut t = FunctionalityTracker::new();
+        for line in text.lines() {
+            let mut parts = line.splitn(3, '\t');
+            let (Some(key), Some(when), Some(rate)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            let Ok(rate) = rate.parse::<f64>() else {
+                continue;
+            };
+            t.record(key, when, rate);
+        }
+        Ok(t)
+    }
+
+    /// Persist the tracker atomically (temp file + rename) so a crash
+    /// mid-save can never corrupt the on-disk history.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let mut out = String::new();
+        for (key, points) in &self.series {
+            for (when, rate) in points {
+                use std::fmt::Write as _;
+                let _ = writeln!(out, "{key}\t{when}\t{rate}");
+            }
+        }
+        acc_validation::atomic_write(path, out.as_bytes())
+    }
+
     /// Render the series as an ASCII trend table.
     pub fn trend_table(&self) -> String {
         use std::fmt::Write as _;

@@ -19,7 +19,9 @@ use openacc_vv::harness::{HarnessRun, NodeFault, SimulatedCluster};
 use openacc_vv::prelude::*;
 use openacc_vv::validation::report::{self, ReportFormat};
 use openacc_vv::validation::template::parse_templates;
+use openacc_vv::validation::{FileJournal, Replay};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -57,12 +59,16 @@ fn print_usage() {
          \x20 accvv run --vendor caps|pgi|cray|reference [--version X] [--lang c|fortran]\n\
          \x20          [--features P1,P2,…] [--format text|csv|html] [--repetitions M]\n\
          \x20          [--attribute] [--jobs N] [--retries R] [--case-deadline-ms MS]\n\
+         \x20          [--journal FILE | --resume FILE] [--out FILE] [--halt-after N]\n\
          \x20 accvv campaign [--vendor caps|pgi|cray]\n\
          \x20 accvv matrix --vendor caps|pgi|cray [--lang c|fortran]\n\
          \x20 accvv bugs --vendor caps|pgi|cray --version X [--lang c|fortran]\n\
          \x20 accvv expand FILE\n\
          \x20 accvv titan [--nodes N] [--sample K] [--seed S] [--fault-rate PCT]\n\
          \x20            [--retries R] [--jobs N]\n\
+         \x20 accvv titan --sweep [--nodes N] [--jobs N] [--lose-node ID@AFTER]…\n\
+         \x20            [--journal FILE | --resume FILE] [--out FILE] [--halt-after N]\n\
+         \x20            [--quarantine-after K] [--track FILE]\n\
          \x20 accvv selftest [PREFIX]"
     );
 }
@@ -204,16 +210,74 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         Some("html") => ReportFormat::Html,
         Some(other) => return Err(format!("unknown format `{other}`")),
     };
+    let jobs: usize = parse_opt_or(args, "--jobs", 1usize)?;
+    if jobs == 0 {
+        return Err("--jobs must be at least 1 (a pool with no workers runs nothing)".to_string());
+    }
     let mut policy = ExecutorPolicy::new()
-        .with_jobs(parse_opt_or(args, "--jobs", 1usize)?)
+        .with_jobs(jobs)
         .with_retries(parse_opt_or(args, "--retries", 0u32)?)
         .with_backoff_ms(parse_opt_or(args, "--backoff-ms", 0u64)?);
     if let Some(ms) = opt(args, "--case-deadline-ms") {
         policy = policy.with_deadline_ms(ms.parse().map_err(|_| "bad --case-deadline-ms")?);
     }
+    let journal_path = opt(args, "--journal");
+    let resume_path = opt(args, "--resume");
+    if journal_path.is_some() && resume_path.is_some() {
+        return Err(
+            "--journal and --resume are mutually exclusive (--resume keeps appending to the \
+             journal it replays)"
+                .to_string(),
+        );
+    }
+    if let Some(p) = &journal_path {
+        let j = FileJournal::create(p).map_err(|e| format!("--journal {p}: {e}"))?;
+        policy = policy.with_journal(Arc::new(j));
+    }
+    if let Some(p) = &resume_path {
+        let (replay, j) = Replay::open_resume(p).map_err(|e| format!("--resume {p}: {e}"))?;
+        if let Some((scope, _, _)) = &replay.meta {
+            if *scope != compiler.label() {
+                return Err(format!(
+                    "--resume {p}: journal was recorded for `{scope}`, not `{}`",
+                    compiler.label()
+                ));
+            }
+        }
+        eprintln!("accvv: {}", replay.summary());
+        policy = policy
+            .with_journal(Arc::new(j))
+            .with_resume(Arc::new(replay));
+    }
+    if let Some(n) = opt(args, "--halt-after") {
+        policy = policy.with_halt_after(n.parse().map_err(|_| "bad --halt-after")?);
+    }
     let campaign = Campaign::new(openacc_vv::testsuite::full_suite()).with_config(config);
-    let run = Executor::new(policy).run_suite(&campaign, &compiler);
-    print!("{}", report::render(&run, format));
+    let (run, stats) = Executor::new(policy).run_suite_stats(&campaign, &compiler);
+    if stats.cached > 0 {
+        eprintln!(
+            "accvv: resume skipped {} completed case(s); {} executed this run",
+            stats.cached, stats.executed
+        );
+    }
+    if stats.halted {
+        let hint = journal_path
+            .as_ref()
+            .or(resume_path.as_ref())
+            .map(|p| format!("; resume with `accvv run --resume {p}`"))
+            .unwrap_or_default();
+        return Err(format!(
+            "run halted after {} executed job(s) (--halt-after){hint}",
+            stats.executed
+        ));
+    }
+    match opt(args, "--out") {
+        Some(p) => {
+            report::write_file(&run, format, &p).map_err(|e| format!("--out {p}: {e}"))?;
+            eprintln!("accvv: report written to {p}");
+        }
+        None => print!("{}", report::render(&run, format)),
+    }
     if flag(args, "--attribute") && compiler.vendor != VendorId::Reference {
         let catalog = BugCatalog::paper();
         let failures = openacc_vv::validation::analysis::attribute(
@@ -393,7 +457,33 @@ fn cmd_selftest(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// All values of a repeatable `--key value` option, in order.
+fn opt_all(args: &[String], key: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == key)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .cloned()
+        .collect()
+}
+
+/// The fast four-feature subset the Titan harness runs per node.
+fn titan_suite() -> Vec<TestCase> {
+    let keep = ["loop", "data.copy", "parallel.async", "update.host"];
+    openacc_vv::testsuite::full_suite()
+        .into_iter()
+        .filter(|c| keep.contains(&c.feature.as_str()))
+        .collect()
+}
+
 fn cmd_titan(args: &[String]) -> Result<(), String> {
+    if flag(args, "--sweep")
+        || opt(args, "--journal").is_some()
+        || opt(args, "--resume").is_some()
+        || !opt_all(args, "--lose-node").is_empty()
+    {
+        return cmd_titan_sweep(args);
+    }
     let nodes: u32 = opt(args, "--nodes")
         .map(|s| s.parse().unwrap_or(16))
         .unwrap_or(16);
@@ -404,8 +494,16 @@ fn cmd_titan(args: &[String]) -> Result<(), String> {
         .map(|s| s.parse().unwrap_or(1))
         .unwrap_or(1);
     let fault_rate: u8 = parse_opt_or(args, "--fault-rate", 0u8)?;
+    if fault_rate > 100 {
+        return Err(format!(
+            "--fault-rate {fault_rate} is not a percentage (expected 0–100)"
+        ));
+    }
     let retries: u32 = parse_opt_or(args, "--retries", if fault_rate > 0 { 4 } else { 0 })?;
     let jobs: usize = parse_opt_or(args, "--jobs", 1usize)?;
+    if jobs == 0 {
+        return Err("--jobs must be at least 1 (a pool with no workers runs nothing)".to_string());
+    }
     // One persistently-broken node, plus — when a fault rate is given — one
     // node with a seeded transient memcpy fault the retry policy should
     // classify as flaky rather than broken.
@@ -420,13 +518,8 @@ fn cmd_titan(args: &[String]) -> Result<(), String> {
         ));
     }
     let cluster = SimulatedCluster::titan(nodes, &faults);
-    let keep = ["loop", "data.copy", "parallel.async", "update.host"];
-    let suite: Vec<TestCase> = openacc_vv::testsuite::full_suite()
-        .into_iter()
-        .filter(|c| keep.contains(&c.feature.as_str()))
-        .collect();
     let policy = ExecutorPolicy::new().with_retries(retries).with_jobs(jobs);
-    let report = HarnessRun::new(suite, sample)
+    let report = HarnessRun::new(titan_suite(), sample)
         .with_policy(policy)
         .execute(&cluster, seed);
     println!("{}", report.matrix());
@@ -439,6 +532,112 @@ fn cmd_titan(args: &[String]) -> Result<(), String> {
     let flaky = report.flaky_nodes();
     if !flaky.is_empty() {
         println!("flaky nodes (transient faults suspected): {flaky:?}");
+    }
+    Ok(())
+}
+
+/// `accvv titan --sweep`: a durable cluster-wide sweep with journaling,
+/// crash-safe resume, scheduled node losses and repeat-offender quarantine.
+fn cmd_titan_sweep(args: &[String]) -> Result<(), String> {
+    use openacc_vv::harness::{ClusterSweep, LossPlan};
+    let jobs: usize = parse_opt_or(args, "--jobs", 1usize)?;
+    if jobs == 0 {
+        return Err("--jobs must be at least 1 (a pool with no workers runs nothing)".to_string());
+    }
+    let losses = opt_all(args, "--lose-node")
+        .iter()
+        .map(|s| LossPlan::parse(s))
+        .collect::<Result<Vec<_>, _>>()?;
+    let journal_path = opt(args, "--journal");
+    let resume_path = opt(args, "--resume");
+    if journal_path.is_some() && resume_path.is_some() {
+        return Err(
+            "--journal and --resume are mutually exclusive (--resume keeps appending to the \
+             journal it replays)"
+                .to_string(),
+        );
+    }
+    let resumed = match &resume_path {
+        Some(p) => {
+            let (replay, j) = Replay::open_resume(p).map_err(|e| format!("--resume {p}: {e}"))?;
+            eprintln!("accvv: {}", replay.summary());
+            Some((replay, j))
+        }
+        None => None,
+    };
+    // An explicit --nodes wins; otherwise a resumed journal dictates the
+    // cluster shape it was recorded against (the scope check would reject a
+    // mismatch anyway).
+    let nodes: u32 = match opt(args, "--nodes") {
+        Some(s) => s.parse().map_err(|_| format!("bad --nodes `{s}`"))?,
+        None => resumed
+            .as_ref()
+            .and_then(|(r, _)| r.meta.as_ref())
+            .and_then(|(scope, _, _)| ClusterSweep::nodes_in_scope(scope))
+            .unwrap_or(4),
+    };
+    if nodes == 0 {
+        return Err("--nodes must be at least 1".to_string());
+    }
+    let mut policy = ExecutorPolicy::new()
+        .with_jobs(jobs)
+        .with_retries(parse_opt_or(args, "--retries", 0u32)?);
+    if let Some(p) = &journal_path {
+        let j = FileJournal::create(p).map_err(|e| format!("--journal {p}: {e}"))?;
+        policy = policy.with_journal(Arc::new(j));
+    }
+    if let Some((replay, j)) = resumed {
+        policy = policy
+            .with_journal(Arc::new(j))
+            .with_resume(Arc::new(replay));
+    }
+    if let Some(n) = opt(args, "--halt-after") {
+        policy = policy.with_halt_after(n.parse().map_err(|_| "bad --halt-after")?);
+    }
+    let cluster = SimulatedCluster::titan(nodes, &[]);
+    let sweep = ClusterSweep::new(titan_suite())
+        .with_policy(policy)
+        .with_losses(losses)
+        .with_quarantine_after(parse_opt_or(args, "--quarantine-after", 2u32)?);
+    let out = sweep.run(&cluster)?;
+    let rendered = out.render();
+    match opt(args, "--out") {
+        Some(p) => {
+            openacc_vv::validation::atomic_write(&p, rendered.as_bytes())
+                .map_err(|e| format!("--out {p}: {e}"))?;
+            eprintln!("accvv: report written to {p}");
+        }
+        None => print!("{rendered}"),
+    }
+    // Functionality tracking: fold this sweep's pass rate into the durable
+    // time series and surface any drift against the previous observation.
+    if let Some(track) = opt(args, "--track") {
+        let mut tracker = match openacc_vv::harness::FunctionalityTracker::load(&track) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                openacc_vv::harness::FunctionalityTracker::new()
+            }
+            Err(e) => return Err(format!("--track {track}: {e}")),
+        };
+        let runs_so_far = tracker.history(&out.scope).map(|h| h.len()).unwrap_or(0);
+        tracker.record(&out.scope, format!("run{}", runs_so_far + 1), out.pass_rate());
+        for drift in tracker.latest_drifts() {
+            println!("{drift}");
+        }
+        tracker
+            .save(&track)
+            .map_err(|e| format!("--track {track}: {e}"))?;
+    }
+    if out.halted {
+        let hint = journal_path
+            .as_ref()
+            .or(resume_path.as_ref())
+            .map(|p| format!("; resume with `accvv titan --resume {p}`"))
+            .unwrap_or_default();
+        return Err(format!(
+            "sweep halted after {} executed unit(s){hint}",
+            out.executed
+        ));
     }
     Ok(())
 }

@@ -17,6 +17,8 @@
 
 #![warn(missing_docs)]
 
+pub mod perf;
+
 use acc_compiler::{VendorCompiler, VendorId};
 use acc_spec::Language;
 use acc_validation::{Campaign, SuiteRun};

@@ -1,0 +1,235 @@
+//! Machine-readable performance measurements behind `accvv bench`.
+//!
+//! Each measurement times a representative workload (template expansion,
+//! a full reference campaign, the three-vendor Fig. 8 sweep, the device
+//! interpreter) over a configurable number of iterations and reports the
+//! median wall time plus a cases-per-second throughput figure. The report
+//! serialises to a small hand-rolled JSON document (`BENCH_suite.json`)
+//! that doubles as the CI regression baseline: `accvv bench --check
+//! BASELINE --tolerance-pct P` fails when the full-suite wall time
+//! regresses by more than `P` percent.
+
+use acc_compiler::{CacheStats, CompileCache, VendorCompiler, VendorId};
+use acc_validation::Campaign;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The measurement CI gates on: the three-vendor, all-versions Fig. 8
+/// campaign — the suite's end-to-end hot path.
+pub const FULL_SUITE: &str = "campaign_fig8_three_vendor";
+
+/// One named workload's timing.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Workload name (stable across runs; keys the baseline comparison).
+    pub name: String,
+    /// Median wall time across the run's iterations, in milliseconds.
+    pub median_ms: f64,
+    /// Work units per second at the median (case results, rendered
+    /// sources, or kernel runs depending on the workload).
+    pub cases_per_sec: f64,
+}
+
+/// A full bench run: every measurement plus the compilation-cache counters
+/// accumulated across all of them.
+#[derive(Debug)]
+pub struct BenchReport {
+    /// Whether the compilation cache was attached (`accvv bench` default;
+    /// `--no-cache` turns it off to measure the cold path).
+    pub cache_enabled: bool,
+    /// Iterations per measurement (median taken over these).
+    pub iters: u32,
+    /// The measurements, in execution order.
+    pub measurements: Vec<Measurement>,
+    /// Cache counters summed over the whole run (all zeros when disabled).
+    pub cache: CacheStats,
+}
+
+impl BenchReport {
+    /// Look up a measurement by name.
+    pub fn measurement(&self, name: &str) -> Option<&Measurement> {
+        self.measurements.iter().find(|m| m.name == name)
+    }
+
+    /// Serialise as the `BENCH_suite.json` document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"schema\": \"accvv-bench-v1\",");
+        let _ = writeln!(s, "  \"cache_enabled\": {},", self.cache_enabled);
+        let _ = writeln!(s, "  \"iters\": {},", self.iters);
+        let _ = writeln!(s, "  \"measurements\": [");
+        for (i, m) in self.measurements.iter().enumerate() {
+            let comma = if i + 1 < self.measurements.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{\"name\": \"{}\", \"median_ms\": {:.3}, \"cases_per_sec\": {:.1}}}{comma}",
+                m.name, m.median_ms, m.cases_per_sec
+            );
+        }
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"cache\": {{");
+        let _ = writeln!(s, "    \"frontend_hits\": {},", self.cache.frontend_hits);
+        let _ = writeln!(s, "    \"frontend_misses\": {},", self.cache.frontend_misses);
+        let _ = writeln!(s, "    \"exec_hits\": {},", self.cache.exec_hits);
+        let _ = writeln!(s, "    \"exec_misses\": {},", self.cache.exec_misses);
+        let _ = writeln!(s, "    \"hit_rate\": {:.4}", self.cache.hit_rate());
+        let _ = writeln!(s, "  }}");
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Extract a measurement's `median_ms` from a serialised report without a
+/// JSON parser: scan for the measurement object by name. Tolerates only the
+/// exact layout [`BenchReport::to_json`] emits — which is all the baseline
+/// file can contain.
+pub fn median_in_json(json: &str, name: &str) -> Option<f64> {
+    let at = json.find(&format!("\"name\": \"{name}\""))?;
+    let rest = &json[at..];
+    let m = rest.find("\"median_ms\": ")?;
+    let rest = &rest[m + "\"median_ms\": ".len()..];
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Median of `iters` timed runs of `body`, in milliseconds, plus the last
+/// run's work-unit count.
+fn time_median(iters: u32, mut body: impl FnMut() -> usize) -> (f64, usize) {
+    let mut times_ms: Vec<f64> = Vec::with_capacity(iters as usize);
+    let mut units = 0;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        units = std::hint::black_box(body());
+        times_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    times_ms.sort_by(f64::total_cmp);
+    (times_ms[times_ms.len() / 2], units)
+}
+
+fn push(measurements: &mut Vec<Measurement>, name: &str, median_ms: f64, units: usize) {
+    let cases_per_sec = if median_ms > 0.0 {
+        units as f64 / (median_ms / 1e3)
+    } else {
+        0.0
+    };
+    measurements.push(Measurement {
+        name: name.to_string(),
+        median_ms,
+        cases_per_sec,
+    });
+}
+
+/// Run the bench suite. `iters` timed repetitions per workload (median
+/// reported); `use_cache` attaches one shared [`CompileCache`] to every
+/// campaign, mirroring what `accvv run`/`campaign` do by default.
+pub fn run_bench(iters: u32, use_cache: bool) -> BenchReport {
+    let iters = iters.max(1);
+    let cache = use_cache.then(CompileCache::shared);
+    let with_cache = |c: Campaign| match &cache {
+        Some(cache) => c.with_cache(Arc::clone(cache)),
+        None => c,
+    };
+    let suite = acc_testsuite::full_suite();
+    let mut measurements = Vec::new();
+
+    // 1. Template expansion: render every functional + cross source in
+    //    both languages (the suite's pure generation cost).
+    let (median, units) = time_median(iters, || {
+        let mut sources = 0usize;
+        for case in &suite {
+            for lang in case.languages.clone() {
+                std::hint::black_box(case.source_for(lang).len());
+                sources += 1;
+                if let Some(x) = case.cross_source_for(lang) {
+                    std::hint::black_box(x.len());
+                    sources += 1;
+                }
+            }
+        }
+        sources
+    });
+    push(&mut measurements, "generate_sources", median, units);
+
+    // 2. Full suite against the clean reference implementation.
+    let reference = VendorCompiler::reference();
+    let campaign = with_cache(Campaign::new(suite.clone()));
+    let (median, units) = time_median(iters, || campaign.run_one(&reference).results.len());
+    push(&mut measurements, "campaign_reference_full", median, units);
+
+    // 3. The Fig. 8 acceptance metric: all released versions of all three
+    //    commercial vendors, serially.
+    let campaign = with_cache(Campaign::new(suite.clone()));
+    let (median, units) = time_median(iters, || {
+        let mut results = 0usize;
+        for vendor in [VendorId::Caps, VendorId::Pgi, VendorId::Cray] {
+            for run in campaign.run_vendor_line(vendor).runs {
+                results += run.results.len();
+            }
+        }
+        results
+    });
+    push(&mut measurements, FULL_SUITE, median, units);
+
+    // 4. Device interpreter throughput: one compiled kernel run repeatedly
+    //    (compilation outside the timed region — this isolates `exec.rs`).
+    let src = "int main(void) {\n    int error = 0;\n    int A[512];\n    for (i = 0; i < 512; i++)\n    {\n        A[i] = 0;\n    }\n    #pragma acc parallel num_gangs(8) copy(A[0:512])\n    {\n        #pragma acc loop\n        for (i = 0; i < 512; i++)\n        {\n            A[i] = A[i] + 1;\n        }\n    }\n    for (i = 0; i < 512; i++)\n    {\n        if (A[i] != 1)\n        {\n            error++;\n        }\n    }\n    return error == 0;\n}\n";
+    let exe = reference
+        .compile(src, acc_spec::Language::C)
+        .expect("bench kernel compiles");
+    let (median, units) = time_median(iters, || {
+        let runs = 20usize;
+        for _ in 0..runs {
+            std::hint::black_box(exe.run().outcome.passed());
+        }
+        runs
+    });
+    push(&mut measurements, "device_kernel_512", median, units);
+
+    BenchReport {
+        cache_enabled: use_cache,
+        iters,
+        measurements,
+        cache: cache.map(|c| c.stats()).unwrap_or_default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrips_the_gated_median() {
+        let report = BenchReport {
+            cache_enabled: true,
+            iters: 3,
+            measurements: vec![
+                Measurement {
+                    name: "generate_sources".into(),
+                    median_ms: 12.5,
+                    cases_per_sec: 100.0,
+                },
+                Measurement {
+                    name: FULL_SUITE.into(),
+                    median_ms: 456.789,
+                    cases_per_sec: 4321.0,
+                },
+            ],
+            cache: CacheStats::default(),
+        };
+        let json = report.to_json();
+        assert_eq!(median_in_json(&json, FULL_SUITE), Some(456.789));
+        assert_eq!(median_in_json(&json, "generate_sources"), Some(12.5));
+        assert_eq!(median_in_json(&json, "missing"), None);
+    }
+
+    #[test]
+    fn median_is_order_insensitive() {
+        let mut times = [5.0, 1.0, 3.0];
+        times.sort_by(f64::total_cmp);
+        assert_eq!(times[times.len() / 2], 3.0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Content-addressed compilation cache: compile once, run many.
+//!
+//! A validation campaign compiles the same generated source many times —
+//! once per vendor version in a sweep, once more for every cross-test
+//! repetition, and again on retries. The pipeline is deterministic, so all
+//! of that work is redundant. [`CompileCache`] memoises it at two levels:
+//!
+//! * **Front-end level** — keyed by `(language, spec version, source)`.
+//!   Parse, sema, and name resolution do not depend on the vendor profile
+//!   at all, so one entry serves *every* vendor and version. This is the
+//!   level that makes an eight-version sweep pay for one parse.
+//! * **Executable level** — keyed by `(vendor profile fingerprint, source)`.
+//!   The compile-time-defect walk and the resulting [`Executable`] depend on
+//!   the release's bug set, so a PGI-lowered artifact is never served to
+//!   Cray: their fingerprints differ.
+//!
+//! Keys embed the *full* source text (content addressing by exact match):
+//! no hash collisions are possible, and lookups cost one hash of the
+//! source — orders of magnitude below a parse. Failures are cached too;
+//! compilation is deterministic, so a source that failed once fails
+//! identically forever.
+//!
+//! The cache is `Mutex`-guarded and shared across the `--jobs` worker pool
+//! via `Arc`. Compilation runs *outside* the lock; when two workers race to
+//! compile the same key, the first insert wins and both get the same
+//! `Arc`-shared artifact (the loser's work is discarded, not duplicated in
+//! the cache). Hit/miss counters per level feed the report summary and the
+//! bench JSON.
+
+use acc_ast::Program;
+use acc_frontend::ResolvedProgram;
+use acc_spec::{Language, SpecVersion};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::driver::{CompileFailure, Executable};
+
+/// The front-end artifact: parsed AST plus resolved frame layouts.
+type Frontend = (Arc<Program>, Arc<ResolvedProgram>);
+
+/// A process-lifetime, thread-safe compilation cache.
+///
+/// Entries never expire: keys are pure functions of their content, so an
+/// entry can only become stale if the compiler itself changes — which can't
+/// happen within a process.
+#[derive(Default)]
+pub struct CompileCache {
+    frontend: Mutex<HashMap<String, Result<Frontend, CompileFailure>>>,
+    exec: Mutex<HashMap<String, Result<Arc<Executable>, CompileFailure>>>,
+    frontend_hits: AtomicU64,
+    frontend_misses: AtomicU64,
+    exec_hits: AtomicU64,
+    exec_misses: AtomicU64,
+}
+
+/// A point-in-time snapshot of the cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Front-end lookups served from cache.
+    pub frontend_hits: u64,
+    /// Front-end lookups that had to parse.
+    pub frontend_misses: u64,
+    /// Executable lookups served from cache.
+    pub exec_hits: u64,
+    /// Executable lookups that had to run the defect walk.
+    pub exec_misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups across both levels.
+    pub fn lookups(&self) -> u64 {
+        self.frontend_hits + self.frontend_misses + self.exec_hits + self.exec_misses
+    }
+
+    /// Hit rate across both levels in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.frontend_hits + self.exec_hits;
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "frontend {}/{} hits, executable {}/{} hits ({:.1}% overall)",
+            self.frontend_hits,
+            self.frontend_hits + self.frontend_misses,
+            self.exec_hits,
+            self.exec_hits + self.exec_misses,
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
+impl CompileCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        CompileCache::default()
+    }
+
+    /// An empty cache behind an `Arc`, ready to share across compilers and
+    /// worker threads.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(CompileCache::new())
+    }
+
+    /// Get-or-compute the front-end artifact for `(language, spec, source)`.
+    ///
+    /// `compute` runs outside the cache lock; concurrent racers on the same
+    /// key both compute, but the first insertion wins and is returned to
+    /// everyone.
+    pub fn frontend(
+        &self,
+        source: &str,
+        language: Language,
+        spec: SpecVersion,
+        compute: impl FnOnce() -> Result<Frontend, CompileFailure>,
+    ) -> Result<Frontend, CompileFailure> {
+        let key = format!("{language:?}|{spec:?}\u{0}{source}");
+        if let Some(cached) = self.frontend.lock().unwrap().get(&key) {
+            self.frontend_hits.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
+        }
+        self.frontend_misses.fetch_add(1, Ordering::Relaxed);
+        let fresh = compute();
+        self.frontend
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert(fresh)
+            .clone()
+    }
+
+    /// Get-or-compute the executable for `(profile fingerprint, source)`.
+    ///
+    /// `fingerprint` must uniquely determine the vendor profile (vendor,
+    /// version, target, extra defects, language) — see
+    /// [`crate::vendor::VendorCompiler::fingerprint`].
+    pub fn executable(
+        &self,
+        fingerprint: &str,
+        source: &str,
+        compute: impl FnOnce() -> Result<Executable, CompileFailure>,
+    ) -> Result<Arc<Executable>, CompileFailure> {
+        let key = format!("{fingerprint}\u{0}{source}");
+        if let Some(cached) = self.exec.lock().unwrap().get(&key) {
+            self.exec_hits.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
+        }
+        self.exec_misses.fetch_add(1, Ordering::Relaxed);
+        let fresh = compute().map(Arc::new);
+        self.exec
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert(fresh)
+            .clone()
+    }
+
+    /// Snapshot the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            frontend_hits: self.frontend_hits.load(Ordering::Relaxed),
+            frontend_misses: self.frontend_misses.load(Ordering::Relaxed),
+            exec_hits: self.exec_hits.load(Ordering::Relaxed),
+            exec_misses: self.exec_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct executable-level entries (one per profile ×
+    /// source pair seen).
+    pub fn exec_entries(&self) -> usize {
+        self.exec.lock().unwrap().len()
+    }
+
+    /// Number of distinct front-end entries (one per language × source pair
+    /// seen).
+    pub fn frontend_entries(&self) -> usize {
+        self.frontend.lock().unwrap().len()
+    }
+}
+
+impl fmt::Debug for CompileCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompileCache")
+            .field("frontend_entries", &self.frontend_entries())
+            .field("exec_entries", &self.exec_entries())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vendor::{VendorCompiler, VendorId};
+
+    const SRC: &str = "int main(void) {\n    int x = 1;\n    return x;\n}\n";
+
+    #[test]
+    fn frontend_level_shares_one_parse() {
+        let cache = CompileCache::new();
+        let mut calls = 0;
+        for _ in 0..3 {
+            let r = cache.frontend(SRC, Language::C, SpecVersion::V1_0, || {
+                calls += 1;
+                crate::driver::frontend_compile(SRC, Language::C)
+            });
+            assert!(r.is_ok());
+        }
+        assert_eq!(calls, 1, "parse ran once");
+        let s = cache.stats();
+        assert_eq!((s.frontend_hits, s.frontend_misses), (2, 1));
+    }
+
+    #[test]
+    fn languages_do_not_collide() {
+        let cache = CompileCache::new();
+        let _ = cache.frontend(SRC, Language::C, SpecVersion::V1_0, || {
+            crate::driver::frontend_compile(SRC, Language::C)
+        });
+        // Same source under Fortran is a distinct key (here it simply fails
+        // to parse, which is itself cached).
+        let r = cache.frontend(SRC, Language::Fortran, SpecVersion::V1_0, || {
+            crate::driver::frontend_compile(SRC, Language::Fortran)
+        });
+        assert!(r.is_err());
+        assert_eq!(cache.frontend_entries(), 2);
+    }
+
+    #[test]
+    fn failures_are_cached() {
+        let cache = CompileCache::new();
+        let bad = "int main(void) {\n    @@@\n}\n";
+        let mut calls = 0;
+        for _ in 0..2 {
+            let r = cache.frontend(bad, Language::C, SpecVersion::V1_0, || {
+                calls += 1;
+                crate::driver::frontend_compile(bad, Language::C)
+            });
+            assert!(r.is_err());
+        }
+        assert_eq!(calls, 1, "failed parse also ran once");
+    }
+
+    #[test]
+    fn exec_level_keyed_by_fingerprint() {
+        let cache = CompileCache::new();
+        let pgi = VendorCompiler::latest(VendorId::Pgi);
+        let cray = VendorCompiler::latest(VendorId::Cray);
+        let a = cache
+            .executable(&pgi.fingerprint(Language::C), SRC, || {
+                pgi.compile(SRC, Language::C)
+            })
+            .unwrap();
+        let b = cache
+            .executable(&cray.fingerprint(Language::C), SRC, || {
+                cray.compile(SRC, Language::C)
+            })
+            .unwrap();
+        assert_eq!(cache.exec_entries(), 2, "distinct profiles, distinct keys");
+        assert_ne!(a.profile.name, b.profile.name);
+        // Re-asking for PGI is a hit and returns the same allocation.
+        let a2 = cache
+            .executable(&pgi.fingerprint(Language::C), SRC, || {
+                pgi.compile(SRC, Language::C)
+            })
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &a2));
+        assert_eq!(cache.stats().exec_hits, 1);
+    }
+}

@@ -3,9 +3,10 @@
 
 use acc_ast::{Expr, Program};
 use acc_device::{Defect, ExecProfile};
-use acc_frontend::{sema, Severity};
+use acc_frontend::{sema, ResolvedProgram, Severity};
 use acc_spec::{ClauseKind, DeviceType, DirectiveKind, Language, RuntimeRoutine, SpecVersion};
 use std::fmt;
+use std::sync::Arc;
 
 /// Why compilation failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,26 +47,31 @@ impl std::error::Error for CompileFailure {}
 
 /// A compiled test program: the parsed AST plus the behavioural profile the
 /// machine will execute it under.
+///
+/// The AST and its resolved frame layouts are `Arc`-shared: when the
+/// compilation cache serves the same source to several vendor versions, all
+/// resulting executables point at one parse.
 #[derive(Debug, Clone)]
 pub struct Executable {
     /// The program.
-    pub program: Program,
+    pub program: Arc<Program>,
+    /// Frame slot layouts for every function (name → slot resolution done
+    /// once at compile time; the interpreter indexes `Vec`-backed frames).
+    pub resolved: Arc<ResolvedProgram>,
     /// Vendor behaviour (mapping, policies, injected defects).
     pub profile: ExecProfile,
     /// The implementation-defined concrete device type.
     pub concrete_device: DeviceType,
 }
 
-/// Compile `source` under `profile` (already carrying the version's
-/// defects). This is the shared back half of
-/// [`crate::vendor::VendorCompiler::compile`]; it is public so tests and
-/// tools can compile against hand-built profiles.
-pub fn compile_with_profile(
+/// The profile-independent front half of the pipeline: parse, specification
+/// conformance, name resolution. Its result depends only on `(source,
+/// language, spec version)` — this is the unit the compilation cache shares
+/// across vendors and versions.
+pub fn frontend_compile(
     source: &str,
     language: Language,
-    profile: ExecProfile,
-    concrete_device: DeviceType,
-) -> Result<Executable, CompileFailure> {
+) -> Result<(Arc<Program>, Arc<ResolvedProgram>), CompileFailure> {
     // 1. Front-end.
     let program = acc_frontend::parse(source, language).map_err(|e| CompileFailure {
         kind: FailureKind::ParseError,
@@ -84,7 +90,19 @@ pub fn compile_with_profile(
             messages: errors,
         });
     }
-    // 3. Vendor compile-time defects.
+    // 3. Name resolution (frame slot assignment).
+    let resolved = acc_frontend::resolve(&program);
+    Ok((Arc::new(program), Arc::new(resolved)))
+}
+
+/// The profile-specific back half: apply the vendor release's compile-time
+/// defects to an already-parsed program and produce the executable.
+pub fn finish_compile(
+    program: Arc<Program>,
+    resolved: Arc<ResolvedProgram>,
+    profile: ExecProfile,
+    concrete_device: DeviceType,
+) -> Result<Executable, CompileFailure> {
     let ice = compile_time_defects(&program, &profile);
     if !ice.is_empty() {
         return Err(CompileFailure {
@@ -94,9 +112,24 @@ pub fn compile_with_profile(
     }
     Ok(Executable {
         program,
+        resolved,
         profile,
         concrete_device,
     })
+}
+
+/// Compile `source` under `profile` (already carrying the version's
+/// defects). This is the shared back half of
+/// [`crate::vendor::VendorCompiler::compile`]; it is public so tests and
+/// tools can compile against hand-built profiles.
+pub fn compile_with_profile(
+    source: &str,
+    language: Language,
+    profile: ExecProfile,
+    concrete_device: DeviceType,
+) -> Result<Executable, CompileFailure> {
+    let (program, resolved) = frontend_compile(source, language)?;
+    finish_compile(program, resolved, profile, concrete_device)
 }
 
 /// Check the program against the profile's compile-time defects; returns the

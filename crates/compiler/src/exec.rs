@@ -26,6 +26,7 @@ use acc_ast::{
 use acc_device::memory::ExitAction;
 use acc_device::queue::AsyncTag;
 use acc_device::{ArrayData, BufferId, Defect, ExecProfile, PresentEntry, Value, WorkerLoopPolicy};
+use acc_frontend::{FrameLayout, ResolvedProgram};
 use acc_runtime::routines::dispatch;
 use acc_runtime::World;
 use acc_spec::envvar::EnvConfig;
@@ -87,7 +88,13 @@ impl Executable {
 
     /// Run with explicit execution knobs (step budget, attempt index).
     pub fn run_with_knobs(&self, env: &EnvConfig, knobs: RunKnobs) -> RunResult {
-        let mut m = Machine::new(&self.program, &self.profile, self.concrete_device, env);
+        let mut m = Machine::new(
+            &self.program,
+            &self.resolved,
+            &self.profile,
+            self.concrete_device,
+            env,
+        );
         if let Some(limit) = knobs.step_limit {
             m.step_limit = limit;
         }
@@ -135,21 +142,89 @@ enum ArrBinding {
     Device(BufferId),
 }
 
-/// A host call frame.
-#[derive(Debug, Default)]
-struct Frame {
-    vars: HashMap<String, Value>,
-    var_types: HashMap<String, Type>,
-    arrays: HashMap<String, ArrBinding>,
+/// One frame slot: the merged scalar/type/array binding of a resolved name.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    val: Option<Value>,
+    ty: Option<Type>,
+    arr: Option<ArrBinding>,
+}
+
+/// A host call frame, backed by the function's [`FrameLayout`]: every name
+/// the function can touch was assigned a dense slot index at compile time,
+/// so reads and writes are vector accesses instead of `HashMap<String, _>`
+/// operations cloning keys.
+#[derive(Debug)]
+struct Frame<'a> {
+    layout: &'a FrameLayout,
+    slots: Vec<Slot>,
     /// Present-table names entered by `declare`, exited at function return.
     declare_entries: Vec<String>,
     /// `host_data use_device` overlays (innermost last).
     host_data: Vec<HashMap<String, BufferId>>,
 }
 
+impl<'a> Frame<'a> {
+    fn new(layout: &'a FrameLayout) -> Self {
+        Frame {
+            layout,
+            slots: vec![Slot::default(); layout.len()],
+            declare_entries: Vec::new(),
+            host_data: Vec::new(),
+        }
+    }
+
+    fn idx(&self, name: &str) -> Option<usize> {
+        self.layout.slot(name)
+    }
+
+    fn val(&self, name: &str) -> Option<Value> {
+        self.idx(name).and_then(|i| self.slots[i].val)
+    }
+
+    fn ty(&self, name: &str) -> Option<Type> {
+        self.idx(name).and_then(|i| self.slots[i].ty)
+    }
+
+    fn arr(&self, name: &str) -> Option<ArrBinding> {
+        self.idx(name).and_then(|i| self.slots[i].arr)
+    }
+
+    /// Write a scalar value; false when the name has no slot (a resolver
+    /// gap — the caller escalates to an internal-error crash).
+    #[must_use]
+    fn set_val(&mut self, name: &str, v: Value) -> bool {
+        match self.idx(name) {
+            Some(i) => {
+                self.slots[i].val = Some(v);
+                true
+            }
+            None => false,
+        }
+    }
+
+    #[must_use]
+    fn set_arr(&mut self, name: &str, b: ArrBinding) -> bool {
+        match self.idx(name) {
+            Some(i) => {
+                self.slots[i].arr = Some(b);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
 /// Device execution context for one gang.
+///
+/// Bindings live in a flat slot vector indexed by the same [`FrameLayout`]
+/// as the host frame. Scope nesting is modeled with an ownership depth per
+/// slot plus a per-scope undo journal: entering a scope is free, a first
+/// write inside a scope journals the shadowed binding, and popping the
+/// scope replays the journal — so the hot per-iteration writes are plain
+/// vector stores.
 #[derive(Debug)]
-struct DevCtx {
+struct DevCtx<'m> {
     num_gangs: u32,
     num_workers: u32,
     vector_len: u32,
@@ -158,39 +233,74 @@ struct DevCtx {
     in_gang_loop: bool,
     /// `kernels` region (body runs once; loops auto-partition).
     kernels_mode: bool,
-    /// Device-local scopes, innermost last. The bottom scope is the gang
-    /// scope holding private/firstprivate/reduction copies and implicit
-    /// firstprivate scalars.
-    scopes: Vec<HashMap<String, Value>>,
-    /// Names bound by a `deviceptr` clause to device buffers.
-    devptr: HashMap<String, BufferId>,
+    layout: &'m FrameLayout,
+    /// Current visible binding per slot (`None` = unbound).
+    slots: Vec<Option<Value>>,
+    /// Scope depth owning each slot's current binding (0 = gang scope).
+    owner: Vec<u32>,
+    /// Undo journal per open scope (gang scope 0 has none): the shadowed
+    /// `(slot, value, owner)` to restore on pop.
+    journals: Vec<Vec<(u32, Option<Value>, u32)>>,
+    /// Names bound by a `deviceptr` clause to device buffers (borrowed from
+    /// the region — one map shared by all gangs).
+    devptr: &'m HashMap<String, BufferId>,
 }
 
-impl DevCtx {
-    fn lookup(&self, name: &str) -> Option<Value> {
-        for s in self.scopes.iter().rev() {
-            if let Some(v) = s.get(name) {
-                return Some(*v);
-            }
-        }
-        None
+impl<'m> DevCtx<'m> {
+    fn slot(&self, name: &str) -> Option<usize> {
+        self.layout.slot(name)
     }
 
-    fn assign_existing(&mut self, name: &str, v: Value) -> bool {
-        for s in self.scopes.iter_mut().rev() {
-            if let Some(slot) = s.get_mut(name) {
-                *slot = v;
-                return true;
-            }
-        }
-        false
+    fn value(&self, slot: usize) -> Option<Value> {
+        self.slots[slot]
     }
 
-    fn set_local(&mut self, name: &str, v: Value) {
-        self.scopes
-            .last_mut()
-            .expect("device ctx always has a scope")
-            .insert(name.to_string(), v);
+    /// Write the visible binding if one exists (wherever it lives —
+    /// ownership is unchanged, matching write-where-found semantics).
+    fn assign_existing(&mut self, slot: usize, v: Value) -> bool {
+        match &mut self.slots[slot] {
+            Some(b) => {
+                *b = v;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Bind in the innermost scope, shadowing (and journaling) any outer
+    /// binding on the first write per scope.
+    fn set_local(&mut self, slot: usize, v: Value) {
+        let depth = self.journals.len() as u32;
+        if depth > 0 && self.owner[slot] != depth {
+            self.journals
+                .last_mut()
+                .expect("depth > 0 implies a journal")
+                .push((slot as u32, self.slots[slot], self.owner[slot]));
+            self.owner[slot] = depth;
+        }
+        self.slots[slot] = Some(v);
+    }
+
+    /// Bind directly in the gang scope (depth 0) — used for region-entry
+    /// setup and implicit firstprivate snapshots, which persist across
+    /// inner scope pops. Only sound for slots currently owned by the gang
+    /// scope (region setup runs before any scope is pushed; implicit
+    /// binds only happen on unbound slots, which are gang-owned).
+    fn bind_gang(&mut self, slot: usize, v: Value) {
+        debug_assert_eq!(self.owner[slot], 0, "bind_gang on a shadowed slot");
+        self.slots[slot] = Some(v);
+    }
+
+    fn push_scope(&mut self) {
+        self.journals.push(Vec::new());
+    }
+
+    fn pop_scope(&mut self) {
+        let journal = self.journals.pop().expect("pop without open scope");
+        for (slot, old_val, old_owner) in journal.into_iter().rev() {
+            self.slots[slot as usize] = old_val;
+            self.owner[slot as usize] = old_owner;
+        }
     }
 }
 
@@ -214,10 +324,11 @@ enum DeferredEffect {
 /// The machine.
 pub(crate) struct Machine<'a> {
     prog: &'a Program,
+    resolved: &'a ResolvedProgram,
     profile: &'a ExecProfile,
     pub(crate) world: World,
     host_arrays: Vec<HostArray>,
-    frames: Vec<Frame>,
+    frames: Vec<Frame<'a>>,
     deferred: Vec<Vec<DeferredEffect>>,
     steps: u64,
     step_limit: u64,
@@ -238,12 +349,14 @@ pub(crate) struct Machine<'a> {
 impl<'a> Machine<'a> {
     pub(crate) fn new(
         prog: &'a Program,
+        resolved: &'a ResolvedProgram,
         profile: &'a ExecProfile,
         concrete: DeviceType,
         env: &EnvConfig,
     ) -> Self {
         Machine {
             prog,
+            resolved,
             profile,
             world: World::new(concrete, env),
             host_arrays: Vec::new(),
@@ -327,12 +440,26 @@ impl<'a> Machine<'a> {
         }
     }
 
-    fn frame(&self) -> &Frame {
+    fn frame(&self) -> &Frame<'a> {
         self.frames.last().expect("no active frame")
     }
 
-    fn frame_mut(&mut self) -> &mut Frame {
+    fn frame_mut(&mut self) -> &mut Frame<'a> {
         self.frames.last_mut().expect("no active frame")
+    }
+
+    /// The current frame's layout, projected at the machine's lifetime (the
+    /// layout lives in the executable, not the frame).
+    fn cur_layout(&self) -> &'a FrameLayout {
+        self.frame().layout
+    }
+
+    fn set_var(&mut self, name: &str, v: Value) -> Exec<()> {
+        if self.frame_mut().set_val(name, v) {
+            Ok(())
+        } else {
+            Err(unresolved(name))
+        }
     }
 
     // ------------------------------------------------------------------
@@ -350,12 +477,20 @@ impl<'a> Machine<'a> {
         if self.frames.len() > 64 {
             return Err(Abort::Crash("call stack overflow".into()));
         }
-        let mut frame = Frame::default();
+        let layout = self
+            .resolved
+            .layout(&f.name)
+            .ok_or_else(|| unresolved(&f.name))?;
+        let mut frame = Frame::new(layout);
         for (n, v) in scalar_args {
-            frame.vars.insert(n, v);
+            if !frame.set_val(&n, v) {
+                return Err(unresolved(&n));
+            }
         }
         for (n, b) in array_args {
-            frame.arrays.insert(n, b);
+            if !frame.set_arr(&n, b) {
+                return Err(unresolved(&n));
+            }
         }
         self.frames.push(frame);
         let flow = self.exec_body(&f.body, None);
@@ -385,12 +520,12 @@ impl<'a> Machine<'a> {
                 if let Some(buf) = self.host_data_lookup(n) {
                     return Ok(ArrBinding::Device(buf));
                 }
-                if let Some(b) = self.frame().arrays.get(n) {
-                    return Ok(*b);
+                if let Some(b) = self.frame().arr(n) {
+                    return Ok(b);
                 }
                 // A pointer-typed scalar holding a device address.
-                if let Some(Value::DevPtr(buf)) = self.frame().vars.get(n) {
-                    return Ok(ArrBinding::Device(*buf));
+                if let Some(Value::DevPtr(buf)) = self.frame().val(n) {
+                    return Ok(ArrBinding::Device(buf));
                 }
                 Err(Abort::Crash(format!(
                     "`{n}` is not an array or device pointer"
@@ -635,8 +770,13 @@ impl<'a> Machine<'a> {
                     None => self.garbage_value(ty.scalar()),
                 };
                 let f = self.frame_mut();
-                f.vars.insert(name.clone(), v);
-                f.var_types.insert(name.clone(), *ty);
+                match f.idx(name) {
+                    Some(i) => {
+                        f.slots[i].val = Some(v);
+                        f.slots[i].ty = Some(*ty);
+                    }
+                    None => return Err(unresolved(name)),
+                }
                 Ok(Flow::Normal)
             }
             Stmt::DeclArray { name, elem, dims } => {
@@ -654,9 +794,9 @@ impl<'a> Machine<'a> {
                     data,
                     dims: dims.clone(),
                 });
-                self.frame_mut()
-                    .arrays
-                    .insert(name.clone(), ArrBinding::Host(id));
+                if !self.frame_mut().set_arr(name, ArrBinding::Host(id)) {
+                    return Err(unresolved(name));
+                }
                 Ok(Flow::Normal)
             }
             Stmt::Assign { target, op, value } => {
@@ -716,6 +856,9 @@ impl<'a> Machine<'a> {
                 "loop step must be positive, got {step}"
             )));
         }
+        // The induction variable's slot is fixed: resolve it once, write by
+        // index every iteration (no key hash, no `String` clone).
+        let var_slot = self.frame().idx(&l.var).ok_or_else(|| unresolved(&l.var))?;
         let mut i = from;
         loop {
             // C semantics: the condition re-evaluates every iteration (a
@@ -726,7 +869,7 @@ impl<'a> Machine<'a> {
             if i >= to {
                 break;
             }
-            self.frame_mut().vars.insert(l.var.clone(), Value::Int(i));
+            self.frame_mut().slots[var_slot].val = Some(Value::Int(i));
             let flow = self.exec_body(&l.body, None)?;
             if let Flow::Return(v) = flow {
                 return Ok(Flow::Return(v));
@@ -740,8 +883,7 @@ impl<'a> Machine<'a> {
         match lv {
             LValue::Var(n) => self
                 .frame()
-                .var_types
-                .get(n)
+                .ty(n)
                 .map(|t| t.scalar())
                 .unwrap_or(ScalarType::Float),
             LValue::Index { .. } => ScalarType::Float,
@@ -752,12 +894,17 @@ impl<'a> Machine<'a> {
         match lv {
             LValue::Var(n) => self.read_var_host(n),
             LValue::Index { base, indices } => {
-                let idx: Vec<Expr> = indices.clone();
-                let e = Expr::Index {
-                    base: base.clone(),
-                    indices: idx,
-                };
-                self.eval_host(&e)
+                let (binding, i) = self.flat_index_host(base, indices)?;
+                match binding {
+                    ArrBinding::Host(id) => self.host_arrays[id].data.get(i).ok_or_else(|| {
+                        Abort::Crash(format!("host read out of bounds: {base}[{i}]"))
+                    }),
+                    ArrBinding::Device(buf) => self
+                        .world
+                        .mem
+                        .read(buf, i)
+                        .map_err(|e| Abort::Crash(e.to_string())),
+                }
             }
         }
     }
@@ -766,8 +913,8 @@ impl<'a> Machine<'a> {
         if let Some(buf) = self.host_data_lookup(n) {
             return Ok(Value::DevPtr(buf));
         }
-        if let Some(v) = self.frame().vars.get(n) {
-            return Ok(*v);
+        if let Some(v) = self.frame().val(n) {
+            return Ok(v);
         }
         if let Some(v) = device_constant(n) {
             return Ok(v);
@@ -779,12 +926,11 @@ impl<'a> Machine<'a> {
         match lv {
             LValue::Var(n) => {
                 // Writing through declared type conversion.
-                let converted = match self.frame().var_types.get(n) {
-                    Some(Type::Scalar(t)) => v.convert_to(*t).map_err(crash)?,
+                let converted = match self.frame().ty(n) {
+                    Some(Type::Scalar(t)) => v.convert_to(t).map_err(crash)?,
                     _ => v,
                 };
-                self.frame_mut().vars.insert(n.clone(), converted);
-                Ok(())
+                self.set_var(n, converted)
             }
             LValue::Index { base, indices } => {
                 let flat = self.flat_index_host(base, indices)?;
@@ -834,13 +980,13 @@ impl<'a> Machine<'a> {
     }
 
     fn lookup_array_host(&mut self, base: &str) -> Exec<ArrBinding> {
-        if let Some(b) = self.frame().arrays.get(base) {
-            return Ok(*b);
+        if let Some(b) = self.frame().arr(base) {
+            return Ok(b);
         }
         // A pointer variable holding a device address: dereferencing on the
         // host is a crash (models a segfault), EXCEPT when bound through
-        // host_data (handled by arrays map in callee frames).
-        if let Some(Value::DevPtr(_)) = self.frame().vars.get(base) {
+        // host_data (handled by array bindings in callee frames).
+        if let Some(Value::DevPtr(_)) = self.frame().val(base) {
             return Err(Abort::Crash(format!(
                 "host dereference of device pointer `{base}` (segmentation fault)"
             )));
@@ -966,7 +1112,7 @@ impl<'a> Machine<'a> {
             .ignores_clause(DirectiveKind::Update, ClauseKind::If)
         {
             if let Some(AccClause::If(e)) = dir.find(ClauseKind::If) {
-                if !self.eval_host(&e.clone())?.truthy() {
+                if !self.eval_host(e)?.truthy() {
                     return Ok(());
                 }
             }
@@ -1046,7 +1192,7 @@ impl<'a> Machine<'a> {
     fn async_tag(&mut self, dir: &AccDirective) -> Exec<AsyncTag> {
         match dir.find(ClauseKind::Async) {
             Some(AccClause::Async(Some(e))) => {
-                let v = self.eval_host(&e.clone())?.as_int().map_err(crash)?;
+                let v = self.eval_host(e)?.as_int().map_err(crash)?;
                 Ok(AsyncTag::Numbered(v))
             }
             _ => Ok(AsyncTag::Default),
@@ -1084,7 +1230,9 @@ impl<'a> Machine<'a> {
                             .read(buf, 0)
                             .map_err(|e| Abort::Crash(e.to_string()))?;
                         if let Some(f) = self.frames.get_mut(frame) {
-                            f.vars.insert(name, v);
+                            if !f.set_val(&name, v) {
+                                return Err(unresolved(&name));
+                            }
                         }
                         self.world.metrics.bytes_to_host += 8;
                     }
@@ -1105,8 +1253,8 @@ impl<'a> Machine<'a> {
     // ------------------------------------------------------------------
 
     fn host_array_id(&self, name: &str) -> Option<usize> {
-        match self.frame().arrays.get(name) {
-            Some(ArrBinding::Host(id)) => Some(*id),
+        match self.frame().arr(name) {
+            Some(ArrBinding::Host(id)) => Some(id),
             _ => None,
         }
     }
@@ -1119,8 +1267,8 @@ impl<'a> Machine<'a> {
     ) -> Exec<(usize, usize)> {
         match section {
             Some((s, l)) => {
-                let start = self.eval_host(&s.clone())?.as_int().map_err(crash)?;
-                let len = self.eval_host(&l.clone())?.as_int().map_err(crash)?;
+                let start = self.eval_host(s)?.as_int().map_err(crash)?;
+                let len = self.eval_host(l)?.as_int().map_err(crash)?;
                 if start < 0 || len < 0 {
                     return Err(Abort::Crash(format!(
                         "negative array section on `{name}`: [{start}:{len}]"
@@ -1180,7 +1328,7 @@ impl<'a> Machine<'a> {
                 .mem
                 .read(buf, 0)
                 .map_err(|e| Abort::Crash(e.to_string()))?;
-            self.frame_mut().vars.insert(name.to_string(), v);
+            self.set_var(name, v)?;
             self.world.metrics.bytes_to_host += 8;
         }
         Ok(())
@@ -1353,7 +1501,7 @@ impl<'a> Machine<'a> {
                     return self.exec_body(body, None).map(|_| ());
                 }
                 if let Some(AccClause::If(e)) = dir.find(ClauseKind::If) {
-                    if !self.eval_host(&e.clone())?.truthy() {
+                    if !self.eval_host(e)?.truthy() {
                         // if(false): no data movement; the region body still
                         // executes (its compute constructs will map data
                         // themselves).
@@ -1468,7 +1616,7 @@ impl<'a> Machine<'a> {
         // if(false): execute on the host, no data movement.
         if let Some(AccClause::If(e)) = dir.find(ClauseKind::If) {
             if !self.profile.ignores_clause(dir.kind, ClauseKind::If)
-                && !self.eval_host(&e.clone())?.truthy()
+                && !self.eval_host(e)?.truthy()
             {
                 return match body {
                     RegionBody::Block(b) => self.exec_body(b, None).map(|_| ()),
@@ -1532,8 +1680,10 @@ impl<'a> Machine<'a> {
             }
         }
 
-        // Reduction / privatization setup.
-        let mut reductions = Vec::new();
+        // Reduction / privatization setup. Names resolve to frame slots
+        // once here; the per-gang setup below is pure slot writes.
+        let layout = self.cur_layout();
+        let mut reductions: Vec<(acc_spec::ReductionOp, &'a str, Value, usize)> = Vec::new();
         for c in &dir.clauses {
             if let AccClause::Reduction(op, vars) = c {
                 if self.profile.ignores_clause(dir.kind, ClauseKind::Reduction) {
@@ -1541,12 +1691,13 @@ impl<'a> Machine<'a> {
                 }
                 for var in vars {
                     let initial = self.region_scalar_read(var)?;
-                    reductions.push((*op, var.clone(), initial));
+                    let slot = layout.slot(var).ok_or_else(|| unresolved(var))?;
+                    reductions.push((*op, var, initial, slot));
                 }
             }
         }
-        let mut private: Vec<String> = Vec::new();
-        let mut firstprivate: Vec<String> = Vec::new();
+        let mut private: Vec<(usize, &'a str)> = Vec::new();
+        let mut firstprivate: Vec<(usize, &'a str)> = Vec::new();
         for c in &dir.clauses {
             match c {
                 AccClause::Private(vs)
@@ -1564,7 +1715,10 @@ impl<'a> Machine<'a> {
                             entered.push(name.clone());
                         }
                     } else {
-                        private.extend(vs.iter().cloned())
+                        for name in vs {
+                            let slot = layout.slot(name).ok_or_else(|| unresolved(name))?;
+                            private.push((slot, name));
+                        }
                     }
                 }
                 AccClause::Firstprivate(vs)
@@ -1572,7 +1726,10 @@ impl<'a> Machine<'a> {
                         .profile
                         .ignores_clause(dir.kind, ClauseKind::Firstprivate) =>
                 {
-                    firstprivate.extend(vs.iter().cloned())
+                    for name in vs {
+                        let slot = layout.slot(name).ok_or_else(|| unresolved(name))?;
+                        firstprivate.push((slot, name));
+                    }
                 }
                 _ => {}
             }
@@ -1583,27 +1740,9 @@ impl<'a> Machine<'a> {
         let cost_before = self.region_cost;
         let mut reduction_acc: Vec<Value> = reductions
             .iter()
-            .map(|(op, _, init)| identity_like(*op, *init))
+            .map(|(op, _, init, _)| identity_like(*op, *init))
             .collect();
         for gang in 0..num_gangs {
-            let mut gang_scope = HashMap::new();
-            for name in &private {
-                let ty = self.host_scalar_type(name);
-                let gv = self.garbage_value(ty);
-                gang_scope.insert(name.clone(), gv);
-            }
-            for name in &firstprivate {
-                let val = if self.profile.has(&Defect::FirstprivateUninitialized) {
-                    let ty = self.host_scalar_type(name);
-                    self.garbage_value(ty)
-                } else {
-                    self.region_scalar_read(name)?
-                };
-                gang_scope.insert(name.clone(), val);
-            }
-            for (op, name, init) in &reductions {
-                gang_scope.insert(name.clone(), identity_like(*op, *init));
-            }
             let mut ctx = DevCtx {
                 num_gangs,
                 num_workers,
@@ -1611,9 +1750,29 @@ impl<'a> Machine<'a> {
                 gang,
                 in_gang_loop: false,
                 kernels_mode,
-                scopes: vec![gang_scope],
-                devptr: devptr.clone(),
+                layout,
+                slots: vec![None; layout.len()],
+                owner: vec![0; layout.len()],
+                journals: Vec::new(),
+                devptr: &devptr,
             };
+            for (slot, name) in &private {
+                let ty = self.host_scalar_type(name);
+                let gv = self.garbage_value(ty);
+                ctx.bind_gang(*slot, gv);
+            }
+            for (slot, name) in &firstprivate {
+                let val = if self.profile.has(&Defect::FirstprivateUninitialized) {
+                    let ty = self.host_scalar_type(name);
+                    self.garbage_value(ty)
+                } else {
+                    self.region_scalar_read(name)?
+                };
+                ctx.bind_gang(*slot, val);
+            }
+            for (op, _, init, slot) in &reductions {
+                ctx.bind_gang(*slot, identity_like(*op, *init));
+            }
             match &body {
                 RegionBody::Block(b) => {
                     self.exec_body(b, Some(&mut ctx))?;
@@ -1623,8 +1782,8 @@ impl<'a> Machine<'a> {
                 }
             }
             // Fold this gang's reduction copies.
-            for (i, (op, name, _)) in reductions.iter().enumerate() {
-                let copy = ctx.lookup(name).unwrap_or(Value::Int(0));
+            for (i, (op, _, _, slot)) in reductions.iter().enumerate() {
+                let copy = ctx.value(*slot).unwrap_or(Value::Int(0));
                 if self.profile.has(&Defect::WrongReduction(*op)) && gang == 0 {
                     continue; // drop gang 0's contribution: silent wrong code
                 }
@@ -1633,7 +1792,7 @@ impl<'a> Machine<'a> {
             }
         }
         // Write back reduction results (combined with the pre-region value).
-        for ((op, name, init), acc) in reductions.iter().zip(reduction_acc) {
+        for ((op, name, init, _), acc) in reductions.iter().zip(reduction_acc) {
             let final_v = combine(*op, *init, acc).map_err(crash)?;
             self.region_scalar_write(name, final_v)?;
         }
@@ -1670,10 +1829,10 @@ impl<'a> Machine<'a> {
         let e = match dir.find(kind) {
             Some(AccClause::NumGangs(e))
             | Some(AccClause::NumWorkers(e))
-            | Some(AccClause::VectorLength(e)) => e.clone(),
+            | Some(AccClause::VectorLength(e)) => e,
             _ => return Ok(default),
         };
-        let v = self.eval_host(&e)?.as_int().map_err(crash)?;
+        let v = self.eval_host(e)?.as_int().map_err(crash)?;
         if !(1..=1_000_000).contains(&v) {
             return Err(Abort::Crash(format!("invalid {} value {v}", kind.name())));
         }
@@ -1703,14 +1862,14 @@ impl<'a> Machine<'a> {
                 .map_err(|e| Abort::Crash(e.to_string()))?;
         }
         // Reduction results are also visible on the host after the region.
-        if self.frame().vars.contains_key(name) {
-            self.frame_mut().vars.insert(name.to_string(), v);
+        if self.frame().val(name).is_some() && !self.frame_mut().set_val(name, v) {
+            return Err(unresolved(name));
         }
         Ok(())
     }
 
     fn host_scalar_type(&self, name: &str) -> ScalarType {
-        match self.frame().var_types.get(name) {
+        match self.frame().ty(name) {
             Some(t) => t.scalar(),
             None => ScalarType::Int,
         }
@@ -1746,7 +1905,8 @@ impl<'a> Machine<'a> {
                         .map_err(crash)?,
                     None => self.garbage_value(ty.scalar()),
                 };
-                ctx.set_local(name, v);
+                let slot = ctx.slot(name).ok_or_else(|| unresolved(name))?;
+                ctx.set_local(slot, v);
                 Ok(Flow::Normal)
             }
             Stmt::DeclArray { .. } => Err(Abort::Crash(
@@ -1895,7 +2055,8 @@ impl<'a> Machine<'a> {
     }
 
     fn read_scalar_device(&mut self, n: &str, ctx: &mut DevCtx) -> Exec<Value> {
-        if let Some(v) = ctx.lookup(n) {
+        let slot = ctx.slot(n);
+        if let Some(v) = slot.and_then(|s| ctx.value(s)) {
             return Ok(v);
         }
         if let Some(buf) = ctx.devptr.get(n) {
@@ -1916,11 +2077,8 @@ impl<'a> Machine<'a> {
             return Ok(v);
         }
         // Implicit firstprivate: snapshot the host value into the gang scope.
-        if let Some(v) = self.frame().vars.get(n).copied() {
-            ctx.scopes
-                .first_mut()
-                .expect("gang scope")
-                .insert(n.to_string(), v);
+        if let (Some(s), Some(v)) = (slot, self.frame().val(n)) {
+            ctx.bind_gang(s, v);
             return Ok(v);
         }
         Err(Abort::Crash(format!(
@@ -1929,8 +2087,10 @@ impl<'a> Machine<'a> {
     }
 
     fn write_scalar_device(&mut self, n: &str, v: Value, ctx: &mut DevCtx) -> Exec<()> {
-        if ctx.assign_existing(n, v) {
-            return Ok(());
+        if let Some(s) = ctx.slot(n) {
+            if ctx.assign_existing(s, v) {
+                return Ok(());
+            }
         }
         if let Some(e) = self.world.present.get(n) {
             if self.host_array_id(n).is_none() {
@@ -1943,10 +2103,8 @@ impl<'a> Machine<'a> {
             }
         }
         // Implicit firstprivate write: lands in the gang scope only.
-        ctx.scopes
-            .first_mut()
-            .expect("gang scope")
-            .insert(n.to_string(), v);
+        let slot = ctx.slot(n).ok_or_else(|| unresolved(n))?;
+        ctx.bind_gang(slot, v);
         Ok(())
     }
 
@@ -2063,21 +2221,18 @@ impl<'a> Machine<'a> {
         let worker_c = has(ClauseKind::Worker);
         let vector_c = has(ClauseKind::Vector);
 
-        // Reductions on the loop.
-        let reductions: Vec<(acc_spec::ReductionOp, String)> = clauses
-            .iter()
-            .filter_map(|c| match c {
-                AccClause::Reduction(op, vars) => Some(
-                    vars.iter()
-                        .map(move |v| (*op, v.clone()))
-                        .collect::<Vec<_>>(),
-                ),
-                _ => None,
-            })
-            .flatten()
-            .collect();
-        // Loop privates.
-        let mut privates: Vec<String> = Vec::new();
+        // Reductions on the loop, resolved to their frame slots up front.
+        let mut reductions: Vec<(acc_spec::ReductionOp, &'a str, usize)> = Vec::new();
+        for c in &clauses {
+            if let AccClause::Reduction(op, vars) = c {
+                for v in vars {
+                    let slot = ctx.slot(v).ok_or_else(|| unresolved(v))?;
+                    reductions.push((*op, v, slot));
+                }
+            }
+        }
+        // Loop privates (as slots — the per-unit rebind is a vector store).
+        let mut privates: Vec<usize> = Vec::new();
         for c in &clauses {
             if let AccClause::Private(vs) = c {
                 if self.profile.has(&Defect::PrivateAliasesShared) {
@@ -2090,7 +2245,9 @@ impl<'a> Machine<'a> {
                         }
                     }
                 } else {
-                    privates.extend(vs.iter().cloned());
+                    for name in vs {
+                        privates.push(ctx.slot(name).ok_or_else(|| unresolved(name))?);
+                    }
                 }
             }
         }
@@ -2147,51 +2304,54 @@ impl<'a> Machine<'a> {
         };
 
         // Snapshot reduction initials.
-        let mut red_state: Vec<(acc_spec::ReductionOp, String, Value, Value)> = Vec::new();
-        for (op, name) in &reductions {
-            let init = match ctx.lookup(name) {
+        let mut red_state: Vec<(acc_spec::ReductionOp, &'a str, usize, Value, Value)> = Vec::new();
+        for (op, name, slot) in &reductions {
+            let init = match ctx.value(*slot) {
                 Some(v) => v,
                 None => self.read_scalar_device(name, ctx)?,
             };
-            red_state.push((*op, name.clone(), init, identity_like(*op, init)));
+            red_state.push((*op, name, *slot, init, identity_like(*op, init)));
         }
 
         let entering_gang_loop = gang_c;
         for (ui, unit) in units.iter().enumerate() {
             // Per-unit scope for privates and reduction copies.
-            let mut scope = HashMap::new();
-            for p in &privates {
+            ctx.push_scope();
+            for slot in &privates {
                 let gv = self.garbage_value(ScalarType::Int);
-                scope.insert(p.clone(), gv);
+                ctx.set_local(*slot, gv);
             }
-            for (op, name, init, _) in &red_state {
-                scope.insert(name.clone(), identity_like(*op, *init));
+            for (op, _, slot, init, _) in &red_state {
+                ctx.set_local(*slot, identity_like(*op, *init));
             }
-            ctx.scopes.push(scope);
             let saved = ctx.in_gang_loop;
             if entering_gang_loop {
                 ctx.in_gang_loop = true;
             }
             let res = self.exec_collapsed_loop(l, collapse_n, *unit, ctx);
             ctx.in_gang_loop = saved;
-            let scope = ctx.scopes.pop().expect("unit scope");
-            res?;
-            // Fold reduction copies.
-            #[allow(clippy::needless_range_loop)] // split borrow of red_state[i].3
+            if res.is_err() {
+                ctx.pop_scope();
+                return res;
+            }
+            // Fold reduction copies — read before the pop restores the
+            // shadowed bindings.
+            #[allow(clippy::needless_range_loop)] // split borrow of red_state[i].4
             for i in 0..red_state.len() {
-                let (op, name) = (red_state[i].0, red_state[i].1.clone());
-                let copy = scope.get(&name).copied().unwrap_or(Value::Int(0));
+                let (op, slot) = (red_state[i].0, red_state[i].2);
+                let copy = ctx.value(slot).unwrap_or(Value::Int(0));
                 if self.profile.has(&Defect::WrongReduction(op)) && ui == 0 {
                     continue;
                 }
-                red_state[i].3 = combine(op, red_state[i].3, copy).map_err(crash)?;
+                red_state[i].4 = combine(op, red_state[i].4, copy).map_err(crash)?;
                 self.world.metrics.reductions += 1;
             }
+            ctx.pop_scope();
         }
         // Write back reductions.
-        for (op, name, init, acc) in red_state {
+        for (op, name, _, init, acc) in red_state {
             let final_v = combine(op, init, acc).map_err(crash)?;
-            self.write_scalar_device(&name, final_v, ctx)?;
+            self.write_scalar_device(name, final_v, ctx)?;
         }
         Ok(())
     }
@@ -2239,6 +2399,10 @@ impl<'a> Machine<'a> {
             };
             bounds.push((from, step, count as u64));
         }
+        let mut var_slots = Vec::with_capacity(loops.len());
+        for lp in &loops {
+            var_slots.push(ctx.slot(&lp.var).ok_or_else(|| unresolved(&lp.var))?);
+        }
         let total: u64 = bounds.iter().map(|b| b.2).product();
         for flat in 0..total {
             if !unit.selects(flat) {
@@ -2253,8 +2417,8 @@ impl<'a> Machine<'a> {
                 rem /= c;
                 idxs[d] = bounds[d].0 + (k as i64) * bounds[d].1;
             }
-            for (lp, iv) in loops.iter().zip(&idxs) {
-                ctx.set_local(&lp.var, Value::Int(*iv));
+            for (slot, iv) in var_slots.iter().zip(&idxs) {
+                ctx.set_local(*slot, Value::Int(*iv));
             }
             self.world.metrics.device_iterations += 1;
             self.exec_body_device(body, ctx)?;
@@ -2271,11 +2435,12 @@ impl<'a> Machine<'a> {
                 "loop step must be positive, got {step}"
             )));
         }
+        let var_slot = ctx.slot(&l.var).ok_or_else(|| unresolved(&l.var))?;
         let mut k: u64 = 0;
         let mut i = from;
         while i < to {
             if unit.selects(k) {
-                ctx.set_local(&l.var, Value::Int(i));
+                ctx.set_local(var_slot, Value::Int(i));
                 self.world.metrics.device_iterations += 1;
                 if let Flow::Return(v) = self.exec_body_device(&l.body, ctx)? {
                     return Ok(Flow::Return(v));
@@ -2353,6 +2518,13 @@ enum RegionBody<'a> {
 
 fn crash(e: impl std::fmt::Display) -> Abort {
     Abort::Crash(e.to_string())
+}
+
+/// A name the resolver never assigned a slot — the compile-time layout pass
+/// and the interpreter disagree, which is an internal invariant break, not a
+/// user error.
+fn unresolved(name: &str) -> Abort {
+    Abort::Crash(format!("internal error: unresolved name `{name}`"))
 }
 
 fn flatten(base: &str, vals: &[i64], dims: &[usize]) -> Exec<usize> {

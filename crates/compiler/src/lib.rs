@@ -24,11 +24,13 @@
 #![warn(missing_docs)]
 
 pub mod bugs;
+pub mod cache;
 pub mod driver;
 pub mod exec;
 pub mod vendor;
 
 pub use bugs::{BugCatalog, BugRecord};
+pub use cache::{CacheStats, CompileCache};
 pub use driver::{CompileFailure, Executable};
 pub use exec::{RunKnobs, RunOutcome, RunResult};
 pub use vendor::{VendorCompiler, VendorId};

@@ -8,11 +8,15 @@
 
 use acc_device::{ExecProfile, TranslationTarget, WorkerLoopPolicy};
 use acc_spec::version::CompilerVersion;
-use acc_spec::{DeviceType, Language, VendorMapping};
+use acc_spec::{DeviceType, Language, SpecVersion, VendorMapping};
 use std::fmt;
+use std::sync::Arc;
 
 use crate::bugs::BugCatalog;
-use crate::driver::{compile_with_profile, CompileFailure, Executable};
+use crate::cache::CompileCache;
+use crate::driver::{
+    compile_with_profile, finish_compile, frontend_compile, CompileFailure, Executable,
+};
 
 /// A compiler product line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -123,6 +127,7 @@ pub struct VendorCompiler {
     /// harness to model faulty node software stacks.
     pub extra_defects: Vec<acc_device::Defect>,
     catalog: BugCatalog,
+    cache: Option<Arc<CompileCache>>,
 }
 
 impl VendorCompiler {
@@ -141,6 +146,7 @@ impl VendorCompiler {
             target: TranslationTarget::Cuda,
             extra_defects: Vec::new(),
             catalog: BugCatalog::paper(),
+            cache: None,
         }
     }
 
@@ -165,6 +171,19 @@ impl VendorCompiler {
     pub fn with_extra_defect(mut self, d: acc_device::Defect) -> Self {
         self.extra_defects.push(d);
         self
+    }
+
+    /// Attach a shared compilation cache: [`compile_shared`]
+    /// (Self::compile_shared) will memoise front-end work and lowered
+    /// executables in it.
+    pub fn with_cache(mut self, cache: Arc<CompileCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached compilation cache, if any.
+    pub fn cache(&self) -> Option<&Arc<CompileCache>> {
+        self.cache.as_ref()
     }
 
     /// Human-readable label ("PGI 13.4").
@@ -200,6 +219,52 @@ impl VendorCompiler {
             self.profile(language),
             self.vendor.concrete_device(),
         )
+    }
+
+    /// The cache key prefix that uniquely determines this compiler's
+    /// behaviour for a given language: vendor, version, translation target,
+    /// extra defects, language, and spec version. The bug catalog is always
+    /// [`BugCatalog::paper`], so these fields fully determine the profile.
+    pub fn fingerprint(&self, language: Language) -> String {
+        format!(
+            "{:?}|{}|{:?}|{:?}|{:?}|{:?}",
+            self.vendor,
+            self.version,
+            self.target,
+            self.extra_defects,
+            language,
+            SpecVersion::V1_0,
+        )
+    }
+
+    /// Compile through the attached [`CompileCache`], sharing the result.
+    ///
+    /// With a cache, the front half (parse/sema/resolve) is reused across
+    /// *all* vendors and versions that see the same source, and the full
+    /// executable is reused whenever this exact profile sees it again
+    /// (cross-test repetitions, retries, the other tests of a campaign).
+    /// Without a cache this is plain [`compile`](Self::compile) behind an
+    /// `Arc` — identical results either way.
+    pub fn compile_shared(
+        &self,
+        source: &str,
+        language: Language,
+    ) -> Result<Arc<Executable>, CompileFailure> {
+        match &self.cache {
+            None => self.compile(source, language).map(Arc::new),
+            Some(cache) => cache.executable(&self.fingerprint(language), source, || {
+                let (program, resolved) =
+                    cache.frontend(source, language, SpecVersion::V1_0, || {
+                        frontend_compile(source, language)
+                    })?;
+                finish_compile(
+                    program,
+                    resolved,
+                    self.profile(language),
+                    self.vendor.concrete_device(),
+                )
+            }),
+        }
     }
 }
 

@@ -5,10 +5,11 @@
 use crate::case::{TestCase, TestStatus};
 use crate::config::SuiteConfig;
 use crate::harness::{run_case, CaseResult};
-use acc_compiler::{VendorCompiler, VendorId};
+use acc_compiler::{CompileCache, VendorCompiler, VendorId};
 use acc_spec::{FeatureId, Language};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// Failure counts grouped by the taxonomy: the paper's four classes (§V:
 /// compile-time errors; runtime errors: incorrect result, crash, executes
@@ -122,6 +123,9 @@ pub struct Campaign {
     pub suite: Vec<TestCase>,
     /// Run configuration.
     pub config: SuiteConfig,
+    /// Compilation cache shared by every compiler the campaign drives
+    /// (`None` = compile from scratch every time, the pre-cache behaviour).
+    pub cache: Option<Arc<CompileCache>>,
 }
 
 /// Results of a campaign across compiler releases.
@@ -137,6 +141,7 @@ impl Campaign {
         Campaign {
             suite,
             config: SuiteConfig::default(),
+            cache: None,
         }
     }
 
@@ -144,6 +149,24 @@ impl Campaign {
     pub fn with_config(mut self, config: SuiteConfig) -> Self {
         self.config = config;
         self
+    }
+
+    /// Share a compilation cache across every run of this campaign. All
+    /// compilers the campaign touches (including every version in a vendor
+    /// sweep) are attached to it, so identical sources compile once.
+    pub fn with_cache(mut self, cache: Arc<CompileCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The compiler to actually drive: the caller's, with the campaign's
+    /// cache attached when one is configured (an already-attached cache on
+    /// the compiler wins — the caller chose it deliberately).
+    pub(crate) fn effective_compiler(&self, compiler: &VendorCompiler) -> VendorCompiler {
+        match (&self.cache, compiler.cache()) {
+            (Some(cache), None) => compiler.clone().with_cache(Arc::clone(cache)),
+            _ => compiler.clone(),
+        }
     }
 
     /// The cases selected by the configuration's feature filter.
@@ -174,10 +197,11 @@ impl Campaign {
 
     /// Run against a single compiler release.
     pub fn run_one(&self, compiler: &VendorCompiler) -> SuiteRun {
+        let compiler = self.effective_compiler(compiler);
         let mut results = Vec::new();
         for case in &self.materialized_cases() {
             for &lang in &self.config.languages {
-                results.push(run_case(case, compiler, lang));
+                results.push(run_case(case, &compiler, lang));
             }
         }
         SuiteRun {
@@ -196,6 +220,7 @@ impl Campaign {
         if threads <= 1 {
             return self.run_one(compiler);
         }
+        let compiler = &self.effective_compiler(compiler);
         // One result slot per (case, language), filled by disjoint chunks.
         let langs = self.config.languages.clone();
         let mut slots: Vec<Vec<CaseResult>> = Vec::new();
@@ -220,7 +245,10 @@ impl Campaign {
         }
     }
 
-    /// Sweep every released version of a vendor (the Fig. 8 x-axis).
+    /// Sweep every released version of a vendor (the Fig. 8 x-axis). With a
+    /// campaign cache attached, the sweep's front-end work (parse, sema,
+    /// resolution) runs once per distinct source for the *whole line* — only
+    /// the per-version defect walk repeats.
     pub fn run_vendor_line(&self, vendor: VendorId) -> CampaignResult {
         let runs = vendor
             .versions()

@@ -5,6 +5,7 @@ use acc_ast::Program;
 use acc_spec::envvar::EnvConfig;
 use acc_spec::{FeatureId, Language};
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// Default cross-test repetition count (the M of §III).
 pub const DEFAULT_REPETITIONS: u32 = 3;
@@ -32,6 +33,25 @@ pub struct TestCase {
     pub env: EnvConfig,
     /// Cross-test repetitions (M).
     pub repetitions: u32,
+    /// Memoized rendered source text (functional and cross, per language),
+    /// shared by every clone of this case. Rendering is deterministic, so
+    /// the first render stands for all — a version sweep re-renders nothing.
+    /// Mutate `base`/`cross` only before the first render.
+    rendered: Arc<RenderCache>,
+}
+
+/// The four render slots: functional/cross × C/Fortran.
+#[derive(Debug, Default)]
+struct RenderCache {
+    func: [OnceLock<String>; 2],
+    cross: [OnceLock<Option<String>>; 2],
+}
+
+fn lang_idx(lang: Language) -> usize {
+    match lang {
+        Language::C => 0,
+        Language::Fortran => 1,
+    }
 }
 
 impl TestCase {
@@ -53,6 +73,7 @@ impl TestCase {
             description: description.into(),
             env: EnvConfig::empty(),
             repetitions: DEFAULT_REPETITIONS,
+            rendered: Arc::default(),
         }
     }
 
@@ -90,14 +111,18 @@ impl TestCase {
         })
     }
 
-    /// Functional source text for a language.
+    /// Functional source text for a language (rendered once, memoized).
     pub fn source_for(&self, lang: Language) -> String {
-        acc_ast::render(&self.program_for(lang))
+        self.rendered.func[lang_idx(lang)]
+            .get_or_init(|| acc_ast::render(&self.program_for(lang)))
+            .clone()
     }
 
-    /// Cross source text for a language.
+    /// Cross source text for a language (rendered once, memoized).
     pub fn cross_source_for(&self, lang: Language) -> Option<String> {
-        self.cross_program_for(lang).map(|p| acc_ast::render(&p))
+        self.rendered.cross[lang_idx(lang)]
+            .get_or_init(|| self.cross_program_for(lang).map(|p| acc_ast::render(&p)))
+            .clone()
     }
 }
 

@@ -234,6 +234,7 @@ impl Executor {
         campaign: &Campaign,
         compiler: &VendorCompiler,
     ) -> (SuiteRun, ExecStats) {
+        let compiler = &campaign.effective_compiler(compiler);
         let cases: Vec<TestCase> = campaign.materialized_cases();
         let mut jobs: Vec<(usize, Language)> = Vec::new();
         let mut metas: Vec<JobMeta> = Vec::new();

@@ -310,6 +310,15 @@ impl ExecProfile {
         })
     }
 
+    /// Any transient infrastructure faults configured? When false, the
+    /// machine's outcome is independent of the attempt index — every
+    /// decision point the index feeds is dead — so repeated executions of
+    /// one executable are provably identical and callers may run once and
+    /// reuse the outcome.
+    pub fn has_transient_faults(&self) -> bool {
+        self.defects.iter().any(|d| d.is_transient())
+    }
+
     /// Number of active defects.
     pub fn defect_count(&self) -> usize {
         self.defects.len()

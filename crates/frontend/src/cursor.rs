@@ -130,8 +130,16 @@ impl Cursor {
         }
     }
 
-    /// Require any identifier and return it.
+    /// Require any identifier and return it as an owned [`String`] (the AST
+    /// stores plain `String` names).
     pub fn expect_any_ident(&mut self) -> Result<String, ParseError> {
+        self.expect_any_ident_interned().map(|s| s.to_string())
+    }
+
+    /// Require any identifier and return the interned token text. Cloning a
+    /// [`SmolStr`] out of the stream is allocation-free, so keyword-matching
+    /// paths (directive/clause grammars) should prefer this.
+    pub fn expect_any_ident_interned(&mut self) -> Result<smol_str::SmolStr, ParseError> {
         match self.next() {
             Tok::Ident(s) => Ok(s),
             other => Err(ParseError::new(
@@ -270,7 +278,10 @@ fn parse_postfix(c: &mut Cursor, lang: Language) -> Result<Expr, ParseError> {
                     if c.peek().is_punct("(") {
                         c.next();
                         let args = parse_args(c, lang)?;
-                        Ok(Expr::Call { name, args })
+                        Ok(Expr::Call {
+                            name: name.to_string(),
+                            args,
+                        })
                     } else if c.peek().is_punct("[") {
                         let mut indices = Vec::new();
                         while c.eat_punct("[") {
@@ -278,11 +289,11 @@ fn parse_postfix(c: &mut Cursor, lang: Language) -> Result<Expr, ParseError> {
                             c.expect_punct("]")?;
                         }
                         Ok(Expr::Index {
-                            base: name,
+                            base: name.to_string(),
                             indices,
                         })
                     } else {
-                        Ok(Expr::Var(name))
+                        Ok(Expr::Var(name.to_string()))
                     }
                 }
                 Language::Fortran => {
@@ -290,15 +301,18 @@ fn parse_postfix(c: &mut Cursor, lang: Language) -> Result<Expr, ParseError> {
                         c.next();
                         let args = parse_args(c, lang)?;
                         if is_fortran_callable(&name) {
-                            Ok(Expr::Call { name, args })
+                            Ok(Expr::Call {
+                                name: name.to_string(),
+                                args,
+                            })
                         } else {
                             Ok(Expr::Index {
-                                base: name,
+                                base: name.to_string(),
                                 indices: args,
                             })
                         }
                     } else {
-                        Ok(Expr::Var(name))
+                        Ok(Expr::Var(name.to_string()))
                     }
                 }
             }

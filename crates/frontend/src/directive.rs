@@ -55,7 +55,9 @@ fn reline(line: usize) -> impl Fn(ParseError) -> ParseError {
 }
 
 fn parse_kind(c: &mut Cursor, line: usize) -> Result<DirectiveKind, ParseError> {
-    let first = c.expect_any_ident().map_err(reline(line))?;
+    // Interned lookup: directive keywords never become AST strings, so no
+    // per-keyword allocation happens here.
+    let first = c.expect_any_ident_interned().map_err(reline(line))?;
     let kind = match first.as_str() {
         "parallel" => {
             if c.eat_ident("loop") {
@@ -98,7 +100,7 @@ fn parse_kind(c: &mut Cursor, line: usize) -> Result<DirectiveKind, ParseError> 
 }
 
 fn parse_clause(c: &mut Cursor, lang: Language, line: usize) -> Result<AccClause, ParseError> {
-    let name = c.expect_any_ident().map_err(reline(line))?;
+    let name = c.expect_any_ident_interned().map_err(reline(line))?;
     let clause = match name.as_str() {
         "if" => {
             c.expect_punct("(").map_err(reline(line))?;

@@ -7,12 +7,16 @@
 //! re-lexed by the shared directive grammar in [`crate::directive`].
 
 use crate::diag::ParseError;
+use smol_str::SmolStr;
 
 /// A lexical token.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Tok {
-    /// Identifier or keyword (classification is the parser's job).
-    Ident(String),
+    /// Identifier or keyword (classification is the parser's job). Interned
+    /// as a [`SmolStr`]: every identifier and OpenACC keyword the generators
+    /// emit fits the inline small-string buffer, so constructing (and
+    /// cloning) these tokens never allocates.
+    Ident(SmolStr),
     /// Integer literal.
     Int(i64),
     /// Real literal; `true` = double precision (C unsuffixed / Fortran `d`
@@ -212,7 +216,7 @@ fn lex_code_line(
                 i += 1;
             }
             out.push(SpannedTok {
-                tok: Tok::Ident(line[start..i].to_string()),
+                tok: Tok::Ident(SmolStr::new(&line[start..i])),
                 line: line_no,
             });
             continue;

@@ -32,9 +32,11 @@ pub mod diag;
 pub mod directive;
 pub mod fparse;
 pub mod lex;
+pub mod resolve;
 pub mod sema;
 
 pub use diag::{Diagnostic, ParseError, Severity};
+pub use resolve::{resolve, FrameLayout, ResolvedProgram};
 
 use acc_ast::Program;
 use acc_spec::Language;

@@ -30,6 +30,7 @@ fn main() -> ExitCode {
         Some("show") => cmd_show(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("matrix") => cmd_matrix(&args[1..]),
         Some("bugs") => cmd_bugs(&args[1..]),
         Some("expand") => cmd_expand(&args[1..]),
@@ -60,7 +61,10 @@ fn print_usage() {
          \x20          [--features P1,P2,…] [--format text|csv|html] [--repetitions M]\n\
          \x20          [--attribute] [--jobs N] [--retries R] [--case-deadline-ms MS]\n\
          \x20          [--journal FILE | --resume FILE] [--out FILE] [--halt-after N]\n\
-         \x20 accvv campaign [--vendor caps|pgi|cray]\n\
+         \x20          [--no-cache]\n\
+         \x20 accvv campaign [--vendor caps|pgi|cray] [--no-cache]\n\
+         \x20 accvv bench [--iters N] [--out FILE] [--no-cache]\n\
+         \x20            [--check BASELINE [--tolerance-pct P]]\n\
          \x20 accvv matrix --vendor caps|pgi|cray [--lang c|fortran]\n\
          \x20 accvv bugs --vendor caps|pgi|cray --version X [--lang c|fortran]\n\
          \x20 accvv expand FILE\n\
@@ -252,7 +256,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if let Some(n) = opt(args, "--halt-after") {
         policy = policy.with_halt_after(n.parse().map_err(|_| "bad --halt-after")?);
     }
-    let campaign = Campaign::new(openacc_vv::testsuite::full_suite()).with_config(config);
+    // Compile once, run many: a process-wide compilation cache is on by
+    // default (identical report bytes either way — `--no-cache` exists to
+    // prove that and to time the cold path).
+    let cache = (!flag(args, "--no-cache")).then(openacc_vv::compiler::CompileCache::shared);
+    let mut campaign = Campaign::new(openacc_vv::testsuite::full_suite()).with_config(config);
+    if let Some(c) = &cache {
+        campaign = campaign.with_cache(Arc::clone(c));
+    }
     let (run, stats) = Executor::new(policy).run_suite_stats(&campaign, &compiler);
     if stats.cached > 0 {
         eprintln!(
@@ -303,6 +314,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         println!("taxonomy [{lang}]: {breakdown}");
         hard_failures += breakdown.total_failures();
     }
+    // Cache counters go to stderr, never into the report itself — cached
+    // and uncached report bytes must stay identical.
+    if let Some(c) = &cache {
+        eprintln!("accvv: compile cache: {}", c.stats());
+    }
     if hard_failures > 0 {
         return Err(format!("{hard_failures} case(s) failed"));
     }
@@ -326,7 +342,11 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         Some(v) => vec![parse_vendor(&v)?],
         None => VendorId::COMMERCIAL.to_vec(),
     };
-    let campaign = Campaign::new(openacc_vv::testsuite::full_suite());
+    let cache = (!flag(args, "--no-cache")).then(openacc_vv::compiler::CompileCache::shared);
+    let mut campaign = Campaign::new(openacc_vv::testsuite::full_suite());
+    if let Some(c) = &cache {
+        campaign = campaign.with_cache(Arc::clone(c));
+    }
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
@@ -349,6 +369,74 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
             );
         }
         println!();
+    }
+    if let Some(c) = &cache {
+        eprintln!("accvv: compile cache: {}", c.stats());
+    }
+    Ok(())
+}
+
+/// `accvv bench`: time the suite's hot paths, write `BENCH_suite.json`,
+/// and optionally gate against a committed baseline.
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    use acc_bench::perf::{self, median_in_json, run_bench};
+    let iters: u32 = parse_opt_or(args, "--iters", 3u32)?;
+    let use_cache = !flag(args, "--no-cache");
+    let report = run_bench(iters, use_cache);
+    println!(
+        "accvv bench — {} iteration(s) per workload, cache {}",
+        iters.max(1),
+        if use_cache { "on" } else { "off" }
+    );
+    println!("{:<30} {:>12} {:>14}", "workload", "median ms", "cases/sec");
+    for m in &report.measurements {
+        println!(
+            "{:<30} {:>12.2} {:>14.1}",
+            m.name, m.median_ms, m.cases_per_sec
+        );
+    }
+    if use_cache {
+        println!("compile cache: {}", report.cache);
+    }
+    // Read the baseline BEFORE writing --out: with the default output path
+    // `--check BENCH_suite.json` would otherwise compare the fresh report
+    // against itself.
+    let baseline_json = match opt(args, "--check") {
+        Some(p) => Some((
+            std::fs::read_to_string(&p).map_err(|e| format!("--check {p}: {e}"))?,
+            p,
+        )),
+        None => None,
+    };
+    let out = opt(args, "--out").unwrap_or_else(|| "BENCH_suite.json".to_string());
+    let json = report.to_json();
+    openacc_vv::validation::atomic_write(&out, json.as_bytes())
+        .map_err(|e| format!("--out {out}: {e}"))?;
+    eprintln!("accvv: bench report written to {out}");
+    // Regression gate: compare the full-suite median against the baseline.
+    if let Some((baseline_json, baseline_path)) = baseline_json {
+        let tolerance_pct: f64 = parse_opt_or(args, "--tolerance-pct", 25.0f64)?;
+        let baseline = median_in_json(&baseline_json, perf::FULL_SUITE).ok_or(format!(
+            "--check {baseline_path}: no `{}` measurement in baseline",
+            perf::FULL_SUITE
+        ))?;
+        let current = report
+            .measurement(perf::FULL_SUITE)
+            .map(|m| m.median_ms)
+            .expect("bench always measures the full suite");
+        let limit = baseline * (1.0 + tolerance_pct / 100.0);
+        println!(
+            "regression check: {} {current:.2}ms vs baseline {baseline:.2}ms \
+             (limit {limit:.2}ms = +{tolerance_pct}%)",
+            perf::FULL_SUITE
+        );
+        if current > limit {
+            return Err(format!(
+                "performance regression: {} took {current:.2}ms, more than {tolerance_pct}% \
+                 over the {baseline:.2}ms baseline",
+                perf::FULL_SUITE
+            ));
+        }
     }
     Ok(())
 }

@@ -1,0 +1,267 @@
+//! Offline stand-in for the `smol_str` crate: an immutable string type that
+//! stores short strings (≤ [`INLINE_CAP`] bytes — every OpenACC directive,
+//! clause and generated identifier fits) inline on the stack, falling back
+//! to a shared `Arc<str>` for longer ones. Cloning is therefore always free
+//! of heap allocation: inline strings are `Copy`-like memcpys and heap
+//! strings bump a reference count.
+//!
+//! Only the subset of the real crate's API the front-end uses is provided.
+
+#![warn(missing_docs)]
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Maximum byte length stored inline (matches the real crate's 22-byte
+/// small-string optimization + a length byte inside 24 bytes).
+pub const INLINE_CAP: usize = 22;
+
+#[derive(Clone)]
+enum Repr {
+    /// `len` bytes of UTF-8 in a fixed buffer.
+    Inline { len: u8, buf: [u8; INLINE_CAP] },
+    /// Shared heap allocation; clones bump the refcount.
+    Heap(Arc<str>),
+}
+
+/// An immutable, cheaply-cloneable string with inline small-string storage.
+pub struct SmolStr(Repr);
+
+impl SmolStr {
+    /// Build from any string-like value; allocates only past [`INLINE_CAP`].
+    pub fn new(text: impl AsRef<str>) -> Self {
+        let s = text.as_ref();
+        if s.len() <= INLINE_CAP {
+            let mut buf = [0u8; INLINE_CAP];
+            buf[..s.len()].copy_from_slice(s.as_bytes());
+            SmolStr(Repr::Inline {
+                len: s.len() as u8,
+                buf,
+            })
+        } else {
+            SmolStr(Repr::Heap(Arc::from(s)))
+        }
+    }
+
+    /// The string contents.
+    pub fn as_str(&self) -> &str {
+        match &self.0 {
+            // Construction only ever copies from a `&str`, so the inline
+            // bytes are valid UTF-8 by construction.
+            Repr::Inline { len, buf } => unsafe {
+                std::str::from_utf8_unchecked(&buf[..*len as usize])
+            },
+            Repr::Heap(s) => s,
+        }
+    }
+
+    /// Byte length.
+    pub fn len(&self) -> usize {
+        self.as_str().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the contents are stored inline (no heap allocation).
+    pub fn is_heap_allocated(&self) -> bool {
+        matches!(self.0, Repr::Heap(_))
+    }
+}
+
+impl Clone for SmolStr {
+    fn clone(&self) -> Self {
+        SmolStr(self.0.clone())
+    }
+}
+
+impl Deref for SmolStr {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for SmolStr {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl Borrow<str> for SmolStr {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl From<&str> for SmolStr {
+    fn from(s: &str) -> Self {
+        SmolStr::new(s)
+    }
+}
+
+impl From<String> for SmolStr {
+    fn from(s: String) -> Self {
+        SmolStr::new(&s)
+    }
+}
+
+impl From<&SmolStr> for String {
+    fn from(s: &SmolStr) -> Self {
+        s.as_str().to_string()
+    }
+}
+
+impl From<SmolStr> for String {
+    fn from(s: SmolStr) -> Self {
+        s.as_str().to_string()
+    }
+}
+
+impl PartialEq for SmolStr {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for SmolStr {}
+
+impl PartialEq<str> for SmolStr {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for SmolStr {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<SmolStr> for str {
+    fn eq(&self, other: &SmolStr) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<SmolStr> for &str {
+    fn eq(&self, other: &SmolStr) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialEq<String> for SmolStr {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<SmolStr> for String {
+    fn eq(&self, other: &SmolStr) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialOrd for SmolStr {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SmolStr {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl Hash for SmolStr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state)
+    }
+}
+
+impl fmt::Debug for SmolStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Display for SmolStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self.as_str(), f)
+    }
+}
+
+impl Default for SmolStr {
+    fn default() -> Self {
+        SmolStr::new("")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_strings_stay_inline() {
+        let s = SmolStr::new("num_gangs");
+        assert!(!s.is_heap_allocated());
+        assert_eq!(s.as_str(), "num_gangs");
+        assert_eq!(s.len(), 9);
+        let c = s.clone();
+        assert_eq!(c, s);
+        assert!(!c.is_heap_allocated());
+    }
+
+    #[test]
+    fn boundary_is_inline() {
+        let at = "a".repeat(INLINE_CAP);
+        assert!(!SmolStr::new(&at).is_heap_allocated());
+        let over = "a".repeat(INLINE_CAP + 1);
+        let s = SmolStr::new(&over);
+        assert!(s.is_heap_allocated());
+        assert_eq!(s.as_str(), over);
+    }
+
+    #[test]
+    fn comparisons_and_deref() {
+        let s = SmolStr::new("loop");
+        assert_eq!(s, "loop");
+        assert_eq!("loop", s);
+        assert_eq!(s, "loop".to_string());
+        assert!(s.starts_with("lo"));
+        assert_eq!(&s[..2], "lo");
+    }
+
+    #[test]
+    fn hash_matches_str() {
+        use std::collections::HashMap;
+        let mut m: HashMap<SmolStr, i32> = HashMap::new();
+        m.insert(SmolStr::new("x"), 1);
+        // Borrow<str> lets &str index the map.
+        assert_eq!(m.get("x"), Some(&1));
+    }
+
+    #[test]
+    fn conversions() {
+        let s: SmolStr = "abc".into();
+        let back: String = s.clone().into();
+        assert_eq!(back, "abc");
+        let s2: SmolStr = back.into();
+        assert_eq!(s2, s);
+        assert_eq!(SmolStr::default(), "");
+        assert!(SmolStr::default().is_empty());
+    }
+
+    #[test]
+    fn unicode_survives() {
+        let s = SmolStr::new("é✓");
+        assert_eq!(s.as_str(), "é✓");
+        assert!(!s.is_heap_allocated());
+    }
+}

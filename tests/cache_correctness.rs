@@ -1,0 +1,191 @@
+//! Correctness of the content-addressed compilation cache (ISSUE 3).
+//!
+//! The cache is a pure optimisation: its presence or absence must never be
+//! observable in any report. Three obligations are pinned here:
+//!
+//! 1. **Transparency** — cached and uncached campaign reports are
+//!    byte-identical, serial and parallel, for healthy and buggy compilers.
+//! 2. **Isolation** — executable-level entries are keyed by the full vendor
+//!    fingerprint: a PGI artifact is never served to Cray, while both share
+//!    one front-end entry per distinct source.
+//! 3. **Composition** — the PR 2 journal halt/resume machinery composes
+//!    with the cache: a resumed cached run reproduces the clean uncached
+//!    report byte for byte.
+
+use openacc_vv::compiler::{CompileCache, VendorCompiler, VendorId};
+use openacc_vv::prelude::*;
+use openacc_vv::validation::{MemoryJournal, Replay};
+use std::sync::Arc;
+
+/// A small but representative slice of the corpus: compute, data, async and
+/// update features, so both passing rows and (for old releases) bug-report
+/// appendices appear in the rendered reports.
+fn suite() -> Vec<TestCase> {
+    const FEATURES: &[&str] = &["loop", "data.copy", "parallel.async", "update.host"];
+    openacc_vv::testsuite::full_suite()
+        .into_iter()
+        .filter(|c| FEATURES.contains(&c.feature.as_str()))
+        .collect()
+}
+
+fn render_text(run: &openacc_vv::validation::SuiteRun) -> String {
+    render(run, ReportFormat::Text)
+}
+
+// ---------------------------------------------------------------------------
+// 1. Transparency
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cached_report_is_byte_identical_serial_and_parallel() {
+    for compiler in [
+        VendorCompiler::reference(),
+        // An early CAPS release: real failures exercise the bug-report
+        // appendix (which embeds generated sources) in the identity check.
+        VendorCompiler::new(VendorId::Caps, "3.0.8".parse().unwrap()),
+    ] {
+        let plain = Campaign::new(suite());
+        let cached = Campaign::new(suite()).with_cache(CompileCache::shared());
+        let baseline = render_text(&plain.run_one(&compiler));
+        assert_eq!(
+            render_text(&cached.run_one(&compiler)),
+            baseline,
+            "cached serial report diverged ({})",
+            compiler.label()
+        );
+        assert_eq!(
+            render_text(&cached.run_one_parallel(&compiler, 4)),
+            baseline,
+            "cached parallel report diverged ({})",
+            compiler.label()
+        );
+        assert_eq!(
+            render_text(&plain.run_one_parallel(&compiler, 4)),
+            baseline,
+            "uncached parallel report diverged ({})",
+            compiler.label()
+        );
+    }
+}
+
+#[test]
+fn vendor_sweep_is_cache_transparent_and_hits() {
+    let cache = CompileCache::shared();
+    let plain = Campaign::new(suite());
+    let cached = Campaign::new(suite()).with_cache(Arc::clone(&cache));
+    let baseline = plain.run_vendor_line(VendorId::Pgi);
+    let swept = cached.run_vendor_line(VendorId::Pgi);
+    assert_eq!(swept.runs.len(), baseline.runs.len());
+    for (c, b) in swept.runs.iter().zip(&baseline.runs) {
+        assert_eq!(render_text(c), render_text(b));
+    }
+    // The whole point of the sweep cache: front-end work amortises across
+    // versions, so hits dominate once the first version has populated it.
+    let stats = cache.stats();
+    assert!(
+        stats.frontend_hits > stats.frontend_misses,
+        "sweep should mostly hit the front-end cache: {stats}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 2. Isolation
+// ---------------------------------------------------------------------------
+
+#[test]
+fn exec_entries_are_isolated_per_vendor_but_share_the_frontend() {
+    let cache = CompileCache::shared();
+    let pgi = VendorCompiler::latest(VendorId::Pgi).with_cache(Arc::clone(&cache));
+    let cray = VendorCompiler::latest(VendorId::Cray).with_cache(Arc::clone(&cache));
+    let case = &suite()[0];
+    let source = case.source_for(Language::C);
+
+    let from_pgi = pgi.compile_shared(&source, Language::C).unwrap();
+    let from_cray = cray.compile_shared(&source, Language::C).unwrap();
+    // Distinct vendor fingerprints ⇒ distinct executables: the PGI artifact
+    // (its defect walk baked in) must never be served to Cray.
+    assert!(
+        !Arc::ptr_eq(&from_pgi, &from_cray),
+        "a PGI executable was served to Cray"
+    );
+    assert!(from_pgi.profile.name.starts_with("PGI"), "{}", from_pgi.profile.name);
+    assert!(from_cray.profile.name.starts_with("Cray"), "{}", from_cray.profile.name);
+    // ... while the language-level front-end entry is shared: one source,
+    // one parse, whatever the vendor.
+    assert_eq!(cache.frontend_entries(), 1);
+    assert_eq!(cache.exec_entries(), 2);
+
+    // Same vendor again: a true hit — the identical Arc comes back.
+    let again = pgi.compile_shared(&source, Language::C).unwrap();
+    assert!(Arc::ptr_eq(&from_pgi, &again));
+}
+
+#[test]
+fn vendor_versions_do_not_share_executables() {
+    let cache = CompileCache::shared();
+    let case = &suite()[0];
+    let source = case.source_for(Language::C);
+    let mut seen = Vec::new();
+    for v in VendorId::Caps.versions() {
+        let c = VendorCompiler::new(VendorId::Caps, v).with_cache(Arc::clone(&cache));
+        seen.push(c.compile_shared(&source, Language::C).unwrap());
+    }
+    for (i, a) in seen.iter().enumerate() {
+        for b in &seen[i + 1..] {
+            assert!(
+                !Arc::ptr_eq(a, b),
+                "two CAPS versions shared one executable entry"
+            );
+        }
+    }
+    // Every version walked its own defect catalog over ONE shared parse.
+    assert_eq!(cache.frontend_entries(), 1);
+    assert_eq!(cache.exec_entries(), seen.len());
+}
+
+// ---------------------------------------------------------------------------
+// 3. Composition with the PR 2 journal
+// ---------------------------------------------------------------------------
+
+#[test]
+fn journal_resume_composes_with_cache() {
+    let compiler = VendorCompiler::new(VendorId::Caps, "3.0.8".parse().unwrap());
+    // Clean, uncached, serial run: the reference output.
+    let clean = {
+        let campaign = Campaign::new(suite());
+        let exec = Executor::new(ExecutorPolicy::new());
+        render_text(&exec.run_suite(&campaign, &compiler))
+    };
+
+    // First leg: cached, journaled, halted partway through.
+    let cache = CompileCache::shared();
+    let campaign = Campaign::new(suite()).with_cache(Arc::clone(&cache));
+    let journal = Arc::new(MemoryJournal::default());
+    let exec = Executor::new(
+        ExecutorPolicy::new()
+            .with_jobs(4)
+            .with_journal(journal.clone())
+            .with_halt_after(3),
+    );
+    let (_, stats) = exec.run_suite_stats(&campaign, &compiler);
+    assert!(stats.halted, "halt_after(3) should interrupt the suite");
+    let warm_lookups = cache.stats().lookups();
+    assert!(warm_lookups > 0, "first leg should have used the cache");
+
+    // Second leg: resume from the journal with the SAME warm cache — the
+    // replayed rows skip execution, the remainder compiles through the cache.
+    let replay = Replay::from_text(&journal.text());
+    let exec = Executor::new(
+        ExecutorPolicy::new()
+            .with_jobs(1)
+            .with_resume(Arc::new(replay)),
+    );
+    let (run, stats) = exec.run_suite_stats(&campaign, &compiler);
+    assert!(!stats.halted);
+    assert!(stats.cached > 0, "resume should replay journaled rows");
+    assert_eq!(
+        render_text(&run),
+        clean,
+        "cached halt/resume diverged from the clean uncached run"
+    );
+}

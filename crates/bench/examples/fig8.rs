@@ -1,0 +1,32 @@
+//! Micro-benchmark: the serial Fig. 8 campaign under both engines.
+use acc_compiler::exec::ExecMode;
+use acc_compiler::{CompileCache, VendorId};
+use acc_validation::{Campaign, SuiteConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    for mode in [ExecMode::Walk, ExecMode::Vm] {
+        let cache = CompileCache::shared();
+        let campaign = Campaign::new(acc_testsuite::full_suite())
+            .with_config(SuiteConfig::new().with_exec_mode(mode))
+            .with_cache(Arc::clone(&cache));
+        // warm the cache so the timed run matches the bench's steady state
+        for vendor in [VendorId::Caps, VendorId::Pgi, VendorId::Cray] {
+            std::hint::black_box(campaign.run_vendor_line(vendor).runs.len());
+        }
+        let t0 = Instant::now();
+        let mut results = 0usize;
+        for vendor in [VendorId::Caps, VendorId::Pgi, VendorId::Cray] {
+            for run in campaign.run_vendor_line(vendor).runs {
+                results += run.results.len();
+            }
+        }
+        println!(
+            "{:?}: {:.1} ms ({} results)",
+            mode,
+            t0.elapsed().as_secs_f64() * 1e3,
+            results
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Micro-benchmark: the 512-element kernel under both engines.
+use acc_compiler::exec::{ExecMode, RunKnobs};
+use acc_compiler::VendorCompiler;
+use acc_spec::envvar::EnvConfig;
+use std::time::Instant;
+
+fn main() {
+    let src = "int main(void) {\n    int error = 0;\n    int A[512];\n    for (i = 0; i < 512; i++)\n    {\n        A[i] = 0;\n    }\n    #pragma acc parallel num_gangs(8) copy(A[0:512])\n    {\n        #pragma acc loop\n        for (i = 0; i < 512; i++)\n        {\n            A[i] = A[i] + 1;\n        }\n    }\n    for (i = 0; i < 512; i++)\n    {\n        if (A[i] != 1)\n        {\n            error++;\n        }\n    }\n    return error == 0;\n}\n";
+    let exe = VendorCompiler::reference()
+        .compile(src, acc_spec::Language::C)
+        .unwrap();
+    let env = EnvConfig::empty();
+    for mode in [ExecMode::Walk, ExecMode::Vm] {
+        let knobs = RunKnobs {
+            exec_mode: mode,
+            ..RunKnobs::default()
+        };
+        for _ in 0..50 {
+            std::hint::black_box(exe.run_with_knobs(&env, knobs));
+        }
+        let n = 2000;
+        let t0 = Instant::now();
+        for _ in 0..n {
+            std::hint::black_box(exe.run_with_knobs(&env, knobs));
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        println!("{:?}: {:.1} us/run", mode, dt / n as f64 * 1e6);
+    }
+}

@@ -9,6 +9,7 @@
 //! BASELINE --tolerance-pct P` fails when the full-suite wall time
 //! regresses by more than `P` percent.
 
+use acc_compiler::exec::{ExecMode, RunKnobs};
 use acc_compiler::{CacheStats, CompileCache, VendorCompiler, VendorId};
 use acc_validation::Campaign;
 use std::fmt::Write as _;
@@ -18,6 +19,16 @@ use std::time::Instant;
 /// The measurement CI gates on: the three-vendor, all-versions Fig. 8
 /// campaign — the suite's end-to-end hot path.
 pub const FULL_SUITE: &str = "campaign_fig8_three_vendor";
+
+/// The single-kernel interpreter workload (512-element device loop): the
+/// bytecode VM's hot path, gated alongside [`FULL_SUITE`] so an engine
+/// regression can't hide inside campaign noise.
+pub const DEVICE_KERNEL: &str = "device_kernel_512";
+
+/// Workloads the `--check` regression gate compares against the baseline.
+/// [`FULL_SUITE`] must exist in the baseline; the others are skipped with a
+/// note when absent (older baselines predate them).
+pub const GUARDED: &[&str] = &[FULL_SUITE, DEVICE_KERNEL];
 
 /// One named workload's timing.
 #[derive(Debug, Clone)]
@@ -96,29 +107,51 @@ pub fn median_in_json(json: &str, name: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// Median of `iters` timed runs of `body`, in milliseconds, plus the last
-/// run's work-unit count.
-fn time_median(iters: u32, mut body: impl FnMut() -> usize) -> (f64, usize) {
-    let mut times_ms: Vec<f64> = Vec::with_capacity(iters as usize);
-    let mut units = 0;
-    for _ in 0..iters {
-        let t0 = Instant::now();
-        units = std::hint::black_box(body());
-        times_ms.push(t0.elapsed().as_secs_f64() * 1e3);
-    }
-    times_ms.sort_by(f64::total_cmp);
-    (times_ms[times_ms.len() / 2], units)
+/// One workload's raw timing: the median wall time plus the totals the
+/// throughput figure derives from.
+struct Timing {
+    /// Median per-iteration wall time, milliseconds.
+    median_ms: f64,
+    /// Work units summed over ALL iterations.
+    total_units: usize,
+    /// Wall time summed over ALL iterations, seconds.
+    total_secs: f64,
 }
 
-fn push(measurements: &mut Vec<Measurement>, name: &str, median_ms: f64, units: usize) {
-    let cases_per_sec = if median_ms > 0.0 {
-        units as f64 / (median_ms / 1e3)
+/// Time `iters` runs of `body`. The median is per-iteration; the unit and
+/// elapsed totals span every iteration so the derived throughput is total
+/// units over total elapsed time — dividing one iteration's unit count by
+/// the median time would overstate throughput whenever the run count and
+/// per-run cost drift apart.
+fn time_median(iters: u32, mut body: impl FnMut() -> usize) -> Timing {
+    let mut times_ms: Vec<f64> = Vec::with_capacity(iters as usize);
+    let mut total_units = 0usize;
+    let mut total_secs = 0.0f64;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let units = std::hint::black_box(body());
+        let dt = t0.elapsed().as_secs_f64();
+        times_ms.push(dt * 1e3);
+        total_units += units;
+        total_secs += dt;
+    }
+    times_ms.sort_by(f64::total_cmp);
+    Timing {
+        median_ms: times_ms[times_ms.len() / 2],
+        total_units,
+        total_secs,
+    }
+}
+
+fn push(measurements: &mut Vec<Measurement>, name: &str, t: Timing) {
+    let cases_per_sec = if t.total_secs > 0.0 {
+        t.total_units as f64 / t.total_secs
     } else {
         0.0
     };
     measurements.push(Measurement {
         name: name.to_string(),
-        median_ms,
+        median_ms: t.median_ms,
         cases_per_sec,
     });
 }
@@ -138,7 +171,7 @@ pub fn run_bench(iters: u32, use_cache: bool) -> BenchReport {
 
     // 1. Template expansion: render every functional + cross source in
     //    both languages (the suite's pure generation cost).
-    let (median, units) = time_median(iters, || {
+    let timing = time_median(iters, || {
         let mut sources = 0usize;
         for case in &suite {
             for lang in case.languages.clone() {
@@ -152,18 +185,18 @@ pub fn run_bench(iters: u32, use_cache: bool) -> BenchReport {
         }
         sources
     });
-    push(&mut measurements, "generate_sources", median, units);
+    push(&mut measurements, "generate_sources", timing);
 
     // 2. Full suite against the clean reference implementation.
     let reference = VendorCompiler::reference();
     let campaign = with_cache(Campaign::new(suite.clone()));
-    let (median, units) = time_median(iters, || campaign.run_one(&reference).results.len());
-    push(&mut measurements, "campaign_reference_full", median, units);
+    let timing = time_median(iters, || campaign.run_one(&reference).results.len());
+    push(&mut measurements, "campaign_reference_full", timing);
 
     // 3. The Fig. 8 acceptance metric: all released versions of all three
     //    commercial vendors, serially.
     let campaign = with_cache(Campaign::new(suite.clone()));
-    let (median, units) = time_median(iters, || {
+    let timing = time_median(iters, || {
         let mut results = 0usize;
         for vendor in [VendorId::Caps, VendorId::Pgi, VendorId::Cray] {
             for run in campaign.run_vendor_line(vendor).runs {
@@ -172,7 +205,7 @@ pub fn run_bench(iters: u32, use_cache: bool) -> BenchReport {
         }
         results
     });
-    push(&mut measurements, FULL_SUITE, median, units);
+    push(&mut measurements, FULL_SUITE, timing);
 
     // 4. Device interpreter throughput: one compiled kernel run repeatedly
     //    (compilation outside the timed region — this isolates `exec.rs`).
@@ -180,14 +213,43 @@ pub fn run_bench(iters: u32, use_cache: bool) -> BenchReport {
     let exe = reference
         .compile(src, acc_spec::Language::C)
         .expect("bench kernel compiles");
-    let (median, units) = time_median(iters, || {
+    let timing = time_median(iters, || {
         let runs = 20usize;
         for _ in 0..runs {
             std::hint::black_box(exe.run().outcome.passed());
         }
         runs
     });
-    push(&mut measurements, "device_kernel_512", median, units);
+    push(&mut measurements, DEVICE_KERNEL, timing);
+
+    // 5. Bytecode lowering in isolation: re-lower the already-resolved 512
+    //    kernel. This is the cost a compile-cache miss adds over the old
+    //    tree-walking pipeline (a hit skips it entirely).
+    let timing = time_median(iters, || {
+        let lowerings = 50usize;
+        for _ in 0..lowerings {
+            std::hint::black_box(exe.lower_again());
+        }
+        lowerings
+    });
+    push(&mut measurements, "vm_compile_only", timing);
+
+    // 6. The VM hot loop, pinned explicitly (independent of the session
+    //    default engine): same kernel, same 20-run batch as
+    //    `device_kernel_512`, so the two stay directly comparable.
+    let env = acc_spec::envvar::EnvConfig::empty();
+    let vm_knobs = || RunKnobs {
+        exec_mode: ExecMode::Vm,
+        ..RunKnobs::default()
+    };
+    let timing = time_median(iters, || {
+        let runs = 20usize;
+        for _ in 0..runs {
+            std::hint::black_box(exe.run_with_knobs(&env, vm_knobs()).outcome.passed());
+        }
+        runs
+    });
+    push(&mut measurements, "vm_execute_512", timing);
 
     BenchReport {
         cache_enabled: use_cache,

@@ -62,6 +62,24 @@ pub struct Executable {
     pub profile: ExecProfile,
     /// The implementation-defined concrete device type.
     pub concrete_device: DeviceType,
+    /// The lowered bytecode image the VM engine executes (`Arc`-shared
+    /// through the executable cache, so a cache hit skips lowering).
+    pub code: Arc<crate::bytecode::BytecodeProgram>,
+}
+
+impl Executable {
+    /// A stable textual disassembly of the lowered program (the
+    /// `accvv disasm` output).
+    pub fn disassemble(&self) -> String {
+        self.code.disassemble()
+    }
+
+    /// Re-run bytecode lowering from the resolved AST (bench probe for
+    /// isolating lowering cost; normal compiles lower once in
+    /// [`finish_compile`]).
+    pub fn lower_again(&self) -> crate::bytecode::BytecodeProgram {
+        crate::bytecode::lower(&self.program, &self.resolved)
+    }
 }
 
 /// The profile-independent front half of the pipeline: parse, specification
@@ -110,11 +128,13 @@ pub fn finish_compile(
             messages: ice,
         });
     }
+    let code = Arc::new(crate::bytecode::lower(&program, &resolved));
     Ok(Executable {
         program,
         resolved,
         profile,
         concrete_device,
+        code,
     })
 }
 

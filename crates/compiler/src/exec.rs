@@ -63,6 +63,39 @@ pub struct RunResult {
     pub metrics: acc_device::Metrics,
 }
 
+/// Which execution engine runs the compiled program.
+///
+/// Both engines share every piece of machine state (frames, device memory,
+/// clocks, fault draws) and must produce byte-identical results; the walker
+/// is kept as the reference oracle behind `--exec-mode=walk`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// The register-based bytecode VM (default; see `bytecode`/`vm`).
+    #[default]
+    Vm,
+    /// The original AST tree-walker, kept as the reference oracle.
+    Walk,
+}
+
+impl ExecMode {
+    /// Parse the `--exec-mode` CLI spelling.
+    pub fn from_cli(s: &str) -> Option<ExecMode> {
+        match s {
+            "vm" => Some(ExecMode::Vm),
+            "walk" => Some(ExecMode::Walk),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecMode::Vm => "vm",
+            ExecMode::Walk => "walk",
+        }
+    }
+}
+
 /// Per-run execution knobs the fault-tolerant executor threads through.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RunKnobs {
@@ -73,6 +106,8 @@ pub struct RunKnobs {
     /// Which attempt this is (0 for the first run). Transient-fault draws
     /// mix this in so retries see fresh, but still deterministic, faults.
     pub run_index: u64,
+    /// Which engine executes the program (bytecode VM by default).
+    pub exec_mode: ExecMode,
 }
 
 impl Executable {
@@ -95,6 +130,10 @@ impl Executable {
             self.concrete_device,
             env,
         );
+        if knobs.exec_mode == ExecMode::Vm {
+            m.code = Some(&self.code);
+            m.use_vm = true;
+        }
         if let Some(limit) = knobs.step_limit {
             m.step_limit = limit;
         }
@@ -111,30 +150,30 @@ const DEFAULT_STEP_LIMIT: u64 = 20_000_000;
 
 /// Abnormal termination signal threaded through the interpreter.
 #[derive(Debug, Clone, PartialEq)]
-enum Abort {
+pub(crate) enum Abort {
     Crash(String),
     Timeout,
 }
 
-type Exec<T> = Result<T, Abort>;
+pub(crate) type Exec<T> = Result<T, Abort>;
 
 /// Control flow result of executing statements.
 #[derive(Debug, Clone, PartialEq)]
-enum Flow {
+pub(crate) enum Flow {
     Normal,
     Return(Value),
 }
 
 /// A host array (the arena makes pass-by-reference aliasing trivial).
 #[derive(Debug)]
-struct HostArray {
-    data: ArrayData,
-    dims: Vec<usize>,
+pub(crate) struct HostArray {
+    pub(crate) data: ArrayData,
+    pub(crate) dims: Vec<usize>,
 }
 
 /// What an array name is bound to in a frame.
 #[derive(Debug, Clone, Copy)]
-enum ArrBinding {
+pub(crate) enum ArrBinding {
     /// A host array in the arena.
     Host(usize),
     /// A device buffer (parameter bound through `host_data use_device` or a
@@ -144,10 +183,10 @@ enum ArrBinding {
 
 /// One frame slot: the merged scalar/type/array binding of a resolved name.
 #[derive(Debug, Clone, Copy, Default)]
-struct Slot {
-    val: Option<Value>,
-    ty: Option<Type>,
-    arr: Option<ArrBinding>,
+pub(crate) struct Slot {
+    pub(crate) val: Option<Value>,
+    pub(crate) ty: Option<Type>,
+    pub(crate) arr: Option<ArrBinding>,
 }
 
 /// A host call frame, backed by the function's [`FrameLayout`]: every name
@@ -155,13 +194,13 @@ struct Slot {
 /// so reads and writes are vector accesses instead of `HashMap<String, _>`
 /// operations cloning keys.
 #[derive(Debug)]
-struct Frame<'a> {
+pub(crate) struct Frame<'a> {
     layout: &'a FrameLayout,
-    slots: Vec<Slot>,
+    pub(crate) slots: Vec<Slot>,
     /// Present-table names entered by `declare`, exited at function return.
     declare_entries: Vec<String>,
     /// `host_data use_device` overlays (innermost last).
-    host_data: Vec<HashMap<String, BufferId>>,
+    pub(crate) host_data: Vec<HashMap<String, BufferId>>,
 }
 
 impl<'a> Frame<'a> {
@@ -174,7 +213,7 @@ impl<'a> Frame<'a> {
         }
     }
 
-    fn idx(&self, name: &str) -> Option<usize> {
+    pub(crate) fn idx(&self, name: &str) -> Option<usize> {
         self.layout.slot(name)
     }
 
@@ -224,7 +263,7 @@ impl<'a> Frame<'a> {
 /// scope replays the journal — so the hot per-iteration writes are plain
 /// vector stores.
 #[derive(Debug)]
-struct DevCtx<'m> {
+pub(crate) struct DevCtx<'m> {
     num_gangs: u32,
     num_workers: u32,
     vector_len: u32,
@@ -243,21 +282,21 @@ struct DevCtx<'m> {
     journals: Vec<Vec<(u32, Option<Value>, u32)>>,
     /// Names bound by a `deviceptr` clause to device buffers (borrowed from
     /// the region — one map shared by all gangs).
-    devptr: &'m HashMap<String, BufferId>,
+    pub(crate) devptr: &'m HashMap<String, BufferId>,
 }
 
 impl<'m> DevCtx<'m> {
-    fn slot(&self, name: &str) -> Option<usize> {
+    pub(crate) fn slot(&self, name: &str) -> Option<usize> {
         self.layout.slot(name)
     }
 
-    fn value(&self, slot: usize) -> Option<Value> {
+    pub(crate) fn value(&self, slot: usize) -> Option<Value> {
         self.slots[slot]
     }
 
     /// Write the visible binding if one exists (wherever it lives —
     /// ownership is unchanged, matching write-where-found semantics).
-    fn assign_existing(&mut self, slot: usize, v: Value) -> bool {
+    pub(crate) fn assign_existing(&mut self, slot: usize, v: Value) -> bool {
         match &mut self.slots[slot] {
             Some(b) => {
                 *b = v;
@@ -269,7 +308,7 @@ impl<'m> DevCtx<'m> {
 
     /// Bind in the innermost scope, shadowing (and journaling) any outer
     /// binding on the first write per scope.
-    fn set_local(&mut self, slot: usize, v: Value) {
+    pub(crate) fn set_local(&mut self, slot: usize, v: Value) {
         let depth = self.journals.len() as u32;
         if depth > 0 && self.owner[slot] != depth {
             self.journals
@@ -286,7 +325,7 @@ impl<'m> DevCtx<'m> {
     /// inner scope pops. Only sound for slots currently owned by the gang
     /// scope (region setup runs before any scope is pushed; implicit
     /// binds only happen on unbound slots, which are gang-owned).
-    fn bind_gang(&mut self, slot: usize, v: Value) {
+    pub(crate) fn bind_gang(&mut self, slot: usize, v: Value) {
         debug_assert_eq!(self.owner[slot], 0, "bind_gang on a shadowed slot");
         self.slots[slot] = Some(v);
     }
@@ -327,8 +366,8 @@ pub(crate) struct Machine<'a> {
     resolved: &'a ResolvedProgram,
     profile: &'a ExecProfile,
     pub(crate) world: World,
-    host_arrays: Vec<HostArray>,
-    frames: Vec<Frame<'a>>,
+    pub(crate) host_arrays: Vec<HostArray>,
+    pub(crate) frames: Vec<Frame<'a>>,
     deferred: Vec<Vec<DeferredEffect>>,
     steps: u64,
     step_limit: u64,
@@ -340,10 +379,20 @@ pub(crate) struct Machine<'a> {
     program_hash: u64,
     garbage_counter: i64,
     /// Count of device statements in the current region (kernel cost).
-    region_cost: u64,
+    pub(crate) region_cost: u64,
     /// `deviceptr` bindings contributed by enclosing `data` regions and
     /// inherited by nested compute constructs.
     data_devptr: Vec<HashMap<String, BufferId>>,
+    /// The lowered bytecode image (present when running under the VM).
+    pub(crate) code: Option<&'a crate::bytecode::BytecodeProgram>,
+    /// Dispatch through the bytecode VM instead of the tree walker.
+    pub(crate) use_vm: bool,
+    /// Scratch register files recycled across chunk activations.
+    pub(crate) reg_pool: Vec<Vec<Value>>,
+    /// Per-device-chunk cache of name-id → resolved buffer (the present
+    /// table cannot change while device code runs, so the VM resolves each
+    /// array once per chunk activation instead of per element access).
+    pub(crate) dev_bufs: Vec<Option<BufferId>>,
 }
 
 impl<'a> Machine<'a> {
@@ -370,6 +419,10 @@ impl<'a> Machine<'a> {
             garbage_counter: 0,
             region_cost: 0,
             data_devptr: Vec::new(),
+            code: None,
+            use_vm: false,
+            reg_pool: Vec::new(),
+            dev_bufs: Vec::new(),
         }
     }
 
@@ -422,7 +475,7 @@ impl<'a> Machine<'a> {
         })
     }
 
-    fn tick(&mut self) -> Exec<()> {
+    pub(crate) fn tick(&mut self) -> Exec<()> {
         self.steps += 1;
         self.world.metrics.statements_executed += 1;
         if self.steps > self.step_limit {
@@ -431,7 +484,7 @@ impl<'a> Machine<'a> {
         Ok(())
     }
 
-    fn garbage_value(&mut self, ty: ScalarType) -> Value {
+    pub(crate) fn garbage_value(&mut self, ty: ScalarType) -> Value {
         self.garbage_counter += 1;
         match ty {
             ScalarType::Int => Value::Int(-987_654_321 - self.garbage_counter),
@@ -440,11 +493,11 @@ impl<'a> Machine<'a> {
         }
     }
 
-    fn frame(&self) -> &Frame<'a> {
+    pub(crate) fn frame(&self) -> &Frame<'a> {
         self.frames.last().expect("no active frame")
     }
 
-    fn frame_mut(&mut self) -> &mut Frame<'a> {
+    pub(crate) fn frame_mut(&mut self) -> &mut Frame<'a> {
         self.frames.last_mut().expect("no active frame")
     }
 
@@ -493,7 +546,11 @@ impl<'a> Machine<'a> {
             }
         }
         self.frames.push(frame);
-        let flow = self.exec_body(&f.body, None);
+        let flow = if self.use_vm {
+            self.vm_function(&f.name)
+        } else {
+            self.exec_body(&f.body, None)
+        };
         // Exit any `declare` data regions opened by this frame.
         let declare_entries = std::mem::take(&mut self.frame_mut().declare_entries);
         let mut declare_result = Ok(());
@@ -543,7 +600,7 @@ impl<'a> Machine<'a> {
         }
     }
 
-    fn host_data_lookup(&self, name: &str) -> Option<BufferId> {
+    pub(crate) fn host_data_lookup(&self, name: &str) -> Option<BufferId> {
         self.frame()
             .host_data
             .iter()
@@ -753,7 +810,7 @@ impl<'a> Machine<'a> {
         Ok(Flow::Normal)
     }
 
-    fn exec_stmt_host(&mut self, s: &'a Stmt) -> Exec<Flow> {
+    pub(crate) fn exec_stmt_host(&mut self, s: &'a Stmt) -> Exec<Flow> {
         self.tick()?;
         self.world.clock.advance(1);
         match s {
@@ -910,16 +967,36 @@ impl<'a> Machine<'a> {
     }
 
     fn read_var_host(&mut self, n: &str) -> Exec<Value> {
+        self.read_var_host_at(n, self.frame().idx(n))
+    }
+
+    /// [`Self::read_var_host`] with the slot pre-resolved at compile time
+    /// (the VM's fast path — same lookup order, no name hashing).
+    pub(crate) fn read_var_host_at(&mut self, n: &str, slot: Option<usize>) -> Exec<Value> {
         if let Some(buf) = self.host_data_lookup(n) {
             return Ok(Value::DevPtr(buf));
         }
-        if let Some(v) = self.frame().val(n) {
+        if let Some(v) = slot.and_then(|i| self.frame().slots[i].val) {
             return Ok(v);
         }
         if let Some(v) = device_constant(n) {
             return Ok(v);
         }
         Err(Abort::Crash(format!("read of undefined variable `{n}`")))
+    }
+
+    /// Scalar store with the slot pre-resolved: converts through the
+    /// declared type exactly like [`Self::write_lvalue_host`]'s `Var` arm.
+    pub(crate) fn write_var_host_at(&mut self, n: &str, slot: Option<usize>, v: Value) -> Exec<()> {
+        let Some(i) = slot else {
+            return Err(unresolved(n));
+        };
+        let converted = match self.frame().slots[i].ty {
+            Some(Type::Scalar(t)) => v.convert_to(t).map_err(crash)?,
+            _ => v,
+        };
+        self.frame_mut().slots[i].val = Some(converted);
+        Ok(())
     }
 
     fn write_lvalue_host(&mut self, lv: &LValue, v: Value) -> Exec<()> {
@@ -998,7 +1075,7 @@ impl<'a> Machine<'a> {
         self.eval_host_with_hint(e, ScalarType::Float)
     }
 
-    fn eval_host_with_hint(&mut self, e: &Expr, malloc_hint: ScalarType) -> Exec<Value> {
+    pub(crate) fn eval_host_with_hint(&mut self, e: &Expr, malloc_hint: ScalarType) -> Exec<Value> {
         match e {
             Expr::Int(v) => Ok(Value::Int(*v)),
             Expr::Real(v, t) => Ok(match t {
@@ -1044,7 +1121,7 @@ impl<'a> Machine<'a> {
     // Directive execution (host level)
     // ------------------------------------------------------------------
 
-    fn exec_standalone(&mut self, dir: &'a AccDirective) -> Exec<()> {
+    pub(crate) fn exec_standalone(&mut self, dir: &'a AccDirective) -> Exec<()> {
         match dir.kind {
             DirectiveKind::Update => self.exec_update(dir),
             DirectiveKind::Wait => {
@@ -1252,7 +1329,7 @@ impl<'a> Machine<'a> {
     // Data environment
     // ------------------------------------------------------------------
 
-    fn host_array_id(&self, name: &str) -> Option<usize> {
+    pub(crate) fn host_array_id(&self, name: &str) -> Option<usize> {
         match self.frame().arr(name) {
             Some(ArrBinding::Host(id)) => Some(id),
             _ => None,
@@ -1496,84 +1573,104 @@ impl<'a> Machine<'a> {
             DirectiveKind::Parallel | DirectiveKind::Kernels => {
                 self.exec_compute_region(dir, RegionBody::Block(body))
             }
-            DirectiveKind::Data => {
-                if self.profile.ignores_directive(DirectiveKind::Data) {
-                    return self.exec_body(body, None).map(|_| ());
-                }
-                if let Some(AccClause::If(e)) = dir.find(ClauseKind::If) {
-                    if !self.eval_host(e)?.truthy() {
-                        // if(false): no data movement; the region body still
-                        // executes (its compute constructs will map data
-                        // themselves).
-                        return self.exec_body(body, None).map(|_| ());
-                    }
-                }
-                let entered = self.enter_data_clauses(&dir.clauses, DirectiveKind::Data)?;
-                // `deviceptr` on a data construct makes the pointers
-                // available to nested compute regions.
-                let mut dp = HashMap::new();
-                for c in &dir.clauses {
-                    if let AccClause::Deviceptr(names) = c {
-                        if self
-                            .profile
-                            .ignores_clause(DirectiveKind::Data, ClauseKind::Deviceptr)
-                        {
-                            continue;
-                        }
-                        for n in names {
-                            match self.read_var_host(n)? {
-                                Value::DevPtr(buf) => {
-                                    dp.insert(n.clone(), buf);
-                                }
-                                other => return Err(Abort::Crash(format!(
-                                    "deviceptr `{n}` does not hold a device address (got {other})"
-                                ))),
-                            }
-                        }
-                    }
-                }
-                self.data_devptr.push(dp);
-                let flow = self.exec_body(body, None);
-                self.data_devptr.pop();
-                for name in entered.iter().rev() {
-                    self.exit_mapping(name, false)?;
-                }
-                flow.map(|_| ())
-            }
-            DirectiveKind::HostData => {
-                let mut overlay = HashMap::new();
-                for c in &dir.clauses {
-                    if let AccClause::UseDevice(names) = c {
-                        if self
-                            .profile
-                            .ignores_clause(DirectiveKind::HostData, ClauseKind::UseDevice)
-                        {
-                            continue;
-                        }
-                        for n in names {
-                            match self.world.present.get(n) {
-                                Some(e) => {
-                                    overlay.insert(n.clone(), e.buffer);
-                                }
-                                None => {
-                                    return Err(Abort::Crash(format!(
-                                        "use_device of `{n}` which is not present on the device"
-                                    )))
-                                }
-                            }
-                        }
-                    }
-                }
-                self.frame_mut().host_data.push(overlay);
-                let flow = self.exec_body(body, None);
-                self.frame_mut().host_data.pop();
-                flow.map(|_| ())
-            }
+            DirectiveKind::Data => self.exec_data_region(dir, HostRef::Ast(body)),
+            DirectiveKind::HostData => self.exec_hostdata_region(dir, HostRef::Ast(body)),
             other => Err(Abort::Crash(format!(
                 "`{}` cannot open a block",
                 other.name()
             ))),
         }
+    }
+
+    /// Run a host-level body in either representation. Both engines share
+    /// every directive handler through this dispatch, so data/host_data
+    /// clause semantics are identical by construction.
+    fn exec_host_ref(&mut self, body: HostRef<'a>) -> Exec<Flow> {
+        match body {
+            HostRef::Ast(b) => self.exec_body(b, None),
+            HostRef::Code(c) => self.vm_host_chunk(c),
+        }
+    }
+
+    pub(crate) fn exec_data_region(&mut self, dir: &'a AccDirective, body: HostRef<'a>) -> Exec<()> {
+        if self.profile.ignores_directive(DirectiveKind::Data) {
+            return self.exec_host_ref(body).map(|_| ());
+        }
+        if let Some(AccClause::If(e)) = dir.find(ClauseKind::If) {
+            if !self.eval_host(e)?.truthy() {
+                // if(false): no data movement; the region body still
+                // executes (its compute constructs will map data
+                // themselves).
+                return self.exec_host_ref(body).map(|_| ());
+            }
+        }
+        let entered = self.enter_data_clauses(&dir.clauses, DirectiveKind::Data)?;
+        // `deviceptr` on a data construct makes the pointers
+        // available to nested compute regions.
+        let mut dp = HashMap::new();
+        for c in &dir.clauses {
+            if let AccClause::Deviceptr(names) = c {
+                if self
+                    .profile
+                    .ignores_clause(DirectiveKind::Data, ClauseKind::Deviceptr)
+                {
+                    continue;
+                }
+                for n in names {
+                    match self.read_var_host(n)? {
+                        Value::DevPtr(buf) => {
+                            dp.insert(n.clone(), buf);
+                        }
+                        other => {
+                            return Err(Abort::Crash(format!(
+                                "deviceptr `{n}` does not hold a device address (got {other})"
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+        self.data_devptr.push(dp);
+        let flow = self.exec_host_ref(body);
+        self.data_devptr.pop();
+        for name in entered.iter().rev() {
+            self.exit_mapping(name, false)?;
+        }
+        flow.map(|_| ())
+    }
+
+    pub(crate) fn exec_hostdata_region(
+        &mut self,
+        dir: &'a AccDirective,
+        body: HostRef<'a>,
+    ) -> Exec<()> {
+        let mut overlay = HashMap::new();
+        for c in &dir.clauses {
+            if let AccClause::UseDevice(names) = c {
+                if self
+                    .profile
+                    .ignores_clause(DirectiveKind::HostData, ClauseKind::UseDevice)
+                {
+                    continue;
+                }
+                for n in names {
+                    match self.world.present.get(n) {
+                        Some(e) => {
+                            overlay.insert(n.clone(), e.buffer);
+                        }
+                        None => {
+                            return Err(Abort::Crash(format!(
+                                "use_device of `{n}` which is not present on the device"
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+        self.frame_mut().host_data.push(overlay);
+        let flow = self.exec_host_ref(body);
+        self.frame_mut().host_data.pop();
+        flow.map(|_| ())
     }
 
     fn exec_acc_loop_toplevel(&mut self, dir: &'a AccDirective, l: &'a ForLoop) -> Exec<()> {
@@ -1594,7 +1691,11 @@ impl<'a> Machine<'a> {
         }
     }
 
-    fn exec_compute_region(&mut self, dir: &'a AccDirective, body: RegionBody<'a>) -> Exec<()> {
+    pub(crate) fn exec_compute_region(
+        &mut self,
+        dir: &'a AccDirective,
+        body: RegionBody<'a>,
+    ) -> Exec<()> {
         let kernels_mode = matches!(
             dir.kind,
             DirectiveKind::Kernels | DirectiveKind::KernelsLoop
@@ -1602,10 +1703,7 @@ impl<'a> Machine<'a> {
         // A broken compute construct that has no effect leaves the region
         // running on the host.
         if self.profile.ignores_directive(dir.kind) {
-            return match body {
-                RegionBody::Block(b) => self.exec_body(b, None).map(|_| ()),
-                RegionBody::Loop(_, l) => self.exec_for_host(l).map(|_| ()),
-            };
+            return self.region_host_fallback(&body);
         }
         // Hang defect?
         for c in &dir.clauses {
@@ -1618,10 +1716,7 @@ impl<'a> Machine<'a> {
             if !self.profile.ignores_clause(dir.kind, ClauseKind::If)
                 && !self.eval_host(e)?.truthy()
             {
-                return match body {
-                    RegionBody::Block(b) => self.exec_body(b, None).map(|_| ()),
-                    RegionBody::Loop(_, l) => self.exec_for_host(l).map(|_| ()),
-                };
+                return self.region_host_fallback(&body);
             }
         }
         // Dead-region elimination defect (§V-B Cray, Fig. 11).
@@ -1778,8 +1873,18 @@ impl<'a> Machine<'a> {
                     self.exec_body(b, Some(&mut ctx))?;
                 }
                 RegionBody::Loop(dir, l) => {
-                    self.exec_acc_loop_device(dir, l, &mut ctx)?;
+                    self.exec_acc_loop_device(dir, DevLoopRef::Ast(l), &mut ctx)?;
                 }
+                RegionBody::Code(rc) => match rc.dev {
+                    crate::bytecode::RegionDev::Block(chunk) => {
+                        self.vm_dev_chunk(chunk, &mut ctx)?;
+                    }
+                    crate::bytecode::RegionDev::Loop(nid) => {
+                        let nest = &self.code.expect("region code without bytecode").nests
+                            [nid as usize];
+                        self.exec_acc_loop_device(dir, DevLoopRef::Code(nest), &mut ctx)?;
+                    }
+                },
             }
             // Fold this gang's reduction copies.
             for (i, (op, _, _, slot)) in reductions.iter().enumerate() {
@@ -1875,8 +1980,22 @@ impl<'a> Machine<'a> {
         }
     }
 
-    /// Array names referenced anywhere in the region body.
-    fn referenced_arrays(&self, body: &RegionBody<'a>) -> BTreeSet<String> {
+    /// The host fallback of a compute region (broken directive, `if(false)`):
+    /// the body executes sequentially with no data movement. For lowered
+    /// regions the pre-compiled host chunk is the exact equivalent of the
+    /// walker's `exec_body`/`exec_for_host` on the same statements.
+    fn region_host_fallback(&mut self, body: &RegionBody<'a>) -> Exec<()> {
+        match body {
+            RegionBody::Block(b) => self.exec_body(b, None).map(|_| ()),
+            RegionBody::Loop(_, l) => self.exec_for_host(l).map(|_| ()),
+            RegionBody::Code(rc) => self.vm_host_chunk(rc.host).map(|_| ()),
+        }
+    }
+
+    /// Array names referenced anywhere in the region body (sorted — the
+    /// implicit-mapping order is part of observable behaviour). Lowered
+    /// regions carry the same set precomputed at compile time.
+    fn referenced_arrays(&self, body: &RegionBody<'a>) -> Vec<String> {
         let mut names = BTreeSet::new();
         match body {
             RegionBody::Block(b) => collect_index_bases(b, &mut names),
@@ -1885,15 +2004,16 @@ impl<'a> Machine<'a> {
                 collect_expr_bases(&l.to, &mut names);
                 collect_index_bases(&l.body, &mut names);
             }
+            RegionBody::Code(rc) => return rc.referenced.clone(),
         }
-        names
+        names.into_iter().collect()
     }
 
     // ------------------------------------------------------------------
     // Device execution
     // ------------------------------------------------------------------
 
-    fn exec_stmt_device(&mut self, s: &'a Stmt, ctx: &mut DevCtx) -> Exec<Flow> {
+    pub(crate) fn exec_stmt_device(&mut self, s: &'a Stmt, ctx: &mut DevCtx) -> Exec<Flow> {
         self.tick()?;
         self.region_cost += 1;
         match s {
@@ -1952,7 +2072,7 @@ impl<'a> Machine<'a> {
                 "return inside a compute region is not supported".into(),
             )),
             Stmt::AccLoop { dir, l } => {
-                self.exec_acc_loop_device(dir, l, ctx)?;
+                self.exec_acc_loop_device(dir, DevLoopRef::Ast(l), ctx)?;
                 Ok(Flow::Normal)
             }
             Stmt::AccBlock { dir, .. } => Err(Abort::Crash(format!(
@@ -2019,7 +2139,7 @@ impl<'a> Machine<'a> {
             .map_err(crash)
     }
 
-    fn eval_device(&mut self, e: &Expr, ctx: &mut DevCtx) -> Exec<Value> {
+    pub(crate) fn eval_device(&mut self, e: &Expr, ctx: &mut DevCtx) -> Exec<Value> {
         match e {
             Expr::Int(v) => Ok(Value::Int(*v)),
             Expr::Real(v, t) => Ok(match t {
@@ -2056,6 +2176,17 @@ impl<'a> Machine<'a> {
 
     fn read_scalar_device(&mut self, n: &str, ctx: &mut DevCtx) -> Exec<Value> {
         let slot = ctx.slot(n);
+        self.read_scalar_device_at(n, slot, ctx)
+    }
+
+    /// [`Self::read_scalar_device`] with the slot pre-resolved (VM fast
+    /// path) — identical lookup order.
+    pub(crate) fn read_scalar_device_at(
+        &mut self,
+        n: &str,
+        slot: Option<usize>,
+        ctx: &mut DevCtx,
+    ) -> Exec<Value> {
         if let Some(v) = slot.and_then(|s| ctx.value(s)) {
             return Ok(v);
         }
@@ -2087,7 +2218,20 @@ impl<'a> Machine<'a> {
     }
 
     fn write_scalar_device(&mut self, n: &str, v: Value, ctx: &mut DevCtx) -> Exec<()> {
-        if let Some(s) = ctx.slot(n) {
+        let slot = ctx.slot(n);
+        self.write_scalar_device_at(n, slot, v, ctx)
+    }
+
+    /// [`Self::write_scalar_device`] with the slot pre-resolved (VM fast
+    /// path) — identical lookup order.
+    pub(crate) fn write_scalar_device_at(
+        &mut self,
+        n: &str,
+        slot: Option<usize>,
+        v: Value,
+        ctx: &mut DevCtx,
+    ) -> Exec<()> {
+        if let Some(s) = slot {
             if ctx.assign_existing(s, v) {
                 return Ok(());
             }
@@ -2103,7 +2247,7 @@ impl<'a> Machine<'a> {
             }
         }
         // Implicit firstprivate write: lands in the gang scope only.
-        let slot = ctx.slot(n).ok_or_else(|| unresolved(n))?;
+        let slot = slot.ok_or_else(|| unresolved(n))?;
         ctx.bind_gang(slot, v);
         Ok(())
     }
@@ -2180,15 +2324,20 @@ impl<'a> Machine<'a> {
     // Device loops
     // ------------------------------------------------------------------
 
-    fn exec_acc_loop_device(
+    pub(crate) fn exec_acc_loop_device(
         &mut self,
         dir: &'a AccDirective,
-        l: &'a ForLoop,
+        body: DevLoopRef<'a>,
         ctx: &mut DevCtx,
     ) -> Exec<()> {
         if self.profile.ignores_directive(DirectiveKind::Loop) && dir.kind == DirectiveKind::Loop {
-            // The directive has no effect: redundant full execution.
-            return self.exec_for_device(l, UnitSel::All, ctx).map(|_| ());
+            // The directive has no effect: redundant full execution. (A
+            // collapsed run at depth 1 selecting every iteration is the
+            // same traversal as `exec_for_device(l, All)`.)
+            return match body {
+                DevLoopRef::Ast(l) => self.exec_for_device(l, UnitSel::All, ctx).map(|_| ()),
+                DevLoopRef::Code(nest) => self.vm_nest_collapsed(nest, 1, UnitSel::All, ctx),
+            };
         }
         for c in &dir.clauses {
             if self.profile.hangs_on(dir.kind, c.kind()) {
@@ -2328,7 +2477,10 @@ impl<'a> Machine<'a> {
             if entering_gang_loop {
                 ctx.in_gang_loop = true;
             }
-            let res = self.exec_collapsed_loop(l, collapse_n, *unit, ctx);
+            let res = match body {
+                DevLoopRef::Ast(l) => self.exec_collapsed_loop(l, collapse_n, *unit, ctx),
+                DevLoopRef::Code(nest) => self.vm_nest_collapsed(nest, collapse_n, *unit, ctx),
+            };
             ctx.in_gang_loop = saved;
             if res.is_err() {
                 ctx.pop_scope();
@@ -2453,7 +2605,7 @@ impl<'a> Machine<'a> {
     }
 }
 
-fn collect_expr_bases(e: &Expr, names: &mut BTreeSet<String>) {
+pub(crate) fn collect_expr_bases(e: &Expr, names: &mut BTreeSet<String>) {
     e.visit(&mut |x| {
         if let Expr::Index { base, .. } = x {
             names.insert(base.clone());
@@ -2461,7 +2613,7 @@ fn collect_expr_bases(e: &Expr, names: &mut BTreeSet<String>) {
     });
 }
 
-fn collect_index_bases(stmts: &[Stmt], names: &mut BTreeSet<String>) {
+pub(crate) fn collect_index_bases(stmts: &[Stmt], names: &mut BTreeSet<String>) {
     for s in stmts {
         s.visit(&mut |st| match st {
             Stmt::Assign { target, value, .. } => {
@@ -2496,13 +2648,13 @@ fn collect_index_bases(stmts: &[Stmt], names: &mut BTreeSet<String>) {
 
 /// Iteration ownership predicate of one execution unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum UnitSel {
+pub(crate) enum UnitSel {
     All,
     Modulo { m: u64, r: u64 },
 }
 
 impl UnitSel {
-    fn selects(self, k: u64) -> bool {
+    pub(crate) fn selects(self, k: u64) -> bool {
         match self {
             UnitSel::All => true,
             UnitSel::Modulo { m, r } => m <= 1 || k % m == r,
@@ -2510,24 +2662,40 @@ impl UnitSel {
     }
 }
 
-/// The body of a compute region (block or combined-loop form).
-enum RegionBody<'a> {
+/// The body of a compute region (block or combined-loop form), in either
+/// representation — both engines run through the same region handler.
+pub(crate) enum RegionBody<'a> {
     Block(&'a [Stmt]),
     Loop(&'a AccDirective, &'a ForLoop),
+    Code(&'a crate::bytecode::RegionCode),
 }
 
-fn crash(e: impl std::fmt::Display) -> Abort {
+/// A loop nest under a `loop` directive, in either representation.
+#[derive(Clone, Copy)]
+pub(crate) enum DevLoopRef<'a> {
+    Ast(&'a ForLoop),
+    Code(&'a crate::bytecode::DevLoopNest),
+}
+
+/// A host-level directive body (data / host_data), in either representation.
+#[derive(Clone, Copy)]
+pub(crate) enum HostRef<'a> {
+    Ast(&'a [Stmt]),
+    Code(crate::bytecode::Chunk),
+}
+
+pub(crate) fn crash(e: impl std::fmt::Display) -> Abort {
     Abort::Crash(e.to_string())
 }
 
 /// A name the resolver never assigned a slot — the compile-time layout pass
 /// and the interpreter disagree, which is an internal invariant break, not a
 /// user error.
-fn unresolved(name: &str) -> Abort {
+pub(crate) fn unresolved(name: &str) -> Abort {
     Abort::Crash(format!("internal error: unresolved name `{name}`"))
 }
 
-fn flatten(base: &str, vals: &[i64], dims: &[usize]) -> Exec<usize> {
+pub(crate) fn flatten(base: &str, vals: &[i64], dims: &[usize]) -> Exec<usize> {
     let dims = if dims.is_empty() { &[1usize][..] } else { dims };
     if vals.len() != dims.len() {
         return Err(Abort::Crash(format!(
@@ -2606,7 +2774,7 @@ fn combine(
     .map_err(|e: ValueError| e)
 }
 
-fn apply_unop(op: UnOp, v: Value) -> Result<Value, acc_device::value::ValueError> {
+pub(crate) fn apply_unop(op: UnOp, v: Value) -> Result<Value, acc_device::value::ValueError> {
     match op {
         UnOp::Neg => match v {
             Value::Int(x) => Ok(Value::Int(-x)),
@@ -2620,7 +2788,7 @@ fn apply_unop(op: UnOp, v: Value) -> Result<Value, acc_device::value::ValueError
     }
 }
 
-fn apply_binop(op: BinOp, a: Value, b: Value) -> Result<Value, acc_device::value::ValueError> {
+pub(crate) fn apply_binop(op: BinOp, a: Value, b: Value) -> Result<Value, acc_device::value::ValueError> {
     use acc_device::value::ValueError;
     // Pointer equality comparisons are allowed (p == 0 null checks).
     if let (Value::DevPtr(x), bv) = (a, b) {
@@ -2774,32 +2942,38 @@ fn num_min_max(a: Value, b: Value, is_min: bool) -> Result<Value, acc_device::va
 }
 
 /// Named constants visible to generated programs.
-fn device_constant(n: &str) -> Option<Value> {
+pub(crate) fn device_constant(n: &str) -> Option<Value> {
     DeviceType::from_symbol(n).map(|d| Value::Int(d.encoding()))
+}
+
+fn stmt_dead(s: &Stmt) -> bool {
+    match s {
+        Stmt::Assign {
+            op: None, value, ..
+        } => {
+            matches!(value, Expr::Index { .. } | Expr::Var(_))
+        }
+        Stmt::For(l) => l.body.iter().all(stmt_dead),
+        Stmt::AccLoop { l, .. } => l.body.iter().all(stmt_dead),
+        Stmt::DeclScalar { .. } => true,
+        _ => false,
+    }
+}
+
+/// The Fig. 11 dummy-loop test: every statement only copies data. An empty
+/// region is trivially dead; anything that computes keeps the region alive.
+/// (Shared with the lowering pass, which precomputes the verdict.)
+pub(crate) fn stmts_all_dead(stmts: &[Stmt]) -> bool {
+    stmts.iter().all(stmt_dead)
 }
 
 /// The Cray dead-region heuristic: a region is "dead" when every assignment
 /// copies data without computing (no operators, no literals on the RHS) —
 /// the Fig. 11 dummy-loop pattern.
 fn region_is_dead(body: &RegionBody<'_>) -> bool {
-    fn stmt_dead(s: &Stmt) -> bool {
-        match s {
-            Stmt::Assign {
-                op: None, value, ..
-            } => {
-                matches!(value, Expr::Index { .. } | Expr::Var(_))
-            }
-            Stmt::For(l) => l.body.iter().all(stmt_dead),
-            Stmt::AccLoop { l, .. } => l.body.iter().all(stmt_dead),
-            Stmt::DeclScalar { .. } => true,
-            _ => false,
-        }
+    match body {
+        RegionBody::Block(b) => stmts_all_dead(b),
+        RegionBody::Loop(_, l) => stmts_all_dead(&l.body),
+        RegionBody::Code(rc) => rc.dead,
     }
-    let stmts: Vec<&Stmt> = match body {
-        RegionBody::Block(b) => b.iter().collect(),
-        RegionBody::Loop(_, l) => l.body.iter().collect(),
-    };
-    // An empty region is trivially dead; a region with only copy-moves is
-    // dead; anything that computes keeps the region alive.
-    stmts.iter().all(|s| stmt_dead(s))
 }

@@ -24,13 +24,16 @@
 #![warn(missing_docs)]
 
 pub mod bugs;
+pub mod bytecode;
 pub mod cache;
 pub mod driver;
 pub mod exec;
 pub mod vendor;
+mod vm;
 
 pub use bugs::{BugCatalog, BugRecord};
+pub use bytecode::BytecodeProgram;
 pub use cache::{CacheStats, CompileCache};
 pub use driver::{CompileFailure, Executable};
-pub use exec::{RunKnobs, RunOutcome, RunResult};
+pub use exec::{ExecMode, RunKnobs, RunOutcome, RunResult};
 pub use vendor::{VendorCompiler, VendorId};

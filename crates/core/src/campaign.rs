@@ -4,7 +4,7 @@
 
 use crate::case::{TestCase, TestStatus};
 use crate::config::SuiteConfig;
-use crate::harness::{run_case, CaseResult};
+use crate::harness::{run_case_with, CasePolicy, CaseResult};
 use acc_compiler::{CompileCache, VendorCompiler, VendorId};
 use acc_spec::{FeatureId, Language};
 use std::collections::BTreeSet;
@@ -195,13 +195,24 @@ impl Campaign {
             .collect()
     }
 
+    /// The per-case policy every direct run path uses (the executor builds
+    /// its own, folding in retries): default knobs plus the configured
+    /// execution engine.
+    fn case_policy(&self) -> CasePolicy {
+        CasePolicy {
+            exec_mode: self.config.exec_mode,
+            ..CasePolicy::default()
+        }
+    }
+
     /// Run against a single compiler release.
     pub fn run_one(&self, compiler: &VendorCompiler) -> SuiteRun {
         let compiler = self.effective_compiler(compiler);
+        let policy = self.case_policy();
         let mut results = Vec::new();
         for case in &self.materialized_cases() {
             for &lang in &self.config.languages {
-                results.push(run_case(case, &compiler, lang));
+                results.push(run_case_with(case, &compiler, lang, &policy));
             }
         }
         SuiteRun {
@@ -221,6 +232,7 @@ impl Campaign {
             return self.run_one(compiler);
         }
         let compiler = &self.effective_compiler(compiler);
+        let policy = self.case_policy();
         // One result slot per (case, language), filled by disjoint chunks.
         let langs = self.config.languages.clone();
         let mut slots: Vec<Vec<CaseResult>> = Vec::new();
@@ -232,7 +244,7 @@ impl Campaign {
                 scope.spawn(move |_| {
                     for (case, slot) in case_chunk.iter().zip(slot_chunk.iter_mut()) {
                         for &lang in &langs {
-                            slot.push(run_case(case, compiler, lang));
+                            slot.push(run_case_with(case, compiler, lang, &policy));
                         }
                     }
                 });

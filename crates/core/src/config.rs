@@ -4,6 +4,7 @@
 //! to validate) and *Feature selection* ("user can choose to test the
 //! directives, their clauses or any other feature of their choice").
 
+use acc_compiler::exec::ExecMode;
 use acc_spec::{FeatureId, Language};
 
 /// Which features to run.
@@ -43,6 +44,9 @@ pub struct SuiteConfig {
     /// Override of every case's cross-test repetition count (None = per-case
     /// default).
     pub repetitions: Option<u32>,
+    /// Which engine executes compiled programs (bytecode VM by default;
+    /// `walk` selects the tree-walking reference oracle).
+    pub exec_mode: ExecMode,
 }
 
 impl Default for SuiteConfig {
@@ -51,6 +55,7 @@ impl Default for SuiteConfig {
             languages: vec![Language::C, Language::Fortran],
             filter: FeatureFilter::All,
             repetitions: None,
+            exec_mode: ExecMode::default(),
         }
     }
 }
@@ -76,6 +81,12 @@ impl SuiteConfig {
     /// Force a repetition count.
     pub fn with_repetitions(mut self, m: u32) -> Self {
         self.repetitions = Some(m);
+        self
+    }
+
+    /// Select the execution engine (VM or tree walker).
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
         self
     }
 }

@@ -39,6 +39,7 @@ use crate::case::{TestCase, TestStatus};
 use crate::harness::{run_case_with, CaseResult, CasePolicy};
 use crate::journal::{JournalRecord, JournalSink, Replay};
 use crate::stats::Certainty;
+use acc_compiler::exec::ExecMode;
 use acc_compiler::VendorCompiler;
 use acc_spec::{FeatureId, Language};
 use std::any::Any;
@@ -83,6 +84,9 @@ pub struct ExecutorPolicy {
     /// don't count). The run reports itself halted; its partial output is
     /// only good for inspecting the journal.
     pub halt_after: Option<usize>,
+    /// Which engine executes compiled programs (bytecode VM by default;
+    /// `walk` selects the tree-walking reference oracle).
+    pub exec_mode: ExecMode,
 }
 
 impl fmt::Debug for ExecutorPolicy {
@@ -99,6 +103,7 @@ impl fmt::Debug for ExecutorPolicy {
                 &self.resume.as_ref().map(|r| r.completed_count()),
             )
             .field("halt_after", &self.halt_after)
+            .field("exec_mode", &self.exec_mode)
             .finish()
     }
 }
@@ -114,6 +119,7 @@ impl Default for ExecutorPolicy {
             journal: None,
             resume: None,
             halt_after: None,
+            exec_mode: ExecMode::default(),
         }
     }
 }
@@ -170,6 +176,12 @@ impl ExecutorPolicy {
     /// Attach replayed journal state; completed cases are skipped.
     pub fn with_resume(mut self, replay: Arc<Replay>) -> Self {
         self.resume = Some(replay);
+        self
+    }
+
+    /// Select the execution engine (VM or tree walker).
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
         self
     }
 
@@ -266,6 +278,7 @@ impl Executor {
             let policy = CasePolicy {
                 step_limit: self.policy.step_limit,
                 run_index_base: attempt as u64 * ATTEMPT_STRIDE,
+                exec_mode: self.policy.exec_mode,
             };
             run_case_with(&cases[case_index], compiler, lang, &policy)
         });

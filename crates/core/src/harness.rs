@@ -9,7 +9,7 @@
 
 use crate::case::{TestCase, TestStatus};
 use crate::stats::Certainty;
-use acc_compiler::exec::{RunKnobs, RunOutcome};
+use acc_compiler::exec::{ExecMode, RunKnobs, RunOutcome};
 use acc_compiler::VendorCompiler;
 use acc_spec::Language;
 
@@ -25,6 +25,9 @@ pub struct CasePolicy {
     /// strides the base — draws decorrelated transient faults while staying
     /// fully deterministic.
     pub run_index_base: u64,
+    /// Which engine executes compiled programs (bytecode VM by default,
+    /// `--exec-mode=walk` for the tree-walking reference oracle).
+    pub exec_mode: ExecMode,
 }
 
 /// The full record of one test executed against one compiler+language.
@@ -90,6 +93,7 @@ pub fn run_case_with(
     let knobs = |offset: u64| RunKnobs {
         step_limit: policy.step_limit,
         run_index: policy.run_index_base + offset,
+        exec_mode: policy.exec_mode,
     };
     if !case.supports(language) {
         return mk(TestStatus::Skipped, None, String::new());

@@ -56,11 +56,17 @@ impl From<ValueError> for DeviceError {
 }
 
 /// The device's memory: an allocator of typed buffers.
+///
+/// Buffers live in a slab indexed by the (sequential, 1-based) buffer id:
+/// element access is a plain bounds-checked vector index, which matters
+/// because the interpreter hot loop performs one lookup per simulated
+/// device load/store. Freed slots stay behind as `None` so stale ids keep
+/// reporting "invalid device address" instead of aliasing a later
+/// allocation.
 #[derive(Debug, Default)]
 pub struct DeviceMemory {
-    buffers: HashMap<BufferId, DeviceBuffer>,
-    next_id: u64,
-    garbage_seed: u64,
+    /// Slot `i` holds the buffer with id `i + 1` (id 0 is never issued).
+    buffers: Vec<Option<DeviceBuffer>>,
     /// Total bytes currently allocated.
     pub allocated_bytes: usize,
 }
@@ -75,18 +81,27 @@ impl DeviceMemory {
     /// (device memory is uninitialized until a transfer or kernel writes it).
     pub fn alloc(&mut self, ty: ScalarType, dims: Vec<usize>) -> BufferId {
         let len: usize = dims.iter().product::<usize>().max(1);
-        self.next_id += 1;
-        self.garbage_seed += 1;
-        let id = BufferId(self.next_id);
-        let data = ArrayData::garbage(ty, len, self.garbage_seed);
+        // The garbage seed tracks the allocation ordinal, so the fill
+        // pattern for the n-th allocation is identical to what the old
+        // counter-based allocator produced.
+        let id = BufferId(self.buffers.len() as u64 + 1);
+        let data = ArrayData::garbage(ty, len, id.0);
         self.allocated_bytes += data.size_bytes();
-        self.buffers.insert(id, DeviceBuffer { data, dims });
+        self.buffers.push(Some(DeviceBuffer { data, dims }));
         id
+    }
+
+    /// The slab slot for an id: ids are 1-based, so 0 (and any id past the
+    /// high-water mark) maps to no slot.
+    #[inline]
+    fn slot(&self, id: BufferId) -> usize {
+        (id.0 as usize).wrapping_sub(1)
     }
 
     /// Free a buffer. Freeing an unknown id is a device error (double free).
     pub fn free(&mut self, id: BufferId) -> Result<(), DeviceError> {
-        match self.buffers.remove(&id) {
+        let slot = self.slot(id);
+        match self.buffers.get_mut(slot).and_then(Option::take) {
             Some(b) => {
                 self.allocated_bytes -= b.data.size_bytes();
                 Ok(())
@@ -98,16 +113,21 @@ impl DeviceMemory {
     }
 
     /// Borrow a buffer.
+    #[inline]
     pub fn get(&self, id: BufferId) -> Result<&DeviceBuffer, DeviceError> {
         self.buffers
-            .get(&id)
+            .get(self.slot(id))
+            .and_then(Option::as_ref)
             .ok_or_else(|| DeviceError(format!("invalid device address {id:?}")))
     }
 
     /// Mutably borrow a buffer.
+    #[inline]
     pub fn get_mut(&mut self, id: BufferId) -> Result<&mut DeviceBuffer, DeviceError> {
+        let slot = self.slot(id);
         self.buffers
-            .get_mut(&id)
+            .get_mut(slot)
+            .and_then(Option::as_mut)
             .ok_or_else(|| DeviceError(format!("invalid device address {id:?}")))
     }
 
@@ -159,7 +179,7 @@ impl DeviceMemory {
 
     /// Number of live buffers.
     pub fn live_buffers(&self) -> usize {
-        self.buffers.len()
+        self.buffers.iter().filter(|b| b.is_some()).count()
     }
 }
 

@@ -34,6 +34,7 @@ fn main() -> ExitCode {
         Some("matrix") => cmd_matrix(&args[1..]),
         Some("bugs") => cmd_bugs(&args[1..]),
         Some("expand") => cmd_expand(&args[1..]),
+        Some("disasm") => cmd_disasm(&args[1..]),
         Some("titan") => cmd_titan(&args[1..]),
         Some("selftest") => cmd_selftest(&args[1..]),
         Some("help") | None => {
@@ -61,13 +62,14 @@ fn print_usage() {
          \x20          [--features P1,P2,…] [--format text|csv|html] [--repetitions M]\n\
          \x20          [--attribute] [--jobs N] [--retries R] [--case-deadline-ms MS]\n\
          \x20          [--journal FILE | --resume FILE] [--out FILE] [--halt-after N]\n\
-         \x20          [--no-cache]\n\
-         \x20 accvv campaign [--vendor caps|pgi|cray] [--no-cache]\n\
+         \x20          [--no-cache] [--exec-mode vm|walk]\n\
+         \x20 accvv campaign [--vendor caps|pgi|cray] [--no-cache] [--exec-mode vm|walk]\n\
          \x20 accvv bench [--iters N] [--out FILE] [--no-cache]\n\
          \x20            [--check BASELINE [--tolerance-pct P]]\n\
          \x20 accvv matrix --vendor caps|pgi|cray [--lang c|fortran]\n\
          \x20 accvv bugs --vendor caps|pgi|cray --version X [--lang c|fortran]\n\
          \x20 accvv expand FILE\n\
+         \x20 accvv disasm NAME [--lang c|fortran] [--cross]\n\
          \x20 accvv titan [--nodes N] [--sample K] [--seed S] [--fault-rate PCT]\n\
          \x20            [--retries R] [--jobs N]\n\
          \x20 accvv titan --sweep [--nodes N] [--jobs N] [--lose-node ID@AFTER]…\n\
@@ -98,6 +100,15 @@ fn parse_vendor(s: &str) -> Result<VendorId, String> {
         other => Err(format!(
             "unknown vendor `{other}` (caps|pgi|cray|reference)"
         )),
+    }
+}
+
+/// Parse `--exec-mode vm|walk` (defaults to the bytecode VM when absent).
+fn parse_exec_mode(args: &[String]) -> Result<ExecMode, String> {
+    match opt(args, "--exec-mode") {
+        None => Ok(ExecMode::default()),
+        Some(s) => ExecMode::from_cli(&s)
+            .ok_or_else(|| format!("unknown exec mode `{s}` (vm|walk)")),
     }
 }
 
@@ -208,6 +219,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if let Some(m) = opt(args, "--repetitions") {
         config = config.with_repetitions(m.parse().map_err(|_| "bad --repetitions")?);
     }
+    let exec_mode = parse_exec_mode(args)?;
+    config = config.with_exec_mode(exec_mode);
     let format = match opt(args, "--format").as_deref() {
         None | Some("text") => ReportFormat::Text,
         Some("csv") => ReportFormat::Csv,
@@ -221,7 +234,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut policy = ExecutorPolicy::new()
         .with_jobs(jobs)
         .with_retries(parse_opt_or(args, "--retries", 0u32)?)
-        .with_backoff_ms(parse_opt_or(args, "--backoff-ms", 0u64)?);
+        .with_backoff_ms(parse_opt_or(args, "--backoff-ms", 0u64)?)
+        .with_exec_mode(exec_mode);
     if let Some(ms) = opt(args, "--case-deadline-ms") {
         policy = policy.with_deadline_ms(ms.parse().map_err(|_| "bad --case-deadline-ms")?);
     }
@@ -343,7 +357,8 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         None => VendorId::COMMERCIAL.to_vec(),
     };
     let cache = (!flag(args, "--no-cache")).then(openacc_vv::compiler::CompileCache::shared);
-    let mut campaign = Campaign::new(openacc_vv::testsuite::full_suite());
+    let config = SuiteConfig::new().with_exec_mode(parse_exec_mode(args)?);
+    let mut campaign = Campaign::new(openacc_vv::testsuite::full_suite()).with_config(config);
     if let Some(c) = &cache {
         campaign = campaign.with_cache(Arc::clone(c));
     }
@@ -413,29 +428,39 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     openacc_vv::validation::atomic_write(&out, json.as_bytes())
         .map_err(|e| format!("--out {out}: {e}"))?;
     eprintln!("accvv: bench report written to {out}");
-    // Regression gate: compare the full-suite median against the baseline.
+    // Regression gate: compare each guarded median against the baseline.
+    // The full-suite number must exist; the newer guarded workloads are
+    // skipped with a note when the baseline predates them.
     if let Some((baseline_json, baseline_path)) = baseline_json {
         let tolerance_pct: f64 = parse_opt_or(args, "--tolerance-pct", 25.0f64)?;
-        let baseline = median_in_json(&baseline_json, perf::FULL_SUITE).ok_or(format!(
-            "--check {baseline_path}: no `{}` measurement in baseline",
-            perf::FULL_SUITE
-        ))?;
-        let current = report
-            .measurement(perf::FULL_SUITE)
-            .map(|m| m.median_ms)
-            .expect("bench always measures the full suite");
-        let limit = baseline * (1.0 + tolerance_pct / 100.0);
-        println!(
-            "regression check: {} {current:.2}ms vs baseline {baseline:.2}ms \
-             (limit {limit:.2}ms = +{tolerance_pct}%)",
-            perf::FULL_SUITE
-        );
-        if current > limit {
-            return Err(format!(
-                "performance regression: {} took {current:.2}ms, more than {tolerance_pct}% \
-                 over the {baseline:.2}ms baseline",
-                perf::FULL_SUITE
-            ));
+        for &name in perf::GUARDED {
+            let baseline = match median_in_json(&baseline_json, name) {
+                Some(b) => b,
+                None if name == perf::FULL_SUITE => {
+                    return Err(format!(
+                        "--check {baseline_path}: no `{name}` measurement in baseline"
+                    ))
+                }
+                None => {
+                    println!("regression check: {name} skipped (not in baseline)");
+                    continue;
+                }
+            };
+            let current = report
+                .measurement(name)
+                .map(|m| m.median_ms)
+                .expect("bench always measures every guarded workload");
+            let limit = baseline * (1.0 + tolerance_pct / 100.0);
+            println!(
+                "regression check: {name} {current:.2}ms vs baseline {baseline:.2}ms \
+                 (limit {limit:.2}ms = +{tolerance_pct}%)"
+            );
+            if current > limit {
+                return Err(format!(
+                    "performance regression: {name} took {current:.2}ms, more than \
+                     {tolerance_pct}% over the {baseline:.2}ms baseline"
+                ));
+            }
         }
     }
     Ok(())
@@ -509,6 +534,39 @@ fn cmd_expand(args: &[String]) -> Result<(), String> {
             }
         }
     }
+    Ok(())
+}
+
+/// `accvv disasm NAME`: lower a corpus test to bytecode and print the
+/// stable disassembly (the artifact the VM executes; useful for inspecting
+/// what the register allocator and escape hatches produced).
+fn cmd_disasm(args: &[String]) -> Result<(), String> {
+    let name = args
+        .iter()
+        .find(|a| !a.starts_with("--") && opt_key_of(args, a).is_none())
+        .ok_or("disasm requires a test name")?;
+    let lang = match opt(args, "--lang") {
+        Some(s) => parse_lang(&s)?,
+        None => Language::C,
+    };
+    let suite = openacc_vv::testsuite::full_suite();
+    let case = suite
+        .iter()
+        .find(|c| c.name == *name || c.feature.as_str() == *name)
+        .ok_or_else(|| format!("no test named `{name}` (try `accvv list`)"))?;
+    if !case.supports(lang) {
+        return Err(format!("`{name}` is not generated for {lang}"));
+    }
+    let source = if flag(args, "--cross") {
+        case.cross_source_for(lang)
+            .ok_or_else(|| format!("`{name}` has no cross test"))?
+    } else {
+        case.source_for(lang)
+    };
+    let exe = VendorCompiler::reference()
+        .compile_shared(&source, lang)
+        .map_err(|e| format!("`{name}` does not compile: {e}"))?;
+    print!("{}", exe.disassemble());
     Ok(())
 }
 
@@ -606,7 +664,10 @@ fn cmd_titan(args: &[String]) -> Result<(), String> {
         ));
     }
     let cluster = SimulatedCluster::titan(nodes, &faults);
-    let policy = ExecutorPolicy::new().with_retries(retries).with_jobs(jobs);
+    let policy = ExecutorPolicy::new()
+        .with_retries(retries)
+        .with_jobs(jobs)
+        .with_exec_mode(parse_exec_mode(args)?);
     let report = HarnessRun::new(titan_suite(), sample)
         .with_policy(policy)
         .execute(&cluster, seed);
@@ -669,7 +730,8 @@ fn cmd_titan_sweep(args: &[String]) -> Result<(), String> {
     }
     let mut policy = ExecutorPolicy::new()
         .with_jobs(jobs)
-        .with_retries(parse_opt_or(args, "--retries", 0u32)?);
+        .with_retries(parse_opt_or(args, "--retries", 0u32)?)
+        .with_exec_mode(parse_exec_mode(args)?);
     if let Some(p) = &journal_path {
         let j = FileJournal::create(p).map_err(|e| format!("--journal {p}: {e}"))?;
         policy = policy.with_journal(Arc::new(j));

@@ -43,7 +43,7 @@ pub use acc_validation as validation;
 
 /// The most commonly used types, in one import.
 pub mod prelude {
-    pub use acc_compiler::{RunOutcome, VendorCompiler, VendorId};
+    pub use acc_compiler::{ExecMode, RunOutcome, VendorCompiler, VendorId};
     pub use acc_spec::{FeatureId, Language};
     pub use acc_validation::report::{render, ReportFormat};
     pub use acc_validation::{

@@ -127,9 +127,12 @@ impl CompileCache {
         let key = format!("{language:?}|{spec:?}\u{0}{source}");
         if let Some(cached) = self.frontend.lock().unwrap().get(&key) {
             self.frontend_hits.fetch_add(1, Ordering::Relaxed);
+            // Timing-class: which worker sees the hit depends on schedule.
+            acc_obs::instant_timing("cache", "frontend", vec![acc_obs::s("outcome", "hit")]);
             return cached.clone();
         }
         self.frontend_misses.fetch_add(1, Ordering::Relaxed);
+        acc_obs::instant_timing("cache", "frontend", vec![acc_obs::s("outcome", "miss")]);
         let fresh = compute();
         self.frontend
             .lock()
@@ -153,9 +156,12 @@ impl CompileCache {
         let key = format!("{fingerprint}\u{0}{source}");
         if let Some(cached) = self.exec.lock().unwrap().get(&key) {
             self.exec_hits.fetch_add(1, Ordering::Relaxed);
+            // Timing-class: which worker sees the hit depends on schedule.
+            acc_obs::instant_timing("cache", "exec", vec![acc_obs::s("outcome", "hit")]);
             return cached.clone();
         }
         self.exec_misses.fetch_add(1, Ordering::Relaxed);
+        acc_obs::instant_timing("cache", "exec", vec![acc_obs::s("outcome", "miss")]);
         let fresh = compute().map(Arc::new);
         self.exec
             .lock()

@@ -128,7 +128,11 @@ pub fn finish_compile(
             messages: ice,
         });
     }
+    // Timing-class span: lowering only happens on an executable-cache miss,
+    // and which worker takes the miss depends on schedule.
+    acc_obs::begin_timing("lower", "bytecode", vec![]);
     let code = Arc::new(crate::bytecode::lower(&program, &resolved));
+    acc_obs::end(vec![acc_obs::i("instrs", code.code.len() as i64)]);
     Ok(Executable {
         program,
         resolved,

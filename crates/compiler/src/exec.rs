@@ -139,6 +139,15 @@ impl Executable {
         }
         m.run_index = knobs.run_index;
         let outcome = m.run_main();
+        if acc_obs::active() {
+            let met = &m.world.metrics;
+            acc_obs::counter("kernel_launches", met.kernels_launched as i64);
+            acc_obs::counter("memcpy_h2d_bytes", met.bytes_to_device as i64);
+            acc_obs::counter("memcpy_d2h_bytes", met.bytes_to_host as i64);
+            if m.use_vm {
+                acc_obs::counter("vm_instructions", m.vm_instructions as i64);
+            }
+        }
         RunResult {
             outcome,
             metrics: m.world.metrics.clone(),
@@ -387,6 +396,10 @@ pub(crate) struct Machine<'a> {
     pub(crate) code: Option<&'a crate::bytecode::BytecodeProgram>,
     /// Dispatch through the bytecode VM instead of the tree walker.
     pub(crate) use_vm: bool,
+    /// Bytecode instructions retired this run (VM engine only; telemetry).
+    /// Lives on the machine, NOT in [`acc_device::Metrics`], because the
+    /// walker/VM engine-equivalence invariant compares `Metrics` verbatim.
+    pub(crate) vm_instructions: u64,
     /// Scratch register files recycled across chunk activations.
     pub(crate) reg_pool: Vec<Vec<Value>>,
     /// Per-device-chunk cache of name-id → resolved buffer (the present
@@ -421,6 +434,7 @@ impl<'a> Machine<'a> {
             data_devptr: Vec::new(),
             code: None,
             use_vm: false,
+            vm_instructions: 0,
             reg_pool: Vec::new(),
             dev_bufs: Vec::new(),
         }
@@ -462,17 +476,27 @@ impl<'a> Machine<'a> {
     }
 
     fn transient_memcpy_fires(&mut self) -> bool {
-        self.transient_fires(|d| match d {
+        let fired = self.transient_fires(|d| match d {
             Defect::TransientMemcpyFault { rate_pct, seed } => Some((*rate_pct, *seed)),
             _ => None,
-        })
+        });
+        if fired {
+            // Logical: the draw is a pure function of (seed, program,
+            // run index, event counter) — schedule-independent.
+            acc_obs::instant("fault", "transient_memcpy", vec![]);
+        }
+        fired
     }
 
     fn transient_stall_fires(&mut self) -> bool {
-        self.transient_fires(|d| match d {
+        let fired = self.transient_fires(|d| match d {
             Defect::IntermittentAsyncStall { rate_pct, seed } => Some((*rate_pct, *seed)),
             _ => None,
-        })
+        });
+        if fired {
+            acc_obs::instant("fault", "async_stall", vec![]);
+        }
+        fired
     }
 
     pub(crate) fn tick(&mut self) -> Exec<()> {
@@ -1832,6 +1856,13 @@ impl<'a> Machine<'a> {
 
         // Execute gangs in deterministic sequence.
         self.world.metrics.kernels_launched += 1;
+        if acc_obs::active() {
+            acc_obs::instant(
+                "launch",
+                "kernel",
+                vec![acc_obs::i("gangs", num_gangs as i64)],
+            );
+        }
         let cost_before = self.region_cost;
         let mut reduction_acc: Vec<Value> = reductions
             .iter()

@@ -75,6 +75,7 @@ impl<'a> Machine<'a> {
         loop {
             let ins = bp.code[base + pc];
             pc += 1;
+            self.vm_instructions += 1;
             match ins {
                 Instr::Const { dst, k } => regs[dst as usize] = bp.consts[k as usize],
                 Instr::Copy { dst, src } => regs[dst as usize] = regs[src as usize],
@@ -291,6 +292,7 @@ impl<'a> Machine<'a> {
         loop {
             let ins = bp.code[base + pc];
             pc += 1;
+            self.vm_instructions += 1;
             match ins {
                 Instr::Const { dst, k } => regs[dst as usize] = bp.consts[k as usize],
                 Instr::Copy { dst, src } => regs[dst as usize] = regs[src as usize],

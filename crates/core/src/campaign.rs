@@ -6,6 +6,7 @@ use crate::case::{TestCase, TestStatus};
 use crate::config::SuiteConfig;
 use crate::harness::{run_case_with, CasePolicy, CaseResult};
 use acc_compiler::{CompileCache, VendorCompiler, VendorId};
+use acc_obs as obs;
 use acc_spec::{FeatureId, Language};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -126,6 +127,10 @@ pub struct Campaign {
     /// Compilation cache shared by every compiler the campaign drives
     /// (`None` = compile from scratch every time, the pre-cache behaviour).
     pub cache: Option<Arc<CompileCache>>,
+    /// Telemetry collector (disabled by default). When enabled, the direct
+    /// run paths emit campaign/case spans; results and report bytes are
+    /// unaffected either way.
+    pub recorder: obs::Recorder,
 }
 
 /// Results of a campaign across compiler releases.
@@ -142,6 +147,7 @@ impl Campaign {
             suite,
             config: SuiteConfig::default(),
             cache: None,
+            recorder: obs::Recorder::disabled(),
         }
     }
 
@@ -156,6 +162,12 @@ impl Campaign {
     /// sweep) are attached to it, so identical sources compile once.
     pub fn with_cache(mut self, cache: Arc<CompileCache>) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Attach a telemetry recorder to the campaign's direct run paths.
+    pub fn with_recorder(mut self, recorder: obs::Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -209,11 +221,40 @@ impl Campaign {
     pub fn run_one(&self, compiler: &VendorCompiler) -> SuiteRun {
         let compiler = self.effective_compiler(compiler);
         let policy = self.case_policy();
+        let cases = self.materialized_cases();
+        let langs = self.config.languages.len().max(1);
+        let run = self.recorder.begin_run();
+        {
+            let _pre = obs::scope(&self.recorder, run, obs::PART_PRE, 0, 0);
+            obs::mark(
+                obs::Phase::Begin,
+                "campaign",
+                &compiler.label(),
+                vec![obs::i("jobs", (cases.len() * self.config.languages.len()) as i64)],
+            );
+        }
         let mut results = Vec::new();
-        for case in &self.materialized_cases() {
-            for &lang in &self.config.languages {
-                results.push(run_case_with(case, &compiler, lang, &policy));
+        for (ci, case) in cases.iter().enumerate() {
+            for (li, &lang) in self.config.languages.iter().enumerate() {
+                let job = (ci * langs + li) as u32;
+                let _g = obs::scope(&self.recorder, run, obs::PART_JOB, job, 0);
+                obs::begin("case", &case.name, vec![obs::s("lang", lang.to_string())]);
+                let r = run_case_with(case, &compiler, lang, &policy);
+                obs::end(vec![obs::s("status", r.status.label())]);
+                results.push(r);
             }
+        }
+        {
+            let _post = obs::scope(&self.recorder, run, obs::PART_POST, 0, 0);
+            obs::mark(
+                obs::Phase::End,
+                "campaign",
+                &compiler.label(),
+                vec![obs::i(
+                    "passed",
+                    results.iter().filter(|r| r.passed()).count() as i64,
+                )],
+            );
         }
         SuiteRun {
             compiler: compiler.label(),
@@ -235,25 +276,71 @@ impl Campaign {
         let policy = self.case_policy();
         // One result slot per (case, language), filled by disjoint chunks.
         let langs = self.config.languages.clone();
+        let run = self.recorder.begin_run();
+        {
+            let _pre = obs::scope(&self.recorder, run, obs::PART_PRE, 0, 0);
+            obs::mark(
+                obs::Phase::Begin,
+                "campaign",
+                &compiler.label(),
+                vec![obs::i("jobs", (cases.len() * langs.len()) as i64)],
+            );
+        }
         let mut slots: Vec<Vec<CaseResult>> = Vec::new();
         slots.resize_with(cases.len(), Vec::new);
         let chunk = cases.len().div_ceil(threads);
+        let recorder = &self.recorder;
         crossbeam::scope(|scope| {
-            for (case_chunk, slot_chunk) in cases.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            for (chunk_index, (case_chunk, slot_chunk)) in
+                cases.chunks(chunk).zip(slots.chunks_mut(chunk)).enumerate()
+            {
                 let langs = langs.clone();
                 scope.spawn(move |_| {
-                    for (case, slot) in case_chunk.iter().zip(slot_chunk.iter_mut()) {
-                        for &lang in &langs {
-                            slot.push(run_case_with(case, compiler, lang, &policy));
+                    for (offset, (case, slot)) in
+                        case_chunk.iter().zip(slot_chunk.iter_mut()).enumerate()
+                    {
+                        let case_index = chunk_index * chunk + offset;
+                        for (li, &lang) in langs.iter().enumerate() {
+                            // Job ordinal = the case's suite position, so
+                            // merged traces match the serial path exactly.
+                            let job = (case_index * langs.len() + li) as u32;
+                            let _g = obs::scope(
+                                recorder,
+                                run,
+                                obs::PART_JOB,
+                                job,
+                                chunk_index as u32,
+                            );
+                            obs::begin(
+                                "case",
+                                &case.name,
+                                vec![obs::s("lang", lang.to_string())],
+                            );
+                            let r = run_case_with(case, compiler, lang, &policy);
+                            obs::end(vec![obs::s("status", r.status.label())]);
+                            slot.push(r);
                         }
                     }
                 });
             }
         })
         .expect("campaign worker panicked");
+        let results: Vec<CaseResult> = slots.into_iter().flatten().collect();
+        {
+            let _post = obs::scope(&self.recorder, run, obs::PART_POST, 0, 0);
+            obs::mark(
+                obs::Phase::End,
+                "campaign",
+                &compiler.label(),
+                vec![obs::i(
+                    "passed",
+                    results.iter().filter(|r| r.passed()).count() as i64,
+                )],
+            );
+        }
         SuiteRun {
             compiler: compiler.label(),
-            results: slots.into_iter().flatten().collect(),
+            results,
         }
     }
 

@@ -41,6 +41,7 @@ use crate::journal::{JournalRecord, JournalSink, Replay};
 use crate::stats::Certainty;
 use acc_compiler::exec::ExecMode;
 use acc_compiler::VendorCompiler;
+use acc_obs as obs;
 use acc_spec::{FeatureId, Language};
 use std::any::Any;
 use std::fmt;
@@ -87,6 +88,10 @@ pub struct ExecutorPolicy {
     /// Which engine executes compiled programs (bytecode VM by default;
     /// `walk` selects the tree-walking reference oracle).
     pub exec_mode: ExecMode,
+    /// Telemetry collector. Disabled by default; when enabled, the executor
+    /// emits suite/case/attempt spans and journal/retry/watchdog events into
+    /// it. Never affects results, report bytes, or journal bytes.
+    pub recorder: obs::Recorder,
 }
 
 impl fmt::Debug for ExecutorPolicy {
@@ -104,6 +109,7 @@ impl fmt::Debug for ExecutorPolicy {
             )
             .field("halt_after", &self.halt_after)
             .field("exec_mode", &self.exec_mode)
+            .field("recorder", &self.recorder)
             .finish()
     }
 }
@@ -120,6 +126,7 @@ impl Default for ExecutorPolicy {
             resume: None,
             halt_after: None,
             exec_mode: ExecMode::default(),
+            recorder: obs::Recorder::disabled(),
         }
     }
 }
@@ -188,6 +195,12 @@ impl ExecutorPolicy {
     /// Simulate a crash: stop scheduling after `n` executed jobs.
     pub fn with_halt_after(mut self, n: usize) -> Self {
         self.halt_after = Some(n);
+        self
+    }
+
+    /// Attach a telemetry recorder.
+    pub fn with_recorder(mut self, recorder: obs::Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 }
@@ -260,20 +273,38 @@ impl Executor {
                 });
             }
         }
-        if let Some(journal) = &self.policy.journal {
-            let languages: Vec<String> = campaign
-                .config
-                .languages
-                .iter()
-                .map(|l| l.to_string())
-                .collect();
-            journal.append(&JournalRecord::Meta {
-                scope: compiler.label(),
-                total_jobs: metas.len(),
-                languages: languages.join("+"),
-            });
+        let run = self.policy.recorder.begin_run();
+        {
+            let _pre = obs::scope(&self.policy.recorder, run, obs::PART_PRE, 0, 0);
+            obs::mark(
+                obs::Phase::Begin,
+                "suite",
+                &compiler.label(),
+                vec![obs::i("total_jobs", metas.len() as i64)],
+            );
+            if let Some(journal) = &self.policy.journal {
+                let languages: Vec<String> = campaign
+                    .config
+                    .languages
+                    .iter()
+                    .map(|l| l.to_string())
+                    .collect();
+                journal.append(&JournalRecord::Meta {
+                    scope: compiler.label(),
+                    total_jobs: metas.len(),
+                    languages: languages.join("+"),
+                });
+                obs::instant("journal", "meta", vec![obs::i("total_jobs", metas.len() as i64)]);
+            }
+            if let Some(resume) = &self.policy.resume {
+                obs::instant(
+                    "journal",
+                    "replay",
+                    vec![obs::i("completed", resume.completed_count() as i64)],
+                );
+            }
         }
-        let (results, stats) = self.run_jobs_stats(&metas, |index, attempt| {
+        let (results, stats) = self.run_jobs_stats_in(run, &metas, |index, attempt| {
             let (case_index, lang) = jobs[index];
             let policy = CasePolicy {
                 step_limit: self.policy.step_limit,
@@ -282,6 +313,19 @@ impl Executor {
             };
             run_case_with(&cases[case_index], compiler, lang, &policy)
         });
+        {
+            let _post = obs::scope(&self.policy.recorder, run, obs::PART_POST, 0, 0);
+            obs::mark(
+                obs::Phase::End,
+                "suite",
+                &compiler.label(),
+                vec![
+                    obs::i("executed", stats.executed as i64),
+                    obs::i("cached", stats.cached as i64),
+                    obs::i("halted", stats.halted as i64),
+                ],
+            );
+        }
         (
             SuiteRun {
                 compiler: compiler.label(),
@@ -311,6 +355,22 @@ impl Executor {
     where
         F: Fn(usize, u32) -> CaseResult + Sync,
     {
+        let run = self.policy.recorder.begin_run();
+        self.run_jobs_stats_in(run, metas, run_attempt)
+    }
+
+    /// [`Executor::run_jobs_stats`] under an already-allocated telemetry run
+    /// ordinal, so a caller that emits its own run-level marks (the suite
+    /// wrapper, the cluster sweep) shares the run with the jobs it drives.
+    fn run_jobs_stats_in<F>(
+        &self,
+        run: u32,
+        metas: &[JobMeta],
+        run_attempt: F,
+    ) -> (Vec<CaseResult>, ExecStats)
+    where
+        F: Fn(usize, u32) -> CaseResult + Sync,
+    {
         let n = metas.len();
         if n == 0 {
             return (Vec::new(), ExecStats::default());
@@ -324,23 +384,41 @@ impl Executor {
         let mut slots: Vec<Option<CaseResult>> = Vec::new();
         slots.resize_with(n, || None);
         let workers = self.policy.jobs.max(1).min(n);
+        // One job under its telemetry scope; the scope is keyed by the job's
+        // suite position (not the worker), so merged traces are identical
+        // across worker counts. Returns the row plus whether it came from
+        // the resume cache.
+        let do_job = |i: usize, worker: u32| -> (CaseResult, bool) {
+            let _g = obs::scope(&self.policy.recorder, run, obs::PART_JOB, i as u32, worker);
+            match &cached[i] {
+                Some(row) => {
+                    obs::instant(
+                        "case",
+                        &metas[i].name,
+                        vec![
+                            obs::s("lang", metas[i].language.to_string()),
+                            obs::s("source", "cached_resume"),
+                            obs::s("status", row.status.label()),
+                        ],
+                    );
+                    (row.clone(), true)
+                }
+                None => (self.run_one_job(i, &metas[i], &run_attempt), false),
+            }
+        };
         if workers == 1 {
-            for i in 0..n {
+            for (i, slot) in slots.iter_mut().enumerate() {
                 if halt.is_some_and(|h| executed.load(Ordering::SeqCst) >= h) {
                     halted.store(true, Ordering::SeqCst);
                     break;
                 }
-                slots[i] = Some(match &cached[i] {
-                    Some(row) => {
-                        cache_hits.fetch_add(1, Ordering::SeqCst);
-                        row.clone()
-                    }
-                    None => {
-                        let row = self.run_one_job(i, &metas[i], &run_attempt);
-                        executed.fetch_add(1, Ordering::SeqCst);
-                        row
-                    }
-                });
+                let (row, was_cached) = do_job(i, 0);
+                if was_cached {
+                    cache_hits.fetch_add(1, Ordering::SeqCst);
+                } else {
+                    executed.fetch_add(1, Ordering::SeqCst);
+                }
+                *slot = Some(row);
             }
         } else {
             // Bounded pool: `workers` threads pull indices from an atomic
@@ -350,14 +428,13 @@ impl Executor {
             let next = AtomicUsize::new(0);
             let (tx, rx) = mpsc::channel::<(usize, CaseResult)>();
             std::thread::scope(|scope| {
-                for _ in 0..workers {
+                for worker in 0..workers {
                     let tx = tx.clone();
                     let next = &next;
                     let executed = &executed;
                     let cache_hits = &cache_hits;
                     let halted = &halted;
-                    let cached = &cached;
-                    let run_attempt = &run_attempt;
+                    let do_job = &do_job;
                     scope.spawn(move || loop {
                         if halt.is_some_and(|h| executed.load(Ordering::SeqCst) >= h) {
                             halted.store(true, Ordering::SeqCst);
@@ -367,17 +444,12 @@ impl Executor {
                         if i >= n {
                             break;
                         }
-                        let row = match &cached[i] {
-                            Some(row) => {
-                                cache_hits.fetch_add(1, Ordering::SeqCst);
-                                row.clone()
-                            }
-                            None => {
-                                let row = self.run_one_job(i, &metas[i], run_attempt);
-                                executed.fetch_add(1, Ordering::SeqCst);
-                                row
-                            }
-                        };
+                        let (row, was_cached) = do_job(i, worker as u32);
+                        if was_cached {
+                            cache_hits.fetch_add(1, Ordering::SeqCst);
+                        } else {
+                            executed.fetch_add(1, Ordering::SeqCst);
+                        }
                         if tx.send((i, row)).is_err() {
                             break;
                         }
@@ -421,10 +493,27 @@ impl Executor {
         let max_attempts = self.policy.retries.saturating_add(1);
         let mut history: Vec<TestStatus> = Vec::new();
         let mut last: Option<CaseResult> = None;
+        let case_depth = obs::depth();
+        obs::begin(
+            "case",
+            &meta.name,
+            vec![
+                obs::s("lang", meta.language.to_string()),
+                obs::s("feature", meta.feature.to_string()),
+            ],
+        );
         for attempt in 0..max_attempts {
             if attempt > 0 && self.policy.backoff_base_ms > 0 {
                 let exp = (attempt - 1).min(16);
                 let sleep_ms = self.policy.backoff_base_ms.saturating_mul(1u64 << exp);
+                obs::instant(
+                    "retry",
+                    "backoff",
+                    vec![
+                        obs::i("attempt", attempt as i64),
+                        obs::i("sleep_ms", sleep_ms as i64),
+                    ],
+                );
                 std::thread::sleep(Duration::from_millis(sleep_ms));
             }
             if let Some(j) = journal {
@@ -433,9 +522,16 @@ impl Executor {
                     language: meta.language,
                     attempt,
                 });
+                obs::instant("journal", "attempt_start", vec![obs::i("attempt", attempt as i64)]);
             }
+            let attempt_depth = obs::depth();
+            obs::begin("attempt", &meta.name, vec![obs::i("attempt", attempt as i64)]);
             let started = Instant::now();
             let outcome = panic::catch_unwind(AssertUnwindSafe(|| run_attempt(index, attempt)));
+            // A panic may have unwound through instrumented phases; close
+            // any spans it left open (marked aborted) so the attempt span
+            // is back on top of the stack.
+            obs::unwind_to(attempt_depth.saturating_add(1));
             let mut result = match outcome {
                 Ok(r) => r,
                 Err(payload) => CaseResult {
@@ -457,10 +553,19 @@ impl Executor {
                 let reclassifiable =
                     result.status.counted() && !matches!(result.status, TestStatus::Infra(_));
                 if overran && reclassifiable {
+                    obs::instant(
+                        "watchdog",
+                        "deadline",
+                        vec![
+                            obs::i("deadline_ms", deadline as i64),
+                            obs::i("elapsed_ms", started.elapsed().as_millis() as i64),
+                        ],
+                    );
                     result.status = TestStatus::Timeout;
                     result.certainty = None;
                 }
             }
+            obs::end(vec![obs::s("status", result.status.label())]);
             if let Some(j) = journal {
                 j.append(&JournalRecord::Attempt {
                     name: meta.name.clone(),
@@ -469,6 +574,7 @@ impl Executor {
                     status: result.status.clone(),
                     duration_ms: started.elapsed().as_millis() as u64,
                 });
+                obs::instant("journal", "attempt", vec![obs::i("attempt", attempt as i64)]);
             }
             let is_skip = matches!(result.status, TestStatus::Skipped);
             let passed = result.passed();
@@ -496,7 +602,13 @@ impl Executor {
                 node: None,
                 duration_ms: job_started.elapsed().as_millis() as u64,
             });
+            obs::instant("journal", "case_done", vec![]);
         }
+        obs::unwind_to(case_depth.saturating_add(1));
+        obs::end(vec![
+            obs::s("status", row.status.label()),
+            obs::i("attempts", attempts_made as i64),
+        ]);
         row
     }
 }

@@ -11,6 +11,7 @@ use crate::case::{TestCase, TestStatus};
 use crate::stats::Certainty;
 use acc_compiler::exec::{ExecMode, RunKnobs, RunOutcome};
 use acc_compiler::VendorCompiler;
+use acc_obs as obs;
 use acc_spec::Language;
 
 /// Per-attempt execution policy the fault-tolerant executor threads into a
@@ -102,23 +103,49 @@ pub fn run_case_with(
     // 1. Compile the functional test (through the compiler's compilation
     //    cache when one is attached — retries, repetitions and version
     //    sweeps then reuse one lowered artifact).
-    let exe = match compiler.compile_shared(&source, language) {
+    obs::begin("compile", "functional", vec![]);
+    let compiled = compiler.compile_shared(&source, language);
+    obs::end(vec![obs::s(
+        "outcome",
+        if compiled.is_ok() { "ok" } else { "error" },
+    )]);
+    let exe = match compiled {
         Ok(exe) => exe,
         Err(e) => return mk(TestStatus::CompileError(e.to_string()), None, source),
     };
     // 2. Run it.
-    match exe.run_with_knobs(&case.env, knobs(0)).outcome {
-        RunOutcome::Completed(v) if v != 0 => {}
-        RunOutcome::Completed(_) => return mk(TestStatus::WrongResult, None, source),
-        RunOutcome::Crash(m) => return mk(TestStatus::Crash(m), None, source),
-        RunOutcome::Timeout => return mk(TestStatus::Timeout, None, source),
+    obs::begin("exec", "functional", vec![]);
+    let functional = exe.run_with_knobs(&case.env, knobs(0)).outcome;
+    obs::end(vec![]);
+    match functional {
+        RunOutcome::Completed(v) if v != 0 => {
+            obs::instant("verify", "functional", vec![obs::s("outcome", "pass")]);
+        }
+        RunOutcome::Completed(_) => {
+            obs::instant("verify", "functional", vec![obs::s("outcome", "wrong_result")]);
+            return mk(TestStatus::WrongResult, None, source);
+        }
+        RunOutcome::Crash(m) => {
+            obs::instant("verify", "functional", vec![obs::s("outcome", "crash")]);
+            return mk(TestStatus::Crash(m), None, source);
+        }
+        RunOutcome::Timeout => {
+            obs::instant("verify", "functional", vec![obs::s("outcome", "timeout")]);
+            return mk(TestStatus::Timeout, None, source);
+        }
     }
     // 3. Functional passed: deepen with the cross test.
     let cross_source = match case.cross_source_for(language) {
         Some(s) => s,
         None => return mk(TestStatus::Pass, None, source),
     };
-    let cross_exe = match compiler.compile_shared(&cross_source, language) {
+    obs::begin("compile", "cross", vec![]);
+    let cross_compiled = compiler.compile_shared(&cross_source, language);
+    obs::end(vec![obs::s(
+        "outcome",
+        if cross_compiled.is_ok() { "ok" } else { "error" },
+    )]);
+    let cross_exe = match cross_compiled {
         // A cross test that does not compile cannot raise confidence; the
         // functional pass stands but is flagged inconclusive.
         Err(_) => return mk(TestStatus::PassInconclusive, None, source),
@@ -132,6 +159,7 @@ pub fn run_case_with(
     let m = case.repetitions.max(1);
     let mut nf = 0;
     if cross_exe.profile.has_transient_faults() {
+        obs::begin("exec", "cross", vec![obs::i("reps", m as i64)]);
         for k in 0..m {
             let outcome = cross_exe.run_with_knobs(&case.env, knobs(1 + k as u64)).outcome;
             let incorrect = !matches!(outcome, RunOutcome::Completed(v) if v != 0);
@@ -139,13 +167,25 @@ pub fn run_case_with(
                 nf += 1;
             }
         }
+        obs::end(vec![]);
     } else {
+        obs::begin("exec", "cross", vec![obs::i("reps", 1)]);
         let outcome = cross_exe.run_with_knobs(&case.env, knobs(1)).outcome;
+        obs::end(vec![]);
         if !matches!(outcome, RunOutcome::Completed(v) if v != 0) {
             nf = m;
         }
     }
     let cert = Certainty::new(m, nf);
+    obs::instant(
+        "verify",
+        "cross",
+        vec![
+            obs::i("m", m as i64),
+            obs::i("nf", nf as i64),
+            obs::i("validated", cert.validated() as i64),
+        ],
+    );
     if cert.validated() {
         mk(TestStatus::Pass, Some(cert), source)
     } else {

@@ -87,6 +87,13 @@ impl DeviceMemory {
         let id = BufferId(self.buffers.len() as u64 + 1);
         let data = ArrayData::garbage(ty, len, id.0);
         self.allocated_bytes += data.size_bytes();
+        if acc_obs::active() {
+            acc_obs::instant(
+                "mem",
+                "alloc",
+                vec![acc_obs::i("bytes", data.size_bytes() as i64)],
+            );
+        }
         self.buffers.push(Some(DeviceBuffer { data, dims }));
         id
     }
@@ -161,7 +168,11 @@ impl DeviceMemory {
     ) -> Result<usize, DeviceError> {
         let b = self.get_mut(id)?;
         b.data.copy_section_from(host, start, len)?;
-        Ok(len * host.elem_type().size_bytes())
+        let bytes = len * host.elem_type().size_bytes();
+        if acc_obs::active() {
+            acc_obs::instant("memcpy", "h2d", vec![acc_obs::i("bytes", bytes as i64)]);
+        }
+        Ok(bytes)
     }
 
     /// Device→host DMA of a section. Returns bytes moved.
@@ -174,7 +185,11 @@ impl DeviceMemory {
     ) -> Result<usize, DeviceError> {
         let b = self.get(id)?;
         host.copy_section_from(&b.data, start, len)?;
-        Ok(len * b.data.elem_type().size_bytes())
+        let bytes = len * b.data.elem_type().size_bytes();
+        if acc_obs::active() {
+            acc_obs::instant("memcpy", "d2h", vec![acc_obs::i("bytes", bytes as i64)]);
+        }
+        Ok(bytes)
     }
 
     /// Number of live buffers.

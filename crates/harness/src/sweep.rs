@@ -11,6 +11,7 @@
 //! resume.
 
 use crate::cluster::{LossPlan, SimulatedCluster};
+use acc_obs as obs;
 use acc_spec::Language;
 use acc_validation::executor::ATTEMPT_STRIDE;
 use acc_validation::journal::JournalRecord;
@@ -163,6 +164,26 @@ impl ClusterSweep {
         }
         let n = units.len();
         let mut owner: Vec<u32> = (0..n).map(|i| alive[i % alive.len()]).collect();
+        // Sweep-level telemetry run. The sweep's own marks live in its pre
+        // and post scopes; per-unit execution is delegated to the inner
+        // executor, which allocates its own run ordinals sequentially (the
+        // sweep is serial, so ordinals stay deterministic).
+        let trun = self.policy.recorder.begin_run();
+        {
+            let _g = obs::scope(&self.policy.recorder, trun, obs::PART_PRE, 0, 0);
+            obs::mark(
+                obs::Phase::Begin,
+                "sweep",
+                &scope,
+                vec![
+                    obs::i("total_units", n as i64),
+                    obs::i("alive_nodes", alive.len() as i64),
+                ],
+            );
+            for &node in &newly_quarantined {
+                obs::instant("node", "quarantined", vec![obs::i("node", node as i64)]);
+            }
+        }
         if let Some(j) = &journal {
             let languages: Vec<String> =
                 self.config.languages.iter().map(|l| l.to_string()).collect();
@@ -194,6 +215,11 @@ impl ClusterSweep {
         let mut halted = false;
         let mut lost: Vec<u32> = Vec::new();
         for i in 0..n {
+            // Sweep-level events for this unit (loss handling, resume
+            // replay, node assignment) collect under the unit's job scope;
+            // the guard is dropped before the inner executor runs so its
+            // own scopes can own the thread.
+            let tguard = obs::scope(&self.policy.recorder, trun, obs::PART_JOB, i as u32, 0);
             // Fire any loss plan whose threshold the completed-unit count
             // has reached (cached units count, so a resumed sweep replays
             // the loss at the same point — deaths accumulate in the journal
@@ -226,6 +252,15 @@ impl ClusterSweep {
                             reassigned: loss.reassigned,
                         });
                     }
+                    obs::instant(
+                        "node",
+                        "lost",
+                        vec![
+                            obs::i("node", loss.node as i64),
+                            obs::i("completed", loss.completed as i64),
+                            obs::i("reassigned", loss.reassigned as i64),
+                        ],
+                    );
                     losses_hit.push(loss);
                 }
             }
@@ -241,6 +276,18 @@ impl ClusterSweep {
                 .and_then(|r| r.completed.get(&(meta.name.clone(), meta.language)))
             {
                 let node = c.node.unwrap_or(owner[i]);
+                if obs::active() {
+                    obs::instant(
+                        "case",
+                        &meta.name,
+                        vec![
+                            obs::s("lang", meta.language.to_string()),
+                            obs::s("source", "cached_resume"),
+                            obs::s("status", c.result.status.label()),
+                            obs::i("node", node as i64),
+                        ],
+                    );
+                }
                 rows.push(SweepRow {
                     unit: i,
                     node,
@@ -262,6 +309,10 @@ impl ClusterSweep {
                 .find(|nd| nd.id == node_id)
                 .expect("owner is a cluster node");
             let compiler = node.stacks[0].compiler(node.fault);
+            obs::instant("unit", "assign", vec![obs::i("node", node_id as i64)]);
+            // The inner executor installs its own per-job scopes on this
+            // thread; release the sweep's unit scope first.
+            drop(tguard);
             if let Some(j) = &journal {
                 j.append(&JournalRecord::AttemptStart {
                     name: meta.name.clone(),
@@ -299,6 +350,19 @@ impl ClusterSweep {
             done += 1;
         }
         rows.sort_by_key(|r| r.unit);
+        {
+            let _g = obs::scope(&self.policy.recorder, trun, obs::PART_POST, 0, 0);
+            obs::mark(
+                obs::Phase::End,
+                "sweep",
+                &scope,
+                vec![
+                    obs::i("executed", executed as i64),
+                    obs::i("cached", cached as i64),
+                    obs::i("halted", halted as i64),
+                ],
+            );
+        }
         Ok(SweepOutcome {
             scope,
             total_units: n,

@@ -1,0 +1,276 @@
+//! Prometheus-style text metrics and the human summary table.
+//!
+//! Metrics aggregate the *full* snapshot — timing-class events included,
+//! since durations and cache attribution are exactly what a metrics
+//! snapshot is for. (Only the JSONL trace carries the determinism
+//! guarantee.) Series are emitted in sorted label order so two snapshots
+//! of the same run diff cleanly.
+
+use crate::{Event, Phase};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Duration histogram bucket upper bounds, microseconds.
+const BUCKETS_US: &[u64] = &[100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+/// Compile-cache counters, filled by the caller from the compiler's
+/// `CacheStats` — the cache's own atomics stay the single source of truth
+/// for hit/miss accounting; this sink only renders them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Front-end (parse + sema) cache hits.
+    pub frontend_hits: u64,
+    /// Front-end cache misses.
+    pub frontend_misses: u64,
+    /// Executable-level cache hits.
+    pub exec_hits: u64,
+    /// Executable-level cache misses.
+    pub exec_misses: u64,
+}
+
+impl CacheCounters {
+    /// Overall hit rate across both levels, 0.0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.frontend_hits + self.exec_hits;
+        let total = hits + self.frontend_misses + self.exec_misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct Agg {
+    /// kind -> (bucket counts, sum_us, count) over span End durations.
+    durations: BTreeMap<String, (Vec<u64>, u64, u64)>,
+    /// status label -> count, from `case` span End `status` attrs.
+    case_status: BTreeMap<String, u64>,
+    /// counter name -> summed value, from `ctr` instants.
+    counters: BTreeMap<String, i64>,
+    /// kind -> count of non-counter instants (retry, fault, watchdog...).
+    instants: BTreeMap<String, u64>,
+}
+
+fn aggregate(events: &[Event]) -> Agg {
+    let mut agg = Agg::default();
+    for e in events {
+        match e.ph {
+            Phase::End => {
+                let entry = agg
+                    .durations
+                    .entry(e.kind.clone())
+                    .or_insert_with(|| (vec![0; BUCKETS_US.len() + 1], 0, 0));
+                let slot = BUCKETS_US
+                    .iter()
+                    .position(|&b| e.dur_us <= b)
+                    .unwrap_or(BUCKETS_US.len());
+                entry.0[slot] += 1;
+                entry.1 += e.dur_us;
+                entry.2 += 1;
+                if e.kind == "case" {
+                    if let Some(status) = e.attr_str("status") {
+                        *agg.case_status.entry(status.to_string()).or_default() += 1;
+                    }
+                }
+            }
+            Phase::Instant if e.kind == "ctr" => {
+                *agg.counters.entry(e.name.clone()).or_default() +=
+                    e.attr_int("v").unwrap_or(0);
+            }
+            Phase::Instant => {
+                *agg.instants.entry(e.kind.clone()).or_default() += 1;
+            }
+            Phase::Begin => {}
+        }
+    }
+    agg
+}
+
+/// Render the Prometheus text exposition for a merged snapshot, plus the
+/// compile-cache counters when a cache was attached.
+pub fn render_prometheus(events: &[Event], cache: Option<&CacheCounters>) -> String {
+    let agg = aggregate(events);
+    let mut out = String::new();
+
+    out.push_str("# HELP accvv_phase_duration_us Span durations by kind, microseconds.\n");
+    out.push_str("# TYPE accvv_phase_duration_us histogram\n");
+    for (kind, (buckets, sum, count)) in &agg.durations {
+        let mut cum = 0u64;
+        for (i, b) in BUCKETS_US.iter().enumerate() {
+            cum += buckets[i];
+            let _ = writeln!(
+                out,
+                "accvv_phase_duration_us_bucket{{kind=\"{kind}\",le=\"{b}\"}} {cum}"
+            );
+        }
+        cum += buckets[BUCKETS_US.len()];
+        let _ = writeln!(
+            out,
+            "accvv_phase_duration_us_bucket{{kind=\"{kind}\",le=\"+Inf\"}} {cum}"
+        );
+        let _ = writeln!(out, "accvv_phase_duration_us_sum{{kind=\"{kind}\"}} {sum}");
+        let _ = writeln!(out, "accvv_phase_duration_us_count{{kind=\"{kind}\"}} {count}");
+    }
+
+    out.push_str("# HELP accvv_case_status_total Case outcomes by taxonomy label.\n");
+    out.push_str("# TYPE accvv_case_status_total counter\n");
+    for (status, n) in &agg.case_status {
+        let _ = writeln!(out, "accvv_case_status_total{{status=\"{status}\"}} {n}");
+    }
+
+    out.push_str("# HELP accvv_events_total Instant events by kind.\n");
+    out.push_str("# TYPE accvv_events_total counter\n");
+    for (kind, n) in &agg.instants {
+        let _ = writeln!(out, "accvv_events_total{{kind=\"{kind}\"}} {n}");
+    }
+
+    for (name, v) in &agg.counters {
+        let _ = writeln!(out, "# TYPE accvv_{name}_total counter");
+        let _ = writeln!(out, "accvv_{name}_total {v}");
+    }
+
+    if let Some(c) = cache {
+        out.push_str(
+            "# HELP accvv_compile_cache_lookups_total Compile cache lookups by level and outcome.\n",
+        );
+        out.push_str("# TYPE accvv_compile_cache_lookups_total counter\n");
+        for (level, outcome, v) in [
+            ("exec", "hit", c.exec_hits),
+            ("exec", "miss", c.exec_misses),
+            ("frontend", "hit", c.frontend_hits),
+            ("frontend", "miss", c.frontend_misses),
+        ] {
+            let _ = writeln!(
+                out,
+                "accvv_compile_cache_lookups_total{{level=\"{level}\",outcome=\"{outcome}\"}} {v}"
+            );
+        }
+        let _ = writeln!(out, "# TYPE accvv_compile_cache_hit_rate gauge");
+        let _ = writeln!(out, "accvv_compile_cache_hit_rate {:.4}", c.hit_rate());
+    }
+    out
+}
+
+/// Render the human-readable summary table for a merged snapshot.
+pub fn summary_table(events: &[Event], cache: Option<&CacheCounters>) -> String {
+    let agg = aggregate(events);
+    let mut out = String::new();
+    let _ = writeln!(out, "telemetry summary ({} events)", events.len());
+    if !agg.durations.is_empty() {
+        let _ = writeln!(out, "  {:<12} {:>8} {:>12}", "phase", "spans", "total ms");
+        for (kind, (_, sum_us, count)) in &agg.durations {
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>8} {:>12.2}",
+                kind,
+                count,
+                *sum_us as f64 / 1e3
+            );
+        }
+    }
+    if !agg.case_status.is_empty() {
+        let statuses: Vec<String> = agg
+            .case_status
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        let _ = writeln!(out, "  cases: {}", statuses.join(" "));
+    }
+    if !agg.instants.is_empty() {
+        let kinds: Vec<String> = agg
+            .instants
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        let _ = writeln!(out, "  events: {}", kinds.join(" "));
+    }
+    for (name, v) in &agg.counters {
+        let _ = writeln!(out, "  {name}: {v}");
+    }
+    if let Some(c) = cache {
+        let _ = writeln!(
+            out,
+            "  compile cache: frontend {}/{} exec {}/{} hit rate {:.1}%",
+            c.frontend_hits,
+            c.frontend_hits + c.frontend_misses,
+            c.exec_hits,
+            c.exec_hits + c.exec_misses,
+            c.hit_rate() * 100.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{i, s, Recorder, PART_JOB};
+
+    fn snapshot() -> Vec<Event> {
+        let r = Recorder::enabled();
+        let run = r.begin_run();
+        {
+            let _g = crate::scope(&r, run, PART_JOB, 0, 0);
+            crate::begin("case", "t0", vec![]);
+            crate::begin("exec", "functional", vec![]);
+            crate::end(vec![]);
+            crate::instant("retry", "attempt", vec![i("attempt", 1)]);
+            crate::counter("memcpy_h2d_bytes", 4096);
+            crate::counter("memcpy_h2d_bytes", 1024);
+            crate::end(vec![s("status", "pass")]);
+            crate::begin("case", "t1", vec![]);
+            crate::end(vec![s("status", "wrong-result")]);
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn prometheus_sums_counters_and_statuses() {
+        let text = render_prometheus(&snapshot(), None);
+        assert!(text.contains("accvv_memcpy_h2d_bytes_total 5120"));
+        assert!(text.contains("accvv_case_status_total{status=\"pass\"} 1"));
+        assert!(text.contains("accvv_case_status_total{status=\"wrong-result\"} 1"));
+        assert!(text.contains("accvv_events_total{kind=\"retry\"} 1"));
+        assert!(text.contains("accvv_phase_duration_us_count{kind=\"case\"} 2"));
+        assert!(text.contains("accvv_phase_duration_us_count{kind=\"exec\"} 1"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_to_inf() {
+        let text = render_prometheus(&snapshot(), None);
+        let inf_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("le=\"+Inf\""))
+            .collect();
+        assert_eq!(inf_lines.len(), 2); // case + exec kinds
+        assert!(inf_lines.iter().any(|l| l.ends_with(" 2")));
+    }
+
+    #[test]
+    fn cache_counters_render_with_hit_rate() {
+        let c = CacheCounters {
+            frontend_hits: 3,
+            frontend_misses: 1,
+            exec_hits: 5,
+            exec_misses: 3,
+        };
+        let text = render_prometheus(&[], Some(&c));
+        assert!(text.contains(
+            "accvv_compile_cache_lookups_total{level=\"frontend\",outcome=\"hit\"} 3"
+        ));
+        assert!(text.contains("accvv_compile_cache_hit_rate 0.6667"));
+        let table = summary_table(&[], Some(&c));
+        assert!(table.contains("frontend 3/4 exec 5/8"));
+    }
+
+    #[test]
+    fn summary_table_mentions_each_section() {
+        let t = summary_table(&snapshot(), None);
+        assert!(t.contains("phase"));
+        assert!(t.contains("cases: pass=1 wrong-result=1"));
+        assert!(t.contains("retry=1"));
+        assert!(t.contains("memcpy_h2d_bytes: 5120"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Deterministic JSONL trace sink: one event per line, schedule-independent.
+//!
+//! The renderer filters out timing-class events and omits every
+//! schedule/clock-dependent field (`worker`, `start_us`, `dur_us`), so the
+//! rendered text is a pure function of the merged logical event stream —
+//! identical for `--jobs 1` and `--jobs N` on the same seed and suite.
+//! Field order is fixed so byte-level comparison works.
+
+use crate::json::{escape_into, parse, Json};
+use crate::{AttrVal, Event, Phase};
+use std::fmt::Write as _;
+
+/// Render the deterministic JSONL form of a merged snapshot. Timing-class
+/// events are excluded; attribute order is preserved.
+pub fn render_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events.iter().filter(|e| !e.timing) {
+        let _ = write!(
+            out,
+            "{{\"run\":{},\"part\":{},\"job\":{},\"seq\":{},\"ph\":\"{}\",\"kind\":\"",
+            e.run,
+            e.part,
+            e.job,
+            e.seq,
+            e.ph.code()
+        );
+        escape_into(&mut out, &e.kind);
+        out.push_str("\",\"name\":\"");
+        escape_into(&mut out, &e.name);
+        let _ = write!(out, "\",\"depth\":{}", e.depth);
+        if !e.attrs.is_empty() {
+            out.push_str(",\"attrs\":{");
+            for (idx, (k, v)) in e.attrs.iter().enumerate() {
+                if idx > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                escape_into(&mut out, k);
+                out.push_str("\":");
+                match v {
+                    AttrVal::Int(n) => {
+                        let _ = write!(out, "{n}");
+                    }
+                    AttrVal::Str(s) => {
+                        out.push('"');
+                        escape_into(&mut out, s);
+                        out.push('"');
+                    }
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Parse a JSONL trace back into events. The schedule-dependent fields
+/// (`worker`, `start_us`, `dur_us`, `timing`) come back zeroed/false —
+/// the JSONL form never contained them. Attribute keys are leaked into
+/// `&'static str` (bounded: traces have a small closed key vocabulary).
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
+    let mut events = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        events.push(event_from_json(&v).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(events)
+}
+
+fn event_from_json(v: &Json) -> Result<Event, String> {
+    let int = |key: &str| -> Result<i64, String> {
+        v.get(key)
+            .and_then(Json::as_i64)
+            .ok_or_else(|| format!("missing integer field {key:?}"))
+    };
+    let st = |key: &str| -> Result<String, String> {
+        v.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing string field {key:?}"))
+    };
+    let ph_s = st("ph")?;
+    let ph = ph_s
+        .chars()
+        .next()
+        .and_then(Phase::from_code)
+        .ok_or_else(|| format!("bad phase {ph_s:?}"))?;
+    let mut attrs = Vec::new();
+    if let Some(Json::Obj(fields)) = v.get("attrs") {
+        for (k, av) in fields {
+            let key: &'static str = Box::leak(k.clone().into_boxed_str());
+            let val = match av {
+                Json::Num(_) => AttrVal::Int(
+                    av.as_i64()
+                        .ok_or_else(|| format!("non-integer attr {k:?}"))?,
+                ),
+                Json::Str(s) => AttrVal::Str(s.clone()),
+                _ => return Err(format!("unsupported attr value for {k:?}")),
+            };
+            attrs.push((key, val));
+        }
+    }
+    Ok(Event {
+        run: int("run")? as u32,
+        part: int("part")? as u8,
+        job: int("job")? as u32,
+        seq: int("seq")? as u32,
+        worker: 0,
+        ph,
+        kind: st("kind")?,
+        name: st("name")?,
+        depth: int("depth")? as u16,
+        timing: false,
+        start_us: 0,
+        dur_us: 0,
+        attrs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{i, s, Recorder, PART_JOB};
+
+    fn sample() -> Vec<Event> {
+        let r = Recorder::enabled();
+        let run = r.begin_run();
+        {
+            let _g = crate::scope(&r, run, PART_JOB, 0, 5);
+            crate::begin("case", "acc_parallel\"1\"", vec![s("lang", "C")]);
+            crate::begin_timing("lower", "bytecode", vec![]);
+            crate::end(vec![]);
+            crate::instant("verify", "wrong\nresult", vec![i("attempt", 2)]);
+            crate::end(vec![s("status", "pass")]);
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn timing_events_are_excluded() {
+        let jsonl = render_jsonl(&sample());
+        assert!(!jsonl.contains("lower"));
+        assert!(jsonl.contains("acc_parallel"));
+        assert_eq!(jsonl.lines().count(), 3); // B case, I verify, E case
+    }
+
+    #[test]
+    fn no_schedule_dependent_fields_leak() {
+        let jsonl = render_jsonl(&sample());
+        assert!(!jsonl.contains("worker"));
+        assert!(!jsonl.contains("start_us"));
+        assert!(!jsonl.contains("dur_us"));
+    }
+
+    #[test]
+    fn roundtrip_preserves_logical_content() {
+        let events = sample();
+        let jsonl = render_jsonl(&events);
+        let parsed = parse_jsonl(&jsonl).unwrap();
+        let logical: Vec<&Event> = events.iter().filter(|e| !e.timing).collect();
+        assert_eq!(parsed.len(), logical.len());
+        for (p, l) in parsed.iter().zip(&logical) {
+            assert_eq!((p.run, p.part, p.job, p.seq), (l.run, l.part, l.job, l.seq));
+            assert_eq!(p.ph, l.ph);
+            assert_eq!(p.kind, l.kind);
+            assert_eq!(p.name, l.name);
+            assert_eq!(p.depth, l.depth);
+            assert_eq!(p.attrs, l.attrs);
+        }
+        // Re-render of the parse is byte-identical (stable formatting).
+        assert_eq!(render_jsonl(&parsed), jsonl);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_jsonl("{\"run\":0}").is_err());
+        assert!(parse_jsonl("not json").is_err());
+        assert!(parse_jsonl("").unwrap().is_empty());
+    }
+}

@@ -15,6 +15,7 @@
 //! | [`validation`] | The testsuite infrastructure: templates, cross tests, statistics, reports |
 //! | [`testsuite`] | The 100+-feature test corpus (200+ generated programs) |
 //! | [`harness`] | The Titan-style production harness |
+//! | [`obs`] | Telemetry: structured spans, deterministic traces, Chrome/Prometheus sinks |
 //!
 //! ## Quickstart
 //!
@@ -36,6 +37,7 @@ pub use acc_compiler as compiler;
 pub use acc_device as device;
 pub use acc_frontend as frontend;
 pub use acc_harness as harness;
+pub use acc_obs as obs;
 pub use acc_runtime as rt;
 pub use acc_spec as spec;
 pub use acc_testsuite as testsuite;

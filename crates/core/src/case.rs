@@ -159,8 +159,12 @@ pub enum TestStatus {
     /// separately so infrastructure flakiness is visible, with the
     /// attempt-level pass ratio folded into the certainty statistics.
     Flaky,
-    /// The test does not apply to this language.
-    Skipped,
+    /// The test was not executed: either it does not apply to this language
+    /// (no reason), or the service degraded it deliberately (reason says
+    /// why — e.g. a tripped circuit breaker for the vendor profile).
+    /// Skipped rows are never counted, so a degraded campaign's report
+    /// stays comparable with a healthy one.
+    Skipped(Option<String>),
 }
 
 impl TestStatus {
@@ -174,7 +178,12 @@ impl TestStatus {
 
     /// Is this a countable executed test (not skipped)?
     pub fn counted(&self) -> bool {
-        !matches!(self, TestStatus::Skipped)
+        !matches!(self, TestStatus::Skipped(_))
+    }
+
+    /// The plain "does not apply" skip (no degradation reason).
+    pub fn skipped() -> Self {
+        TestStatus::Skipped(None)
     }
 
     /// Short label for reports.
@@ -188,7 +197,7 @@ impl TestStatus {
             TestStatus::Timeout => "TIMEOUT",
             TestStatus::Infra(_) => "INFRA",
             TestStatus::Flaky => "FLAKY",
-            TestStatus::Skipped => "SKIP",
+            TestStatus::Skipped(_) => "SKIP",
         }
     }
 }
@@ -199,6 +208,7 @@ impl fmt::Display for TestStatus {
             TestStatus::CompileError(m) => write!(f, "COMPILE-ERROR: {m}"),
             TestStatus::Crash(m) => write!(f, "CRASH: {m}"),
             TestStatus::Infra(m) => write!(f, "INFRA: {m}"),
+            TestStatus::Skipped(Some(m)) => write!(f, "SKIP: {m}"),
             other => f.write_str(other.label()),
         }
     }
@@ -271,7 +281,12 @@ mod tests {
         assert!(TestStatus::PassInconclusive.passed());
         assert!(!TestStatus::WrongResult.passed());
         assert!(!TestStatus::CompileError("x".into()).passed());
-        assert!(!TestStatus::Skipped.counted());
+        assert!(!TestStatus::skipped().counted());
+        assert!(!TestStatus::Skipped(Some("breaker open".into())).counted());
+        assert_eq!(
+            TestStatus::Skipped(Some("breaker open".into())).to_string(),
+            "SKIP: breaker open"
+        );
         assert!(TestStatus::Timeout.counted());
         assert_eq!(TestStatus::WrongResult.label(), "WRONG-RESULT");
         // Infra failures count but are not compiler passes; flaky results

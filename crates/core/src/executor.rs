@@ -57,6 +57,38 @@ use std::time::{Duration, Instant};
 /// decorrelated (yet deterministic) transient faults.
 pub const ATTEMPT_STRIDE: u64 = 1 << 20;
 
+/// A cooperative cancellation flag shared between the party requesting the
+/// stop (a SIGINT/SIGTERM handler, a server drain path, a test) and the
+/// executors honouring it. Deliberately nothing but an `AtomicBool`:
+/// [`CancelToken::cancel`] is a single atomic store, so it is
+/// async-signal-safe and may be called straight from a signal handler.
+///
+/// Cancellation is observed at job-claim boundaries — attempts already in
+/// flight finish (and are journaled) before the worker stops, so a
+/// cancelled run's journal is always resumable.
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    flag: AtomicBool,
+}
+
+impl CancelToken {
+    /// A fresh, un-tripped token behind an `Arc` (tokens are only useful
+    /// shared).
+    pub fn arc() -> Arc<Self> {
+        Arc::new(CancelToken::default())
+    }
+
+    /// Request cancellation. Async-signal-safe.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
 /// Knobs of the fault-tolerant executor.
 #[derive(Clone)]
 pub struct ExecutorPolicy {
@@ -85,6 +117,15 @@ pub struct ExecutorPolicy {
     /// don't count). The run reports itself halted; its partial output is
     /// only good for inspecting the journal.
     pub halt_after: Option<usize>,
+    /// Cooperative cancellation: once the token trips, workers stop
+    /// claiming new jobs (in-flight attempts finish and are journaled) and
+    /// the run reports [`ExecStats::cancelled`].
+    pub cancel: Option<Arc<CancelToken>>,
+    /// Absolute wall-clock deadline for the whole run: once it passes,
+    /// workers stop claiming new jobs and the run reports
+    /// [`ExecStats::deadlined`]. Distinct from `case_deadline_ms`, which
+    /// reclassifies a single slow attempt.
+    pub run_deadline: Option<Instant>,
     /// Which engine executes compiled programs (bytecode VM by default;
     /// `walk` selects the tree-walking reference oracle).
     pub exec_mode: ExecMode,
@@ -108,6 +149,11 @@ impl fmt::Debug for ExecutorPolicy {
                 &self.resume.as_ref().map(|r| r.completed_count()),
             )
             .field("halt_after", &self.halt_after)
+            .field(
+                "cancel",
+                &self.cancel.as_ref().map(|c| c.is_cancelled()),
+            )
+            .field("run_deadline", &self.run_deadline)
             .field("exec_mode", &self.exec_mode)
             .field("recorder", &self.recorder)
             .finish()
@@ -125,6 +171,8 @@ impl Default for ExecutorPolicy {
             journal: None,
             resume: None,
             halt_after: None,
+            cancel: None,
+            run_deadline: None,
             exec_mode: ExecMode::default(),
             recorder: obs::Recorder::disabled(),
         }
@@ -198,6 +246,18 @@ impl ExecutorPolicy {
         self
     }
 
+    /// Attach a cooperative cancellation token.
+    pub fn with_cancel(mut self, token: Arc<CancelToken>) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Set an absolute wall-clock deadline for the whole run.
+    pub fn with_run_deadline(mut self, deadline: Instant) -> Self {
+        self.run_deadline = Some(deadline);
+        self
+    }
+
     /// Attach a telemetry recorder.
     pub fn with_recorder(mut self, recorder: obs::Recorder) -> Self {
         self.recorder = recorder;
@@ -216,6 +276,20 @@ pub struct ExecStats {
     /// tripped. A halted run's result list is partial; its journal is the
     /// durable artifact.
     pub halted: bool,
+    /// Whether the run stopped early because its
+    /// [`ExecutorPolicy::cancel`] token tripped (signal drain, server
+    /// shutdown). Like a halt, the journal is the durable artifact.
+    pub cancelled: bool,
+    /// Whether the run stopped early because
+    /// [`ExecutorPolicy::run_deadline`] passed.
+    pub deadlined: bool,
+}
+
+impl ExecStats {
+    /// Did the run stop before scheduling every job, for any reason?
+    pub fn stopped_early(&self) -> bool {
+        self.halted || self.cancelled || self.deadlined
+    }
 }
 
 /// Identity of one job in the pool — enough to label a result row even when
@@ -381,6 +455,29 @@ impl Executor {
         let executed = AtomicUsize::new(0);
         let cache_hits = AtomicUsize::new(0);
         let halted = AtomicBool::new(false);
+        let cancelled = AtomicBool::new(false);
+        let deadlined = AtomicBool::new(false);
+        // One stop predicate shared by the serial loop and every pooled
+        // worker, evaluated before each job claim: a tripped halt budget,
+        // a cancelled token, or an expired run deadline all stop new
+        // claims while letting in-flight attempts finish and journal.
+        let cancel = self.policy.cancel.clone();
+        let run_deadline = self.policy.run_deadline;
+        let should_stop = |executed: &AtomicUsize| -> bool {
+            if halt.is_some_and(|h| executed.load(Ordering::SeqCst) >= h) {
+                halted.store(true, Ordering::SeqCst);
+                return true;
+            }
+            if cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                cancelled.store(true, Ordering::SeqCst);
+                return true;
+            }
+            if run_deadline.is_some_and(|d| Instant::now() >= d) {
+                deadlined.store(true, Ordering::SeqCst);
+                return true;
+            }
+            false
+        };
         let mut slots: Vec<Option<CaseResult>> = Vec::new();
         slots.resize_with(n, || None);
         let workers = self.policy.jobs.max(1).min(n);
@@ -408,8 +505,7 @@ impl Executor {
         };
         if workers == 1 {
             for (i, slot) in slots.iter_mut().enumerate() {
-                if halt.is_some_and(|h| executed.load(Ordering::SeqCst) >= h) {
-                    halted.store(true, Ordering::SeqCst);
+                if should_stop(&executed) {
                     break;
                 }
                 let (row, was_cached) = do_job(i, 0);
@@ -433,11 +529,10 @@ impl Executor {
                     let next = &next;
                     let executed = &executed;
                     let cache_hits = &cache_hits;
-                    let halted = &halted;
+                    let should_stop = &should_stop;
                     let do_job = &do_job;
                     scope.spawn(move || loop {
-                        if halt.is_some_and(|h| executed.load(Ordering::SeqCst) >= h) {
-                            halted.store(true, Ordering::SeqCst);
+                        if should_stop(executed) {
                             break;
                         }
                         let i = next.fetch_add(1, Ordering::SeqCst);
@@ -465,6 +560,8 @@ impl Executor {
             executed: executed.load(Ordering::SeqCst),
             cached: cache_hits.load(Ordering::SeqCst),
             halted: halted.load(Ordering::SeqCst),
+            cancelled: cancelled.load(Ordering::SeqCst),
+            deadlined: deadlined.load(Ordering::SeqCst),
         };
         (slots.into_iter().flatten().collect(), stats)
     }
@@ -576,7 +673,7 @@ impl Executor {
                 });
                 obs::instant("journal", "attempt", vec![obs::i("attempt", attempt as i64)]);
             }
-            let is_skip = matches!(result.status, TestStatus::Skipped);
+            let is_skip = matches!(result.status, TestStatus::Skipped(_));
             let passed = result.passed();
             history.push(result.status.clone());
             last = Some(result);
@@ -777,10 +874,67 @@ mod tests {
         let exec = Executor::new(ExecutorPolicy::new().with_retries(5));
         let results = exec.run_jobs_with(&ms, |i, _attempt| {
             attempts_seen.fetch_add(1, Ordering::SeqCst);
-            row(&ms[i], TestStatus::Skipped)
+            row(&ms[i], TestStatus::skipped())
         });
-        assert_eq!(results[0].status, TestStatus::Skipped);
+        assert_eq!(results[0].status, TestStatus::skipped());
         assert_eq!(attempts_seen.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn tripped_cancel_token_stops_new_claims() {
+        let ms = metas(6);
+        let token = CancelToken::arc();
+        for jobs in [1, 3] {
+            let exec = Executor::new(
+                ExecutorPolicy::new().with_jobs(jobs).with_cancel(Arc::clone(&token)),
+            );
+            let trip = Arc::clone(&token);
+            let ran = AtomicUsize::new(0);
+            let (results, stats) = exec.run_jobs_stats(&ms, |i, _attempt| {
+                // First job cancels the run mid-flight; its own result
+                // still lands (in-flight work finishes).
+                trip.cancel();
+                ran.fetch_add(1, Ordering::SeqCst);
+                row(&ms[i], TestStatus::Pass)
+            });
+            assert!(stats.cancelled, "jobs={jobs}");
+            assert!(stats.stopped_early());
+            assert!(!stats.halted);
+            // At most `jobs` claims could have been in flight when the
+            // token tripped; the rest were never started.
+            assert!(results.len() <= jobs, "jobs={jobs}: {}", results.len());
+            assert_eq!(results.len(), ran.load(Ordering::SeqCst));
+            token.flag.store(false, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn expired_run_deadline_stops_before_any_claim() {
+        let ms = metas(4);
+        let exec = Executor::new(
+            ExecutorPolicy::new().with_run_deadline(Instant::now() - Duration::from_millis(1)),
+        );
+        let (results, stats) = exec.run_jobs_stats(&ms, |i, _attempt| {
+            row(&ms[i], TestStatus::Pass)
+        });
+        assert!(results.is_empty(), "expired work must be cancelled, not run");
+        assert!(stats.deadlined);
+        assert_eq!(stats.executed, 0);
+    }
+
+    #[test]
+    fn future_run_deadline_does_not_interfere() {
+        let ms = metas(3);
+        let exec = Executor::new(
+            ExecutorPolicy::new()
+                .with_run_deadline(Instant::now() + Duration::from_secs(3600))
+                .with_cancel(CancelToken::arc()),
+        );
+        let (results, stats) = exec.run_jobs_stats(&ms, |i, _attempt| {
+            row(&ms[i], TestStatus::Pass)
+        });
+        assert_eq!(results.len(), 3);
+        assert!(!stats.stopped_early());
     }
 
     #[test]

@@ -97,7 +97,7 @@ pub fn run_case_with(
         exec_mode: policy.exec_mode,
     };
     if !case.supports(language) {
-        return mk(TestStatus::Skipped, None, String::new());
+        return mk(TestStatus::skipped(), None, String::new());
     }
     let source = case.source_for(language);
     // 1. Compile the functional test (through the compiler's compilation
@@ -327,7 +327,7 @@ mod tests {
     fn skipped_language() {
         let case = loop_case().c_only();
         let r = run_case(&case, &VendorCompiler::reference(), Language::Fortran);
-        assert_eq!(r.status, TestStatus::Skipped);
+        assert_eq!(r.status, TestStatus::skipped());
         assert!(!r.status.counted());
     }
 }

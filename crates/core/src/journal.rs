@@ -59,7 +59,10 @@ pub fn checksum(payload: &str) -> u64 {
 
 /// Escape a free-text field so it survives the tab-separated, line-oriented
 /// format: `\` → `\\`, tab → `\t`, newline → `\n`, CR → `\r`.
-fn escape(s: &str) -> String {
+///
+/// Public because the harness result store writes its own record kinds in
+/// the same `J1` framing and must stay byte-compatible with journal rows.
+pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -75,7 +78,7 @@ fn escape(s: &str) -> String {
 
 /// Inverse of [`escape`]; `None` on a malformed escape sequence (which the
 /// replay tail rule treats as corruption).
-fn unescape(s: &str) -> Option<String> {
+pub fn unescape(s: &str) -> Option<String> {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {
@@ -94,14 +97,16 @@ fn unescape(s: &str) -> Option<String> {
     Some(out)
 }
 
-fn encode_language(lang: Language) -> &'static str {
+/// Single-letter language code used in journal and store frames.
+pub fn encode_language(lang: Language) -> &'static str {
     match lang {
         Language::C => "C",
         Language::Fortran => "F",
     }
 }
 
-fn decode_language(s: &str) -> Option<Language> {
+/// Inverse of [`encode_language`].
+pub fn decode_language(s: &str) -> Option<Language> {
     match s {
         "C" => Some(Language::C),
         "F" => Some(Language::Fortran),
@@ -109,7 +114,10 @@ fn decode_language(s: &str) -> Option<Language> {
     }
 }
 
-fn encode_status(status: &TestStatus) -> String {
+/// Compact status code used in journal and store frames. A reason-less
+/// skip stays the bare `SK` of the v1 format; a degradation reason rides
+/// as `SK:<reason>`, mirroring the other message-carrying statuses.
+pub fn encode_status(status: &TestStatus) -> String {
     match status {
         TestStatus::Pass => "P".to_string(),
         TestStatus::PassInconclusive => "P*".to_string(),
@@ -119,16 +127,19 @@ fn encode_status(status: &TestStatus) -> String {
         TestStatus::Timeout => "TO".to_string(),
         TestStatus::Infra(m) => format!("IN:{m}"),
         TestStatus::Flaky => "FL".to_string(),
-        TestStatus::Skipped => "SK".to_string(),
+        TestStatus::Skipped(None) => "SK".to_string(),
+        TestStatus::Skipped(Some(m)) => format!("SK:{m}"),
     }
 }
 
-fn decode_status(s: &str) -> Option<TestStatus> {
+/// Inverse of [`encode_status`]; `None` means corruption (tail rule).
+pub fn decode_status(s: &str) -> Option<TestStatus> {
     if let Some((kind, msg)) = s.split_once(':') {
         return match kind {
             "CE" => Some(TestStatus::CompileError(msg.to_string())),
             "X" => Some(TestStatus::Crash(msg.to_string())),
             "IN" => Some(TestStatus::Infra(msg.to_string())),
+            "SK" => Some(TestStatus::Skipped(Some(msg.to_string()))),
             _ => None,
         };
     }
@@ -138,19 +149,21 @@ fn decode_status(s: &str) -> Option<TestStatus> {
         "WR" => Some(TestStatus::WrongResult),
         "TO" => Some(TestStatus::Timeout),
         "FL" => Some(TestStatus::Flaky),
-        "SK" => Some(TestStatus::Skipped),
+        "SK" => Some(TestStatus::Skipped(None)),
         _ => None,
     }
 }
 
-fn encode_certainty(c: &Option<Certainty>) -> String {
+/// Certainty as `m:nf`, or `-` when absent.
+pub fn encode_certainty(c: &Option<Certainty>) -> String {
     match c {
         Some(c) => format!("{}:{}", c.m, c.nf),
         None => "-".to_string(),
     }
 }
 
-fn decode_certainty(s: &str) -> Option<Option<Certainty>> {
+/// Inverse of [`encode_certainty`]; `None` means corruption (tail rule).
+pub fn decode_certainty(s: &str) -> Option<Option<Certainty>> {
     if s == "-" {
         return Some(None);
     }
@@ -426,10 +439,13 @@ pub struct FileJournal {
 }
 
 impl FileJournal {
-    /// Create (truncating) a fresh journal at `path`.
+    /// Create (truncating) a fresh journal at `path`. The containing
+    /// directory is fsynced so the journal's *existence* is as durable as
+    /// its records.
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
         let path = path.as_ref().to_path_buf();
         let file = File::create(&path)?;
+        fsync_dir(containing_dir(&path))?;
         Ok(FileJournal {
             path,
             inner: Mutex::new(FileJournalInner { file, error: None }),
@@ -441,6 +457,7 @@ impl FileJournal {
     pub fn append_to(path: impl AsRef<Path>) -> io::Result<Self> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        fsync_dir(containing_dir(&path))?;
         Ok(FileJournal {
             path,
             inner: Mutex::new(FileJournalInner { file, error: None }),
@@ -674,10 +691,44 @@ impl Replay {
     }
 }
 
+/// The directory that contains `path`, for durability syncs: its parent,
+/// or `.` when the path is a bare file name (whose parent renders as the
+/// empty string, which `File::open` rejects).
+fn containing_dir(path: &Path) -> &Path {
+    match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    }
+}
+
+/// Fsync a directory so a just-created or just-renamed entry inside it
+/// survives power failure. `sync_all` on the *file* makes the bytes
+/// durable; only an fsync of the *directory* makes the name durable — a
+/// rename without it can vanish on crash, resurrecting the old contents.
+/// No-op on non-Unix targets, where directory handles can't be synced.
+pub fn fsync_dir(dir: impl AsRef<Path>) -> io::Result<()> {
+    let dir = dir.as_ref();
+    let dir = if dir.as_os_str().is_empty() {
+        Path::new(".")
+    } else {
+        dir
+    };
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Ok(())
+    }
+}
+
 /// Crash-safe file write: write the full contents to a temp file in the
-/// destination directory, sync it, then atomically rename it over `path`.
-/// A crash at any point leaves either the old file or the new one — never a
-/// half-written hybrid.
+/// destination directory, sync it, atomically rename it over `path`, then
+/// fsync the directory so the rename itself is durable. A crash at any
+/// point leaves either the old file or the new one — never a half-written
+/// hybrid, and never a rename that silently rolls back.
 pub fn atomic_write(path: impl AsRef<Path>, contents: &[u8]) -> io::Result<()> {
     let path = path.as_ref();
     let file_name = path
@@ -690,7 +741,8 @@ pub fn atomic_write(path: impl AsRef<Path>, contents: &[u8]) -> io::Result<()> {
         let mut f = File::create(&tmp)?;
         f.write_all(contents)?;
         f.sync_all()?;
-        std::fs::rename(&tmp, path)
+        std::fs::rename(&tmp, path)?;
+        fsync_dir(containing_dir(path))
     })();
     if result.is_err() {
         let _ = std::fs::remove_file(&tmp);

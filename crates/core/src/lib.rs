@@ -57,9 +57,10 @@ pub use campaign::{Campaign, CampaignResult, FailureBreakdown, SuiteRun};
 pub use case::{TestCase, TestStatus};
 pub use config::SuiteConfig;
 pub use cross::CrossRule;
-pub use executor::{ExecStats, Executor, ExecutorPolicy, JobMeta};
+pub use executor::{CancelToken, ExecStats, Executor, ExecutorPolicy, JobMeta};
 pub use harness::{run_case, run_case_with, CasePolicy, CaseResult};
 pub use journal::{
-    atomic_write, CompletedCase, FileJournal, JournalRecord, JournalSink, MemoryJournal, Replay,
+    atomic_write, fsync_dir, CompletedCase, FileJournal, JournalRecord, JournalSink,
+    MemoryJournal, Replay,
 };
 pub use stats::Certainty;

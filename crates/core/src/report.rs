@@ -191,7 +191,7 @@ pub fn feature_matrix(runs: &[&SuiteRun], lang: Language) -> String {
                 TestStatus::Timeout => 'T',
                 TestStatus::Infra(_) => 'I',
                 TestStatus::Flaky => 'F',
-                TestStatus::Skipped => '.',
+                TestStatus::Skipped(_) => '.',
             };
             features
                 .entry(r.feature.as_str().to_string())

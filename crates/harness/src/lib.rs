@@ -18,10 +18,14 @@
 
 pub mod cluster;
 pub mod run;
+pub mod sched;
+pub mod store;
 pub mod sweep;
 pub mod tracking;
 
 pub use cluster::{LossPlan, Node, NodeFault, SimulatedCluster, SoftwareStack};
 pub use run::{HarnessReport, HarnessRun, StackResult};
+pub use sched::{FairScheduler, PushError};
+pub use store::{QueryFilter, QueryRow, ResultStore, StoredSubmission};
 pub use sweep::{ClusterSweep, NodeLoss, SweepOutcome, SweepRow};
 pub use tracking::{Drift, FunctionalityTracker};

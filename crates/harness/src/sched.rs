@@ -1,0 +1,310 @@
+//! Bounded multi-tenant admission queue with weighted round-robin fairness.
+//!
+//! The campaign server admits submissions from many tenants — interactive
+//! users poking at one feature, bulk sweeps enqueueing a vendor × version
+//! matrix. Two properties keep the service healthy under that mix:
+//!
+//! 1. **Bounded admission** — the queue has a hard capacity. A full queue
+//!    rejects the push ([`PushError::Full`]) so the caller can shed load
+//!    explicitly (HTTP 429 + Retry-After) instead of buffering without
+//!    bound until memory or latency collapses.
+//! 2. **Weighted round-robin across tenants** — each tenant has its own
+//!    FIFO; the dispatcher rotates between tenants, letting a tenant pop
+//!    up to `weight` items per visit. A bulk sweep that enqueued 500 items
+//!    still waits its turn each cycle, so an interactive tenant's single
+//!    submission pops within one rotation instead of behind the sweep.
+//!
+//! The queue is a plain `Mutex` + `Condvar`: pops block (with timeout) so
+//! the dispatcher thread sleeps when idle, and [`FairScheduler::close`]
+//! wakes every waiter for shutdown.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; the item was not enqueued. Carries the
+    /// current depth so the caller can report it alongside the 429.
+    Full(usize),
+    /// The queue was closed (server draining); nothing is admitted.
+    Closed,
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::Full(depth) => write!(f, "queue full at depth {depth}"),
+            PushError::Closed => write!(f, "queue closed"),
+        }
+    }
+}
+
+struct TenantQueue<T> {
+    items: VecDeque<T>,
+    /// Items this tenant may still pop before the rotation moves on.
+    credit: u32,
+    /// Items per rotation visit (≥ 1).
+    weight: u32,
+}
+
+struct SchedState<T> {
+    /// Per-tenant FIFOs, keyed by tenant name. BTreeMap so iteration (and
+    /// therefore tie-breaking) is deterministic.
+    queues: BTreeMap<String, TenantQueue<T>>,
+    /// Tenants with queued work, in rotation order (front = next to pop).
+    rotation: VecDeque<String>,
+    /// Total queued items across all tenants.
+    len: usize,
+    closed: bool,
+}
+
+/// A bounded, closable, weighted-round-robin multi-tenant queue.
+pub struct FairScheduler<T> {
+    state: Mutex<SchedState<T>>,
+    available: Condvar,
+    cap: usize,
+}
+
+impl<T> FairScheduler<T> {
+    /// An empty queue admitting at most `cap` items (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        FairScheduler {
+            state: Mutex::new(SchedState {
+                queues: BTreeMap::new(),
+                rotation: VecDeque::new(),
+                len: 0,
+                closed: false,
+            }),
+            available: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Admit one item for `tenant`, with the tenant's rotation weight
+    /// (clamped to ≥ 1; the latest push's weight wins). Returns the queue
+    /// depth after the push, or the shed/closed error.
+    pub fn push(&self, tenant: &str, weight: u32, item: T) -> Result<usize, PushError> {
+        let mut state = self.state.lock().expect("scheduler lock");
+        if state.closed {
+            return Err(PushError::Closed);
+        }
+        if state.len >= self.cap {
+            return Err(PushError::Full(state.len));
+        }
+        let weight = weight.max(1);
+        let q = state
+            .queues
+            .entry(tenant.to_string())
+            .or_insert_with(|| TenantQueue {
+                items: VecDeque::new(),
+                credit: weight,
+                weight,
+            });
+        q.weight = weight;
+        let newly_active = q.items.is_empty();
+        q.items.push_back(item);
+        if newly_active {
+            q.credit = weight;
+        }
+        if newly_active {
+            state.rotation.push_back(tenant.to_string());
+        }
+        state.len += 1;
+        let depth = state.len;
+        drop(state);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Pop the next item under the rotation, blocking up to `timeout`.
+    /// `None` on timeout or when the queue is closed and empty.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let mut state = self.state.lock().expect("scheduler lock");
+        loop {
+            if let Some(item) = Self::pop_locked(&mut state) {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            let (next, wait) = self
+                .available
+                .wait_timeout(state, timeout)
+                .expect("scheduler lock");
+            state = next;
+            if wait.timed_out() {
+                return Self::pop_locked(&mut state);
+            }
+        }
+    }
+
+    /// Pop without blocking.
+    pub fn try_pop(&self) -> Option<T> {
+        Self::pop_locked(&mut self.state.lock().expect("scheduler lock"))
+    }
+
+    fn pop_locked(state: &mut SchedState<T>) -> Option<T> {
+        let tenant = state.rotation.front()?.clone();
+        let q = state
+            .queues
+            .get_mut(&tenant)
+            .expect("rotation entry has a queue");
+        let item = q.items.pop_front().expect("rotated tenant has items");
+        state.len -= 1;
+        q.credit = q.credit.saturating_sub(1);
+        if q.items.is_empty() {
+            // Tenant drained: leave the rotation; it re-enters (with fresh
+            // credit) on its next push.
+            state.rotation.pop_front();
+        } else if q.credit == 0 {
+            // Visit exhausted: refill and move to the back of the rotation.
+            q.credit = q.weight;
+            state.rotation.rotate_left(1);
+        }
+        Some(item)
+    }
+
+    /// Total queued items.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("scheduler lock").len
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Close the queue: subsequent pushes fail with [`PushError::Closed`]
+    /// and every blocked popper wakes (draining remaining items first).
+    pub fn close(&self) {
+        self.state.lock().expect("scheduler lock").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Has [`FairScheduler::close`] been called?
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("scheduler lock").closed
+    }
+
+    /// Remove and return every queued item (rotation order), e.g. to mark
+    /// never-started submissions as cancelled during a drain.
+    pub fn drain(&self) -> Vec<T> {
+        let mut state = self.state.lock().expect("scheduler lock");
+        let mut out = Vec::with_capacity(state.len);
+        while let Some(item) = Self::pop_locked(&mut state) {
+            out.push(item);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn fifo_within_a_single_tenant() {
+        let q = FairScheduler::new(16);
+        for i in 0..5 {
+            q.push("a", 1, i).unwrap();
+        }
+        let popped: Vec<i32> = std::iter::from_fn(|| q.try_pop()).collect();
+        assert_eq!(popped, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn single_interactive_item_pops_within_one_rotation_of_a_bulk_sweep() {
+        let q = FairScheduler::new(64);
+        for i in 0..20 {
+            q.push("bulk", 1, format!("bulk{i}")).unwrap();
+        }
+        q.push("interactive", 1, "urgent".to_string()).unwrap();
+        let popped: Vec<String> = std::iter::from_fn(|| q.try_pop()).collect();
+        let pos = popped.iter().position(|s| s == "urgent").unwrap();
+        assert!(
+            pos <= 1,
+            "interactive item must pop in the first rotation, popped at {pos}: {popped:?}"
+        );
+    }
+
+    #[test]
+    fn weights_control_items_per_visit() {
+        let q = FairScheduler::new(64);
+        for i in 0..6 {
+            q.push("heavy", 3, format!("h{i}")).unwrap();
+        }
+        for i in 0..2 {
+            q.push("light", 1, format!("l{i}")).unwrap();
+        }
+        let popped: Vec<String> = std::iter::from_fn(|| q.try_pop()).collect();
+        // heavy pops 3 per visit, light 1: h0 h1 h2 l0 h3 h4 h5 l1.
+        assert_eq!(
+            popped,
+            vec!["h0", "h1", "h2", "l0", "h3", "h4", "h5", "l1"]
+        );
+    }
+
+    #[test]
+    fn full_queue_sheds_with_depth() {
+        let q = FairScheduler::new(3);
+        for i in 0..3 {
+            q.push("t", 1, i).unwrap();
+        }
+        assert_eq!(q.push("t", 1, 99), Err(PushError::Full(3)));
+        assert_eq!(q.push("other", 1, 99), Err(PushError::Full(3)));
+        // Popping one frees one slot.
+        assert_eq!(q.try_pop(), Some(0));
+        assert_eq!(q.push("t", 1, 99), Ok(3));
+    }
+
+    #[test]
+    fn close_rejects_pushes_and_wakes_poppers() {
+        let q = Arc::new(FairScheduler::<u32>::new(4));
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_timeout(Duration::from_secs(30)))
+        };
+        // Give the waiter a moment to block, then close.
+        std::thread::sleep(Duration::from_millis(20));
+        let started = Instant::now();
+        q.close();
+        assert_eq!(waiter.join().unwrap(), None);
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "close must wake the popper promptly"
+        );
+        assert_eq!(q.push("t", 1, 1), Err(PushError::Closed));
+    }
+
+    #[test]
+    fn close_drains_remaining_items_before_returning_none() {
+        let q = FairScheduler::new(4);
+        q.push("t", 1, 7).unwrap();
+        q.close();
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), Some(7));
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), None);
+    }
+
+    #[test]
+    fn drain_empties_everything() {
+        let q = FairScheduler::new(16);
+        q.push("a", 1, 1).unwrap();
+        q.push("b", 1, 2).unwrap();
+        q.push("a", 1, 3).unwrap();
+        let drained = q.drain();
+        assert_eq!(drained.len(), 3);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_timeout_returns_none_when_idle() {
+        let q = FairScheduler::<u32>::new(4);
+        let started = Instant::now();
+        assert_eq!(q.pop_timeout(Duration::from_millis(15)), None);
+        assert!(started.elapsed() >= Duration::from_millis(10));
+    }
+}

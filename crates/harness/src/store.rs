@@ -1,0 +1,613 @@
+//! Indexed, append-only on-disk result store for served campaigns.
+//!
+//! Every submission the campaign server runs lands here: a submission
+//! header, one row per case verdict, the rendered report verbatim, and a
+//! state record per lifecycle transition (`queued` → `running` → `done` /
+//! `degraded` / `cancelled` / `interrupted`). The file reuses the
+//! validation journal's `J1` checksummed-frame format — same magic, same
+//! FNV-1a checksum, same field escaping (via the public codecs in
+//! [`acc_validation::journal`]) — so the store inherits the journal's
+//! crash story: an append-only file whose torn or corrupted tail is
+//! detected and compacted away on open, with everything before the damage
+//! trusted.
+//!
+//! Record kinds (tab-separated payloads inside the `J1` frame):
+//!
+//! ```text
+//! sub   <id> <tenant> <scope> <format>
+//! case  <id> <name> <feature> <lang> <status> <certainty> <attempts> <source>
+//! rep   <id> <report-text>
+//! state <id> <state> <detail>
+//! ```
+//!
+//! The in-memory index (id → submission) is rebuilt by a full scan on
+//! open; queries aggregate pass rates by (scope, language, feature) across
+//! every stored verdict.
+
+use acc_validation::journal::{
+    self, atomic_write, checksum, fsync_dir, MAGIC,
+};
+use acc_spec::FeatureId;
+use acc_validation::CaseResult;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::OpenOptions;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// One stored submission, reassembled from its records.
+#[derive(Debug, Clone)]
+pub struct StoredSubmission {
+    /// Store-assigned submission id.
+    pub id: u64,
+    /// Submitting tenant.
+    pub tenant: String,
+    /// What was validated (compiler label).
+    pub scope: String,
+    /// Report format the submission asked for (`text`/`csv`/`html`).
+    pub format: String,
+    /// Latest lifecycle state.
+    pub state: String,
+    /// Human detail for the latest state (degradation reason, drain note).
+    pub detail: String,
+    /// Per-case verdicts.
+    pub cases: Vec<CaseResult>,
+    /// The rendered report, once the submission completed.
+    pub report: Option<String>,
+}
+
+/// One aggregated pass-rate row from [`ResultStore::query`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRow {
+    /// Compiler label the verdicts were recorded under.
+    pub scope: String,
+    /// Language variant.
+    pub language: String,
+    /// Feature id.
+    pub feature: String,
+    /// Counted verdicts (skips excluded).
+    pub total: usize,
+    /// Passing verdicts among `total`.
+    pub passed: usize,
+}
+
+impl QueryRow {
+    /// Pass rate in percent (0 when nothing counted).
+    pub fn pass_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.passed as f64 / self.total as f64 * 100.0
+        }
+    }
+}
+
+/// Prefix filters for [`ResultStore::query`]. Empty strings match all.
+#[derive(Debug, Clone, Default)]
+pub struct QueryFilter {
+    /// Scope (compiler label) prefix, e.g. `"PGI"` or `"PGI 13"`.
+    pub scope: String,
+    /// Feature id prefix, e.g. `"data."`.
+    pub feature: String,
+    /// Language name prefix, e.g. `"C"` or `"Fortran"`.
+    pub language: String,
+    /// Tenant exact match ("" = all tenants).
+    pub tenant: String,
+}
+
+struct StoreInner {
+    file: std::fs::File,
+    index: BTreeMap<u64, StoredSubmission>,
+    next_id: u64,
+}
+
+/// The append-only, indexed result store.
+pub struct ResultStore {
+    path: PathBuf,
+    inner: Mutex<StoreInner>,
+}
+
+fn frame(payload: &str) -> String {
+    format!("{MAGIC} {:016x} {payload}\n", checksum(payload))
+}
+
+fn encode_case(id: u64, r: &CaseResult) -> String {
+    format!(
+        "case\t{id}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        journal::escape(&r.name),
+        journal::escape(r.feature.as_str()),
+        journal::encode_language(r.language),
+        journal::escape(&journal::encode_status(&r.status)),
+        journal::encode_certainty(&r.certainty),
+        r.attempts,
+        journal::escape(&r.functional_source),
+    )
+}
+
+/// A decoded store record (internal; the public surface is the index).
+enum StoreRecord {
+    Sub {
+        id: u64,
+        tenant: String,
+        scope: String,
+        format: String,
+    },
+    Case {
+        id: u64,
+        result: CaseResult,
+    },
+    Report {
+        id: u64,
+        text: String,
+    },
+    State {
+        id: u64,
+        state: String,
+        detail: String,
+    },
+}
+
+fn decode_payload(payload: &str) -> Option<StoreRecord> {
+    let mut fields = payload.split('\t');
+    let kind = fields.next()?;
+    let fields: Vec<&str> = fields.collect();
+    match kind {
+        "sub" => {
+            let [id, tenant, scope, format] = fields.as_slice() else {
+                return None;
+            };
+            Some(StoreRecord::Sub {
+                id: id.parse().ok()?,
+                tenant: journal::unescape(tenant)?,
+                scope: journal::unescape(scope)?,
+                format: journal::unescape(format)?,
+            })
+        }
+        "case" => {
+            let [id, name, feature, lang, status, cert, attempts, source] =
+                fields.as_slice()
+            else {
+                return None;
+            };
+            Some(StoreRecord::Case {
+                id: id.parse().ok()?,
+                result: CaseResult {
+                    name: journal::unescape(name)?,
+                    feature: FeatureId::new(journal::unescape(feature)?),
+                    language: journal::decode_language(lang)?,
+                    status: journal::decode_status(&journal::unescape(status)?)?,
+                    certainty: journal::decode_certainty(cert)?,
+                    functional_source: journal::unescape(source)?,
+                    attempts: attempts.parse().ok()?,
+                },
+            })
+        }
+        "rep" => {
+            let [id, text] = fields.as_slice() else {
+                return None;
+            };
+            Some(StoreRecord::Report {
+                id: id.parse().ok()?,
+                text: journal::unescape(text)?,
+            })
+        }
+        "state" => {
+            let [id, state, detail] = fields.as_slice() else {
+                return None;
+            };
+            Some(StoreRecord::State {
+                id: id.parse().ok()?,
+                state: journal::unescape(state)?,
+                detail: journal::unescape(detail)?,
+            })
+        }
+        _ => None,
+    }
+}
+
+fn decode_line(line: &str) -> Option<StoreRecord> {
+    let rest = line.strip_prefix(MAGIC)?.strip_prefix(' ')?;
+    let (crc_hex, payload) = rest.split_once(' ')?;
+    let crc = u64::from_str_radix(crc_hex, 16).ok()?;
+    if crc != checksum(payload) {
+        return None;
+    }
+    decode_payload(payload)
+}
+
+impl ResultStore {
+    /// Open (or create) the store at `path`, rebuilding the index with the
+    /// journal's tail rule: the first torn or corrupt line poisons itself
+    /// and everything after it; the file is compacted to the trusted
+    /// prefix before appends resume.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        let mut index: BTreeMap<u64, StoredSubmission> = BTreeMap::new();
+        let mut valid_bytes = 0usize;
+        let mut poisoned = false;
+        for raw in text.split_inclusive('\n') {
+            if !raw.ends_with('\n') {
+                poisoned = true; // torn tail
+                break;
+            }
+            let line = raw.trim_end_matches(['\n', '\r']);
+            if line.is_empty() {
+                valid_bytes += raw.len();
+                continue;
+            }
+            match decode_line(line) {
+                Some(record) => {
+                    apply(&mut index, record);
+                    valid_bytes += raw.len();
+                }
+                None => {
+                    poisoned = true;
+                    break;
+                }
+            }
+        }
+        if poisoned {
+            atomic_write(&path, &text.as_bytes()[..valid_bytes])?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        fsync_dir(path.parent().filter(|p| !p.as_os_str().is_empty()).unwrap_or(Path::new(".")))?;
+        let next_id = index.keys().next_back().map_or(1, |max| max + 1);
+        Ok(ResultStore {
+            path,
+            inner: Mutex::new(StoreInner {
+                file,
+                index,
+                next_id,
+            }),
+        })
+    }
+
+    /// The store's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn append_locked(inner: &mut StoreInner, payload: &str) -> io::Result<()> {
+        inner.file.write_all(frame(payload).as_bytes())?;
+        inner.file.flush()
+    }
+
+    /// Register a new submission; returns its id. The header and the
+    /// initial `queued` state are appended before the id is handed out, so
+    /// every id the server ever returned is resolvable after a restart.
+    pub fn begin(&self, tenant: &str, scope: &str, format: &str) -> io::Result<u64> {
+        let mut inner = self.inner.lock().expect("store lock");
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let payload = format!(
+            "sub\t{id}\t{}\t{}\t{}",
+            journal::escape(tenant),
+            journal::escape(scope),
+            journal::escape(format),
+        );
+        Self::append_locked(&mut inner, &payload)?;
+        let state = format!("state\t{id}\tqueued\t");
+        Self::append_locked(&mut inner, &state)?;
+        inner.index.insert(
+            id,
+            StoredSubmission {
+                id,
+                tenant: tenant.to_string(),
+                scope: scope.to_string(),
+                format: format.to_string(),
+                state: "queued".to_string(),
+                detail: String::new(),
+                cases: Vec::new(),
+                report: None,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Record a lifecycle transition.
+    pub fn set_state(&self, id: u64, state: &str, detail: &str) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("store lock");
+        let payload = format!(
+            "state\t{id}\t{}\t{}",
+            journal::escape(state),
+            journal::escape(detail)
+        );
+        Self::append_locked(&mut inner, &payload)?;
+        if let Some(sub) = inner.index.get_mut(&id) {
+            sub.state = state.to_string();
+            sub.detail = detail.to_string();
+        }
+        Ok(())
+    }
+
+    /// Append every verdict of a finished (or interrupted) run.
+    pub fn record_cases(&self, id: u64, cases: &[CaseResult]) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("store lock");
+        let mut lines = String::new();
+        for case in cases {
+            let _ = write!(lines, "{}", frame(&encode_case(id, case)));
+        }
+        inner.file.write_all(lines.as_bytes())?;
+        inner.file.flush()?;
+        if let Some(sub) = inner.index.get_mut(&id) {
+            sub.cases.extend(cases.iter().cloned());
+        }
+        Ok(())
+    }
+
+    /// Append the rendered report verbatim (the byte-identity artifact:
+    /// what this returns on a later fetch is exactly what `accvv run`
+    /// would have printed).
+    pub fn record_report(&self, id: u64, text: &str) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("store lock");
+        let payload = format!("rep\t{id}\t{}", journal::escape(text));
+        Self::append_locked(&mut inner, &payload)?;
+        if let Some(sub) = inner.index.get_mut(&id) {
+            sub.report = Some(text.to_string());
+        }
+        Ok(())
+    }
+
+    /// Look up one submission by id.
+    pub fn submission(&self, id: u64) -> Option<StoredSubmission> {
+        self.inner.lock().expect("store lock").index.get(&id).cloned()
+    }
+
+    /// Every stored submission, id-ordered.
+    pub fn list(&self) -> Vec<StoredSubmission> {
+        self.inner
+            .lock()
+            .expect("store lock")
+            .index
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Aggregate pass rates by (scope, language, feature) across every
+    /// stored verdict matching the filter. Skipped rows are excluded, the
+    /// same exclusion the report applies, so a degraded submission does
+    /// not drag a vendor's rate down.
+    pub fn query(&self, filter: &QueryFilter) -> Vec<QueryRow> {
+        let inner = self.inner.lock().expect("store lock");
+        let mut agg: BTreeMap<(String, String, String), (usize, usize)> = BTreeMap::new();
+        for sub in inner.index.values() {
+            if !filter.tenant.is_empty() && sub.tenant != filter.tenant {
+                continue;
+            }
+            if !sub.scope.starts_with(&filter.scope) {
+                continue;
+            }
+            for case in &sub.cases {
+                if !case.status.counted() {
+                    continue;
+                }
+                let language = case.language.to_string();
+                if !language.starts_with(&filter.language) {
+                    continue;
+                }
+                let feature = case.feature.as_str().to_string();
+                if !feature.starts_with(&filter.feature) {
+                    continue;
+                }
+                let slot = agg
+                    .entry((sub.scope.clone(), language, feature))
+                    .or_insert((0, 0));
+                slot.0 += 1;
+                if case.status.passed() {
+                    slot.1 += 1;
+                }
+            }
+        }
+        agg.into_iter()
+            .map(|((scope, language, feature), (total, passed))| QueryRow {
+                scope,
+                language,
+                feature,
+                total,
+                passed,
+            })
+            .collect()
+    }
+}
+
+fn apply(index: &mut BTreeMap<u64, StoredSubmission>, record: StoreRecord) {
+    match record {
+        StoreRecord::Sub {
+            id,
+            tenant,
+            scope,
+            format,
+        } => {
+            index.entry(id).or_insert(StoredSubmission {
+                id,
+                tenant,
+                scope,
+                format,
+                state: "queued".to_string(),
+                detail: String::new(),
+                cases: Vec::new(),
+                report: None,
+            });
+        }
+        StoreRecord::Case { id, result } => {
+            if let Some(sub) = index.get_mut(&id) {
+                sub.cases.push(result);
+            }
+        }
+        StoreRecord::Report { id, text } => {
+            if let Some(sub) = index.get_mut(&id) {
+                sub.report = Some(text);
+            }
+        }
+        StoreRecord::State { id, state, detail } => {
+            if let Some(sub) = index.get_mut(&id) {
+                sub.state = state;
+                sub.detail = detail;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_spec::Language;
+    use acc_validation::TestStatus;
+
+    fn case(name: &str, feature: &str, status: TestStatus) -> CaseResult {
+        CaseResult {
+            name: name.to_string(),
+            feature: FeatureId::new(feature.to_string()),
+            language: Language::C,
+            status,
+            certainty: None,
+            functional_source: "int main(void) {\n\treturn 1;\n}\n".to_string(),
+            attempts: 1,
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("accvv-store-{}-{name}.j1", std::process::id()))
+    }
+
+    #[test]
+    fn submission_round_trips_through_reopen() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = ResultStore::open(&path).unwrap();
+            let id = store.begin("alice", "PGI 13.4", "text").unwrap();
+            assert_eq!(id, 1);
+            store.set_state(id, "running", "").unwrap();
+            store
+                .record_cases(
+                    id,
+                    &[
+                        case("loop", "loop", TestStatus::Pass),
+                        case("data.copy", "data.copy", TestStatus::WrongResult),
+                        case(
+                            "update.host",
+                            "update.host",
+                            TestStatus::Skipped(Some("breaker open: PGI".into())),
+                        ),
+                    ],
+                )
+                .unwrap();
+            store.record_report(id, "REPORT\nline two\ttabbed\n").unwrap();
+            store.set_state(id, "done", "").unwrap();
+        }
+        let store = ResultStore::open(&path).unwrap();
+        let sub = store.submission(1).expect("reopened index has it");
+        assert_eq!(sub.tenant, "alice");
+        assert_eq!(sub.scope, "PGI 13.4");
+        assert_eq!(sub.state, "done");
+        assert_eq!(sub.cases.len(), 3);
+        assert_eq!(
+            sub.cases[2].status,
+            TestStatus::Skipped(Some("breaker open: PGI".into()))
+        );
+        assert_eq!(sub.report.as_deref(), Some("REPORT\nline two\ttabbed\n"));
+        // Ids keep counting after reopen.
+        assert_eq!(store.begin("bob", "ref", "text").unwrap(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_tail_is_compacted_on_open() {
+        let path = tmp("tail");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = ResultStore::open(&path).unwrap();
+            let id = store.begin("t", "scope", "text").unwrap();
+            store.set_state(id, "done", "").unwrap();
+        }
+        let good_len = std::fs::metadata(&path).unwrap().len();
+        // Append garbage then a torn line.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("J1 0000000000000000 state\t1\tbogus\t\n");
+        text.push_str("J1 0123"); // torn
+        std::fs::write(&path, &text).unwrap();
+        let store = ResultStore::open(&path).unwrap();
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            good_len,
+            "poisoned tail compacted away"
+        );
+        assert_eq!(store.submission(1).unwrap().state, "done");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn query_aggregates_and_filters() {
+        let path = tmp("query");
+        let _ = std::fs::remove_file(&path);
+        let store = ResultStore::open(&path).unwrap();
+        let a = store.begin("alice", "PGI 13.4", "text").unwrap();
+        store
+            .record_cases(
+                a,
+                &[
+                    case("loop", "loop", TestStatus::Pass),
+                    case("data.copy", "data.copy", TestStatus::Pass),
+                    case("data.copyin", "data.copyin", TestStatus::WrongResult),
+                ],
+            )
+            .unwrap();
+        let b = store.begin("bob", "CAPS 3.3.0", "text").unwrap();
+        store
+            .record_cases(
+                b,
+                &[
+                    case("loop", "loop", TestStatus::Pass),
+                    // Skips never count.
+                    case("loop", "loop", TestStatus::Skipped(Some("breaker".into()))),
+                ],
+            )
+            .unwrap();
+        let all = store.query(&QueryFilter::default());
+        assert_eq!(all.len(), 4);
+        let pgi_data = store.query(&QueryFilter {
+            scope: "PGI".into(),
+            feature: "data.".into(),
+            ..Default::default()
+        });
+        assert_eq!(pgi_data.len(), 2);
+        let copyin = pgi_data.iter().find(|r| r.feature == "data.copyin").unwrap();
+        assert_eq!((copyin.total, copyin.passed), (1, 0));
+        assert_eq!(copyin.pass_rate(), 0.0);
+        let caps = store.query(&QueryFilter {
+            scope: "CAPS".into(),
+            ..Default::default()
+        });
+        assert_eq!(caps.len(), 1);
+        assert_eq!((caps[0].total, caps[0].passed), (1, 1), "skip excluded");
+        let bob_only = store.query(&QueryFilter {
+            tenant: "bob".into(),
+            ..Default::default()
+        });
+        assert_eq!(bob_only.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn case_frames_use_journal_escaping() {
+        let encoded = encode_case(7, &case("x", "f", TestStatus::Crash("bad\tnews\n".into())));
+        assert!(!encoded.contains('\n'));
+        let framed = frame(&encoded);
+        let decoded = decode_line(framed.trim_end()).expect("round trip");
+        match decoded {
+            StoreRecord::Case { id, result } => {
+                assert_eq!(id, 7);
+                assert_eq!(result.status, TestStatus::Crash("bad\tnews\n".into()));
+            }
+            _ => panic!("wrong kind"),
+        }
+    }
+}

@@ -41,6 +41,61 @@ impl CacheCounters {
     }
 }
 
+/// Campaign-server gauges and counters, filled by the server from its own
+/// atomics (which stay the source of truth — this sink only renders them,
+/// mirroring the [`CacheCounters`] split).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerCounters {
+    /// Submissions currently queued (gauge).
+    pub queue_depth: u64,
+    /// Submissions admitted into the queue since start.
+    pub admitted_total: u64,
+    /// Submissions shed with 429 because the queue was full.
+    pub shed_total: u64,
+    /// Submissions that ran to completion with a report.
+    pub completed_total: u64,
+    /// Submissions cancelled before or during execution (deadline expiry,
+    /// drain).
+    pub cancelled_total: u64,
+    /// Submissions degraded to all-Skipped by an open circuit breaker.
+    pub degraded_total: u64,
+    /// Vendor circuit breakers currently open (gauge).
+    pub breaker_open: u64,
+    /// Closed→open breaker transitions since start.
+    pub breaker_trips_total: u64,
+}
+
+/// Render the campaign server's Prometheus series. Kept separate from
+/// [`render_prometheus`] so existing one-shot callers don't change; the
+/// server concatenates both.
+pub fn render_server_metrics(c: &ServerCounters) -> String {
+    let mut out = String::new();
+    out.push_str("# HELP accvv_server_queue_depth Submissions currently queued.\n");
+    out.push_str("# TYPE accvv_server_queue_depth gauge\n");
+    let _ = writeln!(out, "accvv_server_queue_depth {}", c.queue_depth);
+    out.push_str("# HELP accvv_server_submissions_total Submission admissions by outcome.\n");
+    out.push_str("# TYPE accvv_server_submissions_total counter\n");
+    for (outcome, v) in [
+        ("admitted", c.admitted_total),
+        ("shed", c.shed_total),
+        ("completed", c.completed_total),
+        ("cancelled", c.cancelled_total),
+        ("degraded", c.degraded_total),
+    ] {
+        let _ = writeln!(
+            out,
+            "accvv_server_submissions_total{{outcome=\"{outcome}\"}} {v}"
+        );
+    }
+    out.push_str("# HELP accvv_server_breaker_open Vendor circuit breakers currently open.\n");
+    out.push_str("# TYPE accvv_server_breaker_open gauge\n");
+    let _ = writeln!(out, "accvv_server_breaker_open {}", c.breaker_open);
+    out.push_str("# HELP accvv_server_breaker_trips_total Closed-to-open breaker transitions.\n");
+    out.push_str("# TYPE accvv_server_breaker_trips_total counter\n");
+    let _ = writeln!(out, "accvv_server_breaker_trips_total {}", c.breaker_trips_total);
+    out
+}
+
 #[derive(Default)]
 struct Agg {
     /// kind -> (bucket counts, sum_us, count) over span End durations.
@@ -263,6 +318,33 @@ mod tests {
         assert!(text.contains("accvv_compile_cache_hit_rate 0.6667"));
         let table = summary_table(&[], Some(&c));
         assert!(table.contains("frontend 3/4 exec 5/8"));
+    }
+
+    #[test]
+    fn server_counters_render_every_series() {
+        let c = ServerCounters {
+            queue_depth: 3,
+            admitted_total: 10,
+            shed_total: 4,
+            completed_total: 5,
+            cancelled_total: 1,
+            degraded_total: 2,
+            breaker_open: 1,
+            breaker_trips_total: 6,
+        };
+        let text = render_server_metrics(&c);
+        assert!(text.contains("accvv_server_queue_depth 3"));
+        assert!(text.contains("accvv_server_submissions_total{outcome=\"admitted\"} 10"));
+        assert!(text.contains("accvv_server_submissions_total{outcome=\"shed\"} 4"));
+        assert!(text.contains("accvv_server_submissions_total{outcome=\"completed\"} 5"));
+        assert!(text.contains("accvv_server_submissions_total{outcome=\"cancelled\"} 1"));
+        assert!(text.contains("accvv_server_submissions_total{outcome=\"degraded\"} 2"));
+        assert!(text.contains("accvv_server_breaker_open 1"));
+        assert!(text.contains("accvv_server_breaker_trips_total 6"));
+        // Composable with the event exposition: both are valid standalone
+        // text blocks.
+        let combined = format!("{}{}", render_prometheus(&[], None), text);
+        assert!(combined.contains("accvv_server_queue_depth"));
     }
 
     #[test]

@@ -1,0 +1,1061 @@
+//! # acc-server — the overload-safe campaign server
+//!
+//! Promotes the validation suite from a one-shot CLI into a long-running
+//! service: campaign submissions arrive over HTTP/JSON, are admitted
+//! through a bounded multi-tenant queue ([`acc_harness::FairScheduler`]),
+//! run on the existing executor against one process-wide compile cache,
+//! and land in an indexed append-only [`acc_harness::ResultStore`].
+//!
+//! Overload machinery, end to end:
+//!
+//! * **Admission control** — the queue has a hard capacity; a full queue
+//!   sheds the submission with `429 Too Many Requests` + `Retry-After`
+//!   instead of buffering without bound.
+//! * **Fairness** — per-tenant weighted round-robin, so a bulk sweep
+//!   cannot starve an interactive tenant.
+//! * **Deadlines** — a submission's `deadline_ms` propagates into
+//!   [`ExecutorPolicy::with_run_deadline`]; work whose deadline expired
+//!   while queued is cancelled, not run.
+//! * **Circuit breakers** — per compiler profile ([`breaker`]); a tripped
+//!   profile degrades gracefully: every case reports
+//!   `Skipped("circuit open …")` immediately.
+//! * **Graceful drain** — SIGINT/SIGTERM ([`signal`]) stops admission,
+//!   cancels in-flight work through the executor's [`CancelToken`] (the
+//!   per-submission journal makes it resumable), marks queued work
+//!   cancelled, and lets the process exit 0.
+//!
+//! The report a completed submission stores is **byte-identical** to what
+//! `accvv run` would have printed for the same parameters — both paths go
+//! through [`run_submission`].
+
+#![warn(missing_docs)]
+
+pub mod breaker;
+pub mod http;
+pub mod signal;
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use acc_compiler::{CompileCache, ExecMode, VendorCompiler, VendorId};
+use acc_harness::{FairScheduler, PushError, QueryFilter, ResultStore};
+use acc_obs as obs;
+use acc_obs::json::{self, Json};
+use acc_obs::metrics::{
+    render_prometheus, render_server_metrics, CacheCounters, ServerCounters,
+};
+use acc_spec::version::CompilerVersion;
+use acc_spec::Language;
+use acc_testsuite::full_suite;
+use acc_validation::report::{self, ReportFormat};
+use acc_validation::{
+    Campaign, CancelToken, CaseResult, ExecStats, Executor, ExecutorPolicy, FileJournal,
+    SuiteConfig, SuiteRun, TestStatus,
+};
+
+pub use breaker::{BreakerDecision, BreakerSet, BreakerState};
+use http::{Request, Response};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7878` (`…:0` picks a free port).
+    pub addr: String,
+    /// Worker threads per campaign run (the executor's `--jobs`).
+    pub jobs: usize,
+    /// Admission-queue capacity; pushes beyond it shed with 429.
+    pub queue_cap: usize,
+    /// Directory for the result store (`results.j1`) and per-submission
+    /// journals (`journal-<id>.j1`).
+    pub store_dir: PathBuf,
+    /// Consecutive `Infra` verdicts that trip a profile's breaker.
+    pub breaker_threshold: u32,
+    /// Cooldown before a tripped breaker admits a half-open trial.
+    pub breaker_cooldown: Duration,
+    /// `Retry-After` seconds attached to 429 shed responses.
+    pub retry_after_secs: u64,
+    /// Telemetry recorder shared by every campaign the server runs.
+    pub recorder: obs::Recorder,
+}
+
+impl ServeConfig {
+    /// Defaults: loopback listener, serial executor, small queue.
+    pub fn new(store_dir: impl Into<PathBuf>) -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            jobs: 1,
+            queue_cap: 8,
+            store_dir: store_dir.into(),
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_secs(30),
+            retry_after_secs: 2,
+            recorder: obs::Recorder::disabled(),
+        }
+    }
+}
+
+/// One campaign submission, as parsed from `POST /v1/submit`.
+///
+/// The fields mirror `accvv run`'s flags one-for-one so a stored report is
+/// byte-identical to the CLI's output for the same parameters.
+#[derive(Debug, Clone)]
+pub struct SubmissionSpec {
+    /// Submitting tenant (fair-scheduling key). Defaults to `"anon"`.
+    pub tenant: String,
+    /// Weighted-round-robin weight (items per rotation visit, ≥ 1).
+    pub weight: u32,
+    /// Compiler vendor under test.
+    pub vendor: VendorId,
+    /// Specific release; `None` = the vendor's latest.
+    pub version: Option<CompilerVersion>,
+    /// Restrict to one language; `None` = both C and Fortran.
+    pub language: Option<Language>,
+    /// Feature-prefix selection; empty = the whole suite.
+    pub features: Vec<String>,
+    /// Cross-test repetition override.
+    pub repetitions: Option<u32>,
+    /// Report format.
+    pub format: ReportFormat,
+    /// Execution engine.
+    pub exec_mode: ExecMode,
+    /// Whole-submission deadline in milliseconds from admission; expired
+    /// work is cancelled, not run.
+    pub deadline_ms: Option<u64>,
+    /// Per-case wall-clock deadline in milliseconds.
+    pub case_deadline_ms: Option<u64>,
+}
+
+impl SubmissionSpec {
+    /// A default submission for `vendor`: latest release, both languages,
+    /// whole suite, text report.
+    pub fn new(vendor: VendorId) -> Self {
+        SubmissionSpec {
+            tenant: "anon".to_string(),
+            weight: 1,
+            vendor,
+            version: None,
+            language: None,
+            features: Vec::new(),
+            repetitions: None,
+            format: ReportFormat::Text,
+            exec_mode: ExecMode::default(),
+            deadline_ms: None,
+            case_deadline_ms: None,
+        }
+    }
+
+    /// Resolve the compiler under test, validating the version against the
+    /// vendor's release history (same check and message as the CLI).
+    pub fn compiler(&self) -> Result<VendorCompiler, String> {
+        match self.version {
+            Some(version) => {
+                if self.vendor.version_index(version).is_none() {
+                    return Err(format!(
+                        "{} never released {version}; releases: {}",
+                        self.vendor.name(),
+                        self.vendor
+                            .versions()
+                            .iter()
+                            .map(|v| v.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ));
+                }
+                Ok(VendorCompiler::new(self.vendor, version))
+            }
+            None => Ok(VendorCompiler::latest(self.vendor)),
+        }
+    }
+
+    /// The suite configuration this submission selects — the exact
+    /// builder-call sequence `accvv run` performs.
+    pub fn suite_config(&self) -> SuiteConfig {
+        let mut config = SuiteConfig::new();
+        if let Some(lang) = self.language {
+            config = config.language(lang);
+        }
+        if !self.features.is_empty() {
+            let prefixes: Vec<&str> = self.features.iter().map(String::as_str).collect();
+            config = config.select_prefixes(&prefixes);
+        }
+        if let Some(m) = self.repetitions {
+            config = config.with_repetitions(m);
+        }
+        config.with_exec_mode(self.exec_mode)
+    }
+
+    /// The format's CLI name (`text`/`csv`/`html`), as stored.
+    pub fn format_name(&self) -> &'static str {
+        match self.format {
+            ReportFormat::Text => "text",
+            ReportFormat::Csv => "csv",
+            ReportFormat::Html => "html",
+        }
+    }
+
+    /// Parse a submission from a request body. Validation mirrors the CLI:
+    /// unknown vendors/languages/formats, unreleased versions, zero
+    /// deadlines and zero repetitions are all rejected with the reason.
+    pub fn from_json(body: &Json) -> Result<Self, String> {
+        if !matches!(body, Json::Obj(_)) {
+            return Err("submission must be a JSON object".to_string());
+        }
+        let vendor_name = str_field(body, "vendor")?
+            .ok_or("submission requires `vendor` (caps|pgi|cray|reference)")?;
+        let vendor = parse_vendor(vendor_name)?;
+        let mut spec = SubmissionSpec::new(vendor);
+        if let Some(v) = str_field(body, "version")? {
+            spec.version = Some(v.parse().map_err(|e| format!("bad `version`: {e}"))?);
+        }
+        if let Some(t) = str_field(body, "tenant")? {
+            if t.is_empty() {
+                return Err("`tenant` must not be empty".to_string());
+            }
+            spec.tenant = t.to_string();
+        }
+        if let Some(w) = u64_field(body, "weight")? {
+            if w == 0 {
+                return Err("`weight` must be at least 1".to_string());
+            }
+            spec.weight = w.min(u64::from(u32::MAX)) as u32;
+        }
+        if let Some(l) = str_field(body, "lang")? {
+            spec.language = Some(parse_lang(l)?);
+        }
+        spec.features = features_field(body)?;
+        if let Some(m) = u64_field(body, "repetitions")? {
+            if m == 0 {
+                return Err("`repetitions` must be at least 1".to_string());
+            }
+            spec.repetitions = Some(m.min(u64::from(u32::MAX)) as u32);
+        }
+        if let Some(f) = str_field(body, "format")? {
+            spec.format = match f {
+                "text" => ReportFormat::Text,
+                "csv" => ReportFormat::Csv,
+                "html" => ReportFormat::Html,
+                other => return Err(format!("unknown format `{other}` (text|csv|html)")),
+            };
+        }
+        if let Some(m) = str_field(body, "exec_mode")? {
+            spec.exec_mode = ExecMode::from_cli(m)
+                .ok_or_else(|| format!("unknown exec mode `{m}` (vm|walk)"))?;
+        }
+        if let Some(ms) = u64_field(body, "deadline_ms")? {
+            if ms == 0 {
+                return Err("`deadline_ms` of 0 is already expired; omit it or give the \
+                            submission time to run"
+                    .to_string());
+            }
+            spec.deadline_ms = Some(ms);
+        }
+        if let Some(ms) = u64_field(body, "case_deadline_ms")? {
+            if ms == 0 {
+                return Err("`case_deadline_ms` of 0 would time out every case before it \
+                            starts"
+                    .to_string());
+            }
+            spec.case_deadline_ms = Some(ms);
+        }
+        // Validate the version against the release history now, so a bad
+        // submission is a 400 at admission instead of a failed run later.
+        spec.compiler()?;
+        Ok(spec)
+    }
+}
+
+fn str_field<'a>(obj: &'a Json, key: &str) -> Result<Option<&'a str>, String> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| format!("`{key}` must be a string")),
+    }
+}
+
+fn u64_field(obj: &Json, key: &str) -> Result<Option<u64>, String> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => match v.as_i64() {
+            Some(n) if n >= 0 => Ok(Some(n as u64)),
+            _ => Err(format!("`{key}` must be a non-negative integer")),
+        },
+    }
+}
+
+/// `features` accepts either a JSON array of strings or one
+/// comma-separated string (the CLI's `--features` syntax).
+fn features_field(obj: &Json) -> Result<Vec<String>, String> {
+    match obj.get("features") {
+        None | Some(Json::Null) => Ok(Vec::new()),
+        Some(Json::Str(s)) => Ok(s
+            .split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .map(str::to_string)
+            .collect()),
+        Some(v) => {
+            let arr = v
+                .as_arr()
+                .ok_or("`features` must be an array of strings or a comma-separated string")?;
+            arr.iter()
+                .map(|e| {
+                    e.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "`features` entries must be strings".to_string())
+                })
+                .collect()
+        }
+    }
+}
+
+fn parse_vendor(s: &str) -> Result<VendorId, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "caps" => Ok(VendorId::Caps),
+        "pgi" => Ok(VendorId::Pgi),
+        "cray" => Ok(VendorId::Cray),
+        "reference" | "ref" => Ok(VendorId::Reference),
+        other => Err(format!("unknown vendor `{other}` (caps|pgi|cray|reference)")),
+    }
+}
+
+fn parse_lang(s: &str) -> Result<Language, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "c" => Ok(Language::C),
+        "f" | "fortran" => Ok(Language::Fortran),
+        other => Err(format!("unknown language `{other}` (c|fortran)")),
+    }
+}
+
+/// Execution knobs the *server* (not the submitter) controls.
+#[derive(Clone, Default)]
+pub struct RunOptions {
+    /// Worker threads (0 is treated as 1).
+    pub jobs: usize,
+    /// Shared compile cache; `None` compiles cold.
+    pub cache: Option<Arc<CompileCache>>,
+    /// Durable per-submission journal.
+    pub journal: Option<Arc<FileJournal>>,
+    /// Cooperative cancellation (server drain / Ctrl-C).
+    pub cancel: Option<Arc<CancelToken>>,
+    /// Absolute whole-run deadline.
+    pub run_deadline: Option<Instant>,
+    /// Telemetry recorder.
+    pub recorder: obs::Recorder,
+}
+
+/// What one executed submission produced.
+pub struct RunOutcome {
+    /// The suite run (one row per case × language).
+    pub run: SuiteRun,
+    /// Executor statistics (cancelled/deadlined/halted flags).
+    pub stats: ExecStats,
+    /// The rendered report — byte-identical to `accvv run`'s output for
+    /// the same submission parameters.
+    pub report: String,
+}
+
+/// Run one submission. This is the **single execution path** shared by the
+/// server and (transitively, same builder-call sequence) the `accvv run`
+/// CLI, which is what makes served reports byte-identical to one-shot
+/// runs.
+pub fn run_submission(spec: &SubmissionSpec, opts: &RunOptions) -> Result<RunOutcome, String> {
+    let compiler = spec.compiler()?;
+    let mut campaign = Campaign::new(full_suite()).with_config(spec.suite_config());
+    if let Some(cache) = &opts.cache {
+        campaign = campaign.with_cache(Arc::clone(cache));
+    }
+    let mut policy = ExecutorPolicy::new()
+        .with_jobs(opts.jobs.max(1))
+        .with_recorder(opts.recorder.clone())
+        .with_exec_mode(spec.exec_mode);
+    if let Some(ms) = spec.case_deadline_ms {
+        policy = policy.with_deadline_ms(ms);
+    }
+    if let Some(journal) = &opts.journal {
+        policy = policy.with_journal(Arc::clone(journal) as _);
+    }
+    if let Some(cancel) = &opts.cancel {
+        policy = policy.with_cancel(Arc::clone(cancel));
+    }
+    if let Some(deadline) = opts.run_deadline {
+        policy = policy.with_run_deadline(deadline);
+    }
+    let (run, stats) = Executor::new(policy).run_suite_stats(&campaign, &compiler);
+    let report = report::render(&run, spec.format);
+    Ok(RunOutcome { run, stats, report })
+}
+
+/// Synthesize the run a tripped circuit breaker degrades to: every
+/// selected case × language reports `Skipped(reason)` (uncounted, so the
+/// degradation never skews pass rates), in the executor's job order.
+pub fn degraded_run(spec: &SubmissionSpec, reason: &str) -> Result<SuiteRun, String> {
+    let compiler = spec.compiler()?;
+    let campaign = Campaign::new(full_suite()).with_config(spec.suite_config());
+    let cases = campaign.materialized_cases();
+    let mut results = Vec::new();
+    for case in &cases {
+        for &lang in &campaign.config.languages {
+            results.push(CaseResult {
+                name: case.name.clone(),
+                feature: case.feature.clone(),
+                language: lang,
+                status: TestStatus::Skipped(Some(reason.to_string())),
+                certainty: None,
+                functional_source: String::new(),
+                attempts: 0,
+            });
+        }
+    }
+    Ok(SuiteRun {
+        compiler: compiler.label(),
+        results,
+    })
+}
+
+/// Counters accumulated over a server's lifetime, returned by
+/// [`Server::run`] after the drain completes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainSummary {
+    /// Submissions admitted into the queue.
+    pub admitted: u64,
+    /// Submissions shed with 429.
+    pub shed: u64,
+    /// Submissions that ran to completion.
+    pub completed: u64,
+    /// Submissions cancelled (deadline expiry, drain) before or mid-run.
+    pub cancelled: u64,
+    /// Submissions degraded by an open circuit breaker.
+    pub degraded: u64,
+}
+
+impl std::fmt::Display for DrainSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "admitted {}, completed {}, degraded {}, cancelled {}, shed {}",
+            self.admitted, self.completed, self.degraded, self.cancelled, self.shed
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct Gauges {
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+    degraded: AtomicU64,
+}
+
+struct QueuedSubmission {
+    spec: SubmissionSpec,
+    deadline: Option<Instant>,
+}
+
+struct ServerInner {
+    config: ServeConfig,
+    queue: FairScheduler<u64>,
+    pending: Mutex<HashMap<u64, QueuedSubmission>>,
+    store: ResultStore,
+    cache: Arc<CompileCache>,
+    breakers: BreakerSet,
+    paused: AtomicBool,
+    drain: Arc<CancelToken>,
+    counters: Gauges,
+}
+
+impl ServerInner {
+    fn summary(&self) -> DrainSummary {
+        DrainSummary {
+            admitted: self.counters.admitted.load(Ordering::Relaxed),
+            shed: self.counters.shed.load(Ordering::Relaxed),
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            cancelled: self.counters.cancelled.load(Ordering::Relaxed),
+            degraded: self.counters.degraded.load(Ordering::Relaxed),
+        }
+    }
+
+    fn server_counters(&self) -> ServerCounters {
+        ServerCounters {
+            queue_depth: self.queue.len() as u64,
+            admitted_total: self.counters.admitted.load(Ordering::Relaxed),
+            shed_total: self.counters.shed.load(Ordering::Relaxed),
+            completed_total: self.counters.completed.load(Ordering::Relaxed),
+            cancelled_total: self.counters.cancelled.load(Ordering::Relaxed),
+            degraded_total: self.counters.degraded.load(Ordering::Relaxed),
+            breaker_open: self.breakers.open_count() as u64,
+            breaker_trips_total: self.breakers.trips_total(),
+        }
+    }
+}
+
+/// The campaign server: bound listener plus shared state.
+pub struct Server {
+    listener: TcpListener,
+    inner: Arc<ServerInner>,
+}
+
+impl Server {
+    /// Bind the listener and open (or create) the result store.
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        std::fs::create_dir_all(&config.store_dir)?;
+        let store = ResultStore::open(config.store_dir.join("results.j1"))?;
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let inner = Arc::new(ServerInner {
+            queue: FairScheduler::new(config.queue_cap),
+            pending: Mutex::new(HashMap::new()),
+            store,
+            cache: CompileCache::shared(),
+            breakers: BreakerSet::new(config.breaker_threshold, config.breaker_cooldown),
+            paused: AtomicBool::new(false),
+            drain: CancelToken::arc(),
+            counters: Gauges::default(),
+            config,
+        });
+        Ok(Server { listener, inner })
+    }
+
+    /// The bound address (useful with `…:0`).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The drain token: cancel it (from a signal handler, another thread,
+    /// or `POST /v1/drain`) to begin a graceful shutdown.
+    pub fn drain_token(&self) -> Arc<CancelToken> {
+        Arc::clone(&self.inner.drain)
+    }
+
+    /// The process-wide compile cache every submission shares — grab it
+    /// before [`Server::run`] (which consumes the server) to report cache
+    /// counters after the drain.
+    pub fn cache(&self) -> Arc<CompileCache> {
+        Arc::clone(&self.inner.cache)
+    }
+
+    /// Serve until the drain token trips, then shut down cleanly: stop
+    /// admitting, cancel the in-flight run (its journal makes it
+    /// resumable), mark queued-unstarted submissions cancelled, and return
+    /// the lifetime counters.
+    pub fn run(self) -> io::Result<DrainSummary> {
+        let inner = Arc::clone(&self.inner);
+        let sched_inner = Arc::clone(&self.inner);
+        let scheduler = thread::Builder::new()
+            .name("accvv-sched".to_string())
+            .spawn(move || scheduler_loop(&sched_inner))?;
+        let mut conns: Vec<thread::JoinHandle<()>> = Vec::new();
+        while !inner.drain.is_cancelled() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let conn_inner = Arc::clone(&inner);
+                    if let Ok(handle) = thread::Builder::new()
+                        .name("accvv-conn".to_string())
+                        .spawn(move || handle_connection(stream, &conn_inner))
+                    {
+                        conns.push(handle);
+                    }
+                    conns.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    eprintln!("accvv serve: accept: {e}");
+                    thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+        // Drain: no new admissions, wake the scheduler, let in-flight
+        // connections finish their (short) request/response exchanges.
+        self.inner.queue.close();
+        for handle in conns {
+            let _ = handle.join();
+        }
+        let _ = scheduler.join();
+        Ok(self.inner.summary())
+    }
+}
+
+fn scheduler_loop(inner: &ServerInner) {
+    loop {
+        if inner.drain.is_cancelled() {
+            break;
+        }
+        if inner.paused.load(Ordering::SeqCst) {
+            thread::sleep(Duration::from_millis(10));
+            continue;
+        }
+        // try_pop, not a blocking pop: a blocking pop started before a
+        // pause (or drain) flip would still hand over the next item pushed
+        // AFTER the flip, running work the operator believed was frozen.
+        // Re-checking both flags before every pop closes that window.
+        match inner.queue.try_pop() {
+            Some(id) => run_one(inner, id),
+            None => {
+                if inner.queue.is_closed() {
+                    break;
+                }
+                thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    // Queued-but-never-started submissions are cancelled, not silently
+    // dropped: the store records why each one never produced a report.
+    for id in inner.queue.drain() {
+        inner.pending.lock().expect("pending lock").remove(&id);
+        inner.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        let _ = inner
+            .store
+            .set_state(id, "cancelled", "server drained before execution");
+    }
+}
+
+fn run_one(inner: &ServerInner, id: u64) {
+    let queued = inner.pending.lock().expect("pending lock").remove(&id);
+    let Some(QueuedSubmission { spec, deadline }) = queued else {
+        return;
+    };
+    let Ok(compiler) = spec.compiler() else {
+        // Validated at admission; cannot fail here.
+        return;
+    };
+    let scope = compiler.label();
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        inner.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        let _ = inner
+            .store
+            .set_state(id, "cancelled", "deadline expired while queued; not run");
+        return;
+    }
+    match inner.breakers.admit(&scope) {
+        BreakerDecision::Degraded { reason } => {
+            inner.counters.degraded.fetch_add(1, Ordering::Relaxed);
+            match degraded_run(&spec, &reason) {
+                Ok(run) => {
+                    let text = report::render(&run, spec.format);
+                    let _ = inner.store.record_cases(id, &run.results);
+                    let _ = inner.store.record_report(id, &text);
+                    let _ = inner.store.set_state(id, "degraded", &reason);
+                }
+                Err(e) => {
+                    let _ = inner.store.set_state(id, "failed", &e);
+                }
+            }
+            return;
+        }
+        BreakerDecision::Admit { .. } => {}
+    }
+    let _ = inner.store.set_state(id, "running", "");
+    let journal_path = inner.config.store_dir.join(format!("journal-{id}.j1"));
+    let journal = FileJournal::create(&journal_path).ok().map(Arc::new);
+    let opts = RunOptions {
+        jobs: inner.config.jobs,
+        cache: Some(Arc::clone(&inner.cache)),
+        journal,
+        cancel: Some(Arc::clone(&inner.drain)),
+        run_deadline: deadline,
+        recorder: inner.config.recorder.clone(),
+    };
+    match run_submission(&spec, &opts) {
+        Ok(outcome) => {
+            inner
+                .breakers
+                .observe(&scope, outcome.run.results.iter().map(|r| &r.status));
+            let _ = inner.store.record_cases(id, &outcome.run.results);
+            if outcome.stats.cancelled {
+                inner.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                let _ = inner.store.set_state(
+                    id,
+                    "interrupted",
+                    &format!(
+                        "server drained mid-run; resume with `accvv run --resume {}`",
+                        journal_path.display()
+                    ),
+                );
+            } else if outcome.stats.deadlined {
+                inner.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                let _ = inner.store.set_state(
+                    id,
+                    "cancelled",
+                    "deadline expired mid-run; partial verdicts stored",
+                );
+            } else {
+                inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+                let _ = inner.store.record_report(id, &outcome.report);
+                let _ = inner.store.set_state(id, "done", "");
+            }
+        }
+        Err(e) => {
+            let _ = inner.store.set_state(id, "failed", &e);
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, inner: &ServerInner) {
+    let req = match http::read_request(&mut stream) {
+        Ok(r) => r,
+        Err(http::RequestError::Bad(msg)) => {
+            let _ = error_response(400, &msg).write_to(&mut stream);
+            return;
+        }
+        Err(http::RequestError::TooLarge(msg)) => {
+            let _ = error_response(413, &msg).write_to(&mut stream);
+            return;
+        }
+        Err(http::RequestError::Io(_)) => return,
+    };
+    let resp = route(inner, &req);
+    let _ = resp.write_to(&mut stream);
+}
+
+const KNOWN_PATHS: [&str; 7] = [
+    "/v1/submit",
+    "/v1/query",
+    "/v1/healthz",
+    "/v1/pause",
+    "/v1/resume",
+    "/v1/drain",
+    "/metrics",
+];
+
+fn route(inner: &ServerInner, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/submit") => handle_submit(inner, req),
+        ("GET", "/v1/query") => handle_query(inner, req),
+        ("GET", "/v1/healthz") => handle_health(inner),
+        ("GET", "/metrics") => handle_metrics(inner),
+        ("POST", "/v1/pause") => {
+            inner.paused.store(true, Ordering::SeqCst);
+            Response::json(200, "{\"state\":\"paused\"}".to_string())
+        }
+        ("POST", "/v1/resume") => {
+            inner.paused.store(false, Ordering::SeqCst);
+            Response::json(200, "{\"state\":\"serving\"}".to_string())
+        }
+        ("POST", "/v1/drain") => {
+            inner.drain.cancel();
+            Response::json(202, "{\"state\":\"draining\"}".to_string())
+        }
+        ("GET", path) if path.starts_with("/v1/status/") => {
+            handle_status(inner, &path["/v1/status/".len()..])
+        }
+        ("GET", path) if path.starts_with("/v1/report/") => {
+            handle_report(inner, &path["/v1/report/".len()..])
+        }
+        (_, path)
+            if KNOWN_PATHS.contains(&path)
+                || path.starts_with("/v1/status/")
+                || path.starts_with("/v1/report/") =>
+        {
+            error_response(405, &format!("{} not allowed on {path}", req.method))
+        }
+        (_, path) => error_response(404, &format!("no such endpoint `{path}`")),
+    }
+}
+
+fn handle_submit(inner: &ServerInner, req: &Request) -> Response {
+    if inner.drain.is_cancelled() {
+        return error_response(503, "server is draining; not accepting submissions");
+    }
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => return error_response(400, "body is not UTF-8"),
+    };
+    let parsed = match json::parse(body) {
+        Ok(j) => j,
+        Err(e) => return error_response(400, &format!("bad JSON: {e}")),
+    };
+    let spec = match SubmissionSpec::from_json(&parsed) {
+        Ok(s) => s,
+        Err(e) => return error_response(400, &e),
+    };
+    let scope = match spec.compiler() {
+        Ok(c) => c.label(),
+        Err(e) => return error_response(400, &e),
+    };
+    let deadline = spec
+        .deadline_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let id = match inner.store.begin(&spec.tenant, &scope, spec.format_name()) {
+        Ok(id) => id,
+        Err(e) => return error_response(500, &format!("result store: {e}")),
+    };
+    let tenant = spec.tenant.clone();
+    let weight = spec.weight;
+    inner
+        .pending
+        .lock()
+        .expect("pending lock")
+        .insert(id, QueuedSubmission { spec, deadline });
+    match inner.queue.push(&tenant, weight, id) {
+        Ok(depth) => {
+            inner.counters.admitted.fetch_add(1, Ordering::Relaxed);
+            Response::json(
+                202,
+                format!("{{\"id\":{id},\"state\":\"queued\",\"queue_depth\":{depth}}}"),
+            )
+        }
+        Err(PushError::Full(depth)) => {
+            inner.pending.lock().expect("pending lock").remove(&id);
+            inner.counters.shed.fetch_add(1, Ordering::Relaxed);
+            let _ = inner
+                .store
+                .set_state(id, "shed", &format!("queue full at depth {depth}"));
+            error_response(429, &format!("queue full at depth {depth}; retry later"))
+                .with_header("Retry-After", inner.config.retry_after_secs.to_string())
+        }
+        Err(PushError::Closed) => {
+            inner.pending.lock().expect("pending lock").remove(&id);
+            let _ = inner
+                .store
+                .set_state(id, "cancelled", "server draining before admission");
+            error_response(503, "server is draining; not accepting submissions")
+        }
+    }
+}
+
+fn handle_status(inner: &ServerInner, id_str: &str) -> Response {
+    let Ok(id) = id_str.parse::<u64>() else {
+        return error_response(400, "submission id must be an integer");
+    };
+    let Some(sub) = inner.store.submission(id) else {
+        return error_response(404, &format!("no submission {id}"));
+    };
+    Response::json(
+        200,
+        format!(
+            "{{\"id\":{},\"tenant\":{},\"scope\":{},\"format\":{},\"state\":{},\
+             \"detail\":{},\"cases\":{},\"report_ready\":{}}}",
+            sub.id,
+            jstr(&sub.tenant),
+            jstr(&sub.scope),
+            jstr(&sub.format),
+            jstr(&sub.state),
+            jstr(&sub.detail),
+            sub.cases.len(),
+            sub.report.is_some(),
+        ),
+    )
+}
+
+fn handle_report(inner: &ServerInner, id_str: &str) -> Response {
+    let Ok(id) = id_str.parse::<u64>() else {
+        return error_response(400, "submission id must be an integer");
+    };
+    let Some(sub) = inner.store.submission(id) else {
+        return error_response(404, &format!("no submission {id}"));
+    };
+    match sub.report {
+        Some(text) => {
+            let content_type = match sub.format.as_str() {
+                "csv" => "text/csv; charset=utf-8",
+                "html" => "text/html; charset=utf-8",
+                _ => "text/plain; charset=utf-8",
+            };
+            Response::text(200, text).with_content_type(content_type)
+        }
+        None => Response::json(
+            409,
+            format!(
+                "{{\"error\":\"report not ready\",\"id\":{id},\"state\":{}}}",
+                jstr(&sub.state)
+            ),
+        ),
+    }
+}
+
+fn handle_query(inner: &ServerInner, req: &Request) -> Response {
+    let filter = QueryFilter {
+        scope: req.query_param("scope").unwrap_or("").to_string(),
+        feature: req.query_param("feature").unwrap_or("").to_string(),
+        language: req.query_param("lang").unwrap_or("").to_string(),
+        tenant: req.query_param("tenant").unwrap_or("").to_string(),
+    };
+    let rows = inner.store.query(&filter);
+    let mut body = String::from("{\"rows\":[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"scope\":{},\"lang\":{},\"feature\":{},\"total\":{},\"passed\":{},\
+             \"pass_rate\":{:.2}}}",
+            jstr(&row.scope),
+            jstr(&row.language),
+            jstr(&row.feature),
+            row.total,
+            row.passed,
+            row.pass_rate(),
+        ));
+    }
+    body.push_str("]}");
+    Response::json(200, body)
+}
+
+fn handle_health(inner: &ServerInner) -> Response {
+    let state = if inner.drain.is_cancelled() {
+        "draining"
+    } else if inner.paused.load(Ordering::SeqCst) {
+        "paused"
+    } else {
+        "serving"
+    };
+    let s = inner.summary();
+    let mut breakers = String::from("[");
+    for (i, (profile, bstate)) in inner.breakers.snapshot().iter().enumerate() {
+        if i > 0 {
+            breakers.push(',');
+        }
+        breakers.push_str(&format!(
+            "{{\"profile\":{},\"state\":{}}}",
+            jstr(profile),
+            jstr(bstate.label())
+        ));
+    }
+    breakers.push(']');
+    Response::json(
+        200,
+        format!(
+            "{{\"state\":\"{state}\",\"queue_depth\":{},\"admitted\":{},\"shed\":{},\
+             \"completed\":{},\"cancelled\":{},\"degraded\":{},\"breakers\":{breakers}}}",
+            inner.queue.len(),
+            s.admitted,
+            s.shed,
+            s.completed,
+            s.cancelled,
+            s.degraded,
+        ),
+    )
+}
+
+fn handle_metrics(inner: &ServerInner) -> Response {
+    let events = inner.config.recorder.snapshot();
+    let stats = inner.cache.stats();
+    let cache = CacheCounters {
+        frontend_hits: stats.frontend_hits,
+        frontend_misses: stats.frontend_misses,
+        exec_hits: stats.exec_hits,
+        exec_misses: stats.exec_misses,
+    };
+    let mut text = render_prometheus(&events, Some(&cache));
+    text.push_str(&render_server_metrics(&inner.server_counters()));
+    Response::text(200, text).with_content_type("text/plain; version=0.0.4")
+}
+
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    json::escape_into(&mut out, s);
+    out.push('"');
+    out
+}
+
+fn error_response(status: u16, message: &str) -> Response {
+    Response::json(status, format!("{{\"error\":{}}}", jstr(message)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_spec(body: &str) -> Result<SubmissionSpec, String> {
+        SubmissionSpec::from_json(&json::parse(body).expect("valid JSON"))
+    }
+
+    #[test]
+    fn from_json_parses_a_full_submission() {
+        let spec = parse_spec(
+            r#"{"vendor":"pgi","version":"13.4","tenant":"alice","weight":3,
+                "lang":"c","features":["data.","loop"],"repetitions":5,
+                "format":"csv","exec_mode":"walk","deadline_ms":60000,
+                "case_deadline_ms":2000}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.vendor, VendorId::Pgi);
+        assert_eq!(spec.tenant, "alice");
+        assert_eq!(spec.weight, 3);
+        assert_eq!(spec.language, Some(Language::C));
+        assert_eq!(spec.features, vec!["data.".to_string(), "loop".to_string()]);
+        assert_eq!(spec.repetitions, Some(5));
+        assert_eq!(spec.format, ReportFormat::Csv);
+        assert_eq!(spec.deadline_ms, Some(60_000));
+        assert_eq!(spec.case_deadline_ms, Some(2_000));
+        assert_eq!(spec.compiler().unwrap().label(), "PGI 13.4");
+    }
+
+    #[test]
+    fn from_json_accepts_comma_separated_features() {
+        let spec = parse_spec(r#"{"vendor":"caps","features":"data., loop"}"#).unwrap();
+        assert_eq!(spec.features, vec!["data.".to_string(), "loop".to_string()]);
+    }
+
+    #[test]
+    fn from_json_rejects_bad_inputs_with_reasons() {
+        for (body, needle) in [
+            (r#"{}"#, "requires `vendor`"),
+            (r#"{"vendor":"intel"}"#, "unknown vendor"),
+            (r#"{"vendor":"pgi","version":"99.9"}"#, "never released"),
+            (r#"{"vendor":"pgi","lang":"cobol"}"#, "unknown language"),
+            (r#"{"vendor":"pgi","format":"pdf"}"#, "unknown format"),
+            (r#"{"vendor":"pgi","weight":0}"#, "`weight`"),
+            (r#"{"vendor":"pgi","deadline_ms":0}"#, "`deadline_ms`"),
+            (
+                r#"{"vendor":"pgi","case_deadline_ms":0}"#,
+                "`case_deadline_ms`",
+            ),
+            (r#"{"vendor":"pgi","repetitions":0}"#, "`repetitions`"),
+            (r#"[1,2]"#, "JSON object"),
+        ] {
+            let err = parse_spec(body).expect_err(body);
+            assert!(err.contains(needle), "{body}: {err}");
+        }
+    }
+
+    #[test]
+    fn degraded_run_skips_every_selected_case() {
+        let suite = full_suite();
+        let prefix = suite[0].feature.as_str().to_string();
+        let mut spec = SubmissionSpec::new(VendorId::Reference);
+        spec.features = vec![prefix];
+        spec.language = Some(Language::C);
+        let run = degraded_run(&spec, "circuit open for test").unwrap();
+        assert!(!run.results.is_empty());
+        for r in &run.results {
+            assert_eq!(
+                r.status,
+                TestStatus::Skipped(Some("circuit open for test".to_string()))
+            );
+            assert!(!r.status.counted());
+        }
+    }
+
+    #[test]
+    fn run_submission_reports_are_cache_independent() {
+        let suite = full_suite();
+        let prefix = suite[0].feature.as_str().to_string();
+        let mut spec = SubmissionSpec::new(VendorId::Reference);
+        spec.features = vec![prefix];
+        spec.language = Some(Language::C);
+        let warm = run_submission(
+            &spec,
+            &RunOptions {
+                cache: Some(CompileCache::shared()),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        let cold = run_submission(&spec, &RunOptions::default()).unwrap();
+        assert_eq!(warm.report, cold.report, "cache must not change report bytes");
+        assert!(!warm.stats.stopped_early());
+    }
+}

@@ -30,6 +30,7 @@ fn main() -> ExitCode {
         Some("list") => cmd_list(&args[1..]),
         Some("show") => cmd_show(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("matrix") => cmd_matrix(&args[1..]),
@@ -66,6 +67,9 @@ fn print_usage() {
          \x20          [--journal FILE | --resume FILE] [--out FILE] [--halt-after N]\n\
          \x20          [--no-cache] [--exec-mode vm|walk]\n\
          \x20          [--trace-out FILE] [--metrics-out FILE]\n\
+         \x20 accvv serve [--addr HOST:PORT] [--store DIR] [--jobs N] [--queue-cap N]\n\
+         \x20            [--breaker-threshold N] [--breaker-cooldown-ms MS]\n\
+         \x20            [--retry-after-secs S] [--trace-out FILE] [--metrics-out FILE]\n\
          \x20 accvv campaign [--vendor caps|pgi|cray] [--no-cache] [--exec-mode vm|walk]\n\
          \x20               [--trace-out FILE] [--metrics-out FILE]\n\
          \x20 accvv bench [--iters N] [--out FILE] [--no-cache]\n\
@@ -308,8 +312,20 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .with_recorder(tele.recorder.clone())
         .with_exec_mode(exec_mode);
     if let Some(ms) = opt(args, "--case-deadline-ms") {
-        policy = policy.with_deadline_ms(ms.parse().map_err(|_| "bad --case-deadline-ms")?);
+        let ms: u64 = ms.parse().map_err(|_| "bad --case-deadline-ms")?;
+        if ms == 0 {
+            return Err(
+                "--case-deadline-ms 0 would time out every case before it starts (minimum 1)"
+                    .to_string(),
+            );
+        }
+        policy = policy.with_deadline_ms(ms);
     }
+    // Ctrl-C / SIGTERM drains instead of killing: workers stop claiming new
+    // cases, in-flight verdicts land in the journal, telemetry sinks flush,
+    // and the exit carries a resume hint — the same path `accvv serve` uses.
+    let cancel = openacc_vv::server::signal::install_default();
+    policy = policy.with_cancel(Arc::clone(&cancel));
     let journal_path = opt(args, "--journal");
     let resume_path = opt(args, "--resume");
     if journal_path.is_some() && resume_path.is_some() {
@@ -349,6 +365,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if let Some(c) = &cache {
         campaign = campaign.with_cache(Arc::clone(c));
     }
+    if let Some(n) = policy.halt_after {
+        let total_jobs = campaign.materialized_cases().len() * campaign.config.languages.len();
+        if n > total_jobs {
+            return Err(format!(
+                "--halt-after {n} exceeds the {total_jobs} job(s) this run schedules; it would \
+                 never trip"
+            ));
+        }
+    }
     let (run, stats) = Executor::new(policy).run_suite_stats(&campaign, &compiler);
     let cache_stats = cache.as_ref().map(|c| c.stats());
     tele.finish(cache_stats.as_ref())?;
@@ -366,6 +391,20 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             .unwrap_or_default();
         return Err(format!(
             "run halted after {} executed job(s) (--halt-after){hint}",
+            stats.executed
+        ));
+    }
+    if stats.cancelled {
+        let hint = journal_path
+            .as_ref()
+            .or(resume_path.as_ref())
+            .map(|p| format!("; resume with `accvv run --resume {p}`"))
+            .unwrap_or_else(|| {
+                "; use --journal to make interrupted runs resumable".to_string()
+            });
+        return Err(format!(
+            "interrupted by signal after {} executed job(s); journal and telemetry sinks \
+             flushed{hint}",
             stats.executed
         ));
     }
@@ -409,6 +448,54 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if hard_failures > 0 {
         return Err(format!("{hard_failures} case(s) failed"));
     }
+    Ok(())
+}
+
+/// `accvv serve` — the overload-safe campaign daemon. Submissions arrive
+/// as HTTP/JSON, pass bounded admission (429 + Retry-After when the queue
+/// is full), run under per-tenant fair scheduling with deadline
+/// propagation and per-vendor circuit breakers, and land in the indexed
+/// result store. SIGINT/SIGTERM drains gracefully and exits 0.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let store_dir = opt(args, "--store").unwrap_or_else(|| "accvv-store".to_string());
+    let jobs: usize = parse_opt_or(args, "--jobs", 1usize)?;
+    if jobs == 0 {
+        return Err("--jobs must be at least 1 (a pool with no workers runs nothing)".to_string());
+    }
+    let queue_cap: usize = parse_opt_or(args, "--queue-cap", 8usize)?;
+    if queue_cap == 0 {
+        return Err("--queue-cap must be at least 1 (a zero-slot queue sheds everything)".to_string());
+    }
+    let breaker_threshold: u32 = parse_opt_or(args, "--breaker-threshold", 5u32)?;
+    if breaker_threshold == 0 {
+        return Err("--breaker-threshold must be at least 1".to_string());
+    }
+    let tele = telemetry_opts(args);
+    let mut config = openacc_vv::server::ServeConfig::new(&store_dir);
+    if let Some(addr) = opt(args, "--addr") {
+        config.addr = addr;
+    }
+    config.jobs = jobs;
+    config.queue_cap = queue_cap;
+    config.breaker_threshold = breaker_threshold;
+    config.breaker_cooldown = std::time::Duration::from_millis(parse_opt_or(
+        args,
+        "--breaker-cooldown-ms",
+        30_000u64,
+    )?);
+    config.retry_after_secs = parse_opt_or(args, "--retry-after-secs", 2u64)?;
+    config.recorder = tele.recorder.clone();
+    let server = openacc_vv::server::Server::bind(config).map_err(|e| format!("serve: {e}"))?;
+    let addr = server.local_addr().map_err(|e| format!("serve: {e}"))?;
+    let cache = server.cache();
+    openacc_vv::server::signal::install(server.drain_token());
+    eprintln!(
+        "accvv: serving campaigns on http://{addr} (store: {store_dir}); \
+         POST /v1/submit to queue one, SIGINT/SIGTERM to drain"
+    );
+    let summary = server.run().map_err(|e| format!("serve: {e}"))?;
+    tele.finish(Some(&cache.stats()))?;
+    eprintln!("accvv: drained cleanly: {summary}");
     Ok(())
 }
 

@@ -15,6 +15,7 @@
 //! | [`validation`] | The testsuite infrastructure: templates, cross tests, statistics, reports |
 //! | [`testsuite`] | The 100+-feature test corpus (200+ generated programs) |
 //! | [`harness`] | The Titan-style production harness |
+//! | [`server`] | The overload-safe campaign server (`accvv serve`) |
 //! | [`obs`] | Telemetry: structured spans, deterministic traces, Chrome/Prometheus sinks |
 //!
 //! ## Quickstart
@@ -39,6 +40,7 @@ pub use acc_frontend as frontend;
 pub use acc_harness as harness;
 pub use acc_obs as obs;
 pub use acc_runtime as rt;
+pub use acc_server as server;
 pub use acc_spec as spec;
 pub use acc_testsuite as testsuite;
 pub use acc_validation as validation;

@@ -14,7 +14,9 @@
 
 use openacc_vv::compiler::{CompileCache, VendorCompiler, VendorId};
 use openacc_vv::prelude::*;
+use openacc_vv::server::{run_submission, RunOptions, SubmissionSpec};
 use openacc_vv::validation::{MemoryJournal, Replay};
+use proptest::prelude::*;
 use std::sync::Arc;
 
 /// A small but representative slice of the corpus: compute, data, async and
@@ -188,4 +190,81 @@ fn journal_resume_composes_with_cache() {
         clean,
         "cached halt/resume diverged from the clean uncached run"
     );
+}
+
+// ---------------------------------------------------------------------------
+// 4. Multi-tenant sharing (ISSUE 6: the campaign server's situation)
+// ---------------------------------------------------------------------------
+
+/// Build the submission one served tenant would send.
+fn tenant_spec(vendor: VendorId, feature: &str, lang: Option<Language>) -> SubmissionSpec {
+    let mut spec = SubmissionSpec::new(vendor);
+    spec.features = vec![feature.to_string()];
+    spec.language = lang;
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The server runs many tenants' submissions against ONE process-wide
+    /// compile cache, with campaigns from different tenants interleaving on
+    /// the worker pool. Pin the tenancy obligation: two submissions running
+    /// concurrently on a shared warm cache produce reports byte-identical
+    /// to each submission run serially with no cache at all.
+    #[test]
+    fn interleaved_tenants_on_a_shared_warm_cache_match_serial_isolated_runs(
+        vendor_a in prop::sample::select(vec![
+            VendorId::Caps, VendorId::Pgi, VendorId::Cray, VendorId::Reference,
+        ]),
+        vendor_b in prop::sample::select(vec![
+            VendorId::Caps, VendorId::Pgi, VendorId::Cray, VendorId::Reference,
+        ]),
+        feature_a in prop::sample::select(vec!["loop", "data.copy", "parallel.async"]),
+        feature_b in prop::sample::select(vec!["data.copy", "update.host", "loop"]),
+        c_only in prop::bool::ANY,
+        jobs in prop::sample::select(vec![1usize, 3]),
+    ) {
+        let lang = if c_only { Some(Language::C) } else { None };
+        let spec_a = tenant_spec(vendor_a, feature_a, lang);
+        let spec_b = tenant_spec(vendor_b, feature_b, lang);
+
+        // Serial, isolated, cache-less: the reference bytes.
+        let serial_a = run_submission(&spec_a, &RunOptions::default()).unwrap().report;
+        let serial_b = run_submission(&spec_b, &RunOptions::default()).unwrap().report;
+
+        // One shared cache, pre-warmed by tenant A's campaign (the served
+        // steady state: most submissions hit entries earlier tenants left).
+        let cache = CompileCache::shared();
+        let warm_opts = RunOptions {
+            jobs,
+            cache: Some(Arc::clone(&cache)),
+            ..RunOptions::default()
+        };
+        let _ = run_submission(&spec_a, &warm_opts).unwrap();
+        prop_assert!(cache.stats().lookups() > 0, "warmup must populate the cache");
+
+        // Interleave: both tenants execute concurrently on the warm cache.
+        let thread_a = {
+            let spec = spec_a.clone();
+            let opts = warm_opts.clone();
+            std::thread::spawn(move || run_submission(&spec, &opts).unwrap().report)
+        };
+        let thread_b = {
+            let spec = spec_b.clone();
+            let opts = warm_opts.clone();
+            std::thread::spawn(move || run_submission(&spec, &opts).unwrap().report)
+        };
+        let report_a = thread_a.join().expect("tenant A run panicked");
+        let report_b = thread_b.join().expect("tenant B run panicked");
+
+        prop_assert_eq!(
+            report_a, serial_a,
+            "tenant A's interleaved warm-cache report diverged from its serial isolated run"
+        );
+        prop_assert_eq!(
+            report_b, serial_b,
+            "tenant B's interleaved warm-cache report diverged from its serial isolated run"
+        );
+    }
 }

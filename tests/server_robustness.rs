@@ -1,0 +1,491 @@
+//! Robustness of the campaign server (ISSUE 6).
+//!
+//! Four obligations from the issue are pinned here, over a real listener
+//! (`127.0.0.1:0`) with a hand-rolled HTTP client:
+//!
+//! 1. **Breakers** — a vendor profile's circuit trips after N consecutive
+//!    `Infra` verdicts, degrades admission while open, admits one half-open
+//!    trial after the cooldown, and closes again on a clean trial.
+//! 2. **Load shedding** — once the admission queue is full further
+//!    submissions get 429 + `Retry-After`, while every submission that WAS
+//!    admitted still runs to completion.
+//! 3. **Deadlines & drain** — work whose deadline expired while queued is
+//!    cancelled (never run); a drain marks queued-unstarted work cancelled
+//!    and the result store still resolves every id after the fact.
+//! 4. **Byte identity** — the report served over HTTP (cold cache and warm)
+//!    equals the bytes `run_submission` produces with no cache at all.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use openacc_vv::compiler::VendorId;
+use openacc_vv::harness::store::ResultStore;
+use openacc_vv::prelude::*;
+use openacc_vv::server::{
+    run_submission, BreakerDecision, BreakerSet, BreakerState, DrainSummary, RunOptions,
+    ServeConfig, Server, SubmissionSpec,
+};
+
+// ---------------------------------------------------------------------------
+// Harness: a served instance on an ephemeral port + a raw HTTP/1.1 client
+// ---------------------------------------------------------------------------
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_store_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "accvv-server-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+struct TestServer {
+    addr: SocketAddr,
+    store_dir: PathBuf,
+    drain: std::sync::Arc<openacc_vv::validation::CancelToken>,
+    handle: thread::JoinHandle<std::io::Result<DrainSummary>>,
+}
+
+impl TestServer {
+    fn start(tag: &str, tune: impl FnOnce(&mut ServeConfig)) -> TestServer {
+        let store_dir = fresh_store_dir(tag);
+        let mut config = ServeConfig::new(&store_dir);
+        config.addr = "127.0.0.1:0".to_string();
+        tune(&mut config);
+        let server = Server::bind(config).expect("bind ephemeral port");
+        let addr = server.local_addr().expect("local addr");
+        let drain = server.drain_token();
+        let handle = thread::spawn(move || server.run());
+        TestServer {
+            addr,
+            store_dir,
+            drain,
+            handle,
+        }
+    }
+
+    fn drain_and_join(self) -> DrainSummary {
+        self.drain.cancel();
+        let summary = self
+            .handle
+            .join()
+            .expect("server thread panicked")
+            .expect("server run failed");
+        let _ = std::fs::remove_dir_all(&self.store_dir);
+        summary
+    }
+}
+
+struct HttpReply {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl HttpReply {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Pull `"key":"value"` or `"key":123` out of a flat JSON body. The
+    /// server emits no nested objects in the fields these tests read, so a
+    /// scan is enough — no parser dependency in the test.
+    fn json_field(&self, key: &str) -> Option<String> {
+        let needle = format!("\"{key}\":");
+        let at = self.body.find(&needle)? + needle.len();
+        let rest = &self.body[at..];
+        if let Some(stripped) = rest.strip_prefix('"') {
+            Some(stripped[..stripped.find('"')?].to_string())
+        } else {
+            let end = rest
+                .find([',', '}', ']'])
+                .unwrap_or(rest.len());
+            Some(rest[..end].trim().to_string())
+        }
+    }
+}
+
+fn http(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> HttpReply {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: accvv\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, payload) = raw
+        .split_once("\r\n\r\n")
+        .expect("response has a head/body separator");
+    let mut lines = head.lines();
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers = lines
+        .filter_map(|l| l.split_once(": "))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    HttpReply {
+        status,
+        headers,
+        body: payload.to_string(),
+    }
+}
+
+/// A small, fast submission: one feature prefix, one language.
+fn small_submission(tenant: &str) -> String {
+    format!(
+        "{{\"vendor\":\"reference\",\"lang\":\"c\",\"features\":[\"loop\"],\"tenant\":\"{tenant}\"}}"
+    )
+}
+
+fn poll_state(addr: SocketAddr, id: &str, until: &[&str], timeout: Duration) -> HttpReply {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let reply = http(addr, "GET", &format!("/v1/status/{id}"), None);
+        let state = reply.json_field("state").unwrap_or_default();
+        if until.contains(&state.as_str()) {
+            return reply;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "submission {id} stuck in state `{state}` after {timeout:?}"
+        );
+        thread::sleep(Duration::from_millis(20));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 1. Circuit breaker state machine (pure, deterministic via explicit clocks)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn breaker_trips_half_opens_and_recovers() {
+    let cooldown = Duration::from_secs(5);
+    let set = BreakerSet::new(3, cooldown);
+    let t0 = Instant::now();
+    let infra = TestStatus::Infra("node fault".into());
+
+    // Closed: everything admitted, no trial flag.
+    assert!(matches!(
+        set.admit_at("PGI 12.6", t0),
+        BreakerDecision::Admit { trial: false }
+    ));
+
+    // Two consecutive infra failures: still closed (threshold is 3), and a
+    // healthy verdict in between resets the streak.
+    set.observe_at("PGI 12.6", [&infra, &infra], t0);
+    set.observe_at("PGI 12.6", [&TestStatus::Pass], t0);
+    set.observe_at("PGI 12.6", [&infra, &infra], t0);
+    assert!(matches!(
+        set.admit_at("PGI 12.6", t0),
+        BreakerDecision::Admit { trial: false }
+    ));
+    assert_eq!(set.trips_total(), 0);
+
+    // The third consecutive failure trips the circuit.
+    set.observe_at("PGI 12.6", [&infra], t0);
+    assert_eq!(set.trips_total(), 1);
+    let BreakerDecision::Degraded { reason } = set.admit_at("PGI 12.6", t0) else {
+        panic!("open breaker must degrade admission");
+    };
+    assert!(
+        reason.contains("PGI 12.6") && reason.contains("3 consecutive"),
+        "degradation reason should name the profile and threshold: {reason}"
+    );
+
+    // Other profiles are unaffected: the breaker is per vendor profile.
+    assert!(matches!(
+        set.admit_at("Cray 8.0", t0),
+        BreakerDecision::Admit { trial: false }
+    ));
+
+    // After the cooldown, exactly one half-open trial is admitted…
+    let later = t0 + cooldown + Duration::from_millis(1);
+    assert!(matches!(
+        set.admit_at("PGI 12.6", later),
+        BreakerDecision::Admit { trial: true }
+    ));
+    // …and a clean trial closes the circuit again.
+    set.observe_at("PGI 12.6", [&TestStatus::Pass, &TestStatus::Pass], later);
+    assert!(matches!(
+        set.admit_at("PGI 12.6", later),
+        BreakerDecision::Admit { trial: false }
+    ));
+    assert_eq!(set.open_count(), 0);
+}
+
+#[test]
+fn breaker_half_open_failure_reopens_immediately() {
+    let cooldown = Duration::from_secs(5);
+    let set = BreakerSet::new(2, cooldown);
+    let t0 = Instant::now();
+    let infra = TestStatus::Infra("still broken".into());
+
+    set.observe_at("CAPS 3.0.8", [&infra, &infra], t0);
+    assert_eq!(set.trips_total(), 1);
+
+    // Half-open trial after the cooldown — but the profile is still sick:
+    // ONE infra verdict re-opens it without needing a fresh streak.
+    let trial_time = t0 + cooldown + Duration::from_millis(1);
+    assert!(matches!(
+        set.admit_at("CAPS 3.0.8", trial_time),
+        BreakerDecision::Admit { trial: true }
+    ));
+    set.observe_at("CAPS 3.0.8", [&TestStatus::Pass, &infra], trial_time);
+    assert_eq!(set.trips_total(), 2);
+    assert!(matches!(
+        set.admit_at("CAPS 3.0.8", trial_time),
+        BreakerDecision::Degraded { .. }
+    ));
+    assert_eq!(
+        set.snapshot()
+            .iter()
+            .map(|(_, s)| s.label())
+            .collect::<Vec<_>>(),
+        vec!["open"]
+    );
+    // Skipped rows are uncounted everywhere else; the breaker must agree.
+    set.observe_at(
+        "CAPS 3.0.8",
+        [&TestStatus::Skipped(Some("degraded".into()))],
+        trial_time,
+    );
+    assert!(matches!(
+        set.snapshot()[0].1,
+        BreakerState::Open { .. }
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// 2. Load shedding under overload
+// ---------------------------------------------------------------------------
+
+#[test]
+fn overload_sheds_with_429_while_admitted_work_completes() {
+    let server = TestServer::start("shed", |c| {
+        c.queue_cap = 2;
+        c.retry_after_secs = 7;
+    });
+    let addr = server.addr;
+
+    // Freeze the scheduler so the queue genuinely fills.
+    assert_eq!(http(addr, "POST", "/v1/pause", None).status, 200);
+
+    let mut admitted_ids = Vec::new();
+    let mut shed = 0;
+    for i in 0..5 {
+        let reply = http(
+            addr,
+            "POST",
+            "/v1/submit",
+            Some(&small_submission(&format!("tenant-{i}"))),
+        );
+        match reply.status {
+            202 => admitted_ids.push(reply.json_field("id").expect("admitted id")),
+            429 => {
+                shed += 1;
+                assert_eq!(
+                    reply.header("Retry-After"),
+                    Some("7"),
+                    "shed responses must carry the configured Retry-After"
+                );
+                assert!(reply.body.contains("queue full"), "{}", reply.body);
+            }
+            other => panic!("submit returned unexpected status {other}: {}", reply.body),
+        }
+    }
+    assert_eq!(admitted_ids.len(), 2, "queue_cap=2 admits exactly two");
+    assert_eq!(shed, 3, "everything past the cap is shed");
+
+    // Back-pressure released: every admitted submission still completes.
+    assert_eq!(http(addr, "POST", "/v1/resume", None).status, 200);
+    for id in &admitted_ids {
+        let reply = poll_state(addr, id, &["done"], Duration::from_secs(60));
+        assert_eq!(reply.json_field("report_ready").as_deref(), Some("true"));
+        let report = http(addr, "GET", &format!("/v1/report/{id}"), None);
+        assert_eq!(report.status, 200);
+        assert!(report.body.contains("loop"), "report covers the feature");
+    }
+
+    let summary = server.drain_and_join();
+    assert_eq!(summary.admitted, 2);
+    assert_eq!(summary.shed, 3);
+    assert_eq!(summary.completed, 2);
+    assert_eq!(summary.cancelled, 0);
+}
+
+// ---------------------------------------------------------------------------
+// 3. Deadlines and graceful drain
+// ---------------------------------------------------------------------------
+
+#[test]
+fn deadline_expired_while_queued_is_cancelled_not_run() {
+    let server = TestServer::start("deadline", |_| {});
+    let addr = server.addr;
+
+    assert_eq!(http(addr, "POST", "/v1/pause", None).status, 200);
+    let body = "{\"vendor\":\"reference\",\"lang\":\"c\",\"features\":[\"loop\"],\"deadline_ms\":40}";
+    let reply = http(addr, "POST", "/v1/submit", Some(body));
+    assert_eq!(reply.status, 202, "{}", reply.body);
+    let id = reply.json_field("id").expect("id");
+
+    // Let the deadline lapse while the scheduler is paused, then release.
+    thread::sleep(Duration::from_millis(120));
+    assert_eq!(http(addr, "POST", "/v1/resume", None).status, 200);
+
+    let reply = poll_state(addr, &id, &["cancelled"], Duration::from_secs(30));
+    assert_eq!(
+        reply.json_field("detail").as_deref(),
+        Some("deadline expired while queued; not run")
+    );
+    assert_eq!(
+        reply.json_field("cases").as_deref(),
+        Some("0"),
+        "expired work must never have executed"
+    );
+
+    let summary = server.drain_and_join();
+    assert_eq!(summary.cancelled, 1);
+    assert_eq!(summary.completed, 0);
+}
+
+#[test]
+fn drain_cancels_queued_work_and_the_store_survives_restart() {
+    let server = TestServer::start("drain", |c| c.queue_cap = 4);
+    let addr = server.addr;
+    let store_path = server.store_dir.join("results.j1");
+
+    assert_eq!(http(addr, "POST", "/v1/pause", None).status, 200);
+    let mut ids = Vec::new();
+    for i in 0..2 {
+        let reply = http(
+            addr,
+            "POST",
+            "/v1/submit",
+            Some(&small_submission(&format!("drainer-{i}"))),
+        );
+        assert_eq!(reply.status, 202, "{}", reply.body);
+        ids.push(reply.json_field("id").expect("id").parse::<u64>().unwrap());
+    }
+
+    // Drain over HTTP (same path a SIGTERM takes), with the queue still
+    // paused: nothing has started, so both submissions are cancelled.
+    let reply = http(addr, "POST", "/v1/drain", None);
+    assert_eq!(reply.status, 202);
+    assert!(reply.body.contains("draining"));
+    let summary = server
+        .handle
+        .join()
+        .expect("server thread panicked")
+        .expect("server run failed");
+    assert_eq!(summary.admitted, 2);
+    assert_eq!(summary.cancelled, 2);
+    assert_eq!(summary.completed, 0);
+
+    // Every id the server ever returned is resolvable after a restart: a
+    // fresh ResultStore replaying the same journal sees the final states.
+    let store = ResultStore::open(&store_path).expect("reopen result store");
+    for id in ids {
+        let sub = store
+            .submission(id)
+            .unwrap_or_else(|| panic!("submission {id} lost across restart"));
+        assert_eq!(sub.state, "cancelled");
+        assert_eq!(sub.detail, "server drained before execution");
+    }
+    let _ = std::fs::remove_dir_all(&server.store_dir);
+}
+
+// ---------------------------------------------------------------------------
+// 4. Byte identity: the served report IS the one-shot report
+// ---------------------------------------------------------------------------
+
+#[test]
+fn served_report_matches_run_submission_cold_and_warm() {
+    // An early CAPS release so the report includes a bug appendix — the
+    // hardest part to keep byte-stable.
+    let mut spec = SubmissionSpec::new(VendorId::Caps);
+    spec.version = Some("3.0.8".parse().unwrap());
+    spec.language = Some(Language::C);
+    spec.features = vec!["data.copy".to_string()];
+    let expected = run_submission(&spec, &RunOptions::default())
+        .expect("local run")
+        .report;
+
+    let server = TestServer::start("identity", |c| c.jobs = 2);
+    let addr = server.addr;
+    let body = "{\"vendor\":\"caps\",\"version\":\"3.0.8\",\"lang\":\"c\",\"features\":[\"data.copy\"]}";
+
+    // Cold cache, then warm: the cache must never leak into the bytes.
+    for pass in ["cold", "warm"] {
+        let reply = http(addr, "POST", "/v1/submit", Some(body));
+        assert_eq!(reply.status, 202, "{}", reply.body);
+        let id = reply.json_field("id").expect("id");
+        poll_state(addr, &id, &["done"], Duration::from_secs(60));
+        let report = http(addr, "GET", &format!("/v1/report/{id}"), None);
+        assert_eq!(report.status, 200);
+        assert_eq!(
+            report.body, expected,
+            "{pass}-cache served report diverged from the one-shot bytes"
+        );
+    }
+
+    // The query endpoint aggregates what was stored.
+    let query = http(addr, "GET", "/v1/query?scope=CAPS&lang=C", None);
+    assert_eq!(query.status, 200);
+    assert!(
+        query.body.contains("\"pass_rate\":"),
+        "query rows expose pass rates: {}",
+        query.body
+    );
+
+    let summary = server.drain_and_join();
+    assert_eq!(summary.completed, 2);
+    assert_eq!(summary.degraded, 0);
+}
+
+#[test]
+fn report_before_completion_is_409_and_unknown_ids_404() {
+    let server = TestServer::start("edges", |_| {});
+    let addr = server.addr;
+
+    assert_eq!(http(addr, "POST", "/v1/pause", None).status, 200);
+    let reply = http(addr, "POST", "/v1/submit", Some(&small_submission("edge")));
+    assert_eq!(reply.status, 202, "{}", reply.body);
+    let id = reply.json_field("id").expect("id");
+
+    // Queued, not run: the report is not ready yet.
+    let early = http(addr, "GET", &format!("/v1/report/{id}"), None);
+    assert_eq!(early.status, 409);
+    assert!(early.body.contains("report not ready"), "{}", early.body);
+
+    assert_eq!(http(addr, "GET", "/v1/status/99999", None).status, 404);
+    assert_eq!(http(addr, "GET", "/v1/report/99999", None).status, 404);
+    assert_eq!(http(addr, "GET", "/v1/status/xyz", None).status, 400);
+    // Wrong method on a known path is 405, unknown paths are 404.
+    assert_eq!(http(addr, "GET", "/v1/submit", None).status, 405);
+    assert_eq!(http(addr, "GET", "/v1/nope", None).status, 404);
+
+    // Malformed and invalid submissions are rejected at admission.
+    assert_eq!(http(addr, "POST", "/v1/submit", Some("{nope")).status, 400);
+    let bad_vendor = http(addr, "POST", "/v1/submit", Some("{\"vendor\":\"gcc\"}"));
+    assert_eq!(bad_vendor.status, 400);
+    assert!(bad_vendor.body.contains("unknown vendor"), "{}", bad_vendor.body);
+
+    assert_eq!(http(addr, "POST", "/v1/resume", None).status, 200);
+    poll_state(addr, &id, &["done"], Duration::from_secs(60));
+    server.drain_and_join();
+}

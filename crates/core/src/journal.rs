@@ -27,20 +27,38 @@
 //! Duplicate completion records (e.g. from a double-resumed campaign) keep
 //! the first occurrence and count the rest as discarded.
 //!
-//! The module also provides [`atomic_write`], the temp-file + rename helper
-//! every report/journal-adjacent file write in the workspace goes through so
-//! a crash can never leave a half-written artifact at the destination path.
+//! All I/O goes through the [`crate::vfs`] seam, so the crash-torture
+//! harness can replay a campaign against a hostile disk. Two durability
+//! guarantees follow from the write path:
+//!
+//! * **Verdicts are fsynced.** Records that represent acknowledged work
+//!   ([`JournalRecord::durable`]: case completions, run metadata, node
+//!   events) are `fsync`ed before `append` returns; per-attempt chatter is
+//!   only flushed (losing an attempt line costs a re-run, not a verdict —
+//!   the classic group-commit trade).
+//! * **Segment rotation is crash-safe.** A journal built
+//!   [`FileJournal::with_rotation`] seals the active file into a
+//!   `<path>.seg<N>` segment (sync → rename → directory fsync → fresh
+//!   active → directory fsync) once it crosses the size threshold; replay
+//!   reads segments in order and the active file last, and the tail rule
+//!   cuts across file boundaries.
+//!
+//! The atomic temp-file + rename write helper every report/journal-adjacent
+//! file in the workspace uses lives in [`crate::vfs`] and is re-exported
+//! here as [`atomic_write`].
 
 use crate::case::TestStatus;
 use crate::harness::CaseResult;
 use crate::stats::Certainty;
+use crate::vfs::{self, RealFs, Vfs, VfsFile};
 use acc_spec::{FeatureId, Language};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt::Write as _;
-use std::fs::{File, OpenOptions};
-use std::io::{self, Write as _};
+use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+pub use crate::vfs::{atomic_write, fsync_dir};
 
 /// Format magic + version prefix of every journal line.
 pub const MAGIC: &str = "J1";
@@ -317,6 +335,17 @@ impl JournalRecord {
         }
     }
 
+    /// Whether losing this record after `append` returned would break a
+    /// recovery invariant. Durable records (run identity, case verdicts,
+    /// node events) are fsynced before `append` returns; attempt chatter
+    /// is only flushed — losing it costs a re-run, never a verdict.
+    pub fn durable(&self) -> bool {
+        !matches!(
+            self,
+            JournalRecord::AttemptStart { .. } | JournalRecord::Attempt { .. }
+        )
+    }
+
     /// Encode as one complete journal line (magic, checksum, payload,
     /// trailing newline).
     pub fn encode(&self) -> String {
@@ -426,15 +455,68 @@ pub trait JournalSink: Send + Sync {
     fn append(&self, record: &JournalRecord);
 }
 
+/// The rotated-segment path for segment `n` of a journal at `path`:
+/// `<path>.seg<N>`, zero-padded so lexical order equals numeric order.
+pub fn segment_path(path: &Path, n: u64) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(".seg{n:05}"));
+    path.with_file_name(name)
+}
+
+/// Rotated segments of the journal at `path`, sorted by segment number.
+fn segments(vfs: &dyn Vfs, path: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let Some(stem) = path.file_name() else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "journal path has no file name",
+        ));
+    };
+    let prefix = format!("{}.seg", stem.to_string_lossy());
+    let mut segs = Vec::new();
+    for entry in vfs.read_dir(vfs::containing_dir(path))? {
+        let Some(name) = entry.file_name() else {
+            continue;
+        };
+        if let Some(num) = name.to_string_lossy().strip_prefix(&prefix) {
+            if let Ok(n) = num.parse::<u64>() {
+                segs.push((n, entry));
+            }
+        }
+    }
+    segs.sort();
+    Ok(segs)
+}
+
+/// Every on-disk file of the journal at `path`, in replay order: rotated
+/// segments by number, then the active file (when it exists — a crash
+/// between rotation's rename and the fresh-active create can leave
+/// segments with no active file).
+pub fn journal_files(vfs: &dyn Vfs, path: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files: Vec<PathBuf> = segments(vfs, path)?.into_iter().map(|(_, p)| p).collect();
+    if vfs.exists(path) {
+        files.push(path.to_path_buf());
+    }
+    Ok(files)
+}
+
 struct FileJournalInner {
-    file: File,
+    file: Box<dyn VfsFile>,
     error: Option<String>,
+    /// Bytes written to the active file (rotation trigger).
+    bytes: u64,
+    /// Next segment number a rotation will seal into.
+    next_seg: u64,
 }
 
 /// A file-backed journal sink: every record is appended and flushed so the
-/// on-disk journal is never more than one in-flight line behind reality.
+/// on-disk journal is never more than one in-flight line behind reality,
+/// and [durable][JournalRecord::durable] records are fsynced before
+/// `append` returns. All I/O goes through a [`Vfs`], so the crash-torture
+/// harness can run the journal against a hostile disk.
 pub struct FileJournal {
     path: PathBuf,
+    vfs: Arc<dyn Vfs>,
+    rotate_bytes: Option<u64>,
     inner: Mutex<FileJournalInner>,
 }
 
@@ -443,28 +525,72 @@ impl FileJournal {
     /// directory is fsynced so the journal's *existence* is as durable as
     /// its records.
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::create_via(RealFs::shared(), path)
+    }
+
+    /// [`FileJournal::create`] on an injected filesystem.
+    pub fn create_via(vfs: Arc<dyn Vfs>, path: impl AsRef<Path>) -> io::Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let file = File::create(&path)?;
-        fsync_dir(containing_dir(&path))?;
+        let file = vfs.create(&path)?;
+        vfs.fsync_dir(vfs::containing_dir(&path))?;
         Ok(FileJournal {
             path,
-            inner: Mutex::new(FileJournalInner { file, error: None }),
+            vfs,
+            rotate_bytes: None,
+            inner: Mutex::new(FileJournalInner {
+                file,
+                error: None,
+                bytes: 0,
+                next_seg: 0,
+            }),
         })
     }
 
     /// Open `path` for appending (creating it if missing) — the resume
     /// path: replay first, then keep appending to the same journal.
     pub fn append_to(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::append_to_via(RealFs::shared(), path)
+    }
+
+    /// [`FileJournal::append_to`] on an injected filesystem. Picks up the
+    /// active file's size and the next free segment number so rotation
+    /// continues where the previous process left off.
+    pub fn append_to_via(vfs: Arc<dyn Vfs>, path: impl AsRef<Path>) -> io::Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        fsync_dir(containing_dir(&path))?;
+        let bytes = if vfs.exists(&path) {
+            vfs.read(&path)?.len() as u64
+        } else {
+            0
+        };
+        let next_seg = segments(vfs.as_ref(), &path)?
+            .last()
+            .map_or(0, |(n, _)| n + 1);
+        let file = vfs.open_append(&path)?;
+        vfs.fsync_dir(vfs::containing_dir(&path))?;
         Ok(FileJournal {
             path,
-            inner: Mutex::new(FileJournalInner { file, error: None }),
+            vfs,
+            rotate_bytes: None,
+            inner: Mutex::new(FileJournalInner {
+                file,
+                error: None,
+                bytes,
+                next_seg,
+            }),
         })
     }
 
-    /// The journal's path.
+    /// Enable segment rotation: once the active file reaches `max_bytes`,
+    /// it is sealed into `<path>.seg<N>` (sync → rename → directory fsync
+    /// → fresh active → directory fsync — nothing is dropped until its
+    /// replacement is durable) and appends continue in a fresh active
+    /// file. Replay reads segments in order, active last.
+    pub fn with_rotation(mut self, max_bytes: u64) -> Self {
+        self.rotate_bytes = Some(max_bytes.max(1));
+        self
+    }
+
+    /// The journal's (active-file) path.
     pub fn path(&self) -> &Path {
         &self.path
     }
@@ -473,16 +599,45 @@ impl FileJournal {
     pub fn take_error(&self) -> Option<String> {
         self.inner.lock().expect("journal lock").error.take()
     }
+
+    fn append_inner(&self, inner: &mut FileJournalInner, record: &JournalRecord) -> io::Result<()> {
+        let line = record.encode();
+        inner.file.write_all(line.as_bytes())?;
+        inner.bytes += line.len() as u64;
+        if record.durable() {
+            inner.file.sync_all()?;
+        } else {
+            inner.file.flush()?;
+        }
+        if let Some(max) = self.rotate_bytes {
+            if inner.bytes >= max {
+                self.rotate(inner)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Seal the active file into the next segment and start a fresh one.
+    /// Same discipline as `atomic_write`: the segment's bytes are synced
+    /// before the rename, and the rename is made durable by a directory
+    /// fsync before anything else happens.
+    fn rotate(&self, inner: &mut FileJournalInner) -> io::Result<()> {
+        inner.file.sync_all()?;
+        let seg = segment_path(&self.path, inner.next_seg);
+        self.vfs.rename(&self.path, &seg)?;
+        self.vfs.fsync_dir(vfs::containing_dir(&self.path))?;
+        inner.file = self.vfs.create(&self.path)?;
+        self.vfs.fsync_dir(vfs::containing_dir(&self.path))?;
+        inner.next_seg += 1;
+        inner.bytes = 0;
+        Ok(())
+    }
 }
 
 impl JournalSink for FileJournal {
     fn append(&self, record: &JournalRecord) {
-        let line = record.encode();
         let mut inner = self.inner.lock().expect("journal lock");
-        let result = inner
-            .file
-            .write_all(line.as_bytes())
-            .and_then(|()| inner.file.flush());
+        let result = self.append_inner(&mut inner, record);
         if let (Err(e), None) = (result, &inner.error) {
             inner.error = Some(format!("{}: {e}", self.path.display()));
         }
@@ -552,11 +707,17 @@ pub struct Replay {
     pub corrupt_discarded: usize,
     /// Whether the final line was torn (no trailing newline) and discarded.
     pub torn_tail_discarded: bool,
-    /// Byte length of the trusted prefix — everything before the first torn
-    /// or corrupt line. Resume compacts the file to this length before
-    /// appending, so new records never land behind a poisoned tail (where
-    /// the tail rule would silently discard them on the next replay).
+    /// Byte length of the trusted prefix *of the file where the tail rule
+    /// cut* (the last file absorbed, when no cut occurred). Resume
+    /// compacts that file to this length before appending, so new records
+    /// never land behind a poisoned tail (where the tail rule would
+    /// silently discard them on the next replay).
     pub valid_bytes: usize,
+    /// Index (in [`journal_files`] order) of the file where the tail rule
+    /// cut, when a multi-file replay hit corruption.
+    pub cut_file: Option<usize>,
+    /// Whole later files dropped by the tail rule after a cut.
+    pub files_discarded: usize,
 }
 
 impl Replay {
@@ -564,51 +725,99 @@ impl Replay {
     /// prefix instead of aborting the resume.
     pub fn from_text(text: &str) -> Replay {
         let mut replay = Replay::default();
+        replay.absorb(text);
+        replay
+    }
+
+    /// Absorb one file's text; `false` when the tail rule cut it short
+    /// (torn final line or corrupt line), which invalidates every later
+    /// file too. Resets `valid_bytes` to count within this text.
+    fn absorb(&mut self, text: &str) -> bool {
+        self.valid_bytes = 0;
         let mut lines = text.split_inclusive('\n');
         for raw in lines.by_ref() {
             if !raw.ends_with('\n') {
                 // A torn tail: the crash happened mid-write.
-                replay.torn_tail_discarded = true;
-                return replay;
+                self.torn_tail_discarded = true;
+                return false;
             }
             let line = raw.trim_end_matches(['\n', '\r']);
             if line.is_empty() {
-                replay.valid_bytes += raw.len();
+                self.valid_bytes += raw.len();
                 continue;
             }
             match JournalRecord::decode(line) {
                 Some(record) => {
-                    replay.apply(record);
-                    replay.valid_bytes += raw.len();
+                    self.apply(record);
+                    self.valid_bytes += raw.len();
                 }
                 None => {
                     // Tail rule: this line and everything after it is
                     // untrustworthy.
-                    replay.corrupt_discarded = 1 + lines.count();
-                    return replay;
+                    self.corrupt_discarded += 1 + lines.count();
+                    return false;
                 }
             }
         }
-        replay
+        true
     }
 
-    /// Replay a journal file.
+    /// Replay a journal file, including any rotated segments.
     pub fn load(path: impl AsRef<Path>) -> io::Result<Replay> {
-        Ok(Replay::from_text(&std::fs::read_to_string(path)?))
+        Replay::load_via(&RealFs, path)
     }
 
-    /// Open a journal for resumption: replay it, compact the file down to
-    /// its trusted prefix if the tail was torn or corrupt (so freshly
-    /// appended records never sit behind a line the tail rule would discard
-    /// on the next replay), and reopen it for appending.
-    pub fn open_resume(path: impl AsRef<Path>) -> io::Result<(Replay, FileJournal)> {
-        let path = path.as_ref();
-        let text = std::fs::read_to_string(path)?;
-        let replay = Replay::from_text(&text);
-        if replay.valid_bytes < text.len() {
-            atomic_write(path, &text.as_bytes()[..replay.valid_bytes])?;
+    /// [`Replay::load`] on an injected filesystem.
+    pub fn load_via(vfs: &dyn Vfs, path: impl AsRef<Path>) -> io::Result<Replay> {
+        Ok(Replay::scan(vfs, path.as_ref())?.0)
+    }
+
+    /// Replay segments + active file; also returns the file list so the
+    /// resume path knows what to truncate or drop after a cut.
+    fn scan(vfs: &dyn Vfs, path: &Path) -> io::Result<(Replay, Vec<PathBuf>)> {
+        let files = journal_files(vfs, path)?;
+        if files.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no journal at {}", path.display()),
+            ));
         }
-        let journal = FileJournal::append_to(path)?;
+        let mut replay = Replay::default();
+        for (i, file) in files.iter().enumerate() {
+            if !replay.absorb(&vfs::read_lossy(vfs, file)?) {
+                replay.cut_file = Some(i);
+                replay.files_discarded = files.len() - i - 1;
+                break;
+            }
+        }
+        Ok((replay, files))
+    }
+
+    /// Open a journal for resumption: replay it, compact the cut file down
+    /// to its trusted prefix if the tail was torn or corrupt (so freshly
+    /// appended records never sit behind a line the tail rule would discard
+    /// on the next replay), drop any files after the cut entirely, and
+    /// reopen the active file for appending.
+    pub fn open_resume(path: impl AsRef<Path>) -> io::Result<(Replay, FileJournal)> {
+        Replay::open_resume_via(RealFs::shared(), path)
+    }
+
+    /// [`Replay::open_resume`] on an injected filesystem.
+    pub fn open_resume_via(
+        vfs: Arc<dyn Vfs>,
+        path: impl AsRef<Path>,
+    ) -> io::Result<(Replay, FileJournal)> {
+        let path = path.as_ref();
+        let (replay, files) = Replay::scan(vfs.as_ref(), path)?;
+        if let Some(i) = replay.cut_file {
+            let text = vfs.read(&files[i])?;
+            vfs::atomic_write_via(vfs.as_ref(), &files[i], &text[..replay.valid_bytes])?;
+            for later in &files[i + 1..] {
+                vfs.remove_file(later)?;
+            }
+            vfs.fsync_dir(vfs::containing_dir(path))?;
+        }
+        let journal = FileJournal::append_to_via(vfs, path)?;
         Ok((replay, journal))
     }
 
@@ -684,6 +893,9 @@ impl Replay {
                 self.duplicates_discarded
             ));
         }
+        if self.files_discarded > 0 {
+            discarded.push(format!("{} later journal file(s)", self.files_discarded));
+        }
         if !discarded.is_empty() {
             let _ = write!(s, "; discarded {}", discarded.join(", "));
         }
@@ -691,68 +903,10 @@ impl Replay {
     }
 }
 
-/// The directory that contains `path`, for durability syncs: its parent,
-/// or `.` when the path is a bare file name (whose parent renders as the
-/// empty string, which `File::open` rejects).
-fn containing_dir(path: &Path) -> &Path {
-    match path.parent() {
-        Some(p) if !p.as_os_str().is_empty() => p,
-        _ => Path::new("."),
-    }
-}
-
-/// Fsync a directory so a just-created or just-renamed entry inside it
-/// survives power failure. `sync_all` on the *file* makes the bytes
-/// durable; only an fsync of the *directory* makes the name durable — a
-/// rename without it can vanish on crash, resurrecting the old contents.
-/// No-op on non-Unix targets, where directory handles can't be synced.
-pub fn fsync_dir(dir: impl AsRef<Path>) -> io::Result<()> {
-    let dir = dir.as_ref();
-    let dir = if dir.as_os_str().is_empty() {
-        Path::new(".")
-    } else {
-        dir
-    };
-    #[cfg(unix)]
-    {
-        File::open(dir)?.sync_all()
-    }
-    #[cfg(not(unix))]
-    {
-        let _ = dir;
-        Ok(())
-    }
-}
-
-/// Crash-safe file write: write the full contents to a temp file in the
-/// destination directory, sync it, atomically rename it over `path`, then
-/// fsync the directory so the rename itself is durable. A crash at any
-/// point leaves either the old file or the new one — never a half-written
-/// hybrid, and never a rename that silently rolls back.
-pub fn atomic_write(path: impl AsRef<Path>, contents: &[u8]) -> io::Result<()> {
-    let path = path.as_ref();
-    let file_name = path
-        .file_name()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
-    let mut tmp_name = file_name.to_os_string();
-    tmp_name.push(format!(".tmp{}", std::process::id()));
-    let tmp = path.with_file_name(tmp_name);
-    let result = (|| {
-        let mut f = File::create(&tmp)?;
-        f.write_all(contents)?;
-        f.sync_all()?;
-        std::fs::rename(&tmp, path)?;
-        fsync_dir(containing_dir(path))
-    })();
-    if result.is_err() {
-        let _ = std::fs::remove_file(&tmp);
-    }
-    result
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::FaultFs;
 
     fn sample_result(name: &str, status: TestStatus) -> CaseResult {
         CaseResult {
@@ -814,6 +968,33 @@ mod tests {
             let decoded = JournalRecord::decode(line.trim_end_matches('\n'))
                 .unwrap_or_else(|| panic!("decode failed: {line:?}"));
             assert_eq!(decoded, record);
+        }
+    }
+
+    #[test]
+    fn skipped_reason_round_trips_with_non_ascii() {
+        // Degradation reasons are operator strings — they can carry
+        // diacritics, CJK, emoji, and embedded separators.
+        let reasons = [
+            "gerät überhitzt",
+            "設備故障: ノード落ち",
+            "node died 💥 (retry\tlater\n)",
+            "Кластер недоступен — очередь переполнена",
+        ];
+        for reason in reasons {
+            let record = done("a", TestStatus::Skipped(Some(reason.to_string())));
+            let line = record.encode();
+            assert_eq!(line.matches('\n').count(), 1, "stays one line: {line:?}");
+            let decoded = JournalRecord::decode(line.trim_end_matches('\n'))
+                .unwrap_or_else(|| panic!("decode failed for reason {reason:?}"));
+            assert_eq!(decoded, record);
+            // And through a full file replay, not just line codec.
+            let replay = Replay::from_text(&line);
+            let kept = &replay.completed[&("a".to_string(), Language::C)];
+            assert_eq!(
+                kept.result.status,
+                TestStatus::Skipped(Some(reason.to_string()))
+            );
         }
     }
 
@@ -937,5 +1118,97 @@ mod tests {
         assert_eq!(replay.records, 0);
         assert_eq!(replay.completed_count(), 0);
         assert!(!replay.torn_tail_discarded);
+    }
+
+    #[test]
+    fn durable_records_are_synced_before_append_returns() {
+        let fs = FaultFs::new(1);
+        let journal =
+            FileJournal::create_via(Arc::new(fs.clone()), "camp.journal").unwrap();
+        journal.append(&done("a", TestStatus::Pass));
+        let durable = fs.durable_contents("camp.journal").expect("name durable");
+        assert_eq!(
+            String::from_utf8(durable).unwrap(),
+            done("a", TestStatus::Pass).encode(),
+            "a CaseDone verdict must be on disk when append returns"
+        );
+        // Attempt chatter is flushed but not synced: visible live, not
+        // yet guaranteed durable.
+        journal.append(&JournalRecord::AttemptStart {
+            name: "b".to_string(),
+            language: Language::C,
+            attempt: 0,
+        });
+        let durable = fs.durable_contents("camp.journal").unwrap();
+        let live = fs.live_contents("camp.journal").unwrap();
+        assert!(live.len() > durable.len(), "start record is not fsynced");
+        assert!(journal.take_error().is_none());
+    }
+
+    #[test]
+    fn rotation_seals_segments_and_replay_merges_them() {
+        let fs = FaultFs::new(2);
+        let vfs: Arc<dyn Vfs> = Arc::new(fs.clone());
+        let journal = FileJournal::create_via(Arc::clone(&vfs), "rot.journal")
+            .unwrap()
+            .with_rotation(1); // every record seals a segment
+        for name in ["a", "b", "c"] {
+            journal.append(&done(name, TestStatus::Pass));
+        }
+        assert!(journal.take_error().is_none());
+        let files = journal_files(vfs.as_ref(), Path::new("rot.journal")).unwrap();
+        assert_eq!(files.len(), 4, "3 sealed segments + empty active: {files:?}");
+        let replay = Replay::load_via(vfs.as_ref(), "rot.journal").unwrap();
+        assert_eq!(replay.completed_count(), 3);
+        assert!(replay.cut_file.is_none());
+        // Resume appends into the active file and rotation numbering
+        // continues.
+        let (replay, journal) =
+            Replay::open_resume_via(Arc::clone(&vfs), "rot.journal").unwrap();
+        assert_eq!(replay.completed_count(), 3);
+        let journal = journal.with_rotation(1);
+        journal.append(&done("d", TestStatus::Pass));
+        assert!(journal.take_error().is_none());
+        assert!(
+            fs.durable_contents(segment_path(Path::new("rot.journal"), 3))
+                .is_some(),
+            "resumed rotation picks the next free segment number"
+        );
+        let replay = Replay::load_via(vfs.as_ref(), "rot.journal").unwrap();
+        assert_eq!(replay.completed_count(), 4);
+    }
+
+    #[test]
+    fn multi_file_tail_rule_cuts_across_segments() {
+        let fs = FaultFs::new(3);
+        let vfs: Arc<dyn Vfs> = Arc::new(fs.clone());
+        let journal = FileJournal::create_via(Arc::clone(&vfs), "cut.journal")
+            .unwrap()
+            .with_rotation(1);
+        for name in ["a", "b", "c"] {
+            journal.append(&done(name, TestStatus::Pass));
+        }
+        drop(journal);
+        // Corrupt segment 1 (the middle one): flip a checksum digit.
+        let seg1 = segment_path(Path::new("cut.journal"), 1);
+        let mut bytes = vfs.read(&seg1).unwrap();
+        bytes[3] = if bytes[3] == b'0' { b'1' } else { b'0' };
+        let mut f = vfs.create(&seg1).unwrap();
+        f.write_all(&bytes).unwrap();
+        f.sync_all().unwrap();
+        let replay = Replay::load_via(vfs.as_ref(), "cut.journal").unwrap();
+        assert_eq!(replay.completed_count(), 1, "only segment 0 is trusted");
+        assert_eq!(replay.cut_file, Some(1));
+        assert_eq!(replay.files_discarded, 2, "segment 2 + active dropped");
+        assert!(replay.summary().contains("later journal file"), "{}", replay.summary());
+        // Resume truncates the poisoned segment and removes later files.
+        let (replay, journal) =
+            Replay::open_resume_via(Arc::clone(&vfs), "cut.journal").unwrap();
+        assert_eq!(replay.completed_count(), 1);
+        journal.append(&done("z", TestStatus::Pass));
+        assert!(journal.take_error().is_none());
+        let replay = Replay::load_via(vfs.as_ref(), "cut.journal").unwrap();
+        assert_eq!(replay.completed_count(), 2, "a + z, nothing poisoned");
+        assert!(replay.cut_file.is_none());
     }
 }

@@ -32,6 +32,10 @@
 //!   write-ahead log of every attempt and verdict, so an interrupted
 //!   campaign resumes where it stopped (corrupted tails are detected and
 //!   discarded) and all report writes are atomic.
+//! * **Injectable filesystem** ([`vfs`]) — the seam all durability-critical
+//!   I/O routes through: a real passthrough in production, and a
+//!   deterministic fault-injecting filesystem (torn writes, EIO/ENOSPC,
+//!   fsync loss, crash-after-op-N) for the crash-torture harness.
 //! * **Campaigns and reports** ([`campaign`], [`report`]) — run a whole
 //!   suite against one or many compiler releases, compute pass rates
 //!   (Fig. 8), collect discovered-bug inventories (Table I), and render
@@ -51,6 +55,7 @@ pub mod journal;
 pub mod report;
 pub mod stats;
 pub mod template;
+pub mod vfs;
 
 pub use analysis::{attribute, Attribution};
 pub use campaign::{Campaign, CampaignResult, FailureBreakdown, SuiteRun};
@@ -64,3 +69,4 @@ pub use journal::{
     MemoryJournal, Replay,
 };
 pub use stats::Certainty;
+pub use vfs::{atomic_write_via, DiskImage, FaultFs, FaultKind, Injection, OpKind, RealFs, Vfs, VfsFile};

@@ -21,6 +21,7 @@ pub mod run;
 pub mod sched;
 pub mod store;
 pub mod sweep;
+pub mod torture;
 pub mod tracking;
 
 pub use cluster::{LossPlan, Node, NodeFault, SimulatedCluster, SoftwareStack};
@@ -28,4 +29,5 @@ pub use run::{HarnessReport, HarnessRun, StackResult};
 pub use sched::{FairScheduler, PushError};
 pub use store::{QueryFilter, QueryRow, ResultStore, StoredSubmission};
 pub use sweep::{ClusterSweep, NodeLoss, SweepOutcome, SweepRow};
+pub use torture::{run_torture, TortureConfig, TortureOutcome};
 pub use tracking::{Drift, FunctionalityTracker};

@@ -14,27 +14,58 @@
 //! Record kinds (tab-separated payloads inside the `J1` frame):
 //!
 //! ```text
-//! sub   <id> <tenant> <scope> <format>
+//! sub   <id> <tenant> <scope> <format> <epoch-seconds>
 //! case  <id> <name> <feature> <lang> <status> <certainty> <attempts> <source>
 //! rep   <id> <report-text>
 //! state <id> <state> <detail>
 //! ```
 //!
+//! (`sub` rows written before the epoch field existed have four fields and
+//! decode with epoch 0 — the store is backward compatible with its own
+//! history.)
+//!
 //! The in-memory index (id → submission) is rebuilt by a full scan on
 //! open; queries aggregate pass rates by (scope, language, feature) across
-//! every stored verdict.
+//! every stored verdict, with optional `since`/`until` epoch bounds.
+//!
+//! ## Durability
+//!
+//! All I/O goes through the [`acc_validation::vfs`] seam so the
+//! crash-torture harness can run the store against a hostile disk. Every
+//! mutation that acknowledges work to a caller — [`ResultStore::begin`]
+//! (the id behind a served 202), [`ResultStore::record_cases`],
+//! [`ResultStore::record_report`], [`ResultStore::set_state`] — fsyncs
+//! before returning, so an acknowledged record can never be lost to a
+//! crash.
+//!
+//! ## Generations and compaction
+//!
+//! A long-lived store accumulates dead bytes: superseded state rows, and
+//! eventually submissions nobody queries. [`ResultStore::compact`]
+//! rewrites the live index into a fresh *generation* file and swaps a
+//! one-line generation pointer (`<path>.gen`) over to it with the same
+//! temp+rename+dir-fsync discipline as every other atomic write:
+//!
+//! 1. write all live records to `<path>.g<G+1>`, fsync it, fsync the dir;
+//! 2. atomically rewrite the pointer file to `G+1` (the commit point);
+//! 3. only then unlink the old generation.
+//!
+//! A crash before step 2's rename leaves the pointer at `G`: the old
+//! generation is still the store, and the half-built `G+1` file is
+//! garbage-collected on the next open. A crash after leaves the pointer at
+//! `G+1`: the new generation is the store, and the old file is GC'd on the
+//! next open. There is no crash point at which both or neither are live.
 
-use acc_validation::journal::{
-    self, atomic_write, checksum, fsync_dir, MAGIC,
-};
+use acc_validation::journal::{self, checksum, MAGIC};
+use acc_validation::vfs::{self, atomic_write_via, RealFs, Vfs, VfsFile};
 use acc_spec::FeatureId;
 use acc_validation::CaseResult;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::fs::OpenOptions;
-use std::io::{self, Write as _};
+use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::{SystemTime, UNIX_EPOCH};
 
 /// One stored submission, reassembled from its records.
 #[derive(Debug, Clone)]
@@ -47,6 +78,9 @@ pub struct StoredSubmission {
     pub scope: String,
     /// Report format the submission asked for (`text`/`csv`/`html`).
     pub format: String,
+    /// Wall-clock submission time, seconds since the Unix epoch (0 for
+    /// rows written before the field existed).
+    pub epoch: u64,
     /// Latest lifecycle state.
     pub state: String,
     /// Human detail for the latest state (degradation reason, drain note).
@@ -83,8 +117,9 @@ impl QueryRow {
     }
 }
 
-/// Prefix filters for [`ResultStore::query`]. Empty strings match all.
-#[derive(Debug, Clone, Default)]
+/// Prefix filters for [`ResultStore::query`]. Empty strings match all;
+/// the epoch bounds default to all of time.
+#[derive(Debug, Clone)]
 pub struct QueryFilter {
     /// Scope (compiler label) prefix, e.g. `"PGI"` or `"PGI 13"`.
     pub scope: String,
@@ -94,22 +129,76 @@ pub struct QueryFilter {
     pub language: String,
     /// Tenant exact match ("" = all tenants).
     pub tenant: String,
+    /// Only submissions recorded at or after this epoch second.
+    pub since: u64,
+    /// Only submissions recorded at or before this epoch second.
+    pub until: u64,
+}
+
+impl Default for QueryFilter {
+    fn default() -> Self {
+        QueryFilter {
+            scope: String::new(),
+            feature: String::new(),
+            language: String::new(),
+            tenant: String::new(),
+            since: 0,
+            until: u64::MAX,
+        }
+    }
+}
+
+/// What a [`ResultStore::compact`] pass accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Generation the store now reads and appends.
+    pub generation: u64,
+    /// Byte size of the superseded generation file.
+    pub old_bytes: u64,
+    /// Byte size of the freshly written generation file.
+    pub new_bytes: u64,
+    /// Live submissions carried over.
+    pub live_submissions: usize,
+}
+
+/// Wall clock used to stamp submissions; injectable so torture runs and
+/// tests are deterministic.
+pub type Clock = Arc<dyn Fn() -> u64 + Send + Sync>;
+
+fn system_clock() -> Clock {
+    Arc::new(|| {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs())
+    })
 }
 
 struct StoreInner {
-    file: std::fs::File,
+    file: Box<dyn VfsFile>,
     index: BTreeMap<u64, StoredSubmission>,
     next_id: u64,
+    generation: u64,
 }
 
 /// The append-only, indexed result store.
 pub struct ResultStore {
     path: PathBuf,
+    vfs: Arc<dyn Vfs>,
+    clock: Clock,
     inner: Mutex<StoreInner>,
 }
 
 fn frame(payload: &str) -> String {
     format!("{MAGIC} {:016x} {payload}\n", checksum(payload))
+}
+
+fn encode_sub(id: u64, tenant: &str, scope: &str, format: &str, epoch: u64) -> String {
+    format!(
+        "sub\t{id}\t{}\t{}\t{}\t{epoch}",
+        journal::escape(tenant),
+        journal::escape(scope),
+        journal::escape(format),
+    )
 }
 
 fn encode_case(id: u64, r: &CaseResult) -> String {
@@ -125,6 +214,14 @@ fn encode_case(id: u64, r: &CaseResult) -> String {
     )
 }
 
+fn encode_state(id: u64, state: &str, detail: &str) -> String {
+    format!(
+        "state\t{id}\t{}\t{}",
+        journal::escape(state),
+        journal::escape(detail)
+    )
+}
+
 /// A decoded store record (internal; the public surface is the index).
 enum StoreRecord {
     Sub {
@@ -132,6 +229,7 @@ enum StoreRecord {
         tenant: String,
         scope: String,
         format: String,
+        epoch: u64,
     },
     Case {
         id: u64,
@@ -154,14 +252,21 @@ fn decode_payload(payload: &str) -> Option<StoreRecord> {
     let fields: Vec<&str> = fields.collect();
     match kind {
         "sub" => {
-            let [id, tenant, scope, format] = fields.as_slice() else {
-                return None;
+            // Four fields = the pre-epoch v1 row; five = epoch-stamped.
+            let (core, epoch) = match fields.as_slice() {
+                [id, tenant, scope, format] => ([*id, *tenant, *scope, *format], 0),
+                [id, tenant, scope, format, epoch] => {
+                    ([*id, *tenant, *scope, *format], epoch.parse().ok()?)
+                }
+                _ => return None,
             };
+            let [id, tenant, scope, format] = core;
             Some(StoreRecord::Sub {
                 id: id.parse().ok()?,
                 tenant: journal::unescape(tenant)?,
                 scope: journal::unescape(scope)?,
                 format: journal::unescape(format)?,
+                epoch,
             })
         }
         "case" => {
@@ -216,17 +321,92 @@ fn decode_line(line: &str) -> Option<StoreRecord> {
     decode_payload(payload)
 }
 
+/// The generation-pointer file: one ASCII generation number.
+fn pointer_path(base: &Path) -> PathBuf {
+    let mut name = base.file_name().unwrap_or_default().to_os_string();
+    name.push(".gen");
+    base.with_file_name(name)
+}
+
+/// The data file of generation `g`: the bare base path for generation 0
+/// (v1 stores predate generations), `<base>.g<G>` after a compaction.
+fn data_path(base: &Path, generation: u64) -> PathBuf {
+    if generation == 0 {
+        return base.to_path_buf();
+    }
+    let mut name = base.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(".g{generation}"));
+    base.with_file_name(name)
+}
+
+/// Remove generation files and atomic-write temp droppings that are not
+/// the current generation — the debris a crash mid-compaction leaves.
+/// Never touches the pointer file or unrelated names.
+fn gc_stale(vfs: &dyn Vfs, base: &Path, generation: u64) -> io::Result<()> {
+    let Some(stem) = base.file_name() else {
+        return Ok(());
+    };
+    let stem = stem.to_string_lossy().into_owned();
+    for entry in vfs.read_dir(vfs::containing_dir(base))? {
+        let Some(name) = entry.file_name() else {
+            continue;
+        };
+        let name = name.to_string_lossy();
+        let Some(suffix) = name.strip_prefix(stem.as_str()) else {
+            continue;
+        };
+        let stale = if suffix.contains(".tmp") {
+            true // orphaned atomic-write temp (ours: stem-prefixed)
+        } else if suffix.is_empty() {
+            generation != 0
+        } else if let Some(g) = suffix.strip_prefix(".g") {
+            g.parse::<u64>().is_ok_and(|g| g != generation)
+        } else {
+            false // the `.gen` pointer, or not ours
+        };
+        if stale {
+            vfs.remove_file(&entry)?;
+        }
+    }
+    Ok(())
+}
+
 impl ResultStore {
     /// Open (or create) the store at `path`, rebuilding the index with the
     /// journal's tail rule: the first torn or corrupt line poisons itself
     /// and everything after it; the file is compacted to the trusted
-    /// prefix before appends resume.
+    /// prefix before appends resume. Follows the generation pointer when
+    /// one exists and garbage-collects the debris of any interrupted
+    /// compaction.
     pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::open_via(RealFs::shared(), path)
+    }
+
+    /// [`ResultStore::open`] on an injected filesystem.
+    pub fn open_via(vfs: Arc<dyn Vfs>, path: impl AsRef<Path>) -> io::Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let text = match std::fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
-            Err(e) => return Err(e),
+        let pointer = pointer_path(&path);
+        let generation = if vfs.exists(&pointer) {
+            vfs::read_to_string(vfs.as_ref(), &pointer)?
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("corrupt generation pointer {}", pointer.display()),
+                    )
+                })?
+        } else {
+            0
+        };
+        gc_stale(vfs.as_ref(), &path, generation)?;
+        let data = data_path(&path, generation);
+        let text = if vfs.exists(&data) {
+            // Lossy: a torn tail that cut a multibyte character must fall
+            // to the tail rule, not make the whole store unreadable.
+            vfs::read_lossy(vfs.as_ref(), &data)?
+        } else {
+            String::new()
         };
         let mut index: BTreeMap<u64, StoredSubmission> = BTreeMap::new();
         let mut valid_bytes = 0usize;
@@ -253,47 +433,66 @@ impl ResultStore {
             }
         }
         if poisoned {
-            atomic_write(&path, &text.as_bytes()[..valid_bytes])?;
+            atomic_write_via(vfs.as_ref(), &data, &text.as_bytes()[..valid_bytes])?;
         }
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        fsync_dir(path.parent().filter(|p| !p.as_os_str().is_empty()).unwrap_or(Path::new(".")))?;
+        let file = vfs.open_append(&data)?;
+        vfs.fsync_dir(vfs::containing_dir(&data))?;
         let next_id = index.keys().next_back().map_or(1, |max| max + 1);
         Ok(ResultStore {
             path,
+            vfs,
+            clock: system_clock(),
             inner: Mutex::new(StoreInner {
                 file,
                 index,
                 next_id,
+                generation,
             }),
         })
     }
 
-    /// The store's path.
+    /// Replace the wall clock used to stamp submissions (deterministic
+    /// torture runs and tests).
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// The store's base path (the generation pointer and generation files
+    /// derive from it).
     pub fn path(&self) -> &Path {
         &self.path
     }
 
-    fn append_locked(inner: &mut StoreInner, payload: &str) -> io::Result<()> {
-        inner.file.write_all(frame(payload).as_bytes())?;
-        inner.file.flush()
+    /// The generation currently being read and appended.
+    pub fn generation(&self) -> u64 {
+        self.inner.lock().expect("store lock").generation
+    }
+
+    /// The data file of the current generation.
+    pub fn current_data_path(&self) -> PathBuf {
+        data_path(&self.path, self.generation())
+    }
+
+    /// Append frames and fsync — the ack discipline: nothing this store
+    /// confirmed can be lost to a crash afterwards.
+    fn append_sync(inner: &mut StoreInner, frames: &str) -> io::Result<()> {
+        inner.file.write_all(frames.as_bytes())?;
+        inner.file.sync_all()
     }
 
     /// Register a new submission; returns its id. The header and the
-    /// initial `queued` state are appended before the id is handed out, so
-    /// every id the server ever returned is resolvable after a restart.
+    /// initial `queued` state are appended and fsynced before the id is
+    /// handed out, so every id the server ever returned is resolvable
+    /// after a restart.
     pub fn begin(&self, tenant: &str, scope: &str, format: &str) -> io::Result<u64> {
+        let epoch = (self.clock)();
         let mut inner = self.inner.lock().expect("store lock");
         let id = inner.next_id;
         inner.next_id += 1;
-        let payload = format!(
-            "sub\t{id}\t{}\t{}\t{}",
-            journal::escape(tenant),
-            journal::escape(scope),
-            journal::escape(format),
-        );
-        Self::append_locked(&mut inner, &payload)?;
-        let state = format!("state\t{id}\tqueued\t");
-        Self::append_locked(&mut inner, &state)?;
+        let mut frames = frame(&encode_sub(id, tenant, scope, format, epoch));
+        frames.push_str(&frame(&encode_state(id, "queued", "")));
+        Self::append_sync(&mut inner, &frames)?;
         inner.index.insert(
             id,
             StoredSubmission {
@@ -301,6 +500,7 @@ impl ResultStore {
                 tenant: tenant.to_string(),
                 scope: scope.to_string(),
                 format: format.to_string(),
+                epoch,
                 state: "queued".to_string(),
                 detail: String::new(),
                 cases: Vec::new(),
@@ -310,15 +510,10 @@ impl ResultStore {
         Ok(id)
     }
 
-    /// Record a lifecycle transition.
+    /// Record a lifecycle transition (fsynced before returning).
     pub fn set_state(&self, id: u64, state: &str, detail: &str) -> io::Result<()> {
         let mut inner = self.inner.lock().expect("store lock");
-        let payload = format!(
-            "state\t{id}\t{}\t{}",
-            journal::escape(state),
-            journal::escape(detail)
-        );
-        Self::append_locked(&mut inner, &payload)?;
+        Self::append_sync(&mut inner, &frame(&encode_state(id, state, detail)))?;
         if let Some(sub) = inner.index.get_mut(&id) {
             sub.state = state.to_string();
             sub.detail = detail.to_string();
@@ -326,15 +521,15 @@ impl ResultStore {
         Ok(())
     }
 
-    /// Append every verdict of a finished (or interrupted) run.
+    /// Append every verdict of a finished (or interrupted) run (fsynced
+    /// before returning).
     pub fn record_cases(&self, id: u64, cases: &[CaseResult]) -> io::Result<()> {
         let mut inner = self.inner.lock().expect("store lock");
         let mut lines = String::new();
         for case in cases {
             let _ = write!(lines, "{}", frame(&encode_case(id, case)));
         }
-        inner.file.write_all(lines.as_bytes())?;
-        inner.file.flush()?;
+        Self::append_sync(&mut inner, &lines)?;
         if let Some(sub) = inner.index.get_mut(&id) {
             sub.cases.extend(cases.iter().cloned());
         }
@@ -343,15 +538,76 @@ impl ResultStore {
 
     /// Append the rendered report verbatim (the byte-identity artifact:
     /// what this returns on a later fetch is exactly what `accvv run`
-    /// would have printed).
+    /// would have printed). Fsynced before returning.
     pub fn record_report(&self, id: u64, text: &str) -> io::Result<()> {
         let mut inner = self.inner.lock().expect("store lock");
         let payload = format!("rep\t{id}\t{}", journal::escape(text));
-        Self::append_locked(&mut inner, &payload)?;
+        Self::append_sync(&mut inner, &frame(&payload))?;
         if let Some(sub) = inner.index.get_mut(&id) {
             sub.report = Some(text.to_string());
         }
         Ok(())
+    }
+
+    /// Rewrite the live index into a fresh generation and swap the
+    /// generation pointer over to it. Crash-safe at every step (see the
+    /// module docs); queries are byte-identical before and after because
+    /// compaction only rewrites the file, never the index. Appends are
+    /// blocked for the duration (the store lock is held).
+    pub fn compact(&self) -> io::Result<CompactionStats> {
+        let mut inner = self.inner.lock().expect("store lock");
+        let old_gen = inner.generation;
+        let new_gen = old_gen + 1;
+        let old_data = data_path(&self.path, old_gen);
+        let new_data = data_path(&self.path, new_gen);
+        let dir = vfs::containing_dir(&self.path).to_path_buf();
+
+        // One sub/cases/rep/final-state group per live submission, in id
+        // order: replaying this file rebuilds exactly the current index.
+        let mut text = String::new();
+        for sub in inner.index.values() {
+            let _ = write!(
+                text,
+                "{}",
+                frame(&encode_sub(sub.id, &sub.tenant, &sub.scope, &sub.format, sub.epoch))
+            );
+            for case in &sub.cases {
+                let _ = write!(text, "{}", frame(&encode_case(sub.id, case)));
+            }
+            if let Some(report) = &sub.report {
+                let _ = write!(
+                    text,
+                    "{}",
+                    frame(&format!("rep\t{}\t{}", sub.id, journal::escape(report)))
+                );
+            }
+            let _ = write!(text, "{}", frame(&encode_state(sub.id, &sub.state, &sub.detail)));
+        }
+
+        // 1. New generation fully durable (bytes and name) first.
+        let mut f = self.vfs.create(&new_data)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_all()?;
+        self.vfs.fsync_dir(&dir)?;
+        // 2. The commit point: atomically swing the pointer.
+        atomic_write_via(
+            self.vfs.as_ref(),
+            pointer_path(&self.path),
+            new_gen.to_string().as_bytes(),
+        )?;
+        // 3. Only now is the old generation garbage.
+        let old_bytes = self.vfs.read(&old_data).map(|b| b.len() as u64).unwrap_or(0);
+        self.vfs.remove_file(&old_data)?;
+        self.vfs.fsync_dir(&dir)?;
+
+        inner.file = self.vfs.open_append(&new_data)?;
+        inner.generation = new_gen;
+        Ok(CompactionStats {
+            generation: new_gen,
+            old_bytes,
+            new_bytes: text.len() as u64,
+            live_submissions: inner.index.len(),
+        })
     }
 
     /// Look up one submission by id.
@@ -373,7 +629,8 @@ impl ResultStore {
     /// Aggregate pass rates by (scope, language, feature) across every
     /// stored verdict matching the filter. Skipped rows are excluded, the
     /// same exclusion the report applies, so a degraded submission does
-    /// not drag a vendor's rate down.
+    /// not drag a vendor's rate down. The `since`/`until` bounds filter on
+    /// each submission's recorded epoch.
     pub fn query(&self, filter: &QueryFilter) -> Vec<QueryRow> {
         let inner = self.inner.lock().expect("store lock");
         let mut agg: BTreeMap<(String, String, String), (usize, usize)> = BTreeMap::new();
@@ -382,6 +639,9 @@ impl ResultStore {
                 continue;
             }
             if !sub.scope.starts_with(&filter.scope) {
+                continue;
+            }
+            if sub.epoch < filter.since || sub.epoch > filter.until {
                 continue;
             }
             for case in &sub.cases {
@@ -424,12 +684,14 @@ fn apply(index: &mut BTreeMap<u64, StoredSubmission>, record: StoreRecord) {
             tenant,
             scope,
             format,
+            epoch,
         } => {
             index.entry(id).or_insert(StoredSubmission {
                 id,
                 tenant,
                 scope,
                 format,
+                epoch,
                 state: "queued".to_string(),
                 detail: String::new(),
                 cases: Vec::new(),
@@ -459,6 +721,7 @@ fn apply(index: &mut BTreeMap<u64, StoredSubmission>, record: StoreRecord) {
 mod tests {
     use super::*;
     use acc_spec::Language;
+    use acc_validation::vfs::FaultFs;
     use acc_validation::TestStatus;
 
     fn case(name: &str, feature: &str, status: TestStatus) -> CaseResult {
@@ -477,10 +740,18 @@ mod tests {
         std::env::temp_dir().join(format!("accvv-store-{}-{name}.j1", std::process::id()))
     }
 
+    fn cleanup(path: &Path) {
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(pointer_path(path));
+        for g in 1..6 {
+            let _ = std::fs::remove_file(data_path(path, g));
+        }
+    }
+
     #[test]
     fn submission_round_trips_through_reopen() {
         let path = tmp("roundtrip");
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
         {
             let store = ResultStore::open(&path).unwrap();
             let id = store.begin("alice", "PGI 13.4", "text").unwrap();
@@ -514,15 +785,16 @@ mod tests {
             TestStatus::Skipped(Some("breaker open: PGI".into()))
         );
         assert_eq!(sub.report.as_deref(), Some("REPORT\nline two\ttabbed\n"));
+        assert!(sub.epoch > 0, "system clock stamps submissions");
         // Ids keep counting after reopen.
         assert_eq!(store.begin("bob", "ref", "text").unwrap(), 2);
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 
     #[test]
     fn corrupt_tail_is_compacted_on_open() {
         let path = tmp("tail");
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
         {
             let store = ResultStore::open(&path).unwrap();
             let id = store.begin("t", "scope", "text").unwrap();
@@ -541,13 +813,32 @@ mod tests {
             "poisoned tail compacted away"
         );
         assert_eq!(store.submission(1).unwrap().state, "done");
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn pre_epoch_sub_rows_still_decode() {
+        // A v1 row (no epoch field) must replay with epoch 0.
+        let payload = format!(
+            "sub\t9\t{}\t{}\t{}",
+            journal::escape("old-tenant"),
+            journal::escape("PGI 13.4"),
+            journal::escape("text"),
+        );
+        match decode_payload(&payload) {
+            Some(StoreRecord::Sub { id, tenant, epoch, .. }) => {
+                assert_eq!(id, 9);
+                assert_eq!(tenant, "old-tenant");
+                assert_eq!(epoch, 0);
+            }
+            _ => panic!("v1 sub row must decode"),
+        }
     }
 
     #[test]
     fn query_aggregates_and_filters() {
         let path = tmp("query");
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
         let store = ResultStore::open(&path).unwrap();
         let a = store.begin("alice", "PGI 13.4", "text").unwrap();
         store
@@ -593,7 +884,104 @@ mod tests {
             ..Default::default()
         });
         assert_eq!(bob_only.len(), 1);
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn since_until_bound_queries_by_epoch() {
+        let fs: Arc<dyn Vfs> = Arc::new(FaultFs::new(1));
+        let now = Arc::new(std::sync::atomic::AtomicU64::new(100));
+        let clock_now = Arc::clone(&now);
+        let store = ResultStore::open_via(Arc::clone(&fs), "epoch.j1")
+            .unwrap()
+            .with_clock(Arc::new(move || {
+                clock_now.load(std::sync::atomic::Ordering::SeqCst)
+            }));
+        let a = store.begin("t", "PGI 13.4", "text").unwrap();
+        store.record_cases(a, &[case("loop", "loop", TestStatus::Pass)]).unwrap();
+        now.store(200, std::sync::atomic::Ordering::SeqCst);
+        let b = store.begin("t", "PGI 13.4", "text").unwrap();
+        store
+            .record_cases(b, &[case("loop", "loop", TestStatus::WrongResult)])
+            .unwrap();
+        let all = store.query(&QueryFilter::default());
+        assert_eq!((all[0].total, all[0].passed), (2, 1));
+        let early = store.query(&QueryFilter {
+            until: 150,
+            ..Default::default()
+        });
+        assert_eq!((early[0].total, early[0].passed), (1, 1));
+        let late = store.query(&QueryFilter {
+            since: 150,
+            ..Default::default()
+        });
+        assert_eq!((late[0].total, late[0].passed), (1, 0));
+        let none = store.query(&QueryFilter {
+            since: 300,
+            ..Default::default()
+        });
+        assert!(none.is_empty());
+        // Epochs survive reopen.
+        drop(store);
+        let store = ResultStore::open_via(fs, "epoch.j1").unwrap();
+        assert_eq!(store.submission(a).unwrap().epoch, 100);
+        assert_eq!(store.submission(b).unwrap().epoch, 200);
+    }
+
+    #[test]
+    fn compaction_preserves_queries_and_reclaims_space() {
+        let fs: Arc<dyn Vfs> = Arc::new(FaultFs::new(2));
+        let store = ResultStore::open_via(Arc::clone(&fs), "c.j1").unwrap();
+        let id = store.begin("t", "PGI 13.4", "text").unwrap();
+        // Lots of dead state churn for compaction to reclaim.
+        for _ in 0..50 {
+            store.set_state(id, "running", "still going").unwrap();
+        }
+        store.record_cases(id, &[case("loop", "loop", TestStatus::Pass)]).unwrap();
+        store.record_report(id, "REPORT\n").unwrap();
+        store.set_state(id, "done", "").unwrap();
+        let before_list = format!("{:?}", store.list());
+        let before = store.query(&QueryFilter::default());
+        let stats = store.compact().unwrap();
+        assert_eq!(stats.generation, 1);
+        assert!(
+            stats.new_bytes < stats.old_bytes,
+            "dead state rows reclaimed: {stats:?}"
+        );
+        assert_eq!(stats.live_submissions, 1);
+        assert_eq!(store.query(&QueryFilter::default()), before);
+        assert_eq!(format!("{:?}", store.list()), before_list);
+        // Appends continue in the new generation and survive reopen.
+        let id2 = store.begin("t", "CAPS 3.3.0", "text").unwrap();
+        drop(store);
+        let store = ResultStore::open_via(Arc::clone(&fs), "c.j1").unwrap();
+        assert_eq!(store.generation(), 1);
+        assert_eq!(store.query(&QueryFilter::default()), before);
+        assert!(store.submission(id2).is_some());
+        assert!(store.submission(id).unwrap().report.is_some());
+        // The old generation file is gone.
+        assert!(!fs.exists(Path::new("c.j1")), "generation 0 reclaimed");
+        // Compacting again moves to generation 2.
+        assert_eq!(store.compact().unwrap().generation, 2);
+    }
+
+    #[test]
+    fn interrupted_compaction_is_garbage_collected_on_open() {
+        let fs: Arc<dyn Vfs> = Arc::new(FaultFs::new(3));
+        {
+            let store = ResultStore::open_via(Arc::clone(&fs), "g.j1").unwrap();
+            let id = store.begin("t", "PGI 13.4", "text").unwrap();
+            store.record_cases(id, &[case("loop", "loop", TestStatus::Pass)]).unwrap();
+        }
+        // Simulate a crash after the new generation was written but before
+        // the pointer swap: an orphan .g1 with divergent content.
+        let mut f = fs.create(Path::new("g.j1.g1")).unwrap();
+        f.write_all(b"garbage that must never be read\n").unwrap();
+        f.sync_all().unwrap();
+        let store = ResultStore::open_via(Arc::clone(&fs), "g.j1").unwrap();
+        assert_eq!(store.generation(), 0, "pointer never swung");
+        assert!(!fs.exists(Path::new("g.j1.g1")), "orphan GC'd");
+        assert_eq!(store.submission(1).unwrap().cases.len(), 1);
     }
 
     #[test]

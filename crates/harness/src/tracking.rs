@@ -104,7 +104,15 @@ impl FunctionalityTracker {
     /// are `key\twhen\trate`; malformed lines are skipped (a torn write
     /// costs at most the tail observation, never the whole history).
     pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
-        let text = std::fs::read_to_string(path)?;
+        Self::load_via(&acc_validation::RealFs, path)
+    }
+
+    /// [`FunctionalityTracker::load`] on an injected filesystem.
+    pub fn load_via(
+        vfs: &dyn acc_validation::Vfs,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<Self> {
+        let text = acc_validation::vfs::read_lossy(vfs, path.as_ref())?;
         let mut t = FunctionalityTracker::new();
         for line in text.lines() {
             let mut parts = line.splitn(3, '\t');
@@ -121,9 +129,18 @@ impl FunctionalityTracker {
         Ok(t)
     }
 
-    /// Persist the tracker atomically (temp file + rename) so a crash
-    /// mid-save can never corrupt the on-disk history.
+    /// Persist the tracker atomically (temp file + rename + directory
+    /// fsync) so a crash mid-save can never corrupt the on-disk history.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        self.save_via(&acc_validation::RealFs, path)
+    }
+
+    /// [`FunctionalityTracker::save`] on an injected filesystem.
+    pub fn save_via(
+        &self,
+        vfs: &dyn acc_validation::Vfs,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<()> {
         let mut out = String::new();
         for (key, points) in &self.series {
             for (when, rate) in points {
@@ -131,7 +148,7 @@ impl FunctionalityTracker {
                 let _ = writeln!(out, "{key}\t{when}\t{rate}");
             }
         }
-        acc_validation::atomic_write(path, out.as_bytes())
+        acc_validation::atomic_write_via(vfs, path, out.as_bytes())
     }
 
     /// Render the series as an ASCII trend table.

@@ -301,6 +301,67 @@ mod tests {
     }
 
     #[test]
+    fn trial_is_admitted_exactly_at_cooldown_expiry() {
+        // The boundary is inclusive: `elapsed >= cooldown` admits. One
+        // nanosecond earlier must still degrade — an off-by-one here either
+        // hammers a broken profile early or strands a healthy one forever.
+        let cooldown = Duration::from_millis(100);
+        let set = BreakerSet::new(1, cooldown);
+        let t0 = Instant::now();
+        set.observe_at("caps 3.3.4", &[infra()], t0);
+        assert!(matches!(
+            set.admit_at("caps 3.3.4", t0 + cooldown - Duration::from_nanos(1)),
+            BreakerDecision::Degraded { .. }
+        ));
+        assert_eq!(
+            set.admit_at("caps 3.3.4", t0 + cooldown),
+            BreakerDecision::Admit { trial: true }
+        );
+    }
+
+    #[test]
+    fn infra_racing_an_open_breaker_does_not_double_trip() {
+        // A campaign admitted before the trip can finish (during a drain,
+        // say) and report Infra verdicts while the circuit is already open.
+        // Those verdicts are history: the breaker must neither count a
+        // second trip nor restart the cooldown clock.
+        let cooldown = Duration::from_millis(100);
+        let set = BreakerSet::new(1, cooldown);
+        let t0 = Instant::now();
+        set.observe_at("pgi 13.8", &[infra()], t0);
+        assert_eq!(set.trips_total(), 1);
+        // The straggler lands halfway through the cooldown.
+        set.observe_at("pgi 13.8", &[infra(), infra()], t0 + cooldown / 2);
+        assert_eq!(set.trips_total(), 1, "already-open breaker must not re-trip");
+        // The original cooldown clock still governs: the trial is admitted
+        // at t0 + cooldown, not pushed out by the straggler.
+        assert_eq!(
+            set.admit_at("pgi 13.8", t0 + cooldown),
+            BreakerDecision::Admit { trial: true }
+        );
+    }
+
+    #[test]
+    fn half_open_trial_ignores_uncounted_stragglers() {
+        // A drain can flush a campaign of nothing but skips into a
+        // half-open breaker. With no counted verdict the trial is still
+        // outstanding: the breaker must stay half-open, not close.
+        let set = BreakerSet::new(1, Duration::from_millis(100));
+        let t0 = Instant::now();
+        set.observe_at("cray 8.2.0", &[infra()], t0);
+        let t1 = t0 + Duration::from_millis(150);
+        assert_eq!(set.admit_at("cray 8.2.0", t1), BreakerDecision::Admit { trial: true });
+        set.observe_at("cray 8.2.0", &[TestStatus::skipped()], t1);
+        assert_eq!(
+            set.admit_at("cray 8.2.0", t1),
+            BreakerDecision::Admit { trial: true },
+            "skip-only campaign must leave the trial outstanding"
+        );
+        assert_eq!(set.open_count(), 0);
+        assert_eq!(set.trips_total(), 1);
+    }
+
+    #[test]
     fn profiles_are_independent() {
         let set = BreakerSet::new(1, Duration::from_secs(60));
         let t0 = Instant::now();

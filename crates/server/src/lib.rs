@@ -718,13 +718,14 @@ fn handle_connection(mut stream: TcpStream, inner: &ServerInner) {
     let _ = resp.write_to(&mut stream);
 }
 
-const KNOWN_PATHS: [&str; 7] = [
+const KNOWN_PATHS: [&str; 8] = [
     "/v1/submit",
     "/v1/query",
     "/v1/healthz",
     "/v1/pause",
     "/v1/resume",
     "/v1/drain",
+    "/v1/compact",
     "/metrics",
 ];
 
@@ -746,6 +747,7 @@ fn route(inner: &ServerInner, req: &Request) -> Response {
             inner.drain.cancel();
             Response::json(202, "{\"state\":\"draining\"}".to_string())
         }
+        ("POST", "/v1/compact") => handle_compact(inner),
         ("GET", path) if path.starts_with("/v1/status/") => {
             handle_status(inner, &path["/v1/status/".len()..])
         }
@@ -834,12 +836,13 @@ fn handle_status(inner: &ServerInner, id_str: &str) -> Response {
     Response::json(
         200,
         format!(
-            "{{\"id\":{},\"tenant\":{},\"scope\":{},\"format\":{},\"state\":{},\
+            "{{\"id\":{},\"tenant\":{},\"scope\":{},\"format\":{},\"epoch\":{},\"state\":{},\
              \"detail\":{},\"cases\":{},\"report_ready\":{}}}",
             sub.id,
             jstr(&sub.tenant),
             jstr(&sub.scope),
             jstr(&sub.format),
+            sub.epoch,
             jstr(&sub.state),
             jstr(&sub.detail),
             sub.cases.len(),
@@ -874,12 +877,38 @@ fn handle_report(inner: &ServerInner, id_str: &str) -> Response {
     }
 }
 
+/// Parse an epoch-seconds bound query parameter; `Err` carries the 400.
+fn epoch_param(req: &Request, name: &str, default: u64) -> Result<u64, Response> {
+    match req.query_param(name) {
+        None | Some("") => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| {
+            error_response(
+                400,
+                &format!("`{name}` must be a non-negative epoch-seconds integer, got {raw:?}"),
+            )
+        }),
+    }
+}
+
 fn handle_query(inner: &ServerInner, req: &Request) -> Response {
+    let since = match epoch_param(req, "since", 0) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let until = match epoch_param(req, "until", u64::MAX) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    if since > until {
+        return error_response(400, "`since` is after `until`: the window is empty");
+    }
     let filter = QueryFilter {
         scope: req.query_param("scope").unwrap_or("").to_string(),
         feature: req.query_param("feature").unwrap_or("").to_string(),
         language: req.query_param("lang").unwrap_or("").to_string(),
         tenant: req.query_param("tenant").unwrap_or("").to_string(),
+        since,
+        until,
     };
     let rows = inner.store.query(&filter);
     let mut body = String::from("{\"rows\":[");
@@ -900,6 +929,29 @@ fn handle_query(inner: &ServerInner, req: &Request) -> Response {
     }
     body.push_str("]}");
     Response::json(200, body)
+}
+
+/// `POST /v1/compact`: rewrite the live result store into a fresh
+/// generation and reclaim the dead bytes. Safe at any time — the store
+/// lock serializes compaction against in-flight appends, queries are
+/// answered from the index and are byte-identical before and after, and a
+/// draining server may compact as its last act before shutdown.
+fn handle_compact(inner: &ServerInner) -> Response {
+    match inner.store.compact() {
+        Ok(stats) => Response::json(
+            200,
+            format!(
+                "{{\"generation\":{},\"old_bytes\":{},\"new_bytes\":{},\
+                 \"reclaimed_bytes\":{},\"live_submissions\":{}}}",
+                stats.generation,
+                stats.old_bytes,
+                stats.new_bytes,
+                stats.old_bytes.saturating_sub(stats.new_bytes),
+                stats.live_submissions,
+            ),
+        ),
+        Err(e) => error_response(500, &format!("compaction failed: {e}")),
+    }
 }
 
 fn handle_health(inner: &ServerInner) -> Response {

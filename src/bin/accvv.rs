@@ -39,6 +39,7 @@ fn main() -> ExitCode {
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("titan") => cmd_titan(&args[1..]),
+        Some("torture") => cmd_torture(&args[1..]),
         Some("selftest") => cmd_selftest(&args[1..]),
         Some("help") | None => {
             print_usage();
@@ -86,6 +87,7 @@ fn print_usage() {
          \x20            [--journal FILE | --resume FILE] [--out FILE] [--halt-after N]\n\
          \x20            [--quarantine-after K] [--track FILE]\n\
          \x20            [--trace-out FILE] [--metrics-out FILE]\n\
+         \x20 accvv torture [--seed S] [--stride N] [--verbose]\n\
          \x20 accvv selftest [PREFIX]"
     );
 }
@@ -956,6 +958,20 @@ fn cmd_titan_sweep(args: &[String]) -> Result<(), String> {
     if nodes == 0 {
         return Err("--nodes must be at least 1".to_string());
     }
+    // A loss plan naming a node outside the cluster would silently never
+    // fire — surface the mistake instead of running a misconfigured sweep.
+    for loss in &losses {
+        if loss.node >= nodes {
+            return Err(format!(
+                "--lose-node {}@{} names node {} but the cluster has nodes 0–{} \
+                 (use --nodes to grow it)",
+                loss.node,
+                loss.after_units,
+                loss.node,
+                nodes - 1
+            ));
+        }
+    }
     let tele = telemetry_opts(args);
     let mut policy = ExecutorPolicy::new()
         .with_jobs(jobs)
@@ -1021,4 +1037,36 @@ fn cmd_titan_sweep(args: &[String]) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+/// `accvv torture`: run the reference durability workload on the fault
+/// filesystem, crash after every recorded I/O operation, and prove that
+/// recovery holds every invariant (no acked verdict lost, no torn frame
+/// surfaced, resumed state identical to the reference run).
+fn cmd_torture(args: &[String]) -> Result<(), String> {
+    use openacc_vv::harness::{run_torture, TortureConfig};
+    let config = TortureConfig {
+        seed: parse_opt_or(args, "--seed", 0xACCu64)?,
+        stride: parse_opt_or(args, "--stride", 1u64)?,
+        verbose: flag(args, "--verbose"),
+    };
+    let outcome = run_torture(&config).map_err(|e| format!("torture harness: {e}"))?;
+    println!(
+        "torture: reference run performs {} filesystem op(s); crashed at {} point(s) (stride {})",
+        outcome.total_ops,
+        outcome.crash_points,
+        config.stride.max(1)
+    );
+    if outcome.violations.is_empty() {
+        println!("torture: every recovery invariant held at every crash point");
+        return Ok(());
+    }
+    for v in &outcome.violations {
+        eprintln!("torture: VIOLATION {v}");
+    }
+    Err(format!(
+        "{} recovery-invariant violation(s); reproduce deterministically with --seed {}",
+        outcome.violations.len(),
+        config.seed
+    ))
 }

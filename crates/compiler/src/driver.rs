@@ -65,6 +65,13 @@ pub struct Executable {
     /// The lowered bytecode image the VM engine executes (`Arc`-shared
     /// through the executable cache, so a cache hit skips lowering).
     pub code: Arc<crate::bytecode::BytecodeProgram>,
+    /// Memoized run results, keyed by `(knobs, env)` — execution is a pure
+    /// function of the executable plus those inputs, so repeated identical
+    /// runs (the repetition loops of a campaign) can replay a cached
+    /// [`RunResult`](crate::exec::RunResult). `Arc`-shared so clones (and
+    /// executable-cache hits) share one memo. Only consulted when
+    /// `RunKnobs::memo` is set; see [`Executable::run_with_knobs`].
+    pub run_memo: Arc<std::sync::Mutex<std::collections::HashMap<String, crate::exec::RunResult>>>,
 }
 
 impl Executable {
@@ -79,6 +86,17 @@ impl Executable {
     /// [`finish_compile`]).
     pub fn lower_again(&self) -> crate::bytecode::BytecodeProgram {
         crate::bytecode::lower(&self.program, &self.resolved)
+    }
+
+    /// Lower without the superinstruction fusion pass — the raw opcode
+    /// stream whose pair histogram drives fusion selection
+    /// (`accvv disasm --hot` runs this image profiled).
+    pub fn unfused(&self) -> Executable {
+        let mut e = self.clone();
+        e.code = Arc::new(crate::bytecode::lower_unfused(&self.program, &self.resolved));
+        // A distinct image must not share the fused image's memo.
+        e.run_memo = Arc::new(std::sync::Mutex::new(std::collections::HashMap::new()));
+        e
     }
 }
 
@@ -139,6 +157,7 @@ pub fn finish_compile(
         profile,
         concrete_device,
         code,
+        run_memo: Arc::new(std::sync::Mutex::new(std::collections::HashMap::new())),
     })
 }
 

@@ -1,0 +1,855 @@
+//! The parallel gang engine: race-free partitioned loops under the VM run
+//! as data-parallel element kernels over a worker pool.
+//!
+//! The conformance machine executes gangs deterministically in sequence so
+//! that redundant-execution effects are observable (DESIGN.md §4.1). That
+//! schedule is *semantically* parallel whenever the partitioned iteration
+//! space is provably race-free — each iteration writes only its own
+//! elements — and in that case the machine may execute the iterations in
+//! any order, on any number of threads, as long as every observable
+//! (memory, metrics, crash/timeout behaviour) is byte-identical.
+//!
+//! This module implements that fast path behind `--exec-mode par[:N]`:
+//!
+//! 1. **Plan** ([`build_plan`], at lowering time): a `loop` nest qualifies
+//!    when its full collapse depth is a straight-line body of array-element
+//!    assignments whose *written* elements are addressed exactly by the
+//!    loop-variable tuple — so distinct iterations touch distinct elements —
+//!    and whose right-hand sides are pure expressions over literals, scalar
+//!    reads, loop variables, and array reads. Everything else (inner
+//!    control flow, calls, scalar writes, worker/vector/seq/reduction/
+//!    private clauses) rejects the plan and runs on the serial engine.
+//! 2. **Launch** ([`Machine::try_par_region`], at run time): the remaining
+//!    dynamic conditions are checked — defect knobs that change the
+//!    schedule, deviceptr aliasing against the written buffers, bounds
+//!    evaluation, step-budget headroom. Any check that fails (or any error
+//!    during parallel evaluation) *falls back to the serial engine*, which
+//!    reproduces the exact crash/timeout/partial state; the parallel path
+//!    commits nothing until every iteration has succeeded.
+//! 3. **Execute**: workers share the device memory read-only and buffer
+//!    their writes; per-iteration read-after-write within one iteration is
+//!    served from a tiny overlay keyed by `(buffer, flat index)` so
+//!    deviceptr aliases observe the store. Buffered writes are applied on
+//!    the interpreter thread afterwards, and the tick/instruction metrics
+//!    are applied in bulk with exact closed-form counts (the expression
+//!    evaluator counts the instructions the VM would have retired,
+//!    including short-circuit paths, so `vm_instructions` telemetry stays
+//!    comparable between engines).
+//!
+//! The safety argument is written out in DESIGN.md §15.
+
+use std::collections::HashMap;
+
+use acc_ast::{AccClause, AccDirective, BinOp, Expr, LValue, ScalarType, Stmt, UnOp};
+use acc_device::memory::DeviceMemory;
+use acc_device::value::ArrayData;
+use acc_device::{BufferId, Defect, Value};
+use acc_frontend::FrameLayout;
+use acc_spec::DirectiveKind;
+
+use crate::bytecode::{NestLoop, RegionCode, MAX_IDX, NO_SLOT};
+use crate::exec::{apply_binop, apply_unop, DevCtx, Exec, Machine};
+
+/// A compiled parallel launch plan for one `loop` nest, attached to the
+/// lowered [`crate::bytecode::DevLoopNest`] when the nest is statically
+/// race-free at its full collapse depth.
+#[derive(Debug, Clone)]
+pub(crate) struct ParPlan {
+    /// Static collapse depth == number of gathered loops.
+    pub(crate) collapse_n: usize,
+    /// Array names touched by the body (interned order).
+    pub(crate) arrays: Vec<String>,
+    /// Scalar names read by the body: `(name, slot)` — resolved through
+    /// `read_scalar_device_at` once per launch (constant per region, see
+    /// DESIGN.md §15).
+    pub(crate) captures: Vec<(String, u32)>,
+    /// The straight-line body.
+    pub(crate) stmts: Vec<ParStmt>,
+    /// Per `arrays[i]`: written by some statement.
+    pub(crate) written: Vec<bool>,
+    /// Per `arrays[i]`: read through a non-tuple (general) index.
+    pub(crate) general: Vec<bool>,
+    /// Array/scalar base names referenced by the loop bounds — checked at
+    /// launch against the written buffers (a bound reading a written buffer
+    /// would be re-evaluated per unit by the serial engine).
+    pub(crate) bounds_bases: Vec<String>,
+}
+
+/// One body statement: `arrays[arr][tuple] (op)= value`.
+#[derive(Debug, Clone)]
+pub(crate) struct ParStmt {
+    pub(crate) arr: u16,
+    pub(crate) op: Option<BinOp>,
+    pub(crate) value: ParExpr,
+}
+
+/// An index-expression element with the extra instruction cost of its
+/// lowered form (`AsInt` + `Copy` for anything that is not a plain variable
+/// or integer literal — see `lower_index_block_d`).
+#[derive(Debug, Clone)]
+pub(crate) struct ParIdx {
+    pub(crate) e: ParExpr,
+    pub(crate) extra: u8,
+}
+
+/// A pure device expression, mirroring exactly what `lower_expr_d` compiles
+/// (values, conversions, short-circuit shape, and instruction counts).
+#[derive(Debug, Clone)]
+pub(crate) enum ParExpr {
+    Const(Value),
+    /// Loop variable `d` of the collapse tuple (innermost binding wins).
+    LoopVar(u8),
+    /// `captures[i]`.
+    Capture(u16),
+    /// `arrays[arr]` read at the loop-variable tuple.
+    ReadTuple(u16),
+    /// `arrays[arr]` read at a general index vector.
+    Read(u16, Box<[ParIdx]>),
+    Unary(UnOp, Box<ParExpr>),
+    Binary(BinOp, Box<ParExpr>, Box<ParExpr>),
+}
+
+// ---------------------------------------------------------------------------
+// Plan construction (lowering time)
+// ---------------------------------------------------------------------------
+
+/// Build a parallel plan for a gathered loop nest, or `None` when any static
+/// condition fails. `loops` is the full gathered chain (see `lower_nest`),
+/// `body` the innermost body.
+pub(crate) fn build_plan(
+    dir: &AccDirective,
+    loops: &[NestLoop],
+    body: &[Stmt],
+    layout: &FrameLayout,
+) -> Option<ParPlan> {
+    // Clause allowlist: partitioning stays the gang-modulo family and no
+    // per-unit state (privates/reductions) exists. Region-level clauses
+    // (sizing, data movement, if/async) appear here on combined
+    // `parallel loop` directives and are inert at nest level — the region
+    // handler consumed them before the launch.
+    for c in &dir.clauses {
+        match c {
+            AccClause::Gang(_)
+            | AccClause::Independent
+            | AccClause::Collapse(_)
+            | AccClause::If(_)
+            | AccClause::Async(_)
+            | AccClause::NumGangs(_)
+            | AccClause::NumWorkers(_)
+            | AccClause::VectorLength(_)
+            | AccClause::Data(..)
+            | AccClause::Deviceptr(_)
+            | AccClause::DefaultNone
+            | AccClause::Auto => {}
+            AccClause::Reduction(..)
+            | AccClause::Private(_)
+            | AccClause::Firstprivate(_)
+            | AccClause::UseDevice(_)
+            | AccClause::Worker(_)
+            | AccClause::Vector(_)
+            | AccClause::Seq => return None,
+        }
+    }
+    let static_n = dir
+        .clauses
+        .iter()
+        .find_map(|c| match c {
+            AccClause::Collapse(e) => e.const_int(),
+            _ => None,
+        })
+        .unwrap_or(1)
+        .max(1) as usize;
+    // The nest must be tight to the full static depth, every loop variable
+    // resolved, and the variable names distinct (duplicate names make the
+    // tuple non-injective: every index evaluates to the innermost binding).
+    if loops.len() != static_n || static_n > u8::MAX as usize {
+        return None;
+    }
+    if loops.iter().any(|l| l.slot.is_none()) {
+        return None;
+    }
+    let names: Vec<&str> = loops.iter().map(|l| l.name.as_str()).collect();
+    for (i, n) in names.iter().enumerate() {
+        if names[..i].contains(n) {
+            return None;
+        }
+    }
+    let mut b = PlanBuilder {
+        names: &names,
+        layout,
+        arrays: Vec::new(),
+        arr_ids: HashMap::new(),
+        captures: Vec::new(),
+        cap_ids: HashMap::new(),
+        written: Vec::new(),
+        general: Vec::new(),
+    };
+    let mut stmts = Vec::with_capacity(body.len());
+    for s in body {
+        stmts.push(b.stmt(s)?);
+    }
+    // Same-name writes through a general index were rejected per statement;
+    // here reject a *written* array that is also *read* generally (the read
+    // could observe another iteration's store).
+    for i in 0..b.arrays.len() {
+        if b.written[i] && b.general[i] {
+            return None;
+        }
+    }
+    // Bounds: pure (no calls) and their referenced bases recorded for the
+    // launch-time alias check against written buffers.
+    let mut bounds_bases = Vec::new();
+    for l in loops {
+        for e in [&l.from, &l.to, &l.step] {
+            if !scan_bounds(e, &mut bounds_bases) {
+                return None;
+            }
+        }
+    }
+    bounds_bases.sort();
+    bounds_bases.dedup();
+    Some(ParPlan {
+        collapse_n: static_n,
+        arrays: b.arrays,
+        captures: b.captures,
+        stmts,
+        written: b.written,
+        general: b.general,
+        bounds_bases,
+    })
+}
+
+/// Collect base names referenced by a bounds expression; `false` when the
+/// expression contains a call (or an unmodeled node) and the plan must be
+/// rejected.
+fn scan_bounds(e: &Expr, bases: &mut Vec<String>) -> bool {
+    match e {
+        Expr::Int(_) | Expr::Real(..) | Expr::SizeOf(_) => true,
+        Expr::Var(n) => {
+            bases.push(n.clone());
+            true
+        }
+        Expr::Index { base, indices } => {
+            bases.push(base.clone());
+            indices.iter().all(|i| scan_bounds(i, bases))
+        }
+        Expr::Unary(_, a) => scan_bounds(a, bases),
+        Expr::Binary(_, a, b) => scan_bounds(a, bases) && scan_bounds(b, bases),
+        Expr::Call { .. } => false,
+    }
+}
+
+struct PlanBuilder<'a> {
+    names: &'a [&'a str],
+    layout: &'a FrameLayout,
+    arrays: Vec<String>,
+    arr_ids: HashMap<String, u16>,
+    captures: Vec<(String, u32)>,
+    cap_ids: HashMap<String, u16>,
+    written: Vec<bool>,
+    general: Vec<bool>,
+}
+
+impl<'a> PlanBuilder<'a> {
+    fn arr(&mut self, name: &str, write: bool, general: bool) -> Option<u16> {
+        let id = match self.arr_ids.get(name) {
+            Some(&i) => i,
+            None => {
+                if self.arrays.len() >= u16::MAX as usize {
+                    return None;
+                }
+                let i = self.arrays.len() as u16;
+                self.arrays.push(name.to_string());
+                self.arr_ids.insert(name.to_string(), i);
+                self.written.push(false);
+                self.general.push(false);
+                i
+            }
+        };
+        self.written[id as usize] |= write;
+        self.general[id as usize] |= general;
+        Some(id)
+    }
+
+    fn capture(&mut self, name: &str) -> Option<u16> {
+        if let Some(&i) = self.cap_ids.get(name) {
+            return Some(i);
+        }
+        if self.captures.len() >= u16::MAX as usize {
+            return None;
+        }
+        let slot = match self.layout.slot(name) {
+            Some(s) => s as u32,
+            None => NO_SLOT,
+        };
+        let i = self.captures.len() as u16;
+        self.captures.push((name.to_string(), slot));
+        self.cap_ids.insert(name.to_string(), i);
+        Some(i)
+    }
+
+    /// Innermost loop variable of this name, if any.
+    fn loop_var(&self, name: &str) -> Option<u8> {
+        self.names.iter().rposition(|n| *n == name).map(|d| d as u8)
+    }
+
+    /// Is this index vector exactly the loop-variable tuple in nest order?
+    fn is_tuple(&self, indices: &[Expr]) -> bool {
+        indices.len() == self.names.len()
+            && indices
+                .iter()
+                .zip(self.names)
+                .all(|(e, n)| matches!(e, Expr::Var(v) if v == n))
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Option<ParStmt> {
+        let Stmt::Assign { target, op, value } = s else {
+            return None;
+        };
+        let LValue::Index { base, indices } = target else {
+            return None;
+        };
+        if !self.is_tuple(indices) {
+            return None;
+        }
+        let value = self.expr(value)?;
+        let arr = self.arr(base, true, false)?;
+        Some(ParStmt {
+            arr,
+            op: *op,
+            value,
+        })
+    }
+
+    fn expr(&mut self, e: &Expr) -> Option<ParExpr> {
+        Some(match e {
+            Expr::Int(v) => ParExpr::Const(Value::Int(*v)),
+            // Mirrors `lower_expr_d`'s literal typing.
+            Expr::Real(v, ScalarType::Float) => ParExpr::Const(Value::F32(*v as f32)),
+            Expr::Real(v, _) => ParExpr::Const(Value::F64(*v)),
+            Expr::SizeOf(t) => ParExpr::Const(Value::Int(t.size_bytes() as i64)),
+            Expr::Var(n) => match self.loop_var(n) {
+                Some(d) => ParExpr::LoopVar(d),
+                None => ParExpr::Capture(self.capture(n)?),
+            },
+            Expr::Index { base, indices } => {
+                if indices.len() > MAX_IDX {
+                    return None;
+                }
+                if self.is_tuple(indices) {
+                    ParExpr::ReadTuple(self.arr(base, false, false)?)
+                } else {
+                    let elems: Option<Vec<ParIdx>> =
+                        indices.iter().map(|ie| self.idx_elem(ie)).collect();
+                    ParExpr::Read(self.arr(base, false, true)?, elems?.into_boxed_slice())
+                }
+            }
+            Expr::Unary(op, a) => ParExpr::Unary(*op, Box::new(self.expr(a)?)),
+            Expr::Binary(op, a, b) => {
+                ParExpr::Binary(*op, Box::new(self.expr(a)?), Box::new(self.expr(b)?))
+            }
+            Expr::Call { .. } => return None,
+        })
+    }
+
+    fn idx_elem(&mut self, e: &Expr) -> Option<ParIdx> {
+        // `lower_index_block_d`: a plain variable or integer literal is one
+        // instruction; anything else evaluates then runs `AsInt` + `Copy`.
+        let extra = match e {
+            Expr::Var(_) | Expr::Int(_) => 0,
+            _ => 2,
+        };
+        Some(ParIdx {
+            e: self.expr(e)?,
+            extra,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Launch + execution (run time)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Elem {
+    Int,
+    F32,
+    F64,
+}
+
+/// Everything a worker needs about one touched array.
+#[derive(Debug, Clone)]
+struct ArrInfo {
+    buf: BufferId,
+    dims: Vec<usize>,
+    len: usize,
+    elem: Elem,
+}
+
+/// The shared, read-only context workers evaluate against.
+struct ParCtx<'a> {
+    mem: &'a DeviceMemory,
+    plan: &'a ParPlan,
+    arrays: &'a [ArrInfo],
+    captures: &'a [Value],
+    /// Per collapse depth: `(from, step, count)`.
+    bounds: &'a [(i64, i64, u64)],
+}
+
+/// One worker's buffered effects: `(array, flat, converted value)` writes in
+/// iteration order, plus the VM instructions the serial engine would have
+/// retired for the same iterations.
+#[derive(Debug, Default)]
+struct WorkerOut {
+    writes: Vec<(u16, usize, Value)>,
+    instrs: u64,
+}
+
+/// Evaluation error — the cause is irrelevant: any error aborts the launch
+/// before anything is committed and the serial engine reproduces the exact
+/// observable failure.
+struct Bail;
+
+type Ev<T> = Result<T, Bail>;
+
+fn opt_slot(s: u32) -> Option<usize> {
+    if s == NO_SLOT {
+        None
+    } else {
+        Some(s as usize)
+    }
+}
+
+impl<'a> Machine<'a> {
+    /// Try to execute a compute region's gang loop on the parallel engine.
+    /// Returns `Ok(true)` when the region body was fully executed (the
+    /// caller skips the serial gang loop); `Ok(false)` falls back to the
+    /// serial engine with **no observable effects performed**.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn try_par_region(
+        &mut self,
+        rc: &RegionCode,
+        num_gangs: u32,
+        num_workers: u32,
+        vector_len: u32,
+        kernels_mode: bool,
+        layout: &'a FrameLayout,
+        devptr: &HashMap<String, BufferId>,
+        has_region_state: bool,
+    ) -> Exec<bool> {
+        let Some(threads) = self.par_threads else {
+            return Ok(false);
+        };
+        if !self.use_vm || has_region_state {
+            return Ok(false);
+        }
+        let Some(rp) = rc.par else {
+            return Ok(false);
+        };
+        let bp = self
+            .code
+            .expect("parallel launch without bytecode");
+        let nest = &bp.nests[rp.nest as usize];
+        let Some(plan) = &nest.par else {
+            return Ok(false);
+        };
+        let n_dir = &bp.dirs[nest.dir as usize];
+        // Serial no-op: zero gangs execute nothing.
+        if num_gangs == 0 {
+            return Ok(false);
+        }
+        // Dynamic schedule-changing defects (`exec_acc_loop_device`'s
+        // redundant-run / hang / collapse paths).
+        if self.profile.ignores_directive(DirectiveKind::Loop) && n_dir.kind == DirectiveKind::Loop
+        {
+            return Ok(false);
+        }
+        for c in &n_dir.clauses {
+            if self.profile.hangs_on(n_dir.kind, c.kind()) {
+                return Ok(false);
+            }
+        }
+        let mut collapse_n = n_dir
+            .clauses
+            .iter()
+            .filter(|c| !self.profile.ignores_clause(n_dir.kind, c.kind()))
+            .find_map(|c| match c {
+                AccClause::Collapse(e) => e.const_int(),
+                _ => None,
+            })
+            .unwrap_or(1)
+            .max(1) as usize;
+        if self.profile.has(&Defect::CollapseIgnoresInner) {
+            collapse_n = 1;
+        }
+        if collapse_n != plan.collapse_n {
+            return Ok(false);
+        }
+
+        // Resolve the touched arrays exactly like `vm_dev_elem`
+        // (deviceptr, then present table); any miss is a runtime crash the
+        // serial engine reproduces.
+        let mut arrays: Vec<ArrInfo> = Vec::with_capacity(plan.arrays.len());
+        for name in &plan.arrays {
+            let buf = if let Some(b) = devptr.get(name) {
+                *b
+            } else if let Some(e) = self.world.present.get(name) {
+                e.buffer
+            } else {
+                return Ok(false);
+            };
+            let Ok(b) = self.world.mem.get(buf) else {
+                return Ok(false);
+            };
+            let (elem, len) = match &b.data {
+                ArrayData::Int(v) => (Elem::Int, v.len()),
+                ArrayData::F32(v) => (Elem::F32, v.len()),
+                ArrayData::F64(v) => (Elem::F64, v.len()),
+            };
+            arrays.push(ArrInfo {
+                buf,
+                dims: b.dims.clone(),
+                len,
+                elem,
+            });
+        }
+        // Aliasing: a buffer written under any name must not be reached
+        // through a general index (another iteration's element) nor by the
+        // bounds under any alias.
+        let written_bufs: Vec<BufferId> = arrays
+            .iter()
+            .zip(&plan.written)
+            .filter(|(_, w)| **w)
+            .map(|(a, _)| a.buf)
+            .collect();
+        for (a, g) in arrays.iter().zip(&plan.general) {
+            if *g && written_bufs.contains(&a.buf) {
+                return Ok(false);
+            }
+        }
+        for name in &plan.bounds_bases {
+            let buf = if let Some(b) = devptr.get(name) {
+                Some(*b)
+            } else {
+                self.world.present.get(name).map(|e| e.buffer)
+            };
+            if let Some(b) = buf {
+                if written_bufs.contains(&b) {
+                    return Ok(false);
+                }
+            }
+        }
+        // A scalar capture that resolves through the present table reads a
+        // device buffer element; freeze it only if that buffer is unwritten.
+        for (name, _) in &plan.captures {
+            if devptr.get(name).is_none() && self.host_array_id(name).is_none() {
+                if let Some(e) = self.world.present.get(name) {
+                    if written_bufs.contains(&e.buffer) {
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+
+        // Scratch context for bounds/capture evaluation: built exactly like
+        // a gang context and discarded (its only mutation is the implicit
+        // firstprivate bind, re-derived identically by every serial gang).
+        let mut sctx = DevCtx::for_gang(
+            num_gangs,
+            num_workers,
+            vector_len,
+            0,
+            kernels_mode,
+            layout,
+            devptr,
+        );
+        let mut captures: Vec<Value> = Vec::with_capacity(plan.captures.len());
+        for (name, slot) in &plan.captures {
+            let s = opt_slot(*slot);
+            let v = match s.and_then(|i| sctx.value(i)) {
+                Some(v) => v,
+                None => match self.read_scalar_device_at(name, s, &mut sctx) {
+                    Ok(v) => v,
+                    Err(_) => return Ok(false),
+                },
+            };
+            captures.push(v);
+        }
+        // Bounds, mirroring `vm_nest_collapsed` (evaluated per unit there;
+        // value-identical here because they reference no written buffer).
+        let mut bounds: Vec<(i64, i64, u64)> = Vec::with_capacity(collapse_n);
+        for lp in &nest.loops[..collapse_n] {
+            let mut ev = |e: &Expr| -> Ev<i64> {
+                self.eval_device(e, &mut sctx)
+                    .and_then(|v| v.as_int().map_err(crate::exec::crash))
+                    .map_err(|_| Bail)
+            };
+            let (Ok(from), Ok(to), Ok(step)) = (ev(&lp.from), ev(&lp.to), ev(&lp.step)) else {
+                return Ok(false);
+            };
+            if step <= 0 {
+                return Ok(false);
+            }
+            let count = if to > from {
+                ((to - from) + step - 1) / step
+            } else {
+                0
+            };
+            bounds.push((from, step, count as u64));
+        }
+        let mut total: u64 = 1;
+        for b in &bounds {
+            let Some(t) = total.checked_mul(b.2) else {
+                return Ok(false);
+            };
+            total = t;
+        }
+
+        // Step-budget preflight: every tick of the launch must fit, or the
+        // serial engine times out mid-region and we must reproduce that.
+        let stmts_per_iter = plan.stmts.len() as u64;
+        let needed = (num_gangs as u64)
+            .checked_mul(rp.pre_ticks)
+            .and_then(|p| total.checked_mul(stmts_per_iter).map(|i| (p, i)));
+        let Some((pre, iter_ticks)) = needed else {
+            return Ok(false);
+        };
+        let Some(needed) = pre.checked_add(iter_ticks) else {
+            return Ok(false);
+        };
+        if self.steps.saturating_add(needed) > self.step_limit {
+            return Ok(false);
+        }
+
+        // Dispatch. Workers share the device memory read-only and buffer
+        // their writes; the block partition preserves global iteration
+        // order in the concatenated output.
+        let threads = match threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            t => t as usize,
+        };
+        let pctx = ParCtx {
+            mem: &self.world.mem,
+            plan,
+            arrays: &arrays,
+            captures: &captures,
+            bounds: &bounds,
+        };
+        let results = acc_device::parallel::par_ranges(total, threads, |lo, hi| {
+            run_range(&pctx, lo, hi)
+        });
+        let mut outs: Vec<WorkerOut> = Vec::with_capacity(results.len());
+        for r in results {
+            match r {
+                Ok(o) => outs.push(o),
+                Err(Bail) => return Ok(false),
+            }
+        }
+
+        // Commit: writes in global iteration order, then bulk metrics.
+        for out in &outs {
+            for (arr, flat, v) in &out.writes {
+                let info = &arrays[*arr as usize];
+                self.world
+                    .mem
+                    .write(info.buf, *flat, *v)
+                    .map_err(crate::exec::crash)?;
+            }
+        }
+        let body_instrs: u64 = outs.iter().map(|o| o.instrs).sum();
+        self.steps += needed;
+        self.world.metrics.statements_executed += needed;
+        self.region_cost += needed;
+        self.world.metrics.device_iterations += total;
+        self.vm_instructions += (num_gangs as u64) * rp.instrs_per_gang + body_instrs;
+        self.par_launches += 1;
+        Ok(true)
+    }
+}
+
+/// Decompose a flat iteration index into per-loop values — the exact
+/// row-major formula of `vm_nest_collapsed`.
+#[inline]
+fn decompose(flat: u64, bounds: &[(i64, i64, u64)], idxs: &mut [i64]) {
+    let mut rem = flat;
+    for d in (0..bounds.len()).rev() {
+        let c = bounds[d].2.max(1);
+        idxs[d] = bounds[d].0 + ((rem % c) as i64) * bounds[d].1;
+        rem /= c;
+    }
+}
+
+/// Flat element address for an index vector — `vm_dev_elem`'s raw-buffer
+/// linear path plus `flatten`'s checked row-major form. Any violation bails
+/// (the serial engine reproduces the crash).
+#[inline]
+fn flat_for(info: &ArrInfo, vals: &[i64]) -> Ev<usize> {
+    if info.dims.is_empty() {
+        if vals.len() != 1 || vals[0] < 0 {
+            return Err(Bail);
+        }
+        return Ok(vals[0] as usize);
+    }
+    if vals.len() != info.dims.len() {
+        return Err(Bail);
+    }
+    let mut flat = 0usize;
+    for (v, d) in vals.iter().zip(&info.dims) {
+        if *v < 0 || *v as usize >= *d {
+            return Err(Bail);
+        }
+        flat = flat * d + *v as usize;
+    }
+    Ok(flat)
+}
+
+/// The stored form of a value written to an array element — exactly
+/// `ArrayData::set`'s conversion, applied at buffering time so the overlay
+/// and the final store observe identical bits.
+#[inline]
+fn convert(elem: Elem, v: Value) -> Ev<Value> {
+    Ok(match elem {
+        Elem::Int => Value::Int(v.as_int().map_err(|_| Bail)?),
+        Elem::F32 => Value::F32(v.as_f64().map_err(|_| Bail)? as f32),
+        Elem::F64 => Value::F64(v.as_f64().map_err(|_| Bail)?),
+    })
+}
+
+#[inline]
+fn overlay_get(overlay: &[(BufferId, usize, Value)], buf: BufferId, flat: usize) -> Option<Value> {
+    overlay
+        .iter()
+        .rev()
+        .find(|(b, f, _)| *b == buf && *f == flat)
+        .map(|(_, _, v)| *v)
+}
+
+/// Read an element: this iteration's own stores first (aliasing-aware),
+/// then shared device memory.
+#[inline]
+fn read_elem(
+    ctx: &ParCtx<'_>,
+    overlay: &[(BufferId, usize, Value)],
+    arr: u16,
+    flat: usize,
+) -> Ev<Value> {
+    let info = &ctx.arrays[arr as usize];
+    if let Some(v) = overlay_get(overlay, info.buf, flat) {
+        return Ok(v);
+    }
+    ctx.mem.read(info.buf, flat).map_err(|_| Bail)
+}
+
+/// Execute iterations `[lo, hi)` of the flat space, buffering writes.
+fn run_range(ctx: &ParCtx<'_>, lo: u64, hi: u64) -> Result<WorkerOut, Bail> {
+    let n = ctx.plan.collapse_n;
+    let mut idxs = vec![0i64; n];
+    let mut overlay: Vec<(BufferId, usize, Value)> = Vec::new();
+    let mut out = WorkerOut::default();
+    for flat in lo..hi {
+        decompose(flat, ctx.bounds, &mut idxs);
+        overlay.clear();
+        for st in &ctx.plan.stmts {
+            out.instrs += 1; // TickDev
+            let rhs = eval(ctx, &st.value, &idxs, &overlay, &mut out.instrs)?;
+            let info = &ctx.arrays[st.arr as usize];
+            let aflat = flat_for(info, &idxs)?;
+            out.instrs += n as u64; // index block (IdxVarD per tuple var)
+            let v = match st.op {
+                None => rhs,
+                Some(op) => {
+                    out.instrs += 1; // ReadIdxD (old value, after the rhs)
+                    let old = read_elem(ctx, &overlay, st.arr, aflat)?;
+                    out.instrs += 1; // Binop
+                    let c = apply_binop(op, old, rhs).map_err(|_| Bail)?;
+                    out.instrs += n as u64; // re-evaluated index block
+                    c
+                }
+            };
+            out.instrs += 1; // WriteIdxD
+            if aflat >= info.len {
+                return Err(Bail); // device write out of bounds
+            }
+            let cv = convert(info.elem, v)?;
+            overlay.push((info.buf, aflat, cv));
+            out.writes.push((st.arr, aflat, cv));
+        }
+        out.instrs += 1; // End of the body chunk
+    }
+    Ok(out)
+}
+
+/// Evaluate a pure device expression for one iteration, accumulating the
+/// instruction count the VM dispatch loop would have retired (including the
+/// data-dependent short-circuit paths of `&&`/`||`).
+fn eval(
+    ctx: &ParCtx<'_>,
+    e: &ParExpr,
+    idxs: &[i64],
+    overlay: &[(BufferId, usize, Value)],
+    instrs: &mut u64,
+) -> Ev<Value> {
+    match e {
+        ParExpr::Const(v) => {
+            *instrs += 1;
+            Ok(*v)
+        }
+        ParExpr::LoopVar(d) => {
+            *instrs += 1; // ReadVarD / IdxVarD fast path
+            Ok(Value::Int(idxs[*d as usize]))
+        }
+        ParExpr::Capture(i) => {
+            *instrs += 1;
+            Ok(ctx.captures[*i as usize])
+        }
+        ParExpr::ReadTuple(arr) => {
+            *instrs += idxs.len() as u64 + 1; // index block + ReadIdxD
+            let flat = flat_for(&ctx.arrays[*arr as usize], idxs)?;
+            read_elem(ctx, overlay, *arr, flat)
+        }
+        ParExpr::Read(arr, elems) => {
+            let mut vals = [0i64; MAX_IDX];
+            for (k, ie) in elems.iter().enumerate() {
+                let v = eval(ctx, &ie.e, idxs, overlay, instrs)?;
+                *instrs += ie.extra as u64;
+                vals[k] = v.as_int().map_err(|_| Bail)?;
+            }
+            *instrs += 1; // ReadIdxD
+            let flat = flat_for(&ctx.arrays[*arr as usize], &vals[..elems.len()])?;
+            read_elem(ctx, overlay, *arr, flat)
+        }
+        ParExpr::Unary(op, a) => {
+            let v = eval(ctx, a, idxs, overlay, instrs)?;
+            *instrs += 1;
+            apply_unop(*op, v).map_err(|_| Bail)
+        }
+        ParExpr::Binary(BinOp::And, a, b) => {
+            let av = eval(ctx, a, idxs, overlay, instrs)?;
+            *instrs += 2; // Const(0) + JumpIfFalse
+            if !av.truthy() {
+                return Ok(Value::Int(0));
+            }
+            let bv = eval(ctx, b, idxs, overlay, instrs)?;
+            *instrs += 1; // Binop
+            apply_binop(BinOp::And, av, bv).map_err(|_| Bail)
+        }
+        ParExpr::Binary(BinOp::Or, a, b) => {
+            let av = eval(ctx, a, idxs, overlay, instrs)?;
+            *instrs += 2; // Const(1) + JumpIfTrue
+            if av.truthy() {
+                return Ok(Value::Int(1));
+            }
+            let bv = eval(ctx, b, idxs, overlay, instrs)?;
+            *instrs += 1; // Binop
+            apply_binop(BinOp::Or, av, bv).map_err(|_| Bail)
+        }
+        ParExpr::Binary(op, a, b) => {
+            let av = eval(ctx, a, idxs, overlay, instrs)?;
+            let bv = eval(ctx, b, idxs, overlay, instrs)?;
+            *instrs += 1;
+            apply_binop(*op, av, bv).map_err(|_| Bail)
+        }
+    }
+}

@@ -213,6 +213,10 @@ impl Campaign {
     fn case_policy(&self) -> CasePolicy {
         CasePolicy {
             exec_mode: self.config.exec_mode,
+            // Campaign sweeps re-run the same executable (shared through
+            // the compile cache across vendor versions) under identical
+            // knobs; the run memo replays those results.
+            memo: true,
             ..CasePolicy::default()
         }
     }

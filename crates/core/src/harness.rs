@@ -27,8 +27,13 @@ pub struct CasePolicy {
     /// fully deterministic.
     pub run_index_base: u64,
     /// Which engine executes compiled programs (bytecode VM by default,
-    /// `--exec-mode=walk` for the tree-walking reference oracle).
+    /// `--exec-mode=walk` for the tree-walking reference oracle,
+    /// `--exec-mode=par[:N]` for the parallel gang engine).
     pub exec_mode: ExecMode,
+    /// Allow the executable's run-result memo to serve repeated identical
+    /// executions (campaign paths set this; benches that measure raw
+    /// engine speed leave it off).
+    pub memo: bool,
 }
 
 /// The full record of one test executed against one compiler+language.
@@ -95,6 +100,7 @@ pub fn run_case_with(
         step_limit: policy.step_limit,
         run_index: policy.run_index_base + offset,
         exec_mode: policy.exec_mode,
+        memo: policy.memo,
     };
     if !case.supports(language) {
         return mk(TestStatus::skipped(), None, String::new());

@@ -107,6 +107,45 @@ pub fn par_map_f64(
     }
 }
 
+/// Split the flat index space `0..total` into contiguous blocks, run
+/// `f(lo, hi)` for each block on a worker pool, and return the per-block
+/// results **in block order** — the generic dispatch entry the VM's
+/// parallel gang engine uses to launch element kernels.
+///
+/// With `threads <= 1` (or a space too small to split) the single call runs
+/// inline on the caller's thread — no pool, no allocation — so the parallel
+/// engine costs nothing extra on single-core hosts. Determinism does not
+/// depend on the partition: callers only dispatch plans whose iterations are
+/// provably disjoint (DESIGN.md §15.1), and block-ordered results let the
+/// caller commit writes in global iteration order regardless.
+pub fn par_ranges<T: Send>(
+    total: u64,
+    threads: usize,
+    f: impl Fn(u64, u64) -> T + Sync,
+) -> Vec<T> {
+    let threads = threads.max(1).min(usize::try_from(total).unwrap_or(usize::MAX).max(1));
+    if threads <= 1 || total < 2 {
+        return vec![f(0, total)];
+    }
+    let chunk = total.div_ceil(threads as u64);
+    let mut out: Vec<Option<T>> = Vec::new();
+    out.resize_with(threads, || None);
+    crossbeam::scope(|s| {
+        for (t, slot) in out.iter_mut().enumerate() {
+            let f = &f;
+            s.spawn(move |_| {
+                let lo = ((t as u64) * chunk).min(total);
+                let hi = (lo + chunk).min(total);
+                *slot = Some(f(lo, hi));
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    out.into_iter()
+        .map(|r| r.expect("worker produced no result"))
+        .collect()
+}
+
 /// Sequential reference for the same kernel shape (the deterministic
 /// machine's schedule): used by benches as the baseline.
 pub fn seq_map_f64(out: &mut [f64], f: impl Fn(usize, &mut f64)) -> LaunchStats {
@@ -213,6 +252,24 @@ mod tests {
         let x = ArrayData::Int(vec![0; 4]);
         let mut y = ArrayData::F64(vec![0.0; 4]);
         saxpy(1.0, &x, &mut y, 1);
+    }
+
+    #[test]
+    fn par_ranges_tiles_the_space_in_order() {
+        for threads in [1, 2, 3, 8] {
+            let ranges = par_ranges(1003u64, threads, |lo, hi| (lo, hi));
+            // Blocks tile 0..1003 exactly, in order, no overlap.
+            let mut next = 0u64;
+            for (lo, hi) in &ranges {
+                assert_eq!(*lo, next.min(1003));
+                assert!(hi >= lo);
+                next = *hi;
+            }
+            assert_eq!(ranges.last().unwrap().1, 1003);
+        }
+        // Inline path: single result covering everything.
+        assert_eq!(par_ranges(5u64, 1, |lo, hi| hi - lo), vec![5]);
+        assert_eq!(par_ranges(0u64, 8, |lo, hi| hi - lo), vec![0]);
     }
 
     #[test]

@@ -329,6 +329,7 @@ impl ClusterSweep {
                         step_limit: self.policy.step_limit,
                         run_index_base: attempt as u64 * ATTEMPT_STRIDE,
                         exec_mode: self.policy.exec_mode,
+                        memo: true,
                     };
                     run_case_with(&cases[ci], &compiler, lang, &cp)
                 })

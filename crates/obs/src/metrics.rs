@@ -59,6 +59,9 @@ pub struct ServerCounters {
     pub cancelled_total: u64,
     /// Submissions degraded to all-Skipped by an open circuit breaker.
     pub degraded_total: u64,
+    /// Completed submissions served by sharing an identical in-flight
+    /// submission's execution (a subset of `completed_total`).
+    pub shared_total: u64,
     /// Vendor circuit breakers currently open (gauge).
     pub breaker_open: u64,
     /// Closed→open breaker transitions since start.
@@ -81,6 +84,7 @@ pub fn render_server_metrics(c: &ServerCounters) -> String {
         ("completed", c.completed_total),
         ("cancelled", c.cancelled_total),
         ("degraded", c.degraded_total),
+        ("shared", c.shared_total),
     ] {
         let _ = writeln!(
             out,
@@ -329,6 +333,7 @@ mod tests {
             completed_total: 5,
             cancelled_total: 1,
             degraded_total: 2,
+            shared_total: 3,
             breaker_open: 1,
             breaker_trips_total: 6,
         };
@@ -339,6 +344,7 @@ mod tests {
         assert!(text.contains("accvv_server_submissions_total{outcome=\"completed\"} 5"));
         assert!(text.contains("accvv_server_submissions_total{outcome=\"cancelled\"} 1"));
         assert!(text.contains("accvv_server_submissions_total{outcome=\"degraded\"} 2"));
+        assert!(text.contains("accvv_server_submissions_total{outcome=\"shared\"} 3"));
         assert!(text.contains("accvv_server_breaker_open 1"));
         assert!(text.contains("accvv_server_breaker_trips_total 6"));
         // Composable with the event exposition: both are valid standalone

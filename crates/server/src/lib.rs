@@ -190,6 +190,22 @@ impl SubmissionSpec {
         config.with_exec_mode(self.exec_mode)
     }
 
+    /// True when `other` selects the exact same execution — compiler,
+    /// suite selection, repetitions, engine, and per-case deadline — so
+    /// one run's results can be recorded under both ids verbatim. Tenant,
+    /// weight, report format, and the whole-submission deadline are
+    /// scheduling/presentation concerns and deliberately excluded: the
+    /// shared run re-renders in each sharer's own format.
+    pub fn same_execution(&self, other: &SubmissionSpec) -> bool {
+        self.vendor == other.vendor
+            && self.version == other.version
+            && self.language == other.language
+            && self.features == other.features
+            && self.repetitions == other.repetitions
+            && self.exec_mode == other.exec_mode
+            && self.case_deadline_ms == other.case_deadline_ms
+    }
+
     /// The format's CLI name (`text`/`csv`/`html`), as stored.
     pub fn format_name(&self) -> &'static str {
         match self.format {
@@ -245,7 +261,7 @@ impl SubmissionSpec {
         }
         if let Some(m) = str_field(body, "exec_mode")? {
             spec.exec_mode = ExecMode::from_cli(m)
-                .ok_or_else(|| format!("unknown exec mode `{m}` (vm|walk)"))?;
+                .ok_or_else(|| format!("unknown exec mode `{m}` (vm|walk|par[:N])"))?;
         }
         if let Some(ms) = u64_field(body, "deadline_ms")? {
             if ms == 0 {
@@ -434,14 +450,18 @@ pub struct DrainSummary {
     pub cancelled: u64,
     /// Submissions degraded by an open circuit breaker.
     pub degraded: u64,
+    /// Of the completed submissions, how many were served by sharing
+    /// another identical in-flight submission's execution instead of
+    /// running their own (a subset of `completed`).
+    pub shared: u64,
 }
 
 impl std::fmt::Display for DrainSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "admitted {}, completed {}, degraded {}, cancelled {}, shed {}",
-            self.admitted, self.completed, self.degraded, self.cancelled, self.shed
+            "admitted {}, completed {} ({} shared), degraded {}, cancelled {}, shed {}",
+            self.admitted, self.completed, self.shared, self.degraded, self.cancelled, self.shed
         )
     }
 }
@@ -453,6 +473,7 @@ struct Gauges {
     completed: AtomicU64,
     cancelled: AtomicU64,
     degraded: AtomicU64,
+    shared: AtomicU64,
 }
 
 struct QueuedSubmission {
@@ -480,6 +501,7 @@ impl ServerInner {
             completed: self.counters.completed.load(Ordering::Relaxed),
             cancelled: self.counters.cancelled.load(Ordering::Relaxed),
             degraded: self.counters.degraded.load(Ordering::Relaxed),
+            shared: self.counters.shared.load(Ordering::Relaxed),
         }
     }
 
@@ -491,6 +513,7 @@ impl ServerInner {
             completed_total: self.counters.completed.load(Ordering::Relaxed),
             cancelled_total: self.counters.cancelled.load(Ordering::Relaxed),
             degraded_total: self.counters.degraded.load(Ordering::Relaxed),
+            shared_total: self.counters.shared.load(Ordering::Relaxed),
             breaker_open: self.breakers.open_count() as u64,
             breaker_trips_total: self.breakers.trips_total(),
         }
@@ -610,9 +633,13 @@ fn scheduler_loop(inner: &ServerInner) {
         }
     }
     // Queued-but-never-started submissions are cancelled, not silently
-    // dropped: the store records why each one never produced a report.
+    // dropped: the store records why each one never produced a report. Ids
+    // no longer pending were already resolved by a shared execution — their
+    // stored state stands.
     for id in inner.queue.drain() {
-        inner.pending.lock().expect("pending lock").remove(&id);
+        if inner.pending.lock().expect("pending lock").remove(&id).is_none() {
+            continue;
+        }
         inner.counters.cancelled.fetch_add(1, Ordering::Relaxed);
         let _ = inner
             .store
@@ -693,11 +720,53 @@ fn run_one(inner: &ServerInner, id: u64) {
                 inner.counters.completed.fetch_add(1, Ordering::Relaxed);
                 let _ = inner.store.record_report(id, &outcome.report);
                 let _ = inner.store.set_state(id, "done", "");
+                share_result(inner, id, &spec, &outcome.run);
             }
         }
         Err(e) => {
             let _ = inner.store.set_state(id, "failed", &e);
         }
+    }
+}
+
+/// Execution dedup: after `leader`'s run completed cleanly, resolve every
+/// still-queued submission that selects the identical execution with the
+/// results just produced. The suite is deterministic, so an identical spec
+/// yields byte-identical results — each sharer's report is re-rendered in
+/// its own format from the shared `SuiteRun`. Sharers stay in the fair
+/// queue; when their id is eventually popped, the pending-map miss makes
+/// `run_one` a no-op. A sharer whose whole-submission deadline lapsed while
+/// queued is cancelled, exactly as if it had been popped.
+fn share_result(inner: &ServerInner, leader: u64, spec: &SubmissionSpec, run: &SuiteRun) {
+    let sharers: Vec<(u64, QueuedSubmission)> = {
+        let mut pending = inner.pending.lock().expect("pending lock");
+        let ids: Vec<u64> = pending
+            .iter()
+            .filter(|(_, q)| q.spec.same_execution(spec))
+            .map(|(&sid, _)| sid)
+            .collect();
+        ids.into_iter()
+            .filter_map(|sid| pending.remove(&sid).map(|q| (sid, q)))
+            .collect()
+    };
+    for (sid, q) in sharers {
+        if q.deadline.is_some_and(|d| Instant::now() >= d) {
+            inner.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            let _ = inner
+                .store
+                .set_state(sid, "cancelled", "deadline expired while queued; not run");
+            continue;
+        }
+        let text = report::render(run, q.spec.format);
+        let _ = inner.store.record_cases(sid, &run.results);
+        let _ = inner.store.record_report(sid, &text);
+        inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+        inner.counters.shared.fetch_add(1, Ordering::Relaxed);
+        let _ = inner.store.set_state(
+            sid,
+            "done",
+            &format!("shared execution with submission {leader}"),
+        );
     }
 }
 
@@ -979,11 +1048,13 @@ fn handle_health(inner: &ServerInner) -> Response {
         200,
         format!(
             "{{\"state\":\"{state}\",\"queue_depth\":{},\"admitted\":{},\"shed\":{},\
-             \"completed\":{},\"cancelled\":{},\"degraded\":{},\"breakers\":{breakers}}}",
+             \"completed\":{},\"shared\":{},\"cancelled\":{},\"degraded\":{},\
+             \"breakers\":{breakers}}}",
             inner.queue.len(),
             s.admitted,
             s.shed,
             s.completed,
+            s.shared,
             s.cancelled,
             s.degraded,
         ),
@@ -1071,6 +1142,44 @@ mod tests {
             let err = parse_spec(body).expect_err(body);
             assert!(err.contains(needle), "{body}: {err}");
         }
+    }
+
+    #[test]
+    fn same_execution_ignores_scheduling_and_presentation_fields() {
+        let a = parse_spec(
+            r#"{"vendor":"pgi","version":"13.4","lang":"c","features":["loop"],
+                "repetitions":3,"exec_mode":"par:2","case_deadline_ms":500,
+                "tenant":"alice","weight":9,"format":"csv","deadline_ms":1000}"#,
+        )
+        .unwrap();
+        let mut b = a.clone();
+        b.tenant = "bob".to_string();
+        b.weight = 1;
+        b.format = ReportFormat::Html;
+        b.deadline_ms = None;
+        assert!(
+            a.same_execution(&b) && b.same_execution(&a),
+            "tenant, weight, format and whole-submission deadline must not defeat dedup"
+        );
+        // Every execution-relevant field breaks the match on its own.
+        let mut c = a.clone();
+        c.version = None;
+        assert!(!a.same_execution(&c), "version is execution-relevant");
+        let mut c = a.clone();
+        c.language = None;
+        assert!(!a.same_execution(&c), "language is execution-relevant");
+        let mut c = a.clone();
+        c.features = vec!["data.".to_string()];
+        assert!(!a.same_execution(&c), "feature selection is execution-relevant");
+        let mut c = a.clone();
+        c.repetitions = None;
+        assert!(!a.same_execution(&c), "repetitions are execution-relevant");
+        let mut c = a.clone();
+        c.exec_mode = ExecMode::Walk;
+        assert!(!a.same_execution(&c), "engine choice is execution-relevant");
+        let mut c = a.clone();
+        c.case_deadline_ms = None;
+        assert!(!a.same_execution(&c), "per-case deadline is execution-relevant");
     }
 
     #[test]

@@ -66,12 +66,12 @@ fn print_usage() {
          \x20          [--features P1,P2,…] [--format text|csv|html] [--repetitions M]\n\
          \x20          [--attribute] [--jobs N] [--retries R] [--case-deadline-ms MS]\n\
          \x20          [--journal FILE | --resume FILE] [--out FILE] [--halt-after N]\n\
-         \x20          [--no-cache] [--exec-mode vm|walk]\n\
+         \x20          [--no-cache] [--exec-mode vm|walk|par[:N]]\n\
          \x20          [--trace-out FILE] [--metrics-out FILE]\n\
          \x20 accvv serve [--addr HOST:PORT] [--store DIR] [--jobs N] [--queue-cap N]\n\
          \x20            [--breaker-threshold N] [--breaker-cooldown-ms MS]\n\
          \x20            [--retry-after-secs S] [--trace-out FILE] [--metrics-out FILE]\n\
-         \x20 accvv campaign [--vendor caps|pgi|cray] [--no-cache] [--exec-mode vm|walk]\n\
+         \x20 accvv campaign [--vendor caps|pgi|cray] [--no-cache] [--exec-mode vm|walk|par[:N]]\n\
          \x20               [--trace-out FILE] [--metrics-out FILE]\n\
          \x20 accvv bench [--iters N] [--out FILE] [--no-cache]\n\
          \x20            [--check BASELINE [--tolerance-pct P] [--overhead-pct P]]\n\
@@ -80,7 +80,7 @@ fn print_usage() {
          \x20 accvv matrix --vendor caps|pgi|cray [--lang c|fortran]\n\
          \x20 accvv bugs --vendor caps|pgi|cray --version X [--lang c|fortran]\n\
          \x20 accvv expand FILE\n\
-         \x20 accvv disasm NAME [--lang c|fortran] [--cross]\n\
+         \x20 accvv disasm NAME [--lang c|fortran] [--cross] [--hot]\n\
          \x20 accvv titan [--nodes N] [--sample K] [--seed S] [--fault-rate PCT]\n\
          \x20            [--retries R] [--jobs N]\n\
          \x20 accvv titan --sweep [--nodes N] [--jobs N] [--lose-node ID@AFTER]…\n\
@@ -178,12 +178,13 @@ fn parse_vendor(s: &str) -> Result<VendorId, String> {
     }
 }
 
-/// Parse `--exec-mode vm|walk` (defaults to the bytecode VM when absent).
+/// Parse `--exec-mode vm|walk|par[:N]` (defaults to the bytecode VM when
+/// absent; `par` auto-sizes the worker pool, `par:N` pins N threads).
 fn parse_exec_mode(args: &[String]) -> Result<ExecMode, String> {
     match opt(args, "--exec-mode") {
         None => Ok(ExecMode::default()),
         Some(s) => ExecMode::from_cli(&s)
-            .ok_or_else(|| format!("unknown exec mode `{s}` (vm|walk)")),
+            .ok_or_else(|| format!("unknown exec mode `{s}` (vm|walk|par[:N])")),
     }
 }
 
@@ -729,7 +730,11 @@ fn cmd_expand(args: &[String]) -> Result<(), String> {
 
 /// `accvv disasm NAME`: lower a corpus test to bytecode and print the
 /// stable disassembly (the artifact the VM executes; useful for inspecting
-/// what the register allocator and escape hatches produced).
+/// what the register allocator and escape hatches produced). With `--hot`,
+/// additionally run the program under the VM's opcode-pair profiler and
+/// print the histogram driving superinstruction selection, plus raw vs
+/// fused instruction counts so `vm_instructions` stays comparable across
+/// PRs.
 fn cmd_disasm(args: &[String]) -> Result<(), String> {
     let name = args
         .iter()
@@ -757,6 +762,35 @@ fn cmd_disasm(args: &[String]) -> Result<(), String> {
         .compile_shared(&source, lang)
         .map_err(|e| format!("`{name}` does not compile: {e}"))?;
     print!("{}", exe.disassemble());
+    if flag(args, "--hot") {
+        // Profile the *unfused* image: the histogram must show the raw
+        // pairs that fusion candidates are selected from, not the stream
+        // with those pairs already collapsed.
+        let raw = exe.unfused();
+        let knobs = openacc_vv::compiler::RunKnobs::default();
+        let (_, raw_prof) = raw.run_profiled(&case.env, knobs);
+        let (_, fused_prof) = exe.run_profiled(&case.env, knobs);
+        println!();
+        println!("hot opcode pairs (unfused image):");
+        for (prev, next, count) in raw_prof.top_pairs(12) {
+            println!("  {count:>10}  {prev} -> {next}");
+        }
+        println!();
+        println!(
+            "instructions: raw={} fused-image={} (dispatches {} , saved {})",
+            raw_prof.instructions,
+            fused_prof.instructions,
+            fused_prof.instructions - fused_prof.fused_saved,
+            fused_prof.fused_saved,
+        );
+        if raw_prof.instructions != fused_prof.instructions {
+            return Err(format!(
+                "fused image retired {} instructions but the unfused image retired {} — \
+                 fusion broke instruction accounting",
+                fused_prof.instructions, raw_prof.instructions
+            ));
+        }
+    }
     Ok(())
 }
 

@@ -457,6 +457,99 @@ fn served_report_matches_run_submission_cold_and_warm() {
     assert_eq!(summary.degraded, 0);
 }
 
+// ---------------------------------------------------------------------------
+// 5. Execution dedup: identical in-flight submissions share one run
+// ---------------------------------------------------------------------------
+
+/// Three submissions selecting the identical execution (different tenants
+/// and report formats) plus one selecting a different engine are queued
+/// while the scheduler is paused. On release, the identical trio must
+/// resolve through ONE execution — whichever of them runs first becomes
+/// the leader and the other two are served from its results, re-rendered
+/// in their own formats — while the odd one out runs on its own.
+#[test]
+fn identical_inflight_submissions_share_one_execution() {
+    let server = TestServer::start("dedup", |c| c.queue_cap = 8);
+    let addr = server.addr;
+    assert_eq!(http(addr, "POST", "/v1/pause", None).status, 200);
+
+    let trio_bodies = [
+        small_submission("alpha"),
+        small_submission("beta"),
+        "{\"vendor\":\"reference\",\"lang\":\"c\",\"features\":[\"loop\"],\
+         \"tenant\":\"gamma\",\"format\":\"csv\"}"
+            .to_string(),
+    ];
+    let solo_body = "{\"vendor\":\"reference\",\"lang\":\"c\",\"features\":[\"loop\"],\
+                     \"tenant\":\"delta\",\"exec_mode\":\"walk\"}";
+    let mut trio_ids = Vec::new();
+    for body in &trio_bodies {
+        let reply = http(addr, "POST", "/v1/submit", Some(body));
+        assert_eq!(reply.status, 202, "{}", reply.body);
+        trio_ids.push(reply.json_field("id").expect("id"));
+    }
+    let solo = http(addr, "POST", "/v1/submit", Some(solo_body));
+    assert_eq!(solo.status, 202, "{}", solo.body);
+    let solo_id = solo.json_field("id").expect("id");
+
+    assert_eq!(http(addr, "POST", "/v1/resume", None).status, 200);
+    for id in trio_ids.iter().chain([&solo_id]) {
+        poll_state(addr, id, &["done"], Duration::from_secs(60));
+    }
+
+    // Exactly one of the trio ran (empty detail); the other two were served
+    // from its execution and say so.
+    let details: Vec<String> = trio_ids
+        .iter()
+        .map(|id| {
+            http(addr, "GET", &format!("/v1/status/{id}"), None)
+                .json_field("detail")
+                .unwrap_or_default()
+        })
+        .collect();
+    assert_eq!(
+        details.iter().filter(|d| d.contains("shared execution")).count(),
+        2,
+        "two of three identical submissions must be shared: {details:?}"
+    );
+    assert_eq!(
+        details.iter().filter(|d| d.is_empty()).count(),
+        1,
+        "exactly one of the trio is the leader: {details:?}"
+    );
+
+    // The two text-format reports are byte-identical regardless of which
+    // submission led; the csv sharer got its own format from the shared run.
+    let report = |id: &str| http(addr, "GET", &format!("/v1/report/{id}"), None);
+    let (alpha, beta, gamma) = (
+        report(&trio_ids[0]),
+        report(&trio_ids[1]),
+        report(&trio_ids[2]),
+    );
+    assert_eq!(alpha.status, 200);
+    assert_eq!(alpha.body, beta.body, "shared text reports diverged");
+    assert!(
+        gamma
+            .header("Content-Type")
+            .unwrap_or("")
+            .contains("csv"),
+        "csv sharer must be served csv"
+    );
+    assert_ne!(gamma.body, alpha.body, "csv body re-rendered, not copied");
+
+    // The different-engine submission never shared: it ran itself.
+    let solo_detail = http(addr, "GET", &format!("/v1/status/{solo_id}"), None)
+        .json_field("detail")
+        .unwrap_or_default();
+    assert_eq!(solo_detail, "", "walk-mode submission must not share a vm run");
+
+    let summary = server.drain_and_join();
+    assert_eq!(summary.admitted, 4);
+    assert_eq!(summary.completed, 4, "sharers still count as completed");
+    assert_eq!(summary.shared, 2);
+    assert_eq!(summary.cancelled, 0);
+}
+
 #[test]
 fn report_before_completion_is_409_and_unknown_ids_404() {
     let server = TestServer::start("edges", |_| {});

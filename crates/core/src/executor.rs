@@ -133,6 +133,12 @@ pub struct ExecutorPolicy {
     /// emits suite/case/attempt spans and journal/retry/watchdog events into
     /// it. Never affects results, report bytes, or journal bytes.
     pub recorder: obs::Recorder,
+    /// Per-case wall-latency sink. Each executed (non-skipped) case records
+    /// its total wall time — all attempts and backoff included — into the
+    /// shared histogram. The histogram merge law makes the collected
+    /// distribution identical across `jobs` settings; like the recorder, it
+    /// never affects results, report bytes, or journal bytes.
+    pub latency: Option<obs::LatencyCollector>,
 }
 
 impl fmt::Debug for ExecutorPolicy {
@@ -156,6 +162,7 @@ impl fmt::Debug for ExecutorPolicy {
             .field("run_deadline", &self.run_deadline)
             .field("exec_mode", &self.exec_mode)
             .field("recorder", &self.recorder)
+            .field("latency", &self.latency)
             .finish()
     }
 }
@@ -175,6 +182,7 @@ impl Default for ExecutorPolicy {
             run_deadline: None,
             exec_mode: ExecMode::default(),
             recorder: obs::Recorder::disabled(),
+            latency: None,
         }
     }
 }
@@ -261,6 +269,12 @@ impl ExecutorPolicy {
     /// Attach a telemetry recorder.
     pub fn with_recorder(mut self, recorder: obs::Recorder) -> Self {
         self.recorder = recorder;
+        self
+    }
+
+    /// Attach a per-case wall-latency collector.
+    pub fn with_latency(mut self, collector: obs::LatencyCollector) -> Self {
+        self.latency = Some(collector);
         self
     }
 }
@@ -703,6 +717,13 @@ impl Executor {
                 duration_ms: job_started.elapsed().as_millis() as u64,
             });
             obs::instant("journal", "case_done", vec![]);
+        }
+        if let Some(lat) = &self.policy.latency {
+            // Executed cases only: a skip spends no meaningful wall time and
+            // would skew the distribution toward zero.
+            if row.status.counted() {
+                lat.record_us(job_started.elapsed().as_micros() as u64);
+            }
         }
         obs::unwind_to(case_depth.saturating_add(1));
         obs::end(vec![

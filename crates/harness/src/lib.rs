@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod history;
 pub mod run;
 pub mod sched;
 pub mod store;
@@ -25,6 +26,7 @@ pub mod torture;
 pub mod tracking;
 
 pub use cluster::{LossPlan, Node, NodeFault, SimulatedCluster, SoftwareStack};
+pub use history::{check_drift, history, DriftTolerance, HistoryRequest};
 pub use run::{HarnessReport, HarnessRun, StackResult};
 pub use sched::{FairScheduler, PushError};
 pub use store::{QueryFilter, QueryRow, ResultStore, StoredSubmission};

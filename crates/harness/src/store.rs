@@ -17,12 +17,15 @@
 //! sub   <id> <tenant> <scope> <format> <epoch-seconds>
 //! case  <id> <name> <feature> <lang> <status> <certainty> <attempts> <source>
 //! rep   <id> <report-text>
+//! lat   <id> <latency-histogram>
 //! state <id> <state> <detail>
 //! ```
 //!
 //! (`sub` rows written before the epoch field existed have four fields and
 //! decode with epoch 0 — the store is backward compatible with its own
-//! history.)
+//! history. `lat` rows carry a [`LatencyHist`] in its canonical encoding;
+//! multiple rows for one submission merge, and compaction re-encodes the
+//! merged histogram — byte-identical because the encoding is canonical.)
 //!
 //! The in-memory index (id → submission) is rebuilt by a full scan on
 //! open; queries aggregate pass rates by (scope, language, feature) across
@@ -56,6 +59,7 @@
 //! `G+1`: the new generation is the store, and the old file is GC'd on the
 //! next open. There is no crash point at which both or neither are live.
 
+use acc_obs::hist::LatencyHist;
 use acc_validation::journal::{self, checksum, MAGIC};
 use acc_validation::vfs::{self, atomic_write_via, RealFs, Vfs, VfsFile};
 use acc_spec::FeatureId;
@@ -89,6 +93,8 @@ pub struct StoredSubmission {
     pub cases: Vec<CaseResult>,
     /// The rendered report, once the submission completed.
     pub report: Option<String>,
+    /// Merged per-case wall-latency histogram, when latency was recorded.
+    pub latency: Option<LatencyHist>,
 }
 
 /// One aggregated pass-rate row from [`ResultStore::query`].
@@ -214,6 +220,13 @@ fn encode_case(id: u64, r: &CaseResult) -> String {
     )
 }
 
+fn encode_lat(id: u64, hist: &LatencyHist) -> String {
+    // The histogram encoding uses only digits and `;:,` — already inside
+    // the J1-safe alphabet, no escaping needed (and `unescape` of it is
+    // the identity, so old readers that did escape would still agree).
+    format!("lat\t{id}\t{}", hist.encode())
+}
+
 fn encode_state(id: u64, state: &str, detail: &str) -> String {
     format!(
         "state\t{id}\t{}\t{}",
@@ -238,6 +251,10 @@ enum StoreRecord {
     Report {
         id: u64,
         text: String,
+    },
+    Latency {
+        id: u64,
+        hist: LatencyHist,
     },
     State {
         id: u64,
@@ -295,6 +312,15 @@ fn decode_payload(payload: &str) -> Option<StoreRecord> {
             Some(StoreRecord::Report {
                 id: id.parse().ok()?,
                 text: journal::unescape(text)?,
+            })
+        }
+        "lat" => {
+            let [id, hist] = fields.as_slice() else {
+                return None;
+            };
+            Some(StoreRecord::Latency {
+                id: id.parse().ok()?,
+                hist: LatencyHist::decode(hist)?,
             })
         }
         "state" => {
@@ -505,6 +531,7 @@ impl ResultStore {
                 detail: String::new(),
                 cases: Vec::new(),
                 report: None,
+                latency: None,
             },
         );
         Ok(id)
@@ -549,6 +576,22 @@ impl ResultStore {
         Ok(())
     }
 
+    /// Append the submission's merged latency histogram (fsynced before
+    /// returning). Empty histograms are not persisted. Repeated calls
+    /// merge — the index and every later replay apply the histogram merge
+    /// law, so the aggregate is order-free.
+    pub fn record_latency(&self, id: u64, hist: &LatencyHist) -> io::Result<()> {
+        if hist.is_empty() {
+            return Ok(());
+        }
+        let mut inner = self.inner.lock().expect("store lock");
+        Self::append_sync(&mut inner, &frame(&encode_lat(id, hist)))?;
+        if let Some(sub) = inner.index.get_mut(&id) {
+            sub.latency.get_or_insert_with(LatencyHist::new).merge(hist);
+        }
+        Ok(())
+    }
+
     /// Rewrite the live index into a fresh generation and swap the
     /// generation pointer over to it. Crash-safe at every step (see the
     /// module docs); queries are byte-identical before and after because
@@ -580,6 +623,9 @@ impl ResultStore {
                     "{}",
                     frame(&format!("rep\t{}\t{}", sub.id, journal::escape(report)))
                 );
+            }
+            if let Some(latency) = sub.latency.as_ref().filter(|h| !h.is_empty()) {
+                let _ = write!(text, "{}", frame(&encode_lat(sub.id, latency)));
             }
             let _ = write!(text, "{}", frame(&encode_state(sub.id, &sub.state, &sub.detail)));
         }
@@ -696,6 +742,7 @@ fn apply(index: &mut BTreeMap<u64, StoredSubmission>, record: StoreRecord) {
                 detail: String::new(),
                 cases: Vec::new(),
                 report: None,
+                latency: None,
             });
         }
         StoreRecord::Case { id, result } => {
@@ -706,6 +753,11 @@ fn apply(index: &mut BTreeMap<u64, StoredSubmission>, record: StoreRecord) {
         StoreRecord::Report { id, text } => {
             if let Some(sub) = index.get_mut(&id) {
                 sub.report = Some(text);
+            }
+        }
+        StoreRecord::Latency { id, hist } => {
+            if let Some(sub) = index.get_mut(&id) {
+                sub.latency.get_or_insert_with(LatencyHist::new).merge(&hist);
             }
         }
         StoreRecord::State { id, state, detail } => {
@@ -982,6 +1034,38 @@ mod tests {
         assert_eq!(store.generation(), 0, "pointer never swung");
         assert!(!fs.exists(Path::new("g.j1.g1")), "orphan GC'd");
         assert_eq!(store.submission(1).unwrap().cases.len(), 1);
+    }
+
+    #[test]
+    fn latency_round_trips_merges_and_survives_compaction() {
+        let fs: Arc<dyn Vfs> = Arc::new(FaultFs::new(4));
+        let store = ResultStore::open_via(Arc::clone(&fs), "lat.j1").unwrap();
+        let id = store.begin("t", "PGI 13.4", "text").unwrap();
+        store.record_cases(id, &[case("loop", "loop", TestStatus::Pass)]).unwrap();
+        let mut h1 = LatencyHist::new();
+        h1.record(150);
+        h1.record(9_000);
+        let mut h2 = LatencyHist::new();
+        h2.record(42);
+        store.record_latency(id, &h1).unwrap();
+        store.record_latency(id, &h2).unwrap();
+        store.record_latency(id, &LatencyHist::new()).unwrap(); // no-op
+        let mut merged = h1.clone();
+        merged.merge(&h2);
+        assert_eq!(store.submission(id).unwrap().latency, Some(merged.clone()));
+        // Replay from disk agrees.
+        drop(store);
+        let store = ResultStore::open_via(Arc::clone(&fs), "lat.j1").unwrap();
+        assert_eq!(store.submission(id).unwrap().latency, Some(merged.clone()));
+        // Compaction folds the two rows into one and changes nothing.
+        store.compact().unwrap();
+        assert_eq!(store.submission(id).unwrap().latency, Some(merged.clone()));
+        drop(store);
+        let store = ResultStore::open_via(fs, "lat.j1").unwrap();
+        assert_eq!(store.submission(id).unwrap().latency, Some(merged));
+        // Submissions without latency stay `None`.
+        let id2 = store.begin("t", "ref", "text").unwrap();
+        assert_eq!(store.submission(id2).unwrap().latency, None);
     }
 
     #[test]

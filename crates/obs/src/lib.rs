@@ -32,13 +32,23 @@
 //! * [`trace`] — deterministic JSONL (one event per line) + parser,
 //! * [`chrome`] — Chrome trace-event JSON loadable in Perfetto,
 //! * [`metrics`] — Prometheus-style text exposition + human summary table.
+//!
+//! History:
+//! * [`hist`] — deterministic log-bucketed latency histograms (mergeable,
+//!   byte-identical encoding regardless of merge order),
+//! * [`series`] — time-bucketed pass-rate series over epoch-stamped records.
 
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod hist;
 pub mod json;
 pub mod metrics;
+pub mod series;
 pub mod trace;
+
+pub use hist::{LatencyCollector, LatencyHist};
+pub use series::{GroupBy, SeriesAgg, SeriesCounts, SeriesRow};
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU32, Ordering};

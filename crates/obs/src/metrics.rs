@@ -6,9 +6,13 @@
 //! guarantee.) Series are emitted in sorted label order so two snapshots
 //! of the same run diff cleanly.
 
+use crate::hist::LatencyHist;
 use crate::{Event, Phase};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// Quantiles rendered for every latency summary.
+const QUANTILES: &[(&str, f64)] = &[("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)];
 
 /// Duration histogram bucket upper bounds, microseconds.
 const BUCKETS_US: &[u64] = &[100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
@@ -100,10 +104,82 @@ pub fn render_server_metrics(c: &ServerCounters) -> String {
     out
 }
 
+/// Render per-profile circuit-breaker series: one enum-style gauge row per
+/// (profile, state) — exactly one is 1 — plus a per-profile trip counter.
+/// Input rows are `(profile, state-label, trips)` with state labels
+/// `closed` / `open` / `half-open`.
+pub fn render_breakers(breakers: &[(String, String, u64)]) -> String {
+    let mut out = String::new();
+    if breakers.is_empty() {
+        return out;
+    }
+    out.push_str(
+        "# HELP accvv_server_breaker_state Per-profile breaker state (1 on the active state).\n",
+    );
+    out.push_str("# TYPE accvv_server_breaker_state gauge\n");
+    for (profile, state, _) in breakers {
+        for candidate in ["closed", "open", "half-open"] {
+            let v = u64::from(state == candidate);
+            let _ = writeln!(
+                out,
+                "accvv_server_breaker_state{{profile=\"{profile}\",state=\"{candidate}\"}} {v}"
+            );
+        }
+    }
+    out.push_str(
+        "# HELP accvv_server_breaker_profile_trips_total Closed-to-open transitions per profile.\n",
+    );
+    out.push_str("# TYPE accvv_server_breaker_profile_trips_total counter\n");
+    for (profile, _, trips) in breakers {
+        let _ = writeln!(
+            out,
+            "accvv_server_breaker_profile_trips_total{{profile=\"{profile}\"}} {trips}"
+        );
+    }
+    out
+}
+
+/// Render per-endpoint HTTP request-latency summaries from the server's
+/// normalized-path histograms.
+pub fn render_http_latency(paths: &BTreeMap<String, LatencyHist>) -> String {
+    let mut out = String::new();
+    if paths.is_empty() {
+        return out;
+    }
+    out.push_str(
+        "# HELP accvv_http_request_duration_us HTTP request duration by endpoint, \
+         microseconds (log-bucketed estimate).\n",
+    );
+    out.push_str("# TYPE accvv_http_request_duration_us summary\n");
+    for (path, hist) in paths {
+        for (label, q) in QUANTILES {
+            let _ = writeln!(
+                out,
+                "accvv_http_request_duration_us{{path=\"{path}\",quantile=\"{label}\"}} {}",
+                hist.quantile_us(*q)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "accvv_http_request_duration_us_sum{{path=\"{path}\"}} {}",
+            hist.sum_us()
+        );
+        let _ = writeln!(
+            out,
+            "accvv_http_request_duration_us_count{{path=\"{path}\"}} {}",
+            hist.count()
+        );
+    }
+    out
+}
+
 #[derive(Default)]
 struct Agg {
     /// kind -> (bucket counts, sum_us, count) over span End durations.
     durations: BTreeMap<String, (Vec<u64>, u64, u64)>,
+    /// kind -> log-bucketed histogram of the same durations, for quantile
+    /// estimation (compile vs exec vs verify phase attribution).
+    hists: BTreeMap<String, LatencyHist>,
     /// status label -> count, from `case` span End `status` attrs.
     case_status: BTreeMap<String, u64>,
     /// counter name -> summed value, from `ctr` instants.
@@ -128,6 +204,7 @@ fn aggregate(events: &[Event]) -> Agg {
                 entry.0[slot] += 1;
                 entry.1 += e.dur_us;
                 entry.2 += 1;
+                agg.hists.entry(e.kind.clone()).or_default().record(e.dur_us);
                 if e.kind == "case" {
                     if let Some(status) = e.attr_str("status") {
                         *agg.case_status.entry(status.to_string()).or_default() += 1;
@@ -173,6 +250,23 @@ pub fn render_prometheus(events: &[Event], cache: Option<&CacheCounters>) -> Str
         let _ = writeln!(out, "accvv_phase_duration_us_count{{kind=\"{kind}\"}} {count}");
     }
 
+    out.push_str(
+        "# HELP accvv_phase_latency_us Span-duration quantiles by kind, microseconds \
+         (log-bucketed estimate).\n",
+    );
+    out.push_str("# TYPE accvv_phase_latency_us summary\n");
+    for (kind, hist) in &agg.hists {
+        for (label, q) in QUANTILES {
+            let _ = writeln!(
+                out,
+                "accvv_phase_latency_us{{kind=\"{kind}\",quantile=\"{label}\"}} {}",
+                hist.quantile_us(*q)
+            );
+        }
+        let _ = writeln!(out, "accvv_phase_latency_us_sum{{kind=\"{kind}\"}} {}", hist.sum_us());
+        let _ = writeln!(out, "accvv_phase_latency_us_count{{kind=\"{kind}\"}} {}", hist.count());
+    }
+
     out.push_str("# HELP accvv_case_status_total Case outcomes by taxonomy label.\n");
     out.push_str("# TYPE accvv_case_status_total counter\n");
     for (status, n) in &agg.case_status {
@@ -186,6 +280,7 @@ pub fn render_prometheus(events: &[Event], cache: Option<&CacheCounters>) -> Str
     }
 
     for (name, v) in &agg.counters {
+        let _ = writeln!(out, "# HELP accvv_{name}_total Run counter `{name}`.");
         let _ = writeln!(out, "# TYPE accvv_{name}_total counter");
         let _ = writeln!(out, "accvv_{name}_total {v}");
     }
@@ -206,6 +301,10 @@ pub fn render_prometheus(events: &[Event], cache: Option<&CacheCounters>) -> Str
                 "accvv_compile_cache_lookups_total{{level=\"{level}\",outcome=\"{outcome}\"}} {v}"
             );
         }
+        let _ = writeln!(
+            out,
+            "# HELP accvv_compile_cache_hit_rate Overall compile-cache hit rate across both levels."
+        );
         let _ = writeln!(out, "# TYPE accvv_compile_cache_hit_rate gauge");
         let _ = writeln!(out, "accvv_compile_cache_hit_rate {:.4}", c.hit_rate());
     }
@@ -351,6 +450,87 @@ mod tests {
         // text blocks.
         let combined = format!("{}{}", render_prometheus(&[], None), text);
         assert!(combined.contains("accvv_server_queue_depth"));
+    }
+
+    #[test]
+    fn phase_quantiles_render_as_summary() {
+        let text = render_prometheus(&snapshot(), None);
+        assert!(text.contains("accvv_phase_latency_us{kind=\"case\",quantile=\"0.5\"}"));
+        assert!(text.contains("accvv_phase_latency_us{kind=\"exec\",quantile=\"0.99\"}"));
+        assert!(text.contains("accvv_phase_latency_us_count{kind=\"case\"} 2"));
+    }
+
+    #[test]
+    fn breaker_states_render_one_hot_with_trips() {
+        let rows = vec![
+            ("CAPS".to_string(), "open".to_string(), 3u64),
+            ("PGI".to_string(), "closed".to_string(), 0),
+        ];
+        let text = render_breakers(&rows);
+        assert!(text.contains("accvv_server_breaker_state{profile=\"CAPS\",state=\"open\"} 1"));
+        assert!(text.contains("accvv_server_breaker_state{profile=\"CAPS\",state=\"closed\"} 0"));
+        assert!(text.contains("accvv_server_breaker_state{profile=\"PGI\",state=\"closed\"} 1"));
+        assert!(text.contains("accvv_server_breaker_profile_trips_total{profile=\"CAPS\"} 3"));
+        assert!(render_breakers(&[]).is_empty());
+    }
+
+    #[test]
+    fn http_latency_renders_per_endpoint() {
+        let mut paths = BTreeMap::new();
+        let mut h = LatencyHist::new();
+        h.record(1000);
+        h.record(2000);
+        paths.insert("/v1/submit".to_string(), h);
+        let text = render_http_latency(&paths);
+        assert!(text.contains("accvv_http_request_duration_us{path=\"/v1/submit\",quantile=\"0.5\"}"));
+        assert!(text.contains("accvv_http_request_duration_us_count{path=\"/v1/submit\"} 2"));
+        assert!(render_http_latency(&BTreeMap::new()).is_empty());
+    }
+
+    #[test]
+    fn every_series_has_help_and_type() {
+        // Spec compliance: each metric family in each rendering must carry
+        // both a # HELP and a # TYPE line.
+        let cache = CacheCounters {
+            frontend_hits: 1,
+            frontend_misses: 1,
+            exec_hits: 1,
+            exec_misses: 1,
+        };
+        let mut paths = BTreeMap::new();
+        paths.insert("/metrics".to_string(), LatencyHist::new());
+        let breakers = vec![("CAPS".to_string(), "closed".to_string(), 0u64)];
+        let combined = format!(
+            "{}{}{}{}",
+            render_prometheus(&snapshot(), Some(&cache)),
+            render_server_metrics(&ServerCounters::default()),
+            render_breakers(&breakers),
+            render_http_latency(&paths),
+        );
+        let mut helped = std::collections::BTreeSet::new();
+        let mut typed = std::collections::BTreeSet::new();
+        for line in combined.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                helped.insert(rest.split(' ').next().unwrap().to_string());
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                typed.insert(rest.split(' ').next().unwrap().to_string());
+            }
+        }
+        assert!(!helped.is_empty());
+        assert_eq!(helped, typed, "HELP and TYPE cover the same families");
+        for line in combined.lines().filter(|l| !l.starts_with('#')) {
+            let name = line
+                .split([' ', '{'])
+                .next()
+                .unwrap()
+                .trim_end_matches("_sum")
+                .trim_end_matches("_count")
+                .trim_end_matches("_bucket");
+            assert!(
+                helped.contains(name),
+                "series `{name}` lacks a # HELP line"
+            );
+        }
     }
 
     #[test]

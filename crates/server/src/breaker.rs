@@ -74,7 +74,15 @@ pub struct BreakerSet {
 #[derive(Debug, Default)]
 struct Inner {
     states: BTreeMap<String, BreakerState>,
+    trips: BTreeMap<String, u64>,
     trips_total: u64,
+}
+
+impl Inner {
+    fn trip(&mut self, profile: &str) {
+        self.trips_total += 1;
+        *self.trips.entry(profile.to_string()).or_default() += 1;
+    }
 }
 
 impl BreakerSet {
@@ -156,7 +164,7 @@ impl BreakerSet {
             }
             if saw_infra {
                 *state = BreakerState::Open { since: now };
-                inner.trips_total += 1;
+                inner.trip(profile);
             } else if saw_counted {
                 *state = BreakerState::Closed {
                     consecutive_infra: 0,
@@ -189,7 +197,7 @@ impl BreakerSet {
             }
         }
         if tripped {
-            inner.trips_total += 1;
+            inner.trip(profile);
         }
     }
 
@@ -198,13 +206,13 @@ impl BreakerSet {
         self.observe_at(profile, statuses, Instant::now());
     }
 
-    /// Current state of every profile seen so far.
-    pub fn snapshot(&self) -> Vec<(String, BreakerState)> {
+    /// Current state and lifetime trip count of every profile seen so far.
+    pub fn snapshot(&self) -> Vec<(String, BreakerState, u64)> {
         let inner = self.inner.lock().unwrap();
         inner
             .states
             .iter()
-            .map(|(k, v)| (k.clone(), *v))
+            .map(|(k, v)| (k.clone(), *v, inner.trips.get(k).copied().unwrap_or(0)))
             .collect()
     }
 
@@ -371,5 +379,25 @@ mod tests {
             BreakerDecision::Degraded { .. }
         ));
         assert_eq!(set.admit_at("pgi 13.8", t0), BreakerDecision::Admit { trial: false });
+    }
+
+    #[test]
+    fn snapshot_reports_per_profile_trip_counts() {
+        let set = BreakerSet::new(1, Duration::from_millis(100));
+        let t0 = Instant::now();
+        set.observe_at("caps 3.3.4", &[infra()], t0);
+        set.observe_at("pgi 13.8", &[TestStatus::Pass], t0);
+        // Re-trip caps via a failed half-open trial: per-profile count 2.
+        let t1 = t0 + Duration::from_millis(150);
+        assert_eq!(set.admit_at("caps 3.3.4", t1), BreakerDecision::Admit { trial: true });
+        set.observe_at("caps 3.3.4", &[infra()], t1);
+        let snap = set.snapshot();
+        assert_eq!(snap.len(), 2);
+        let caps = snap.iter().find(|(p, _, _)| p == "caps 3.3.4").unwrap();
+        assert_eq!(caps.1.label(), "open");
+        assert_eq!(caps.2, 2, "both trips attributed to caps");
+        let pgi = snap.iter().find(|(p, _, _)| p == "pgi 13.8").unwrap();
+        assert_eq!((pgi.1.label(), pgi.2), ("closed", 0));
+        assert_eq!(set.trips_total(), 2);
     }
 }

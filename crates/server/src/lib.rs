@@ -34,7 +34,7 @@ pub mod breaker;
 pub mod http;
 pub mod signal;
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -44,12 +44,15 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use acc_compiler::{CompileCache, ExecMode, VendorCompiler, VendorId};
-use acc_harness::{FairScheduler, PushError, QueryFilter, ResultStore};
+use acc_harness::{history, FairScheduler, HistoryRequest, PushError, QueryFilter, ResultStore};
 use acc_obs as obs;
+use acc_obs::hist::{LatencyCollector, LatencyHist};
 use acc_obs::json::{self, Json};
 use acc_obs::metrics::{
-    render_prometheus, render_server_metrics, CacheCounters, ServerCounters,
+    render_breakers, render_http_latency, render_prometheus, render_server_metrics,
+    CacheCounters, ServerCounters,
 };
+use acc_obs::series::GroupBy;
 use acc_spec::version::CompilerVersion;
 use acc_spec::Language;
 use acc_testsuite::full_suite;
@@ -365,6 +368,9 @@ pub struct RunOptions {
     pub run_deadline: Option<Instant>,
     /// Telemetry recorder.
     pub recorder: obs::Recorder,
+    /// Per-case wall-latency collector. Like the recorder, never affects
+    /// results, report bytes, or journal bytes.
+    pub latency: Option<LatencyCollector>,
 }
 
 /// What one executed submission produced.
@@ -403,6 +409,9 @@ pub fn run_submission(spec: &SubmissionSpec, opts: &RunOptions) -> Result<RunOut
     }
     if let Some(deadline) = opts.run_deadline {
         policy = policy.with_run_deadline(deadline);
+    }
+    if let Some(latency) = &opts.latency {
+        policy = policy.with_latency(latency.clone());
     }
     let (run, stats) = Executor::new(policy).run_suite_stats(&campaign, &compiler);
     let report = report::render(&run, spec.format);
@@ -491,6 +500,9 @@ struct ServerInner {
     paused: AtomicBool,
     drain: Arc<CancelToken>,
     counters: Gauges,
+    /// Request-latency histograms keyed by normalized endpoint path, for
+    /// the `/metrics` exposition.
+    http_latency: Mutex<BTreeMap<String, LatencyHist>>,
 }
 
 impl ServerInner {
@@ -542,6 +554,7 @@ impl Server {
             paused: AtomicBool::new(false),
             drain: CancelToken::arc(),
             counters: Gauges::default(),
+            http_latency: Mutex::new(BTreeMap::new()),
             config,
         });
         Ok(Server { listener, inner })
@@ -685,6 +698,7 @@ fn run_one(inner: &ServerInner, id: u64) {
     let _ = inner.store.set_state(id, "running", "");
     let journal_path = inner.config.store_dir.join(format!("journal-{id}.j1"));
     let journal = FileJournal::create(&journal_path).ok().map(Arc::new);
+    let latency = LatencyCollector::new();
     let opts = RunOptions {
         jobs: inner.config.jobs,
         cache: Some(Arc::clone(&inner.cache)),
@@ -692,6 +706,7 @@ fn run_one(inner: &ServerInner, id: u64) {
         cancel: Some(Arc::clone(&inner.drain)),
         run_deadline: deadline,
         recorder: inner.config.recorder.clone(),
+        latency: Some(latency.clone()),
     };
     match run_submission(&spec, &opts) {
         Ok(outcome) => {
@@ -699,6 +714,8 @@ fn run_one(inner: &ServerInner, id: u64) {
                 .breakers
                 .observe(&scope, outcome.run.results.iter().map(|r| &r.status));
             let _ = inner.store.record_cases(id, &outcome.run.results);
+            // Sharers (below) never record latency — they did not run.
+            let _ = inner.store.record_latency(id, &latency.snapshot());
             if outcome.stats.cancelled {
                 inner.counters.cancelled.fetch_add(1, Ordering::Relaxed);
                 let _ = inner.store.set_state(
@@ -783,13 +800,32 @@ fn handle_connection(mut stream: TcpStream, inner: &ServerInner) {
         }
         Err(http::RequestError::Io(_)) => return,
     };
+    let started = Instant::now();
     let resp = route(inner, &req);
+    let elapsed_us = started.elapsed().as_micros() as u64;
+    let label = endpoint_label(&req.path);
+    if let Ok(mut map) = inner.http_latency.lock() {
+        map.entry(label.to_string()).or_default().record(elapsed_us);
+    }
     let _ = resp.write_to(&mut stream);
 }
 
-const KNOWN_PATHS: [&str; 8] = [
+/// Collapse per-id paths into one label per endpoint so the metric's
+/// cardinality stays bounded no matter how many submissions exist.
+fn endpoint_label(path: &str) -> &str {
+    if path.starts_with("/v1/status/") {
+        "/v1/status"
+    } else if path.starts_with("/v1/report/") {
+        "/v1/report"
+    } else {
+        path
+    }
+}
+
+const KNOWN_PATHS: [&str; 9] = [
     "/v1/submit",
     "/v1/query",
+    "/v1/history",
     "/v1/healthz",
     "/v1/pause",
     "/v1/resume",
@@ -802,6 +838,7 @@ fn route(inner: &ServerInner, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/v1/submit") => handle_submit(inner, req),
         ("GET", "/v1/query") => handle_query(inner, req),
+        ("GET", "/v1/history") => handle_history(inner, req),
         ("GET", "/v1/healthz") => handle_health(inner),
         ("GET", "/metrics") => handle_metrics(inner),
         ("POST", "/v1/pause") => {
@@ -1000,6 +1037,81 @@ fn handle_query(inner: &ServerInner, req: &Request) -> Response {
     Response::json(200, body)
 }
 
+/// `GET /v1/history`: fold the store into a time-bucketed pass-rate
+/// series. `bucket` is the width in seconds (default 3600), `by` the
+/// grouping dimension (`profile`|`feature`|`tenant`|`lang`, default
+/// `profile`), `since`/`until` the inclusive epoch window, `tenant` and
+/// `scope` the usual filters. The series depends only on store contents:
+/// it is identical across worker counts, compaction, and restarts.
+fn handle_history(inner: &ServerInner, req: &Request) -> Response {
+    let since = match epoch_param(req, "since", 0) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let until = match epoch_param(req, "until", u64::MAX) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    if since > until {
+        return error_response(400, "`since` is after `until`: the window is empty");
+    }
+    let bucket = match epoch_param(req, "bucket", 3600) {
+        Ok(0) => return error_response(400, "`bucket` must be a positive number of seconds"),
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let by = match req.query_param("by") {
+        None | Some("") => GroupBy::Profile,
+        Some(raw) => match GroupBy::parse(raw) {
+            Some(by) => by,
+            None => {
+                return error_response(
+                    400,
+                    &format!("`by` must be profile|feature|tenant|lang, got {raw:?}"),
+                )
+            }
+        },
+    };
+    let hreq = HistoryRequest {
+        bucket,
+        since,
+        until,
+        by,
+        tenant: req.query_param("tenant").unwrap_or("").to_string(),
+        scope: req.query_param("scope").unwrap_or("").to_string(),
+    };
+    let rows = history(&inner.store, &hreq);
+    let mut body = format!("{{\"bucket\":{bucket},\"by\":\"{}\",\"series\":[", by.as_str());
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let c = &row.counts;
+        body.push_str(&format!(
+            "{{\"bucket\":{},\"key\":{},\"pass\":{},\"flaky\":{},\"fail\":{},\
+             \"skip\":{},\"pass_rate\":{:.2}",
+            row.bucket,
+            jstr(&row.key),
+            c.pass,
+            c.flaky,
+            c.fail,
+            c.skip,
+            c.pass_rate(),
+        ));
+        if !row.latency.is_empty() {
+            body.push_str(&format!(
+                ",\"p50_us\":{},\"p90_us\":{},\"p99_us\":{}",
+                row.latency.quantile_us(0.5),
+                row.latency.quantile_us(0.9),
+                row.latency.quantile_us(0.99),
+            ));
+        }
+        body.push('}');
+    }
+    body.push_str("]}");
+    Response::json(200, body)
+}
+
 /// `POST /v1/compact`: rewrite the live result store into a fresh
 /// generation and reclaim the dead bytes. Safe at any time — the store
 /// lock serializes compaction against in-flight appends, queries are
@@ -1033,12 +1145,12 @@ fn handle_health(inner: &ServerInner) -> Response {
     };
     let s = inner.summary();
     let mut breakers = String::from("[");
-    for (i, (profile, bstate)) in inner.breakers.snapshot().iter().enumerate() {
+    for (i, (profile, bstate, trips)) in inner.breakers.snapshot().iter().enumerate() {
         if i > 0 {
             breakers.push(',');
         }
         breakers.push_str(&format!(
-            "{{\"profile\":{},\"state\":{}}}",
+            "{{\"profile\":{},\"state\":{},\"trips\":{trips}}}",
             jstr(profile),
             jstr(bstate.label())
         ));
@@ -1072,6 +1184,16 @@ fn handle_metrics(inner: &ServerInner) -> Response {
     };
     let mut text = render_prometheus(&events, Some(&cache));
     text.push_str(&render_server_metrics(&inner.server_counters()));
+    let breakers: Vec<(String, String, u64)> = inner
+        .breakers
+        .snapshot()
+        .into_iter()
+        .map(|(profile, state, trips)| (profile, state.label().to_string(), trips))
+        .collect();
+    text.push_str(&render_breakers(&breakers));
+    if let Ok(map) = inner.http_latency.lock() {
+        text.push_str(&render_http_latency(&map));
+    }
     Response::text(200, text).with_content_type("text/plain; version=0.0.4")
 }
 

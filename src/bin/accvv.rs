@@ -33,6 +33,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("history") => cmd_history(&args[1..]),
         Some("matrix") => cmd_matrix(&args[1..]),
         Some("bugs") => cmd_bugs(&args[1..]),
         Some("expand") => cmd_expand(&args[1..]),
@@ -75,6 +76,10 @@ fn print_usage() {
          \x20               [--trace-out FILE] [--metrics-out FILE]\n\
          \x20 accvv bench [--iters N] [--out FILE] [--no-cache]\n\
          \x20            [--check BASELINE [--tolerance-pct P] [--overhead-pct P]]\n\
+         \x20 accvv history [--store DIR] [--bucket SECS] [--since EPOCH] [--until EPOCH]\n\
+         \x20              [--by profile|feature|tenant|lang] [--tenant T] [--scope PREFIX]\n\
+         \x20              [--latency] [--out FILE]\n\
+         \x20              [--check BASELINE [--pass-tolerance PTS] [--latency-tolerance-pct P]]\n\
          \x20 accvv trace export TRACE.jsonl [--out FILE]\n\
          \x20 accvv trace check FILE\n\
          \x20 accvv matrix --vendor caps|pgi|cray [--lang c|fortran]\n\
@@ -652,6 +657,72 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                 report.disabled_overhead_pct,
                 perf::FULL_SUITE
             ));
+        }
+    }
+    Ok(())
+}
+
+/// `accvv history`: fold a server result store into a time-bucketed trend
+/// table, optionally write a drift baseline, and optionally gate against a
+/// committed one (nonzero exit on regression).
+fn cmd_history(args: &[String]) -> Result<(), String> {
+    use openacc_vv::harness::{check_drift, history, DriftTolerance, HistoryRequest, ResultStore};
+    let store_dir = opt(args, "--store").unwrap_or_else(|| "accvv-store".to_string());
+    let bucket: u64 = parse_opt_or(args, "--bucket", 3600u64)?;
+    if bucket == 0 {
+        return Err("--bucket must be a positive number of seconds".to_string());
+    }
+    let since: u64 = parse_opt_or(args, "--since", 0u64)?;
+    let until: u64 = parse_opt_or(args, "--until", u64::MAX)?;
+    if since > until {
+        return Err("--since is after --until: the window is empty".to_string());
+    }
+    let by = match opt(args, "--by") {
+        None => obs::GroupBy::Profile,
+        Some(raw) => obs::GroupBy::parse(&raw)
+            .ok_or_else(|| format!("--by must be profile|feature|tenant|lang, got `{raw}`"))?,
+    };
+    let req = HistoryRequest {
+        bucket,
+        since,
+        until,
+        by,
+        tenant: opt(args, "--tenant").unwrap_or_default(),
+        scope: opt(args, "--scope").unwrap_or_default(),
+    };
+    let store_path = std::path::Path::new(&store_dir).join("results.j1");
+    let store =
+        ResultStore::open(&store_path).map_err(|e| format!("{}: {e}", store_path.display()))?;
+    let rows = history(&store, &req);
+    print!(
+        "{}",
+        openacc_vv::harness::history::render_table(&rows, by, flag(args, "--latency"))
+    );
+    // Read the baseline BEFORE writing --out (same rationale as bench:
+    // `--check BENCH_history.json --out BENCH_history.json` must compare
+    // against the committed file, not the one we are about to write).
+    let baseline = match opt(args, "--check") {
+        Some(p) => Some((
+            std::fs::read_to_string(&p).map_err(|e| format!("--check {p}: {e}"))?,
+            p,
+        )),
+        None => None,
+    };
+    if let Some(out) = opt(args, "--out") {
+        let json = openacc_vv::harness::history::baseline_json(&rows, by);
+        openacc_vv::validation::atomic_write(&out, json.as_bytes())
+            .map_err(|e| format!("--out {out}: {e}"))?;
+        eprintln!("accvv: history baseline written to {out}");
+    }
+    if let Some((baseline_json, baseline_path)) = baseline {
+        let tol = DriftTolerance {
+            pass_points: parse_opt_or(args, "--pass-tolerance", 0.5f64)?,
+            latency_pct: parse_opt_or(args, "--latency-tolerance-pct", 50.0f64)?,
+        };
+        let lines = check_drift(&rows, &baseline_json, &tol)
+            .map_err(|e| format!("--check {baseline_path}: {e}"))?;
+        for line in lines {
+            println!("{line}");
         }
     }
     Ok(())

@@ -254,9 +254,9 @@ fn breaker_half_open_failure_reopens_immediately() {
     assert_eq!(
         set.snapshot()
             .iter()
-            .map(|(_, s)| s.label())
+            .map(|(_, s, trips)| (s.label(), *trips))
             .collect::<Vec<_>>(),
-        vec!["open"]
+        vec![("open", 2)]
     );
     // Skipped rows are uncounted everywhere else; the breaker must agree.
     set.observe_at(
@@ -581,4 +581,102 @@ fn report_before_completion_is_409_and_unknown_ids_404() {
     assert_eq!(http(addr, "POST", "/v1/resume", None).status, 200);
     poll_state(addr, &id, &["done"], Duration::from_secs(60));
     server.drain_and_join();
+}
+
+// ---------------------------------------------------------------------------
+// 6. History endpoint: bucketed series, stable across compaction + restart
+// ---------------------------------------------------------------------------
+
+/// `GET /v1/history` folds the store into a bucketed series whose bytes
+/// depend only on store contents: compacting the store and restarting the
+/// server on the same directory must both serve the identical body. The
+/// health and metrics endpoints ride along: per-profile breaker trip
+/// counts in `/v1/healthz`, histogram quantiles and per-endpoint HTTP
+/// latency in `/metrics`.
+#[test]
+fn history_survives_compaction_and_restart() {
+    let server = TestServer::start("history", |c| c.jobs = 2);
+    let addr = server.addr;
+    let store_dir = server.store_dir.clone();
+
+    for tenant in ["alice", "bob"] {
+        let reply = http(addr, "POST", "/v1/submit", Some(&small_submission(tenant)));
+        assert_eq!(reply.status, 202, "{}", reply.body);
+        let id = reply.json_field("id").expect("id");
+        poll_state(addr, &id, &["done"], Duration::from_secs(60));
+    }
+
+    let path = "/v1/history?bucket=3600&by=profile";
+    let before = http(addr, "GET", path, None);
+    assert_eq!(before.status, 200);
+    assert!(before.body.contains("\"by\":\"profile\""), "{}", before.body);
+    assert!(before.body.contains("\"pass_rate\":"), "{}", before.body);
+    assert!(
+        before.body.contains("\"p50_us\":"),
+        "server runs record per-case latency: {}",
+        before.body
+    );
+
+    // Parameter validation.
+    assert_eq!(http(addr, "GET", "/v1/history?bucket=0", None).status, 400);
+    assert_eq!(http(addr, "GET", "/v1/history?by=planet", None).status, 400);
+    assert_eq!(
+        http(addr, "GET", "/v1/history?since=9&until=3", None).status,
+        400
+    );
+    assert_eq!(http(addr, "POST", "/v1/history", None).status, 405);
+
+    // Tenant grouping and filter agree with the full series.
+    let by_tenant = http(addr, "GET", "/v1/history?by=tenant", None);
+    assert!(by_tenant.body.contains("\"key\":\"alice\""), "{}", by_tenant.body);
+    let only_bob = http(addr, "GET", "/v1/history?tenant=bob", None);
+    assert!(!only_bob.body.contains("alice"), "{}", only_bob.body);
+
+    // Health exposes per-profile trip counts (zero here — no infra faults).
+    let health = http(addr, "GET", "/v1/healthz", None);
+    assert!(health.body.contains("\"trips\":0"), "{}", health.body);
+    // Metrics expose phase-latency quantiles and per-endpoint HTTP latency,
+    // each with HELP/TYPE headers.
+    let metrics = http(addr, "GET", "/metrics", None);
+    for needle in [
+        "# TYPE accvv_http_request_duration_us summary",
+        "accvv_http_request_duration_us{path=\"/v1/submit\",quantile=\"0.5\"}",
+    ] {
+        assert!(metrics.body.contains(needle), "missing `{needle}`:\n{}", metrics.body);
+    }
+
+    // Compaction rewrites the log; the served series must not move.
+    assert_eq!(http(addr, "POST", "/v1/compact", None).status, 200);
+    let after_compact = http(addr, "GET", path, None);
+    assert_eq!(
+        before.body, after_compact.body,
+        "history changed across compaction"
+    );
+
+    // Query agreement after compaction: same counted totals per scope.
+    let query = http(addr, "GET", "/v1/query", None);
+    assert!(query.body.contains("\"pass_rate\":"), "{}", query.body);
+
+    // Restart on the same store: drain the first instance (keeping the
+    // directory), bind a second, and expect the identical body.
+    server.drain.cancel();
+    server
+        .handle
+        .join()
+        .expect("server thread panicked")
+        .expect("server run failed");
+    let mut config = ServeConfig::new(&store_dir);
+    config.addr = "127.0.0.1:0".to_string();
+    let second = Server::bind(config).expect("rebind on existing store");
+    let addr2 = second.local_addr().expect("local addr");
+    let drain = second.drain_token();
+    let handle = thread::spawn(move || second.run());
+    let after_restart = http(addr2, "GET", path, None);
+    assert_eq!(
+        before.body, after_restart.body,
+        "history changed across restart"
+    );
+    drain.cancel();
+    handle.join().expect("second server thread panicked").expect("run");
+    let _ = std::fs::remove_dir_all(&store_dir);
 }
